@@ -1,0 +1,149 @@
+"""Ablation benches for the design decisions called out in DESIGN.md §5.
+
+A-1  Weights vs raw counts at the API boundary.
+     Figure 3's point: raw counts are incomparable across data sets — a
+     long profiling run would simply outvote a short one. We replay the
+     Figure-3 scenario where count-merging and weight-merging *disagree*
+     and assert weight-merging produces the paper's answer.
+
+A-2  Deterministic vs random fresh profile points.
+     If `make-profile-point` were not deterministic, a recompile could not
+     read back the profile data its own generated code produced. We
+     simulate the broken design (a fresh random suffix per expansion) and
+     show the optimization silently stops firing.
+
+A-3  Stable vs unstable clause sorting in exclusive-cond.
+     The stable sort preserves source order for untrained clauses, keeping
+     expansion a fixed point — required by the §4.3 protocol.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.core.profile_point import ProfilePoint, ProfilePointFactory
+from repro.core.srcloc import SourceLocation
+from repro.core.weights import compute_weights, merge_weight_tables
+
+
+def _point(n: int) -> ProfilePoint:
+    return ProfilePoint.for_location(SourceLocation("a.ss", n, n + 1))
+
+
+IMPORTANT, SPAM = _point(1), _point(2)
+
+
+def test_a1_counts_vs_weights(benchmark):
+    """Data set 1 (short run) says spam wins 10:5. Data set 2 (long run)
+    says important wins 100:10. Raw-count merging is dominated by run
+    length; weight merging is not."""
+
+    def merge_both():
+        counts = {
+            IMPORTANT: 5 + 100,
+            SPAM: 10 + 10,
+        }
+        weights = merge_weight_tables(
+            [
+                compute_weights({IMPORTANT: 5, SPAM: 10}),
+                compute_weights({IMPORTANT: 100, SPAM: 10}),
+            ]
+        )
+        return counts, weights
+
+    counts, weights = benchmark(merge_both)
+    # Both agree here that important wins — now flip the run lengths:
+    counts2 = {IMPORTANT: 5 + 10, SPAM: 10 + 1}
+    weights2 = merge_weight_tables(
+        [
+            compute_weights({IMPORTANT: 5, SPAM: 10}),    # spam 2x hotter
+            compute_weights({IMPORTANT: 10, SPAM: 1}),    # important 10x hotter
+        ]
+    )
+    # Raw counts say important (15 > 11); but the first data set is one
+    # where spam dominated 2:1 and the second where important dominated
+    # 10:1 — weights weigh the *shapes*, counts weigh the *run lengths*.
+    assert counts2[IMPORTANT] > counts2[SPAM]
+    assert weights2.weight(IMPORTANT) > weights2.weight(SPAM)
+    # The pathology: scale data set 1 by 100x (a longer profiling session,
+    # same behaviour). Counts flip their answer; weights do not.
+    counts3 = {IMPORTANT: 500 + 10, SPAM: 1000 + 1}
+    weights3 = merge_weight_tables(
+        [
+            compute_weights({IMPORTANT: 500, SPAM: 1000}),
+            compute_weights({IMPORTANT: 10, SPAM: 1}),
+        ]
+    )
+    assert counts3[SPAM] > counts3[IMPORTANT]  # counts now say spam
+    assert weights3.weight(IMPORTANT) > weights3.weight(SPAM)  # weights stable
+    report(
+        "A-1",
+        "weights make data sets comparable; raw counts depend on run length",
+        "100x-longer run flips the raw-count decision but not the weight decision",
+    )
+
+
+def test_a2_deterministic_points(benchmark):
+    """The broken design: fresh points that differ across compiles."""
+    base = SourceLocation("prog.ss", 0, 10)
+
+    def deterministic_round_trip():
+        compile1 = ProfilePointFactory()
+        recorded = {compile1.make(base): 17}
+        table = compute_weights(recorded)
+        compile2 = ProfilePointFactory()  # a fresh compiler invocation
+        regenerated = compile2.make(base)
+        return table.weight(regenerated)
+
+    weight = benchmark(deterministic_round_trip)
+    assert weight == 1.0  # the recompile sees its own data
+
+    # Simulated broken design: suffix differs per invocation.
+    import itertools
+
+    class RandomishFactory:
+        counter = itertools.count(1000)
+
+        def make(self, base):
+            n = next(self.counter)
+            return ProfilePoint.for_location(
+                SourceLocation(f"{base.filename}%r{n}", base.start, base.end)
+            )
+
+    recorded = {RandomishFactory().make(base): 17}
+    table = compute_weights(recorded)
+    regenerated = RandomishFactory().make(base)
+    assert table.weight(regenerated) == 0.0  # data silently lost
+    report(
+        "A-2",
+        "make-profile-point must be deterministic across compiles (Fig. 4)",
+        "deterministic: weight 1.0 read back; randomized: weight 0.0 (lost)",
+    )
+
+
+def test_a3_stable_sort_keeps_expansion_fixed_point(benchmark):
+    """Run the case meta-program twice with the same (empty, then fixed)
+    profile: expansion must be byte-identical — unstable ordering of
+    equal-weight clauses would break §4.3's stability requirement."""
+    from repro.casestudies.exclusive_cond import make_case_system
+    from repro.scheme.core_forms import unparse_string
+
+    program = """
+    (define (f x)
+      (case x [(1) 'a] [(2) 'b] [(3) 'c] [(4) 'd] [else 'z]))
+    (map f (list 1 2 3 4 5))
+    """
+
+    def expand_twice():
+        system = make_case_system()
+        system.profile_run(program, "st.ss")
+        first = unparse_string(system.compile(program, "st.ss"))
+        second = unparse_string(system.compile(program, "st.ss"))
+        return first, second
+
+    first, second = benchmark.pedantic(expand_twice, rounds=1, iterations=1)
+    assert first == second
+    report(
+        "A-3",
+        "meta-program output is a fixed point under fixed profile weights",
+        "two consecutive expansions byte-identical",
+    )

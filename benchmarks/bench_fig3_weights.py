@@ -1,0 +1,64 @@
+"""Experiment F3 — Figure 3: profile weight computation and merging.
+
+Verifies the paper's worked example exactly and benchmarks the two core
+operations of the weights layer (normalization and multi-data-set merge) at
+a realistic profile size.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.core.counters import CounterSet
+from repro.core.profile_point import ProfilePoint
+from repro.core.srcloc import SourceLocation
+from repro.core.weights import compute_weights, merge_weight_tables
+
+
+def _point(n: int) -> ProfilePoint:
+    return ProfilePoint.for_location(SourceLocation("w.ss", n, n + 1))
+
+
+IMPORTANT = _point(1)
+SPAM = _point(2)
+
+
+def test_figure3_values_exact(benchmark):
+    """The numbers in Figure 3, verbatim."""
+
+    def figure3():
+        one = compute_weights({IMPORTANT: 5, SPAM: 10})
+        two = compute_weights({IMPORTANT: 100, SPAM: 10})
+        merged = merge_weight_tables([one, two])
+        return one, two, merged
+
+    one, two, merged = benchmark(figure3)
+    assert one.weight(IMPORTANT) == pytest.approx(0.5)
+    assert one.weight(SPAM) == pytest.approx(1.0)
+    assert two.weight(IMPORTANT) == pytest.approx(1.0)
+    assert two.weight(SPAM) == pytest.approx(0.1)
+    assert merged.weight(IMPORTANT) == pytest.approx(0.75)
+    assert merged.weight(SPAM) == pytest.approx(0.55)
+    report(
+        "F3",
+        "important: 5/10, 10/100 -> merged 0.75; spam: 10/10, 10/100 -> merged 0.55",
+        f"important {merged.weight(IMPORTANT):.2f}, spam {merged.weight(SPAM):.2f}",
+    )
+
+
+def test_normalize_10k_points(benchmark):
+    counters = CounterSet()
+    for i in range(10_000):
+        counters.increment(_point(i), by=(i * 7919) % 1000 + 1)
+    table = benchmark(compute_weights, counters)
+    assert len(table) == 10_000
+    assert max(w for _, w in table.items()) == pytest.approx(1.0)
+
+
+def test_merge_five_datasets_of_2k_points(benchmark):
+    tables = []
+    for d in range(5):
+        counts = {_point(i): (i * (d + 3)) % 500 + 1 for i in range(2_000)}
+        tables.append(compute_weights(counts))
+    merged = benchmark(merge_weight_tables, tables)
+    assert len(merged) == 2_000
+    assert all(0.0 <= w <= 1.0 for _, w in merged.items())

@@ -1,0 +1,117 @@
+"""Experiment O-1 — §4.4 compile-time costs of the API.
+
+The paper: "loading profile information is linear in the number of profile
+points, and querying the weight of a particular profile point is amortized
+constant-time." We measure both scalings and assert the shape:
+
+* `load` time grows roughly linearly with the number of points (the 8×
+  input must not cost more than ~24×, i.e. super-linear blowup fails);
+* `query` time is flat in the database size (the large database's query
+  must stay within a small constant factor of the small one's).
+"""
+
+import io
+import time
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.core.counters import CounterSet
+from repro.core.database import ProfileDatabase
+from repro.core.profile_point import ProfilePoint
+from repro.core.srcloc import SourceLocation
+
+
+def _point(n: int) -> ProfilePoint:
+    return ProfilePoint.for_location(SourceLocation("big.ss", n, n + 1))
+
+
+def _stored_profile(n_points: int) -> str:
+    counters = CounterSet()
+    for i in range(n_points):
+        counters.increment(_point(i), by=i % 997 + 1)
+    db = ProfileDatabase()
+    db.record_counters(counters)
+    buffer = io.StringIO()
+    db.store(buffer)
+    return buffer.getvalue()
+
+
+def _load_time(payload: str, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        ProfileDatabase.load(io.StringIO(payload))
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_load_profile_small(benchmark):
+    payload = _stored_profile(1_000)
+    db = benchmark(lambda: ProfileDatabase.load(io.StringIO(payload)))
+    assert db.point_count() == 1_000
+
+
+def test_load_profile_large(benchmark):
+    payload = _stored_profile(8_000)
+    db = benchmark(lambda: ProfileDatabase.load(io.StringIO(payload)))
+    assert db.point_count() == 8_000
+
+
+def test_load_scales_linearly(benchmark):
+    small = benchmark.pedantic(
+        lambda: _load_time(_stored_profile(1_000)), rounds=1, iterations=1
+    )
+    large = _load_time(_stored_profile(8_000))
+    ratio = large / small
+    assert ratio < 24, f"load looks super-linear: 8x points cost {ratio:.1f}x"
+    report(
+        "O-1 (load)",
+        "loading profile information is linear in the number of profile points",
+        f"8x points -> {ratio:.1f}x load time",
+    )
+
+
+def test_query_is_amortized_constant(benchmark):
+    def build(n):
+        counters = CounterSet()
+        for i in range(n):
+            counters.increment(_point(i), by=i + 1)
+        db = ProfileDatabase()
+        db.record_counters(counters)
+        db.merged()  # pay the lazy merge up front (the 'amortized' part)
+        return db
+
+    small_db = build(100)
+    large_db = build(50_000)
+    point = _point(50)
+
+    def time_queries(db, repeats=20_000):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            db.query(point)
+        return time.perf_counter() - start
+
+    small_time = benchmark.pedantic(
+        lambda: time_queries(small_db), rounds=1, iterations=1
+    )
+    large_time = time_queries(large_db)
+    ratio = large_time / small_time
+    assert ratio < 5, f"query not constant-time: 500x points cost {ratio:.1f}x"
+    report(
+        "O-1 (query)",
+        "querying the weight of a profile point is amortized constant-time",
+        f"500x database size -> {ratio:.2f}x query time",
+    )
+
+
+def test_query_hot_path(benchmark):
+    counters = CounterSet()
+    for i in range(10_000):
+        counters.increment(_point(i), by=i + 1)
+    db = ProfileDatabase()
+    db.record_counters(counters)
+    db.merged()
+    point = _point(123)
+    weight = benchmark(db.query, point)
+    assert 0.0 < weight <= 1.0

@@ -1,0 +1,17 @@
+"""Shared benchmark helpers and reporting.
+
+Every benchmark module regenerates one figure/table/claim from the paper's
+evaluation (see DESIGN.md's experiment index). Absolute numbers differ from
+the paper's (their substrate was Chez Scheme on 2015 hardware; ours is a
+Python interpreter), so each module asserts the *shape* — who wins, in
+which direction, and roughly by how much — and prints a paper-vs-measured
+row for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+
+def report(experiment: str, paper: str, measured: str) -> None:
+    """Print one paper-vs-measured comparison row."""
+    print(f"\n[{experiment}] paper: {paper}")
+    print(f"[{experiment}] measured: {measured}")

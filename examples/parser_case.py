@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""§6.1 scenario: profile-guided `case` reordering on a character parser.
+
+The paper's Figure 5 parser, driven by a stream with Figure 8's frequency
+profile (white-space 55, start-paren 23, end-paren 23, digits 10). After
+one profiled run, `case`'s clauses are re-emitted hottest-first — the same
+optimization .NET performs on `switch` with value probes, here written as
+an 80-line macro library.
+
+Run with:  python examples/parser_case.py
+"""
+
+import time
+
+from repro.casestudies.exclusive_cond import make_case_system
+from repro.scheme.core_forms import unparse_string
+
+PARSER = r"""
+(define (parse-char c)
+  (case c
+    [(#\0 #\1 #\2 #\3 #\4 #\5 #\6 #\7 #\8 #\9) 'digit]
+    [(#\() 'start-paren]
+    [(#\)) 'end-paren]
+    [(#\space #\tab) 'white-space]
+    [else 'other]))
+"""
+
+STREAM = " " * 55 + "(" * 23 + ")" * 23 + "0123456789"
+DRIVER = f'(for-each parse-char (string->list "{STREAM}"))'
+TIMED = (
+    "(define (reps n)\n"
+    f'  (if (= n 0) (void) (begin (for-each parse-char (string->list "{STREAM}")) (reps (- n 1)))))\n'
+    "(reps 40)"
+)
+
+
+def timed_run(system, program) -> float:
+    compiled = system.compile(program, "parse.ss")
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        system.run(compiled)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main() -> None:
+    print("unoptimized expansion (source clause order):")
+    baseline = make_case_system()
+    print(unparse_string(baseline.compile(PARSER, "parse.ss")), "\n")
+    t_before = timed_run(baseline, PARSER + TIMED)
+
+    system = make_case_system()
+    system.profile_run(PARSER + DRIVER, "parse.ss")
+    print("optimized expansion (clauses sorted by profile weight):")
+    print(unparse_string(system.compile(PARSER, "parse.ss")), "\n")
+    t_after = timed_run(system, PARSER + TIMED)
+
+    print(f"40 streams, unoptimized: {t_before * 1000:7.1f} ms")
+    print(f"40 streams, optimized:   {t_after * 1000:7.1f} ms")
+    print(f"speedup: {t_before / t_after:.2f}x on the trained distribution")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""§6.3 scenario: data-structure recommendation and auto-specialization.
+
+Two halves, as in the paper:
+
+1. the *profiled list* (Figure 13) only warns — a Perflint-style
+   compile-time recommendation when random access dominates;
+2. the *profiled sequence* (Figure 14) goes further and rewrites itself:
+   the constructor re-expands into a vector-backed representation, turning
+   every `seq-ref` from O(n) into O(1).
+
+Run with:  python examples/sequence_specialization.py
+"""
+
+import time
+
+from repro.casestudies.datastructs import make_datastructs_system
+from repro.scheme.core_forms import unparse_string
+
+
+def list_program(n: int, accesses: int) -> str:
+    elements = " ".join(str(i) for i in range(n))
+    return f"""
+(define pl (profiled-list {elements}))
+(define (go i acc)
+  (if (= i 0) acc (go (- i 1) (+ acc (p-list-ref pl (modulo i {n}))))))
+(go {accesses} 0)
+"""
+
+
+def seq_program(n: int, accesses: int) -> str:
+    elements = " ".join(str(i) for i in range(n))
+    return f"""
+(define s (profiled-seq {elements}))
+(define (go i acc)
+  (if (= i 0) acc (go (- i 1) (+ acc (seq-ref s (modulo i {n}))))))
+(go {accesses} 0)
+"""
+
+
+def timed(system, source: str) -> float:
+    program = system.compile(source, "seq.ss")
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        system.run(program)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main() -> None:
+    # --- Half 1: the recommendation (Figure 13).
+    system = make_datastructs_system()
+    source = list_program(8, 200)
+    system.profile_run(source, "report.ss")
+    system.compile(source, "report.ss")
+    print("Figure 13 — compile-time recommendation:")
+    print(" ", system.last_compile_output.strip(), "\n")
+
+    # --- Half 2: the automatic rewrite (Figure 14).
+    n, accesses = 512, 3000
+    source = seq_program(n, accesses)
+
+    baseline = make_datastructs_system()
+    t_list = timed(baseline, source)
+
+    trained = make_datastructs_system()
+    trained.profile_run(source, "seq.ss")
+    optimized = trained.compile(source, "seq.ss")
+    constructor = unparse_string(optimized).splitlines()[0]
+    tag = "'vector" if "'vector" in constructor else "'list"
+    print(f"Figure 14 — the constructor specialized to: {tag}")
+    t_vector = timed(trained, source)
+
+    print(f"\n{accesses} random accesses over {n} elements:")
+    print(f"  list-backed sequence:   {t_list * 1000:7.1f} ms   (seq-ref is O(n))")
+    print(f"  specialized to vector:  {t_vector * 1000:7.1f} ms   (seq-ref is O(1))")
+    print(f"  speedup: {t_list / t_vector:.1f}x — and growing with n (asymptotic)")
+
+
+if __name__ == "__main__":
+    main()

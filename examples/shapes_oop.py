@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""§6.2 scenario: receiver class prediction for an embedded object system.
+
+Defines the paper's Square/Circle/Triangle classes (Figure 10), profiles a
+skewed receiver mix, and shows the three stages of Figures 11–12:
+
+* instrumented: one `instance-of?` clause per class, each with its own
+  freshly manufactured profile point, all dispatching dynamically;
+* optimized: a polymorphic inline cache — the hot classes' `area` bodies
+  are inlined at the call site, hottest first;
+* the cold class still works via the dynamic-dispatch fallback.
+
+Run with:  python examples/shapes_oop.py
+"""
+
+from repro.casestudies.receiver_class import make_object_system
+from repro.scheme.core_forms import unparse_string
+
+PROGRAM = """
+(class Square ((length 0))
+  (define-method (area this) (sqr (field this length))))
+(class Circle ((radius 0))
+  (define-method (area this) (* pi (sqr (field this radius)))))
+(class Triangle ((base 0) (height 0))
+  (define-method (area this) (* 1/2 (field this base) (field this height))))
+
+(define shapes (list (make-Circle 1) (make-Circle 2) (make-Circle 3) (make-Square 1)))
+(map (lambda (s) (method s area)) shapes)
+"""
+
+
+def call_site_of(text: str) -> str:
+    return next(line for line in text.splitlines() if line.startswith("(map"))
+
+
+def main() -> None:
+    system = make_object_system()
+
+    result = system.profile_run(PROGRAM, "shapes.ss")
+    print("Figure 11 (top) — instrumented call site:")
+    print(call_site_of(result.expanded), "\n")
+    print(f"areas: {result.value}\n")
+
+    optimized = system.compile(PROGRAM, "shapes.ss")
+    print("Figure 11/12 — optimized call site (Circle ran 3x, Square 1x,")
+    print("Triangle 0x; hot bodies inlined hottest-first, Triangle dropped):")
+    print(call_site_of(unparse_string(optimized)), "\n")
+
+    rerun = system.run(optimized)
+    assert str(rerun.value) == str(result.value)
+    print(f"optimized areas: {rerun.value}  (identical ✓)")
+
+    # A receiver class the profile never saw still dispatches correctly.
+    cold = PROGRAM.replace(
+        "(list (make-Circle 1) (make-Circle 2) (make-Circle 3) (make-Square 1))",
+        "(list (make-Triangle 4 6))",
+    )
+    print(f"cold-class fallback: {system.run(system.compile(cold, 'shapes.ss')).value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+from setuptools import setup
+
+# Legacy shim: this environment's setuptools/pip cannot build PEP-660
+# editable wheels offline; `pip install -e .` falls back to setup.py develop.
+setup()

@@ -1,0 +1,72 @@
+"""repro — *Profile-Guided Meta-Programming* (Bowman, Miller, St-Amour,
+Dybvig; PLDI 2015) reproduced as a Python library.
+
+The package layout mirrors the paper:
+
+* :mod:`repro.core` — the substrate-independent design (Section 3):
+  profile points, profile weights, data-set merging, and the Figure-4 API
+  (``make_profile_point``, ``annotate_expr``, ``profile_query``,
+  ``store_profile``, ``load_profile``, ``current_profile_information``).
+* :mod:`repro.scheme` — implementation #1 (Section 4.1): a Scheme with
+  source objects, ``syntax-case`` macros, and an expression-level counter
+  profiler (plus an errortrace-style call-level mode, Section 4.2).
+* :mod:`repro.pyast` — implementation #2 (Sections 4.2/5): meta-programs
+  over Python ASTs with a call-level profiler.
+* :mod:`repro.blocks` — the block-level substrate and the Section-4.3
+  three-pass protocol that keeps source- and block-level PGO consistent.
+* :mod:`repro.casestudies` — the Section-6 case studies: ``case``/
+  ``exclusive-cond`` branch reordering, receiver class prediction, and
+  data-structure specialization.
+
+Quick start (the paper's running example)::
+
+    from repro.casestudies import make_if_r_system
+
+    system = make_if_r_system()
+    program = '''
+    (define (classify email)
+      (if-r (< email 3) 'important 'spam))
+    (map classify (list 1 2 3 4 5))
+    '''
+    system.profile_run(program)          # pass 1: instrumented
+    optimized = system.compile(program)  # pass 2: branches reordered
+"""
+
+from repro.core import (
+    CounterSet,
+    PgmpError,
+    ProfileDatabase,
+    ProfilePoint,
+    SourceLocation,
+    WeightTable,
+    annotate_expr,
+    compute_weights,
+    current_profile_information,
+    load_profile,
+    make_profile_point,
+    merge_weight_tables,
+    profile_query,
+    store_profile,
+    using_profile_information,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CounterSet",
+    "PgmpError",
+    "ProfileDatabase",
+    "ProfilePoint",
+    "SourceLocation",
+    "WeightTable",
+    "__version__",
+    "annotate_expr",
+    "compute_weights",
+    "current_profile_information",
+    "load_profile",
+    "make_profile_point",
+    "merge_weight_tables",
+    "profile_query",
+    "store_profile",
+    "using_profile_information",
+]

@@ -1,0 +1,38 @@
+"""Block-level substrate: bytecode, basic blocks, block-level PGO.
+
+The paper's Chez Scheme implementation must coexist with the compiler's
+existing *block-level* profile-guided optimizations, which it does with a
+three-pass compilation protocol (Section 4.3). This package reproduces that
+whole lower layer: a compiler from expanded core forms to basic-block
+bytecode, a stack VM that can count block executions and branch
+transitions, a block-reordering PGO (hot-path chaining + conditional-branch
+inversion), and the three-pass workflow that keeps source-level and
+block-level profiles simultaneously valid.
+"""
+
+from repro.blocks.bytecode import BasicBlock, BlockFunction, Instr, Module, Opcode
+from repro.blocks.compiler import BlockCompiler, compile_program
+from repro.blocks.peephole import PeepholeReport, peephole
+from repro.blocks.pgo import LayoutReport, eliminate_unreachable, optimize_layout
+from repro.blocks.vm import VM, BlockProfile, VMClosure
+from repro.blocks.workflow import ThreePassReport, three_pass_compile
+
+__all__ = [
+    "BasicBlock",
+    "BlockCompiler",
+    "BlockFunction",
+    "BlockProfile",
+    "Instr",
+    "LayoutReport",
+    "Module",
+    "Opcode",
+    "PeepholeReport",
+    "ThreePassReport",
+    "VM",
+    "VMClosure",
+    "compile_program",
+    "eliminate_unreachable",
+    "optimize_layout",
+    "peephole",
+    "three_pass_compile",
+]

@@ -1,0 +1,174 @@
+"""Bytecode and basic-block representation for the block-level substrate.
+
+A :class:`Module` holds one :class:`BlockFunction` per ``lambda`` in the
+expanded program plus a distinguished top-level function. Each function's
+body is a list of :class:`BasicBlock`; control flow *within* a function is
+explicit (``JUMP`` / ``BRANCH_FALSE`` / ``RETURN`` terminators), which is
+what makes block counting and block reordering meaningful. Calls push
+arguments on the evaluation stack and transfer to another function.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.scheme.datum import Symbol
+
+__all__ = ["Opcode", "Instr", "BasicBlock", "BlockFunction", "Module"]
+
+
+class Opcode(enum.Enum):
+    """Stack-machine operations.
+
+    Non-terminator opcodes leave control in the same block; the terminator
+    opcodes (``JUMP``, ``BRANCH_FALSE``, ``RETURN``, ``TAILCALL``) end a
+    block.
+    """
+
+    CONST = "const"            # push a constant (arg: value)
+    LOAD = "load"              # push a variable's value (arg: Symbol)
+    STORE = "store"            # pop and assign a variable (arg: Symbol)
+    DEFINE = "define"          # pop and define a top-level variable (arg: Symbol)
+    POP = "pop"                # discard the top of stack
+    CLOSURE = "closure"        # push a closure of function #arg over current env
+    CALL = "call"              # call with arg operands (proc under them)
+    TAILCALL = "tailcall"      # terminator: tail call with arg operands
+    JUMP = "jump"              # terminator: unconditional (arg: block label)
+    BRANCH_FALSE = "brf"       # terminator: pop; jump to arg when false,
+    #                            else fall through to `fallthrough` label
+    BRANCH_TRUE = "brt"        # terminator: inverted branch (made by the PGO)
+    RETURN = "return"          # terminator: pop and return
+
+    def is_terminator(self) -> bool:
+        return self in (
+            Opcode.JUMP,
+            Opcode.BRANCH_FALSE,
+            Opcode.BRANCH_TRUE,
+            Opcode.RETURN,
+            Opcode.TAILCALL,
+        )
+
+
+@dataclass(slots=True)
+class Instr:
+    op: Opcode
+    arg: object = None
+    #: For branches: the label control falls to when the branch is not taken.
+    fallthrough: str | None = None
+
+    def __repr__(self) -> str:
+        parts = [self.op.value]
+        if self.arg is not None:
+            parts.append(repr(self.arg))
+        if self.fallthrough is not None:
+            parts.append(f"ft={self.fallthrough}")
+        return f"<{' '.join(parts)}>"
+
+
+@dataclass(slots=True)
+class BasicBlock:
+    """A straight-line run of instructions ending in one terminator."""
+
+    label: str
+    instrs: list[Instr] = field(default_factory=list)
+
+    @property
+    def terminator(self) -> Instr:
+        assert self.instrs and self.instrs[-1].op.is_terminator(), (
+            f"block {self.label} lacks a terminator"
+        )
+        return self.instrs[-1]
+
+    def successors(self) -> list[str]:
+        """Labels this block can transfer to (within its function)."""
+        term = self.instrs[-1] if self.instrs else None
+        if term is None or not term.op.is_terminator():
+            return []
+        if term.op is Opcode.JUMP:
+            return [term.arg]  # type: ignore[list-item]
+        if term.op in (Opcode.BRANCH_FALSE, Opcode.BRANCH_TRUE):
+            return [term.fallthrough, term.arg]  # type: ignore[list-item]
+        return []
+
+    def __repr__(self) -> str:
+        return f"<block {self.label}: {len(self.instrs)} instrs>"
+
+
+@dataclass(slots=True)
+class BlockFunction:
+    """One compiled procedure: parameters plus a list of basic blocks.
+
+    ``blocks[0]`` is the entry block. Block order is *layout order* — the
+    property the block-level PGO optimizes (a transition to the lexically
+    next block is a cheap fall-through; anything else is a taken jump).
+    """
+
+    name: str
+    params: list[Symbol]
+    rest: Symbol | None
+    blocks: list[BasicBlock]
+    index: int = -1
+
+    def block_by_label(self, label: str) -> BasicBlock:
+        for block in self.blocks:
+            if block.label == label:
+                return block
+        raise KeyError(f"{self.name}: no block labelled {label!r}")
+
+    def block_position(self, label: str) -> int:
+        for i, block in enumerate(self.blocks):
+            if block.label == label:
+                return i
+        raise KeyError(f"{self.name}: no block labelled {label!r}")
+
+    def __repr__(self) -> str:
+        return f"<fn {self.name}#{self.index}: {len(self.blocks)} blocks>"
+
+
+@dataclass(slots=True)
+class Module:
+    """A compiled program: ``functions[0]`` is the top level."""
+
+    functions: list[BlockFunction] = field(default_factory=list)
+
+    @property
+    def toplevel(self) -> BlockFunction:
+        return self.functions[0]
+
+    def add_function(self, fn: BlockFunction) -> int:
+        fn.index = len(self.functions)
+        self.functions.append(fn)
+        return fn.index
+
+    def block_count(self) -> int:
+        return sum(len(fn.blocks) for fn in self.functions)
+
+    def disassemble(self) -> str:
+        """Human-readable listing (used by the CLI and golden tests)."""
+        lines: list[str] = []
+        for fn in self.functions:
+            params = " ".join(p.name for p in fn.params)
+            if fn.rest is not None:
+                params += f" . {fn.rest.name}"
+            lines.append(f"function {fn.index} {fn.name} ({params})")
+            for block in fn.blocks:
+                lines.append(f"  {block.label}:")
+                for instr in block.instrs:
+                    lines.append(f"    {instr!r}")
+        return "\n".join(lines)
+
+    def structure_signature(self) -> tuple:
+        """A hashable summary of the module's *structure* (functions, block
+        labels, instruction opcodes) used by the three-pass workflow to
+        verify that block-level profiles remain valid across passes."""
+        return tuple(
+            (
+                fn.name,
+                tuple(
+                    (block.label, tuple(instr.op for instr in block.instrs))
+                    for block in fn.blocks
+                ),
+            )
+            for fn in self.functions
+        )

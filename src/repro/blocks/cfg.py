@@ -1,0 +1,73 @@
+"""Control-flow-graph utilities for the block substrate (networkx-backed)."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.blocks.bytecode import BlockFunction, Module
+from repro.blocks.vm import BlockProfile
+
+__all__ = [
+    "function_cfg",
+    "weighted_cfg",
+    "reachable_blocks",
+    "unreachable_blocks",
+    "hot_path",
+]
+
+
+def function_cfg(fn: BlockFunction) -> nx.DiGraph:
+    """The static CFG of one function: nodes are block labels."""
+    graph = nx.DiGraph()
+    for block in fn.blocks:
+        graph.add_node(block.label)
+    for block in fn.blocks:
+        for succ in block.successors():
+            graph.add_edge(block.label, succ)
+    return graph
+
+
+def weighted_cfg(fn: BlockFunction, profile: BlockProfile) -> nx.DiGraph:
+    """The CFG annotated with dynamic edge counts (0 for unexecuted edges)."""
+    graph = function_cfg(fn)
+    for (fidx, src, dst), count in profile.edge_counts.items():
+        if fidx == fn.index and graph.has_edge(src, dst):
+            graph[src][dst]["weight"] = count
+    for src, dst in graph.edges:
+        graph[src][dst].setdefault("weight", 0)
+    return graph
+
+
+def reachable_blocks(fn: BlockFunction) -> set[str]:
+    """Labels reachable from the entry block."""
+    if not fn.blocks:
+        return set()
+    graph = function_cfg(fn)
+    entry = fn.blocks[0].label
+    return {entry} | nx.descendants(graph, entry)
+
+
+def unreachable_blocks(fn: BlockFunction) -> set[str]:
+    return {block.label for block in fn.blocks} - reachable_blocks(fn)
+
+
+def hot_path(fn: BlockFunction, profile: BlockProfile) -> list[str]:
+    """The greedy hottest path from entry (for reports and tests)."""
+    graph = weighted_cfg(fn, profile)
+    if not fn.blocks:
+        return []
+    path = [fn.blocks[0].label]
+    seen = {path[0]}
+    while True:
+        out = [
+            (data["weight"], dst)
+            for _, dst, data in graph.out_edges(path[-1], data=True)
+            if dst not in seen
+        ]
+        if not out:
+            return path
+        weight, nxt = max(out)
+        if weight == 0:
+            return path
+        path.append(nxt)
+        seen.add(nxt)

@@ -1,0 +1,197 @@
+"""Compiler from expanded core forms to basic-block bytecode.
+
+Consumes the same :mod:`repro.scheme.core_forms` AST the interpreter runs,
+so the block-level substrate sits *after* macro expansion — exactly the
+paper's architecture, where meta-programs fire first and the block-level
+compiler (and its PGO) sees only their output. This ordering is what makes
+the Section-4.3 consistency protocol necessary and is verified by
+:mod:`repro.blocks.workflow`.
+
+``syntax-case``/template core forms are expansion-time constructs; they
+never survive into run-time programs and the block compiler rejects them.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import CompileError
+from repro.scheme.core_forms import (
+    App,
+    Begin,
+    Const,
+    CoreExpr,
+    Define,
+    If,
+    Lambda,
+    Program,
+    Ref,
+    SetBang,
+    SyntaxCaseExpr,
+    TemplateExpr,
+)
+from repro.scheme.datum import UNSPECIFIED, Symbol
+
+from repro.blocks.bytecode import BasicBlock, BlockFunction, Instr, Module, Opcode
+
+__all__ = ["BlockCompiler", "compile_program"]
+
+
+class _FunctionBuilder:
+    """Accumulates blocks for one function under construction."""
+
+    def __init__(self, compiler: "BlockCompiler", name: str) -> None:
+        self.compiler = compiler
+        self.name = name
+        self.blocks: list[BasicBlock] = []
+        self.current: BasicBlock | None = None
+        self._label_counter = 0
+
+    def new_label(self, hint: str) -> str:
+        self._label_counter += 1
+        return f"{hint}{self._label_counter}"
+
+    def start_block(self, label: str) -> BasicBlock:
+        block = BasicBlock(label)
+        self.blocks.append(block)
+        self.current = block
+        return block
+
+    def emit(self, op: Opcode, arg: object = None, fallthrough: str | None = None) -> None:
+        assert self.current is not None, "emit outside a block"
+        self.current.instrs.append(Instr(op, arg, fallthrough))
+
+    def terminated(self) -> bool:
+        return bool(
+            self.current is not None
+            and self.current.instrs
+            and self.current.instrs[-1].op.is_terminator()
+        )
+
+
+class BlockCompiler:
+    """Compiles a core :class:`Program` into a :class:`Module`."""
+
+    def __init__(self) -> None:
+        self.module = Module()
+
+    def compile_program(self, program: Program) -> Module:
+        top = _FunctionBuilder(self, "toplevel")
+        self.module.add_function(BlockFunction("toplevel", [], None, top.blocks))
+        top.start_block("entry")
+        if not program.forms:
+            top.emit(Opcode.CONST, UNSPECIFIED)
+            top.emit(Opcode.RETURN)
+            return self.module
+        for form in program.forms[:-1]:
+            self._compile_top_form(top, form)
+        last = program.forms[-1]
+        if isinstance(last, Define):
+            self._compile_top_form(top, last)
+            top.emit(Opcode.CONST, UNSPECIFIED)
+        else:
+            self._compile_expr(top, last, tail=False)
+        top.emit(Opcode.RETURN)
+        return self.module
+
+    def _compile_top_form(self, fb: _FunctionBuilder, form: CoreExpr) -> None:
+        if isinstance(form, Define):
+            self._compile_expr(fb, form.expr, tail=False)
+            fb.emit(Opcode.DEFINE, form.unique)
+        else:
+            self._compile_expr(fb, form, tail=False)
+            fb.emit(Opcode.POP)
+
+    # -- expressions -------------------------------------------------------------
+
+    def _compile_expr(self, fb: _FunctionBuilder, expr: CoreExpr, tail: bool) -> None:
+        if isinstance(expr, Const):
+            fb.emit(Opcode.CONST, expr.value)
+            self._maybe_return(fb, tail)
+            return
+        if isinstance(expr, Ref):
+            fb.emit(Opcode.LOAD, expr.unique)
+            self._maybe_return(fb, tail)
+            return
+        if isinstance(expr, SetBang):
+            self._compile_expr(fb, expr.expr, tail=False)
+            fb.emit(Opcode.STORE, expr.unique)
+            fb.emit(Opcode.CONST, UNSPECIFIED)
+            self._maybe_return(fb, tail)
+            return
+        if isinstance(expr, If):
+            self._compile_if(fb, expr, tail)
+            return
+        if isinstance(expr, Begin):
+            if not expr.exprs:
+                fb.emit(Opcode.CONST, UNSPECIFIED)
+                self._maybe_return(fb, tail)
+                return
+            for sub in expr.exprs[:-1]:
+                self._compile_expr(fb, sub, tail=False)
+                fb.emit(Opcode.POP)
+            self._compile_expr(fb, expr.exprs[-1], tail)
+            return
+        if isinstance(expr, Lambda):
+            index = self._compile_lambda(expr)
+            fb.emit(Opcode.CLOSURE, index)
+            self._maybe_return(fb, tail)
+            return
+        if isinstance(expr, App):
+            self._compile_expr(fb, expr.fn, tail=False)
+            for arg in expr.args:
+                self._compile_expr(fb, arg, tail=False)
+            if tail:
+                fb.emit(Opcode.TAILCALL, len(expr.args))
+            else:
+                fb.emit(Opcode.CALL, len(expr.args))
+            return
+        if isinstance(expr, Define):
+            raise CompileError("define is only legal at top level")
+        if isinstance(expr, (SyntaxCaseExpr, TemplateExpr)):
+            raise CompileError(
+                "syntax-case/templates are expand-time forms; they cannot "
+                "appear in a run-time program compiled to blocks"
+            )
+        raise CompileError(f"cannot compile {type(expr).__name__} to blocks")
+
+    @staticmethod
+    def _maybe_return(fb: _FunctionBuilder, tail: bool) -> None:
+        if tail:
+            fb.emit(Opcode.RETURN)
+
+    def _compile_if(self, fb: _FunctionBuilder, expr: If, tail: bool) -> None:
+        then_label = fb.new_label("then")
+        else_label = fb.new_label("else")
+        join_label = fb.new_label("join")
+        self._compile_expr(fb, expr.test, tail=False)
+        fb.emit(Opcode.BRANCH_FALSE, else_label, fallthrough=then_label)
+
+        fb.start_block(then_label)
+        self._compile_expr(fb, expr.then, tail)
+        if not fb.terminated():
+            fb.emit(Opcode.JUMP, join_label)
+
+        fb.start_block(else_label)
+        self._compile_expr(fb, expr.otherwise, tail)
+        if not fb.terminated():
+            fb.emit(Opcode.JUMP, join_label)
+
+        if not tail:
+            fb.start_block(join_label)
+        # In tail position both arms returned/tail-called; no join block.
+
+    def _compile_lambda(self, expr: Lambda) -> int:
+        fb = _FunctionBuilder(self, expr.name)
+        index = self.module.add_function(
+            BlockFunction(expr.name, list(expr.params), expr.rest, fb.blocks)
+        )
+        fb.start_block("entry")
+        for sub in expr.body[:-1]:
+            self._compile_expr(fb, sub, tail=False)
+            fb.emit(Opcode.POP)
+        self._compile_expr(fb, expr.body[-1], tail=True)
+        return index
+
+
+def compile_program(program: Program) -> Module:
+    """Compile a fully-expanded program into basic-block bytecode."""
+    return BlockCompiler().compile_program(program)

@@ -1,0 +1,124 @@
+"""Peephole optimizations over basic-block bytecode.
+
+Small, semantics-preserving rewrites that run after (or independently of)
+the profile-guided layout pass:
+
+* **push/pop elimination** — a ``CONST``/``LOAD`` immediately followed by
+  ``POP`` computes nothing (loads of defined variables cannot fault in a
+  meaningful way for pure programs; to stay conservative we only drop
+  ``CONST``+``POP`` pairs, since a ``LOAD`` of an unbound top-level name
+  legitimately raises);
+* **jump threading** — a ``JUMP`` to a block that consists solely of
+  another ``JUMP`` retargets to the final destination (and likewise for
+  branch targets/fallthroughs);
+* **branch-to-same collapsing** — a conditional branch whose taken and
+  fall-through targets are equal becomes ``POP`` + ``JUMP``.
+
+These interact with the PGO layout pass: threading removes trampoline
+blocks that would otherwise pollute the fall-through metric, and the
+layout pass benefits from the smaller CFG. The pass never changes what a
+program computes (checked by the differential tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.blocks.bytecode import BasicBlock, BlockFunction, Instr, Module, Opcode
+
+__all__ = ["PeepholeReport", "peephole"]
+
+
+@dataclass
+class PeepholeReport:
+    dropped_pairs: int = 0
+    threaded_jumps: int = 0
+    collapsed_branches: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.dropped_pairs + self.threaded_jumps + self.collapsed_branches
+
+    def __str__(self) -> str:
+        return (
+            f"dropped {self.dropped_pairs} push/pop pair(s), "
+            f"threaded {self.threaded_jumps} jump(s), "
+            f"collapsed {self.collapsed_branches} branch(es)"
+        )
+
+
+def peephole(module: Module) -> tuple[Module, PeepholeReport]:
+    """Apply all peephole rewrites to every function."""
+    report = PeepholeReport()
+    out = Module()
+    for fn in module.functions:
+        out.functions.append(_optimize_function(fn, report))
+    return out, report
+
+
+def _optimize_function(fn: BlockFunction, report: PeepholeReport) -> BlockFunction:
+    trampolines = _trampoline_targets(fn)
+    new_blocks: list[BasicBlock] = []
+    for block in fn.blocks:
+        instrs = _drop_push_pop(block.instrs, report)
+        instrs = _rewrite_terminator(instrs, trampolines, report)
+        new_blocks.append(BasicBlock(block.label, instrs))
+    return BlockFunction(fn.name, fn.params, fn.rest, new_blocks, index=fn.index)
+
+
+def _trampoline_targets(fn: BlockFunction) -> dict[str, str]:
+    """label -> final destination for blocks that are just a single JUMP."""
+    direct: dict[str, str] = {}
+    for block in fn.blocks:
+        if len(block.instrs) == 1 and block.instrs[0].op is Opcode.JUMP:
+            direct[block.label] = block.instrs[0].arg  # type: ignore[assignment]
+    # Follow chains (with a visited set to survive cycles).
+    resolved: dict[str, str] = {}
+    for label in direct:
+        seen = {label}
+        target = direct[label]
+        while target in direct and target not in seen:
+            seen.add(target)
+            target = direct[target]
+        resolved[label] = target
+    return resolved
+
+
+def _drop_push_pop(instrs: list[Instr], report: PeepholeReport) -> list[Instr]:
+    out: list[Instr] = []
+    for instr in instrs:
+        if (
+            instr.op is Opcode.POP
+            and out
+            and out[-1].op is Opcode.CONST
+        ):
+            out.pop()
+            report.dropped_pairs += 1
+            continue
+        out.append(instr)
+    return out
+
+
+def _rewrite_terminator(
+    instrs: list[Instr], trampolines: dict[str, str], report: PeepholeReport
+) -> list[Instr]:
+    if not instrs:
+        return instrs
+    term = instrs[-1]
+    if term.op is Opcode.JUMP:
+        target = trampolines.get(term.arg)  # type: ignore[arg-type]
+        if target is not None and target != term.arg:
+            report.threaded_jumps += 1
+            return instrs[:-1] + [Instr(Opcode.JUMP, target)]
+        return instrs
+    if term.op in (Opcode.BRANCH_FALSE, Opcode.BRANCH_TRUE):
+        arg = trampolines.get(term.arg, term.arg)  # type: ignore[arg-type]
+        fallthrough = trampolines.get(term.fallthrough, term.fallthrough)  # type: ignore[arg-type]
+        changed = arg != term.arg or fallthrough != term.fallthrough
+        if arg == fallthrough:
+            report.collapsed_branches += 1
+            return instrs[:-1] + [Instr(Opcode.POP), Instr(Opcode.JUMP, arg)]
+        if changed:
+            report.threaded_jumps += 1
+            return instrs[:-1] + [Instr(term.op, arg, fallthrough=fallthrough)]
+    return instrs

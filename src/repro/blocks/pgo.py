@@ -1,0 +1,164 @@
+"""Block-level profile-guided optimization: layout + branch inversion.
+
+Two classical transformations, both purely layout-level (they never change
+what a program computes, only the order blocks appear in memory — which the
+VM's fall-through metric makes observable):
+
+1. **Hot-path block chaining** (Pettis–Hansen-style, simplified): starting
+   from the entry block, repeatedly place the hottest not-yet-placed
+   successor next, so the dynamically common path becomes a straight line
+   of fall-throughs.
+2. **Conditional branch inversion**: after layout, a two-way branch whose
+   *taken* target ended up lexically next is inverted
+   (``BRANCH_FALSE`` ↔ ``BRANCH_TRUE``, swapping target and fall-through)
+   so the common case falls through — the block-level cousin of the
+   paper's §6.1 source-level branch reordering.
+
+These are exactly the optimizations whose profile data the Section-4.3
+three-pass protocol protects from invalidation by source-level PGMP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.blocks.bytecode import BasicBlock, BlockFunction, Instr, Module, Opcode
+from repro.blocks.vm import BlockProfile
+
+__all__ = [
+    "LayoutReport",
+    "optimize_layout",
+    "layout_function",
+    "eliminate_unreachable",
+]
+
+
+@dataclass
+class LayoutReport:
+    """What the layout pass did, per function."""
+
+    reordered_functions: list[str] = field(default_factory=list)
+    inverted_branches: int = 0
+    moved_blocks: int = 0
+    removed_blocks: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"reordered {len(self.reordered_functions)} function(s), "
+            f"moved {self.moved_blocks} block(s), "
+            f"inverted {self.inverted_branches} branch(es), "
+            f"removed {self.removed_blocks} dead block(s)"
+        )
+
+
+def _edge_weight(profile: BlockProfile, fn_index: int, src: str, dst: str) -> int:
+    return profile.edge_counts.get((fn_index, src, dst), 0)
+
+
+def _block_weight(profile: BlockProfile, fn_index: int, label: str) -> int:
+    return profile.block_counts.get((fn_index, label), 0)
+
+
+def layout_function(fn: BlockFunction, profile: BlockProfile) -> tuple[BlockFunction, int, int]:
+    """Lay out one function; returns (new function, moved blocks, inversions)."""
+    if len(fn.blocks) <= 1:
+        return fn, 0, 0
+
+    by_label = {block.label: block for block in fn.blocks}
+    placed: list[BasicBlock] = []
+    placed_labels: set[str] = set()
+
+    def place(block: BasicBlock) -> None:
+        placed.append(block)
+        placed_labels.add(block.label)
+
+    # 1. Greedy hot-path chaining from the entry block.
+    place(fn.blocks[0])
+    while len(placed) < len(fn.blocks):
+        tail = placed[-1]
+        candidates = [
+            (
+                _edge_weight(profile, fn.index, tail.label, succ),
+                -fn.block_position(succ),  # tie-break: original order
+                succ,
+            )
+            for succ in tail.successors()
+            if succ not in placed_labels
+        ]
+        if candidates:
+            weight, _, best = max(candidates)
+            if weight > 0:
+                place(by_label[best])
+                continue
+        # Chain broken: start a new chain at the hottest unplaced block
+        # (falling back to original order among cold blocks).
+        remaining = [b for b in fn.blocks if b.label not in placed_labels]
+        remaining.sort(
+            key=lambda b: (
+                -_block_weight(profile, fn.index, b.label),
+                fn.block_position(b.label),
+            )
+        )
+        place(remaining[0])
+
+    moved = sum(
+        1 for old, new in zip(fn.blocks, placed) if old.label != new.label
+    )
+
+    # 2. Branch inversion against the new layout.
+    inversions = 0
+    new_blocks: list[BasicBlock] = []
+    for i, block in enumerate(placed):
+        term = block.instrs[-1]
+        if term.op in (Opcode.BRANCH_FALSE, Opcode.BRANCH_TRUE) and i + 1 < len(placed):
+            next_label = placed[i + 1].label
+            if term.arg == next_label and term.fallthrough != next_label:
+                flipped = (
+                    Opcode.BRANCH_TRUE
+                    if term.op is Opcode.BRANCH_FALSE
+                    else Opcode.BRANCH_FALSE
+                )
+                term = Instr(flipped, term.fallthrough, fallthrough=term.arg)
+                block = BasicBlock(block.label, block.instrs[:-1] + [term])
+                inversions += 1
+        new_blocks.append(block)
+
+    new_fn = BlockFunction(fn.name, fn.params, fn.rest, new_blocks, index=fn.index)
+    return new_fn, moved, inversions
+
+
+def eliminate_unreachable(module: Module) -> tuple[Module, int]:
+    """Drop blocks unreachable from each function's entry block.
+
+    The compiler never emits such blocks for plain programs, but layout
+    passes and hand-constructed modules can; removing them keeps the
+    fall-through metric honest (a dead block between two hot blocks would
+    turn their transition into a taken jump).
+    """
+    from repro.blocks.cfg import reachable_blocks
+
+    removed = 0
+    new_module = Module()
+    for fn in module.functions:
+        live = reachable_blocks(fn)
+        kept = [block for block in fn.blocks if block.label in live]
+        removed += len(fn.blocks) - len(kept)
+        new_module.functions.append(
+            BlockFunction(fn.name, fn.params, fn.rest, kept, index=fn.index)
+        )
+    return new_module, removed
+
+
+def optimize_layout(module: Module, profile: BlockProfile) -> tuple[Module, LayoutReport]:
+    """Dead-block elimination, then hot-path layout + branch inversion."""
+    report = LayoutReport()
+    module, report.removed_blocks = eliminate_unreachable(module)
+    new_module = Module()
+    for fn in module.functions:
+        new_fn, moved, inversions = layout_function(fn, profile)
+        new_module.functions.append(new_fn)
+        if moved or inversions:
+            report.reordered_functions.append(fn.name)
+        report.moved_blocks += moved
+        report.inverted_branches += inversions
+    return new_module, report

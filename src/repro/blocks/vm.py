@@ -1,0 +1,242 @@
+"""A stack virtual machine over basic-block bytecode, with block profiling.
+
+The VM executes :class:`~repro.blocks.bytecode.Module`s with an explicit
+frame stack (so Scheme tail calls are genuinely iterative). When profiling
+is enabled it maintains a :class:`BlockProfile`: per-block execution counts
+and per-edge transition counts — the raw material of block-level PGO — plus
+the *layout metric* the PGO improves: every control transfer is classified
+as a fall-through (target is the lexically next block) or a taken jump.
+
+Interoperability: a :class:`VMClosure` is callable, so primitives that
+apply procedures (``map``, ``sort``, …) work unchanged — they re-enter the
+VM through :meth:`VM.execute_closure`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import VMError
+from repro.scheme.datum import UNSPECIFIED, Symbol, scheme_list, write_datum
+from repro.scheme.env import Environment, GlobalEnvironment
+
+from repro.blocks.bytecode import BasicBlock, BlockFunction, Module, Opcode
+
+__all__ = ["VM", "VMClosure", "BlockProfile"]
+
+
+@dataclass
+class BlockProfile:
+    """Counts gathered by an instrumented VM run."""
+
+    #: (function index, block label) -> times the block was entered
+    block_counts: dict[tuple[int, str], int] = field(default_factory=dict)
+    #: (function index, from label, to label) -> times the edge was taken
+    edge_counts: dict[tuple[int, str, str], int] = field(default_factory=dict)
+    #: transfers to the lexically next block (cheap)
+    fallthroughs: int = 0
+    #: transfers anywhere else (the cost block reordering minimizes)
+    taken_jumps: int = 0
+
+    def record_edge(self, fn: int, src: str, dst: str) -> None:
+        key = (fn, src, dst)
+        self.edge_counts[key] = self.edge_counts.get(key, 0) + 1
+
+    def record_block(self, fn: int, label: str) -> None:
+        key = (fn, label)
+        self.block_counts[key] = self.block_counts.get(key, 0) + 1
+
+    @property
+    def total_transfers(self) -> int:
+        return self.fallthroughs + self.taken_jumps
+
+    @property
+    def taken_ratio(self) -> float:
+        total = self.total_transfers
+        return self.taken_jumps / total if total else 0.0
+
+
+class VMClosure:
+    """A procedure value closing a block function over an environment."""
+
+    __slots__ = ("function", "env", "vm")
+
+    def __init__(self, function: BlockFunction, env, vm: "VM") -> None:
+        self.function = function
+        self.env = env
+        self.vm = vm
+
+    def bind(self, args: list[object]) -> Environment:
+        fn = self.function
+        nparams = len(fn.params)
+        if fn.rest is None:
+            if len(args) != nparams:
+                raise VMError(
+                    f"{fn.name}: expected {nparams} arguments, got {len(args)}"
+                )
+            frame = dict(zip(fn.params, args))
+        else:
+            if len(args) < nparams:
+                raise VMError(
+                    f"{fn.name}: expected at least {nparams} arguments, got {len(args)}"
+                )
+            frame = dict(zip(fn.params, args[:nparams]))
+            frame[fn.rest] = scheme_list(*args[nparams:])
+        return Environment(frame, self.env)
+
+    def __call__(self, *args):
+        # Re-entry point for primitives (map, sort, apply, ...).
+        return self.vm.execute_closure(self, list(args))
+
+    def __repr__(self) -> str:
+        return f"#<vm-procedure {self.function.name}>"
+
+
+class _Frame:
+    __slots__ = ("closure", "blocks", "block_pos", "instr_index", "env", "stack")
+
+    def __init__(self, closure: VMClosure, env) -> None:
+        self.closure = closure
+        self.blocks = closure.function.blocks
+        self.block_pos = 0
+        self.instr_index = 0
+        self.env = env
+        self.stack: list[object] = []
+
+
+class VM:
+    """Executes modules; optionally records a :class:`BlockProfile`."""
+
+    def __init__(
+        self,
+        module: Module,
+        global_env: GlobalEnvironment,
+        profile: bool = False,
+    ) -> None:
+        self.module = module
+        self.global_env = global_env
+        self.profile: BlockProfile | None = BlockProfile() if profile else None
+
+    # -- public entry points --------------------------------------------------------
+
+    def run(self) -> object:
+        """Execute the top-level function; its return value."""
+        top = VMClosure(self.module.toplevel, self.global_env, self)
+        return self._execute(_Frame(top, self.global_env))
+
+    def execute_closure(self, closure: VMClosure, args: list[object]) -> object:
+        return self._execute(_Frame(closure, closure.bind(args)))
+
+    # -- the dispatch loop --------------------------------------------------------------
+
+    def _transfer(self, frame: _Frame, label: str) -> None:
+        """Move control to ``label``, recording profile data."""
+        fn = frame.closure.function
+        src = frame.blocks[frame.block_pos].label
+        pos = fn.block_position(label)
+        if self.profile is not None:
+            self.profile.record_edge(fn.index, src, label)
+            self.profile.record_block(fn.index, label)
+            if pos == frame.block_pos + 1:
+                self.profile.fallthroughs += 1
+            else:
+                self.profile.taken_jumps += 1
+        frame.block_pos = pos
+        frame.instr_index = 0
+
+    def _execute(self, frame: _Frame) -> object:
+        frames: list[_Frame] = [frame]
+        if self.profile is not None:
+            self.profile.record_block(
+                frame.closure.function.index, frame.blocks[0].label
+            )
+        while True:
+            frame = frames[-1]
+            block = frame.blocks[frame.block_pos]
+            if frame.instr_index >= len(block.instrs):
+                raise VMError(
+                    f"fell off the end of block {block.label} in "
+                    f"{frame.closure.function.name}"
+                )
+            instr = block.instrs[frame.instr_index]
+            frame.instr_index += 1
+            op = instr.op
+
+            if op is Opcode.CONST:
+                frame.stack.append(instr.arg)
+            elif op is Opcode.LOAD:
+                frame.stack.append(frame.env.lookup(instr.arg))
+            elif op is Opcode.STORE:
+                frame.env.assign(instr.arg, frame.stack.pop())
+            elif op is Opcode.DEFINE:
+                self.global_env.define(instr.arg, frame.stack.pop())
+            elif op is Opcode.POP:
+                frame.stack.pop()
+            elif op is Opcode.CLOSURE:
+                fn = self.module.functions[instr.arg]
+                frame.stack.append(VMClosure(fn, frame.env, self))
+            elif op is Opcode.CALL:
+                nargs = instr.arg
+                args = frame.stack[len(frame.stack) - nargs :]
+                del frame.stack[len(frame.stack) - nargs :]
+                proc = frame.stack.pop()
+                if isinstance(proc, VMClosure):
+                    new_frame = _Frame(proc, proc.bind(args))
+                    frames.append(new_frame)
+                    if self.profile is not None:
+                        self.profile.record_block(
+                            proc.function.index, proc.function.blocks[0].label
+                        )
+                else:
+                    frame.stack.append(self._call_python(proc, args))
+            elif op is Opcode.TAILCALL:
+                nargs = instr.arg
+                args = frame.stack[len(frame.stack) - nargs :]
+                del frame.stack[len(frame.stack) - nargs :]
+                proc = frame.stack.pop()
+                if isinstance(proc, VMClosure):
+                    new_frame = _Frame(proc, proc.bind(args))
+                    frames[-1] = new_frame
+                    if self.profile is not None:
+                        self.profile.record_block(
+                            proc.function.index, proc.function.blocks[0].label
+                        )
+                else:
+                    value = self._call_python(proc, args)
+                    frames.pop()
+                    if not frames:
+                        return value
+                    frames[-1].stack.append(value)
+            elif op is Opcode.JUMP:
+                self._transfer(frame, instr.arg)
+            elif op is Opcode.BRANCH_FALSE:
+                value = frame.stack.pop()
+                if value is False:
+                    self._transfer(frame, instr.arg)
+                else:
+                    self._transfer(frame, instr.fallthrough)
+            elif op is Opcode.BRANCH_TRUE:
+                value = frame.stack.pop()
+                if value is not False:
+                    self._transfer(frame, instr.arg)
+                else:
+                    self._transfer(frame, instr.fallthrough)
+            elif op is Opcode.RETURN:
+                value = frame.stack.pop() if frame.stack else UNSPECIFIED
+                frames.pop()
+                if not frames:
+                    return value
+                frames[-1].stack.append(value)
+            else:  # pragma: no cover
+                raise VMError(f"unknown opcode {op}")
+
+    @staticmethod
+    def _call_python(proc: object, args: list[object]) -> object:
+        if not callable(proc):
+            raise VMError(f"attempt to apply non-procedure {write_datum(proc)}")
+        from repro.scheme.interpreter import TailCall, apply_procedure
+
+        result = proc(*args)
+        if type(result) is TailCall:
+            return apply_procedure(result.proc, result.args)
+        return result

@@ -1,0 +1,57 @@
+"""The paper's case studies (Section 6), on the Scheme substrate.
+
+Each module pairs a Scheme macro library — written to match the paper's
+figures — with a small Python driver API that runs the profile → recompile
+workflow. The libraries are genuine profile-guided meta-programs: they run
+at expand time and consult ``profile-query``.
+
+* :mod:`repro.casestudies.if_r` — the running example (Figures 1–2);
+* :mod:`repro.casestudies.exclusive_cond` — profile-guided conditional
+  branch optimization, ``case``/``exclusive-cond`` (Section 6.1,
+  Figures 5–8);
+* :mod:`repro.casestudies.receiver_class` — an embedded object system with
+  profile-guided receiver class prediction (Section 6.2, Figures 9–12);
+* :mod:`repro.casestudies.datastructs` — data-structure specialization:
+  profiled lists/vectors that warn, and a self-specializing sequence
+  (Section 6.3, Figures 13–14).
+"""
+
+from repro.casestudies.if_r import IF_R_LIBRARY, make_if_r_system
+from repro.casestudies.exclusive_cond import (
+    CASE_LIBRARY,
+    EXCLUSIVE_COND_LIBRARY,
+    make_case_system,
+)
+from repro.casestudies.receiver_class import (
+    OBJECT_SYSTEM_LIBRARY,
+    make_object_system,
+)
+from repro.casestudies.datastructs import (
+    PROFILED_LIST_LIBRARY,
+    PROFILED_SEQUENCE_LIBRARY,
+    PROFILED_VECTOR_LIBRARY,
+    make_datastructs_system,
+)
+from repro.casestudies.boolean_reorder import (
+    BOOLEAN_REORDER_LIBRARY,
+    make_boolean_system,
+)
+from repro.casestudies.inliner import INLINER_LIBRARY, make_inliner_system
+
+__all__ = [
+    "BOOLEAN_REORDER_LIBRARY",
+    "CASE_LIBRARY",
+    "INLINER_LIBRARY",
+    "EXCLUSIVE_COND_LIBRARY",
+    "IF_R_LIBRARY",
+    "OBJECT_SYSTEM_LIBRARY",
+    "PROFILED_LIST_LIBRARY",
+    "PROFILED_SEQUENCE_LIBRARY",
+    "PROFILED_VECTOR_LIBRARY",
+    "make_boolean_system",
+    "make_case_system",
+    "make_inliner_system",
+    "make_datastructs_system",
+    "make_if_r_system",
+    "make_object_system",
+]

@@ -1,0 +1,83 @@
+"""Extension case study: profile-guided short-circuit reordering.
+
+Not in the paper's §6, but built entirely from its machinery — the kind of
+"arbitrary meta-program" the conclusion claims the design enables, and
+structured exactly like §6.2's receiver class prediction:
+
+* with **no profile data**, ``and-r``/``or-r`` instrument: each operand is
+  wrapped so that a freshly manufactured profile point (deterministic per
+  use site, via ``make-profile-point``) counts how often that operand was
+  *true*;
+* with profile data, each operand's truth probability is the ratio of its
+  truth-point weight to its own evaluation weight, and the operands are
+  re-emitted in the order that stops evaluation soonest — ascending
+  P(true) for ``and`` (fail fast), descending for ``or`` (succeed fast).
+
+Like ``exclusive-cond``, soundness is the *programmer's domain knowledge*:
+using ``and-r`` asserts the operands are pure and order-independent. The
+user supplies the fact the compiler could never prove; the profile
+supplies the numbers.
+"""
+
+from __future__ import annotations
+
+from repro.scheme.instrument import ProfileMode
+from repro.scheme.pipeline import SchemeSystem
+
+__all__ = ["BOOLEAN_REORDER_LIBRARY", "make_boolean_system"]
+
+BOOLEAN_REORDER_LIBRARY = r"""
+;; Shared expand-time helpers.
+(meta
+  ;; Wrap one operand so `point` counts its true outcomes, preserving the
+  ;; operand's value (and's result is the last operand's value).
+  (define (instrument-operand e point)
+    #`(let ([v #,e])
+        (if v (begin #,(annotate-expr #'(void) point) v) #f))))
+
+(meta
+  ;; P(true) of each operand: truth-point weight / evaluation weight.
+  ;; Never-evaluated operands score `unknown`.
+  (define (truth-ratios exprs points unknown)
+    (map (lambda (e p)
+           (let ([evals (profile-query e)]
+                 [truths (profile-query p)])
+             (if (> evals 0) (/ truths evals) unknown)))
+         exprs points)))
+
+(meta
+  (define (sort-by-ratio exprs ratios ascending?)
+    (map cdr (sort (map cons ratios exprs) (if ascending? < >) car))))
+
+(define-syntax (and-r syn)
+  (syntax-case syn ()
+    [(_) #'#t]
+    [(_ e) #'e]
+    [(_ e ...)
+     (let* ([exprs #'(e ...)]
+            [points (map (lambda (x) (make-profile-point syn)) exprs)])
+       (if (profile-data-available?)
+           ;; Optimize: fail fast — least-likely-true operand first.
+           #`(and #,@(sort-by-ratio exprs (truth-ratios exprs points 1) #t))
+           ;; Instrument: count each operand's true outcomes.
+           #`(and #,@(map instrument-operand exprs points))))]))
+
+(define-syntax (or-r syn)
+  (syntax-case syn ()
+    [(_) #'#f]
+    [(_ e) #'e]
+    [(_ e ...)
+     (let* ([exprs #'(e ...)]
+            [points (map (lambda (x) (make-profile-point syn)) exprs)])
+       (if (profile-data-available?)
+           ;; Optimize: succeed fast — most-likely-true operand first.
+           #`(or #,@(sort-by-ratio exprs (truth-ratios exprs points 0) #f))
+           #`(or #,@(map instrument-operand exprs points))))]))
+"""
+
+
+def make_boolean_system(mode: ProfileMode = ProfileMode.EXPR) -> SchemeSystem:
+    """A Scheme system with ``and-r`` / ``or-r`` installed."""
+    system = SchemeSystem(mode=mode)
+    system.load_library(BOOLEAN_REORDER_LIBRARY, "boolean-reorder.ss")
+    return system

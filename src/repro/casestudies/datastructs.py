@@ -1,0 +1,210 @@
+"""§6.3 — Data-structure selection and specialization (Figures 13–14).
+
+Three libraries, mirroring the paper's:
+
+* **profiled list** — same interface as a list constructor, but each
+  *instance* gets two freshly manufactured profile points: one counting
+  operations that are asymptotically fast on lists (``car``/``cdr``/
+  ``cons``), one counting operations that are asymptotically fast on
+  vectors (random access ``ref``/``set!``/``length``). On recompilation,
+  if the vector-ish counter dominates, the constructor prints a Perflint-
+  style warning *at compile time* (Figure 13).
+* **profiled vector** — the analogous vector library, warning in the other
+  direction.
+* **profiled sequence** — goes beyond warnings (the paper's point versus
+  Perflint): the constructor consults the same two points and *chooses the
+  representation itself*, emitting a list-backed or vector-backed instance
+  at compile time (Figure 14). Programmers opt in by constructing
+  ``profiled-seq`` and using the ``seq-*`` operations; re-profiling can
+  re-specialize later.
+
+Per-instance profiling is the crucial PGMP capability here: the counters
+belong to *this occurrence of the constructor*, not to the shared library
+code — possible only because ``make-profile-point`` manufactures fresh,
+deterministic points at expansion time.
+"""
+
+from __future__ import annotations
+
+from repro.scheme.instrument import ProfileMode
+from repro.scheme.pipeline import SchemeSystem
+
+__all__ = [
+    "PROFILED_LIST_LIBRARY",
+    "PROFILED_VECTOR_LIBRARY",
+    "PROFILED_SEQUENCE_LIBRARY",
+    "make_datastructs_system",
+]
+
+#: Figure 13: the profiled list constructor and its operation wrappers.
+PROFILED_LIST_LIBRARY = r"""
+;; Representation: (vector 'list-rep instr-op-table data)
+(define (make-list-rep ops data) (vector 'list-rep ops data))
+(define (list-rep? x)
+  (and (vector? x) (= (vector-length x) 3) (eq? (vector-ref x 0) 'list-rep)))
+(define (list-rep-ops x) (vector-ref x 1))
+(define (list-rep-data x) (vector-ref x 2))
+(define (list-rep-op x name)
+  (hashtable-ref (list-rep-ops x) name #f))
+
+(define-syntax (profiled-list syn)
+  ;; Create fresh profile points — per use site, i.e. per list *instance*.
+  ;; list-src profiles operations that are asymptotically fast on lists;
+  ;; vector-src profiles operations that are asymptotically fast on vectors.
+  (define list-src (make-profile-point))
+  (define vector-src (make-profile-point))
+  (syntax-case syn ()
+    [(_ init* ...)
+     (begin
+       (when (and (profile-data-available?)
+                  (< (profile-query list-src) (profile-query vector-src)))
+         ;; Prints at compile time.
+         (printf "WARNING: You should probably reimplement this list as a vector: ~s\n"
+                 (syntax->datum syn)))
+       ;; Build a hash table of instrumented calls to list operations. The
+       ;; table maps the operation name to a profiled call to the built-in
+       ;; operation.
+       #`(make-list-rep
+          (let ([ht (make-eq-hashtable)])
+            (hashtable-set! ht 'car    (lambda (ls) #,(annotate-expr #'(car ls) list-src)))
+            (hashtable-set! ht 'cdr    (lambda (ls) #,(annotate-expr #'(cdr ls) list-src)))
+            (hashtable-set! ht 'cons   (lambda (v ls) #,(annotate-expr #'(cons v ls) list-src)))
+            (hashtable-set! ht 'ref    (lambda (ls i) #,(annotate-expr #'(list-ref ls i) vector-src)))
+            (hashtable-set! ht 'set    (lambda (ls i v)
+                                         #,(annotate-expr #'(set-car! (list-tail ls i) v) vector-src)))
+            (hashtable-set! ht 'length (lambda (ls) #,(annotate-expr #'(length ls) vector-src)))
+            ht)
+          (list init* ...)))]))
+
+;; Exported operations over the profiled representation.
+(define (p-car pl) ((list-rep-op pl 'car) (list-rep-data pl)))
+(define (p-cdr pl)
+  (make-list-rep (list-rep-ops pl) ((list-rep-op pl 'cdr) (list-rep-data pl))))
+(define (p-cons v pl)
+  (make-list-rep (list-rep-ops pl) ((list-rep-op pl 'cons) v (list-rep-data pl))))
+(define (p-list-ref pl i) ((list-rep-op pl 'ref) (list-rep-data pl) i))
+(define (p-list-set! pl i v) ((list-rep-op pl 'set) (list-rep-data pl) i v))
+(define (p-list-length pl) ((list-rep-op pl 'length) (list-rep-data pl)))
+(define (p-null? pl) (null? (list-rep-data pl)))
+(define (p-list->list pl) (list-rep-data pl))
+"""
+
+#: The analogous profiled vector library (the paper's "88 lines").
+PROFILED_VECTOR_LIBRARY = r"""
+;; Representation: (vector 'vector-rep instr-op-table data)
+(define (make-vector-rep ops data) (vector 'vector-rep ops data))
+(define (vector-rep? x)
+  (and (vector? x) (= (vector-length x) 3) (eq? (vector-ref x 0) 'vector-rep)))
+(define (vector-rep-ops x) (vector-ref x 1))
+(define (vector-rep-data x) (vector-ref x 2))
+(define (vector-rep-op x name)
+  (hashtable-ref (vector-rep-ops x) name #f))
+
+(define-syntax (profiled-vector syn)
+  (define list-src (make-profile-point))
+  (define vector-src (make-profile-point))
+  (syntax-case syn ()
+    [(_ init* ...)
+     (begin
+       (when (and (profile-data-available?)
+                  (< (profile-query vector-src) (profile-query list-src)))
+         (printf "WARNING: You should probably reimplement this vector as a list: ~s\n"
+                 (syntax->datum syn)))
+       #`(make-vector-rep
+          (let ([ht (make-eq-hashtable)])
+            (hashtable-set! ht 'ref    (lambda (v i) #,(annotate-expr #'(vector-ref v i) vector-src)))
+            (hashtable-set! ht 'set    (lambda (v i x) #,(annotate-expr #'(vector-set! v i x) vector-src)))
+            (hashtable-set! ht 'length (lambda (v) #,(annotate-expr #'(vector-length v) vector-src)))
+            ;; Operations that are asymptotically fast on *lists*: growing
+            ;; at the front and walking head/tail require copying a vector.
+            (hashtable-set! ht 'first  (lambda (v) #,(annotate-expr #'(vector-ref v 0) list-src)))
+            (hashtable-set! ht 'rest   (lambda (v)
+                                         #,(annotate-expr #'(list->vector (cdr (vector->list v))) list-src)))
+            (hashtable-set! ht 'prepend (lambda (x v)
+                                          #,(annotate-expr #'(list->vector (cons x (vector->list v))) list-src)))
+            ht)
+          (vector init* ...)))]))
+
+(define (pv-ref pv i) ((vector-rep-op pv 'ref) (vector-rep-data pv) i))
+(define (pv-set! pv i x) ((vector-rep-op pv 'set) (vector-rep-data pv) i x))
+(define (pv-length pv) ((vector-rep-op pv 'length) (vector-rep-data pv)))
+(define (pv-first pv) ((vector-rep-op pv 'first) (vector-rep-data pv)))
+(define (pv-rest pv)
+  (make-vector-rep (vector-rep-ops pv) ((vector-rep-op pv 'rest) (vector-rep-data pv))))
+(define (pv-prepend x pv)
+  (make-vector-rep (vector-rep-ops pv) ((vector-rep-op pv 'prepend) x (vector-rep-data pv))))
+(define (pv->vector pv) (vector-rep-data pv))
+"""
+
+#: Figure 14: the self-specializing sequence. The constructor conditionally
+#: generates wrapped versions of the list *or* vector operations, and
+#: represents the underlying data using a list *or* vector, depending on
+#: the profile information.
+PROFILED_SEQUENCE_LIBRARY = r"""
+;; Representation: (vector 'seq-rep tag instr-op-table data)
+(define (make-seq-rep tag ops data) (vector 'seq-rep tag ops data))
+(define (seq-rep? x)
+  (and (vector? x) (= (vector-length x) 4) (eq? (vector-ref x 0) 'seq-rep)))
+(define (seq-tag x) (vector-ref x 1))
+(define (seq-ops x) (vector-ref x 2))
+(define (seq-data x) (vector-ref x 3))
+(define (seq-op x name) (hashtable-ref (seq-ops x) name #f))
+
+(define-syntax (profiled-seq syn)
+  ;; Fresh per-instance profile points, as in profiled-list.
+  (define list-src (make-profile-point))
+  (define vector-src (make-profile-point))
+  (syntax-case syn ()
+    [(_ init* ...)
+     (if (and (profile-data-available?)
+              (> (profile-query vector-src) (profile-query list-src)))
+         ;; Specialize to a vector-backed sequence: random access is O(1),
+         ;; head/tail operations copy.
+         #`(make-seq-rep 'vector
+            (let ([ht (make-eq-hashtable)])
+              (hashtable-set! ht 'first   (lambda (d) #,(annotate-expr #'(vector-ref d 0) list-src)))
+              (hashtable-set! ht 'rest    (lambda (d)
+                                            #,(annotate-expr #'(list->vector (cdr (vector->list d))) list-src)))
+              (hashtable-set! ht 'prepend (lambda (x d)
+                                            #,(annotate-expr #'(list->vector (cons x (vector->list d))) list-src)))
+              (hashtable-set! ht 'ref     (lambda (d i) #,(annotate-expr #'(vector-ref d i) vector-src)))
+              (hashtable-set! ht 'set     (lambda (d i x) #,(annotate-expr #'(vector-set! d i x) vector-src)))
+              (hashtable-set! ht 'length  (lambda (d) #,(annotate-expr #'(vector-length d) vector-src)))
+              ht)
+            (vector init* ...))
+         ;; Default (and list-profiled) representation: a linked list —
+         ;; head/tail/prepend are O(1), random access walks the spine.
+         #`(make-seq-rep 'list
+            (let ([ht (make-eq-hashtable)])
+              (hashtable-set! ht 'first   (lambda (d) #,(annotate-expr #'(car d) list-src)))
+              (hashtable-set! ht 'rest    (lambda (d) #,(annotate-expr #'(cdr d) list-src)))
+              (hashtable-set! ht 'prepend (lambda (x d) #,(annotate-expr #'(cons x d) list-src)))
+              (hashtable-set! ht 'ref     (lambda (d i) #,(annotate-expr #'(list-ref d i) vector-src)))
+              (hashtable-set! ht 'set     (lambda (d i x)
+                                            #,(annotate-expr #'(set-car! (list-tail d i) x) vector-src)))
+              (hashtable-set! ht 'length  (lambda (d) #,(annotate-expr #'(length d) vector-src)))
+              ht)
+            (list init* ...)))]))
+
+(define (seq-first s) ((seq-op s 'first) (seq-data s)))
+(define (seq-rest s)
+  (make-seq-rep (seq-tag s) (seq-ops s) ((seq-op s 'rest) (seq-data s))))
+(define (seq-prepend x s)
+  (make-seq-rep (seq-tag s) (seq-ops s) ((seq-op s 'prepend) x (seq-data s))))
+(define (seq-ref s i) ((seq-op s 'ref) (seq-data s) i))
+(define (seq-set! s i x) ((seq-op s 'set) (seq-data s) i x))
+(define (seq-length s) ((seq-op s 'length) (seq-data s)))
+(define (seq->list s)
+  (if (eq? (seq-tag s) 'vector)
+      (vector->list (seq-data s))
+      (seq-data s)))
+"""
+
+
+def make_datastructs_system(mode: ProfileMode = ProfileMode.EXPR) -> SchemeSystem:
+    """A Scheme system with all three §6.3 libraries installed."""
+    system = SchemeSystem(mode=mode)
+    system.load_library(PROFILED_LIST_LIBRARY, "profiled-list.ss")
+    system.load_library(PROFILED_VECTOR_LIBRARY, "profiled-vector.ss")
+    system.load_library(PROFILED_SEQUENCE_LIBRARY, "profiled-seq.ss")
+    return system

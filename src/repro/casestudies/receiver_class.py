@@ -1,0 +1,284 @@
+"""§6.2 — Profile-guided receiver class prediction.
+
+The paper implements a simplified object system *as a syntax extension*,
+then equips its ``method`` form with the classic receiver-class-prediction
+PGO [Grove et al. 1995; Hölzle & Ungar 1994]:
+
+* With **no profile data**, a method call ``(method s area)`` expands into a
+  ``cond`` over every class in the system; each clause tests
+  ``instance-of?`` and performs normal dynamic dispatch — but each clause
+  body is annotated with its own freshly manufactured profile point, so the
+  instrumented program counts *per-call-site, per-class receiver
+  frequencies* (Figure 11, top).
+* With profile data, the call expands into a polymorphic inline cache: a
+  ``cond`` whose clauses, ordered hottest-first, *inline the method body*
+  for the most frequent receiver classes (up to ``inline-limit``), falling
+  back to dynamic dispatch (Figure 11 bottom / Figure 12).
+
+The key PGMP ingredients exercised here are deterministic
+``make-profile-point`` (the same call site regenerates the same points on
+recompilation, so it can read back the counts its own instrumentation
+produced) and ``annotate-expr``.
+
+The class registry lives at *expand time* (a ``meta`` definition): ``class``
+records each class's method sources so ``method`` can inline them — the
+DSL-compiler-in-macros pattern the paper highlights.
+"""
+
+from __future__ import annotations
+
+from repro.scheme.instrument import ProfileMode
+from repro.scheme.pipeline import SchemeSystem
+
+__all__ = [
+    "ADAPTIVE_RECEIVER_LIBRARY",
+    "OBJECT_SYSTEM_LIBRARY",
+    "RECEIVER_CLASS_LIBRARY",
+    "make_object_system",
+]
+
+#: The object system runtime + ``class``/``field`` forms (the "87 lines" of
+#: plain object system in the paper's accounting).
+OBJECT_SYSTEM_LIBRARY = r"""
+;; ---------------------------------------------------------------- runtime
+;; A class is (vector 'class name fields defaults methods-hashtable).
+;; An instance is (vector 'instance class-name fields-hashtable).
+
+(define class-table (make-eq-hashtable))
+
+(define (register-class name fields defaults method-alist)
+  (let ([methods (make-eq-hashtable)])
+    (for-each
+      (lambda (entry) (hashtable-set! methods (car entry) (cdr entry)))
+      method-alist)
+    (hashtable-set! class-table name
+                    (vector 'class name fields defaults methods))))
+
+(define (lookup-class name)
+  (let ([cls (hashtable-ref class-table name #f)])
+    (if cls cls (error 'lookup-class "unknown class" name))))
+
+(define (class-fields cls) (vector-ref cls 2))
+(define (class-defaults cls) (vector-ref cls 3))
+(define (class-method-table cls) (vector-ref cls 4))
+
+(define (make-instance name . args)
+  (let ([cls (lookup-class name)]
+        [slots (make-eq-hashtable)])
+    (let fill ([fields (class-fields cls)]
+               [defaults (class-defaults cls)]
+               [values args])
+      (cond
+        [(null? fields) (void)]
+        [(null? values)
+         (hashtable-set! slots (car fields) (car defaults))
+         (fill (cdr fields) (cdr defaults) '())]
+        [else
+         (hashtable-set! slots (car fields) (car values))
+         (fill (cdr fields) (cdr defaults) (cdr values))]))
+    (vector 'instance name slots)))
+
+(define (instance? x)
+  (and (vector? x)
+       (= (vector-length x) 3)
+       (eq? (vector-ref x 0) 'instance)))
+
+(define (instance-class-name x) (vector-ref x 1))
+
+(define (instance-of? x name)
+  (and (instance? x) (eq? (instance-class-name x) name)))
+
+(define (get-field x name)
+  (hashtable-ref (vector-ref x 2) name #f))
+
+(define (set-field! x name value)
+  (hashtable-set! (vector-ref x 2) name value))
+
+(define (dynamic-dispatch x m . args)
+  ;; The standard dynamic dispatch routine.
+  (let* ([cls (lookup-class (instance-class-name x))]
+         [method (hashtable-ref (class-method-table cls) m #f)])
+    (if method
+        (apply method x args)
+        (error 'dynamic-dispatch "no method" m))))
+
+(define (instrumented-dispatch x m . args)
+  ;; Identical to dynamic dispatch; a separate entry point so generated
+  ;; instrumentation reads like the paper's Figure 11.
+  (apply dynamic-dispatch x m args))
+
+;; ------------------------------------------------------- expand-time state
+;; The registry of every class in the system, consulted by `method` when it
+;; generates instrumentation (one clause per class) and optimized inline
+;; caches (method bodies for inlining).
+(meta (define all-classes '()))
+
+;; -------------------------------------------------------------- the forms
+
+(define-syntax (field stx)
+  (syntax-case stx ()
+    [(_ obj name) #'(get-field obj 'name)]))
+
+(define-syntax (set-field stx)
+  (syntax-case stx ()
+    [(_ obj name value) #'(set-field! obj 'name value)]))
+
+(define-syntax (class stx)
+  (syntax-case stx (define-method)
+    [(_ name ((fname fdefault) ...)
+        (define-method (mname this marg ...) mbody ...) ...)
+     (begin
+       ;; Record the class — name and method *sources* — at expand time.
+       (set! all-classes
+             (cons (list #'name #'((mname (this marg ...) mbody ...) ...))
+                   all-classes))
+       ;; Generate the runtime registration and a positional constructor.
+       #`(begin
+           (register-class 'name '(fname ...) (list fdefault ...)
+                           (list (cons 'mname (lambda (this marg ...) mbody ...)) ...))
+           (define #,(datum->syntax #'name
+                       (string->symbol
+                         (string-append "make-" (symbol->string (syntax->datum #'name)))))
+             (lambda args (apply make-instance 'name args)))))]))
+"""
+
+#: The PGO itself — the "44 lines" of profile-guided receiver class
+#: prediction (paper Figure 9).
+RECEIVER_CLASS_LIBRARY = r"""
+;; How many receiver classes a call site may inline.
+(meta (define inline-limit 2))
+
+(define-syntax (method syn)
+  ;; Expand-time helpers over the class registry entries, which are
+  ;; (name-syntax methods-syntax) lists.
+  (define (class-name cls) (car cls))
+  (define (class-methods cls) (car (cdr cls)))
+  (define (find-method m methods)
+    ;; methods is a syntax list of (mname formals mbody ...) entries.
+    (cond
+      [(null? methods) #f]
+      [(eq? (syntax->datum (car (car methods))) (syntax->datum m))
+       (car methods)]
+      [else (find-method m (cdr methods))]))
+  (define (method-formals entry) (car (cdr entry)))
+  (define (method-body entry) (cdr (cdr entry)))
+  (syntax-case syn ()
+    [(_ obj m val* ...)
+     (let* ([classes (reverse all-classes)]
+            ;; One fresh profile point per class in the system, manufactured
+            ;; deterministically from this call site's source location: the
+            ;; recompile regenerates the same points and can read back the
+            ;; counts this call site's instrumentation produced.
+            [points (map (lambda (cls) (make-profile-point #'obj)) classes)]
+            [weights (map profile-query points)]
+            [no-profile-data? (not (profile-data-available?))])
+       (define (instrument-clause cls point)
+         ;; ((instance-of? x 'Class) <annotated instrumented dispatch>)
+         #`((instance-of? x '#,(class-name cls))
+            #,(annotate-expr #`(instrumented-dispatch x 'm val* ...) point)))
+       (define (inline-clause cls point)
+         ;; ((instance-of? x 'Class) <inlined, still annotated for reprofiling>)
+         (let ([entry (find-method #'m (class-methods cls))])
+           (if entry
+               #`((instance-of? x '#,(class-name cls))
+                  #,(annotate-expr
+                      #`((lambda #,(method-formals entry) #,@(method-body entry))
+                         x val* ...)
+                      point))
+               (instrument-clause cls point))))
+       (define (sorted-hot-classes)
+         ;; (class point weight) triples: positive weight, hottest first,
+         ;; up to inline-limit of them.
+         (let ([triples (map list classes points weights)])
+           (let take ([sorted (sort (filter (lambda (t) (> (car (cdr (cdr t)))  0))
+                                            triples)
+                                    > (lambda (t) (car (cdr (cdr t)))))]
+                      [n inline-limit])
+             (if (or (null? sorted) (= n 0))
+                 '()
+                 (cons (car sorted) (take (cdr sorted) (- n 1)))))))
+       ;; Don't copy the object expression throughout the template.
+       #`(let ([x obj])
+           (cond
+             #,@(if (or no-profile-data? (null? (sorted-hot-classes)))
+                    ;; If no profile data, instrument!
+                    (map instrument-clause classes points)
+                    ;; If profile data, inline up to the top inline-limit
+                    ;; classes with non-zero weights.
+                    (map (lambda (t) (inline-clause (car t) (car (cdr t))))
+                         (sorted-hot-classes)))
+             ;; Fall back to dynamic dispatch.
+             [else (dynamic-dispatch x 'm val* ...)])))]))
+"""
+
+
+#: Extension beyond the paper: instead of a fixed ``inline-limit``, choose
+#: how many receiver classes to inline from the weight distribution itself —
+#: the smallest prefix of the hottest classes that covers ``coverage-target``
+#: of all observed dispatches at this call site. Skewed sites inline one or
+#: two classes; flat megamorphic sites inline more (or, if nothing was
+#: observed, stay instrumented).
+ADAPTIVE_RECEIVER_LIBRARY = r"""
+(meta (define coverage-target 9/10))
+
+(define-syntax (method-adaptive syn)
+  (define (class-name cls) (car cls))
+  (define (class-methods cls) (car (cdr cls)))
+  (define (find-method m methods)
+    (cond
+      [(null? methods) #f]
+      [(eq? (syntax->datum (car (car methods))) (syntax->datum m))
+       (car methods)]
+      [else (find-method m (cdr methods))]))
+  (define (method-formals entry) (car (cdr entry)))
+  (define (method-body entry) (cdr (cdr entry)))
+  (syntax-case syn ()
+    [(_ obj m val* ...)
+     (let* ([classes (reverse all-classes)]
+            [points (map (lambda (cls) (make-profile-point #'obj)) classes)]
+            [weights (map profile-query points)]
+            [total (apply + weights)]
+            [no-profile-data? (or (not (profile-data-available?))
+                                  (= total 0))])
+       (define (instrument-clause cls point)
+         #`((instance-of? x '#,(class-name cls))
+            #,(annotate-expr #`(instrumented-dispatch x 'm val* ...) point)))
+       (define (inline-clause cls point)
+         (let ([entry (find-method #'m (class-methods cls))])
+           (if entry
+               #`((instance-of? x '#,(class-name cls))
+                  #,(annotate-expr
+                      #`((lambda #,(method-formals entry) #,@(method-body entry))
+                         x val* ...)
+                      point))
+               (instrument-clause cls point))))
+       (define (covering-classes)
+         ;; hottest-first (class . point) pairs until coverage-target of
+         ;; the total dispatch weight at this site is covered.
+         (let loop ([sorted (sort (map list classes points weights)
+                                  > (lambda (t) (car (cdr (cdr t)))))]
+                    [covered 0]
+                    [out '()])
+           (if (or (null? sorted)
+                   (>= covered (* coverage-target total)))
+               (reverse out)
+               (loop (cdr sorted)
+                     (+ covered (car (cdr (cdr (car sorted)))))
+                     (cons (car sorted) out)))))
+       #`(let ([x obj])
+           (cond
+             #,@(if no-profile-data?
+                    (map instrument-clause classes points)
+                    (map (lambda (t) (inline-clause (car t) (car (cdr t))))
+                         (covering-classes)))
+             [else (dynamic-dispatch x 'm val* ...)])))]))
+"""
+
+
+def make_object_system(mode: ProfileMode = ProfileMode.EXPR) -> SchemeSystem:
+    """A Scheme system with the object system and its PGO installed."""
+    system = SchemeSystem(mode=mode)
+    system.load_library(OBJECT_SYSTEM_LIBRARY, "object-system.ss")
+    system.load_library(RECEIVER_CLASS_LIBRARY, "receiver-class.ss")
+    system.load_library(ADAPTIVE_RECEIVER_LIBRARY, "receiver-adaptive.ss")
+    return system

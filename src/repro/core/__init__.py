@@ -1,0 +1,66 @@
+"""PGMP core: profile points, profile weights, and the Figure-4 API.
+
+This package is the paper's Section 3 — the substrate-independent design.
+Everything in here is usable on its own; the Scheme (:mod:`repro.scheme`)
+and Python-AST (:mod:`repro.pyast`) substrates plug into it via
+:func:`repro.core.api.register_substrate`.
+"""
+
+from repro.core.api import (
+    annotate_expr,
+    current_profile_information,
+    load_profile,
+    point_of_expr,
+    profile_query,
+    register_substrate,
+    set_profile_information,
+    store_profile,
+    using_profile_information,
+)
+from repro.core.counters import CounterSet
+from repro.core.database import ProfileDatabase
+from repro.core.errors import (
+    MissingProfileError,
+    PgmpError,
+    ProfileError,
+    ProfileFormatError,
+    ProfilePointError,
+    SubstrateError,
+)
+from repro.core.profile_point import (
+    ProfilePoint,
+    ProfilePointFactory,
+    make_profile_point,
+    reset_generated_points,
+)
+from repro.core.srcloc import UNKNOWN_LOCATION, SourceLocation
+from repro.core.weights import WeightTable, compute_weights, merge_weight_tables
+
+__all__ = [
+    "CounterSet",
+    "MissingProfileError",
+    "PgmpError",
+    "ProfileDatabase",
+    "ProfileError",
+    "ProfileFormatError",
+    "ProfilePoint",
+    "ProfilePointError",
+    "ProfilePointFactory",
+    "SourceLocation",
+    "SubstrateError",
+    "UNKNOWN_LOCATION",
+    "WeightTable",
+    "annotate_expr",
+    "compute_weights",
+    "current_profile_information",
+    "load_profile",
+    "make_profile_point",
+    "merge_weight_tables",
+    "point_of_expr",
+    "profile_query",
+    "register_substrate",
+    "reset_generated_points",
+    "set_profile_information",
+    "store_profile",
+    "using_profile_information",
+]

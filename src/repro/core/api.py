@@ -1,0 +1,178 @@
+"""The paper's Figure-4 API, parametric over the meta-programming substrate.
+
+Figure 4 of the paper sketches five operations plus an ambient
+``(current-profile-information)`` object::
+
+    (make-profile-point)      -> ProfilePoint
+    (annotate-expr e pp)      -> SyntaxObject
+    (profile-query e)         -> ProfileWeight
+    (store-profile f)         -> Null
+    (load-profile f)          -> ProfileInformation
+
+The design is *parametric over the meta-programming system*: ``SyntaxObject``
+"stands for the type of source expressions on which meta-programs operate".
+This module realizes that parametricity with a small
+:class:`SyntaxSubstrate` protocol — each substrate (the Scheme syntax objects
+of :mod:`repro.scheme`, the Python ``ast`` nodes of :mod:`repro.pyast`)
+registers how to read and replace the profile point of *its* expression
+type. The five API functions then work unchanged on either kind of
+expression, which is exactly the generality claim of the paper's Section 3.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import IO, Protocol, runtime_checkable
+
+from repro.core.database import ProfileDatabase
+from repro.core.errors import SubstrateError
+from repro.core.profile_point import (
+    ProfilePoint,
+    make_profile_point,
+    reset_generated_points,
+)
+from repro.core.srcloc import SourceLocation
+
+__all__ = [
+    "SyntaxSubstrate",
+    "register_substrate",
+    "current_profile_information",
+    "set_profile_information",
+    "using_profile_information",
+    "make_profile_point",
+    "reset_generated_points",
+    "annotate_expr",
+    "profile_query",
+    "point_of_expr",
+    "store_profile",
+    "load_profile",
+]
+
+
+@runtime_checkable
+class SyntaxSubstrate(Protocol):
+    """What a meta-programming system must provide to host the Figure-4 API.
+
+    The profiler side (how counters actually get bumped) is the substrate's
+    own business; the API only needs to map expressions to profile points.
+    """
+
+    def handles(self, expr: object) -> bool:
+        """Whether ``expr`` is this substrate's expression type."""
+        ...
+
+    def point_of(self, expr: object) -> ProfilePoint | None:
+        """The profile point currently associated with ``expr``, if any."""
+        ...
+
+    def with_point(self, expr: object, point: ProfilePoint) -> object:
+        """A copy of ``expr`` associated with ``point`` (replacing any prior
+        point — expressions carry at most one)."""
+        ...
+
+
+_SUBSTRATES: list[SyntaxSubstrate] = []
+
+
+def register_substrate(substrate: SyntaxSubstrate) -> None:
+    """Register a meta-programming substrate with the generic API.
+
+    Substrates are consulted in registration order; registering the same
+    object twice is a no-op.
+    """
+    if substrate not in _SUBSTRATES:
+        _SUBSTRATES.append(substrate)
+
+
+def _substrate_for(expr: object) -> SyntaxSubstrate:
+    for substrate in _SUBSTRATES:
+        if substrate.handles(expr):
+            return substrate
+    raise SubstrateError(
+        f"no registered meta-programming substrate understands expressions "
+        f"of type {type(expr).__name__}"
+    )
+
+
+# -- (current-profile-information) ------------------------------------------
+
+_CURRENT_PROFILE = ProfileDatabase()
+
+
+def current_profile_information() -> ProfileDatabase:
+    """The ambient profile database, per the paper's Section 3.3."""
+    return _CURRENT_PROFILE
+
+
+def set_profile_information(db: ProfileDatabase) -> ProfileDatabase:
+    """Replace the ambient profile database; returns the previous one."""
+    global _CURRENT_PROFILE
+    previous = _CURRENT_PROFILE
+    _CURRENT_PROFILE = db
+    return previous
+
+
+@contextlib.contextmanager
+def using_profile_information(db: ProfileDatabase):
+    """Scoped replacement of the ambient database (tests, nested compiles)."""
+    previous = set_profile_information(db)
+    try:
+        yield db
+    finally:
+        set_profile_information(previous)
+
+
+# -- the five Figure-4 operations ---------------------------------------------
+# make_profile_point is re-exported from repro.core.profile_point unchanged.
+
+
+def annotate_expr(expr: object, point: ProfilePoint) -> object:
+    """``(annotate-expr e pp)``: associate ``e`` with ``pp``.
+
+    The returned expression is associated with ``pp``, *replacing* any other
+    profile point ``e`` carried (the at-most-one-point invariant of Section
+    3.1). The underlying profiler will increment the counter for ``pp``
+    whenever the returned expression is executed.
+    """
+    return _substrate_for(expr).with_point(expr, point)
+
+
+def point_of_expr(expr: object) -> ProfilePoint | None:
+    """The profile point associated with ``expr``, or ``None``.
+
+    Not part of Figure 4 as such, but both implementations need it (it is
+    how ``profile-query`` resolves an expression to a counter).
+    """
+    if isinstance(expr, ProfilePoint):
+        return expr
+    if isinstance(expr, SourceLocation):
+        return ProfilePoint.for_location(expr)
+    return _substrate_for(expr).point_of(expr)
+
+
+def profile_query(expr: object, strict: bool = False) -> float:
+    """``(profile-query e)``: the profile weight of ``e``'s profile point.
+
+    Accepts a syntax object of any registered substrate, a bare
+    :class:`ProfilePoint`, or a :class:`SourceLocation`. Expressions with no
+    associated point — and points with no recorded data — read as 0.0, so
+    meta-programs degrade gracefully when run before any profiling.
+    """
+    point = point_of_expr(expr)
+    if point is None:
+        return 0.0
+    return current_profile_information().query(point, strict=strict)
+
+
+def store_profile(file: str | os.PathLike[str] | IO[str]) -> None:
+    """``(store-profile f)``: persist the ambient profile information."""
+    current_profile_information().store(file)
+
+
+def load_profile(file: str | os.PathLike[str] | IO[str]) -> ProfileDatabase:
+    """``(load-profile f)``: load stored profile information and install it
+    as the ambient database (returning it)."""
+    db = ProfileDatabase.load(file)
+    set_profile_information(db)
+    return db

@@ -1,0 +1,131 @@
+"""Raw execution counters, as maintained by the underlying profiler.
+
+The paper's design deliberately separates the *profiler's* view (absolute
+counts per profile point, one data set per instrumented run) from the
+*meta-program's* view (profile weights in ``[0, 1]``, merged across data
+sets — see :mod:`repro.core.weights`). :class:`CounterSet` is the profiler
+side: a mutable multiset of profile points that instrumented code bumps at
+run time.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterator, Mapping
+
+from repro.core.profile_point import ProfilePoint
+
+__all__ = ["CounterSet"]
+
+
+class CounterSet:
+    """A mutable map from :class:`ProfilePoint` to execution count.
+
+    Instances are cheap; instrumented evaluators keep one per profiled run
+    ("data set" in the paper's terminology). The increment path is kept as
+    lean as possible because it sits inside the interpreter's hot loop.
+
+    Thread safety: increments use a lock only when ``threadsafe=True``;
+    single-threaded interpreters skip it (the common case, matching the
+    paper's single-threaded Scheme systems).
+    """
+
+    __slots__ = ("_counts", "_lock", "name")
+
+    def __init__(self, name: str = "dataset", threadsafe: bool = False) -> None:
+        self._counts: dict[ProfilePoint, int] = {}
+        self._lock: threading.Lock | None = threading.Lock() if threadsafe else None
+        self.name = name
+
+    # -- profiler-facing mutation ------------------------------------------
+
+    def increment(self, point: ProfilePoint, by: int = 1) -> None:
+        """Bump the counter for ``point``. The instrumented-code hot path."""
+        if self._lock is None:
+            self._counts[point] = self._counts.get(point, 0) + by
+        else:
+            with self._lock:
+                self._counts[point] = self._counts.get(point, 0) + by
+
+    def incrementer(self, point: ProfilePoint):
+        """Return a zero-argument closure that bumps ``point``.
+
+        Instrumentation passes pre-bind the point so the per-execution cost
+        is one dict update — the analogue of the single memory increment a
+        Ball–Larus counter costs in Chez Scheme.
+        """
+        counts = self._counts
+        if self._lock is None:
+            def bump() -> None:
+                counts[point] = counts.get(point, 0) + 1
+        else:
+            lock = self._lock
+
+            def bump() -> None:
+                with lock:
+                    counts[point] = counts.get(point, 0) + 1
+
+        return bump
+
+    def clear(self) -> None:
+        """Forget all counts (start a new data set in place)."""
+        if self._lock is None:
+            self._counts.clear()
+        else:
+            with self._lock:
+                self._counts.clear()
+
+    # -- meta-program-facing queries ---------------------------------------
+
+    def count(self, point: ProfilePoint) -> int:
+        """The absolute count for ``point`` (0 when never executed)."""
+        return self._counts.get(point, 0)
+
+    def max_count(self) -> int:
+        """The count of the most-executed point (0 for an empty set).
+
+        This is the normalization denominator for profile weights.
+        """
+        return max(self._counts.values(), default=0)
+
+    def total(self) -> int:
+        """Sum of all counts — the data-set size used in weighted merging."""
+        return sum(self._counts.values())
+
+    def snapshot(self) -> dict[ProfilePoint, int]:
+        """An immutable-by-convention copy of the current counts."""
+        if self._lock is None:
+            return dict(self._counts)
+        with self._lock:
+            return dict(self._counts)
+
+    def points(self) -> Iterator[ProfilePoint]:
+        yield from self._counts
+
+    def as_key_mapping(self) -> dict[str, int]:
+        """Counts keyed by serialized point keys (for storage)."""
+        return {point.key(): count for point, count in self._counts.items()}
+
+    @classmethod
+    def from_key_mapping(
+        cls, mapping: Mapping[str, int], name: str = "dataset"
+    ) -> "CounterSet":
+        """Rebuild a counter set from its stored form."""
+        cs = cls(name=name)
+        for key, count in mapping.items():
+            cs._counts[ProfilePoint.from_key(key)] = int(count)
+        return cs
+
+    # -- dunder conveniences -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __contains__(self, point: object) -> bool:
+        return point in self._counts
+
+    def __iter__(self) -> Iterator[ProfilePoint]:
+        return iter(self._counts)
+
+    def __repr__(self) -> str:
+        return f"<CounterSet {self.name!r}: {len(self._counts)} points, total {self.total()}>"

@@ -1,0 +1,200 @@
+"""The profile database behind ``(current-profile-information)``.
+
+Implements the associative map from profile points to profile weights that
+both of the paper's implementations maintain (Sections 4.1–4.2), plus the
+persistence used by ``store-profile`` / ``load-profile``:
+
+* ``store-profile`` "first retrieves the profile information from the
+  profiler and computes the profile weights for each source object" — i.e.
+  files store *weights*, not raw counts (weights are what merge across data
+  sets).
+* ``load-profile`` "updates this map from a file"; loading several files (or
+  recording several instrumented runs) accumulates data sets which are merged
+  per Figure 3.
+
+Costs match Section 4.4: loading is linear in the number of profile points
+and querying is amortized constant time (one dict lookup) — properties the
+benchmark ``benchmarks/bench_sec44_api_costs.py`` verifies empirically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections.abc import Sequence
+from typing import IO
+
+from repro.core.counters import CounterSet
+from repro.core.errors import MissingProfileError, ProfileFormatError
+from repro.core.profile_point import ProfilePoint
+from repro.core.weights import WeightTable, compute_weights, merge_weight_tables
+
+__all__ = ["ProfileDatabase", "FORMAT_VERSION"]
+
+#: Version tag written into stored profile files.
+FORMAT_VERSION = 1
+
+
+class ProfileDatabase:
+    """Merged profile information from any number of data sets.
+
+    A *data set* is one instrumented run (a :class:`WeightTable`, optionally
+    with a relative importance). The database exposes the merged view that
+    ``profile-query`` consults, recomputing the merge lazily so that hot-path
+    queries stay O(1).
+    """
+
+    def __init__(self, name: str = "profile-information") -> None:
+        self.name = name
+        self._datasets: list[WeightTable] = []
+        self._dataset_weights: list[float] = []
+        self._merged: WeightTable | None = None
+
+    # -- recording data sets -------------------------------------------------
+
+    def record_counters(self, counters: CounterSet, importance: float = 1.0) -> WeightTable:
+        """Normalize one instrumented run's counters and add it as a data set."""
+        table = compute_weights(counters)
+        self.record_weights(table, importance)
+        return table
+
+    def record_weights(self, table: WeightTable, importance: float = 1.0) -> None:
+        """Add an already-normalized data set."""
+        self._datasets.append(table)
+        self._dataset_weights.append(float(importance))
+        self._merged = None
+
+    def clear(self) -> None:
+        """Drop all recorded data sets."""
+        self._datasets.clear()
+        self._dataset_weights.clear()
+        self._merged = None
+
+    @property
+    def dataset_count(self) -> int:
+        return len(self._datasets)
+
+    def datasets(self) -> list[WeightTable]:
+        return list(self._datasets)
+
+    # -- querying -------------------------------------------------------------
+
+    def merged(self) -> WeightTable:
+        """The merged weight table across all data sets (cached)."""
+        if self._merged is None:
+            self._merged = merge_weight_tables(self._datasets, self._dataset_weights)
+        return self._merged
+
+    def query(self, point: ProfilePoint, strict: bool = False) -> float:
+        """The merged weight of ``point``.
+
+        Unknown points read as 0.0 unless ``strict`` is set, in which case
+        :class:`MissingProfileError` is raised — useful for meta-programs
+        that must distinguish "no data yet" from "never executed".
+        """
+        table = self.merged()
+        if strict and not table.known(point):
+            raise MissingProfileError(f"no profile data recorded for {point}")
+        return table.weight(point)
+
+    def known(self, point: ProfilePoint) -> bool:
+        return self.merged().known(point)
+
+    def has_data(self) -> bool:
+        """Whether any non-empty data set has been recorded or loaded."""
+        return any(len(table) for table in self._datasets)
+
+    def point_count(self) -> int:
+        return len(self.merged())
+
+    # -- persistence -----------------------------------------------------------
+
+    def to_json_object(self) -> dict:
+        """The stored representation: per-data-set weights plus importances."""
+        return {
+            "format": "pgmp-profile",
+            "version": FORMAT_VERSION,
+            "name": self.name,
+            "datasets": [
+                {
+                    "name": table.name,
+                    "importance": importance,
+                    "weights": table.as_key_mapping(),
+                }
+                for table, importance in zip(self._datasets, self._dataset_weights)
+            ],
+        }
+
+    @classmethod
+    def from_json_object(cls, obj: object) -> "ProfileDatabase":
+        if not isinstance(obj, dict):
+            raise ProfileFormatError("profile file must contain a JSON object")
+        if obj.get("format") != "pgmp-profile":
+            raise ProfileFormatError(
+                f"not a pgmp profile file (format={obj.get('format')!r})"
+            )
+        if obj.get("version") != FORMAT_VERSION:
+            raise ProfileFormatError(
+                f"unsupported profile format version {obj.get('version')!r}"
+            )
+        db = cls(name=str(obj.get("name", "profile-information")))
+        datasets = obj.get("datasets")
+        if not isinstance(datasets, list):
+            raise ProfileFormatError("profile file missing 'datasets' list")
+        for i, entry in enumerate(datasets):
+            if not isinstance(entry, dict) or "weights" not in entry:
+                raise ProfileFormatError(f"malformed data set #{i} in profile file")
+            weights = entry["weights"]
+            if not isinstance(weights, dict):
+                raise ProfileFormatError(f"data set #{i} weights must be an object")
+            table = WeightTable.from_key_mapping(
+                weights, name=str(entry.get("name", f"dataset-{i}"))
+            )
+            db.record_weights(table, float(entry.get("importance", 1.0)))
+        return db
+
+    def store(self, file: str | os.PathLike[str] | IO[str]) -> None:
+        """``(store-profile f)``: write the recorded weights to ``file``."""
+        payload = json.dumps(self.to_json_object(), indent=2, sort_keys=True)
+        if hasattr(file, "write"):
+            file.write(payload)  # type: ignore[union-attr]
+        else:
+            with open(file, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+
+    @classmethod
+    def load(cls, file: str | os.PathLike[str] | IO[str]) -> "ProfileDatabase":
+        """``(load-profile f)``: read a stored profile into a fresh database."""
+        if hasattr(file, "read"):
+            text = file.read()  # type: ignore[union-attr]
+        else:
+            with open(file, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        try:
+            obj = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ProfileFormatError(f"profile file is not valid JSON: {exc}") from exc
+        return cls.from_json_object(obj)
+
+    def load_into(self, file: str | os.PathLike[str] | IO[str]) -> None:
+        """Merge the data sets stored in ``file`` into this database."""
+        other = ProfileDatabase.load(file)
+        for table, importance in zip(other._datasets, other._dataset_weights):
+            self.record_weights(table, importance)
+
+    # -- dunder ---------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"<ProfileDatabase {self.name!r}: {self.dataset_count} data sets, "
+            f"{self.point_count()} merged points>"
+        )
+
+
+def merge_databases(databases: Sequence[ProfileDatabase]) -> ProfileDatabase:
+    """Concatenate the data sets of several databases into one."""
+    merged = ProfileDatabase(name="merged")
+    for db in databases:
+        for table, importance in zip(db._datasets, db._dataset_weights):
+            merged.record_weights(table, importance)
+    return merged

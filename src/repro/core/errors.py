@@ -1,0 +1,99 @@
+"""Exception hierarchy for the PGMP (profile-guided meta-programming) library.
+
+Every exception raised deliberately by this library derives from
+:class:`PgmpError`, so callers can catch library failures with a single
+``except`` clause while letting genuine bugs (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class PgmpError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ProfileError(PgmpError):
+    """Base class for errors in the profiling subsystem."""
+
+
+class MissingProfileError(ProfileError):
+    """A profile query was made against a point with no recorded data.
+
+    The Figure-4 API treats missing data as weight ``0.0`` by default; this
+    exception is raised only when the caller explicitly asks for strict
+    behaviour (``profile_query(..., strict=True)``).
+    """
+
+
+class ProfileFormatError(ProfileError):
+    """A stored profile file could not be parsed or failed validation."""
+
+
+class ProfilePointError(PgmpError):
+    """A profile point was constructed or used incorrectly."""
+
+
+class SubstrateError(PgmpError):
+    """An operation required a meta-programming substrate that was not active,
+    or an expression type the active substrate does not understand."""
+
+
+class SchemeError(PgmpError):
+    """Base class for errors in the Scheme substrate."""
+
+
+class ReaderError(SchemeError):
+    """The S-expression reader encountered malformed input.
+
+    Carries the source location of the offending text when available.
+    """
+
+    def __init__(self, message: str, filename: str = "<unknown>", line: int = 0, column: int = 0):
+        super().__init__(f"{filename}:{line}:{column}: {message}")
+        self.filename = filename
+        self.line = line
+        self.column = column
+
+
+class ExpandError(SchemeError):
+    """Macro expansion failed (unbound syntax, bad form, pattern mismatch)."""
+
+
+class PatternError(ExpandError):
+    """A ``syntax-case`` pattern was ill-formed (not a match failure)."""
+
+
+class TemplateError(ExpandError):
+    """A syntax template was ill-formed or used a variable at the wrong
+    ellipsis depth."""
+
+
+class EvalError(SchemeError):
+    """A run-time error in the Scheme interpreter."""
+
+
+class SchemeUserError(EvalError):
+    """Raised by the Scheme ``error`` primitive (a user-level error)."""
+
+    def __init__(self, who: object, message: str, irritants: tuple = ()):
+        self.who = who
+        self.message = message
+        self.irritants = irritants
+        parts = [str(message)]
+        if who:
+            parts.insert(0, f"{who}:")
+        if irritants:
+            parts.append(" ".join(repr(x) for x in irritants))
+        super().__init__(" ".join(parts))
+
+
+class CompileError(PgmpError):
+    """The block-level compiler rejected a core form."""
+
+
+class VMError(PgmpError):
+    """The block-level virtual machine hit an invalid state."""
+
+
+class MacroError(PgmpError):
+    """The Python-AST macro expander failed."""

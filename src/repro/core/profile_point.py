@@ -1,0 +1,167 @@
+"""Profile points — the paper's abstraction of source expressions (Section 3.1).
+
+A *profile point* uniquely identifies a counter in the underlying profiling
+system. The design contract (paper Section 3.1) is:
+
+* every profile point names exactly one counter;
+* an expression is associated with *at most one* profile point;
+* two expressions with the same profile point bump the same counter;
+* two expressions with different profile points bump different counters;
+* profilers may implicitly attach points to AST nodes, and meta-programs may
+  *manufacture fresh points* for generated code.
+
+Freshly manufactured points must be **deterministic**: the paper's Chez
+implementation "deterministically generates fresh source objects by adding a
+suffix to the filename of a base source object" (Section 4.1) so that a
+meta-program reads back, on the next compile, the profile data its generated
+code produced on the previous run. :class:`ProfilePointFactory` reproduces
+exactly that scheme.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.core.errors import ProfilePointError
+from repro.core.srcloc import SourceLocation
+
+__all__ = [
+    "ProfilePoint",
+    "ProfilePointFactory",
+    "make_profile_point",
+    "reset_generated_points",
+]
+
+#: Marker embedded in generated filenames, mirroring the paper's suffix trick.
+GENERATED_MARKER = "%pgmp"
+
+
+@dataclass(frozen=True, slots=True)
+class ProfilePoint:
+    """An identifier for one profile counter.
+
+    A profile point is just a :class:`SourceLocation` plus a flag recording
+    whether it was manufactured by a meta-program (as opposed to implicitly
+    attached by the reader/profiler). Identity — and therefore which counter
+    gets bumped — is determined entirely by the location.
+    """
+
+    location: SourceLocation
+    generated: bool = False
+
+    def key(self) -> str:
+        """Stable string key used by counter tables and stored profiles."""
+        return self.location.key()
+
+    @classmethod
+    def from_key(cls, key: str) -> "ProfilePoint":
+        loc = SourceLocation.from_key(key)
+        return cls(location=loc, generated=GENERATED_MARKER in loc.filename)
+
+    @classmethod
+    def for_location(cls, location: SourceLocation) -> "ProfilePoint":
+        """The implicit profile point of a source expression at ``location``."""
+        return cls(location=location, generated=False)
+
+    def __str__(self) -> str:
+        tag = "generated " if self.generated else ""
+        return f"<{tag}profile-point {self.location}>"
+
+
+class ProfilePointFactory:
+    """Deterministic generator of fresh profile points.
+
+    Mirrors Section 4.1: a fresh point is derived from a *base* source object
+    by appending a suffix to its filename, with a per-base sequence number.
+    Two factories created with the same history produce the same points, so
+    profile data recorded for generated code in one compile can be queried in
+    the next — the property the paper calls generating points
+    "deterministically so meta-programs can access the profile information of
+    the generated profile point across multiple runs".
+
+    The factory is thread-safe; expanders share one global instance through
+    :func:`make_profile_point` and reset it at the start of each expansion via
+    :func:`reset_generated_points`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sequence: dict[str, int] = {}
+
+    def make(self, base: SourceLocation | ProfilePoint | None = None) -> ProfilePoint:
+        """Manufacture the next fresh profile point derived from ``base``.
+
+        With no base, points derive from an anonymous ``<generated>`` file.
+        The n-th point manufactured from a given base is always the same,
+        independent of what other bases were used in between.
+        """
+        if isinstance(base, ProfilePoint):
+            base = base.location
+        if base is None:
+            base = SourceLocation("<generated>", 0, 0)
+        base_key = base.key()
+        with self._lock:
+            n = self._sequence.get(base_key, 0) + 1
+            self._sequence[base_key] = n
+        loc = SourceLocation(
+            filename=f"{base.filename}{GENERATED_MARKER}{n}",
+            start=base.start,
+            end=base.end,
+            line=base.line,
+            column=base.column,
+        )
+        return ProfilePoint(location=loc, generated=True)
+
+    def reset(self, base: SourceLocation | ProfilePoint | None = None) -> None:
+        """Forget sequence numbers (for ``base`` only, or everything).
+
+        Expanders call this at the start of a compilation so that re-expanding
+        the same program manufactures the same points — determinism across
+        runs.
+        """
+        with self._lock:
+            if base is None:
+                self._sequence.clear()
+            else:
+                if isinstance(base, ProfilePoint):
+                    base = base.location
+                self._sequence.pop(base.key(), None)
+
+    def sequence_number(self, base: SourceLocation) -> int:
+        """How many points have been manufactured from ``base`` so far."""
+        with self._lock:
+            return self._sequence.get(base.key(), 0)
+
+
+#: Process-wide factory used by the Figure-4 API.
+_GLOBAL_FACTORY = ProfilePointFactory()
+
+
+def make_profile_point(
+    base: SourceLocation | ProfilePoint | None = None,
+) -> ProfilePoint:
+    """``(make-profile-point)`` from the paper's Figure 4.
+
+    Generates a profile point deterministically so meta-programs can access
+    the profile information of the generated profile point across multiple
+    runs. Determinism is relative to the expansion session: call
+    :func:`reset_generated_points` when a fresh compilation begins.
+    """
+    return _GLOBAL_FACTORY.make(base)
+
+
+def reset_generated_points(base: SourceLocation | ProfilePoint | None = None) -> None:
+    """Reset the deterministic sequence of generated profile points."""
+    _GLOBAL_FACTORY.reset(base)
+
+
+def require_point(obj: object) -> ProfilePoint:
+    """Coerce ``obj`` to a :class:`ProfilePoint`, raising a helpful error."""
+    if isinstance(obj, ProfilePoint):
+        return obj
+    if isinstance(obj, SourceLocation):
+        return ProfilePoint.for_location(obj)
+    raise ProfilePointError(
+        f"expected a profile point or source location, got {type(obj).__name__}: {obj!r}"
+    )

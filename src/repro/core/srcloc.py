@@ -1,0 +1,99 @@
+"""Source locations ("source objects" in Chez Scheme terminology).
+
+The paper's Chez Scheme implementation realizes profile points as *source
+objects*: a filename plus starting and ending character positions (Section
+4.1). The Racket implementation uses the equivalent source-location
+information the Racket reader attaches to every syntax object (Section 4.2).
+
+:class:`SourceLocation` is the shared, substrate-neutral representation used
+throughout this library. It is immutable and hashable so it can key counter
+tables, and it serializes to/from a compact string form used in stored
+profile files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ProfileFormatError
+
+__all__ = ["SourceLocation", "UNKNOWN_LOCATION"]
+
+
+@dataclass(frozen=True, slots=True)
+class SourceLocation:
+    """A region of a source file: ``filename`` + character offsets.
+
+    ``start`` and ``end`` are 0-based character offsets into the file
+    (half-open: the region covers ``text[start:end]``). ``line`` and
+    ``column`` locate ``start`` for human-readable messages; they do not
+    participate in equality-relevant serialization beyond round-tripping.
+    """
+
+    filename: str
+    start: int
+    end: int
+    line: int = 0
+    column: int = 0
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise ValueError(
+                f"invalid source span [{self.start}, {self.end}) in {self.filename!r}"
+            )
+
+    @property
+    def span(self) -> int:
+        """Number of characters covered by this location."""
+        return self.end - self.start
+
+    def contains(self, other: "SourceLocation") -> bool:
+        """True when ``other`` lies within this location in the same file."""
+        return (
+            self.filename == other.filename
+            and self.start <= other.start
+            and other.end <= self.end
+        )
+
+    def overlaps(self, other: "SourceLocation") -> bool:
+        """True when the two locations share at least one character."""
+        return (
+            self.filename == other.filename
+            and self.start < other.end
+            and other.start < self.end
+        )
+
+    def key(self) -> str:
+        """Compact, unambiguous string form used to key stored profiles.
+
+        The filename may itself contain ``:`` so offsets are appended at the
+        *end*; parsing splits from the right.
+        """
+        return f"{self.filename}:{self.start}-{self.end}:{self.line}.{self.column}"
+
+    @classmethod
+    def from_key(cls, key: str) -> "SourceLocation":
+        """Inverse of :meth:`key`. Raises :class:`ProfileFormatError` on bad input."""
+        try:
+            head, linecol = key.rsplit(":", 1)
+            filename, span = head.rsplit(":", 1)
+            start_s, end_s = span.split("-", 1)
+            line_s, col_s = linecol.split(".", 1)
+            return cls(
+                filename=filename,
+                start=int(start_s),
+                end=int(end_s),
+                line=int(line_s),
+                column=int(col_s),
+            )
+        except (ValueError, TypeError) as exc:
+            raise ProfileFormatError(f"malformed source-location key: {key!r}") from exc
+
+    def __str__(self) -> str:
+        if self.line:
+            return f"{self.filename}:{self.line}:{self.column}"
+        return f"{self.filename}[{self.start}:{self.end}]"
+
+
+#: Placeholder for syntax with no known origin (e.g. datum->syntax output).
+UNKNOWN_LOCATION = SourceLocation("<unknown>", 0, 0)

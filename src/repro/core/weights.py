@@ -1,0 +1,178 @@
+"""Profile weights — normalized, mergeable profile information (Section 3.2).
+
+A *profile weight* is a number in ``[0, 1]``: the ratio of a profile point's
+counter to the counter of the most-executed point *in the same data set*.
+Weights exist for two reasons (paper Section 3.2):
+
+1. they give a single value for the **relative importance** of a point, and
+2. they make multiple data sets **mergeable** — absolute counts from
+   different representative runs are incomparable, but weights merge by a
+   (weighted) average.
+
+The worked example from the paper's Figure 3::
+
+    data set 1: (flag email 'important) -> 5,   (flag email 'spam) -> 10
+    data set 2: (flag email 'important) -> 100, (flag email 'spam) -> 10
+
+    weights 1:  important -> 5/10 = 0.5,   spam -> 10/10 = 1.0
+    weights 2:  important -> 100/100 = 1,  spam -> 10/100 = 0.1
+    merged:     important -> (0.5 + 1)/2 = 0.75,  spam -> (1 + 0.1)/2 = 0.55
+
+is reproduced verbatim by ``tests/core/test_weights.py`` and
+``benchmarks/bench_fig3_weights.py``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.core.counters import CounterSet
+from repro.core.errors import ProfileError
+from repro.core.profile_point import ProfilePoint
+
+__all__ = ["WeightTable", "compute_weights", "merge_weight_tables"]
+
+
+class WeightTable:
+    """An immutable-by-convention map from profile point to weight in [0, 1].
+
+    ``WeightTable`` is what ``store-profile`` persists and what
+    ``profile-query`` consults. Missing points have weight ``0.0`` — the
+    paper's API never distinguishes "never executed" from "not instrumented"
+    at query time.
+    """
+
+    __slots__ = ("_weights", "name")
+
+    def __init__(
+        self,
+        weights: Mapping[ProfilePoint, float] | None = None,
+        name: str = "profile",
+    ) -> None:
+        self._weights: dict[ProfilePoint, float] = {}
+        self.name = name
+        if weights:
+            for point, weight in weights.items():
+                self._set(point, weight)
+
+    def _set(self, point: ProfilePoint, weight: float) -> None:
+        weight = float(weight)
+        if not 0.0 <= weight <= 1.0:
+            raise ProfileError(
+                f"profile weight out of range [0,1]: {weight!r} for {point}"
+            )
+        self._weights[point] = weight
+
+    def weight(self, point: ProfilePoint) -> float:
+        """The weight of ``point`` (0.0 when absent)."""
+        return self._weights.get(point, 0.0)
+
+    def known(self, point: ProfilePoint) -> bool:
+        """Whether any data was recorded for ``point``."""
+        return point in self._weights
+
+    def points(self) -> list[ProfilePoint]:
+        return list(self._weights)
+
+    def items(self):
+        return self._weights.items()
+
+    def hottest(self, n: int = 1) -> list[tuple[ProfilePoint, float]]:
+        """The ``n`` highest-weighted points, hottest first."""
+        return sorted(self._weights.items(), key=lambda kv: -kv[1])[:n]
+
+    def as_key_mapping(self) -> dict[str, float]:
+        """Weights keyed by serialized point keys (for storage)."""
+        return {point.key(): w for point, w in self._weights.items()}
+
+    @classmethod
+    def from_key_mapping(
+        cls, mapping: Mapping[str, float], name: str = "profile"
+    ) -> "WeightTable":
+        table = cls(name=name)
+        for key, weight in mapping.items():
+            table._set(ProfilePoint.from_key(key), float(weight))
+        return table
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    def __iter__(self):
+        return iter(self._weights)
+
+    def __contains__(self, point: object) -> bool:
+        return point in self._weights
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WeightTable):
+            return NotImplemented
+        return self._weights == other._weights
+
+    def __repr__(self) -> str:
+        return f"<WeightTable {self.name!r}: {len(self._weights)} points>"
+
+
+def compute_weights(counters: CounterSet | Mapping[ProfilePoint, int]) -> WeightTable:
+    """Normalize absolute counts into profile weights.
+
+    The weight of a point is ``count / max_count`` over the same data set,
+    so the hottest point always has weight 1.0 and unexecuted points 0.0.
+    An empty data set yields an empty table.
+    """
+    if isinstance(counters, CounterSet):
+        name = counters.name
+        counts = counters.snapshot()
+    else:
+        name = "profile"
+        counts = dict(counters)
+    denominator = max(counts.values(), default=0)
+    table = WeightTable(name=name)
+    if denominator <= 0:
+        return table
+    for point, count in counts.items():
+        if count < 0:
+            raise ProfileError(f"negative execution count {count} for {point}")
+        table._set(point, count / denominator)
+    return table
+
+
+def merge_weight_tables(
+    tables: Sequence[WeightTable],
+    dataset_weights: Sequence[float] | None = None,
+) -> WeightTable:
+    """Merge weight tables from multiple data sets (paper Figure 3).
+
+    The merged weight of a point is the weighted average of its weight in
+    every data set, where a data set that never saw the point contributes
+    0.0 — exactly the paper's computation, which divides by the number of
+    data sets rather than the number of appearances.
+
+    ``dataset_weights`` lets callers emphasize some representative inputs
+    over others ("essentially a weighted average across the data sets");
+    they default to equal weights and are normalized to sum to 1.
+    """
+    if not tables:
+        return WeightTable(name="merged")
+    if dataset_weights is None:
+        dataset_weights = [1.0] * len(tables)
+    if len(dataset_weights) != len(tables):
+        raise ProfileError(
+            f"got {len(tables)} data sets but {len(dataset_weights)} data-set weights"
+        )
+    if any(w < 0 for w in dataset_weights):
+        raise ProfileError("data-set weights must be non-negative")
+    total = sum(dataset_weights)
+    if total <= 0:
+        raise ProfileError("data-set weights must not all be zero")
+    fractions = [w / total for w in dataset_weights]
+
+    merged: dict[ProfilePoint, float] = {}
+    for table, fraction in zip(tables, fractions):
+        for point, weight in table.items():
+            merged[point] = merged.get(point, 0.0) + fraction * weight
+
+    result = WeightTable(name="merged")
+    for point, weight in merged.items():
+        # Clamp tiny float drift so the [0,1] invariant is exact.
+        result._set(point, min(1.0, max(0.0, weight)))
+    return result

@@ -1,0 +1,75 @@
+"""The Python-AST substrate: the design's second implementation.
+
+The paper validates its design by implementing it in *two* meta-programming
+systems (Chez Scheme and Racket, Section 4). This package is our second
+implementation: meta-programs over Python ``ast`` nodes, with an
+errortrace-style **call-level** profiler.
+
+The correspondences:
+
+=====================  ==========================================
+Racket                 here
+=====================  ==========================================
+syntax objects         ``ast`` nodes (``lineno``/``col_offset``)
+reader source info     ``ast.parse`` location attributes
+errortrace             :class:`repro.pyast.profiler.CallProfiler`
+``annotate-expr``      wraps the expression in a generated
+                       function call (the paper's key Racket
+                       difference — the profiler only counts
+                       calls, so counting an expression means
+                       making its evaluation a call)
+``define-syntax``      :func:`repro.pyast.macros.macro` +
+                       :func:`repro.pyast.macros.expand_function`
+=====================  ==========================================
+"""
+
+from repro.pyast.srcloc import node_location, node_point
+from repro.pyast.substrate import PyAstSubstrate
+from repro.pyast.profiler import (
+    CallProfiler,
+    collecting_counters,
+    profile_hook,
+    PROFILE_HOOK_NAME,
+)
+from repro.pyast.macros import (
+    MacroContext,
+    MacroError,
+    MacroRegistry,
+    annotate_expr_ast,
+    default_registry,
+    expand_function,
+    macro,
+)
+from repro.pyast.casestudies import case_weights_key, if_r, pycase
+from repro.pyast.collections_study import (
+    DequeSeq,
+    ListSeq,
+    PYSEQ_RUNTIME,
+    pyseq,
+)
+from repro.pyast.system import PyAstSystem
+
+__all__ = [
+    "CallProfiler",
+    "DequeSeq",
+    "ListSeq",
+    "PYSEQ_RUNTIME",
+    "pyseq",
+    "MacroContext",
+    "MacroError",
+    "MacroRegistry",
+    "PROFILE_HOOK_NAME",
+    "PyAstSubstrate",
+    "PyAstSystem",
+    "annotate_expr_ast",
+    "case_weights_key",
+    "collecting_counters",
+    "default_registry",
+    "expand_function",
+    "if_r",
+    "macro",
+    "node_location",
+    "node_point",
+    "profile_hook",
+    "pycase",
+]

@@ -1,0 +1,142 @@
+"""Profile-guided macros for the Python substrate: ``if_r`` and ``pycase``.
+
+The same meta-programs as the paper's running example (Figure 1) and §6.1
+case study, reimplemented over Python ASTs to demonstrate that the design —
+not the Scheme substrate — is what carries them. Both macros:
+
+* derive each branch's profile point *implicitly from its source location*
+  (as Chez does for every expression),
+* annotate branch bodies with call-level instrumentation (as the Racket
+  implementation must, since errortrace counts only calls), and
+* on re-expansion with profile data, emit branches ordered hottest-first.
+
+Usage::
+
+    from repro.pyast import PyAstSystem, pycase
+
+    def classify(c):
+        return pycase(c,
+            ((" ", "\\t"), "white-space"),
+            (("0", "1", "2"), "digit"),
+            (("(",), "start-paren"),
+            default="other")
+
+    system = PyAstSystem()
+    instrumented = system.expand(classify)
+    system.profile(instrumented, [(c,) for c in "((((1  ))))"])
+    optimized = system.expand(classify)   # branches now reordered
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.core.errors import MacroError
+from repro.pyast.macros import MacroContext, macro
+
+__all__ = ["if_r", "pycase", "case_weights_key"]
+
+
+def if_r(test, then, orelse):  # pragma: no cover - replaced by expansion
+    """Surface form of the reordering conditional (expanded away).
+
+    Calling the unexpanded function still computes the right value, so code
+    using ``if_r`` runs correctly even before ``expand_function`` touches it
+    — but without profiling or reordering. (Note: as a plain function both
+    branches are evaluated; the macro expansion restores laziness.)
+    """
+    return then if test else orelse
+
+
+def pycase(key, *clauses, default=None):  # pragma: no cover - replaced by expansion
+    """Surface form of the profile-guided ``case`` (expanded away)."""
+    for constants, result in clauses:
+        if key in constants:
+            return result
+    return default
+
+
+def case_weights_key(clause_result_node: ast.AST, ctx: MacroContext) -> float:
+    """The sort key §6.1 uses: the profile weight of the clause body."""
+    return ctx.profile_query(clause_result_node)
+
+
+@macro("if_r")
+def _expand_if_r(node: ast.Call, ctx: MacroContext) -> ast.AST:
+    """Figure 1, over Python ASTs."""
+    if len(node.args) != 3 or node.keywords:
+        raise MacroError("if_r(test, then, orelse) takes exactly three arguments")
+    test, then, orelse = node.args
+    t_point = ctx.point_of(then)
+    f_point = ctx.point_of(orelse)
+    if t_point is None or f_point is None:
+        raise MacroError("if_r branches need source locations")
+    then_i = ctx.annotate(then, t_point)
+    orelse_i = ctx.annotate(orelse, f_point)
+    t_weight = ctx.profile_query(t_point)
+    f_weight = ctx.profile_query(f_point)
+    if t_weight < f_weight:
+        # (if (not test) f-branch t-branch)
+        flipped = ast.UnaryOp(op=ast.Not(), operand=test)
+        ast.copy_location(flipped, test)
+        result: ast.expr = ast.IfExp(test=flipped, body=orelse_i, orelse=then_i)
+    else:
+        result = ast.IfExp(test=test, body=then_i, orelse=orelse_i)
+    return ast.copy_location(result, node)
+
+
+@macro("pycase")
+def _expand_pycase(node: ast.Call, ctx: MacroContext) -> ast.AST:
+    """§6.1 for Python: rewrite clauses to membership tests, reorder by
+    weight, fall through to the default."""
+    if len(node.args) < 2:
+        raise MacroError("pycase(key, (constants, result), ..., default=...) "
+                         "needs a key and at least one clause")
+    key_expr = node.args[0]
+    clauses: list[tuple[ast.expr, ast.expr]] = []
+    for arg in node.args[1:]:
+        if not isinstance(arg, ast.Tuple) or len(arg.elts) != 2:
+            raise MacroError(
+                "each pycase clause must be a 2-tuple literal: (constants, result)"
+            )
+        clauses.append((arg.elts[0], arg.elts[1]))
+    default: ast.expr = ast.Constant(value=None)
+    for kw in node.keywords:
+        if kw.arg == "default":
+            default = kw.value
+        else:
+            raise MacroError(f"pycase: unknown keyword {kw.arg!r}")
+    ast.copy_location(default, node)
+
+    # Sort clauses hottest-first (stable: no data ⇒ source order).
+    weighted = sorted(
+        clauses,
+        key=lambda clause: -case_weights_key(clause[1], ctx),
+    )
+
+    # (lambda __pgmp_key: r1 if __pgmp_key in c1 else ... default)(key)
+    key_name = "__pgmp_key"
+    body: ast.expr = default
+    for constants, result in reversed(weighted):
+        point = ctx.point_of(result)
+        annotated = ctx.annotate(result, point) if point is not None else result
+        test = ast.Compare(
+            left=ast.Name(id=key_name, ctx=ast.Load()),
+            ops=[ast.In()],
+            comparators=[constants],
+        )
+        ast.copy_location(test, constants)
+        body = ast.IfExp(test=test, body=annotated, orelse=body)
+        ast.copy_location(body, node)
+    lam = ast.Lambda(
+        args=ast.arguments(
+            posonlyargs=[],
+            args=[ast.arg(arg=key_name)],
+            vararg=None, kwonlyargs=[], kw_defaults=[], kwarg=None, defaults=[],
+        ),
+        body=body,
+    )
+    call = ast.Call(func=lam, args=[key_expr], keywords=[])
+    ast.copy_location(lam, node)
+    ast.copy_location(call, node)
+    return call

@@ -1,0 +1,151 @@
+"""§6.3 on the Python substrate: profile-guided collection specialization.
+
+Python's own standard library has the asymmetry the paper exploits:
+
+* ``list`` — O(1) random access, O(n) ``insert(0, x)``;
+* ``collections.deque`` — O(1) ``appendleft``, O(n) random access.
+
+The ``pyseq(...)`` macro constructs a profiled sequence. Each *use site*
+gets two deterministic profile points (one counting front-operations, one
+counting random access — manufactured with ``make_profile_point``, exactly
+like Figure 13's ``list-src``/``vector-src``); the wrapper methods bump
+them through the errortrace-style call hook. On re-expansion with profile
+data, the constructor emits the representation whose fast operations
+dominated, and — like Figure 13 — prints a compile-time recommendation
+when the current source representation looks wrong.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+
+from repro.core.errors import MacroError
+from repro.core.profile_point import ProfilePoint
+from repro.pyast.macros import MacroContext, macro
+from repro.pyast.profiler import _ACTIVE, _point_for_key
+
+__all__ = ["pyseq", "ListSeq", "DequeSeq", "PYSEQ_RUNTIME"]
+
+
+class _ProfiledSeq:
+    """Shared behaviour: every operation bumps its classification's point."""
+
+    #: operations that are asymptotically fast on a front-extended (deque)
+    #: representation
+    FRONT_OPS = frozenset({"push_front", "pop_front", "first"})
+    #: operations that are asymptotically fast on a random-access (list)
+    #: representation
+    ACCESS_OPS = frozenset({"ref", "set", "length"})
+
+    def __init__(self, items, front_key: str, access_key: str) -> None:
+        self._data = self._container(items)
+        self._front_point = _point_for_key(front_key)
+        self._access_point = _point_for_key(access_key)
+
+    def _count(self, point: ProfilePoint) -> None:
+        if _ACTIVE:
+            _ACTIVE[-1].increment(point)
+
+    # -- the sequence interface ---------------------------------------------------
+
+    def push_front(self, value) -> None:
+        self._count(self._front_point)
+        self._push_front(value)
+
+    def pop_front(self):
+        self._count(self._front_point)
+        return self._pop_front()
+
+    def first(self):
+        self._count(self._front_point)
+        return self._data[0]
+
+    def ref(self, index: int):
+        self._count(self._access_point)
+        return self._data[index]
+
+    def set(self, index: int, value) -> None:
+        self._count(self._access_point)
+        self._data[index] = value
+
+    def length(self) -> int:
+        self._count(self._access_point)
+        return len(self._data)
+
+    def to_list(self) -> list:
+        return list(self._data)
+
+
+class ListSeq(_ProfiledSeq):
+    """Random-access-fast representation."""
+
+    @staticmethod
+    def _container(items):
+        return list(items)
+
+    def _push_front(self, value) -> None:
+        self._data.insert(0, value)  # O(n): the slow path being profiled
+
+    def _pop_front(self):
+        return self._data.pop(0)  # O(n)
+
+
+class DequeSeq(_ProfiledSeq):
+    """Front-operation-fast representation."""
+
+    @staticmethod
+    def _container(items):
+        return deque(items)
+
+    def _push_front(self, value) -> None:
+        self._data.appendleft(value)  # O(1)
+
+    def _pop_front(self):
+        return self._data.popleft()  # O(1)
+
+
+#: Names the expanded code needs in its globals.
+PYSEQ_RUNTIME = {"ListSeq": ListSeq, "DequeSeq": DequeSeq}
+
+
+def pyseq(*items):  # pragma: no cover - replaced by expansion
+    """Surface form: unexpanded calls build an (unprofiled) ListSeq."""
+    return ListSeq(list(items), _null_key(), _null_key())
+
+
+def _null_key() -> str:
+    from repro.core.srcloc import SourceLocation
+
+    return ProfilePoint.for_location(SourceLocation("<unexpanded>", 0, 1)).key()
+
+
+@macro("pyseq")
+def _expand_pyseq(node: ast.Call, ctx: MacroContext) -> ast.AST:
+    if node.keywords:
+        raise MacroError("pyseq takes only positional element expressions")
+    # Fresh per-use-site points, derived from the call's source location —
+    # deterministic across expansions (Figure 13's list-src / vector-src).
+    front_point = ctx.make_profile_point(node)
+    access_point = ctx.make_profile_point(node)
+    front_weight = ctx.profile_query(front_point)
+    access_weight = ctx.profile_query(access_point)
+
+    use_deque = ctx.has_profile_data() and front_weight > access_weight
+    class_name = "DequeSeq" if use_deque else "ListSeq"
+    if ctx.has_profile_data() and use_deque:
+        print(
+            f"pgmp: specializing pyseq at line {node.lineno} to deque "
+            f"(front ops weight {front_weight:.2f} > access {access_weight:.2f})"
+        )
+
+    constructor = ast.Call(
+        func=ast.Name(id=class_name, ctx=ast.Load()),
+        args=[
+            ast.List(elts=list(node.args), ctx=ast.Load()),
+            ast.Constant(value=front_point.key()),
+            ast.Constant(value=access_point.key()),
+        ],
+        keywords=[],
+    )
+    return ast.copy_location(constructor, node)

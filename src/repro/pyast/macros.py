@@ -1,0 +1,222 @@
+"""Macro expansion over Python ASTs.
+
+A *macro* here is a registered transformer from a call-shaped AST node to a
+replacement AST, run at "compile time" — i.e. when
+:func:`expand_function` re-parses a function's source, rewrites macro
+invocations, and recompiles it. Transformers receive a
+:class:`MacroContext` exposing the Figure-4 operations
+(``profile_query``, ``make_profile_point``, ``annotate``), so Python
+meta-programs are profile-guided in exactly the way Scheme ones are.
+
+The profile → optimize workflow mirrors the paper's: expand (macros see no
+data, and typically emit instrumented code), run under
+:func:`repro.pyast.profiler.collecting_counters`, record the counters into
+the ambient database, then expand *again* — same source, same deterministic
+points — and the macros now generate optimized code.
+
+Limitations (documented, not hidden): macros can only be expanded in
+functions whose source is available via ``inspect`` and which do not close
+over enclosing-function locals.
+"""
+
+from __future__ import annotations
+
+import ast
+import functools
+import inspect
+import textwrap
+from collections.abc import Callable
+
+from repro.core import api as core_api
+from repro.core.errors import MacroError
+from repro.core.profile_point import ProfilePoint
+from repro.pyast.profiler import PROFILE_HOOK_NAME, profile_hook
+from repro.pyast.srcloc import POINT_ATTR, node_location, node_point
+
+__all__ = [
+    "MacroContext",
+    "MacroError",
+    "MacroRegistry",
+    "annotate_expr_ast",
+    "default_registry",
+    "expand_function",
+    "macro",
+]
+
+_MAX_EXPANSION_PASSES = 64
+
+
+def annotate_expr_ast(node: ast.expr, point: ProfilePoint) -> ast.expr:
+    """``annotate-expr`` for the call-level profiler.
+
+    Generates ``__pgmp_profile__("<key>", lambda: <node>)`` — a new function
+    whose body is the expression, called through the profiling hook, per
+    the paper's Racket implementation strategy.
+    """
+    thunk = ast.Lambda(
+        args=ast.arguments(
+            posonlyargs=[], args=[], vararg=None, kwonlyargs=[],
+            kw_defaults=[], kwarg=None, defaults=[],
+        ),
+        body=node,
+    )
+    call = ast.Call(
+        func=ast.Name(id=PROFILE_HOOK_NAME, ctx=ast.Load()),
+        args=[ast.Constant(value=point.key()), thunk],
+        keywords=[],
+    )
+    ast.copy_location(call, node)
+    ast.copy_location(thunk, node)
+    setattr(call, POINT_ATTR, point)
+    return call
+
+
+class MacroContext:
+    """What a transformer sees: the Figure-4 API bound to its file."""
+
+    def __init__(self, filename: str) -> None:
+        self.filename = filename
+
+    def location(self, node: ast.AST):
+        return node_location(node, self.filename)
+
+    def point_of(self, node: ast.AST) -> ProfilePoint | None:
+        return node_point(node, self.filename)
+
+    def profile_query(self, node_or_point: ast.AST | ProfilePoint) -> float:
+        """The merged profile weight of a node or point (0.0 when unknown)."""
+        if isinstance(node_or_point, ProfilePoint):
+            return core_api.current_profile_information().query(node_or_point)
+        point = self.point_of(node_or_point)
+        if point is None:
+            return 0.0
+        return core_api.current_profile_information().query(point)
+
+    def has_profile_data(self) -> bool:
+        return core_api.current_profile_information().has_data()
+
+    def make_profile_point(self, base: ast.AST | None = None) -> ProfilePoint:
+        location = node_location(base, self.filename) if base is not None else None
+        return core_api.make_profile_point(location)
+
+    def annotate(self, node: ast.expr, point: ProfilePoint) -> ast.expr:
+        return annotate_expr_ast(node, point)
+
+
+Transformer = Callable[[ast.Call, MacroContext], ast.AST]
+
+
+class MacroRegistry:
+    """Name → transformer mapping used by :func:`expand_function`."""
+
+    def __init__(self) -> None:
+        self._macros: dict[str, Transformer] = {}
+
+    def register(self, name: str, transformer: Transformer) -> None:
+        self._macros[name] = transformer
+
+    def get(self, name: str) -> Transformer | None:
+        return self._macros.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._macros)
+
+    def macro(self, name: str | None = None):
+        """Decorator form: ``@registry.macro("case_")``."""
+
+        def wrap(fn: Transformer) -> Transformer:
+            self.register(name or fn.__name__, fn)
+            return fn
+
+        return wrap
+
+
+_DEFAULT_REGISTRY = MacroRegistry()
+
+
+def default_registry() -> MacroRegistry:
+    return _DEFAULT_REGISTRY
+
+
+def macro(name: str | None = None, registry: MacroRegistry | None = None):
+    """Register a transformer in the default (or given) registry."""
+    return (registry or _DEFAULT_REGISTRY).macro(name)
+
+
+class _MacroExpander(ast.NodeTransformer):
+    def __init__(self, registry: MacroRegistry, ctx: MacroContext) -> None:
+        self.registry = registry
+        self.ctx = ctx
+        self.expanded = 0
+
+    def visit_Call(self, node: ast.Call) -> ast.AST:
+        self.generic_visit(node)
+        if isinstance(node.func, ast.Name):
+            transformer = self.registry.get(node.func.id)
+            if transformer is not None:
+                self.expanded += 1
+                result = transformer(node, self.ctx)
+                if not isinstance(result, ast.AST):
+                    raise MacroError(
+                        f"macro {node.func.id!r} returned {type(result).__name__}, "
+                        f"not an AST node"
+                    )
+                ast.copy_location(result, node)
+                return result
+        return node
+
+
+def expand_function(
+    fn: Callable,
+    registry: MacroRegistry | None = None,
+    extra_globals: dict | None = None,
+) -> Callable:
+    """Expand the macros in ``fn`` and return the recompiled function.
+
+    Re-invoking on the same function is the "recompile" of the paper's
+    workflow: deterministic profile points are reset, so the new expansion
+    sees the profile data the old expansion's instrumentation produced.
+    """
+    registry = registry or _DEFAULT_REGISTRY
+    try:
+        source = textwrap.dedent(inspect.getsource(fn))
+    except (OSError, TypeError) as exc:
+        raise MacroError(f"cannot get source of {fn!r}: {exc}") from exc
+    filename = inspect.getsourcefile(fn) or "<python>"
+    try:
+        _, start_line = inspect.getsourcelines(fn)
+    except (OSError, TypeError):
+        start_line = 1
+
+    tree = ast.parse(source, filename=filename)
+    func_def = tree.body[0]
+    if not isinstance(func_def, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        raise MacroError(f"{fn!r} source does not start with a function definition")
+    # Keep original line numbers so profile points are stable across
+    # expansions of the same function.
+    ast.increment_lineno(tree, start_line - 1)
+    func_def.decorator_list = []
+
+    core_api.reset_generated_points()
+    ctx = MacroContext(filename)
+    for _ in range(_MAX_EXPANSION_PASSES):
+        expander = _MacroExpander(registry, ctx)
+        tree = expander.visit(tree)
+        if expander.expanded == 0:
+            break
+    else:
+        raise MacroError("macro expansion did not terminate")
+
+    ast.fix_missing_locations(tree)
+    code = compile(tree, filename=filename, mode="exec")
+    namespace = dict(fn.__globals__)
+    namespace[PROFILE_HOOK_NAME] = profile_hook
+    if extra_globals:
+        namespace.update(extra_globals)
+    exec(code, namespace)
+    new_fn = namespace[func_def.name]
+    functools.update_wrapper(new_fn, fn)
+    # Expose the expansion for tests and the `pgmp` CLI's explain output.
+    new_fn.__pgmp_ast__ = tree
+    new_fn.__pgmp_source__ = ast.unparse(tree)
+    return new_fn

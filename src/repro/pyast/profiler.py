@@ -1,0 +1,83 @@
+"""The errortrace-style call-level profiler for the Python substrate.
+
+Racket's errortrace "profiles only function calls" (Section 4.2); counting
+an arbitrary expression therefore requires wrapping it in a generated
+function and profiling the call. Instrumented Python code does exactly
+that: ``annotate_expr`` rewrites an expression ``e`` into::
+
+    __pgmp_profile__("<point key>", lambda: e)
+
+where :func:`profile_hook` bumps the point's counter in the installed
+:class:`~repro.core.counters.CounterSet` (if any) and invokes the thunk.
+When no counter set is installed — a production run — the hook degrades to
+one dict read plus the thunk call; as the paper notes for Racket, the
+wrapping itself is residual overhead of call-level profiling (we measure it
+in ``benchmarks/bench_sec44_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+
+from repro.core.counters import CounterSet
+from repro.core.profile_point import ProfilePoint
+
+__all__ = [
+    "PROFILE_HOOK_NAME",
+    "profile_hook",
+    "collecting_counters",
+    "CallProfiler",
+]
+
+#: The name instrumented code uses to reach the hook; injected into the
+#: globals of every expanded function.
+PROFILE_HOOK_NAME = "__pgmp_profile__"
+
+#: The active counter set, or None outside a profiling run.
+_ACTIVE: list[CounterSet] = []
+
+#: Cache from point key strings to ProfilePoint (keys are embedded as
+#: string constants in instrumented code).
+_POINT_CACHE: dict[str, ProfilePoint] = {}
+
+
+def _point_for_key(key: str) -> ProfilePoint:
+    point = _POINT_CACHE.get(key)
+    if point is None:
+        point = ProfilePoint.from_key(key)
+        _POINT_CACHE[key] = point
+    return point
+
+
+def profile_hook(key: str, thunk):
+    """Bump ``key``'s counter (when profiling) and evaluate the thunk."""
+    if _ACTIVE:
+        _ACTIVE[-1].increment(_point_for_key(key))
+    return thunk()
+
+
+@contextlib.contextmanager
+def collecting_counters(counters: CounterSet):
+    """Install ``counters`` as the active profile collector."""
+    _ACTIVE.append(counters)
+    try:
+        yield counters
+    finally:
+        _ACTIVE.pop()
+
+
+@dataclass
+class CallProfiler:
+    """A convenience bundle: a counter set plus context management."""
+
+    counters: CounterSet = field(default_factory=lambda: CounterSet(name="pyast"))
+
+    def collect(self):
+        return collecting_counters(self.counters)
+
+    def count(self, point: ProfilePoint) -> int:
+        return self.counters.count(point)
+
+    def reset(self) -> None:
+        self.counters.clear()

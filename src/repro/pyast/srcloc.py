@@ -1,0 +1,52 @@
+"""Source locations for Python AST nodes.
+
+``ast.parse`` attaches ``lineno``/``col_offset``/``end_lineno``/
+``end_col_offset`` to every node — the same information the Racket reader
+attaches to syntax objects (Section 4.2). We fold them into the shared
+:class:`~repro.core.srcloc.SourceLocation` representation so profile points
+derived from Python expressions live in the same database as everything
+else.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.core.profile_point import ProfilePoint
+from repro.core.srcloc import SourceLocation
+
+__all__ = ["node_location", "node_point", "POINT_ATTR"]
+
+#: Attribute under which an explicit profile point is stored on a node.
+POINT_ATTR = "_pgmp_point"
+
+
+def node_location(node: ast.AST, filename: str = "<python>") -> SourceLocation | None:
+    """The source location of ``node``, if it carries position info.
+
+    Character offsets are synthesized from (line, column) pairs — stable
+    and unique within a file, which is all profile points require.
+    """
+    lineno = getattr(node, "lineno", None)
+    col = getattr(node, "col_offset", None)
+    if lineno is None or col is None:
+        return None
+    end_lineno = getattr(node, "end_lineno", lineno) or lineno
+    end_col = getattr(node, "end_col_offset", col) or col
+    # Synthetic offsets: 10k columns per line keeps spans ordered.
+    start = lineno * 10_000 + col
+    end = end_lineno * 10_000 + end_col
+    if end < start:
+        end = start
+    return SourceLocation(filename=filename, start=start, end=end, line=lineno, column=col)
+
+
+def node_point(node: ast.AST, filename: str = "<python>") -> ProfilePoint | None:
+    """The profile point of ``node``: explicit if annotated, else implicit."""
+    explicit = getattr(node, POINT_ATTR, None)
+    if isinstance(explicit, ProfilePoint):
+        return explicit
+    location = node_location(node, filename)
+    if location is None:
+        return None
+    return ProfilePoint.for_location(location)

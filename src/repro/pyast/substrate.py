@@ -1,0 +1,40 @@
+"""Registers Python AST nodes with the generic Figure-4 API.
+
+With this registered, ``repro.core.annotate_expr`` / ``profile_query`` work
+on ``ast`` expressions exactly as they do on Scheme syntax objects — the
+parametricity claim of the paper's Section 3 made concrete.
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+
+from repro.core.api import register_substrate
+from repro.core.profile_point import ProfilePoint
+from repro.pyast.srcloc import POINT_ATTR, node_point
+
+__all__ = ["PyAstSubstrate"]
+
+
+class PyAstSubstrate:
+    """The :class:`repro.core.api.SyntaxSubstrate` for Python ASTs."""
+
+    def __init__(self, filename: str = "<python>") -> None:
+        self.filename = filename
+
+    def handles(self, expr: object) -> bool:
+        return isinstance(expr, ast.AST)
+
+    def point_of(self, expr: object) -> ProfilePoint | None:
+        assert isinstance(expr, ast.AST)
+        return node_point(expr, self.filename)
+
+    def with_point(self, expr: object, point: ProfilePoint) -> object:
+        assert isinstance(expr, ast.AST)
+        clone = copy.deepcopy(expr)
+        setattr(clone, POINT_ATTR, point)
+        return clone
+
+
+register_substrate(PyAstSubstrate())

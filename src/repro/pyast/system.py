@@ -1,0 +1,60 @@
+"""The profile → optimize workflow driver for the Python substrate."""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterable
+
+from repro.core.api import using_profile_information
+from repro.core.counters import CounterSet
+from repro.core.database import ProfileDatabase
+from repro.pyast.macros import MacroRegistry, expand_function
+from repro.pyast.profiler import collecting_counters
+
+__all__ = ["PyAstSystem"]
+
+
+class PyAstSystem:
+    """One compile/profile/recompile cycle manager, like
+    :class:`repro.scheme.SchemeSystem` but for Python functions."""
+
+    def __init__(self, profile_db: ProfileDatabase | None = None) -> None:
+        self.profile_db = profile_db if profile_db is not None else ProfileDatabase()
+
+    def expand(
+        self,
+        fn: Callable,
+        registry: MacroRegistry | None = None,
+        extra_globals: dict | None = None,
+    ) -> Callable:
+        """Expand ``fn``'s macros against the current profile database.
+
+        Before any profiling this emits instrumented code; after
+        :meth:`profile` has recorded data, the same call emits optimized
+        code — the two compiles of the paper's workflow. ``extra_globals``
+        are injected into the recompiled function's globals (for runtime
+        helpers the expansion references).
+        """
+        with using_profile_information(self.profile_db):
+            return expand_function(fn, registry, extra_globals)
+
+    def profile(
+        self,
+        expanded_fn: Callable,
+        inputs: Iterable[tuple],
+        importance: float = 1.0,
+    ) -> CounterSet:
+        """Run ``expanded_fn`` over representative inputs, collecting one
+        data set of counters and recording its weights."""
+        counters = CounterSet(name=getattr(expanded_fn, "__name__", "pyast-run"))
+        with collecting_counters(counters):
+            for args in inputs:
+                expanded_fn(*args)
+        self.profile_db.record_counters(counters, importance)
+        return counters
+
+    def store_profile(self, path: str | os.PathLike[str]) -> None:
+        self.profile_db.store(path)
+
+    def load_profile(self, path: str | os.PathLike[str]) -> None:
+        self.profile_db = ProfileDatabase.load(path)

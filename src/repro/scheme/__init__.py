@@ -1,0 +1,58 @@
+"""The Scheme substrate: reader, hygienic macro expander, interpreter,
+expression-level profiler — the reproduction's analogue of Chez Scheme
+(Section 4.1) and, in call-profiling mode, of Racket + errortrace
+(Section 4.2).
+"""
+
+from repro.scheme.datum import (
+    EOF_OBJECT,
+    NIL,
+    UNSPECIFIED,
+    Char,
+    Pair,
+    SchemeVector,
+    Symbol,
+    display_datum,
+    gensym,
+    pylist_from_scheme,
+    scheme_list,
+    write_datum,
+)
+from repro.scheme.expander import Expander
+from repro.scheme.instrument import Instrumenter, ProfileMode
+from repro.scheme.interpreter import Closure, Interpreter, apply_procedure
+from repro.scheme.pipeline import RunResult, SchemeSystem
+from repro.scheme.primitives import make_expand_env, make_global_env
+from repro.scheme.reader import read_file, read_one, read_string
+from repro.scheme.syntax import Syntax, datum_to_syntax, syntax_to_datum
+
+__all__ = [
+    "Char",
+    "Closure",
+    "EOF_OBJECT",
+    "Expander",
+    "Instrumenter",
+    "Interpreter",
+    "NIL",
+    "Pair",
+    "ProfileMode",
+    "RunResult",
+    "SchemeSystem",
+    "SchemeVector",
+    "Symbol",
+    "Syntax",
+    "UNSPECIFIED",
+    "apply_procedure",
+    "datum_to_syntax",
+    "display_datum",
+    "gensym",
+    "make_expand_env",
+    "make_global_env",
+    "pylist_from_scheme",
+    "read_file",
+    "read_one",
+    "read_string",
+    "scheme_list",
+    "syntax_to_datum",
+    "write_datum",
+]

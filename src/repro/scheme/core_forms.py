@@ -1,0 +1,239 @@
+"""The fully-expanded core language.
+
+The expander (:mod:`repro.scheme.expander`) lowers all surface syntax —
+macros, ``let`` variants, ``cond``, quasiquote, … — into this small typed
+AST. Identifiers have been resolved: every variable is a *unique* symbol
+(locals are gensymmed; top-level variables keep their source name), so the
+interpreter and the block compiler need no scope information.
+
+Each node retains the :class:`~repro.scheme.syntax.Syntax` it was expanded
+from, which carries the source location and (crucially) the profile point
+that instrumentation uses. Meta-programs have already run by the time this
+AST exists — profile-guided decisions are frozen into its shape.
+
+``SyntaxCaseExpr`` and ``TemplateExpr`` make ``syntax-case`` and syntax
+templates first-class core forms so that *transformers themselves* are
+compiled and executed by the same interpreter (the substrate is
+meta-circular in the same way Chez and Racket are).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.profile_point import ProfilePoint
+from repro.scheme.datum import NIL, Pair, SchemeVector, Symbol, scheme_list
+from repro.scheme.syntax import Syntax
+
+__all__ = [
+    "CoreExpr",
+    "Const",
+    "Ref",
+    "SetBang",
+    "If",
+    "Lambda",
+    "Begin",
+    "App",
+    "Define",
+    "Program",
+    "SyntaxCaseExpr",
+    "SyntaxCaseClause",
+    "TemplateExpr",
+    "unparse",
+    "unparse_string",
+]
+
+
+@dataclass(slots=True)
+class CoreExpr:
+    """Base class; ``stx`` links back to the source expression."""
+
+    stx: Syntax | None
+
+    @property
+    def profile_point(self) -> ProfilePoint | None:
+        """The profile point instrumented execution of this node bumps."""
+        return self.stx.profile_point if self.stx is not None else None
+
+
+@dataclass(slots=True)
+class Const(CoreExpr):
+    """A self-evaluating constant or ``quote``d datum."""
+
+    value: object
+
+
+@dataclass(slots=True)
+class Ref(CoreExpr):
+    """A variable reference, fully resolved to its unique name."""
+
+    unique: Symbol
+    source_name: str = ""
+
+
+@dataclass(slots=True)
+class SetBang(CoreExpr):
+    unique: Symbol
+    expr: "CoreExpr"
+    source_name: str = ""
+
+
+@dataclass(slots=True)
+class If(CoreExpr):
+    test: "CoreExpr"
+    then: "CoreExpr"
+    otherwise: "CoreExpr"
+
+
+@dataclass(slots=True)
+class Lambda(CoreExpr):
+    params: list[Symbol]
+    rest: Symbol | None
+    body: list["CoreExpr"]
+    name: str = "lambda"
+    param_names: list[str] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class Begin(CoreExpr):
+    exprs: list["CoreExpr"]
+
+
+@dataclass(slots=True)
+class App(CoreExpr):
+    fn: "CoreExpr"
+    args: list["CoreExpr"]
+
+
+@dataclass(slots=True)
+class Define(CoreExpr):
+    """Top-level definition (internal defines are lowered into lambda bodies)."""
+
+    unique: Symbol
+    expr: "CoreExpr"
+    source_name: str = ""
+
+
+@dataclass(slots=True)
+class SyntaxCaseClause:
+    pattern: Syntax
+    #: pattern-variable name -> (unique runtime slot, ellipsis depth)
+    pvars: dict[str, tuple[Symbol, int]]
+    fender: CoreExpr | None
+    body: CoreExpr
+
+
+@dataclass(slots=True)
+class SyntaxCaseExpr(CoreExpr):
+    """``(syntax-case subject (literals...) clause...)`` as a core form."""
+
+    subject: "CoreExpr"
+    literals: frozenset[str]
+    clauses: list[SyntaxCaseClause]
+
+
+@dataclass(slots=True)
+class TemplateExpr(CoreExpr):
+    """``(syntax template)`` / ``(quasisyntax template)`` as a core form.
+
+    ``pvars`` maps template variable names to their runtime slots and
+    depths; ``holes`` maps hole names (substituted into the template for
+    ``#,e`` / ``#,@e``) to the compiled expression and a splicing flag.
+    """
+
+    template: Syntax
+    pvars: dict[str, tuple[Symbol, int]]
+    holes: dict[str, tuple["CoreExpr", bool]]
+
+
+@dataclass(slots=True)
+class Program:
+    """A fully-expanded top-level program."""
+
+    forms: list[CoreExpr]
+
+
+# -- unparsing (for tests, figures, and the CLI's `expand` command) -----------
+
+
+def _pretty_symbol(sym: Symbol, pretty: bool) -> Symbol:
+    if pretty and "%" in sym.name:
+        return Symbol(sym.name.split("%", 1)[0])
+    return sym
+
+
+def unparse(expr: CoreExpr | Program, pretty: bool = True) -> object:
+    """Convert core AST back to a datum (for printing / golden tests).
+
+    With ``pretty=True``, gensymmed unique names are shown with their source
+    base name (``t%42`` prints as ``t``), matching the paper's figures.
+    """
+    if isinstance(expr, Program):
+        return scheme_list(*[unparse(form, pretty) for form in expr.forms])
+    if isinstance(expr, Const):
+        value = expr.value
+        if isinstance(value, (Pair, Symbol, SchemeVector)) or value is NIL:
+            return scheme_list(Symbol("quote"), value)
+        return value
+    if isinstance(expr, Ref):
+        return _pretty_symbol(expr.unique, pretty)
+    if isinstance(expr, SetBang):
+        return scheme_list(
+            Symbol("set!"), _pretty_symbol(expr.unique, pretty), unparse(expr.expr, pretty)
+        )
+    if isinstance(expr, If):
+        return scheme_list(
+            Symbol("if"),
+            unparse(expr.test, pretty),
+            unparse(expr.then, pretty),
+            unparse(expr.otherwise, pretty),
+        )
+    if isinstance(expr, Lambda):
+        params: object = scheme_list(*[_pretty_symbol(p, pretty) for p in expr.params])
+        if expr.rest is not None:
+            params = scheme_list(
+                *[_pretty_symbol(p, pretty) for p in expr.params],
+                tail=_pretty_symbol(expr.rest, pretty),
+            )
+        return scheme_list(
+            Symbol("lambda"), params, *[unparse(b, pretty) for b in expr.body]
+        )
+    if isinstance(expr, Begin):
+        return scheme_list(Symbol("begin"), *[unparse(e, pretty) for e in expr.exprs])
+    if isinstance(expr, App):
+        return scheme_list(
+            unparse(expr.fn, pretty), *[unparse(a, pretty) for a in expr.args]
+        )
+    if isinstance(expr, Define):
+        return scheme_list(
+            Symbol("define"),
+            _pretty_symbol(expr.unique, pretty),
+            unparse(expr.expr, pretty),
+        )
+    if isinstance(expr, SyntaxCaseExpr):
+        clauses = []
+        for clause in expr.clauses:
+            from repro.scheme.syntax import syntax_to_datum
+
+            items = [syntax_to_datum(clause.pattern)]
+            if clause.fender is not None:
+                items.append(unparse(clause.fender, pretty))
+            items.append(unparse(clause.body, pretty))
+            clauses.append(scheme_list(*items))
+        lits = scheme_list(*[Symbol(name) for name in sorted(expr.literals)])
+        return scheme_list(
+            Symbol("syntax-case"), unparse(expr.subject, pretty), lits, *clauses
+        )
+    if isinstance(expr, TemplateExpr):
+        from repro.scheme.syntax import syntax_to_datum
+
+        return scheme_list(Symbol("syntax"), syntax_to_datum(expr.template))
+    raise TypeError(f"cannot unparse {type(expr).__name__}")
+
+
+def unparse_string(expr: CoreExpr | Program, pretty: bool = True) -> str:
+    from repro.scheme.datum import write_datum
+
+    if isinstance(expr, Program):
+        return "\n".join(write_datum(unparse(f, pretty)) for f in expr.forms)
+    return write_datum(unparse(expr, pretty))

@@ -1,0 +1,436 @@
+"""Scheme datum representation for the Scheme substrate.
+
+The substrate models the value universe of a small Scheme:
+
+===============  =======================================
+Scheme type      Python representation
+===============  =======================================
+symbol           :class:`Symbol` (interned)
+pair             :class:`Pair` (mutable cons cell)
+empty list       :data:`NIL` (singleton)
+boolean          ``bool``
+number           ``int`` / ``float`` / ``fractions.Fraction``
+string           ``str``
+character        :class:`Char`
+vector           :class:`SchemeVector`
+unspecified      :data:`UNSPECIFIED` (result of ``set!`` etc.)
+eof object       :data:`EOF_OBJECT`
+procedure        Python callable or interpreter closure
+===============  =======================================
+
+The module also provides the external representations (``write`` and
+``display`` styles) used by the printer primitives and by tests that compare
+generated code against the paper's figures.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Iterator
+
+__all__ = [
+    "MultipleValues",
+    "Symbol",
+    "intern_symbol",
+    "gensym",
+    "Pair",
+    "NIL",
+    "Nil",
+    "Char",
+    "SchemeVector",
+    "UNSPECIFIED",
+    "Unspecified",
+    "EOF_OBJECT",
+    "scheme_list",
+    "iter_pairs",
+    "pylist_from_scheme",
+    "is_scheme_list",
+    "scheme_list_length",
+    "write_datum",
+    "display_datum",
+]
+
+
+class Symbol:
+    """An interned Scheme symbol.
+
+    Symbols with the same name are the same object, so identity comparison
+    (`is` / ``eq?``) is name comparison. Construct via :func:`intern_symbol`
+    (or ``Symbol(name)``, which interns transparently).
+    """
+
+    __slots__ = ("name",)
+    _table: dict[str, "Symbol"] = {}
+
+    def __new__(cls, name: str) -> "Symbol":
+        existing = cls._table.get(name)
+        if existing is not None:
+            return existing
+        sym = super().__new__(cls)
+        sym.name = name
+        cls._table[name] = sym
+        return sym
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    # Interned: default identity equality is correct. Defined explicitly so
+    # the invariant survives pickling-style copying.
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+def intern_symbol(name: str) -> Symbol:
+    """The canonical :class:`Symbol` named ``name``."""
+    return Symbol(name)
+
+
+_GENSYM_COUNTER = 0
+
+
+def gensym(prefix: str = "g") -> Symbol:
+    """A symbol guaranteed distinct from any symbol read from source.
+
+    The name contains a ``%`` which the reader rejects inside plain symbols,
+    so collisions with user code are impossible.
+    """
+    global _GENSYM_COUNTER
+    _GENSYM_COUNTER += 1
+    return Symbol(f"{prefix}%{_GENSYM_COUNTER}")
+
+
+class Nil:
+    """The empty list. A singleton: use :data:`NIL`."""
+
+    __slots__ = ()
+    _instance: "Nil | None" = None
+
+    def __new__(cls) -> "Nil":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "()"
+
+    def __iter__(self) -> Iterator:
+        return iter(())
+
+    def __len__(self) -> int:
+        return 0
+
+    def __bool__(self) -> bool:
+        # NIL is a true value in Scheme; only #f is false.
+        return True
+
+
+NIL = Nil()
+
+
+class Pair:
+    """A mutable cons cell."""
+
+    __slots__ = ("car", "cdr")
+
+    def __init__(self, car: object, cdr: object) -> None:
+        self.car = car
+        self.cdr = cdr
+
+    def __repr__(self) -> str:
+        return write_datum(self)
+
+    def __eq__(self, other: object) -> bool:
+        # Structural equality (Scheme equal?), iterative on the cdr spine to
+        # tolerate long lists.
+        if not isinstance(other, Pair):
+            return NotImplemented
+        a: object = self
+        b: object = other
+        while isinstance(a, Pair) and isinstance(b, Pair):
+            if a.car != b.car:
+                return False
+            a = a.cdr
+            b = b.cdr
+        return a == b
+
+    def __hash__(self):
+        raise TypeError("Scheme pairs are mutable and unhashable")
+
+
+class Char:
+    """A Scheme character, distinct from a length-1 string."""
+
+    __slots__ = ("value",)
+
+    _NAMES = {
+        " ": "space",
+        "\t": "tab",
+        "\n": "newline",
+        "\r": "return",
+        "\0": "nul",
+        "\x7f": "delete",
+        "\x1b": "esc",
+        "\x08": "backspace",
+        "\x0c": "page",
+    }
+    _BY_NAME = {name: ch for ch, name in _NAMES.items()}
+    _BY_NAME["linefeed"] = "\n"
+    _BY_NAME["altmode"] = "\x1b"
+    _BY_NAME["rubout"] = "\x7f"
+
+    def __init__(self, value: str) -> None:
+        if len(value) != 1:
+            raise ValueError(f"Char requires a single character, got {value!r}")
+        self.value = value
+
+    @classmethod
+    def from_name(cls, name: str) -> "Char":
+        if len(name) == 1:
+            return cls(name)
+        ch = cls._BY_NAME.get(name)
+        if ch is None:
+            raise ValueError(f"unknown character name: #\\{name}")
+        return cls(ch)
+
+    def external(self) -> str:
+        name = self._NAMES.get(self.value)
+        return f"#\\{name}" if name else f"#\\{self.value}"
+
+    def __repr__(self) -> str:
+        return self.external()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Char) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("Char", self.value))
+
+    def __lt__(self, other: "Char") -> bool:
+        return self.value < other.value
+
+
+class SchemeVector:
+    """A Scheme vector: fixed-length, mutable, O(1) indexed."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: Iterable[object] = ()) -> None:
+        self.items: list[object] = list(items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __getitem__(self, index: int) -> object:
+        return self.items[index]
+
+    def __setitem__(self, index: int, value: object) -> None:
+        self.items[index] = value
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self.items)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SchemeVector) and self.items == other.items
+
+    def __hash__(self):
+        raise TypeError("Scheme vectors are mutable and unhashable")
+
+    def __repr__(self) -> str:
+        return write_datum(self)
+
+
+class MultipleValues:
+    """Carrier for ``(values v ...)`` with zero or ≥2 values.
+
+    Single-value ``(values x)`` returns ``x`` directly (the overwhelmingly
+    common case costs nothing). Contexts that cannot accept multiple
+    values simply see this object; only ``call-with-values`` unpacks it.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: tuple) -> None:
+        self.values = values
+
+    def __repr__(self) -> str:
+        return f"#<values {' '.join(write_datum(v) for v in self.values)}>"
+
+
+class Unspecified:
+    """The unspecified value returned by side-effecting forms."""
+
+    __slots__ = ()
+    _instance: "Unspecified | None" = None
+
+    def __new__(cls) -> "Unspecified":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "#<void>"
+
+
+UNSPECIFIED = Unspecified()
+
+
+class _EofObject:
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "#<eof>"
+
+
+EOF_OBJECT = _EofObject()
+
+
+# -- list helpers --------------------------------------------------------------
+
+
+def scheme_list(*items: object, tail: object = NIL) -> object:
+    """Build a Scheme list (optionally improper, via ``tail``)."""
+    result = tail
+    for item in reversed(items):
+        result = Pair(item, result)
+    return result
+
+
+def iter_pairs(lst: object) -> Iterator[object]:
+    """Yield the cars along the cdr spine of a proper list.
+
+    Raises ``TypeError`` if the spine ends in anything but :data:`NIL`.
+    """
+    while isinstance(lst, Pair):
+        yield lst.car
+        lst = lst.cdr
+    if lst is not NIL:
+        raise TypeError(f"improper list (dotted tail {write_datum(lst)})")
+
+
+def pylist_from_scheme(lst: object) -> list[object]:
+    """The cars of a proper Scheme list as a Python list."""
+    return list(iter_pairs(lst))
+
+
+def is_scheme_list(obj: object) -> bool:
+    """True for proper (NIL-terminated, acyclic) lists."""
+    slow = obj
+    fast = obj
+    while isinstance(fast, Pair):
+        fast = fast.cdr
+        if not isinstance(fast, Pair):
+            break
+        fast = fast.cdr
+        slow = slow.cdr  # type: ignore[union-attr]
+        if fast is slow:
+            return False  # cyclic
+    return fast is NIL
+
+
+def scheme_list_length(lst: object) -> int:
+    """Length of a proper list (TypeError on improper lists)."""
+    n = 0
+    for _ in iter_pairs(lst):
+        n += 1
+    return n
+
+
+# -- printers -------------------------------------------------------------------
+
+_QUOTE_ABBREVS = {
+    "quote": "'",
+    "quasiquote": "`",
+    "unquote": ",",
+    "unquote-splicing": ",@",
+    "syntax": "#'",
+    "quasisyntax": "#`",
+    "unsyntax": "#,",
+    "unsyntax-splicing": "#,@",
+}
+
+
+def _string_external(s: str) -> str:
+    out = ['"']
+    for ch in s:
+        if ch == '"':
+            out.append('\\"')
+        elif ch == "\\":
+            out.append("\\\\")
+        elif ch == "\n":
+            out.append("\\n")
+        elif ch == "\t":
+            out.append("\\t")
+        elif ch == "\r":
+            out.append("\\r")
+        else:
+            out.append(ch)
+    out.append('"')
+    return "".join(out)
+
+
+def _number_external(n: object) -> str:
+    if isinstance(n, bool):  # bool is an int subtype; guard first
+        return "#t" if n else "#f"
+    if isinstance(n, Fraction):
+        return f"{n.numerator}/{n.denominator}"
+    if isinstance(n, float):
+        return repr(n)
+    return str(n)
+
+
+def _datum_external(d: object, write: bool) -> str:
+    if d is NIL:
+        return "()"
+    if d is True:
+        return "#t"
+    if d is False:
+        return "#f"
+    if d is UNSPECIFIED:
+        return "#<void>"
+    if d is EOF_OBJECT:
+        return "#<eof>"
+    if isinstance(d, Symbol):
+        return d.name
+    if isinstance(d, (int, float, Fraction)):
+        return _number_external(d)
+    if isinstance(d, str):
+        return _string_external(d) if write else d
+    if isinstance(d, Char):
+        return d.external() if write else d.value
+    if isinstance(d, SchemeVector):
+        inner = " ".join(_datum_external(x, write) for x in d.items)
+        return f"#({inner})"
+    if isinstance(d, Pair):
+        # Quote abbreviations: (quote x) prints as 'x, etc.
+        if (
+            isinstance(d.car, Symbol)
+            and d.car.name in _QUOTE_ABBREVS
+            and isinstance(d.cdr, Pair)
+            and d.cdr.cdr is NIL
+        ):
+            return _QUOTE_ABBREVS[d.car.name] + _datum_external(d.cdr.car, write)
+        parts = []
+        node: object = d
+        while isinstance(node, Pair):
+            parts.append(_datum_external(node.car, write))
+            node = node.cdr
+        if node is NIL:
+            return "(" + " ".join(parts) + ")"
+        return "(" + " ".join(parts) + " . " + _datum_external(node, write) + ")"
+    if callable(d):
+        name = getattr(d, "scheme_name", getattr(d, "__name__", "procedure"))
+        return f"#<procedure {name}>"
+    return repr(d)
+
+
+def write_datum(d: object) -> str:
+    """The ``write`` external representation (strings quoted, chars named)."""
+    return _datum_external(d, write=True)
+
+
+def display_datum(d: object) -> str:
+    """The ``display`` representation (strings and chars shown raw)."""
+    return _datum_external(d, write=False)

@@ -1,0 +1,89 @@
+"""Run-time environments for the Scheme interpreter.
+
+After expansion every variable has a unique name, so environments are plain
+symbol-keyed dict chains: a global frame at the root, one frame per closure
+invocation. Lookup failures indicate either a reference to a top-level
+variable defined later (legal — resolved against the global frame at call
+time) or a genuine unbound-variable error.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import EvalError
+from repro.scheme.datum import Symbol
+
+__all__ = ["Environment", "GlobalEnvironment"]
+
+
+class Environment:
+    """A local frame chained to a parent environment."""
+
+    __slots__ = ("bindings", "parent", "globals")
+
+    def __init__(
+        self,
+        bindings: dict[Symbol, object],
+        parent: "Environment | GlobalEnvironment",
+    ) -> None:
+        self.bindings = bindings
+        self.parent = parent
+        # Cache the root global frame for O(1) top-level fallback.
+        self.globals = parent.globals
+
+    def lookup(self, name: Symbol) -> object:
+        env: Environment | GlobalEnvironment = self
+        while isinstance(env, Environment):
+            value = env.bindings.get(name, _MISSING)
+            if value is not _MISSING:
+                return value
+            env = env.parent
+        return env.lookup(name)
+
+    def assign(self, name: Symbol, value: object) -> None:
+        env: Environment | GlobalEnvironment = self
+        while isinstance(env, Environment):
+            if name in env.bindings:
+                env.bindings[name] = value
+                return
+            env = env.parent
+        env.assign(name, value)
+
+
+class GlobalEnvironment:
+    """The root frame: top-level definitions and primitives."""
+
+    __slots__ = ("bindings",)
+
+    def __init__(self, bindings: dict[Symbol, object] | None = None) -> None:
+        self.bindings: dict[Symbol, object] = bindings if bindings is not None else {}
+
+    @property
+    def globals(self) -> "GlobalEnvironment":
+        return self
+
+    def lookup(self, name: Symbol) -> object:
+        value = self.bindings.get(name, _MISSING)
+        if value is _MISSING:
+            raise EvalError(f"unbound variable: {name.name}")
+        return value
+
+    def assign(self, name: Symbol, value: object) -> None:
+        if name not in self.bindings:
+            raise EvalError(f"set! of unbound variable: {name.name}")
+        self.bindings[name] = value
+
+    def define(self, name: Symbol, value: object) -> None:
+        self.bindings[name] = value
+
+    def snapshot(self) -> dict[Symbol, object]:
+        return dict(self.bindings)
+
+
+class _Missing:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<missing>"
+
+
+_MISSING = _Missing()

@@ -1,0 +1,1459 @@
+"""The macro expander.
+
+Lowers surface syntax to the core AST of :mod:`repro.scheme.core_forms`,
+running user macros at expand time. Macro transformers are ordinary Scheme
+procedures (``(define-syntax (name stx) ...)`` or
+``(define-syntax name (lambda (stx) ...))``) that the expander compiles and
+executes with the *same* interpreter used at run time — with the Figure-4
+PGMP API (``profile-query``, ``make-profile-point``, ``annotate-expr``,
+…) available as expand-time primitives. This is precisely the paper's
+setting: meta-programs run at compile time and consult profile information
+gathered from previous runs.
+
+Hygiene follows the sets-of-scopes discipline of
+:mod:`repro.scheme.hygiene`: binding forms add fresh scopes, macro
+invocations flip a fresh introduction scope around the transformer call.
+
+Core/derived forms handled here: ``quote`` ``if`` ``lambda`` ``begin``
+``set!`` ``define`` ``define-syntax`` ``let`` ``let*`` ``letrec``
+``letrec*`` named ``let`` ``cond`` ``and`` ``or`` ``when`` ``unless``
+``quasiquote`` ``syntax`` ``quasisyntax`` ``syntax-case`` ``with-syntax``
+``let-syntax`` ``letrec-syntax`` ``meta`` — note that ``case`` is *not*
+built in: the paper implements it as a profile-guided meta-program
+(Section 6.1), and so do we (:mod:`repro.casestudies.exclusive_cond`).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.errors import ExpandError
+from repro.core.profile_point import reset_generated_points
+from repro.scheme.core_forms import (
+    App,
+    Begin,
+    Const,
+    CoreExpr,
+    Define,
+    If,
+    Lambda,
+    Program,
+    Ref,
+    SetBang,
+    SyntaxCaseClause,
+    SyntaxCaseExpr,
+    TemplateExpr,
+)
+from repro.scheme.datum import (
+    NIL,
+    UNSPECIFIED,
+    Char,
+    Pair,
+    SchemeVector,
+    Symbol,
+    gensym,
+    scheme_list,
+    write_datum,
+)
+from repro.scheme.env import GlobalEnvironment
+from repro.scheme.hygiene import (
+    BindingTable,
+    CoreBinding,
+    MacroBinding,
+    PatternBinding,
+    ScopeCounter,
+    VariableBinding,
+)
+from repro.scheme.interpreter import Closure, Interpreter, apply_procedure
+from repro.scheme.patterns import pattern_variables
+from repro.scheme.syntax import (
+    Syntax,
+    datum_to_syntax,
+    is_identifier,
+    syntax_pylist,
+    syntax_to_datum,
+)
+
+__all__ = ["Expander", "CORE_FORM_NAMES"]
+
+CORE_FORM_NAMES = frozenset(
+    {
+        "quote",
+        "if",
+        "lambda",
+        "begin",
+        "set!",
+        "define",
+        "define-syntax",
+        "let",
+        "let*",
+        "letrec",
+        "letrec*",
+        "cond",
+        "and",
+        "or",
+        "when",
+        "unless",
+        "quasiquote",
+        "unquote",
+        "unquote-splicing",
+        "syntax",
+        "quasisyntax",
+        "unsyntax",
+        "unsyntax-splicing",
+        "syntax-case",
+        "with-syntax",
+        "let-syntax",
+        "letrec-syntax",
+        "meta",
+        "do",
+        "syntax-rules",
+        "case-lambda",
+        "define-record-type",
+        "let-values",
+    }
+)
+
+_SELF_EVALUATING = (int, float, Fraction, str, bool, Char)
+
+
+class Expander:
+    """One expansion session over a shared binding table and expand-time env.
+
+    A single :class:`Expander` may expand many programs; top-level bindings
+    (including macros) persist across calls, which is how case-study
+    "libraries" are loaded before user programs.
+    """
+
+    def __init__(self, expand_env: GlobalEnvironment) -> None:
+        self.scope_counter = ScopeCounter()
+        self.table = BindingTable()
+        self.core_scope = self.scope_counter.fresh()
+        self.core_scopes = frozenset({self.core_scope})
+        for name in CORE_FORM_NAMES:
+            self.table.add(Symbol(name), self.core_scopes, CoreBinding(name))
+        self.expand_env = expand_env
+        self.expand_interp = Interpreter(expand_env)
+
+    # ---------------------------------------------------------------- top level
+
+    def expand_program(self, forms: list[Syntax]) -> Program:
+        """Expand a sequence of top-level forms into a core program."""
+        reset_generated_points()
+        out: list[CoreExpr] = []
+        for form in forms:
+            out.extend(self.expand_top_form(form.add_scope(self.core_scope)))
+        return Program(out)
+
+    def expand_top_form(self, stx: Syntax) -> list[CoreExpr]:
+        stx = self._head_expand(stx)
+        head = self._core_head(stx)
+        if head == "define-record-type":
+            return self.expand_top_form(self._expand_record_type(stx))
+        if head == "begin":
+            forms = syntax_pylist(stx)[1:]
+            out: list[CoreExpr] = []
+            for form in forms:
+                out.extend(self.expand_top_form(form))
+            return out
+        if head == "define":
+            return [self._expand_top_define(stx)]
+        if head == "define-syntax":
+            self._expand_define_syntax(stx)
+            return []
+        if head == "meta":
+            self._expand_meta(stx)
+            return []
+        return [self.expand_expr(stx)]
+
+    def _expand_top_define(self, stx: Syntax) -> Define:
+        identifier, value_stx = self._parse_define(stx)
+        name = identifier.datum
+        assert isinstance(name, Symbol)
+        # Top level is deliberately name-stable: the unique name *is* the
+        # source name, so separately-expanded forms and expand-time
+        # fallbacks agree on the variable's identity.
+        unique = Symbol(name.name)
+        self.table.add(name, identifier.scopes, VariableBinding(unique))
+        expr = self.expand_expr(value_stx)
+        if isinstance(expr, Lambda):
+            expr.name = name.name
+        return Define(stx, unique, expr, source_name=name.name)
+
+    def _parse_define(self, stx: Syntax) -> tuple[Syntax, Syntax]:
+        """Split ``(define id e)`` / ``(define (id . args) body…)``."""
+        parts = syntax_pylist(stx)
+        if len(parts) < 2:
+            raise ExpandError(f"malformed define at {stx.srcloc}")
+        target = parts[1]
+        if is_identifier(target):
+            if len(parts) == 2:
+                # (define id) — initialize to unspecified.
+                return target, datum_to_syntax(
+                    scheme_list(Symbol("quote"), UNSPECIFIED), context=stx
+                )
+            if len(parts) != 3:
+                raise ExpandError(f"malformed define at {stx.srcloc}")
+            return target, parts[2]
+        # (define (id . formals) body ...)
+        if not target.is_pair():
+            raise ExpandError(f"malformed define at {stx.srcloc}")
+        head = target.datum.car
+        head_stx = head if isinstance(head, Syntax) else datum_to_syntax(head)
+        if not is_identifier(head_stx):
+            raise ExpandError(f"malformed define at {stx.srcloc}")
+        formals = target.datum.cdr
+        lam = Syntax(
+            Pair(
+                Syntax(Symbol("lambda"), stx.srcloc, self.core_scopes),
+                Pair(
+                    formals
+                    if isinstance(formals, Syntax)
+                    else Syntax(formals, target.srcloc, target.scopes),
+                    _tail_of(stx, 2),
+                ),
+            ),
+            stx.srcloc,
+            stx.scopes,
+        )
+        return head_stx, lam
+
+    def _expand_record_type(self, stx: Syntax) -> Syntax:
+        """(define-record-type name (fields f ...)) -> a begin of defines.
+
+        Generates ``make-NAME``, ``NAME?``, and one accessor ``NAME-f`` and
+        mutator ``set-NAME-f!`` per field, over a tagged-vector
+        representation (tag symbol is unique per definition site, so two
+        record types with the same name are distinct).
+        """
+        parts = syntax_pylist(stx)
+        if len(parts) != 3 or not is_identifier(parts[1]):
+            raise ExpandError(f"malformed define-record-type at {stx.srcloc}")
+        name_id = parts[1]
+        name = name_id.symbol_name
+        fields_clause = syntax_pylist(parts[2])
+        if (
+            not fields_clause
+            or not is_identifier(fields_clause[0])
+            or fields_clause[0].symbol_name != "fields"
+        ):
+            raise ExpandError(
+                f"define-record-type expects a (fields ...) clause at {stx.srcloc}"
+            )
+        field_ids = fields_clause[1:]
+        for field_id in field_ids:
+            if not is_identifier(field_id):
+                raise ExpandError(f"malformed record field at {field_id.srcloc}")
+        field_names = [f.symbol_name for f in field_ids]
+        tag = gensym(f"record:{name}")
+
+        def at(name_: str) -> Syntax:
+            return Syntax(Symbol(name_), stx.srcloc, name_id.scopes)
+
+        def core(name_: str) -> Syntax:
+            return Syntax(Symbol(name_), stx.srcloc, self.core_scopes)
+
+        def lst(*items: object) -> Syntax:
+            return Syntax(_list_from(list(items)), stx.srcloc, stx.scopes)
+
+        quoted_tag = lst(core("quote"), Syntax(tag, stx.srcloc, frozenset()))
+        forms: list[object] = []
+        # Constructor.
+        forms.append(
+            lst(core("define"), lst(at(f"make-{name}"), *[at(f) for f in field_names]),
+                lst(core("vector"), quoted_tag, *[at(f) for f in field_names]))
+        )
+        # Predicate.
+        forms.append(
+            lst(core("define"), lst(at(f"{name}?"), at("x")),
+                lst(core("and"),
+                    lst(at("vector?"), at("x")),
+                    lst(at("="), lst(at("vector-length"), at("x")),
+                        Syntax(len(field_names) + 1, stx.srcloc, frozenset())),
+                    lst(at("eq?"), lst(at("vector-ref"), at("x"),
+                                       Syntax(0, stx.srcloc, frozenset())),
+                        quoted_tag)))
+        )
+        # Accessors and mutators.
+        for index, field in enumerate(field_names, start=1):
+            idx = Syntax(index, stx.srcloc, frozenset())
+            forms.append(
+                lst(core("define"), lst(at(f"{name}-{field}"), at("r")),
+                    lst(at("vector-ref"), at("r"), idx))
+            )
+            forms.append(
+                lst(core("define"), lst(at(f"set-{name}-{field}!"), at("r"), at("v")),
+                    lst(at("vector-set!"), at("r"), idx, at("v")))
+            )
+        return lst(core("begin"), *forms)
+
+    def _expand_define_syntax(self, stx: Syntax, scopes_hint: frozenset | None = None) -> None:
+        parts = syntax_pylist(stx)
+        if len(parts) < 3:
+            raise ExpandError(f"malformed define-syntax at {stx.srcloc}")
+        target = parts[1]
+        if is_identifier(target):
+            if len(parts) != 3:
+                raise ExpandError(f"malformed define-syntax at {stx.srcloc}")
+            transformer_stx = parts[2]
+        else:
+            # (define-syntax (name stx) body ...) sugar — the paper's Figure 1.
+            if not target.is_pair():
+                raise ExpandError(f"malformed define-syntax at {stx.srcloc}")
+            sub = syntax_pylist(target)
+            if len(sub) != 2 or not is_identifier(sub[0]) or not is_identifier(sub[1]):
+                raise ExpandError(f"malformed define-syntax at {stx.srcloc}")
+            target = sub[0]
+            transformer_stx = Syntax(
+                Pair(
+                    Syntax(Symbol("lambda"), stx.srcloc, self.core_scopes),
+                    Pair(
+                        Syntax(Pair(sub[1], NIL), stx.srcloc, stx.scopes),
+                        _tail_of(stx, 2),
+                    ),
+                ),
+                stx.srcloc,
+                stx.scopes,
+            )
+        transformer = self._eval_transformer(transformer_stx)
+        name = target.datum
+        assert isinstance(name, Symbol)
+        scopes = scopes_hint if scopes_hint is not None else target.scopes
+        self.table.add(name, scopes, MacroBinding(transformer, name=name.name))
+
+    def _eval_transformer(self, transformer_stx: Syntax) -> object:
+        # (syntax-rules ...) builds a rewrite-only transformer directly.
+        if self._core_head(transformer_stx) == "syntax-rules":
+            return self._make_syntax_rules(transformer_stx)
+        core = self.expand_expr(transformer_stx)
+        value = self.expand_interp.eval_expr(core)
+        if not (isinstance(value, Closure) or callable(value)):
+            raise ExpandError(
+                f"define-syntax transformer is not a procedure at "
+                f"{transformer_stx.srcloc}"
+            )
+        return value
+
+    def _core_syntax_rules(self, stx: Syntax) -> CoreExpr:
+        raise ExpandError(
+            f"syntax-rules is only allowed as a transformer ({stx.srcloc})"
+        )
+
+    def _make_syntax_rules(self, stx: Syntax) -> object:
+        """Build a transformer from ``(syntax-rules (lit ...) [pat tmpl] ...)``.
+
+        The classic rewrite-only macro facility: each clause's pattern is
+        matched with its leading keyword position wildcarded, and the
+        matching clause's template is instantiated with the match bindings.
+        """
+        from repro.scheme.patterns import match_pattern, pattern_variables
+        from repro.scheme.template import instantiate_template
+
+        parts = syntax_pylist(stx)
+        if len(parts) < 2:
+            raise ExpandError(f"malformed syntax-rules at {stx.srcloc}")
+        literals = frozenset(
+            identifier.symbol_name for identifier in syntax_pylist(parts[1])
+        )
+        clauses: list[tuple[Syntax, dict[str, int], Syntax]] = []
+        for clause_stx in parts[2:]:
+            items = syntax_pylist(clause_stx)
+            if len(items) != 2:
+                raise ExpandError(
+                    f"malformed syntax-rules clause at {clause_stx.srcloc}"
+                )
+            pattern = _wildcard_head(items[0])
+            depths = pattern_variables(pattern, literals)
+            clauses.append((pattern, depths, items[1]))
+        srcloc = stx.srcloc
+
+        def transform(use: Syntax) -> Syntax:
+            for pattern, depths, template in clauses:
+                bindings = match_pattern(pattern, use, literals)
+                if bindings is None:
+                    continue
+                env = {
+                    name: (depths[name], value)
+                    for name, value in bindings.items()
+                }
+                return instantiate_template(template, env)
+            raise ExpandError(
+                f"no syntax-rules clause (defined at {srcloc}) matches "
+                f"{write_datum(syntax_to_datum(use))} at {use.srcloc}"
+            )
+
+        transform.scheme_name = "syntax-rules-transformer"
+        return transform
+
+    def _expand_meta(self, stx: Syntax) -> None:
+        """``(meta form)``: expand and evaluate ``form`` at expand time."""
+        parts = syntax_pylist(stx)
+        for form in parts[1:]:
+            for core in self.expand_top_form(form):
+                if isinstance(core, Define):
+                    value = self.expand_interp.eval_expr(core.expr)
+                    if isinstance(value, Closure) and value.name == "lambda":
+                        value.name = core.source_name
+                    self.expand_env.define(core.unique, value)
+                else:
+                    self.expand_interp.eval_expr(core)
+
+    # ---------------------------------------------------------------- dispatch
+
+    def _head_expand(self, stx: Syntax) -> Syntax:
+        """Expand macro uses at the head of ``stx`` until a non-macro form."""
+        for _ in range(10_000):
+            if stx.is_pair():
+                head = stx.datum.car
+                head_stx = head if isinstance(head, Syntax) else None
+                if head_stx is not None and is_identifier(head_stx):
+                    binding = self.table.resolve(head_stx)
+                    if isinstance(binding, MacroBinding):
+                        stx = self._apply_macro(binding, stx)
+                        continue
+            elif is_identifier(stx):
+                binding = self.table.resolve(stx)
+                if isinstance(binding, MacroBinding):
+                    stx = self._apply_macro(binding, stx)
+                    continue
+            return stx
+        raise ExpandError(f"macro expansion did not terminate at {stx.srcloc}")
+
+    def _core_head(self, stx: Syntax) -> str | None:
+        """The core-form name ``stx`` dispatches to, if any."""
+        if not stx.is_pair():
+            return None
+        head = stx.datum.car
+        if not (isinstance(head, Syntax) and is_identifier(head)):
+            return None
+        binding = self.table.resolve(head)
+        if isinstance(binding, CoreBinding):
+            return binding.name
+        if binding is None and head.symbol_name in CORE_FORM_NAMES:
+            # Scope-less syntax (raw datum->syntax output) falls back to core.
+            return head.symbol_name
+        return None
+
+    def _apply_macro(self, binding: MacroBinding, stx: Syntax) -> Syntax:
+        intro = self.scope_counter.fresh()
+        flipped = stx.flip_scope(intro)
+        try:
+            result = apply_procedure(binding.transformer, [flipped])
+        except ExpandError:
+            raise
+        except Exception as exc:
+            raise ExpandError(
+                f"error while expanding {binding.name} at {stx.srcloc}: {exc}"
+            ) from exc
+        if not isinstance(result, Syntax):
+            result = datum_to_syntax(result, context=stx)
+        return result.flip_scope(intro)
+
+    def expand_expr(self, stx: Syntax) -> CoreExpr:
+        stx = self._head_expand(stx)
+        datum = stx.datum
+
+        if isinstance(datum, Symbol):
+            return self._expand_reference(stx)
+
+        if isinstance(datum, bool) or isinstance(datum, _SELF_EVALUATING):
+            return Const(stx, datum)
+
+        if isinstance(datum, SchemeVector):
+            return Const(stx, syntax_to_datum(stx))
+
+        if datum is NIL:
+            raise ExpandError(f"empty application () at {stx.srcloc}")
+
+        if isinstance(datum, Pair):
+            head = self._core_head(stx)
+            if head is not None:
+                return self._expand_core(head, stx)
+            parts = syntax_pylist(stx)
+            fn = self.expand_expr(parts[0])
+            args = [self.expand_expr(arg) for arg in parts[1:]]
+            return App(stx, fn, args)
+
+        raise ExpandError(
+            f"cannot expand {write_datum(syntax_to_datum(stx))} at {stx.srcloc}"
+        )
+
+    def _expand_reference(self, stx: Syntax) -> CoreExpr:
+        binding = self.table.resolve(stx)
+        name = stx.datum
+        assert isinstance(name, Symbol)
+        if binding is None:
+            # Top-level fallback: unbound references denote (possibly
+            # not-yet-defined) top-level variables or primitives.
+            return Ref(stx, Symbol(name.name), source_name=name.name)
+        if isinstance(binding, VariableBinding):
+            return Ref(stx, binding.unique, source_name=name.name)
+        if isinstance(binding, PatternBinding):
+            raise ExpandError(
+                f"pattern variable {name.name!r} referenced outside a syntax "
+                f"template at {stx.srcloc}"
+            )
+        if isinstance(binding, CoreBinding):
+            raise ExpandError(
+                f"invalid use of core form {name.name!r} at {stx.srcloc}"
+            )
+        raise ExpandError(f"invalid reference to {name.name!r} at {stx.srcloc}")
+
+    # ---------------------------------------------------------------- core forms
+
+    def _expand_core(self, head: str, stx: Syntax) -> CoreExpr:
+        handler = getattr(self, "_core_" + head.replace("!", "_bang").replace("-", "_").replace("*", "_star"), None)
+        if handler is None:
+            raise ExpandError(f"core form {head!r} not allowed here ({stx.srcloc})")
+        return handler(stx)
+
+    def _core_quote(self, stx: Syntax) -> CoreExpr:
+        parts = syntax_pylist(stx)
+        if len(parts) != 2:
+            raise ExpandError(f"malformed quote at {stx.srcloc}")
+        return Const(stx, syntax_to_datum(parts[1]))
+
+    def _core_if(self, stx: Syntax) -> CoreExpr:
+        parts = syntax_pylist(stx)
+        if len(parts) not in (3, 4):
+            raise ExpandError(f"malformed if at {stx.srcloc}")
+        test = self.expand_expr(parts[1])
+        then = self.expand_expr(parts[2])
+        otherwise = (
+            self.expand_expr(parts[3])
+            if len(parts) == 4
+            else Const(None, UNSPECIFIED)
+        )
+        return If(stx, test, then, otherwise)
+
+    def _core_lambda(self, stx: Syntax) -> CoreExpr:
+        parts = syntax_pylist(stx)
+        if len(parts) < 3:
+            raise ExpandError(f"malformed lambda at {stx.srcloc}")
+        scope = self.scope_counter.fresh()
+        formals = parts[1].add_scope(scope)
+        body_forms = [form.add_scope(scope) for form in parts[2:]]
+        params, rest, param_names = self._bind_formals(formals)
+        body = self._expand_body(body_forms, stx)
+        return Lambda(stx, params, rest, body, param_names=param_names)
+
+    def _bind_formals(self, formals: Syntax) -> tuple[list[Symbol], Symbol | None, list[str]]:
+        params: list[Symbol] = []
+        names: list[str] = []
+        rest: Symbol | None = None
+        datum = formals.datum
+        if is_identifier(formals):
+            rest = self.table.bind_variable(formals)
+            return params, rest, names
+        node: object = datum
+        while True:
+            if isinstance(node, Syntax):
+                if is_identifier(node):
+                    rest = self.table.bind_variable(node)
+                    return params, rest, names
+                node = node.datum
+                continue
+            if isinstance(node, Pair):
+                car = node.car
+                car_stx = car if isinstance(car, Syntax) else datum_to_syntax(car)
+                if not is_identifier(car_stx):
+                    raise ExpandError(f"malformed parameter at {formals.srcloc}")
+                params.append(self.table.bind_variable(car_stx))
+                names.append(car_stx.symbol_name)
+                node = node.cdr
+                continue
+            if node is NIL:
+                return params, rest, names
+            raise ExpandError(f"malformed formals at {formals.srcloc}")
+
+    def _expand_body(self, forms: list[Syntax], context: Syntax) -> list[CoreExpr]:
+        """Expand a lambda/let body with internal defines (letrec* scope).
+
+        Pass 1 head-expands each form, splices ``begin``, registers internal
+        ``define`` names and local macros; pass 2 expands right-hand sides
+        and expressions. Internal defines lower to an inner lambda whose
+        parameters are the defined names, initialized to unspecified and
+        ``set!`` before the body runs.
+        """
+        if not forms:
+            raise ExpandError(f"empty body at {context.srcloc}")
+        # Pass 1: discover definitions.
+        flat: list[Syntax] = []
+        queue = list(forms)
+        while queue:
+            form = self._head_expand(queue.pop(0))
+            if self._core_head(form) == "begin" and len(syntax_pylist(form)) > 1:
+                queue = syntax_pylist(form)[1:] + queue
+                continue
+            flat.append(form)
+        defines: list[tuple[Symbol, Syntax, str]] = []
+        exprs: list[Syntax] = []
+        expanded_flat: list[Syntax] = []
+        for form in flat:
+            if self._core_head(form) == "define-record-type":
+                rewritten = self._expand_record_type(form)
+                expanded_flat.extend(syntax_pylist(rewritten)[1:])
+            else:
+                expanded_flat.append(form)
+        flat = expanded_flat
+        for form in flat:
+            head = self._core_head(form)
+            if head == "define":
+                identifier, value_stx = self._parse_define(form)
+                unique = self.table.bind_variable(identifier)
+                defines.append((unique, value_stx, identifier.symbol_name))
+            elif head == "define-syntax":
+                self._expand_define_syntax(form)
+            else:
+                exprs.append(form)
+        if not exprs:
+            raise ExpandError(f"body has no expressions at {context.srcloc}")
+        # Pass 2: expand.
+        if not defines:
+            return [self.expand_expr(form) for form in exprs]
+        inner_body: list[CoreExpr] = []
+        for unique, value_stx, source_name in defines:
+            value = self.expand_expr(value_stx)
+            if isinstance(value, Lambda):
+                value.name = source_name
+            inner_body.append(SetBang(None, unique, value, source_name=source_name))
+        inner_body.extend(self.expand_expr(form) for form in exprs)
+        inner = Lambda(
+            None,
+            [unique for unique, _, _ in defines],
+            None,
+            inner_body,
+            name="body",
+        )
+        unspecified = [Const(None, UNSPECIFIED) for _ in defines]
+        return [App(None, inner, unspecified)]
+
+    def _core_begin(self, stx: Syntax) -> CoreExpr:
+        parts = syntax_pylist(stx)
+        if len(parts) == 1:
+            return Const(stx, UNSPECIFIED)
+        return Begin(stx, [self.expand_expr(p) for p in parts[1:]])
+
+    def _core_set_bang(self, stx: Syntax) -> CoreExpr:
+        parts = syntax_pylist(stx)
+        if len(parts) != 3 or not is_identifier(parts[1]):
+            raise ExpandError(f"malformed set! at {stx.srcloc}")
+        binding = self.table.resolve(parts[1])
+        name = parts[1].datum
+        assert isinstance(name, Symbol)
+        if binding is None:
+            unique = Symbol(name.name)
+        elif isinstance(binding, VariableBinding):
+            unique = binding.unique
+        else:
+            raise ExpandError(f"set! of non-variable {name.name!r} at {stx.srcloc}")
+        return SetBang(stx, unique, self.expand_expr(parts[2]), source_name=name.name)
+
+    def _core_define(self, stx: Syntax) -> CoreExpr:
+        raise ExpandError(
+            f"define is only allowed at top level or in a body ({stx.srcloc})"
+        )
+
+    def _core_define_syntax(self, stx: Syntax) -> CoreExpr:
+        raise ExpandError(
+            f"define-syntax is only allowed at top level or in a body ({stx.srcloc})"
+        )
+
+    def _core_meta(self, stx: Syntax) -> CoreExpr:
+        raise ExpandError(f"meta is only allowed at top level ({stx.srcloc})")
+
+    # -- let family ----------------------------------------------------------------
+
+    def _parse_bindings(self, bindings_stx: Syntax, what: str) -> list[tuple[Syntax, Syntax]]:
+        out = []
+        for binding in syntax_pylist(bindings_stx):
+            pair = syntax_pylist(binding)
+            if len(pair) != 2 or not is_identifier(pair[0]):
+                raise ExpandError(f"malformed {what} binding at {binding.srcloc}")
+            out.append((pair[0], pair[1]))
+        return out
+
+    def _core_let(self, stx: Syntax) -> CoreExpr:
+        parts = syntax_pylist(stx)
+        if len(parts) >= 3 and is_identifier(parts[1]):
+            return self._expand_named_let(stx, parts)
+        if len(parts) < 3:
+            raise ExpandError(f"malformed let at {stx.srcloc}")
+        bindings = self._parse_bindings(parts[1], "let")
+        inits = [self.expand_expr(init) for _, init in bindings]
+        scope = self.scope_counter.fresh()
+        params = [
+            self.table.bind_variable(identifier.add_scope(scope))
+            for identifier, _ in bindings
+        ]
+        body_forms = [form.add_scope(scope) for form in parts[2:]]
+        body = self._expand_body(body_forms, stx)
+        names = [identifier.symbol_name for identifier, _ in bindings]
+        return App(stx, Lambda(None, params, None, body, name="let", param_names=names), inits)
+
+    def _expand_named_let(self, stx: Syntax, parts: list[Syntax]) -> CoreExpr:
+        if len(parts) < 4:
+            raise ExpandError(f"malformed named let at {stx.srcloc}")
+        loop_id = parts[1]
+        bindings = self._parse_bindings(parts[2], "named-let")
+        inits = [self.expand_expr(init) for _, init in bindings]
+        outer_scope = self.scope_counter.fresh()
+        loop_unique = self.table.bind_variable(loop_id.add_scope(outer_scope))
+        inner_scope = self.scope_counter.fresh()
+        params = [
+            self.table.bind_variable(ident.add_scope(outer_scope).add_scope(inner_scope))
+            for ident, _ in bindings
+        ]
+        body_forms = [
+            form.add_scope(outer_scope).add_scope(inner_scope) for form in parts[3:]
+        ]
+        body = self._expand_body(body_forms, stx)
+        loop_lambda = Lambda(
+            None, params, None, body, name=loop_id.symbol_name,
+            param_names=[i.symbol_name for i, _ in bindings],
+        )
+        # ((lambda (loop) (set! loop (lambda params body)) (loop inits...)) unspec)
+        wrapper_body: list[CoreExpr] = [
+            SetBang(None, loop_unique, loop_lambda, source_name=loop_id.symbol_name),
+            App(None, Ref(None, loop_unique, source_name=loop_id.symbol_name), inits),
+        ]
+        wrapper = Lambda(None, [loop_unique], None, wrapper_body, name="named-let")
+        return App(stx, wrapper, [Const(None, UNSPECIFIED)])
+
+    def _core_let_star(self, stx: Syntax) -> CoreExpr:
+        parts = syntax_pylist(stx)
+        if len(parts) < 3:
+            raise ExpandError(f"malformed let* at {stx.srcloc}")
+        bindings = self._parse_bindings(parts[1], "let*")
+        scopes: list[int] = []
+        compiled: list[tuple[Symbol, CoreExpr, str]] = []
+        for identifier, init_stx in bindings:
+            for scope in scopes:
+                init_stx = init_stx.add_scope(scope)
+            init = self.expand_expr(init_stx)
+            scope = self.scope_counter.fresh()
+            scopes.append(scope)
+            ident = identifier
+            for s in scopes:
+                ident = ident.add_scope(s)
+            unique = self.table.bind_variable(ident)
+            compiled.append((unique, init, identifier.symbol_name))
+        body_forms = parts[2:]
+        for scope in scopes:
+            body_forms = [form.add_scope(scope) for form in body_forms]
+        body = self._expand_body(body_forms, stx)
+        # Nest single-binding lets innermost-last; only the outermost
+        # application carries the source form (and its profile point).
+        for unique, init, name in reversed(compiled):
+            body = [
+                App(
+                    None,
+                    Lambda(None, [unique], None, body, name="let*", param_names=[name]),
+                    [init],
+                )
+            ]
+        outer = body[0]
+        outer.stx = stx
+        return outer
+
+    def _core_letrec(self, stx: Syntax) -> CoreExpr:
+        return self._expand_letrec(stx)
+
+    def _core_letrec_star(self, stx: Syntax) -> CoreExpr:
+        return self._expand_letrec(stx)
+
+    def _expand_letrec(self, stx: Syntax) -> CoreExpr:
+        parts = syntax_pylist(stx)
+        if len(parts) < 3:
+            raise ExpandError(f"malformed letrec at {stx.srcloc}")
+        bindings = self._parse_bindings(parts[1], "letrec")
+        scope = self.scope_counter.fresh()
+        uniques = [
+            self.table.bind_variable(identifier.add_scope(scope))
+            for identifier, _ in bindings
+        ]
+        inits = [self.expand_expr(init.add_scope(scope)) for _, init in bindings]
+        body_forms = [form.add_scope(scope) for form in parts[2:]]
+        body = self._expand_body(body_forms, stx)
+        inner_body: list[CoreExpr] = []
+        for (identifier, _), unique, init in zip(bindings, uniques, inits):
+            if isinstance(init, Lambda):
+                init.name = identifier.symbol_name
+            inner_body.append(
+                SetBang(None, unique, init, source_name=identifier.symbol_name)
+            )
+        inner_body.extend(body)
+        inner = Lambda(None, uniques, None, inner_body, name="letrec")
+        return App(stx, inner, [Const(None, UNSPECIFIED) for _ in uniques])
+
+    # -- conditionals / boolean forms -------------------------------------------------
+
+    def _core_cond(self, stx: Syntax) -> CoreExpr:
+        parts = syntax_pylist(stx)
+        clauses = parts[1:]
+        return self._expand_cond_clauses(stx, clauses)
+
+    def _expand_cond_clauses(self, stx: Syntax, clauses: list[Syntax]) -> CoreExpr:
+        if not clauses:
+            return Const(stx, UNSPECIFIED)
+        clause = clauses[0]
+        rest = clauses[1:]
+        items = syntax_pylist(clause)
+        if not items:
+            raise ExpandError(f"malformed cond clause at {clause.srcloc}")
+        test = items[0]
+        if is_identifier(test) and test.symbol_name == "else":
+            if rest:
+                raise ExpandError(f"cond: else clause must be last ({clause.srcloc})")
+            if len(items) < 2:
+                raise ExpandError(f"malformed else clause at {clause.srcloc}")
+            body = [self.expand_expr(e) for e in items[1:]]
+            return body[0] if len(body) == 1 else Begin(clause, body)
+        if len(items) >= 3 and is_identifier(items[1]) and items[1].symbol_name == "=>":
+            # (test => receiver): apply receiver to the test value.
+            test_core = self.expand_expr(test)
+            receiver = self.expand_expr(items[2])
+            tmp = gensym("condv")
+            return App(
+                clause,
+                Lambda(
+                    None,
+                    [tmp],
+                    None,
+                    [
+                        If(
+                            None,
+                            Ref(None, tmp),
+                            App(None, receiver, [Ref(None, tmp)]),
+                            self._expand_cond_clauses(stx, rest),
+                        )
+                    ],
+                    name="cond=>",
+                ),
+                [test_core],
+            )
+        test_core = self.expand_expr(test)
+        if len(items) == 1:
+            # (test): the test value itself when true.
+            tmp = gensym("condv")
+            return App(
+                clause,
+                Lambda(
+                    None,
+                    [tmp],
+                    None,
+                    [
+                        If(
+                            None,
+                            Ref(None, tmp),
+                            Ref(None, tmp),
+                            self._expand_cond_clauses(stx, rest),
+                        )
+                    ],
+                    name="cond",
+                ),
+                [test_core],
+            )
+        body = [self.expand_expr(e) for e in items[1:]]
+        then = body[0] if len(body) == 1 else Begin(clause, body)
+        return If(clause, test_core, then, self._expand_cond_clauses(stx, rest))
+
+    def _core_and(self, stx: Syntax) -> CoreExpr:
+        parts = syntax_pylist(stx)[1:]
+        if not parts:
+            return Const(stx, True)
+        exprs = [self.expand_expr(p) for p in parts]
+        result = exprs[-1]
+        for expr in reversed(exprs[:-1]):
+            result = If(None, expr, result, Const(None, False))
+        if isinstance(result, If):
+            result.stx = stx
+        return result
+
+    def _core_or(self, stx: Syntax) -> CoreExpr:
+        parts = syntax_pylist(stx)[1:]
+        if not parts:
+            return Const(stx, False)
+        exprs = [self.expand_expr(p) for p in parts]
+        result = exprs[-1]
+        for expr in reversed(exprs[:-1]):
+            tmp = gensym("orv")
+            result = App(
+                None,
+                Lambda(
+                    None,
+                    [tmp],
+                    None,
+                    [If(None, Ref(None, tmp), Ref(None, tmp), result)],
+                    name="or",
+                ),
+                [expr],
+            )
+        if isinstance(result, App):
+            result.stx = stx
+        return result
+
+    def _core_let_values(self, stx: Syntax) -> CoreExpr:
+        """(let-values ([(a b ...) expr] ...) body ...)
+
+        Lowered to nested ``call-with-values`` applications: each binding's
+        producer thunk feeds a consumer lambda binding that clause's
+        variables over the rest of the chain.
+        """
+        parts = syntax_pylist(stx)
+        if len(parts) < 3:
+            raise ExpandError(f"malformed let-values at {stx.srcloc}")
+        bindings: list[tuple[Syntax, Syntax]] = []
+        for binding in syntax_pylist(parts[1]):
+            items = syntax_pylist(binding)
+            if len(items) != 2:
+                raise ExpandError(f"malformed let-values binding at {binding.srcloc}")
+            bindings.append((items[0], items[1]))
+        core = self.core_scopes
+
+        def sym(name: str) -> Syntax:
+            return Syntax(Symbol(name), stx.srcloc, core)
+
+        body: object = Syntax(
+            _list_from([sym("begin"), *parts[2:]]), stx.srcloc, stx.scopes
+        )
+        for formals, producer in reversed(bindings):
+            thunk = Syntax(
+                _list_from([sym("lambda"), Syntax(NIL, producer.srcloc, producer.scopes), producer]),
+                producer.srcloc,
+                stx.scopes,
+            )
+            consumer = Syntax(
+                _list_from([sym("lambda"), formals, body]), stx.srcloc, stx.scopes
+            )
+            body = Syntax(
+                _list_from([sym("call-with-values"), thunk, consumer]),
+                stx.srcloc,
+                stx.scopes,
+            )
+        return self.expand_expr(body)
+
+    def _core_case_lambda(self, stx: Syntax) -> CoreExpr:
+        """(case-lambda [formals body ...] ...)
+
+        Lowered to ``(make-case-lambda n-or-#f proc ...)``: each clause
+        becomes a plain lambda; the runtime helper dispatches on argument
+        count (#f marks a rest-accepting clause with its minimum arity
+        encoded as a negative number minus one).
+        """
+        parts = syntax_pylist(stx)
+        if len(parts) < 2:
+            raise ExpandError(f"malformed case-lambda at {stx.srcloc}")
+        args: list[CoreExpr] = []
+        for clause_stx in parts[1:]:
+            items = syntax_pylist(clause_stx)
+            if len(items) < 2:
+                raise ExpandError(
+                    f"malformed case-lambda clause at {clause_stx.srcloc}"
+                )
+            scope = self.scope_counter.fresh()
+            formals = items[0].add_scope(scope)
+            body_forms = [form.add_scope(scope) for form in items[1:]]
+            params, rest, names = self._bind_formals(formals)
+            body = self._expand_body(body_forms, stx)
+            lam = Lambda(None, params, rest, body, name="case-lambda-clause",
+                         param_names=names)
+            if rest is None:
+                arity: object = len(params)
+            else:
+                arity = -(len(params) + 1)  # >= len(params), rest collected
+            args.append(Const(None, arity))
+            args.append(lam)
+        return App(stx, Ref(None, Symbol("make-case-lambda")), args)
+
+    def _core_define_record_type(self, stx: Syntax) -> CoreExpr:
+        raise ExpandError(
+            f"define-record-type is only allowed at top level or in a body "
+            f"({stx.srcloc})"
+        )
+
+    def _core_do(self, stx: Syntax) -> CoreExpr:
+        """(do ([var init step] ...) (test result ...) body ...)
+
+        Lowered to a named let: loop on vars; when test fires, evaluate the
+        results (or unspecified); otherwise run the body and recur on the
+        step expressions (a var without a step recurs on itself).
+        """
+        parts = syntax_pylist(stx)
+        if len(parts) < 3:
+            raise ExpandError(f"malformed do at {stx.srcloc}")
+        bindings: list[tuple[Syntax, Syntax, Syntax]] = []
+        for binding in syntax_pylist(parts[1]):
+            items = syntax_pylist(binding)
+            if len(items) == 2:
+                var, init = items
+                step = var
+            elif len(items) == 3:
+                var, init, step = items
+            else:
+                raise ExpandError(f"malformed do binding at {binding.srcloc}")
+            if not is_identifier(var):
+                raise ExpandError(f"malformed do variable at {binding.srcloc}")
+            bindings.append((var, init, step))
+        exit_clause = syntax_pylist(parts[2])
+        if not exit_clause:
+            raise ExpandError(f"do requires a test clause at {stx.srcloc}")
+        test = exit_clause[0]
+        results = exit_clause[1:]
+        body = parts[3:]
+        core = self.core_scopes
+        loop = Syntax(gensym("doloop"), stx.srcloc, stx.scopes)
+
+        def sym(name: str) -> Syntax:
+            return Syntax(Symbol(name), stx.srcloc, core)
+
+        result_expr: object
+        if results:
+            result_expr = Syntax(
+                _list_from([sym("begin"), *results]), stx.srcloc, stx.scopes
+            )
+        else:
+            result_expr = Syntax(
+                _list_from([sym("void")]), stx.srcloc, stx.scopes
+            )
+        recur = Syntax(
+            _list_from([loop, *[step for _, _, step in bindings]]),
+            stx.srcloc,
+            stx.scopes,
+        )
+        body_and_recur: list[object] = [*body, recur]
+        loop_body = Syntax(
+            _list_from(
+                [sym("if"), test, result_expr,
+                 Syntax(_list_from([sym("begin"), *body_and_recur]), stx.srcloc, stx.scopes)]
+            ),
+            stx.srcloc,
+            stx.scopes,
+        )
+        let_bindings = Syntax(
+            _list_from(
+                [
+                    Syntax(_list_from([var, init]), var.srcloc, var.scopes)
+                    for var, init, _ in bindings
+                ]
+            ),
+            stx.srcloc,
+            stx.scopes,
+        )
+        named_let = Syntax(
+            _list_from([sym("let"), loop, let_bindings, loop_body]),
+            stx.srcloc,
+            stx.scopes,
+        )
+        return self.expand_expr(named_let)
+
+    def _core_when(self, stx: Syntax) -> CoreExpr:
+        parts = syntax_pylist(stx)
+        if len(parts) < 3:
+            raise ExpandError(f"malformed when at {stx.srcloc}")
+        body = [self.expand_expr(p) for p in parts[2:]]
+        then = body[0] if len(body) == 1 else Begin(stx, body)
+        return If(stx, self.expand_expr(parts[1]), then, Const(None, UNSPECIFIED))
+
+    def _core_unless(self, stx: Syntax) -> CoreExpr:
+        parts = syntax_pylist(stx)
+        if len(parts) < 3:
+            raise ExpandError(f"malformed unless at {stx.srcloc}")
+        body = [self.expand_expr(p) for p in parts[2:]]
+        then = body[0] if len(body) == 1 else Begin(stx, body)
+        return If(stx, self.expand_expr(parts[1]), Const(None, UNSPECIFIED), then)
+
+    # -- quasiquote -----------------------------------------------------------------
+
+    def _core_quasiquote(self, stx: Syntax) -> CoreExpr:
+        parts = syntax_pylist(stx)
+        if len(parts) != 2:
+            raise ExpandError(f"malformed quasiquote at {stx.srcloc}")
+        return self._qq(parts[1], 1)
+
+    def _core_unquote(self, stx: Syntax) -> CoreExpr:
+        raise ExpandError(f"unquote outside quasiquote at {stx.srcloc}")
+
+    def _core_unquote_splicing(self, stx: Syntax) -> CoreExpr:
+        raise ExpandError(f"unquote-splicing outside quasiquote at {stx.srcloc}")
+
+    def _qq_tagged(self, stx: Syntax) -> tuple[str, Syntax] | None:
+        """Recognize (unquote e) / (unquote-splicing e) / (quasiquote e)."""
+        if not stx.is_pair():
+            return None
+        head = stx.datum.car
+        if isinstance(head, Syntax) and is_identifier(head):
+            name = head.symbol_name
+            if name in ("unquote", "unquote-splicing", "quasiquote"):
+                rest = syntax_pylist(stx)
+                if len(rest) == 2:
+                    return name, rest[1]
+        return None
+
+    def _qq(self, stx: Syntax, depth: int) -> CoreExpr:
+        tagged = self._qq_tagged(stx)
+        if tagged is not None:
+            tag, inner = tagged
+            if tag == "unquote":
+                if depth == 1:
+                    return self.expand_expr(inner)
+                return self._qq_rebuild(stx, tag, inner, depth - 1)
+            if tag == "quasiquote":
+                return self._qq_rebuild(stx, tag, inner, depth + 1)
+            if tag == "unquote-splicing":
+                raise ExpandError(
+                    f"unquote-splicing outside list context at {stx.srcloc}"
+                )
+        datum = stx.datum
+        if isinstance(datum, Pair):
+            return self._qq_list(stx, depth)
+        if isinstance(datum, SchemeVector):
+            elems = Syntax(
+                _list_from([x if isinstance(x, Syntax) else datum_to_syntax(x) for x in datum]),
+                stx.srcloc,
+                stx.scopes,
+            )
+            return App(
+                stx,
+                Ref(None, Symbol("list->vector")),
+                [self._qq_list(elems, depth)],
+            )
+        return Const(stx, syntax_to_datum(stx))
+
+    def _qq_rebuild(self, stx: Syntax, tag: str, inner: Syntax, depth: int) -> CoreExpr:
+        return App(
+            stx,
+            Ref(None, Symbol("list")),
+            [Const(None, Symbol(tag)), self._qq(inner, depth)],
+        )
+
+    def _qq_list(self, stx: Syntax, depth: int) -> CoreExpr:
+        node: object = stx.datum
+        elements: list[Syntax] = []
+        tail: object = NIL
+        while True:
+            if isinstance(node, Syntax):
+                tagged = self._qq_tagged(node)
+                if tagged is not None or not (
+                    isinstance(node.datum, Pair) or node.datum is NIL
+                ):
+                    tail = node
+                    break
+                node = node.datum
+                continue
+            if isinstance(node, Pair):
+                car = node.car
+                elements.append(car if isinstance(car, Syntax) else datum_to_syntax(car))
+                node = node.cdr
+                continue
+            tail = node  # NIL
+            break
+        if tail is NIL:
+            result: CoreExpr = Const(None, NIL)
+        else:
+            result = self._qq(tail if isinstance(tail, Syntax) else datum_to_syntax(tail), depth)
+        for element in reversed(elements):
+            tagged = self._qq_tagged(element)
+            if tagged is not None and tagged[0] == "unquote-splicing" and depth == 1:
+                spliced = self.expand_expr(tagged[1])
+                result = App(stx, Ref(None, Symbol("append")), [spliced, result])
+            else:
+                result = App(
+                    stx, Ref(None, Symbol("cons")), [self._qq(element, depth), result]
+                )
+        return result
+
+    # -- syntax templates and syntax-case -----------------------------------------------
+
+    def _template_pvars(self, template: Syntax) -> dict[str, tuple[Symbol, int]]:
+        """Pattern variables (from enclosing syntax-case clauses) in template."""
+        pvars: dict[str, tuple[Symbol, int]] = {}
+        self._scan_template(template, pvars)
+        return pvars
+
+    def _scan_template(self, stx: object, pvars: dict[str, tuple[Symbol, int]]) -> None:
+        if isinstance(stx, Syntax):
+            datum = stx.datum
+            if isinstance(datum, Symbol):
+                if datum.name in pvars or datum.name == "...":
+                    return
+                binding = self.table.resolve(stx)
+                if isinstance(binding, PatternBinding):
+                    pvars[datum.name] = (binding.unique, binding.depth)
+                return
+            self._scan_template(datum, pvars)
+            return
+        if isinstance(stx, Pair):
+            node: object = stx
+            while isinstance(node, Pair):
+                self._scan_template(node.car, pvars)
+                node = node.cdr
+            if node is not NIL:
+                self._scan_template(node, pvars)
+            return
+        if isinstance(stx, SchemeVector):
+            for item in stx:
+                self._scan_template(item, pvars)
+
+    def _core_syntax(self, stx: Syntax) -> CoreExpr:
+        parts = syntax_pylist(stx)
+        if len(parts) != 2:
+            raise ExpandError(f"malformed syntax at {stx.srcloc}")
+        template = parts[1]
+        return TemplateExpr(stx, template, self._template_pvars(template), {})
+
+    def _core_unsyntax(self, stx: Syntax) -> CoreExpr:
+        raise ExpandError(f"unsyntax outside quasisyntax at {stx.srcloc}")
+
+    def _core_unsyntax_splicing(self, stx: Syntax) -> CoreExpr:
+        raise ExpandError(f"unsyntax-splicing outside quasisyntax at {stx.srcloc}")
+
+    def _core_quasisyntax(self, stx: Syntax) -> CoreExpr:
+        parts = syntax_pylist(stx)
+        if len(parts) != 2:
+            raise ExpandError(f"malformed quasisyntax at {stx.srcloc}")
+        holes: dict[str, tuple[CoreExpr, bool]] = {}
+        template = self._strip_unsyntax(parts[1], 1, holes)
+        return TemplateExpr(stx, template, self._template_pvars(template), holes)
+
+    def _qsyn_tagged(self, stx: Syntax) -> tuple[str, Syntax] | None:
+        if not stx.is_pair():
+            return None
+        head = stx.datum.car
+        if isinstance(head, Syntax) and is_identifier(head):
+            name = head.symbol_name
+            if name in ("unsyntax", "unsyntax-splicing", "quasisyntax"):
+                rest = syntax_pylist(stx)
+                if len(rest) == 2:
+                    return name, rest[1]
+        return None
+
+    def _strip_unsyntax(
+        self, stx: Syntax, depth: int, holes: dict[str, tuple[CoreExpr, bool]]
+    ) -> Syntax:
+        tagged = self._qsyn_tagged(stx)
+        if tagged is not None:
+            tag, inner = tagged
+            if tag == "quasisyntax":
+                inner2 = self._strip_unsyntax(inner, depth + 1, holes)
+                return _retag(stx, tag, inner2)
+            if depth == 1:
+                hole_name = f"hole%{len(holes)}%{gensym('h').name}"
+                holes[hole_name] = (
+                    self.expand_expr(inner),
+                    tag == "unsyntax-splicing",
+                )
+                return Syntax(Symbol(hole_name), stx.srcloc, stx.scopes)
+            inner2 = self._strip_unsyntax(inner, depth - 1, holes)
+            return _retag(stx, tag, inner2)
+        datum = stx.datum
+        if isinstance(datum, Pair):
+            items: list[object] = []
+            node: object = datum
+            tail: object = NIL
+            while True:
+                if isinstance(node, Syntax):
+                    if isinstance(node.datum, Pair) or node.datum is NIL:
+                        node = node.datum
+                        continue
+                    tail = self._strip_unsyntax(node, depth, holes)
+                    break
+                if isinstance(node, Pair):
+                    car = node.car
+                    car_stx = car if isinstance(car, Syntax) else datum_to_syntax(car)
+                    items.append(self._strip_unsyntax(car_stx, depth, holes))
+                    node = node.cdr
+                    continue
+                tail = NIL
+                break
+            new_datum: object = tail
+            for item in reversed(items):
+                new_datum = Pair(item, new_datum)
+            return Syntax(new_datum, stx.srcloc, stx.scopes, stx.explicit_point)
+        if isinstance(datum, SchemeVector):
+            new_items = [
+                self._strip_unsyntax(
+                    x if isinstance(x, Syntax) else datum_to_syntax(x), depth, holes
+                )
+                for x in datum
+            ]
+            return Syntax(SchemeVector(new_items), stx.srcloc, stx.scopes, stx.explicit_point)
+        return stx
+
+    def _core_syntax_case(self, stx: Syntax) -> CoreExpr:
+        parts = syntax_pylist(stx)
+        if len(parts) < 3:
+            raise ExpandError(f"malformed syntax-case at {stx.srcloc}")
+        subject = self.expand_expr(parts[1])
+        literals = frozenset(
+            identifier.symbol_name for identifier in syntax_pylist(parts[2])
+        )
+        clauses: list[SyntaxCaseClause] = []
+        for clause_stx in parts[3:]:
+            items = syntax_pylist(clause_stx)
+            if len(items) == 2:
+                pattern, fender_stx, body_stx = items[0], None, items[1]
+            elif len(items) == 3:
+                pattern, fender_stx, body_stx = items[0], items[1], items[2]
+            else:
+                raise ExpandError(f"malformed syntax-case clause at {clause_stx.srcloc}")
+            depths = pattern_variables(pattern, literals)
+            scope = self.scope_counter.fresh()
+            pvar_map: dict[str, tuple[Symbol, int]] = {}
+            occurrences = _pattern_identifier_occurrences(pattern, set(depths))
+            for name, depth in depths.items():
+                unique = gensym("pv_" + name)
+                occurrence = occurrences[name]
+                self.table.add(
+                    Symbol(name),
+                    occurrence.scopes | {scope},
+                    PatternBinding(unique, depth),
+                )
+                pvar_map[name] = (unique, depth)
+            fender = (
+                self.expand_expr(fender_stx.add_scope(scope))
+                if fender_stx is not None
+                else None
+            )
+            body = self.expand_expr(body_stx.add_scope(scope))
+            clauses.append(SyntaxCaseClause(pattern, pvar_map, fender, body))
+        return SyntaxCaseExpr(stx, subject, literals, clauses)
+
+    def _core_with_syntax(self, stx: Syntax) -> CoreExpr:
+        # (with-syntax ([pat expr] ...) body ...)
+        # ==> (syntax-case (list expr ...) () [(pat ...) (begin body ...)])
+        parts = syntax_pylist(stx)
+        if len(parts) < 3:
+            raise ExpandError(f"malformed with-syntax at {stx.srcloc}")
+        patterns_: list[Syntax] = []
+        exprs: list[Syntax] = []
+        for binding in syntax_pylist(parts[1]):
+            pair = syntax_pylist(binding)
+            if len(pair) != 2:
+                raise ExpandError(f"malformed with-syntax binding at {binding.srcloc}")
+            patterns_.append(pair[0])
+            exprs.append(pair[1])
+        core = self.core_scopes
+        list_call = Syntax(
+            _list_from([Syntax(Symbol("list"), stx.srcloc, frozenset())] + exprs),
+            stx.srcloc,
+            stx.scopes,
+        )
+        pattern = Syntax(_list_from(patterns_), stx.srcloc, stx.scopes)
+        body = Syntax(
+            _list_from([Syntax(Symbol("begin"), stx.srcloc, core)] + parts[2:]),
+            stx.srcloc,
+            stx.scopes,
+        )
+        clause = Syntax(_list_from([pattern, body]), stx.srcloc, stx.scopes)
+        rebuilt = Syntax(
+            _list_from(
+                [
+                    Syntax(Symbol("syntax-case"), stx.srcloc, core),
+                    list_call,
+                    Syntax(NIL, stx.srcloc, stx.scopes),
+                    clause,
+                ]
+            ),
+            stx.srcloc,
+            stx.scopes,
+        )
+        return self.expand_expr(rebuilt)
+
+    def _core_let_syntax(self, stx: Syntax) -> CoreExpr:
+        return self._expand_let_syntax(stx)
+
+    def _core_letrec_syntax(self, stx: Syntax) -> CoreExpr:
+        return self._expand_let_syntax(stx)
+
+    def _expand_let_syntax(self, stx: Syntax) -> CoreExpr:
+        parts = syntax_pylist(stx)
+        if len(parts) < 3:
+            raise ExpandError(f"malformed let-syntax at {stx.srcloc}")
+        scope = self.scope_counter.fresh()
+        for binding in syntax_pylist(parts[1]):
+            pair = syntax_pylist(binding)
+            if len(pair) != 2 or not is_identifier(pair[0]):
+                raise ExpandError(f"malformed let-syntax binding at {binding.srcloc}")
+            transformer = self._eval_transformer(pair[1])
+            name = pair[0].datum
+            assert isinstance(name, Symbol)
+            self.table.add(
+                name,
+                pair[0].scopes | {scope},
+                MacroBinding(transformer, name=name.name),
+            )
+        body_forms = [form.add_scope(scope) for form in parts[2:]]
+        body = self._expand_body(body_forms, stx)
+        return body[0] if len(body) == 1 else Begin(stx, body)
+
+
+# -- module-level helpers ---------------------------------------------------------
+
+
+def _tail_of(stx: Syntax, n: int) -> object:
+    """The raw spine of ``stx`` after dropping ``n`` elements."""
+    node: object = stx.datum
+    for _ in range(n):
+        while isinstance(node, Syntax):
+            node = node.datum
+        assert isinstance(node, Pair)
+        node = node.cdr
+    return node
+
+
+def _list_from(items: list[object]) -> object:
+    datum: object = NIL
+    for item in reversed(items):
+        datum = Pair(item, datum)
+    return datum
+
+
+def _wildcard_head(pattern: Syntax) -> Syntax:
+    """Replace a pattern's leading element (the macro keyword) with ``_``."""
+    if not pattern.is_pair():
+        return pattern
+    datum = pattern.datum
+    head = datum.car
+    head_stx = head if isinstance(head, Syntax) else datum_to_syntax(head)
+    wildcard = Syntax(Symbol("_"), head_stx.srcloc, head_stx.scopes)
+    return Syntax(Pair(wildcard, datum.cdr), pattern.srcloc, pattern.scopes)
+
+
+def _retag(stx: Syntax, tag: str, inner: Syntax) -> Syntax:
+    return Syntax(
+        Pair(Syntax(Symbol(tag), stx.srcloc, stx.scopes), Pair(inner, NIL)),
+        stx.srcloc,
+        stx.scopes,
+    )
+
+
+def _pattern_identifier_occurrences(
+    pattern: Syntax, names: set[str]
+) -> dict[str, Syntax]:
+    """First syntax occurrence of each pattern-variable name in a pattern."""
+    found: dict[str, Syntax] = {}
+
+    def walk(stx: object) -> None:
+        if isinstance(stx, Syntax):
+            datum = stx.datum
+            if isinstance(datum, Symbol):
+                if datum.name in names and datum.name not in found:
+                    found[datum.name] = stx
+                return
+            walk(datum)
+            return
+        if isinstance(stx, Pair):
+            node: object = stx
+            while isinstance(node, Pair):
+                walk(node.car)
+                node = node.cdr
+            if node is not NIL:
+                walk(node)
+            return
+        if isinstance(stx, SchemeVector):
+            for item in stx:
+                walk(item)
+
+    walk(pattern)
+    return found

@@ -1,0 +1,165 @@
+"""Hygiene via sets of scopes.
+
+The expander implements hygiene with a simplified *sets of scopes* model
+(Flatt, POPL 2016 — the model behind Racket's expander, and a close cousin
+of the marks/substitutions algorithm in Chez's ``syntax-case`` [12]):
+
+* every syntax object carries a set of scopes (:class:`frozenset` of ints);
+* every binding form (``lambda``, ``let``, internal ``define`` …) creates a
+  fresh scope, adds it to the binding's body, and records the bound
+  identifier *with its full scope set* in a global binding table;
+* every macro expansion creates a fresh *introduction scope* that is flipped
+  on the macro's input before expansion and on its output after, so
+  macro-introduced identifiers carry a scope user code lacks (and vice
+  versa) — the classic hygiene guarantee;
+* an identifier reference resolves to the binding whose recorded scope set
+  is the largest subset of the reference's scope set.
+
+The binding table maps to :class:`Binding` values that tell the expander
+what an identifier *means*: a run-time variable (with its unique resolved
+name), a macro transformer, or a core form.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.errors import ExpandError
+from repro.scheme.datum import Symbol, gensym
+from repro.scheme.syntax import Syntax
+
+__all__ = [
+    "ScopeCounter",
+    "Binding",
+    "VariableBinding",
+    "MacroBinding",
+    "CoreBinding",
+    "PatternBinding",
+    "BindingTable",
+]
+
+
+class ScopeCounter:
+    """Allocator of fresh scope identifiers."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count(1)
+
+    def fresh(self) -> int:
+        return next(self._counter)
+
+
+class Binding:
+    """What an identifier denotes. Subclasses carry the payload."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class VariableBinding(Binding):
+    """A run-time variable; ``unique`` is its post-expansion name."""
+
+    unique: Symbol
+    mutable: bool = True
+
+
+@dataclass(frozen=True, slots=True)
+class CoreBinding(Binding):
+    """A core form (``lambda``, ``if``, ``quote`` …) or built-in macro."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class MacroBinding(Binding):
+    """A user macro: ``transformer`` maps one syntax object to another.
+
+    The transformer is an expand-time value — either a Python callable or a
+    Scheme closure applied through the expand-time interpreter.
+    """
+
+    transformer: object
+    name: str = "macro"
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __hash__(self) -> int:
+        return id(self)
+
+
+@dataclass(frozen=True, slots=True)
+class PatternBinding(Binding):
+    """A ``syntax-case`` pattern variable, usable only inside templates.
+
+    ``unique`` names the expand-time runtime slot holding the match value;
+    ``depth`` is the ellipsis depth the variable was matched at.
+    """
+
+    unique: Symbol
+    depth: int
+
+
+@dataclass
+class _Entry:
+    scopes: frozenset[int]
+    binding: Binding
+
+
+class BindingTable:
+    """The global identifier-resolution table."""
+
+    def __init__(self) -> None:
+        self._entries: dict[Symbol, list[_Entry]] = {}
+
+    def add(self, name: Symbol, scopes: frozenset[int], binding: Binding) -> None:
+        """Record that ``name`` with exactly ``scopes`` denotes ``binding``."""
+        bucket = self._entries.setdefault(name, [])
+        for entry in bucket:
+            if entry.scopes == scopes:
+                # Redefinition at the same scopes (e.g. top-level redefine).
+                entry.binding = binding
+                return
+        bucket.append(_Entry(scopes, binding))
+
+    def bind_variable(
+        self, identifier: Syntax, mutable: bool = True
+    ) -> Symbol:
+        """Bind ``identifier`` as a fresh run-time variable; return its
+        unique post-expansion name."""
+        name = identifier.datum
+        assert isinstance(name, Symbol)
+        unique = gensym(name.name)
+        self.add(name, identifier.scopes, VariableBinding(unique, mutable))
+        return unique
+
+    def resolve(self, identifier: Syntax) -> Binding | None:
+        """Resolve a reference: the binding whose scope set is the largest
+        subset of the reference's scopes, or None when unbound.
+
+        Raises :class:`ExpandError` when two candidate bindings are maximal
+        but incomparable (genuinely ambiguous references).
+        """
+        name = identifier.datum
+        assert isinstance(name, Symbol), f"resolve on non-identifier {identifier!r}"
+        bucket = self._entries.get(name)
+        if not bucket:
+            return None
+        ref_scopes = identifier.scopes
+        best: _Entry | None = None
+        for entry in bucket:
+            if not entry.scopes <= ref_scopes:
+                continue
+            if best is None or best.scopes < entry.scopes:
+                best = entry
+            elif not (entry.scopes <= best.scopes):
+                # entry not ⊆ best and best not < entry: incomparable maxima.
+                if len(entry.scopes) >= len(best.scopes):
+                    raise ExpandError(
+                        f"ambiguous reference to {name.name!r} at {identifier.srcloc}"
+                    )
+        return best.binding if best else None
+
+    def bound_names(self) -> list[Symbol]:
+        return list(self._entries)

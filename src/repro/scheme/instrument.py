@@ -1,0 +1,91 @@
+"""Profiling instrumentation for the Scheme interpreter.
+
+The paper's two implementations differ in *what* their profilers count:
+
+* **Chez Scheme** "effectively profiles every source expression" via precise
+  block-level counters (Section 4.1) — our ``EXPR`` mode: every core node
+  that has a profile point gets a counter bump.
+* **Racket's errortrace** "profiles only function calls" (Section 4.2) — our
+  ``CALL`` mode: only application nodes are counted. Under this mode,
+  ``annotate-expr`` must wrap the annotated expression in a generated
+  function call (see :func:`repro.scheme.expand_prims` ``annotate-expr`` and
+  the paper's key Racket difference); the counters still come out the same,
+  only the run-time overhead differs — a claim benchmarked in
+  ``benchmarks/bench_sec44_overhead.py``.
+
+An :class:`Instrumenter` is handed to the interpreter at compile time; for
+each core node it either returns a pre-bound zero-argument counter bump or
+``None`` (not profiled). When a program is *not* instrumented, no
+instrumenter exists and profile points cost nothing — the paper's "when the
+program is not instrumented … profile points need not introduce any
+overhead".
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.counters import CounterSet
+from repro.scheme.core_forms import App, CoreExpr
+
+__all__ = ["ProfileMode", "Instrumenter"]
+
+
+class ProfileMode(enum.Enum):
+    """Which expressions the active profiler counts, and how."""
+
+    #: Chez-style: every source expression with a profile point.
+    EXPR = "expr"
+    #: errortrace-style: only procedure applications.
+    CALL = "call"
+    #: Sampling: every expression, but only every ``sample_stride``-th
+    #: execution bumps (by the stride, keeping counts unbiased). The design
+    #: claims to work for any *point* profiling system — this is a third,
+    #: cheaper one, and all the meta-programs run unchanged over it.
+    SAMPLE = "sample"
+
+
+class Instrumenter:
+    """Decides, per core node, whether and how to count its executions."""
+
+    def __init__(
+        self,
+        counters: CounterSet,
+        mode: ProfileMode = ProfileMode.EXPR,
+        sample_stride: int = 10,
+    ) -> None:
+        self.counters = counters
+        self.mode = mode
+        if sample_stride < 1:
+            raise ValueError("sample_stride must be >= 1")
+        self.sample_stride = sample_stride
+
+    def hook(self, expr: CoreExpr):
+        """A pre-bound counter bump for ``expr``, or None when not profiled."""
+        point = expr.profile_point
+        if point is None:
+            return None
+        if self.mode is ProfileMode.CALL and not isinstance(expr, App):
+            return None
+        if self.mode is ProfileMode.SAMPLE:
+            return self._sampling_bump(point)
+        return self.counters.incrementer(point)
+
+    def _sampling_bump(self, point):
+        """Deterministic 1-in-stride sampling, scaled to stay unbiased.
+
+        Deterministic (a per-point modular counter, not randomness) so
+        profiles — and therefore meta-program decisions — are reproducible
+        run to run, the same property make-profile-point demands.
+        """
+        stride = self.sample_stride
+        counters = self.counters
+        state = {"n": 0}
+
+        def bump() -> None:
+            state["n"] += 1
+            if state["n"] >= stride:
+                state["n"] = 0
+                counters.increment(point, by=stride)
+
+        return bump

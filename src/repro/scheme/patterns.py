@@ -1,0 +1,298 @@
+"""``syntax-case`` pattern matching.
+
+A pattern is itself a syntax object. The matcher supports the full core of
+R6RS/Chez ``syntax-case`` patterns:
+
+* ``_`` — wildcard, matches anything, binds nothing;
+* literal identifiers (declared in the literals list) — match an identifier
+  with the same name;
+* any other identifier — a *pattern variable*, matching anything and binding
+  it at the current ellipsis depth;
+* ``(p ...)``, ``(p ... q r)``, ``(p ... . tail)`` — ellipsis patterns with
+  any number of trailing subpatterns and an optional dotted tail;
+* ``(p . q)`` — pairs, including improper lists;
+* ``#(p ...)`` — vector patterns;
+* self-evaluating atoms — match ``equal?``-equal data.
+
+Match results bind pattern-variable names to *match values*: a syntax object
+at ellipsis depth 0, a list of match values at depth *n + 1*. The template
+engine (:mod:`repro.scheme.template`) consumes the same representation.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.errors import PatternError
+from repro.scheme.datum import NIL, Char, Pair, SchemeVector, Symbol
+from repro.scheme.syntax import Syntax, datum_to_syntax
+
+__all__ = [
+    "ELLIPSIS",
+    "WILDCARD",
+    "pattern_variables",
+    "match_pattern",
+    "MatchValue",
+]
+
+ELLIPSIS = "..."
+WILDCARD = "_"
+
+#: depth 0: Syntax; depth n+1: list of values at depth n.
+MatchValue = object
+
+
+def _unwrap(stx: object) -> object:
+    """One-level unwrap: the datum under a syntax wrapper (or the raw datum)."""
+    return stx.datum if isinstance(stx, Syntax) else stx
+
+
+def _as_syntax(obj: object, like: Syntax | None = None) -> Syntax:
+    if isinstance(obj, Syntax):
+        return obj
+    return datum_to_syntax(obj, context=like)
+
+
+def _spine(stx: object) -> tuple[list[Syntax], object]:
+    """Split a (possibly improper, possibly syntax-wrapped) list into its
+    element syntaxes and its tail (NIL or a non-pair terminal)."""
+    items: list[Syntax] = []
+    node = _unwrap(stx)
+    while isinstance(node, Pair):
+        items.append(_as_syntax(node.car))
+        node = node.cdr
+        if isinstance(node, Syntax):
+            inner = node.datum
+            if isinstance(inner, Pair) or inner is NIL:
+                node = inner
+            else:
+                return items, node  # syntax-wrapped dotted terminal
+    return items, node
+
+
+def pattern_variables(
+    pattern: Syntax, literals: frozenset[str] | set[str], depth: int = 0
+) -> dict[str, int]:
+    """The pattern variables of ``pattern`` with their ellipsis depths.
+
+    Raises :class:`PatternError` on duplicate variables or misplaced
+    ellipses.
+    """
+    found: dict[str, int] = {}
+    _collect_variables(pattern, frozenset(literals), depth, found)
+    return found
+
+
+def _collect_variables(
+    pattern: Syntax, literals: frozenset[str], depth: int, found: dict[str, int]
+) -> None:
+    datum = _unwrap(pattern)
+    if isinstance(datum, Symbol):
+        name = datum.name
+        if name in (ELLIPSIS,):
+            raise PatternError(f"misplaced ellipsis in pattern at {pattern.srcloc}")
+        if name == WILDCARD or name in literals:
+            return
+        if name in found:
+            raise PatternError(
+                f"duplicate pattern variable {name!r} at {pattern.srcloc}"
+            )
+        found[name] = depth
+        return
+    if isinstance(datum, Pair) or datum is NIL:
+        elements, tail = _spine(pattern)
+        i = 0
+        while i < len(elements):
+            nxt = elements[i + 1] if i + 1 < len(elements) else None
+            if nxt is not None and _is_ellipsis(nxt):
+                _collect_variables(elements[i], literals, depth + 1, found)
+                i += 2
+                # multiple consecutive ellipses deepen further (rare; allow)
+                while i < len(elements) and _is_ellipsis(elements[i]):
+                    raise PatternError(
+                        f"nested ellipsis after ellipsis unsupported in pattern "
+                        f"at {elements[i].srcloc}"
+                    )
+            else:
+                if _is_ellipsis(elements[i]):
+                    raise PatternError(
+                        f"misplaced ellipsis in pattern at {elements[i].srcloc}"
+                    )
+                _collect_variables(elements[i], literals, depth, found)
+                i += 1
+        if tail is not NIL:
+            _collect_variables(_as_syntax(tail), literals, depth, found)
+        return
+    if isinstance(datum, SchemeVector):
+        fake = datum_to_syntax(_vector_to_list(datum), context=pattern)
+        _collect_variables(fake, literals, depth, found)
+        return
+    # self-evaluating atom: no variables
+
+
+def _vector_to_list(vec: SchemeVector) -> object:
+    lst: object = NIL
+    for item in reversed(vec.items):
+        lst = Pair(item, lst)
+    return lst
+
+
+def _is_ellipsis(stx: object) -> bool:
+    datum = _unwrap(stx)
+    return isinstance(datum, Symbol) and datum.name == ELLIPSIS
+
+
+def _is_wildcard(datum: object) -> bool:
+    return isinstance(datum, Symbol) and datum.name == WILDCARD
+
+
+def match_pattern(
+    pattern: Syntax,
+    stx: object,
+    literals: frozenset[str] | set[str] = frozenset(),
+) -> dict[str, MatchValue] | None:
+    """Match ``stx`` against ``pattern``; bindings dict or None on failure."""
+    bindings: dict[str, MatchValue] = {}
+    if _match(pattern, stx, frozenset(literals), bindings):
+        return bindings
+    return None
+
+
+def _match(
+    pattern: Syntax,
+    stx: object,
+    literals: frozenset[str],
+    bindings: dict[str, MatchValue],
+) -> bool:
+    pdatum = _unwrap(pattern)
+
+    if isinstance(pdatum, Symbol):
+        name = pdatum.name
+        if name == WILDCARD:
+            return True
+        if name in literals:
+            sdatum = _unwrap(stx)
+            return isinstance(sdatum, Symbol) and sdatum.name == name
+        bindings[name] = _as_syntax(stx)
+        return True
+
+    if pdatum is NIL:
+        return _unwrap(stx) is NIL
+
+    if isinstance(pdatum, Pair):
+        return _match_list(pattern, stx, literals, bindings)
+
+    if isinstance(pdatum, SchemeVector):
+        sdatum = _unwrap(stx)
+        if not isinstance(sdatum, SchemeVector):
+            return False
+        p_list = datum_to_syntax(_vector_to_list(pdatum), context=pattern)
+        s_list = datum_to_syntax(_vector_to_list(sdatum))
+        return _match(p_list, s_list, literals, bindings)
+
+    # self-evaluating atom
+    sdatum = _unwrap(stx)
+    if isinstance(pdatum, bool) or isinstance(sdatum, bool):
+        return pdatum is sdatum
+    if isinstance(pdatum, (int, float, Fraction)) and isinstance(
+        sdatum, (int, float, Fraction)
+    ):
+        return pdatum == sdatum
+    if isinstance(pdatum, str) and isinstance(sdatum, str):
+        return pdatum == sdatum
+    if isinstance(pdatum, Char) and isinstance(sdatum, Char):
+        return pdatum == sdatum
+    return False
+
+
+def _match_list(
+    pattern: Syntax,
+    stx: object,
+    literals: frozenset[str],
+    bindings: dict[str, MatchValue],
+) -> bool:
+    p_items, p_tail = _spine(pattern)
+    s_items, s_tail = _spine(stx)
+
+    # Locate an ellipsis (at most one per list level).
+    ell_index: int | None = None
+    for i, item in enumerate(p_items):
+        if _is_ellipsis(item):
+            if i == 0:
+                raise PatternError(
+                    f"ellipsis with no preceding pattern at {item.srcloc}"
+                )
+            if ell_index is not None:
+                raise PatternError(
+                    f"multiple ellipses at one list level at {item.srcloc}"
+                )
+            ell_index = i
+
+    if ell_index is None:
+        if p_tail is NIL:
+            if len(p_items) != len(s_items):
+                return False
+            for p, s in zip(p_items, s_items):
+                if not _match(p, s, literals, bindings):
+                    return False
+            return s_tail is NIL
+        # Dotted pattern (p1 ... pk . tail): tail matches the *rest* of the
+        # input, which may include further list structure.
+        if len(s_items) < len(p_items):
+            return False
+        for p, s in zip(p_items, s_items):
+            if not _match(p, s, literals, bindings):
+                return False
+        rest = _rebuild_list(s_items[len(p_items) :], s_tail)
+        return _match(_as_syntax(p_tail), rest, literals, bindings)
+
+    rep_pattern = p_items[ell_index - 1]
+    before = p_items[: ell_index - 1]
+    after = p_items[ell_index + 1 :]
+
+    if len(s_items) < len(before) + len(after):
+        return False
+
+    for p, s in zip(before, s_items):
+        if not _match(p, s, literals, bindings):
+            return False
+
+    n_rep = len(s_items) - len(before) - len(after)
+    rep_inputs = s_items[len(before) : len(before) + n_rep]
+    after_inputs = s_items[len(before) + n_rep :]
+
+    rep_vars = pattern_variables(rep_pattern, literals)
+    collected: dict[str, list[MatchValue]] = {name: [] for name in rep_vars}
+    for s in rep_inputs:
+        sub: dict[str, MatchValue] = {}
+        if not _match(rep_pattern, s, literals, sub):
+            return False
+        for name in rep_vars:
+            collected[name].append(sub[name])
+    for name, values in collected.items():
+        bindings[name] = values
+
+    for p, s in zip(after, after_inputs):
+        if not _match(p, s, literals, bindings):
+            return False
+    return _match_tail(p_tail, s_tail, literals, bindings)
+
+
+def _rebuild_list(items: list[Syntax], tail: object) -> Syntax:
+    """Reassemble a (possibly improper) syntax list from spine parts."""
+    result: object = tail if tail is not NIL else NIL
+    for item in reversed(items):
+        result = Pair(item, result)
+    return _as_syntax(result)
+
+
+def _match_tail(
+    p_tail: object,
+    s_tail: object,
+    literals: frozenset[str],
+    bindings: dict[str, MatchValue],
+) -> bool:
+    if p_tail is NIL:
+        return s_tail is NIL
+    # Dotted pattern tail: match whatever remains (including NIL).
+    return _match(_as_syntax(p_tail), _as_syntax(s_tail), literals, bindings)

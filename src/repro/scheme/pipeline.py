@@ -1,0 +1,204 @@
+"""The profile → optimize → re-run workflow for the Scheme substrate.
+
+A :class:`SchemeSystem` bundles everything one "compiler instance" needs:
+an expander (with its binding table and expand-time environment), a run-time
+environment, and an ambient profile database. Its methods implement the
+paper's workflow:
+
+1. :meth:`profile_run` — compile with instrumentation, run on representative
+   input, normalize the counters into a data set of profile weights and
+   record it (Section 3.2's Figure 3 merge applies across repeated calls);
+2. :meth:`store_profile` / :meth:`load_profile` — the Figure-4 persistence;
+3. :meth:`compile` / :meth:`run` — recompile: meta-programs re-expand, now
+   seeing the recorded weights through ``profile-query``, and the optimized
+   program runs without instrumentation (zero profiling overhead).
+
+``load_library`` installs case-study macro libraries (written in Scheme,
+exactly as in the paper's figures) so user programs can use them.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.core.api import register_substrate, using_profile_information
+from repro.core.counters import CounterSet
+from repro.core.database import ProfileDatabase
+from repro.core.profile_point import ProfilePoint
+from repro.scheme.core_forms import Program, unparse_string
+from repro.scheme.datum import UNSPECIFIED
+from repro.scheme.env import GlobalEnvironment
+from repro.scheme.expander import Expander
+from repro.scheme.instrument import Instrumenter, ProfileMode
+from repro.scheme.interpreter import Interpreter
+from repro.scheme.primitives import (
+    OutputPort,
+    make_expand_env,
+    make_global_env,
+    set_current_output,
+)
+from repro.scheme.reader import read_string
+from repro.scheme.syntax import Syntax
+
+__all__ = ["SchemeSystem", "RunResult", "SchemeSubstrate"]
+
+
+class SchemeSubstrate:
+    """Plugs Scheme syntax objects into the generic Figure-4 API."""
+
+    def handles(self, expr: object) -> bool:
+        return isinstance(expr, Syntax)
+
+    def point_of(self, expr: object) -> ProfilePoint | None:
+        assert isinstance(expr, Syntax)
+        return expr.profile_point
+
+    def with_point(self, expr: object, point: ProfilePoint) -> object:
+        assert isinstance(expr, Syntax)
+        return expr.with_point(point)
+
+
+register_substrate(SchemeSubstrate())
+
+
+@dataclass
+class RunResult:
+    """Everything a (possibly instrumented) run produced."""
+
+    value: object
+    output: str
+    counters: CounterSet | None = None
+    program: Program | None = None
+
+    @property
+    def expanded(self) -> str:
+        """The expanded core program, pretty-printed (for figure tests)."""
+        assert self.program is not None
+        return unparse_string(self.program)
+
+
+class SchemeSystem:
+    """A Scheme compiler + runtime with profile-guided meta-programming."""
+
+    def __init__(
+        self,
+        profile_db: ProfileDatabase | None = None,
+        mode: ProfileMode = ProfileMode.EXPR,
+    ) -> None:
+        self.profile_db = profile_db if profile_db is not None else ProfileDatabase()
+        self.mode = mode
+        self.expand_env: GlobalEnvironment = make_expand_env()
+        self.expander = Expander(self.expand_env)
+        self.runtime_env: GlobalEnvironment = make_global_env()
+        self._library_sources: list[tuple[str, str]] = []
+        #: expand-time output (compile-time warnings) of the last compile().
+        self.last_compile_output: str = ""
+
+    # -- building blocks ---------------------------------------------------------
+
+    def read(self, source: str, filename: str = "<string>") -> list[Syntax]:
+        return read_string(source, filename)
+
+    def compile(self, source: str, filename: str = "<string>") -> Program:
+        """Read and expand ``source``; meta-programs see the ambient profile
+        database through ``profile-query``.
+
+        Output produced *at expand time* (e.g. the Perflint-style warnings
+        of Section 6.3) is captured in :attr:`last_compile_output`.
+        """
+        forms = self.read(source, filename)
+        port = OutputPort()
+        previous = set_current_output(port)
+        try:
+            with using_profile_information(self.profile_db):
+                program = self.expander.expand_program(forms)
+        finally:
+            set_current_output(previous)
+        self.last_compile_output = port.getvalue()
+        return program
+
+    def run(
+        self,
+        program: Program,
+        instrument: ProfileMode | None = None,
+        echo: bool = False,
+    ) -> RunResult:
+        """Evaluate a compiled program, optionally instrumented."""
+        counters: CounterSet | None = None
+        instrumenter: Instrumenter | None = None
+        if instrument is not None:
+            counters = CounterSet(name="run")
+            instrumenter = Instrumenter(counters, instrument)
+        interp = Interpreter(self.runtime_env, instrumenter)
+        port = OutputPort()
+        port.echo = echo
+        previous = set_current_output(port)
+        try:
+            with using_profile_information(self.profile_db):
+                value = interp.run_program(program)
+        finally:
+            set_current_output(previous)
+        return RunResult(value=value, output=port.getvalue(), counters=counters, program=program)
+
+    # -- user-facing workflow ------------------------------------------------------
+
+    def load_library(self, source: str, filename: str = "<library>") -> None:
+        """Install a macro/procedure library: expand it (macros persist in
+        the binding table) and evaluate its definitions into both the
+        run-time and expand-time environments."""
+        self._library_sources.append((source, filename))
+        program = self.compile(source, filename)
+        interp = Interpreter(self.runtime_env)
+        with using_profile_information(self.profile_db):
+            interp.run_program(program)
+        # Library procedures are frequently also needed at expand time
+        # (e.g. helpers used by transformers); mirror their definitions.
+        from repro.scheme.core_forms import Define
+
+        for form in program.forms:
+            if isinstance(form, Define):
+                self.expand_env.define(
+                    form.unique, self.runtime_env.lookup(form.unique)
+                )
+
+    def run_source(
+        self,
+        source: str,
+        filename: str = "<string>",
+        instrument: ProfileMode | None = None,
+        echo: bool = False,
+    ) -> RunResult:
+        return self.run(self.compile(source, filename), instrument, echo)
+
+    def profile_run(
+        self,
+        source: str,
+        filename: str = "<string>",
+        mode: ProfileMode | None = None,
+        importance: float = 1.0,
+    ) -> RunResult:
+        """One instrumented run on representative input: compile with
+        instrumentation, run, normalize counters to weights, and record the
+        data set in the ambient database."""
+        result = self.run_source(source, filename, instrument=mode or self.mode)
+        assert result.counters is not None
+        self.profile_db.record_counters(result.counters, importance)
+        return result
+
+    def store_profile(self, path: str | os.PathLike[str]) -> None:
+        """``(store-profile f)`` for this system's database."""
+        self.profile_db.store(path)
+
+    def load_profile(self, path: str | os.PathLike[str]) -> None:
+        """``(load-profile f)``: replace this system's database from a file."""
+        self.profile_db = ProfileDatabase.load(path)
+
+    def fresh_runtime(self) -> None:
+        """Discard run-time state (top-level definitions) between runs,
+        then re-install loaded libraries."""
+        self.runtime_env = make_global_env()
+        libraries = list(self._library_sources)
+        self._library_sources.clear()
+        for source, filename in libraries:
+            self.load_library(source, filename)

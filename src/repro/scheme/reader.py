@@ -1,0 +1,384 @@
+r"""S-expression reader producing syntax objects with source locations.
+
+This is the substrate's analogue of the Chez Scheme / Racket readers: every
+syntax object it produces carries a precise :class:`SourceLocation`
+(filename + character span + line/column), which in turn determines the
+expression's implicit profile point (Section 4.1 of the paper).
+
+Supported surface syntax:
+
+* symbols, integers, rationals (``1/2``), floats, ``#t``/``#f``/``#true``/``#false``
+* strings with the usual escapes; characters ``#\\a``, ``#\\space``, ``#\\tab`` …
+* proper and dotted lists with ``()``, ``[]`` interchangeable
+* vectors ``#(...)``
+* quotation sugar: ``'`` ``\`` `` ``,`` ``,@`` and the syntax layer
+  ``#'`` ``#\``` ``#,`` ``#,@`` (quote, quasiquote, unquote,
+  unquote-splicing / syntax, quasisyntax, unsyntax, unsyntax-splicing)
+* comments: ``;`` line comments, ``#| ... |#`` nested block comments, and
+  ``#;`` datum comments
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.errors import ReaderError
+from repro.core.srcloc import SourceLocation
+from repro.scheme.datum import NIL, Char, Pair, SchemeVector, Symbol
+from repro.scheme.syntax import Syntax
+
+__all__ = ["Reader", "read_string", "read_file", "read_one"]
+
+_DELIMITERS = set("()[]\";'`,")
+_WHITESPACE = set(" \t\n\r\f\v")
+
+_ABBREVS = {
+    "'": "quote",
+    "`": "quasiquote",
+    ",": "unquote",
+    ",@": "unquote-splicing",
+    "#'": "syntax",
+    "#`": "quasisyntax",
+    "#,": "unsyntax",
+    "#,@": "unsyntax-splicing",
+}
+
+_STRING_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "a": "\a",
+    "b": "\b",
+    "f": "\f",
+    "v": "\v",
+    "0": "\0",
+    '"': '"',
+    "\\": "\\",
+}
+
+
+class Reader:
+    """A stateful reader over one source text."""
+
+    def __init__(self, text: str, filename: str = "<string>") -> None:
+        self.text = text
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.column = 0
+
+    # -- character-level helpers ------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> str:
+        i = self.pos + ahead
+        return self.text[i] if i < len(self.text) else ""
+
+    def _advance(self) -> str:
+        ch = self.text[self.pos]
+        self.pos += 1
+        if ch == "\n":
+            self.line += 1
+            self.column = 0
+        else:
+            self.column += 1
+        return ch
+
+    def _error(self, message: str) -> ReaderError:
+        return ReaderError(message, self.filename, self.line, self.column)
+
+    def _mark(self) -> tuple[int, int, int]:
+        return (self.pos, self.line, self.column)
+
+    def _location(self, mark: tuple[int, int, int]) -> SourceLocation:
+        start, line, column = mark
+        return SourceLocation(
+            filename=self.filename,
+            start=start,
+            end=self.pos,
+            line=line,
+            column=column,
+        )
+
+    # -- skipping ----------------------------------------------------------------
+
+    def _skip_atmosphere(self) -> None:
+        """Skip whitespace and all three comment forms."""
+        while self.pos < len(self.text):
+            ch = self._peek()
+            if ch in _WHITESPACE:
+                self._advance()
+            elif ch == ";":
+                while self.pos < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "#" and self._peek(1) == "|":
+                self._skip_block_comment()
+            elif ch == "#" and self._peek(1) == ";":
+                self._advance()
+                self._advance()
+                self._skip_atmosphere()
+                if self._at_eof():
+                    raise self._error("#; datum comment at end of input")
+                self.read()  # discard one datum
+            else:
+                return
+
+    def _skip_block_comment(self) -> None:
+        self._advance()  # '#'
+        self._advance()  # '|'
+        depth = 1
+        while depth > 0:
+            if self.pos >= len(self.text):
+                raise self._error("unterminated block comment")
+            if self._peek() == "#" and self._peek(1) == "|":
+                self._advance()
+                self._advance()
+                depth += 1
+            elif self._peek() == "|" and self._peek(1) == "#":
+                self._advance()
+                self._advance()
+                depth -= 1
+            else:
+                self._advance()
+
+    def _at_eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    # -- reading ------------------------------------------------------------------
+
+    def read_all(self) -> list[Syntax]:
+        """Read every datum in the text."""
+        forms: list[Syntax] = []
+        while True:
+            self._skip_atmosphere()
+            if self._at_eof():
+                return forms
+            forms.append(self.read())
+
+    def read(self) -> Syntax:
+        """Read exactly one datum (atmosphere must already be skipped or will
+        be skipped here)."""
+        self._skip_atmosphere()
+        if self._at_eof():
+            raise self._error("unexpected end of input")
+        mark = self._mark()
+        ch = self._peek()
+
+        if ch in "([":
+            return self._read_list(mark, ")" if ch == "(" else "]")
+        if ch in ")]":
+            raise self._error(f"unexpected {ch!r}")
+        if ch == '"':
+            return self._read_string(mark)
+        if ch == "'":
+            self._advance()
+            return self._read_abbrev(mark, "quote")
+        if ch == "`":
+            self._advance()
+            return self._read_abbrev(mark, "quasiquote")
+        if ch == ",":
+            self._advance()
+            if self._peek() == "@":
+                self._advance()
+                return self._read_abbrev(mark, "unquote-splicing")
+            return self._read_abbrev(mark, "unquote")
+        if ch == "#":
+            return self._read_hash(mark)
+        return self._read_atom(mark)
+
+    def _read_abbrev(self, mark: tuple[int, int, int], which: str) -> Syntax:
+        inner = self.read()
+        loc = self._location(mark)
+        head = Syntax(Symbol(which), loc)
+        return Syntax(Pair(head, Pair(inner, NIL)), loc)
+
+    def _read_list(self, mark: tuple[int, int, int], closer: str) -> Syntax:
+        self._advance()  # opening bracket
+        items: list[Syntax] = []
+        tail: object = NIL
+        while True:
+            self._skip_atmosphere()
+            if self._at_eof():
+                raise self._error(f"unterminated list (expected {closer!r})")
+            ch = self._peek()
+            if ch in ")]":
+                if ch != closer:
+                    raise self._error(
+                        f"mismatched bracket: expected {closer!r}, got {ch!r}"
+                    )
+                self._advance()
+                break
+            if ch == "." and self._is_delimiter(self._peek(1)):
+                if not items:
+                    raise self._error("dotted pair with no car")
+                self._advance()
+                tail = self.read()
+                self._skip_atmosphere()
+                if self._at_eof() or self._peek() not in ")]":
+                    raise self._error("expected closing bracket after dotted tail")
+                if self._peek() != closer:
+                    raise self._error(
+                        f"mismatched bracket: expected {closer!r}, got {self._peek()!r}"
+                    )
+                self._advance()
+                break
+            items.append(self.read())
+        datum: object = tail
+        for item in reversed(items):
+            datum = Pair(item, datum)
+        return Syntax(datum, self._location(mark))
+
+    def _is_delimiter(self, ch: str) -> bool:
+        return ch == "" or ch in _WHITESPACE or ch in _DELIMITERS
+
+    def _read_string(self, mark: tuple[int, int, int]) -> Syntax:
+        self._advance()  # opening quote
+        out: list[str] = []
+        while True:
+            if self._at_eof():
+                raise self._error("unterminated string literal")
+            ch = self._advance()
+            if ch == '"':
+                break
+            if ch == "\\":
+                if self._at_eof():
+                    raise self._error("unterminated string escape")
+                esc = self._advance()
+                if esc == "x":
+                    hex_digits = []
+                    while not self._at_eof() and self._peek() != ";":
+                        hex_digits.append(self._advance())
+                    if self._at_eof():
+                        raise self._error("unterminated \\x escape")
+                    self._advance()  # ';'
+                    try:
+                        out.append(chr(int("".join(hex_digits), 16)))
+                    except ValueError:
+                        raise self._error("malformed \\x escape") from None
+                elif esc in _STRING_ESCAPES:
+                    out.append(_STRING_ESCAPES[esc])
+                elif esc == "\n":
+                    # Line continuation: swallow leading whitespace.
+                    while not self._at_eof() and self._peek() in " \t":
+                        self._advance()
+                else:
+                    raise self._error(f"unknown string escape: \\{esc}")
+            else:
+                out.append(ch)
+        return Syntax("".join(out), self._location(mark))
+
+    def _read_hash(self, mark: tuple[int, int, int]) -> Syntax:
+        nxt = self._peek(1)
+        if nxt == "(":
+            self._advance()  # '#'
+            lst = self._read_list(mark, ")")
+            items = []
+            node: object = lst.datum
+            while isinstance(node, Pair):
+                items.append(node.car)
+                node = node.cdr
+            if node is not NIL:
+                raise self._error("dotted tail in vector literal")
+            return Syntax(SchemeVector(items), self._location(mark))
+        if nxt == "\\":
+            self._advance()
+            self._advance()
+            if self._at_eof():
+                raise self._error("unterminated character literal")
+            first = self._advance()
+            name = [first]
+            if first.isalpha():
+                while not self._at_eof() and not self._is_delimiter(self._peek()):
+                    name.append(self._advance())
+            try:
+                char = Char.from_name("".join(name))
+            except ValueError as exc:
+                raise self._error(str(exc)) from None
+            return Syntax(char, self._location(mark))
+        if nxt == "'":
+            self._advance()
+            self._advance()
+            return self._read_abbrev(mark, "syntax")
+        if nxt == "`":
+            self._advance()
+            self._advance()
+            return self._read_abbrev(mark, "quasisyntax")
+        if nxt == ",":
+            self._advance()
+            self._advance()
+            if self._peek() == "@":
+                self._advance()
+                return self._read_abbrev(mark, "unsyntax-splicing")
+            return self._read_abbrev(mark, "unsyntax")
+        # boolean / named literals share atom syntax
+        return self._read_atom(mark)
+
+    def _read_atom(self, mark: tuple[int, int, int]) -> Syntax:
+        chars: list[str] = []
+        while not self._at_eof() and not self._is_delimiter(self._peek()):
+            chars.append(self._advance())
+        token = "".join(chars)
+        if not token:
+            raise self._error(f"unexpected character {self._peek()!r}")
+        loc = self._location(mark)
+        return Syntax(self._parse_token(token), loc)
+
+    def _parse_token(self, token: str) -> object:
+        if token in ("#t", "#true", "#T"):
+            return True
+        if token in ("#f", "#false", "#F"):
+            return False
+        if token.startswith("#"):
+            raise self._error(f"unknown # syntax: {token!r}")
+        num = _parse_number(token)
+        if num is not None:
+            return num
+        if "%" in token:
+            # '%' is reserved for gensyms and generated profile points.
+            raise self._error(f"'%' is not allowed in symbols: {token!r}")
+        return Symbol(token)
+
+
+def _parse_number(token: str) -> int | float | Fraction | None:
+    """Parse a numeric token; None when the token is not a number."""
+    if not token:
+        return None
+    body = token[1:] if token[0] in "+-" else token
+    if not body or not (body[0].isdigit() or (body[0] == "." and len(body) > 1)):
+        return None
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    if "/" in token:
+        num_s, _, den_s = token.partition("/")
+        try:
+            return Fraction(int(num_s), int(den_s))
+        except (ValueError, ZeroDivisionError):
+            return None
+    try:
+        return float(token)
+    except ValueError:
+        return None
+
+
+def read_string(text: str, filename: str = "<string>") -> list[Syntax]:
+    """Read every datum in ``text``."""
+    return Reader(text, filename).read_all()
+
+
+def read_one(text: str, filename: str = "<string>") -> Syntax:
+    """Read exactly one datum; trailing data is an error."""
+    reader = Reader(text, filename)
+    form = reader.read()
+    reader._skip_atmosphere()
+    if not reader._at_eof():
+        raise ReaderError(
+            "trailing data after datum", filename, reader.line, reader.column
+        )
+    return form
+
+
+def read_file(path: str) -> list[Syntax]:
+    """Read every datum in the file at ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return read_string(handle.read(), filename=path)

@@ -1,0 +1,162 @@
+"""Core-AST simplification: immediate beta contraction.
+
+Source-level inlining (the §6.2 PIC, the ``define-inlinable`` extension)
+produces beta-redexes — ``((lambda (x) body) arg)``. In Chez Scheme the
+backend contracts these for free; our substrate is an interpreter, so this
+module supplies the missing pass: an opt-in rewrite that substitutes
+*simple* arguments (constants and variable references) into the body and
+deletes the redex.
+
+Soundness conditions, checked conservatively:
+
+* the lambda has no rest parameter and arity matches exactly;
+* every argument is a ``Const`` or ``Ref`` (no effects, no recomputation
+  concerns — evaluation order becomes irrelevant);
+* the body contains **no** ``set!`` and **no** nested ``lambda``: this
+  rules out both mutation of substituted variables and closures that could
+  capture-and-outlive them. (Unique post-expansion names already rule out
+  shadowing.)
+
+Note the profile-point caveat: contraction deletes the application node —
+and with it any profile point ``annotate-expr`` placed on the redex. That
+is why the pass is opt-in and run only on final, post-PGMP builds (the
+same reason the paper's three-pass protocol orders source-level PGO before
+block-level).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.scheme.core_forms import (
+    App,
+    Begin,
+    Const,
+    CoreExpr,
+    Define,
+    If,
+    Lambda,
+    Program,
+    Ref,
+    SetBang,
+    SyntaxCaseExpr,
+    TemplateExpr,
+)
+from repro.scheme.datum import Symbol
+
+__all__ = ["contract_betas", "ContractionReport"]
+
+
+@dataclass
+class ContractionReport:
+    """How many redexes the pass contracted."""
+
+    contracted: int = 0
+    considered: int = 0
+
+
+def contract_betas(program: Program) -> tuple[Program, ContractionReport]:
+    """Contract immediate beta-redexes throughout a program."""
+    report = ContractionReport()
+    forms = [_walk(form, report) for form in program.forms]
+    return Program(forms), report
+
+
+def _walk(expr: CoreExpr, report: ContractionReport) -> CoreExpr:
+    if isinstance(expr, (Const, Ref)):
+        return expr
+    if isinstance(expr, Define):
+        return Define(expr.stx, expr.unique, _walk(expr.expr, report), expr.source_name)
+    if isinstance(expr, SetBang):
+        return SetBang(expr.stx, expr.unique, _walk(expr.expr, report), expr.source_name)
+    if isinstance(expr, If):
+        return If(
+            expr.stx,
+            _walk(expr.test, report),
+            _walk(expr.then, report),
+            _walk(expr.otherwise, report),
+        )
+    if isinstance(expr, Begin):
+        return Begin(expr.stx, [_walk(e, report) for e in expr.exprs])
+    if isinstance(expr, Lambda):
+        return Lambda(
+            expr.stx,
+            expr.params,
+            expr.rest,
+            [_walk(e, report) for e in expr.body],
+            expr.name,
+            expr.param_names,
+        )
+    if isinstance(expr, App):
+        fn = _walk(expr.fn, report)
+        args = [_walk(arg, report) for arg in expr.args]
+        if isinstance(fn, Lambda):
+            report.considered += 1
+            contracted = _try_contract(fn, args)
+            if contracted is not None:
+                report.contracted += 1
+                # The contracted body may expose further redexes.
+                return _walk(contracted, report)
+        return App(expr.stx, fn, args)
+    if isinstance(expr, (SyntaxCaseExpr, TemplateExpr)):
+        return expr  # expand-time forms: leave untouched
+    raise TypeError(f"cannot simplify {type(expr).__name__}")
+
+
+def _try_contract(fn: Lambda, args: list[CoreExpr]) -> CoreExpr | None:
+    if fn.rest is not None or len(args) != len(fn.params):
+        return None
+    if not all(isinstance(arg, (Const, Ref)) for arg in args):
+        return None
+    if any(_impure_for_substitution(e) for e in fn.body):
+        return None
+    substitution = dict(zip(fn.params, args))
+    body = [_substitute(e, substitution) for e in fn.body]
+    if len(body) == 1:
+        return body[0]
+    return Begin(fn.stx, body)
+
+
+def _impure_for_substitution(expr: CoreExpr) -> bool:
+    """True if the body may mutate or capture substituted variables."""
+    if isinstance(expr, (SetBang, Lambda)):
+        return True
+    if isinstance(expr, (Const, Ref)):
+        return False
+    if isinstance(expr, If):
+        return (
+            _impure_for_substitution(expr.test)
+            or _impure_for_substitution(expr.then)
+            or _impure_for_substitution(expr.otherwise)
+        )
+    if isinstance(expr, Begin):
+        return any(_impure_for_substitution(e) for e in expr.exprs)
+    if isinstance(expr, App):
+        return _impure_for_substitution(expr.fn) or any(
+            _impure_for_substitution(a) for a in expr.args
+        )
+    return True  # anything exotic: refuse
+
+
+def _substitute(expr: CoreExpr, sub: dict[Symbol, CoreExpr]) -> CoreExpr:
+    if isinstance(expr, Ref):
+        replacement = sub.get(expr.unique)
+        return replacement if replacement is not None else expr
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, If):
+        return If(
+            expr.stx,
+            _substitute(expr.test, sub),
+            _substitute(expr.then, sub),
+            _substitute(expr.otherwise, sub),
+        )
+    if isinstance(expr, Begin):
+        return Begin(expr.stx, [_substitute(e, sub) for e in expr.exprs])
+    if isinstance(expr, App):
+        return App(
+            expr.stx,
+            _substitute(expr.fn, sub),
+            [_substitute(a, sub) for a in expr.args],
+        )
+    raise TypeError(f"substitution reached unexpected node {type(expr).__name__}")

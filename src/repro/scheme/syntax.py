@@ -1,0 +1,253 @@
+"""Syntax objects: source expressions with locations, scopes, profile points.
+
+A :class:`Syntax` wraps a datum whose compound structure (pairs, vectors)
+contains further :class:`Syntax` nodes, mirroring Chez Scheme and Racket
+syntax objects. Every node carries:
+
+* a :class:`~repro.core.srcloc.SourceLocation` — the *source object* the
+  reader attached (Section 4.1: "The Chez Scheme reader automatically
+  creates and attaches source objects to each syntax object it reads");
+* a set of hygiene scopes (see :mod:`repro.scheme.hygiene`);
+* an optional explicit :class:`~repro.core.profile_point.ProfilePoint`,
+  set by ``annotate-expr`` and overriding the implicit location-derived
+  point.
+
+The profile point of a node is therefore ``explicit point if set, else the
+implicit point of its source location`` — giving the paper's fine-grained
+"each node in the AST … associated with a unique profile point" for free,
+while letting meta-programs re-associate generated code.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.profile_point import ProfilePoint
+from repro.core.srcloc import UNKNOWN_LOCATION, SourceLocation
+from repro.scheme.datum import (
+    NIL,
+    Char,
+    Pair,
+    SchemeVector,
+    Symbol,
+    write_datum,
+)
+
+__all__ = [
+    "Syntax",
+    "syntax_to_datum",
+    "datum_to_syntax",
+    "syntax_list",
+    "syntax_pylist",
+    "is_identifier",
+    "strip_all",
+]
+
+ScopeSet = frozenset
+
+EMPTY_SCOPES: frozenset[int] = frozenset()
+
+
+class Syntax:
+    """One node of a source expression."""
+
+    __slots__ = ("datum", "srcloc", "scopes", "explicit_point")
+
+    def __init__(
+        self,
+        datum: object,
+        srcloc: SourceLocation = UNKNOWN_LOCATION,
+        scopes: frozenset[int] = EMPTY_SCOPES,
+        explicit_point: ProfilePoint | None = None,
+    ) -> None:
+        self.datum = datum
+        self.srcloc = srcloc
+        self.scopes = scopes
+        self.explicit_point = explicit_point
+
+    # -- profile-point protocol (consumed by repro.core.api) -------------------
+
+    @property
+    def profile_point(self) -> ProfilePoint | None:
+        """The profile point this expression bumps when profiled.
+
+        ``annotate-expr`` sets an explicit point; otherwise any node read
+        from a real file gets the implicit point of its source location.
+        Nodes with no usable location (e.g. raw ``datum->syntax`` output)
+        have no point and are not profiled.
+        """
+        if self.explicit_point is not None:
+            return self.explicit_point
+        if self.srcloc is UNKNOWN_LOCATION or self.srcloc.filename == "<unknown>":
+            return None
+        return ProfilePoint.for_location(self.srcloc)
+
+    def with_point(self, point: ProfilePoint) -> "Syntax":
+        """A copy associated with ``point`` (replacing any prior point)."""
+        return Syntax(self.datum, self.srcloc, self.scopes, explicit_point=point)
+
+    # -- scope manipulation (hygiene) -------------------------------------------
+
+    def add_scope(self, scope: int) -> "Syntax":
+        """Recursively add ``scope`` to this node and all children."""
+        return self._map_scopes(lambda s: s | {scope})
+
+    def remove_scope(self, scope: int) -> "Syntax":
+        return self._map_scopes(lambda s: s - {scope})
+
+    def flip_scope(self, scope: int) -> "Syntax":
+        """Recursively toggle ``scope`` (the sets-of-scopes 'flip')."""
+        return self._map_scopes(lambda s: s ^ {scope})
+
+    def _map_scopes(self, f) -> "Syntax":
+        new_scopes = f(self.scopes)
+        datum = self.datum
+        if isinstance(datum, Pair):
+            new_datum = _map_pair_scopes(datum, f)
+        elif isinstance(datum, SchemeVector):
+            new_datum = SchemeVector(
+                [x._map_scopes(f) if isinstance(x, Syntax) else x for x in datum]
+            )
+        else:
+            new_datum = datum
+        return Syntax(new_datum, self.srcloc, new_scopes, self.explicit_point)
+
+    # -- structure accessors ------------------------------------------------------
+
+    def is_pair(self) -> bool:
+        return isinstance(self.datum, Pair)
+
+    def is_null(self) -> bool:
+        return self.datum is NIL
+
+    def is_symbol(self) -> bool:
+        return isinstance(self.datum, Symbol)
+
+    @property
+    def symbol_name(self) -> str:
+        assert isinstance(self.datum, Symbol)
+        return self.datum.name
+
+    def head_symbol(self) -> Symbol | None:
+        """The leading symbol of a compound form, if any."""
+        if isinstance(self.datum, Pair):
+            car = self.datum.car
+            if isinstance(car, Syntax) and isinstance(car.datum, Symbol):
+                return car.datum
+        return None
+
+    def __repr__(self) -> str:
+        return f"#<syntax {write_datum(syntax_to_datum(self))} @{self.srcloc}>"
+
+
+def _map_pair_scopes(pair: Pair, f) -> Pair:
+    # Iterative along the cdr spine to handle long lists without recursion.
+    items: list[object] = []
+    node: object = pair
+    while isinstance(node, Pair):
+        car = node.car
+        items.append(car._map_scopes(f) if isinstance(car, Syntax) else car)
+        node = node.cdr
+    if isinstance(node, Syntax):
+        tail: object = node._map_scopes(f)
+    else:
+        tail = node  # NIL
+    for item in reversed(items):
+        tail = Pair(item, tail)
+    return tail  # type: ignore[return-value]
+
+
+def syntax_to_datum(stx: object) -> object:
+    """Recursively strip syntax wrappers, yielding a plain datum."""
+    if isinstance(stx, Syntax):
+        return syntax_to_datum(stx.datum)
+    if isinstance(stx, Pair):
+        items: list[object] = []
+        node: object = stx
+        while isinstance(node, Pair):
+            items.append(syntax_to_datum(node.car))
+            node = node.cdr
+        tail = syntax_to_datum(node)
+        for item in reversed(items):
+            tail = Pair(item, tail)
+        return tail
+    if isinstance(stx, SchemeVector):
+        return SchemeVector([syntax_to_datum(x) for x in stx])
+    return stx
+
+
+def datum_to_syntax(
+    datum: object,
+    context: Syntax | None = None,
+    srcloc: SourceLocation | None = None,
+) -> Syntax:
+    """Wrap a plain datum as syntax, copying scopes from ``context``.
+
+    Mirrors Scheme's ``datum->syntax``: the context identifier determines the
+    hygiene scopes of the new syntax (so the result resolves as if it
+    appeared where the context did). ``srcloc`` defaults to the context's.
+    """
+    scopes = context.scopes if context is not None else EMPTY_SCOPES
+    loc = srcloc if srcloc is not None else (
+        context.srcloc if context is not None else UNKNOWN_LOCATION
+    )
+
+    def wrap(d: object) -> Syntax:
+        if isinstance(d, Syntax):
+            return d  # already syntax; keep its identity (scopes, location)
+        if isinstance(d, Pair):
+            items: list[object] = []
+            node: object = d
+            while isinstance(node, Pair):
+                items.append(wrap(node.car))
+                node = node.cdr
+            if node is NIL:
+                tail: object = NIL
+            elif isinstance(node, Syntax):
+                tail = node
+            else:
+                tail = wrap(node)
+            for item in reversed(items):
+                tail = Pair(item, tail)
+            return Syntax(tail, loc, scopes)
+        if isinstance(d, SchemeVector):
+            return Syntax(SchemeVector([wrap(x) for x in d]), loc, scopes)
+        return Syntax(d, loc, scopes)
+
+    return wrap(datum)
+
+
+def syntax_list(stx: Syntax) -> Iterator[Syntax]:
+    """Iterate the syntax elements of a proper syntax list.
+
+    The spine may mix bare pairs and syntax-wrapped pairs (as produced by
+    templates); both are handled. Raises ``TypeError`` for improper lists.
+    """
+    node: object = stx
+    while True:
+        if isinstance(node, Syntax):
+            node = node.datum
+            continue
+        if isinstance(node, Pair):
+            car = node.car
+            yield car if isinstance(car, Syntax) else datum_to_syntax(car)
+            node = node.cdr
+            continue
+        if node is NIL:
+            return
+        raise TypeError(f"improper syntax list (tail {node!r})")
+
+
+def syntax_pylist(stx: Syntax) -> list[Syntax]:
+    return list(syntax_list(stx))
+
+
+def is_identifier(stx: object) -> bool:
+    return isinstance(stx, Syntax) and isinstance(stx.datum, Symbol)
+
+
+def strip_all(value: object) -> object:
+    """Strip syntax wrappers from arbitrary nested values (for printing)."""
+    if isinstance(value, (Syntax, Pair, SchemeVector)):
+        return syntax_to_datum(value)
+    return value

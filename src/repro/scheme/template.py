@@ -1,0 +1,242 @@
+r"""Syntax template instantiation (``#'``, ``#\```, ``#,``, ``#,@``).
+
+A template is a syntax object in which
+
+* pattern variables (bound by an enclosing ``syntax-case`` match) are
+  replaced by their match values,
+* ``(t ...)`` repeats ``t`` once per element of the pattern variables inside
+  ``t`` that were matched under an ellipsis ("driving" variables),
+* ``(... t)`` escapes: produces ``t`` literally, with ellipses uninterpreted,
+* *holes* — produced by the expander for ``#,e`` and ``#,@e`` inside
+  quasisyntax — are replaced by (resp. spliced from) run-time computed
+  values.
+
+Instantiation is driven by an environment mapping variable names to
+``(remaining-depth, value)`` pairs; values at depth *n* are nested lists of
+syntax, matching :mod:`repro.scheme.patterns`' match values.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import TemplateError
+from repro.scheme.datum import NIL, Pair, SchemeVector, Symbol
+from repro.scheme.syntax import Syntax, datum_to_syntax
+
+__all__ = ["Splice", "instantiate_template", "template_variables"]
+
+ELLIPSIS = "..."
+
+
+class Splice:
+    """Wrapper marking a hole value that splices into the enclosing list."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: list) -> None:
+        self.items = items
+
+
+def _unwrap(stx: object) -> object:
+    return stx.datum if isinstance(stx, Syntax) else stx
+
+
+def _as_syntax(obj: object, like: Syntax | None = None) -> Syntax:
+    if isinstance(obj, Syntax):
+        return obj
+    return datum_to_syntax(obj, context=like)
+
+
+def _spine(stx: object) -> tuple[list[object], object]:
+    items: list[object] = []
+    node = _unwrap(stx)
+    while isinstance(node, Pair):
+        items.append(node.car)
+        node = node.cdr
+        if isinstance(node, Syntax):
+            inner = node.datum
+            if isinstance(inner, Pair) or inner is NIL:
+                node = inner
+            else:
+                return items, node
+    return items, node
+
+
+def _is_ellipsis(stx: object) -> bool:
+    datum = _unwrap(stx)
+    return isinstance(datum, Symbol) and datum.name == ELLIPSIS
+
+
+def template_variables(template: Syntax, env: dict[str, tuple[int, object]]) -> set[str]:
+    """The environment variables that occur in ``template``."""
+    found: set[str] = set()
+    _walk_variables(template, env, found)
+    return found
+
+
+def _walk_variables(
+    template: object, env: dict[str, tuple[int, object]], found: set[str]
+) -> None:
+    datum = _unwrap(template)
+    if isinstance(datum, Symbol):
+        if datum.name in env:
+            found.add(datum.name)
+        return
+    if isinstance(datum, Pair):
+        items, tail = _spine(template)
+        for item in items:
+            _walk_variables(item, env, found)
+        if tail is not NIL:
+            _walk_variables(tail, env, found)
+        return
+    if isinstance(datum, SchemeVector):
+        for item in datum:
+            _walk_variables(item, env, found)
+
+
+def instantiate_template(
+    template: Syntax, env: dict[str, tuple[int, object]]
+) -> Syntax:
+    """Instantiate ``template`` under ``env`` (name -> (depth, value))."""
+    result = _instantiate(template, env)
+    if isinstance(result, Splice):
+        raise TemplateError("splicing hole used outside a list template")
+    return _as_syntax(result, like=template)
+
+
+def _instantiate(template: object, env: dict[str, tuple[int, object]]) -> object:
+    stx = _as_syntax(template)
+    datum = stx.datum
+
+    if isinstance(datum, Symbol):
+        entry = env.get(datum.name)
+        if entry is None:
+            return stx  # literal identifier: keep template's scopes/srcloc
+        depth, value = entry
+        if depth != 0:
+            raise TemplateError(
+                f"pattern variable {datum.name!r} used at ellipsis depth 0 "
+                f"but matched at depth {depth} (at {stx.srcloc})"
+            )
+        if isinstance(value, Splice):
+            return value
+        return _as_syntax(value, like=stx)
+
+    if isinstance(datum, Pair):
+        items, tail = _spine(stx)
+        # (... t) escape: t instantiated with ellipses treated literally.
+        if len(items) == 2 and tail is NIL and _is_ellipsis(items[0]):
+            return _instantiate_literal(items[1])
+        return _instantiate_list(stx, items, tail, env)
+
+    if isinstance(datum, SchemeVector):
+        fake_items = list(datum.items)
+        out = _instantiate_elements(fake_items, env, stx)
+        return Syntax(SchemeVector(out), stx.srcloc, stx.scopes, stx.explicit_point)
+
+    return stx  # self-evaluating atom
+
+
+def _instantiate_literal(template: object) -> Syntax:
+    """The body of a (... t) escape: returned as-is."""
+    return _as_syntax(template)
+
+
+def _instantiate_elements(
+    items: list[object], env: dict[str, tuple[int, object]], context: Syntax
+) -> list[object]:
+    """Instantiate a sequence of template elements, handling ellipses and
+    splices, returning the flat list of output elements."""
+    out: list[object] = []
+    i = 0
+    while i < len(items):
+        item = items[i]
+        n_ellipses = 0
+        j = i + 1
+        while j < len(items) and _is_ellipsis(items[j]):
+            n_ellipses += 1
+            j += 1
+        if n_ellipses == 0:
+            value = _instantiate(item, env)
+            if isinstance(value, Splice):
+                out.extend(_as_syntax(v) for v in value.items)
+            else:
+                out.append(value)
+            i += 1
+            continue
+        expanded = _expand_ellipsis(item, env, n_ellipses, context)
+        out.extend(expanded)
+        i = j
+    return out
+
+
+def _expand_ellipsis(
+    item: object,
+    env: dict[str, tuple[int, object]],
+    n_ellipses: int,
+    context: Syntax,
+) -> list[object]:
+    """Expand ``item ...`` (with ``n_ellipses`` trailing ellipses)."""
+    item_stx = _as_syntax(item)
+    drivers = [
+        name
+        for name in template_variables(item_stx, env)
+        if env[name][0] > 0
+    ]
+    if not drivers:
+        raise TemplateError(
+            f"ellipsis template contains no pattern variable matched under "
+            f"an ellipsis (at {item_stx.srcloc})"
+        )
+    lengths = set()
+    for name in drivers:
+        _, value = env[name]
+        if not isinstance(value, list):
+            raise TemplateError(
+                f"pattern variable {name!r} has no repetition to drive an "
+                f"ellipsis (at {item_stx.srcloc})"
+            )
+        lengths.add(len(value))
+    if len(lengths) > 1:
+        raise TemplateError(
+            f"ellipsis pattern variables have mismatched lengths {sorted(lengths)} "
+            f"(at {item_stx.srcloc})"
+        )
+    (n,) = lengths or {0}
+    results: list[object] = []
+    for k in range(n):
+        sub_env = dict(env)
+        for name in drivers:
+            depth, value = env[name]
+            sub_env[name] = (depth - 1, value[k])
+        if n_ellipses == 1:
+            value = _instantiate(item_stx, sub_env)
+            if isinstance(value, Splice):
+                results.extend(_as_syntax(v) for v in value.items)
+            else:
+                results.append(value)
+        else:
+            # (t ... ...): flatten one extra level per additional ellipsis.
+            results.extend(
+                _expand_ellipsis(item_stx, sub_env, n_ellipses - 1, context)
+            )
+    return results
+
+
+def _instantiate_list(
+    stx: Syntax,
+    items: list[object],
+    tail: object,
+    env: dict[str, tuple[int, object]],
+) -> Syntax:
+    out = _instantiate_elements(items, env, stx)
+    if tail is NIL:
+        new_tail: object = NIL
+    else:
+        tail_value = _instantiate(tail, env)
+        if isinstance(tail_value, Splice):
+            raise TemplateError("splicing hole cannot appear as a dotted tail")
+        new_tail = tail_value
+    datum: object = new_tail
+    for item in reversed(out):
+        datum = Pair(item, datum)
+    return Syntax(datum, stx.srcloc, stx.scopes, stx.explicit_point)

@@ -1,0 +1,1 @@
+"""Command-line tools (the ``pgmp`` entry point)."""

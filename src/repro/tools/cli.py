@@ -1,0 +1,290 @@
+"""``pgmp`` — the command-line front end to the Scheme substrate.
+
+Subcommands mirror the paper's workflow:
+
+* ``pgmp run FILE``       — compile (with any stored profile) and run
+* ``pgmp expand FILE``    — print the expanded core program
+* ``pgmp profile FILE``   — run instrumented and store profile weights
+* ``pgmp optimize FILE``  — load a profile, print the optimized expansion
+* ``pgmp workflow FILE``  — run the Section-4.3 three-pass protocol
+* ``pgmp disasm FILE``    — print basic-block bytecode
+* ``pgmp report FILE``    — render a stored profile over the source
+
+Built-in case-study libraries are loadable by name via ``--library``:
+``if-r``, ``case``, ``oop``, ``datastructs``, ``boolean``, ``inliner``, or a
+path to a Scheme file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.errors import PgmpError
+from repro.scheme.core_forms import unparse_string
+from repro.scheme.datum import write_datum
+from repro.scheme.instrument import ProfileMode
+from repro.scheme.pipeline import SchemeSystem
+
+__all__ = ["main", "build_parser"]
+
+_BUILTIN_LIBRARIES: dict[str, list[tuple[str, str]]] = {}
+
+
+def _builtin_libraries() -> dict[str, list[tuple[str, str]]]:
+    if not _BUILTIN_LIBRARIES:
+        from repro.casestudies import (
+            BOOLEAN_REORDER_LIBRARY,
+            CASE_LIBRARY,
+            EXCLUSIVE_COND_LIBRARY,
+            IF_R_LIBRARY,
+            INLINER_LIBRARY,
+            OBJECT_SYSTEM_LIBRARY,
+            PROFILED_LIST_LIBRARY,
+            PROFILED_SEQUENCE_LIBRARY,
+            PROFILED_VECTOR_LIBRARY,
+        )
+        from repro.casestudies.receiver_class import RECEIVER_CLASS_LIBRARY
+
+        _BUILTIN_LIBRARIES.update(
+            {
+                "if-r": [(IF_R_LIBRARY, "if-r.ss")],
+                "case": [
+                    (EXCLUSIVE_COND_LIBRARY, "exclusive-cond.ss"),
+                    (CASE_LIBRARY, "case.ss"),
+                ],
+                "oop": [
+                    (OBJECT_SYSTEM_LIBRARY, "object-system.ss"),
+                    (RECEIVER_CLASS_LIBRARY, "receiver-class.ss"),
+                ],
+                "datastructs": [
+                    (PROFILED_LIST_LIBRARY, "profiled-list.ss"),
+                    (PROFILED_VECTOR_LIBRARY, "profiled-vector.ss"),
+                    (PROFILED_SEQUENCE_LIBRARY, "profiled-seq.ss"),
+                ],
+                "boolean": [(BOOLEAN_REORDER_LIBRARY, "boolean-reorder.ss")],
+                "inliner": [(INLINER_LIBRARY, "inliner.ss")],
+            }
+        )
+    return _BUILTIN_LIBRARIES
+
+
+def _load_libraries(system: SchemeSystem, names: list[str]) -> list[str]:
+    """Install libraries; returns their sources (for the workflow command)."""
+    sources: list[str] = []
+    for name in names:
+        builtin = _builtin_libraries().get(name)
+        if builtin is not None:
+            for source, filename in builtin:
+                system.load_library(source, filename)
+                sources.append(source)
+        else:
+            with open(name, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            system.load_library(source, name)
+            sources.append(source)
+    return sources
+
+
+def _read_program(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _mode(name: str) -> ProfileMode:
+    return ProfileMode.CALL if name == "call" else ProfileMode.EXPR
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pgmp",
+        description="Profile-guided meta-programming (PLDI 2015 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("file", help="Scheme source file ('-' for stdin)")
+        p.add_argument(
+            "--library",
+            action="append",
+            default=[],
+            help="library to preload: if-r, case, oop, datastructs, or a path",
+        )
+        p.add_argument(
+            "--profile-file",
+            default=None,
+            help="stored profile to load before compiling",
+        )
+        p.add_argument(
+            "--simplify",
+            action="store_true",
+            help="contract immediate beta-redexes after expansion",
+        )
+
+    p_run = sub.add_parser("run", help="compile and run a program")
+    common(p_run)
+    p_run.add_argument(
+        "--instrument",
+        choices=["expr", "call"],
+        default=None,
+        help="run instrumented and print counter totals",
+    )
+
+    p_expand = sub.add_parser("expand", help="print the expanded core program")
+    common(p_expand)
+
+    p_profile = sub.add_parser("profile", help="run instrumented; store weights")
+    common(p_profile)
+    p_profile.add_argument("--out", required=True, help="profile file to write")
+    p_profile.add_argument("--mode", choices=["expr", "call"], default="expr")
+
+    p_opt = sub.add_parser("optimize", help="print the profile-optimized expansion")
+    common(p_opt)
+
+    p_wf = sub.add_parser("workflow", help="run the three-pass source+block PGO")
+    common(p_wf)
+
+    p_dis = sub.add_parser("disasm", help="print basic-block bytecode")
+    common(p_dis)
+
+    p_rep = sub.add_parser("report", help="render a stored profile")
+    common(p_rep)
+    p_rep.add_argument("--top", type=int, default=10, help="hottest-N table size")
+    p_rep.add_argument(
+        "--histogram", action="store_true", help="also print a weight histogram"
+    )
+
+    return parser
+
+
+def _make_system(args: argparse.Namespace) -> tuple[SchemeSystem, list[str]]:
+    system = SchemeSystem()
+    sources = _load_libraries(system, args.library)
+    if args.profile_file:
+        system.load_profile(args.profile_file)
+    return system, sources
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except PgmpError as exc:
+        print(f"pgmp: error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"pgmp: {exc}", file=sys.stderr)
+        return 1
+
+
+def _maybe_simplify(args: argparse.Namespace, program):
+    if getattr(args, "simplify", False):
+        from repro.scheme.simplify import contract_betas
+
+        program, contraction = contract_betas(program)
+        print(
+            f";; simplify: contracted {contraction.contracted} of "
+            f"{contraction.considered} beta-redexes",
+            file=sys.stderr,
+        )
+    return program
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    source = _read_program(args.file)
+    system, library_sources = _make_system(args)
+
+    if args.command == "run":
+        mode = _mode(args.instrument) if args.instrument else None
+        program = _maybe_simplify(args, system.compile(source, args.file))
+        result = system.run(program, instrument=mode)
+        if result.output:
+            print(result.output, end="")
+        print(write_datum(result.value))
+        if result.counters is not None:
+            print(
+                f";; profiled {len(result.counters)} points, "
+                f"total count {result.counters.total()}",
+                file=sys.stderr,
+            )
+        return 0
+
+    if args.command == "expand":
+        program = _maybe_simplify(args, system.compile(source, args.file))
+        if system.last_compile_output:
+            print(system.last_compile_output, end="", file=sys.stderr)
+        print(unparse_string(program))
+        return 0
+
+    if args.command == "profile":
+        system.profile_run(source, args.file, mode=_mode(args.mode))
+        system.store_profile(args.out)
+        print(
+            f";; stored {system.profile_db.point_count()} profile weights "
+            f"to {args.out}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.command == "optimize":
+        if not args.profile_file:
+            print("pgmp optimize: --profile-file is required", file=sys.stderr)
+            return 2
+        program = _maybe_simplify(args, system.compile(source, args.file))
+        if system.last_compile_output:
+            print(system.last_compile_output, end="", file=sys.stderr)
+        print(unparse_string(program))
+        return 0
+
+    if args.command == "workflow":
+        from repro.blocks.workflow import three_pass_compile
+
+        report = three_pass_compile(
+            source, args.file, libraries=tuple(library_sources)
+        )
+        print(f"value:                   {write_datum(report.value)}")
+        print(f"expansion stable:        {report.expansion_stable}")
+        print(f"block structure stable:  {report.block_structure_stable}")
+        print(f"semantics preserved:     {report.semantics_preserved}")
+        print(f"source profile points:   {report.source_points}")
+        print(
+            f"taken jumps:             {report.taken_jumps_before} -> "
+            f"{report.taken_jumps_after}"
+        )
+        print(
+            f"fall-throughs:           {report.fallthroughs_before} -> "
+            f"{report.fallthroughs_after}"
+        )
+        print(f"layout:                  {report.layout}")
+        return 0
+
+    if args.command == "report":
+        from repro.tools.report import annotate_source, histogram, hottest_report
+
+        if not args.profile_file:
+            print("pgmp report: --profile-file is required", file=sys.stderr)
+            return 2
+        db = system.profile_db
+        print(hottest_report(db, args.top))
+        print()
+        print(annotate_source(source, args.file, db))
+        if args.histogram:
+            print()
+            print(histogram(db))
+        return 0
+
+    if args.command == "disasm":
+        from repro.blocks.compiler import compile_program
+
+        program = system.compile(source, args.file)
+        module = compile_program(program)
+        print(module.disassemble())
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

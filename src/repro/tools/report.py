@@ -1,0 +1,83 @@
+"""Human-readable profile reports.
+
+Chez Scheme's profiler can render per-expression counts over the original
+source; this module provides the same affordance for stored PGMP profiles:
+
+* :func:`hottest_report` — a table of the N hottest profile points;
+* :func:`annotate_source` — the program text with per-line heat columns
+  (maximum weight of any profile point starting on that line);
+* :func:`histogram` — a terminal bar chart of the weight distribution.
+
+All functions consume the merged view of a
+:class:`~repro.core.database.ProfileDatabase`, so multi-data-set profiles
+render exactly what ``profile-query`` would report.
+"""
+
+from __future__ import annotations
+
+from repro.core.database import ProfileDatabase
+
+__all__ = ["hottest_report", "annotate_source", "histogram"]
+
+
+def hottest_report(db: ProfileDatabase, n: int = 10) -> str:
+    """The ``n`` hottest profile points, one per line, hottest first."""
+    rows = db.merged().hottest(n)
+    if not rows:
+        return "(no profile data)"
+    width = max(len(str(point.location)) for point, _ in rows)
+    lines = [f"{'location':<{width}}  weight"]
+    for point, weight in rows:
+        tag = " (generated)" if point.generated else ""
+        lines.append(f"{str(point.location):<{width}}  {weight:6.4f}{tag}")
+    return "\n".join(lines)
+
+
+def annotate_source(source: str, filename: str, db: ProfileDatabase) -> str:
+    """``source`` with a per-line heat column.
+
+    Each line is prefixed with the maximum merged weight of any profile
+    point in ``filename`` that *starts* on it (blank when no point does).
+    Generated points (``make-profile-point`` output) carry suffixed
+    filenames and are attributed to their base location's line.
+    """
+    by_line: dict[int, float] = {}
+    for point, weight in db.merged().items():
+        location = point.location
+        base_name = location.filename.split("%", 1)[0]
+        if base_name != filename:
+            continue
+        line = location.line
+        if line <= 0:
+            continue
+        by_line[line] = max(by_line.get(line, 0.0), weight)
+
+    out = []
+    for i, text in enumerate(source.splitlines(), start=1):
+        weight = by_line.get(i)
+        column = f"{weight:6.4f}" if weight is not None else " " * 6
+        out.append(f"{column} | {text}")
+    return "\n".join(out)
+
+
+def histogram(db: ProfileDatabase, buckets: int = 10, width: int = 40) -> str:
+    """A text histogram of the merged weight distribution.
+
+    Useful for eyeballing how skewed a workload is — heavily skewed
+    profiles are where PGOs pay off.
+    """
+    weights = [weight for _, weight in db.merged().items()]
+    if not weights:
+        return "(no profile data)"
+    counts = [0] * buckets
+    for weight in weights:
+        index = min(buckets - 1, int(weight * buckets))
+        counts[index] += 1
+    peak = max(counts)
+    lines = []
+    for i, count in enumerate(counts):
+        lo = i / buckets
+        hi = (i + 1) / buckets
+        bar = "#" * (count * width // peak if peak else 0)
+        lines.append(f"[{lo:4.2f},{hi:4.2f}) {count:6d} {bar}")
+    return "\n".join(lines)

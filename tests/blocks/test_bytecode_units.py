@@ -1,0 +1,163 @@
+"""Unit tests for the bytecode representation and VM edge cases."""
+
+import pytest
+
+from repro.blocks.bytecode import BasicBlock, BlockFunction, Instr, Module, Opcode
+from repro.blocks.vm import VM, VMClosure
+from repro.core.errors import VMError
+from repro.scheme.datum import UNSPECIFIED, Symbol
+from repro.scheme.primitives import make_global_env
+
+
+class TestOpcodes:
+    def test_terminators(self):
+        terminators = {
+            Opcode.JUMP, Opcode.BRANCH_FALSE, Opcode.BRANCH_TRUE,
+            Opcode.RETURN, Opcode.TAILCALL,
+        }
+        for op in Opcode:
+            assert op.is_terminator() == (op in terminators)
+
+    def test_instr_repr(self):
+        instr = Instr(Opcode.BRANCH_FALSE, "else1", fallthrough="then1")
+        text = repr(instr)
+        assert "brf" in text and "else1" in text and "ft=then1" in text
+
+
+class TestBlocks:
+    def _branchy(self):
+        return BasicBlock(
+            "entry",
+            [Instr(Opcode.CONST, True), Instr(Opcode.BRANCH_FALSE, "b", fallthrough="a")],
+        )
+
+    def test_successors_branch(self):
+        assert self._branchy().successors() == ["a", "b"]
+
+    def test_successors_jump_and_return(self):
+        jump = BasicBlock("x", [Instr(Opcode.JUMP, "y")])
+        ret = BasicBlock("z", [Instr(Opcode.CONST, 1), Instr(Opcode.RETURN)])
+        assert jump.successors() == ["y"]
+        assert ret.successors() == []
+
+    def test_terminator_property(self):
+        block = self._branchy()
+        assert block.terminator.op is Opcode.BRANCH_FALSE
+
+    def test_block_by_label_and_position(self):
+        fn = BlockFunction("f", [], None, [BasicBlock("entry"), BasicBlock("next")])
+        assert fn.block_by_label("next").label == "next"
+        assert fn.block_position("next") == 1
+        with pytest.raises(KeyError):
+            fn.block_by_label("missing")
+        with pytest.raises(KeyError):
+            fn.block_position("missing")
+
+
+class TestModule:
+    def _module(self):
+        module = Module()
+        top = BlockFunction(
+            "toplevel", [], None,
+            [BasicBlock("entry", [Instr(Opcode.CONST, 42), Instr(Opcode.RETURN)])],
+        )
+        module.add_function(top)
+        return module
+
+    def test_add_function_sets_index(self):
+        module = self._module()
+        assert module.toplevel.index == 0
+        idx = module.add_function(BlockFunction("g", [], None, []))
+        assert idx == 1
+
+    def test_block_count(self):
+        assert self._module().block_count() == 1
+
+    def test_disassemble(self):
+        text = self._module().disassemble()
+        assert "function 0 toplevel" in text
+        assert "entry:" in text
+        assert "const" in text
+
+    def test_structure_signature_ignores_args(self):
+        a = self._module()
+        b = Module()
+        b.add_function(
+            BlockFunction(
+                "toplevel", [], None,
+                [BasicBlock("entry", [Instr(Opcode.CONST, 99), Instr(Opcode.RETURN)])],
+            )
+        )
+        assert a.structure_signature() == b.structure_signature()
+
+
+class TestVMEdgeCases:
+    def test_run_trivial_module(self):
+        module = Module()
+        module.add_function(
+            BlockFunction(
+                "toplevel", [], None,
+                [BasicBlock("entry", [Instr(Opcode.CONST, 42), Instr(Opcode.RETURN)])],
+            )
+        )
+        assert VM(module, make_global_env()).run() == 42
+
+    def test_fall_off_block_end(self):
+        module = Module()
+        module.add_function(
+            BlockFunction(
+                "toplevel", [], None,
+                [BasicBlock("entry", [Instr(Opcode.CONST, 1)])],  # no terminator
+            )
+        )
+        with pytest.raises(VMError, match="fell off"):
+            VM(module, make_global_env()).run()
+
+    def test_return_with_empty_stack_yields_unspecified(self):
+        module = Module()
+        module.add_function(
+            BlockFunction(
+                "toplevel", [], None,
+                [BasicBlock("entry", [Instr(Opcode.RETURN)])],
+            )
+        )
+        assert VM(module, make_global_env()).run() is UNSPECIFIED
+
+    def test_vm_closure_repr_and_arity(self):
+        module = Module()
+        module.add_function(
+            BlockFunction(
+                "toplevel", [], None,
+                [BasicBlock("entry", [Instr(Opcode.CONST, 0), Instr(Opcode.RETURN)])],
+            )
+        )
+        fn = BlockFunction(
+            "helper", [Symbol("x")], None,
+            [BasicBlock("entry", [Instr(Opcode.LOAD, Symbol("x")), Instr(Opcode.RETURN)])],
+        )
+        module.add_function(fn)
+        vm = VM(module, make_global_env())
+        closure = VMClosure(fn, vm.global_env, vm)
+        assert "helper" in repr(closure)
+        assert closure(7) == 7
+        with pytest.raises(VMError, match="expected 1"):
+            closure(1, 2)
+
+    def test_rest_parameter_binding(self):
+        from repro.scheme.datum import write_datum
+
+        fn = BlockFunction(
+            "var", [Symbol("a")], Symbol("rest"),
+            [BasicBlock("entry", [Instr(Opcode.LOAD, Symbol("rest")), Instr(Opcode.RETURN)])],
+        )
+        module = Module()
+        module.add_function(
+            BlockFunction("toplevel", [], None,
+                          [BasicBlock("entry", [Instr(Opcode.CONST, 0), Instr(Opcode.RETURN)])])
+        )
+        module.add_function(fn)
+        vm = VM(module, make_global_env())
+        closure = VMClosure(fn, vm.global_env, vm)
+        assert write_datum(closure(1, 2, 3)) == "(2 3)"
+        with pytest.raises(VMError, match="at least 1"):
+            closure()

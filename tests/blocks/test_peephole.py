@@ -1,0 +1,164 @@
+"""Tests for the bytecode peephole pass."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocks.bytecode import BasicBlock, BlockFunction, Instr, Module, Opcode
+from repro.blocks.compiler import compile_program
+from repro.blocks.peephole import peephole
+from repro.blocks.pgo import eliminate_unreachable, optimize_layout
+from repro.blocks.vm import VM
+from repro.scheme.datum import write_datum
+from repro.scheme.pipeline import SchemeSystem
+from repro.scheme.primitives import make_global_env
+from repro.scheme.syntax import strip_all
+
+
+def _run(module):
+    return VM(module, make_global_env()).run()
+
+
+def compiled(source: str) -> Module:
+    return compile_program(SchemeSystem().compile(source))
+
+
+class TestPushPop:
+    def test_const_pop_dropped(self):
+        module = compiled("(begin 1 2 3)")
+        optimized, report = peephole(module)
+        assert report.dropped_pairs >= 2
+        assert _run(optimized) == 3
+
+    def test_load_pop_kept(self):
+        """LOAD may fault on unbound names; never dropped."""
+        module = compiled("(define x 1) (begin x 2)")
+        _, report = peephole(module)
+        # Only the const-producing begin element can be dropped.
+        before = module.disassemble().count("load")
+        optimized, _ = peephole(module)
+        assert optimized.disassemble().count("load") == before
+
+
+class TestJumpThreading:
+    def _with_trampoline(self) -> Module:
+        module = Module()
+        module.add_function(
+            BlockFunction(
+                "toplevel", [], None,
+                [
+                    BasicBlock("entry", [Instr(Opcode.JUMP, "tramp")]),
+                    BasicBlock("tramp", [Instr(Opcode.JUMP, "final")]),
+                    BasicBlock("final", [Instr(Opcode.CONST, 9), Instr(Opcode.RETURN)]),
+                ],
+            )
+        )
+        return module
+
+    def test_jump_chain_threaded(self):
+        optimized, report = peephole(self._with_trampoline())
+        assert report.threaded_jumps >= 1
+        entry = optimized.toplevel.blocks[0]
+        assert entry.instrs[-1].arg == "final"
+        assert _run(optimized) == 9
+
+    def test_threaded_trampoline_becomes_unreachable(self):
+        optimized, _ = peephole(self._with_trampoline())
+        pruned, removed = eliminate_unreachable(optimized)
+        assert removed == 1
+        assert _run(pruned) == 9
+
+    def test_branch_targets_threaded(self):
+        module = Module()
+        module.add_function(
+            BlockFunction(
+                "toplevel", [], None,
+                [
+                    BasicBlock(
+                        "entry",
+                        [Instr(Opcode.CONST, True),
+                         Instr(Opcode.BRANCH_FALSE, "t1", fallthrough="t2")],
+                    ),
+                    BasicBlock("t1", [Instr(Opcode.JUMP, "end")]),
+                    BasicBlock("t2", [Instr(Opcode.JUMP, "end")]),
+                    BasicBlock("end", [Instr(Opcode.CONST, 5), Instr(Opcode.RETURN)]),
+                ],
+            )
+        )
+        optimized, report = peephole(module)
+        # Both targets thread to "end" and the branch collapses.
+        assert report.collapsed_branches == 1
+        assert _run(optimized) == 5
+
+    def test_cyclic_trampolines_survive(self):
+        module = Module()
+        module.add_function(
+            BlockFunction(
+                "toplevel", [], None,
+                [
+                    BasicBlock("entry", [Instr(Opcode.CONST, 1), Instr(Opcode.RETURN)]),
+                    BasicBlock("a", [Instr(Opcode.JUMP, "b")]),
+                    BasicBlock("b", [Instr(Opcode.JUMP, "a")]),
+                ],
+            )
+        )
+        optimized, _ = peephole(module)  # must not hang
+        assert _run(optimized) == 1
+
+
+class TestSemantics:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "(define (fact n) (if (= n 0) 1 (* n (fact (- n 1))))) (fact 8)",
+            "(begin 'a 'b (if #t (begin 1 2) 3))",
+            "(define (f x) (cond [(= x 1) 'one] [(= x 2) 'two] [else 'many])) (map f '(1 2 3))",
+            "(let loop ([i 0] [acc 0]) (if (= i 20) acc (loop (+ i 1) (+ acc i))))",
+        ],
+    )
+    def test_preserved(self, source):
+        module = compiled(source)
+        optimized, _ = peephole(module)
+        assert write_datum(strip_all(_run(module))) == write_datum(
+            strip_all(_run(optimized))
+        )
+
+    def test_composes_with_layout_pgo(self):
+        source = """
+        (define (classify x) (if (< x 90) 'common 'rare))
+        (define (run i acc)
+          (if (= i 0) acc (run (- i 1) (cons (classify (modulo i 100)) acc))))
+        (length (run 100 '()))
+        """
+        module = compiled(source)
+        profiling_vm = VM(module, make_global_env(), profile=True)
+        value = profiling_vm.run()
+        laid_out, _ = optimize_layout(module, profiling_vm.profile)
+        final, report = peephole(laid_out)
+        assert _run(final) == value
+
+    def test_report_str(self):
+        _, report = peephole(compiled("(begin 1 2)"))
+        assert "dropped" in str(report)
+        assert report.total >= 1
+
+
+_exprs = st.recursive(
+    st.integers(min_value=-9, max_value=9).map(str),
+    lambda sub: st.one_of(
+        st.tuples(sub, sub).map(lambda t: f"(begin {t[0]} {t[1]})"),
+        st.tuples(sub, sub, sub).map(lambda t: f"(if {t[0]} {t[1]} {t[2]})"),
+        st.tuples(sub, sub).map(lambda t: f"(+ {t[0]} {t[1]})"),
+    ),
+    max_leaves=10,
+)
+
+
+@given(_exprs)
+@settings(max_examples=30, deadline=None)
+def test_peephole_transparent_property(expr):
+    module = compiled(expr)
+    optimized, _ = peephole(module)
+    assert write_datum(strip_all(_run(module))) == write_datum(
+        strip_all(_run(optimized))
+    )

@@ -1,0 +1,124 @@
+"""Tests for block-level PGO: layout, branch inversion, CFG utilities."""
+
+import pytest
+
+from repro.blocks.cfg import (
+    function_cfg,
+    hot_path,
+    reachable_blocks,
+    unreachable_blocks,
+    weighted_cfg,
+)
+from repro.blocks.compiler import compile_program
+from repro.blocks.pgo import optimize_layout
+from repro.blocks.vm import VM
+from repro.scheme.datum import write_datum
+from repro.scheme.pipeline import SchemeSystem
+from repro.scheme.primitives import make_global_env
+from repro.scheme.syntax import strip_all
+
+
+SKEWED = """
+(define (classify x)
+  (if (< x 90) 'common (if (< x 99) 'rare 'unicorn)))
+(define (run i acc)
+  (if (= i 0) acc (run (- i 1) (cons (classify (modulo (* i 37) 100)) acc))))
+(length (run 300 '()))
+"""
+
+
+def _compile(source):
+    return compile_program(SchemeSystem().compile(source))
+
+
+def _run(module, profile=True):
+    vm = VM(module, make_global_env(), profile=profile)
+    value = vm.run()
+    return value, vm.profile
+
+
+class TestLayout:
+    def test_optimized_module_preserves_semantics(self):
+        module = _compile(SKEWED)
+        value, profile = _run(module)
+        optimized, report = optimize_layout(module, profile)
+        value2, _ = _run(optimized, profile=False)
+        assert write_datum(strip_all(value)) == write_datum(strip_all(value2))
+
+    def test_optimization_reduces_taken_jumps(self):
+        module = _compile(SKEWED)
+        _, profile = _run(module)
+        optimized, _ = optimize_layout(module, profile)
+        _, before = _run(module)
+        _, after = _run(optimized)
+        assert after.taken_jumps < before.taken_jumps
+        assert after.fallthroughs > before.fallthroughs
+        # Total transfers unchanged: layout only moves blocks around.
+        assert after.total_transfers == before.total_transfers
+
+    def test_entry_block_stays_first(self):
+        module = _compile(SKEWED)
+        _, profile = _run(module)
+        optimized, _ = optimize_layout(module, profile)
+        for fn in optimized.functions:
+            assert fn.blocks[0].label == "entry" or len(fn.blocks) <= 1 or fn.blocks[0].label == module.functions[fn.index].blocks[0].label
+
+    def test_report_describes_work(self):
+        module = _compile(SKEWED)
+        _, profile = _run(module)
+        _, report = optimize_layout(module, profile)
+        assert report.moved_blocks + report.inverted_branches > 0
+        assert "reordered" in str(report)
+
+    def test_cold_profile_changes_nothing_semantically(self):
+        """With an empty profile, layout keeps original block order."""
+        from repro.blocks.vm import BlockProfile
+
+        module = _compile(SKEWED)
+        optimized, report = optimize_layout(module, BlockProfile())
+        assert [
+            [b.label for b in fn.blocks] for fn in optimized.functions
+        ] == [[b.label for b in fn.blocks] for fn in module.functions]
+
+    def test_idempotent_on_optimized_layout(self):
+        module = _compile(SKEWED)
+        _, profile = _run(module)
+        optimized, _ = optimize_layout(module, profile)
+        _, profile2 = _run(optimized)
+        again, report2 = optimize_layout(optimized, profile2)
+        _, metrics_once = _run(optimized)
+        _, metrics_twice = _run(again)
+        assert metrics_twice.taken_jumps <= metrics_once.taken_jumps
+
+
+class TestCfg:
+    def test_function_cfg_nodes(self):
+        module = _compile("(define (f x) (if x 1 2)) (f #t)")
+        f = next(fn for fn in module.functions if fn.name == "f")
+        graph = function_cfg(f)
+        assert set(graph.nodes) == {b.label for b in f.blocks}
+        assert graph.out_degree("entry") == 2
+
+    def test_weighted_cfg(self):
+        module = _compile("(define (f x) (if x 1 2)) (f #t) (f #t) (f #f)")
+        _, profile = _run(module)
+        f = next(fn for fn in module.functions if fn.name == "f")
+        graph = weighted_cfg(f, profile)
+        weights = sorted(
+            data["weight"] for _, _, data in graph.out_edges("entry", data=True)
+        )
+        assert weights == [1, 2]
+
+    def test_reachable_blocks(self):
+        module = _compile("(define (f x) (if x 1 2)) (f #t)")
+        f = next(fn for fn in module.functions if fn.name == "f")
+        assert reachable_blocks(f) == {b.label for b in f.blocks}
+        assert unreachable_blocks(f) == set()
+
+    def test_hot_path_follows_weights(self):
+        module = _compile("(define (f x) (if x 'hot 'cold)) (f #t) (f #t) (f #t) (f #f)")
+        _, profile = _run(module)
+        f = next(fn for fn in module.functions if fn.name == "f")
+        path = hot_path(f, profile)
+        assert path[0] == "entry"
+        assert any(label.startswith("then") for label in path)

@@ -1,0 +1,188 @@
+"""§6.3 / Figures 13–14: data-structure selection and specialization."""
+
+import pytest
+
+from repro.casestudies.datastructs import make_datastructs_system
+from repro.scheme.core_forms import unparse_string
+
+
+class TestProfiledList:
+    def test_behaves_like_a_list(self):
+        system = make_datastructs_system()
+        source = """
+        (define pl (profiled-list 1 2 3))
+        (list (p-car pl) (p-car (p-cdr pl)) (p-list-length pl) (p-null? pl))
+        """
+        assert str(system.run_source(source, "l.ss").value) == "(1 2 3 #f)"
+
+    def test_cons_and_ref(self):
+        system = make_datastructs_system()
+        source = """
+        (define pl (p-cons 0 (profiled-list 1 2)))
+        (list (p-list-ref pl 0) (p-list-ref pl 2) (p-list->list pl))
+        """
+        assert str(system.run_source(source, "l.ss").value) == "(0 2 (0 1 2))"
+
+    def test_set(self):
+        system = make_datastructs_system()
+        source = """
+        (define pl (profiled-list 1 2 3))
+        (p-list-set! pl 1 99)
+        (p-list->list pl)
+        """
+        assert str(system.run_source(source, "l.ss").value) == "(1 99 3)"
+
+    def test_warning_when_vector_ops_dominate(self):
+        """Figure 13: the constructor prints a compile-time warning when
+        the profiled run used mostly random access."""
+        system = make_datastructs_system()
+        program = """
+        (define pl (profiled-list 10 20 30))
+        (define (go n acc)
+          (if (= n 0) acc (go (- n 1) (+ acc (p-list-ref pl (modulo n 3))))))
+        (go 50 0)
+        """
+        system.profile_run(program, "warn.ss")
+        system.compile(program, "warn.ss")
+        assert "WARNING" in system.last_compile_output
+        assert "reimplement this list as a vector" in system.last_compile_output
+        assert "(profiled-list 10 20 30)" in system.last_compile_output
+
+    def test_no_warning_when_list_ops_dominate(self):
+        system = make_datastructs_system()
+        program = """
+        (define (walk pl acc)
+          (if (p-null? pl) acc (walk (p-cdr pl) (+ acc (p-car pl)))))
+        (walk (profiled-list 1 2 3 4 5) 0)
+        """
+        system.profile_run(program, "ok.ss")
+        system.compile(program, "ok.ss")
+        assert "WARNING" not in system.last_compile_output
+
+    def test_no_warning_without_profile_data(self):
+        system = make_datastructs_system()
+        system.compile("(profiled-list 1 2 3)", "fresh.ss")
+        assert "WARNING" not in system.last_compile_output
+
+
+class TestProfiledVector:
+    def test_behaves_like_a_vector(self):
+        system = make_datastructs_system()
+        source = """
+        (define pv (profiled-vector 1 2 3))
+        (pv-set! pv 0 9)
+        (list (pv-ref pv 0) (pv-length pv) (pv->vector pv))
+        """
+        assert str(system.run_source(source, "v.ss").value) == "(9 3 #(9 2 3))"
+
+    def test_list_style_ops(self):
+        system = make_datastructs_system()
+        source = """
+        (define pv (profiled-vector 1 2 3))
+        (list (pv-first pv) (pv->vector (pv-rest pv)) (pv->vector (pv-prepend 0 pv)))
+        """
+        assert str(system.run_source(source, "v.ss").value) == "(1 #(2 3) #(0 1 2 3))"
+
+    def test_warning_when_list_ops_dominate(self):
+        system = make_datastructs_system()
+        program = """
+        (define (shrink pv acc)
+          (if (= (pv-length pv) 0) acc (shrink (pv-rest pv) (+ acc (pv-first pv)))))
+        (shrink (profiled-vector 1 2 3 4 5 6 7 8) 0)
+        """
+        system.profile_run(program, "vw.ss")
+        system.compile(program, "vw.ss")
+        assert "reimplement this vector as a list" in system.last_compile_output
+
+
+class TestProfiledSequence:
+    RANDOM_ACCESS = """
+    (define s (profiled-seq 10 20 30 40 50))
+    (define (go n acc)
+      (if (= n 0) acc (go (- n 1) (+ acc (seq-ref s (modulo n 5))))))
+    (go 100 0)
+    """
+
+    HEAD_HEAVY = """
+    (define s (profiled-seq 10 20 30 40 50))
+    (define (walk s n acc)
+      (if (= n 0) acc (walk (seq-rest s) (- n 1) (+ acc (seq-first s)))))
+    (walk s 4 0)
+    """
+
+    def test_defaults_to_list_representation(self):
+        system = make_datastructs_system()
+        text = unparse_string(system.compile("(profiled-seq 1 2)", "s.ss"))
+        assert "'list" in text
+        assert "'vector" not in text.split("seq-rep")[1][:20]
+
+    def test_specializes_to_vector_after_random_access_profile(self):
+        """Figure 14: after a random-access-heavy profile, the constructor
+        emits the vector representation."""
+        system = make_datastructs_system()
+        system.profile_run(self.RANDOM_ACCESS, "s.ss")
+        text = unparse_string(system.compile(self.RANDOM_ACCESS, "s.ss"))
+        constructor = text[text.index("(define s") :].split("\n")[0]
+        assert "'vector" in constructor
+
+    def test_stays_list_after_head_heavy_profile(self):
+        system = make_datastructs_system()
+        system.profile_run(self.HEAD_HEAVY, "s.ss")
+        text = unparse_string(system.compile(self.HEAD_HEAVY, "s.ss"))
+        constructor = text[text.index("(define s") :].split("\n")[0]
+        assert "'list" in constructor
+
+    def test_specialization_preserves_semantics(self):
+        system = make_datastructs_system()
+        first = system.profile_run(self.RANDOM_ACCESS, "s.ss")
+        second = system.run(system.compile(self.RANDOM_ACCESS, "s.ss"))
+        assert str(first.value) == str(second.value) == "3000"
+
+    def test_sequence_operations_on_both_representations(self):
+        ops = """
+        (list (seq-first s) (seq-ref s 2) (seq-length s)
+              (seq-first (seq-rest s)) (seq-first (seq-prepend 99 s))
+              (seq->list s))
+        """
+        system = make_datastructs_system()
+        list_version = system.run_source(
+            "(define s (profiled-seq 1 2 3))" + ops, "a.ss"
+        )
+        # Force a vector-backed instance by profiling random access first.
+        system2 = make_datastructs_system()
+        system2.profile_run(self.RANDOM_ACCESS, "s.ss")
+        program = self.RANDOM_ACCESS.replace("(go 100 0)", "") + """
+        (define s2 s)
+        """ + ops.replace("s ", "s2 ").replace("s)", "s2)")
+        vector_version = system2.run(system2.compile(program, "s.ss"))
+        assert str(list_version.value) == "(1 3 3 2 99 (1 2 3))"
+        assert "(10 30 5 20 99 (10 20 30 40 50))" in str(vector_version.value)
+
+    def test_seq_set(self):
+        system = make_datastructs_system()
+        source = """
+        (define s (profiled-seq 1 2 3))
+        (seq-set! s 1 42)
+        (seq->list s)
+        """
+        assert str(system.run_source(source, "set.ss").value) == "(1 42 3)"
+
+    def test_two_instances_specialize_independently(self):
+        """Per-instance profile points: one sequence can become a vector
+        while another stays a list (the paper's central §6.3 claim)."""
+        program = """
+        (define ra (profiled-seq 1 2 3 4))
+        (define hh (profiled-seq 5 6 7 8))
+        (define (hammer-ref n acc)
+          (if (= n 0) acc (hammer-ref (- n 1) (+ acc (seq-ref ra (modulo n 4))))))
+        (define (walk s n acc)
+          (if (= n 0) acc (walk (seq-rest s) (- n 1) (+ acc (seq-first s)))))
+        (+ (hammer-ref 60 0) (walk hh 3 0))
+        """
+        system = make_datastructs_system()
+        system.profile_run(program, "two.ss")
+        text = unparse_string(system.compile(program, "two.ss"))
+        ra_line = next(l for l in text.splitlines() if l.startswith("(define ra"))
+        hh_line = next(l for l in text.splitlines() if l.startswith("(define hh"))
+        assert "'vector" in ra_line
+        assert "'list" in hh_line

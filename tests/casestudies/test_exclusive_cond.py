@@ -1,0 +1,177 @@
+"""§6.1 / Figures 5–8: case and exclusive-cond branch reordering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.casestudies.exclusive_cond import make_case_system
+from repro.scheme.core_forms import unparse_string
+
+
+PARSER = r"""
+(define (parse-char c)
+  (case c
+    [(#\space #\tab) 'white-space]
+    [(#\0 #\1 #\2 #\3 #\4 #\5 #\6 #\7 #\8 #\9) 'digit]
+    [(#\() 'start-paren]
+    [(#\)) 'end-paren]
+    [else 'other]))
+"""
+
+
+def _clause_order(text: str) -> list[str]:
+    """The order of key-in? membership lists in the expanded parser."""
+    define = text[text.index("(define parse-char") :]
+    order = []
+    for marker, name in [
+        ("'(#\\space #\\tab)", "white-space"),
+        ("'(#\\0", "digit"),
+        ("'(#\\()", "start-paren"),
+        ("'(#\\))", "end-paren"),
+    ]:
+        index = define.find(marker)
+        assert index >= 0, f"{marker} not in expansion"
+        order.append((index, name))
+    return [name for _, name in sorted(order)]
+
+
+def _drive(stream: str):
+    system = make_case_system()
+    program = PARSER + f'(map parse-char (string->list "{stream}"))'
+    first = system.profile_run(program, "parse.ss")
+    recompiled = system.compile(program, "parse.ss")
+    second = system.run(recompiled)
+    return first, second, unparse_string(recompiled)
+
+
+class TestFigure8:
+    def test_clauses_sorted_by_frequency(self):
+        """Figure 8's workload shape: whitespace most common, then parens,
+        then digits."""
+        stream = " " * 30 + "(" * 23 + ")" * 23 + "123456789" + " " * 25
+        _, _, text = _drive(stream)
+        order = _clause_order(text)
+        assert order[0] == "white-space"
+        assert set(order[1:3]) == {"start-paren", "end-paren"}
+        assert order[3] == "digit"
+
+    def test_unprofiled_expansion_keeps_source_order(self):
+        system = make_case_system()
+        text = unparse_string(system.compile(PARSER, "parse.ss"))
+        assert _clause_order(text) == [
+            "white-space",
+            "digit",
+            "start-paren",
+            "end-paren",
+        ]
+
+    def test_reordering_preserves_results(self):
+        stream = "((((((((((1 ))))))))))"
+        first, second, _ = _drive(stream)
+        assert str(first.value) == str(second.value)
+
+    def test_else_clause_stays_last(self):
+        stream = "xxxxxxxxxxxx((1"  # 'other' dominates
+        _, _, text = _drive(stream)
+        define = text[text.index("(define parse-char") :].split("\n")[0]
+        # Even though 'other is hottest, the else clause cannot move: the
+        # last test in the nested ifs still falls through to 'other.
+        last_key_in = define.rfind("key-in?")
+        other_pos = define.find("'other")
+        assert other_pos > last_key_in
+
+    def test_case_evaluates_key_exactly_once(self):
+        system = make_case_system()
+        source = PARSER + r"""
+        (define count 0)
+        (define (next!) (set! count (+ count 1)) #\()
+        (parse-char (next!))
+        count
+        """
+        assert str(system.run_source(source, "once.ss").value) == "1"
+
+
+class TestExclusiveCondDirect:
+    def test_reorders_by_body_weight(self):
+        system = make_case_system()
+        program = """
+        (define (grade n)
+          (exclusive-cond
+            [(< n 10) 'low]
+            [(< n 100) 'mid]
+            [(< n 1000) 'high]))
+        (define (run i acc)
+          (if (= i 0) acc (run (- i 1) (cons (grade (* i 7)) acc))))
+        (run 100 '())
+        """
+        system.profile_run(program, "g.ss")
+        text = unparse_string(system.compile(program, "g.ss"))
+        define = text[text.index("(define grade") :].split("\n")[0]
+        # inputs 7..700: mid (n in [10,100)) ~ 13, high ~ 86, low ~ 1
+        assert define.index("'high") < define.index("'mid") < define.index("'low")
+
+    def test_exclusive_cond_with_else(self):
+        system = make_case_system()
+        program = """
+        (exclusive-cond
+          [(= 1 2) 'no]
+          [else 'yes])
+        """
+        assert str(system.run_source(program).value) == "yes"
+
+    def test_exclusive_cond_arrow_clause(self):
+        system = make_case_system()
+        program = "(exclusive-cond [(memv 2 '(1 2)) => car] [else 'no])"
+        assert str(system.run_source(program).value) == "2"
+
+    def test_stability_without_profile(self):
+        """Stable sort: equal (zero) weights preserve source order, so
+        compiling without data is the identity reordering."""
+        system = make_case_system()
+        program = """
+        (define (f x)
+          (exclusive-cond
+            [(= x 1) 'a]
+            [(= x 2) 'b]
+            [(= x 3) 'c]))
+        """
+        text = unparse_string(system.compile(program, "s.ss"))
+        assert text.index("'a") < text.index("'b") < text.index("'c")
+
+
+class TestCaseSemantics:
+    @pytest.mark.parametrize(
+        "key,expected",
+        [("#\\space", "white-space"), ("#\\5", "digit"), ("#\\(", "start-paren"),
+         ("#\\)", "end-paren"), ("#\\x", "other")],
+    )
+    def test_dispatch(self, key, expected):
+        system = make_case_system()
+        value = system.run_source(PARSER + f"(parse-char {key})").value
+        assert str(value) == expected
+
+    def test_case_with_numbers_and_symbols(self):
+        system = make_case_system()
+        source = """
+        (define (f x)
+          (case x
+            [(1 2 3) 'num]
+            [(a b) 'sym]
+            [else 'other]))
+        (list (f 2) (f 'b) (f "s"))
+        """
+        assert str(system.run_source(source).value) == "(num sym other)"
+
+
+@given(st.lists(st.sampled_from(list(" ()0123456789x")), max_size=40))
+@settings(max_examples=25, deadline=None)
+def test_profile_guided_case_semantics_property(chars):
+    """For any profiling workload, the optimized parser computes the same
+    function as the unoptimized one."""
+    stream = "".join(ch for ch in chars)
+    stream = stream.replace('"', "").replace("\\", "")
+    system = make_case_system()
+    program = PARSER + f'(map parse-char (string->list "{stream}"))'
+    first = system.profile_run(program, "prop.ss")
+    second = system.run(system.compile(program, "prop.ss"))
+    assert str(first.value) == str(second.value)

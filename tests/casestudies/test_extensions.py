@@ -1,0 +1,152 @@
+"""Tests for the extension case studies: and-r/or-r and method-adaptive."""
+
+import pytest
+
+from repro.casestudies.boolean_reorder import make_boolean_system
+from repro.casestudies.receiver_class import make_object_system
+from repro.scheme.core_forms import unparse_string
+from repro.scheme.instrument import ProfileMode
+from tests.conftest import run_value
+
+
+BOOL_PROGRAM = """
+(define (often-false x) (= (modulo x 10) 0))
+(define (often-true x) (< x 1000))
+(define (check x) (and-r (often-true x) (often-false x)))
+(define (run n acc)
+  (if (= n 0) acc (run (- n 1) (+ acc (if (check n) 1 0)))))
+(run 100 0)
+"""
+
+
+def _define_line(text: str, name: str) -> str:
+    return next(l for l in text.splitlines() if l.startswith(f"(define {name}"))
+
+
+class TestAndR:
+    def test_and_r_semantics_unprofiled(self):
+        system = make_boolean_system()
+        assert run_value(system, "(and-r 1 2 3)") == "3"
+        assert run_value(system, "(and-r 1 #f 3)") == "#f"
+        assert run_value(system, "(and-r)") == "#t"
+        assert run_value(system, "(and-r 7)") == "7"
+
+    def test_instrumented_form_preserves_values(self):
+        """The truth-counting wrapper must not change and's value."""
+        system = make_boolean_system()
+        result = system.run_source("(and-r 1 'sym)", "v.ss")
+        assert str(result.value) == "sym"
+
+    def test_reorders_fail_fast(self):
+        system = make_boolean_system()
+        r1 = system.profile_run(BOOL_PROGRAM, "bool.ss")
+        assert str(r1.value) == "10"
+        text = unparse_string(system.compile(BOOL_PROGRAM, "bool.ss"))
+        check = _define_line(text, "check")
+        # often-false (P(true)=0.1) must now be tested before often-true.
+        assert check.index("often-false") < check.index("often-true")
+        r2 = system.run(system.compile(BOOL_PROGRAM, "bool.ss"))
+        assert str(r2.value) == "10"
+
+    def test_reordering_reduces_work(self):
+        system = make_boolean_system()
+        before = system.run_source(
+            BOOL_PROGRAM, "bool.ss", instrument=ProfileMode.EXPR
+        ).counters.total()
+        system.profile_db.clear()
+        system.profile_run(BOOL_PROGRAM, "bool.ss")
+        after_prog = system.compile(BOOL_PROGRAM, "bool.ss")
+        after = system.run(after_prog, instrument=ProfileMode.EXPR).counters.total()
+        assert after < before
+
+
+class TestOrR:
+    OR_PROGRAM = """
+    (define (rarely x) (= (modulo x 50) 0))
+    (define (usually x) (> x 5))
+    (define (check2 x) (or-r (rarely x) (usually x)))
+    (define (run n acc) (if (= n 0) acc (run (- n 1) (+ acc (if (check2 n) 1 0)))))
+    (run 100 0)
+    """
+
+    def test_semantics_unprofiled(self):
+        system = make_boolean_system()
+        assert run_value(system, "(or-r #f 2)") == "2"
+        assert run_value(system, "(or-r)") == "#f"
+        assert run_value(system, "(or-r #f #f)") == "#f"
+
+    def test_reorders_succeed_fast(self):
+        system = make_boolean_system()
+        r1 = system.profile_run(self.OR_PROGRAM, "or.ss")
+        text = unparse_string(system.compile(self.OR_PROGRAM, "or.ss"))
+        check = _define_line(text, "check2")
+        # usually (P(true)≈0.95) must be tried first. In the or-lowering
+        # the FIRST operand is the argument of the outermost application,
+        # i.e. the final parenthesized group of the line.
+        assert check.rstrip(")").endswith("(usually x")
+        r2 = system.run(system.compile(self.OR_PROGRAM, "or.ss"))
+        assert str(r1.value) == str(r2.value)
+
+
+SHAPES = """
+(class Square ((length 0)) (define-method (area this) (sqr (field this length))))
+(class Circle ((radius 0)) (define-method (area this) (* pi (sqr (field this radius)))))
+(class Triangle ((base 0) (height 0)) (define-method (area this) (* 1/2 (field this base) (field this height))))
+"""
+
+
+def _adaptive_program(circles: int, squares: int, triangles: int) -> str:
+    return SHAPES + f"""
+(define (areas ss) (map (lambda (s) (method-adaptive s area)) ss))
+(define shapes (append (map make-Circle (iota {circles}))
+                       (map make-Square (iota {squares}))
+                       (map (lambda (i) (make-Triangle i i)) (iota {triangles}))))
+(length (areas shapes))
+"""
+
+
+class TestAdaptiveReceiver:
+    def test_skewed_site_inlines_few(self):
+        """60/30/10 mix with 0.9 coverage -> Circle + Square only."""
+        program = _adaptive_program(6, 3, 1)
+        system = make_object_system()
+        system.profile_run(program, "ad.ss")
+        text = unparse_string(system.compile(program, "ad.ss"))
+        line = _define_line(text, "areas")
+        assert line.count("instance-of?") == 2
+        assert "'Triangle" not in line
+        assert line.index("'Circle") < line.index("'Square")
+
+    def test_monomorphic_site_inlines_one(self):
+        program = _adaptive_program(10, 0, 0)
+        system = make_object_system()
+        system.profile_run(program, "mono.ss")
+        line = _define_line(
+            unparse_string(system.compile(program, "mono.ss")), "areas"
+        )
+        assert line.count("instance-of?") == 1
+
+    def test_flat_site_inlines_more(self):
+        """A flat 4/3/3 mix needs all three classes to reach 90%."""
+        program = _adaptive_program(4, 3, 3)
+        system = make_object_system()
+        system.profile_run(program, "flat.ss")
+        line = _define_line(
+            unparse_string(system.compile(program, "flat.ss")), "areas"
+        )
+        assert line.count("instance-of?") == 3
+
+    def test_no_data_stays_instrumented(self):
+        program = _adaptive_program(2, 2, 2)
+        system = make_object_system()
+        line = _define_line(
+            unparse_string(system.compile(program, "fresh.ss")), "areas"
+        )
+        assert "instrumented-dispatch" in line
+
+    def test_semantics_preserved(self):
+        program = _adaptive_program(5, 4, 2)
+        system = make_object_system()
+        first = system.profile_run(program, "sem.ss")
+        second = system.run(system.compile(program, "sem.ss"))
+        assert str(first.value) == str(second.value) == "11"

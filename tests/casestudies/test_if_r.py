@@ -1,0 +1,108 @@
+"""Figures 1–3: the if-r running example, end to end."""
+
+import pytest
+
+from repro.casestudies.if_r import make_if_r_system
+from repro.scheme.core_forms import unparse_string
+from repro.scheme.instrument import ProfileMode
+
+
+CLASSIFY = """
+(define (classify email)
+  (if-r (subject-contains email 5)
+    (flag email 'important)
+    (flag email 'spam)))
+"""
+
+HELPERS = """
+(define (subject-contains email threshold) (< email threshold))
+(define (flag email label) label)
+"""
+
+
+def _drive(n_important: int, n_spam: int) -> str:
+    """Profile a run with the given branch frequencies; return the
+    re-expanded classify definition."""
+    system = make_if_r_system()
+    inputs = " ".join(["1"] * n_important + ["9"] * n_spam)
+    program = HELPERS + CLASSIFY + f"(for-each classify (list {inputs}))"
+    system.profile_run(program, "classify.ss")
+    recompiled = system.compile(program, "classify.ss")
+    text = unparse_string(recompiled)
+    define = next(
+        line for line in text.splitlines() if line.startswith("(define classify")
+    )
+    return define
+
+
+class TestFigure2:
+    def test_spam_hotter_swaps_branches(self):
+        """Figure 2: spam runs 10 times, important 5 times — the generated
+        if negates the test and puts the spam branch first."""
+        define = _drive(n_important=5, n_spam=10)
+        assert "(if (not (subject-contains email 5))" in define
+        spam_pos = define.index("'spam")
+        important_pos = define.index("'important")
+        assert spam_pos < important_pos
+
+    def test_important_hotter_keeps_order(self):
+        define = _drive(n_important=10, n_spam=5)
+        assert "(if (subject-contains email 5)" in define
+        assert define.index("'important") < define.index("'spam")
+
+    def test_equal_weights_keep_order(self):
+        """profile weights equal: the >= arm of Figure 1 keeps the order."""
+        define = _drive(n_important=5, n_spam=5)
+        assert "(if (subject-contains email 5)" in define
+
+    def test_no_profile_data_keeps_order(self):
+        system = make_if_r_system()
+        program = HELPERS + CLASSIFY
+        compiled = system.compile(program, "classify.ss")
+        text = unparse_string(compiled)
+        assert "(if (subject-contains email 5)" in text
+
+
+class TestSemanticPreservation:
+    @pytest.mark.parametrize("inputs", ["1 2 3", "9 9 9", "1 9 1 9 5", ""])
+    def test_reordering_never_changes_results(self, inputs):
+        system = make_if_r_system()
+        program = HELPERS + CLASSIFY + f"(map classify (list {inputs}))"
+        first = system.profile_run(program, "c.ss")
+        second = system.run(system.compile(program, "c.ss"))
+        assert str(first.value) == str(second.value)
+
+
+class TestCallProfilerMode:
+    def test_if_r_works_under_call_profiling(self):
+        """Section 4.2: under a call-level profiler the counters for the
+        branches (which are calls) still drive the same decision."""
+        system = make_if_r_system(mode=ProfileMode.CALL)
+        inputs = " ".join(["1"] * 2 + ["9"] * 10)
+        program = HELPERS + CLASSIFY + f"(for-each classify (list {inputs}))"
+        system.profile_run(program, "c.ss", mode=ProfileMode.CALL)
+        define = next(
+            line
+            for line in unparse_string(system.compile(program, "c.ss")).splitlines()
+            if line.startswith("(define classify")
+        )
+        assert "(if (not" in define
+
+
+class TestMultiDataset:
+    def test_merged_datasets_decide(self):
+        """Figure 3's merge: data set 1 favors spam (5 vs 10), data set 2
+        strongly favors important (100 vs 10) — merged, important wins."""
+        system = make_if_r_system()
+        base = HELPERS + CLASSIFY
+        run1 = base + "(for-each classify (list " + " ".join(["1"] * 5 + ["9"] * 10) + "))"
+        run2 = base + "(for-each classify (list " + " ".join(["1"] * 100 + ["9"] * 10) + "))"
+        system.profile_run(run1, "c.ss")
+        system.profile_run(run2, "c.ss")
+        define = next(
+            line
+            for line in unparse_string(system.compile(base, "c.ss")).splitlines()
+            if line.startswith("(define classify")
+        )
+        # merged important = (0.5 + 1.0)/2 = 0.75 > spam = (1.0 + 0.1)/2 = 0.55
+        assert "(if (subject-contains email 5)" in define

@@ -1,0 +1,123 @@
+"""Tests for the profile-guided inliner (extension case study)."""
+
+import pytest
+
+from repro.blocks.workflow import three_pass_compile
+from repro.casestudies.inliner import INLINER_LIBRARY, make_inliner_system
+from repro.scheme.core_forms import unparse_string
+from repro.scheme.instrument import ProfileMode
+
+
+PROGRAM = """
+(define-inlinable (square x) (* x x))
+(define (hot-loop n acc)
+  (if (= n 0) acc (hot-loop (- n 1) (+ acc (square n)))))
+(define (cold-path x) (square (+ x 1)))
+(list (hot-loop 100 0) (cold-path 1))
+"""
+
+
+def _line(text: str, name: str) -> str:
+    return next(l for l in text.splitlines() if l.startswith(f"(define {name}"))
+
+
+class TestUnprofiled:
+    def test_calls_out_of_line_implementation(self):
+        system = make_inliner_system()
+        text = unparse_string(system.compile(PROGRAM, "inl.ss"))
+        assert "square-impl" in _line(text, "hot-loop")
+        assert "square-impl" in _line(text, "cold-path")
+
+    def test_semantics(self):
+        system = make_inliner_system()
+        assert str(system.run_source(PROGRAM, "inl.ss").value) == "(338350 4)"
+
+    def test_higher_order_reference(self):
+        system = make_inliner_system()
+        value = system.run_source(
+            PROGRAM + "(map square (list 1 2 3))", "ho.ss"
+        ).value
+        assert str(value) == "(1 4 9)"
+
+    def test_multiple_inlinables(self):
+        system = make_inliner_system()
+        source = """
+        (define-inlinable (double x) (* 2 x))
+        (define-inlinable (inc x) (+ x 1))
+        (inc (double 20))
+        """
+        assert str(system.run_source(source, "m.ss").value) == "41"
+
+
+class TestProfiled:
+    def test_hot_site_inlines_cold_site_does_not(self):
+        system = make_inliner_system()
+        system.profile_run(PROGRAM, "inl.ss")
+        text = unparse_string(system.compile(PROGRAM, "inl.ss"))
+        hot = _line(text, "hot-loop")
+        cold = _line(text, "cold-path")
+        assert "(lambda (x) (* x x))" in hot      # beta-redex inlined
+        assert "square-impl" not in hot
+        assert "square-impl" in cold              # stays a call
+        assert "(lambda (x) (* x x))" not in cold
+
+    def test_optimized_semantics_preserved(self):
+        system = make_inliner_system()
+        first = system.profile_run(PROGRAM, "inl.ss")
+        second = system.run(system.compile(PROGRAM, "inl.ss"))
+        assert str(first.value) == str(second.value)
+
+    def test_inlined_argument_evaluated_once(self):
+        """Beta-redex inlining, not textual substitution: effects in the
+        actual argument must run exactly once."""
+        source = """
+        (define-inlinable (twice-used x) (+ x x))
+        (define counter 0)
+        (define (tick!) (set! counter (+ counter 1)) counter)
+        (define (hot n acc)
+          (if (= n 0) acc (hot (- n 1) (+ acc (twice-used (tick!))))))
+        (hot 50 0)
+        counter
+        """
+        system = make_inliner_system()
+        system.profile_run(source, "once.ss")
+        result = system.run(system.compile(source, "once.ss"))
+        assert str(result.value) == "50"
+
+    def test_recursive_function_inlines_one_level(self):
+        """Inlining a recursive inlinable must not loop the expander: the
+        recorded body calls back through the macro, whose inner call site
+        (the template's) has no hot profile, so it emits a plain call."""
+        source = """
+        (define-inlinable (count-down n)
+          (if (= n 0) 'done (count-down (- n 1))))
+        (define (drive k) (if (= k 0) 'ok (begin (count-down 20) (drive (- k 1)))))
+        (drive 30)
+        """
+        system = make_inliner_system()
+        system.profile_run(source, "rec.ss")
+        result = system.run(system.compile(source, "rec.ss"))
+        assert str(result.value) == "ok"
+
+    def test_hygiene_of_inlined_body(self):
+        """The inlined body's formal must not capture the caller's vars."""
+        source = """
+        (define-inlinable (shadowy x) (* x x))
+        (define (hot n acc)
+          (if (= n 0) acc
+              (let ([x 1000])
+                (hot (- n 1) (+ acc (shadowy n) (- x 1000))))))
+        (hot 60 0)
+        """
+        system = make_inliner_system()
+        first = system.profile_run(source, "hyg.ss")
+        second = system.run(system.compile(source, "hyg.ss"))
+        assert str(first.value) == str(second.value)
+
+
+class TestThreePassStability:
+    def test_inliner_is_stable_under_three_pass(self):
+        report = three_pass_compile(PROGRAM, libraries=(INLINER_LIBRARY,))
+        assert report.expansion_stable
+        assert report.block_structure_stable
+        assert report.semantics_preserved

@@ -1,0 +1,23 @@
+"""Shared test helpers."""
+
+import pytest
+
+from repro.scheme.datum import write_datum
+from repro.scheme.pipeline import SchemeSystem
+from repro.scheme.syntax import strip_all
+
+
+@pytest.fixture
+def scheme():
+    """A fresh Scheme system per test."""
+    return SchemeSystem()
+
+
+def run_value(system: SchemeSystem, source: str) -> str:
+    """Run source and return the final value's write representation."""
+    return write_datum(strip_all(system.run_source(source).value))
+
+
+def run_output(system: SchemeSystem, source: str) -> str:
+    """Run source and return everything it displayed."""
+    return system.run_source(source).output

@@ -1,0 +1,128 @@
+"""Unit tests for the Figure-4 API and its substrate parametricity."""
+
+import pytest
+
+from repro.core import api
+from repro.core.counters import CounterSet
+from repro.core.database import ProfileDatabase
+from repro.core.errors import SubstrateError
+from repro.core.profile_point import ProfilePoint, make_profile_point
+from repro.core.srcloc import SourceLocation
+
+
+class FakeExpr:
+    """A minimal expression type for a toy substrate."""
+
+    def __init__(self, point=None):
+        self.point = point
+
+
+class FakeSubstrate:
+    def handles(self, expr):
+        return isinstance(expr, FakeExpr)
+
+    def point_of(self, expr):
+        return expr.point
+
+    def with_point(self, expr, point):
+        return FakeExpr(point)
+
+
+@pytest.fixture(autouse=True)
+def _register_fake():
+    api.register_substrate(_FAKE)
+    yield
+
+
+_FAKE = FakeSubstrate()
+_LOC = SourceLocation("api.ss", 0, 4)
+
+
+def test_register_substrate_idempotent():
+    before = len(api._SUBSTRATES)
+    api.register_substrate(_FAKE)
+    assert len(api._SUBSTRATES) == before
+
+
+def test_annotate_expr_replaces_point():
+    p1 = ProfilePoint.for_location(_LOC)
+    p2 = make_profile_point(_LOC)
+    expr = FakeExpr(p1)
+    annotated = api.annotate_expr(expr, p2)
+    # At-most-one-point invariant: the new point *replaces* the old.
+    assert api.point_of_expr(annotated) == p2
+
+
+def test_annotate_unknown_expression_type():
+    with pytest.raises(SubstrateError):
+        api.annotate_expr(object(), ProfilePoint.for_location(_LOC))
+
+
+def test_point_of_expr_passthroughs():
+    point = ProfilePoint.for_location(_LOC)
+    assert api.point_of_expr(point) is point
+    assert api.point_of_expr(_LOC) == point
+
+
+def test_profile_query_with_no_point_is_zero():
+    assert api.profile_query(FakeExpr(None)) == 0.0
+
+
+def test_profile_query_reads_ambient_database():
+    point = ProfilePoint.for_location(_LOC)
+    db = ProfileDatabase()
+    counters = CounterSet()
+    counters.increment(point, by=4)
+    other = ProfilePoint.for_location(SourceLocation("api.ss", 5, 9))
+    counters.increment(other, by=8)
+    db.record_counters(counters)
+    with api.using_profile_information(db):
+        assert api.profile_query(FakeExpr(point)) == pytest.approx(0.5)
+        assert api.profile_query(point) == pytest.approx(0.5)
+        assert api.profile_query(_LOC) == pytest.approx(0.5)
+
+
+def test_using_profile_information_restores_previous():
+    original = api.current_profile_information()
+    inner = ProfileDatabase()
+    with api.using_profile_information(inner):
+        assert api.current_profile_information() is inner
+    assert api.current_profile_information() is original
+
+
+def test_using_profile_information_restores_on_error():
+    original = api.current_profile_information()
+    with pytest.raises(RuntimeError):
+        with api.using_profile_information(ProfileDatabase()):
+            raise RuntimeError("boom")
+    assert api.current_profile_information() is original
+
+
+def test_set_profile_information_returns_previous():
+    original = api.current_profile_information()
+    replacement = ProfileDatabase()
+    previous = api.set_profile_information(replacement)
+    try:
+        assert previous is original
+        assert api.current_profile_information() is replacement
+    finally:
+        api.set_profile_information(original)
+
+
+def test_store_and_load_profile(tmp_path):
+    point = ProfilePoint.for_location(_LOC)
+    db = ProfileDatabase()
+    counters = CounterSet()
+    counters.increment(point, by=3)
+    db.record_counters(counters)
+    path = tmp_path / "stored.json"
+    original = api.set_profile_information(db)
+    try:
+        api.store_profile(path)
+        api.set_profile_information(ProfileDatabase())
+        assert api.profile_query(point) == 0.0
+        loaded = api.load_profile(path)
+        assert api.current_profile_information() is loaded
+        assert api.profile_query(point) == pytest.approx(1.0)
+    finally:
+        api.set_profile_information(original)

@@ -1,0 +1,92 @@
+"""Unit tests for raw execution counters."""
+
+from repro.core.counters import CounterSet
+from repro.core.profile_point import ProfilePoint
+from repro.core.srcloc import SourceLocation
+
+
+def _point(n: int) -> ProfilePoint:
+    return ProfilePoint.for_location(SourceLocation("f.ss", n, n + 1))
+
+
+def test_empty_counter_set():
+    counters = CounterSet()
+    assert len(counters) == 0
+    assert counters.max_count() == 0
+    assert counters.total() == 0
+    assert counters.count(_point(0)) == 0
+
+
+def test_increment():
+    counters = CounterSet()
+    counters.increment(_point(1))
+    counters.increment(_point(1))
+    counters.increment(_point(2), by=5)
+    assert counters.count(_point(1)) == 2
+    assert counters.count(_point(2)) == 5
+    assert counters.total() == 7
+    assert counters.max_count() == 5
+
+
+def test_incrementer_closure():
+    counters = CounterSet()
+    bump = counters.incrementer(_point(3))
+    for _ in range(10):
+        bump()
+    assert counters.count(_point(3)) == 10
+
+
+def test_threadsafe_incrementer():
+    counters = CounterSet(threadsafe=True)
+    bump = counters.incrementer(_point(1))
+    bump()
+    counters.increment(_point(1))
+    assert counters.count(_point(1)) == 2
+
+
+def test_clear():
+    counters = CounterSet()
+    counters.increment(_point(1))
+    counters.clear()
+    assert counters.total() == 0
+
+
+def test_threadsafe_clear_and_snapshot():
+    counters = CounterSet(threadsafe=True)
+    counters.increment(_point(1))
+    assert counters.snapshot() == {_point(1): 1}
+    counters.clear()
+    assert counters.total() == 0
+
+
+def test_snapshot_is_a_copy():
+    counters = CounterSet()
+    counters.increment(_point(1))
+    snap = counters.snapshot()
+    counters.increment(_point(1))
+    assert snap[_point(1)] == 1
+
+
+def test_contains_and_iter():
+    counters = CounterSet()
+    counters.increment(_point(1))
+    assert _point(1) in counters
+    assert list(counters) == [_point(1)]
+    assert list(counters.points()) == [_point(1)]
+
+
+def test_key_mapping_round_trip():
+    counters = CounterSet(name="ds1")
+    counters.increment(_point(1), by=3)
+    counters.increment(_point(2), by=7)
+    mapping = counters.as_key_mapping()
+    rebuilt = CounterSet.from_key_mapping(mapping, name="ds1")
+    assert rebuilt.snapshot() == counters.snapshot()
+    assert rebuilt.name == "ds1"
+
+
+def test_repr_mentions_name_and_totals():
+    counters = CounterSet(name="runX")
+    counters.increment(_point(1))
+    assert "runX" in repr(counters)
+    assert "1 points" in repr(counters)

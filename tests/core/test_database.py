@@ -1,0 +1,201 @@
+"""Unit tests for the profile database and its persistence format."""
+
+import io
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.counters import CounterSet
+from repro.core.database import ProfileDatabase, merge_databases
+from repro.core.errors import MissingProfileError, ProfileFormatError
+from repro.core.profile_point import ProfilePoint
+from repro.core.srcloc import SourceLocation
+from repro.core.weights import WeightTable
+
+
+def _point(n: int) -> ProfilePoint:
+    return ProfilePoint.for_location(SourceLocation("f.ss", n, n + 1))
+
+
+def _counters(**by_index) -> CounterSet:
+    counters = CounterSet()
+    for name, count in by_index.items():
+        counters.increment(_point(int(name[1:])), by=count)
+    return counters
+
+
+def test_fresh_database_is_empty():
+    db = ProfileDatabase()
+    assert db.dataset_count == 0
+    assert not db.has_data()
+    assert db.query(_point(1)) == 0.0
+
+
+def test_record_counters_normalizes():
+    db = ProfileDatabase()
+    db.record_counters(_counters(p1=5, p2=10))
+    assert db.query(_point(1)) == pytest.approx(0.5)
+    assert db.query(_point(2)) == pytest.approx(1.0)
+    assert db.has_data()
+
+
+def test_query_strict_raises_on_missing():
+    db = ProfileDatabase()
+    db.record_counters(_counters(p1=5))
+    with pytest.raises(MissingProfileError):
+        db.query(_point(99), strict=True)
+    assert db.query(_point(1), strict=True) == 1.0
+
+
+def test_merge_across_datasets_matches_figure_3():
+    db = ProfileDatabase()
+    db.record_counters(_counters(p1=5, p2=10))
+    db.record_counters(_counters(p1=100, p2=10))
+    assert db.query(_point(1)) == pytest.approx(0.75)
+    assert db.query(_point(2)) == pytest.approx(0.55)
+
+
+def test_merged_is_cached_and_invalidated():
+    db = ProfileDatabase()
+    db.record_counters(_counters(p1=1))
+    first = db.merged()
+    assert db.merged() is first
+    db.record_counters(_counters(p2=1))
+    assert db.merged() is not first
+
+
+def test_clear():
+    db = ProfileDatabase()
+    db.record_counters(_counters(p1=1))
+    db.clear()
+    assert db.dataset_count == 0
+    assert not db.has_data()
+
+
+def test_store_load_round_trip(tmp_path):
+    db = ProfileDatabase(name="mine")
+    db.record_counters(_counters(p1=5, p2=10), importance=2.0)
+    db.record_counters(_counters(p1=100, p2=10))
+    path = tmp_path / "profile.json"
+    db.store(path)
+    loaded = ProfileDatabase.load(path)
+    assert loaded.name == "mine"
+    assert loaded.dataset_count == 2
+    for n in (1, 2):
+        assert loaded.query(_point(n)) == pytest.approx(db.query(_point(n)))
+
+
+def test_store_load_via_file_objects():
+    db = ProfileDatabase()
+    db.record_counters(_counters(p1=3))
+    buffer = io.StringIO()
+    db.store(buffer)
+    loaded = ProfileDatabase.load(io.StringIO(buffer.getvalue()))
+    assert loaded.query(_point(1)) == 1.0
+
+
+def test_load_into_merges(tmp_path):
+    db1 = ProfileDatabase()
+    db1.record_counters(_counters(p1=5, p2=10))
+    path = tmp_path / "p.json"
+    db1.store(path)
+
+    db2 = ProfileDatabase()
+    db2.record_counters(_counters(p1=100, p2=10))
+    db2.load_into(path)
+    assert db2.dataset_count == 2
+    assert db2.query(_point(1)) == pytest.approx(0.75)
+
+
+def test_load_rejects_bad_json(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{ not json")
+    with pytest.raises(ProfileFormatError):
+        ProfileDatabase.load(path)
+
+
+def test_load_rejects_wrong_format():
+    with pytest.raises(ProfileFormatError):
+        ProfileDatabase.from_json_object({"format": "something-else"})
+    with pytest.raises(ProfileFormatError):
+        ProfileDatabase.from_json_object([1, 2, 3])
+    with pytest.raises(ProfileFormatError):
+        ProfileDatabase.from_json_object(
+            {"format": "pgmp-profile", "version": 999, "datasets": []}
+        )
+
+
+def test_load_rejects_malformed_datasets():
+    base = {"format": "pgmp-profile", "version": 1}
+    with pytest.raises(ProfileFormatError):
+        ProfileDatabase.from_json_object({**base, "datasets": "nope"})
+    with pytest.raises(ProfileFormatError):
+        ProfileDatabase.from_json_object({**base, "datasets": [{"nope": 1}]})
+    with pytest.raises(ProfileFormatError):
+        ProfileDatabase.from_json_object({**base, "datasets": [{"weights": 5}]})
+
+
+def test_stored_format_is_versioned_json(tmp_path):
+    db = ProfileDatabase()
+    db.record_counters(_counters(p1=1))
+    path = tmp_path / "p.json"
+    db.store(path)
+    payload = json.loads(path.read_text())
+    assert payload["format"] == "pgmp-profile"
+    assert payload["version"] == 1
+    assert isinstance(payload["datasets"], list)
+
+
+def test_merge_databases():
+    a = ProfileDatabase()
+    a.record_counters(_counters(p1=5, p2=10))
+    b = ProfileDatabase()
+    b.record_counters(_counters(p1=100, p2=10))
+    merged = merge_databases([a, b])
+    assert merged.dataset_count == 2
+    assert merged.query(_point(1)) == pytest.approx(0.75)
+
+
+def test_record_weights_directly():
+    db = ProfileDatabase()
+    db.record_weights(WeightTable({_point(1): 0.5}))
+    assert db.query(_point(1)) == 0.5
+
+
+def test_point_count_and_repr():
+    db = ProfileDatabase(name="x")
+    db.record_counters(_counters(p1=1, p2=2, p3=3))
+    assert db.point_count() == 3
+    assert "x" in repr(db)
+
+
+@given(
+    st.lists(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=20),
+            st.integers(min_value=1, max_value=1000),
+            min_size=1,
+            max_size=10,
+        ),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_store_load_round_trip_property(tmp_datasets):
+    db = ProfileDatabase()
+    for counts in tmp_datasets:
+        counters = CounterSet()
+        for index, count in counts.items():
+            counters.increment(_point(index), by=count)
+        db.record_counters(counters)
+    buffer = io.StringIO()
+    db.store(buffer)
+    loaded = ProfileDatabase.load(io.StringIO(buffer.getvalue()))
+    assert loaded.dataset_count == db.dataset_count
+    for counts in tmp_datasets:
+        for index in counts:
+            assert loaded.query(_point(index)) == pytest.approx(
+                db.query(_point(index))
+            )

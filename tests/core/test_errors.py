@@ -1,0 +1,73 @@
+"""Tests for the exception hierarchy's contracts."""
+
+import pytest
+
+from repro.core import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ProfileError,
+            errors.MissingProfileError,
+            errors.ProfileFormatError,
+            errors.ProfilePointError,
+            errors.SubstrateError,
+            errors.SchemeError,
+            errors.ReaderError,
+            errors.ExpandError,
+            errors.PatternError,
+            errors.TemplateError,
+            errors.EvalError,
+            errors.SchemeUserError,
+            errors.CompileError,
+            errors.VMError,
+            errors.MacroError,
+        ],
+    )
+    def test_all_derive_from_pgmp_error(self, exc):
+        assert issubclass(exc, errors.PgmpError)
+
+    def test_profile_family(self):
+        assert issubclass(errors.MissingProfileError, errors.ProfileError)
+        assert issubclass(errors.ProfileFormatError, errors.ProfileError)
+
+    def test_scheme_family(self):
+        for exc in (
+            errors.ReaderError,
+            errors.ExpandError,
+            errors.EvalError,
+            errors.SchemeUserError,
+        ):
+            assert issubclass(exc, errors.SchemeError)
+        assert issubclass(errors.PatternError, errors.ExpandError)
+        assert issubclass(errors.TemplateError, errors.ExpandError)
+        assert issubclass(errors.SchemeUserError, errors.EvalError)
+
+
+class TestReaderError:
+    def test_message_carries_position(self):
+        exc = errors.ReaderError("bad token", "f.ss", 3, 7)
+        assert "f.ss:3:7" in str(exc)
+        assert exc.filename == "f.ss"
+        assert exc.line == 3
+        assert exc.column == 7
+
+
+class TestSchemeUserError:
+    def test_who_and_irritants_rendered(self):
+        exc = errors.SchemeUserError("proc", "went wrong", (1, "two"))
+        text = str(exc)
+        assert "proc:" in text
+        assert "went wrong" in text
+        assert "1" in text and "'two'" in text
+        assert exc.irritants == (1, "two")
+
+    def test_without_who(self):
+        exc = errors.SchemeUserError("", "plain")
+        assert str(exc).strip() == "plain"
+
+    def test_catchable_as_library_error(self):
+        with pytest.raises(errors.PgmpError):
+            raise errors.SchemeUserError("x", "y")

@@ -1,0 +1,122 @@
+"""Unit tests for profile points and their deterministic generation."""
+
+import pytest
+
+from repro.core.errors import ProfilePointError
+from repro.core.profile_point import (
+    ProfilePoint,
+    ProfilePointFactory,
+    make_profile_point,
+    require_point,
+    reset_generated_points,
+)
+from repro.core.srcloc import SourceLocation
+
+
+BASE = SourceLocation("prog.ss", 10, 30, line=2, column=4)
+
+
+def test_implicit_point_from_location():
+    point = ProfilePoint.for_location(BASE)
+    assert point.location == BASE
+    assert not point.generated
+
+
+def test_point_key_round_trip():
+    point = ProfilePoint.for_location(BASE)
+    assert ProfilePoint.from_key(point.key()) == point
+
+
+def test_generated_point_key_round_trip_preserves_generated_flag():
+    factory = ProfilePointFactory()
+    point = factory.make(BASE)
+    again = ProfilePoint.from_key(point.key())
+    assert again.generated
+    assert again == point
+
+
+def test_same_location_same_point():
+    assert ProfilePoint.for_location(BASE) == ProfilePoint.for_location(BASE)
+
+
+def test_factory_points_are_fresh():
+    factory = ProfilePointFactory()
+    p1 = factory.make(BASE)
+    p2 = factory.make(BASE)
+    assert p1 != p2
+    assert p1 != ProfilePoint.for_location(BASE)
+
+
+def test_factory_is_deterministic_across_instances():
+    """The property Figure 4 demands: generated points must be reproducible
+    across runs so meta-programs can read back their own profiles."""
+    a = ProfilePointFactory()
+    b = ProfilePointFactory()
+    assert [a.make(BASE) for _ in range(5)] == [b.make(BASE) for _ in range(5)]
+
+
+def test_factory_sequences_are_independent_per_base():
+    factory = ProfilePointFactory()
+    other = SourceLocation("other.ss", 0, 5)
+    p1 = factory.make(BASE)
+    factory.make(other)
+    factory.make(other)
+    factory.reset(BASE)
+    assert factory.make(BASE) == p1  # other base did not disturb this one
+
+
+def test_factory_reset_all():
+    factory = ProfilePointFactory()
+    first = factory.make(BASE)
+    factory.make(BASE)
+    factory.reset()
+    assert factory.make(BASE) == first
+
+
+def test_factory_accepts_point_as_base():
+    factory = ProfilePointFactory()
+    base_point = ProfilePoint.for_location(BASE)
+    derived = factory.make(base_point)
+    assert derived.generated
+    assert BASE.filename in derived.location.filename
+
+
+def test_factory_default_base():
+    factory = ProfilePointFactory()
+    point = factory.make()
+    assert point.generated
+    assert point.location.filename.startswith("<generated>")
+
+
+def test_sequence_number():
+    factory = ProfilePointFactory()
+    assert factory.sequence_number(BASE) == 0
+    factory.make(BASE)
+    factory.make(BASE)
+    assert factory.sequence_number(BASE) == 2
+
+
+def test_global_make_profile_point_reset():
+    reset_generated_points()
+    p1 = make_profile_point(BASE)
+    reset_generated_points()
+    p2 = make_profile_point(BASE)
+    assert p1 == p2
+
+
+def test_generated_filename_mentions_base_filename():
+    reset_generated_points()
+    point = make_profile_point(BASE)
+    assert point.location.filename.startswith("prog.ss")
+
+
+def test_require_point_coercions():
+    assert require_point(ProfilePoint.for_location(BASE)).location == BASE
+    assert require_point(BASE).location == BASE
+    with pytest.raises(ProfilePointError):
+        require_point(42)
+
+
+def test_str_forms():
+    assert "profile-point" in str(ProfilePoint.for_location(BASE))
+    assert "generated" in str(ProfilePointFactory().make(BASE))

@@ -1,0 +1,104 @@
+"""Unit tests for source locations."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ProfileFormatError
+from repro.core.srcloc import UNKNOWN_LOCATION, SourceLocation
+
+
+def test_basic_fields():
+    loc = SourceLocation("a.ss", 10, 20, line=3, column=4)
+    assert loc.filename == "a.ss"
+    assert loc.start == 10
+    assert loc.end == 20
+    assert loc.span == 10
+
+
+def test_zero_span_is_legal():
+    loc = SourceLocation("a.ss", 5, 5)
+    assert loc.span == 0
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValueError):
+        SourceLocation("a.ss", -1, 5)
+
+
+def test_end_before_start_rejected():
+    with pytest.raises(ValueError):
+        SourceLocation("a.ss", 10, 5)
+
+
+def test_equality_and_hash():
+    a = SourceLocation("a.ss", 1, 2, line=1, column=1)
+    b = SourceLocation("a.ss", 1, 2, line=1, column=1)
+    c = SourceLocation("a.ss", 1, 3, line=1, column=1)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != c
+
+
+def test_contains():
+    outer = SourceLocation("a.ss", 0, 100)
+    inner = SourceLocation("a.ss", 10, 20)
+    assert outer.contains(inner)
+    assert not inner.contains(outer)
+    assert outer.contains(outer)
+
+
+def test_contains_different_file():
+    a = SourceLocation("a.ss", 0, 100)
+    b = SourceLocation("b.ss", 10, 20)
+    assert not a.contains(b)
+
+
+def test_overlaps():
+    a = SourceLocation("a.ss", 0, 10)
+    b = SourceLocation("a.ss", 5, 15)
+    c = SourceLocation("a.ss", 10, 20)
+    assert a.overlaps(b)
+    assert b.overlaps(a)
+    assert not a.overlaps(c)  # half-open spans: [0,10) and [10,20) disjoint
+
+
+def test_key_round_trip():
+    loc = SourceLocation("dir/file.ss", 12, 34, line=5, column=6)
+    assert SourceLocation.from_key(loc.key()) == loc
+
+
+def test_key_round_trip_with_colons_in_filename():
+    loc = SourceLocation("week:day:file.ss", 1, 2, line=3, column=4)
+    assert SourceLocation.from_key(loc.key()) == loc
+
+
+def test_from_key_rejects_garbage():
+    with pytest.raises(ProfileFormatError):
+        SourceLocation.from_key("not-a-key")
+
+
+def test_str_with_line():
+    loc = SourceLocation("a.ss", 0, 5, line=7, column=2)
+    assert "a.ss:7:2" in str(loc)
+
+
+def test_str_without_line():
+    loc = SourceLocation("a.ss", 3, 5)
+    assert "a.ss[3:5]" == str(loc)
+
+
+def test_unknown_location_singletonish():
+    assert UNKNOWN_LOCATION.filename == "<unknown>"
+
+
+@given(
+    st.text(min_size=1).filter(lambda s: "\n" not in s),
+    st.integers(min_value=0, max_value=10**6),
+    st.integers(min_value=0, max_value=10**6),
+    st.integers(min_value=0, max_value=10**5),
+    st.integers(min_value=0, max_value=500),
+)
+def test_key_round_trip_property(filename, start, span, line, column):
+    loc = SourceLocation(filename, start, start + span, line=line, column=column)
+    assert SourceLocation.from_key(loc.key()) == loc

@@ -1,0 +1,191 @@
+"""Profile weights — including the paper's Figure 3 worked example."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.counters import CounterSet
+from repro.core.errors import ProfileError
+from repro.core.profile_point import ProfilePoint
+from repro.core.srcloc import SourceLocation
+from repro.core.weights import WeightTable, compute_weights, merge_weight_tables
+
+
+def _point(n: int) -> ProfilePoint:
+    return ProfilePoint.for_location(SourceLocation("f.ss", n, n + 1))
+
+
+IMPORTANT = _point(1)  # stands for (flag email 'important)
+SPAM = _point(2)       # stands for (flag email 'spam)
+
+
+class TestComputeWeights:
+    def test_normalizes_by_max(self):
+        table = compute_weights({IMPORTANT: 5, SPAM: 10})
+        assert table.weight(IMPORTANT) == pytest.approx(0.5)
+        assert table.weight(SPAM) == pytest.approx(1.0)
+
+    def test_hottest_point_always_weight_one(self):
+        table = compute_weights({_point(1): 3, _point(2): 17, _point(3): 17})
+        assert table.weight(_point(2)) == 1.0
+        assert table.weight(_point(3)) == 1.0
+
+    def test_empty_counts(self):
+        assert len(compute_weights({})) == 0
+
+    def test_all_zero_counts(self):
+        table = compute_weights({IMPORTANT: 0})
+        assert len(table) == 0
+
+    def test_unknown_point_reads_zero(self):
+        table = compute_weights({IMPORTANT: 5})
+        assert table.weight(SPAM) == 0.0
+        assert not table.known(SPAM)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ProfileError):
+            compute_weights({IMPORTANT: -1, SPAM: 2})
+
+    def test_from_counter_set(self):
+        counters = CounterSet(name="run-a")
+        counters.increment(IMPORTANT, by=5)
+        counters.increment(SPAM, by=10)
+        table = compute_weights(counters)
+        assert table.name == "run-a"
+        assert table.weight(IMPORTANT) == pytest.approx(0.5)
+
+
+class TestFigure3:
+    """The worked example of paper Section 3.2, Figure 3, verbatim."""
+
+    def test_first_data_set(self):
+        # (flag email 'important) -> 5/10, (flag email 'spam) -> 10/10
+        table = compute_weights({IMPORTANT: 5, SPAM: 10})
+        assert table.weight(IMPORTANT) == pytest.approx(5 / 10)
+        assert table.weight(SPAM) == pytest.approx(10 / 10)
+
+    def test_second_data_set(self):
+        table = compute_weights({IMPORTANT: 100, SPAM: 10})
+        assert table.weight(IMPORTANT) == pytest.approx(100 / 100)
+        assert table.weight(SPAM) == pytest.approx(10 / 100)
+
+    def test_merge(self):
+        # important -> (0.5 + 100/100)/2 ; spam -> (1 + 10/100)/2
+        one = compute_weights({IMPORTANT: 5, SPAM: 10})
+        two = compute_weights({IMPORTANT: 100, SPAM: 10})
+        merged = merge_weight_tables([one, two])
+        assert merged.weight(IMPORTANT) == pytest.approx((0.5 + 1.0) / 2)
+        assert merged.weight(SPAM) == pytest.approx((1.0 + 0.1) / 2)
+
+
+class TestMerge:
+    def test_merge_empty(self):
+        assert len(merge_weight_tables([])) == 0
+
+    def test_merge_single(self):
+        table = compute_weights({IMPORTANT: 2, SPAM: 4})
+        merged = merge_weight_tables([table])
+        assert merged.weight(IMPORTANT) == table.weight(IMPORTANT)
+
+    def test_point_missing_from_one_data_set_contributes_zero(self):
+        one = compute_weights({IMPORTANT: 10})
+        two = compute_weights({SPAM: 10})
+        merged = merge_weight_tables([one, two])
+        assert merged.weight(IMPORTANT) == pytest.approx(0.5)
+        assert merged.weight(SPAM) == pytest.approx(0.5)
+
+    def test_dataset_weights_bias_the_merge(self):
+        one = compute_weights({IMPORTANT: 10})        # weight 1.0
+        two = compute_weights({IMPORTANT: 1, SPAM: 10})  # weight 0.1
+        merged = merge_weight_tables([one, two], dataset_weights=[3.0, 1.0])
+        assert merged.weight(IMPORTANT) == pytest.approx((3 * 1.0 + 1 * 0.1) / 4)
+
+    def test_dataset_weight_length_mismatch(self):
+        with pytest.raises(ProfileError):
+            merge_weight_tables([WeightTable()], dataset_weights=[1.0, 2.0])
+
+    def test_negative_dataset_weight_rejected(self):
+        with pytest.raises(ProfileError):
+            merge_weight_tables([WeightTable()], dataset_weights=[-1.0])
+
+    def test_all_zero_dataset_weights_rejected(self):
+        with pytest.raises(ProfileError):
+            merge_weight_tables([WeightTable()], dataset_weights=[0.0])
+
+
+class TestWeightTable:
+    def test_out_of_range_weight_rejected(self):
+        with pytest.raises(ProfileError):
+            WeightTable({IMPORTANT: 1.5})
+        with pytest.raises(ProfileError):
+            WeightTable({IMPORTANT: -0.1})
+
+    def test_hottest(self):
+        table = WeightTable({IMPORTANT: 0.4, SPAM: 0.9})
+        assert table.hottest(1) == [(SPAM, 0.9)]
+        assert [p for p, _ in table.hottest(2)] == [SPAM, IMPORTANT]
+
+    def test_key_mapping_round_trip(self):
+        table = WeightTable({IMPORTANT: 0.25, SPAM: 1.0}, name="t")
+        rebuilt = WeightTable.from_key_mapping(table.as_key_mapping(), name="t")
+        assert rebuilt == table
+
+    def test_equality(self):
+        assert WeightTable({IMPORTANT: 0.5}) == WeightTable({IMPORTANT: 0.5})
+        assert WeightTable({IMPORTANT: 0.5}) != WeightTable({IMPORTANT: 0.6})
+        assert WeightTable().__eq__(42) is NotImplemented
+
+    def test_iteration_and_contains(self):
+        table = WeightTable({IMPORTANT: 0.5})
+        assert IMPORTANT in table
+        assert list(table) == [IMPORTANT]
+        assert table.points() == [IMPORTANT]
+
+
+# -- property-based tests -------------------------------------------------------
+
+counts_strategy = st.dictionaries(
+    st.integers(min_value=0, max_value=50).map(_point),
+    st.integers(min_value=0, max_value=10**9),
+    min_size=0,
+    max_size=20,
+)
+
+
+@given(counts_strategy)
+def test_weights_always_in_unit_interval(counts):
+    table = compute_weights(counts)
+    assert all(0.0 <= w <= 1.0 for _, w in table.items())
+
+
+@given(counts_strategy)
+def test_max_weight_is_one_when_any_count_positive(counts):
+    table = compute_weights(counts)
+    if any(c > 0 for c in counts.values()):
+        assert max(w for _, w in table.items()) == pytest.approx(1.0)
+    else:
+        assert len(table) == 0
+
+
+@given(counts_strategy)
+def test_weights_preserve_count_order(counts):
+    table = compute_weights(counts)
+    items = sorted(counts.items(), key=lambda kv: kv[1])
+    for (p1, c1), (p2, c2) in zip(items, items[1:]):
+        if c1 <= c2:
+            assert table.weight(p1) <= table.weight(p2) + 1e-12
+
+
+@given(st.lists(counts_strategy, min_size=1, max_size=5))
+def test_merged_weights_in_unit_interval(all_counts):
+    tables = [compute_weights(c) for c in all_counts]
+    merged = merge_weight_tables(tables)
+    assert all(0.0 <= w <= 1.0 for _, w in merged.items())
+
+
+@given(counts_strategy)
+def test_merging_identical_datasets_is_idempotent(counts):
+    table = compute_weights(counts)
+    merged = merge_weight_tables([table, table, table])
+    for point, weight in table.items():
+        assert merged.weight(point) == pytest.approx(weight)

@@ -1,0 +1,81 @@
+"""Integration test: the calculator scenario (two PGOs composed)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import importlib.util
+import sys
+from pathlib import Path
+
+from repro.casestudies.exclusive_cond import make_case_system
+from repro.scheme.instrument import ProfileMode
+
+_SPEC = importlib.util.spec_from_file_location(
+    "calculator_example", Path(__file__).parents[2] / "examples" / "calculator.py"
+)
+calculator = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(calculator)
+
+CALCULATOR = calculator.CALCULATOR
+
+
+def run_calc(system, expression: str):
+    return system.run_source(CALCULATOR + f'(calc "{expression}")', "calc.ss").value
+
+
+class TestCalculatorSemantics:
+    @pytest.mark.parametrize(
+        "expression,expected",
+        [
+            ("1 + 2", 3),
+            ("10 - 4", 6),
+            ("3 * 7", 21),
+            ("20 / 4", 5),
+            ("1 + 2 * 3", 9),  # left-to-right, no precedence
+            ("100", 100),
+            ("007 + 1", 8),
+        ],
+    )
+    def test_basic(self, expression, expected):
+        assert run_calc(make_case_system(), expression) == expected
+
+    def test_optimized_pipeline_preserves_results(self):
+        driver = CALCULATOR + calculator.DRIVER
+        system = make_case_system()
+        first = system.profile_run(driver, "calc.ss")
+        second = system.run(system.compile(driver, "calc.ss"))
+        assert str(first.value) == str(second.value)
+
+    def test_training_reduces_work(self):
+        driver = CALCULATOR + calculator.DRIVER
+        baseline = make_case_system()
+        before = baseline.run_source(
+            driver, "calc.ss", instrument=ProfileMode.EXPR
+        ).counters.total()
+        system = make_case_system()
+        system.profile_run(driver, "calc.ss")
+        after = system.run(
+            system.compile(driver, "calc.ss"), instrument=ProfileMode.EXPR
+        ).counters.total()
+        assert after < before
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=999), min_size=1, max_size=6),
+    st.lists(st.sampled_from(["+", "-", "*"]), min_size=5, max_size=5),
+)
+@settings(max_examples=20, deadline=None)
+def test_calculator_matches_python_semantics(numbers, ops):
+    """Differential test against a Python left-to-right evaluator."""
+    expression = str(numbers[0])
+    expected = numbers[0]
+    for number, op in zip(numbers[1:], ops):
+        expression += f" {op} {number}"
+        if op == "+":
+            expected += number
+        elif op == "-":
+            expected -= number
+        else:
+            expected *= number
+    assert run_calc(make_case_system(), expression) == expected

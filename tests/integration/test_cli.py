@@ -1,0 +1,128 @@
+"""Integration tests for the pgmp command-line interface."""
+
+import json
+
+import pytest
+
+from repro.tools.cli import build_parser, main
+
+
+PROGRAM = """
+(define (classify n)
+  (case (modulo n 5)
+    [(0) 'zero]
+    [(1 2) 'small]
+    [(3 4) 'big]))
+(define (run n acc)
+  (if (= n 0) acc (run (- n 1) (cons (classify n) acc))))
+(length (run 60 '()))
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "prog.ss"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run(program_file, capsys):
+    assert main(["run", program_file, "--library", "case"]) == 0
+    out = capsys.readouterr().out
+    assert out.strip() == "60"
+
+
+def test_run_instrumented(program_file, capsys):
+    assert main(["run", program_file, "--library", "case", "--instrument", "expr"]) == 0
+    captured = capsys.readouterr()
+    assert "profiled" in captured.err
+
+
+def test_expand(program_file, capsys):
+    assert main(["expand", program_file, "--library", "case"]) == 0
+    out = capsys.readouterr().out
+    assert "(define classify" in out
+    assert "key-in?" in out  # case was rewritten into membership tests
+
+
+def test_profile_then_optimize(program_file, tmp_path, capsys):
+    profile_path = str(tmp_path / "prog.profile")
+    assert main(["profile", program_file, "--library", "case", "--out", profile_path]) == 0
+    payload = json.loads(open(profile_path).read())
+    assert payload["format"] == "pgmp-profile"
+    capsys.readouterr()
+
+    assert main([
+        "optimize", program_file, "--library", "case", "--profile-file", profile_path,
+    ]) == 0
+    out = capsys.readouterr().out
+    # small (24 hits) must be tested before zero (12 hits)
+    assert out.index("'small") < out.index("'zero")
+
+
+def test_optimize_requires_profile(program_file, capsys):
+    assert main(["optimize", program_file]) == 2
+
+
+def test_workflow(program_file, capsys):
+    assert main(["workflow", program_file, "--library", "case"]) == 0
+    out = capsys.readouterr().out
+    assert "expansion stable:        True" in out
+    assert "semantics preserved:     True" in out
+
+
+def test_disasm(program_file, capsys):
+    assert main(["disasm", program_file, "--library", "case"]) == 0
+    out = capsys.readouterr().out
+    assert "function" in out
+    assert "entry:" in out
+
+
+def test_missing_file(capsys):
+    assert main(["run", "/nonexistent/x.ss"]) == 1
+    assert "pgmp" in capsys.readouterr().err
+
+
+def test_scheme_error_reported(tmp_path, capsys):
+    path = tmp_path / "bad.ss"
+    path.write_text("(error 'me \"nope\")")
+    assert main(["run", str(path)]) == 1
+    assert "nope" in capsys.readouterr().err
+
+
+def test_custom_library_from_file(tmp_path, capsys):
+    lib = tmp_path / "lib.ss"
+    lib.write_text("(define (triple x) (* 3 x))")
+    prog = tmp_path / "p.ss"
+    prog.write_text("(triple 14)")
+    assert main(["run", str(prog), "--library", str(lib)]) == 0
+    assert capsys.readouterr().out.strip() == "42"
+
+
+def test_stdin_program(monkeypatch, capsys):
+    import io
+
+    monkeypatch.setattr("sys.stdin", io.StringIO("(+ 40 2)"))
+    assert main(["run", "-"]) == 0
+    assert capsys.readouterr().out.strip() == "42"
+
+
+def test_simplify_flag(tmp_path, capsys):
+    program = tmp_path / "s.ss"
+    program.write_text("(let ([x 5]) (* x x))")
+    assert main(["expand", str(program), "--simplify"]) == 0
+    captured = capsys.readouterr()
+    assert captured.out.strip() == "(* 5 5)"
+    assert "contracted 1" in captured.err
+
+
+def test_simplify_flag_on_run(tmp_path, capsys):
+    program = tmp_path / "s.ss"
+    program.write_text("(let ([x 6]) (* x 7))")
+    assert main(["run", str(program), "--simplify"]) == 0
+    assert capsys.readouterr().out.strip() == "42"

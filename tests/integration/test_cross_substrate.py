@@ -1,0 +1,99 @@
+"""Cross-substrate tests: one profile format, two meta-programming systems.
+
+The Figure-4 API is parametric over the substrate, and the stored profile
+format is substrate-neutral — weights keyed by serialized profile points.
+These tests move real profile data between the Scheme substrate, the
+Python-AST substrate, and the cost-center layer through files.
+"""
+
+import pytest
+
+from repro.core.api import using_profile_information
+from repro.core.counters import CounterSet
+from repro.core.database import ProfileDatabase
+from repro.core.profile_point import ProfilePoint
+from repro.core.srcloc import SourceLocation
+from repro.pyast import PyAstSystem
+from repro.pyast.costcenters import cost_center, cost_center_weight
+from repro.pyast.profiler import collecting_counters
+from repro.scheme.pipeline import SchemeSystem
+
+
+class TestSharedFormat:
+    def test_scheme_profile_readable_from_python_side(self, tmp_path):
+        """A Python meta-program queries points recorded by the Scheme
+        expression profiler, through a stored file."""
+        source = "(define (f x) (if (< x 5) 'low 'high))\n(map f (list 1 2 3 9))"
+        system = SchemeSystem()
+        system.profile_run(source, "shared.ss")
+        path = tmp_path / "shared.profile"
+        system.store_profile(path)
+
+        db = ProfileDatabase.load(path)
+        # Reconstruct the 'low branch's point from its source coordinates —
+        # the substrate-neutral identity.
+        start = source.index("'low")
+        low_point = None
+        for point, _ in db.merged().items():
+            if point.location.start == start:
+                low_point = point
+        assert low_point is not None
+        with using_profile_information(db):
+            from repro.core import profile_query
+
+            low = profile_query(low_point)
+        assert 0 < low < 1.0  # executed, but not the hottest point
+
+    def test_python_and_scheme_datasets_merge(self, tmp_path):
+        """Data sets recorded by *different substrates* merge in one
+        database (they are just weight tables)."""
+        scheme_system = SchemeSystem()
+        scheme_system.profile_run("(define (f x) x)\n(f 1)", "a.ss")
+
+        counters = CounterSet()
+        point = ProfilePoint.for_location(SourceLocation("b.py", 0, 5, line=1))
+        counters.increment(point, by=3)
+        scheme_system.profile_db.record_counters(counters)
+
+        assert scheme_system.profile_db.dataset_count == 2
+        assert scheme_system.profile_db.query(point) > 0
+
+        path = tmp_path / "mixed.profile"
+        scheme_system.store_profile(path)
+        reloaded = ProfileDatabase.load(path)
+        assert reloaded.dataset_count == 2
+        assert reloaded.query(point) == scheme_system.profile_db.query(point)
+
+    def test_pyast_system_consumes_stored_scheme_profile(self, tmp_path):
+        """PyAstSystem.load_profile accepts a Scheme-produced file; the
+        database simply carries extra points the Python macros ignore."""
+        scheme_system = SchemeSystem()
+        scheme_system.profile_run("(+ 1 2)", "p.ss")
+        path = tmp_path / "scheme.profile"
+        scheme_system.store_profile(path)
+
+        python_system = PyAstSystem()
+        python_system.load_profile(path)
+        assert python_system.profile_db.has_data()
+
+    def test_cost_centers_and_scheme_points_coexist(self, tmp_path):
+        @cost_center("shared-test-center")
+        def work():
+            return 1
+
+        counters = CounterSet()
+        with collecting_counters(counters):
+            for _ in range(5):
+                work()
+
+        system = SchemeSystem()
+        system.profile_run("(define (g) 2)\n(g)", "g.ss")
+        system.profile_db.record_counters(counters)
+
+        path = tmp_path / "both.profile"
+        system.store_profile(path)
+        db = ProfileDatabase.load(path)
+        with using_profile_information(db):
+            # Two data sets merged: weight 1.0 in the cost-center set,
+            # absent (0.0) from the Scheme set -> (1.0 + 0.0) / 2.
+            assert cost_center_weight("shared-test-center") == pytest.approx(0.5)

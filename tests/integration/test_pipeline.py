@@ -1,0 +1,126 @@
+"""End-to-end workflow tests across the whole stack."""
+
+import pytest
+
+from repro.casestudies.exclusive_cond import make_case_system
+from repro.casestudies.if_r import make_if_r_system
+from repro.core.database import ProfileDatabase
+from repro.scheme.core_forms import unparse_string
+from repro.scheme.instrument import ProfileMode
+from repro.scheme.pipeline import SchemeSystem
+
+
+class TestProfileStorageWorkflow:
+    """The full paper workflow with an on-disk profile between compiles —
+    i.e. separate 'compiler invocations'."""
+
+    PROGRAM = """
+    (define (classify n)
+      (if-r (< n 3) 'important 'spam))
+    (define (run n acc)
+      (if (= n 0) acc (run (- n 1) (cons (classify n) acc))))
+    (run 20 '())
+    """
+
+    def test_cross_invocation_profile(self, tmp_path):
+        path = tmp_path / "run.profile"
+
+        # Invocation 1: instrument, run, store.
+        first = make_if_r_system()
+        first.profile_run(self.PROGRAM, "inv.ss")
+        first.store_profile(path)
+
+        # Invocation 2: a *fresh* system loads the profile and optimizes.
+        second = make_if_r_system()
+        second.load_profile(path)
+        text = unparse_string(second.compile(self.PROGRAM, "inv.ss"))
+        # spam ran 17 times vs important 3: branches swap.
+        assert "(if (not (< n 3))" in text
+
+    def test_deterministic_points_across_systems(self, tmp_path):
+        """Generated profile points must line up across compiler instances
+        (Figure 4's determinism requirement)."""
+        source = """
+        (define-syntax (tick stx)
+          (syntax-case stx ()
+            [(_ e) (annotate-expr #'e (make-profile-point))]))
+        (define (f x) (tick (* x x)))
+        (f 2) (f 3) (f 4)
+        """
+        one = SchemeSystem()
+        one.profile_run(source, "det.ss")
+        path = tmp_path / "det.profile"
+        one.store_profile(path)
+
+        two = SchemeSystem()
+        two.load_profile(path)
+        # Expanding in the fresh system regenerates the same point; its
+        # weight must be the recorded one (3 executions of the hottest...).
+        program = two.compile(source, "det.ss")
+        from repro.core.profile_point import reset_generated_points, make_profile_point
+
+        reset_generated_points()
+        regenerated = make_profile_point()
+        assert two.profile_db.known(regenerated)
+
+
+class TestMultipleLibraries:
+    def test_case_and_if_r_together(self):
+        from repro.casestudies.exclusive_cond import (
+            CASE_LIBRARY,
+            EXCLUSIVE_COND_LIBRARY,
+        )
+        from repro.casestudies.if_r import IF_R_LIBRARY
+
+        system = SchemeSystem()
+        system.load_library(EXCLUSIVE_COND_LIBRARY, "ec.ss")
+        system.load_library(CASE_LIBRARY, "case.ss")
+        system.load_library(IF_R_LIBRARY, "if-r.ss")
+        source = """
+        (define (f n)
+          (if-r (= n 0)
+            'zero
+            (case n [(1 2) 'small] [else 'big])))
+        (map f (list 0 1 5))
+        """
+        assert str(system.run_source(source, "multi.ss").value) == "(zero small big)"
+
+
+class TestFreshRuntime:
+    def test_fresh_runtime_clears_definitions(self):
+        system = make_case_system()
+        system.run_source("(define leak 42)")
+        assert str(system.run_source("leak").value) == "42"
+        system.fresh_runtime()
+        with pytest.raises(Exception, match="unbound"):
+            system.run_source("leak")
+        # Libraries survive the reset.
+        assert str(system.run_source("(case 1 [(1) 'one] [else 'no])").value) == "one"
+
+
+class TestImportanceWeighting:
+    def test_weighted_datasets_shift_the_decision(self):
+        """'Essentially a weighted average' — a heavily-weighted data set
+        dominates the merge."""
+        system = make_if_r_system()
+        base = "(define (f x) (if-r (< x 5) 'lo 'hi))\n"
+        lo_heavy = base + "(for-each f (list 1 1 1 1 1 9))"
+        hi_heavy = base + "(for-each f (list 9 9 9 9 9 1))"
+        system.profile_run(lo_heavy, "w.ss", importance=1.0)
+        system.profile_run(hi_heavy, "w.ss", importance=10.0)
+        text = unparse_string(system.compile(base, "w.ss"))
+        assert "(if (not (< x 5))" in text  # hi dominates due to importance
+
+
+class TestCallVsExprCounters:
+    def test_call_counters_subset_of_expr_counters(self):
+        """Section 4.2: the Racket strategy changes performance, 'it does
+        not change the counters used to calculate profile weights' — for
+        expressions that are calls, both modes agree."""
+        source = "(define (f x) (* x (+ x 1)))\n(f 1) (f 2) (f 3)"
+        a = SchemeSystem().run_source(source, "m.ss", instrument=ProfileMode.EXPR)
+        b = SchemeSystem().run_source(source, "m.ss", instrument=ProfileMode.CALL)
+        expr_counts = a.counters.snapshot()
+        call_counts = b.counters.snapshot()
+        for point, count in call_counts.items():
+            assert expr_counts.get(point) == count

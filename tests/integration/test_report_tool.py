@@ -1,0 +1,122 @@
+"""Tests for the profile report tool and its CLI command."""
+
+import pytest
+
+from repro.core.counters import CounterSet
+from repro.core.database import ProfileDatabase
+from repro.core.profile_point import ProfilePoint, make_profile_point, reset_generated_points
+from repro.core.srcloc import SourceLocation
+from repro.scheme.pipeline import SchemeSystem
+from repro.tools.cli import main
+from repro.tools.report import annotate_source, histogram, hottest_report
+
+
+def _db_with(counts: dict[tuple[str, int], int]) -> ProfileDatabase:
+    counters = CounterSet()
+    for (filename, line), count in counts.items():
+        loc = SourceLocation(filename, line * 100, line * 100 + 5, line=line, column=0)
+        counters.increment(ProfilePoint.for_location(loc), by=count)
+    db = ProfileDatabase()
+    db.record_counters(counters)
+    return db
+
+
+class TestHottestReport:
+    def test_empty(self):
+        assert "(no profile data)" in hottest_report(ProfileDatabase())
+
+    def test_sorted_hottest_first(self):
+        db = _db_with({("a.ss", 1): 5, ("a.ss", 2): 50, ("a.ss", 3): 10})
+        text = hottest_report(db, n=3)
+        lines = text.splitlines()[1:]
+        assert "a.ss:2" in lines[0]
+        assert "a.ss:3" in lines[1]
+        assert "a.ss:1" in lines[2]
+
+    def test_limits_to_n(self):
+        db = _db_with({("a.ss", i): i for i in range(1, 20)})
+        assert len(hottest_report(db, n=5).splitlines()) == 6  # header + 5
+
+    def test_marks_generated_points(self):
+        reset_generated_points()
+        point = make_profile_point(SourceLocation("a.ss", 0, 5, line=1))
+        counters = CounterSet()
+        counters.increment(point, by=3)
+        db = ProfileDatabase()
+        db.record_counters(counters)
+        assert "(generated)" in hottest_report(db)
+
+
+class TestAnnotateSource:
+    SOURCE = "(define x 1)\n(display x)\n(newline)"
+
+    def test_heat_column_alignment(self):
+        db = _db_with({("p.ss", 2): 10, ("p.ss", 3): 5})
+        text = annotate_source(self.SOURCE, "p.ss", db)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("       |")
+        assert lines[1].startswith("1.0000 |")
+        assert lines[2].startswith("0.5000 |")
+
+    def test_other_files_ignored(self):
+        db = _db_with({("other.ss", 1): 10})
+        text = annotate_source(self.SOURCE, "p.ss", db)
+        assert "1.0000" not in text
+
+    def test_generated_points_attributed_to_base_file(self):
+        reset_generated_points()
+        point = make_profile_point(SourceLocation("p.ss", 0, 5, line=1))
+        counters = CounterSet()
+        counters.increment(point, by=1)
+        db = ProfileDatabase()
+        db.record_counters(counters)
+        text = annotate_source(self.SOURCE, "p.ss", db)
+        assert text.splitlines()[0].startswith("1.0000 |")
+
+    def test_real_profile_round_trip(self):
+        system = SchemeSystem()
+        source = "(define (f x) (* x x))\n(f 1)\n(f 2)\n(f 3)"
+        system.profile_run(source, "real.ss")
+        text = annotate_source(source, "real.ss", system.profile_db)
+        # The (* x x) body line must be hot.
+        assert text.splitlines()[0].startswith("1.0000 |") or "1.0000" in text
+
+
+class TestHistogram:
+    def test_empty(self):
+        assert "(no profile data)" in histogram(ProfileDatabase())
+
+    def test_buckets_and_bars(self):
+        db = _db_with({("a.ss", 1): 100, ("a.ss", 2): 10, ("a.ss", 3): 9})
+        text = histogram(db, buckets=10)
+        lines = text.splitlines()
+        assert len(lines) == 10
+        assert lines[-1].endswith("#" * 40)  # the 1.0 bucket holds the max
+
+    def test_counts_sum_to_points(self):
+        db = _db_with({("a.ss", i): i * 7 for i in range(1, 30)})
+        text = histogram(db, buckets=5)
+        total = sum(int(line.split()[1]) for line in text.splitlines())
+        assert total == db.point_count()
+
+
+class TestCliReport:
+    def test_report_command(self, tmp_path, capsys):
+        program = tmp_path / "p.ss"
+        program.write_text("(define (f x) (* x x))\n(f 1) (f 2) (f 3)\n")
+        profile = tmp_path / "p.profile"
+        assert main(["profile", str(program), "--out", str(profile)]) == 0
+        capsys.readouterr()
+        assert main([
+            "report", str(program), "--profile-file", str(profile), "--histogram",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "weight" in out
+        assert "| (define (f x) (* x x))" in out
+        assert "[0.00,0.10)" in out
+
+    def test_report_requires_profile(self, tmp_path, capsys):
+        program = tmp_path / "p.ss"
+        program.write_text("1")
+        assert main(["report", str(program)]) == 2

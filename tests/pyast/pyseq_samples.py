@@ -1,0 +1,26 @@
+"""Sample functions for the pyseq collection-specialization tests."""
+
+from repro.pyast.collections_study import pyseq
+
+
+def front_heavy(n):
+    s = pyseq(1, 2, 3)
+    for i in range(n):
+        s.push_front(i)
+    return s.first()
+
+
+def access_heavy(n):
+    s = pyseq(10, 20, 30, 40)
+    total = 0
+    for i in range(n):
+        total += s.ref(i % 4)
+    return total
+
+
+def mixed(n):
+    s = pyseq(0)
+    for i in range(n):
+        s.push_front(i)
+        s.push_front(i)
+    return s.ref(0)

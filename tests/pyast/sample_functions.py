@@ -1,0 +1,31 @@
+"""Functions used by the pyast tests — in a real file so inspect works."""
+
+from repro.pyast.casestudies import if_r, pycase
+
+
+def classify_char(c):
+    return pycase(
+        c,
+        ((" ", "\t"), "white-space"),
+        (("0", "1", "2", "3", "4", "5", "6", "7", "8", "9"), "digit"),
+        (("(",), "start-paren"),
+        ((")",), "end-paren"),
+        default="other",
+    )
+
+
+def decide(n):
+    return if_r(n < 3, "small", "big")
+
+
+def nested_if_r(n):
+    return if_r(n < 10, if_r(n < 5, "lo", "mid"), "hi")
+
+
+def no_macros_here(x):
+    return x * 2
+
+
+def classify_snd(c):
+    """A second call site over the same constants: independent points."""
+    return pycase(c, (("a",), "ay"), (("b",), "bee"), default="?")

@@ -1,0 +1,117 @@
+"""Tests for the Python-substrate data-structure specialization (pyseq)."""
+
+import pytest
+
+from repro.core.counters import CounterSet
+from repro.pyast import DequeSeq, ListSeq, PYSEQ_RUNTIME, PyAstSystem
+from repro.pyast.profiler import collecting_counters
+from tests.pyast import pyseq_samples as S
+
+
+def expand(system, fn):
+    return system.expand(fn, extra_globals=PYSEQ_RUNTIME)
+
+
+class TestRepresentations:
+    def test_list_seq_semantics(self):
+        s = ListSeq([1, 2, 3], _k(0), _k(1))
+        s.push_front(0)
+        assert s.to_list() == [0, 1, 2, 3]
+        assert s.first() == 0
+        assert s.ref(2) == 2
+        s.set(1, 99)
+        assert s.pop_front() == 0
+        assert s.to_list() == [99, 2, 3]
+        assert s.length() == 3
+
+    def test_deque_seq_semantics(self):
+        s = DequeSeq([1, 2, 3], _k(0), _k(1))
+        s.push_front(0)
+        assert s.to_list() == [0, 1, 2, 3]
+        assert s.ref(3) == 3
+        s.set(0, 7)
+        assert s.pop_front() == 7
+        assert s.length() == 3
+
+    def test_ops_count_into_active_collector(self):
+        counters = CounterSet()
+        s = ListSeq([1], _k(0), _k(1))
+        with collecting_counters(counters):
+            s.push_front(0)
+            s.ref(0)
+            s.ref(1)
+        from repro.core.profile_point import ProfilePoint
+
+        assert counters.count(ProfilePoint.from_key(_k(0))) == 1
+        assert counters.count(ProfilePoint.from_key(_k(1))) == 2
+
+
+def _k(n: int) -> str:
+    from repro.core.profile_point import ProfilePoint
+    from repro.core.srcloc import SourceLocation
+
+    return ProfilePoint.for_location(SourceLocation("k.py", n, n + 1)).key()
+
+
+class TestSpecialization:
+    def test_default_expansion_is_list(self):
+        system = PyAstSystem()
+        expanded = expand(system, S.front_heavy)
+        assert "ListSeq" in expanded.__pgmp_source__
+        assert expanded(5) == 4
+
+    def test_front_heavy_specializes_to_deque(self, capsys):
+        system = PyAstSystem()
+        instrumented = expand(system, S.front_heavy)
+        system.profile(instrumented, [(50,)])
+        optimized = expand(system, S.front_heavy)
+        assert "DequeSeq" in optimized.__pgmp_source__
+        assert "specializing pyseq" in capsys.readouterr().out
+        assert optimized(5) == S.front_heavy(5)
+
+    def test_access_heavy_stays_list(self):
+        system = PyAstSystem()
+        instrumented = expand(system, S.access_heavy)
+        system.profile(instrumented, [(50,)])
+        optimized = expand(system, S.access_heavy)
+        assert "ListSeq" in optimized.__pgmp_source__
+        assert optimized(8) == S.access_heavy(8)
+
+    def test_sites_specialize_independently(self):
+        """Each pyseq use site has its own deterministic points."""
+        system = PyAstSystem()
+        front = expand(system, S.front_heavy)
+        access = expand(system, S.access_heavy)
+        system.profile(front, [(40,)])
+        system.profile(access, [(40,)])
+        assert "DequeSeq" in expand(system, S.front_heavy).__pgmp_source__
+        assert "ListSeq" in expand(system, S.access_heavy).__pgmp_source__
+
+    def test_mixed_workload_decided_by_majority(self):
+        system = PyAstSystem()
+        instrumented = expand(system, S.mixed)
+        system.profile(instrumented, [(30,)])  # 60 pushes vs 1 ref
+        optimized = expand(system, S.mixed)
+        assert "DequeSeq" in optimized.__pgmp_source__
+        assert optimized(3) == S.mixed(3)
+
+    def test_asymptotic_speedup_on_front_heavy(self):
+        """deque appendleft is O(1) vs list insert(0) O(n): at large n the
+        specialized version must win on wall time."""
+        import time
+
+        system = PyAstSystem()
+        instrumented = expand(system, S.front_heavy)
+        system.profile(instrumented, [(100,)])
+        optimized = expand(system, S.front_heavy)
+
+        n = 40_000
+        baseline = expand(PyAstSystem(), S.front_heavy)  # untrained: list
+
+        start = time.perf_counter()
+        baseline(n)
+        t_list = time.perf_counter() - start
+        start = time.perf_counter()
+        optimized(n)
+        t_deque = time.perf_counter() - start
+        assert t_deque < t_list

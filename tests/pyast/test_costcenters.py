@@ -1,0 +1,116 @@
+"""Tests for the §5.1 cost-center layer (GHC/SCC analogue)."""
+
+import pytest
+
+from repro.core.api import using_profile_information
+from repro.core.counters import CounterSet
+from repro.core.database import ProfileDatabase
+from repro.pyast.costcenters import cost_center, cost_center_point, cost_center_weight
+from repro.pyast.profiler import collecting_counters
+
+
+class TestCostCenterPoints:
+    def test_same_name_same_point(self):
+        assert cost_center_point("fib") == cost_center_point("fib")
+
+    def test_distinct_names_distinct_points(self):
+        assert cost_center_point("fib") != cost_center_point("fact")
+
+    def test_points_survive_serialization(self):
+        """The determinism Figure 4 requires: stored profiles keyed by
+        cost-center points must be queryable by a fresh process (simulated
+        by round-tripping through the key encoding)."""
+        from repro.core.profile_point import ProfilePoint
+
+        point = cost_center_point("hot-loop")
+        assert ProfilePoint.from_key(point.key()) == point
+
+
+class TestDecorator:
+    def test_counts_entries(self):
+        @cost_center("cc-alpha")
+        def alpha(x):
+            return x + 1
+
+        counters = CounterSet()
+        with collecting_counters(counters):
+            for i in range(7):
+                alpha(i)
+        assert counters.count(cost_center_point("cc-alpha")) == 7
+
+    def test_no_collector_no_counting_but_works(self):
+        @cost_center("cc-beta")
+        def beta():
+            return 42
+
+        assert beta() == 42
+
+    def test_default_name_is_qualname(self):
+        @cost_center()
+        def gamma():
+            return 1
+
+        assert "gamma" in gamma.__cost_center__
+        assert gamma.__cost_center_point__ == cost_center_point(gamma.__cost_center__)
+
+    def test_preserves_function_metadata(self):
+        @cost_center("cc-meta")
+        def documented():
+            """docs"""
+
+        assert documented.__doc__ == "docs"
+        assert documented.__name__ == "documented"
+
+
+class TestWeights:
+    def test_cost_center_weight_query(self):
+        @cost_center("cc-hot")
+        def hot():
+            pass
+
+        @cost_center("cc-cold")
+        def cold():
+            pass
+
+        counters = CounterSet()
+        with collecting_counters(counters):
+            for _ in range(10):
+                hot()
+            cold()
+        db = ProfileDatabase()
+        db.record_counters(counters)
+        with using_profile_information(db):
+            assert cost_center_weight("cc-hot") == pytest.approx(1.0)
+            assert cost_center_weight("cc-cold") == pytest.approx(0.1)
+            assert cost_center_weight("cc-never") == 0.0
+
+    def test_meta_program_can_branch_on_cost_centers(self, tmp_path):
+        """End-to-end §5.1 flavor: profile by cost-center, store, reload,
+        and let a code generator pick a strategy from the weights."""
+
+        @cost_center("encode-fast")
+        def encode_fast(x):
+            return x
+
+        @cost_center("encode-small")
+        def encode_small(x):
+            return x
+
+        counters = CounterSet()
+        with collecting_counters(counters):
+            for i in range(20):
+                encode_fast(i)
+            encode_small(0)
+        db = ProfileDatabase()
+        db.record_counters(counters)
+        path = tmp_path / "cc.profile"
+        db.store(path)
+
+        reloaded = ProfileDatabase.load(path)
+        with using_profile_information(reloaded):
+            chosen = (
+                "fast"
+                if cost_center_weight("encode-fast") > cost_center_weight("encode-small")
+                else "small"
+            )
+        assert chosen == "fast"

@@ -1,0 +1,193 @@
+"""Unit tests for the Scheme datum representation and printers."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.scheme.datum import (
+    EOF_OBJECT,
+    NIL,
+    UNSPECIFIED,
+    Char,
+    Pair,
+    SchemeVector,
+    Symbol,
+    display_datum,
+    gensym,
+    is_scheme_list,
+    iter_pairs,
+    pylist_from_scheme,
+    scheme_list,
+    scheme_list_length,
+    write_datum,
+)
+
+
+class TestSymbol:
+    def test_interning(self):
+        assert Symbol("foo") is Symbol("foo")
+        assert Symbol("foo") is not Symbol("bar")
+
+    def test_equality_is_identity(self):
+        assert Symbol("x") == Symbol("x")
+        assert hash(Symbol("x")) == hash(Symbol("x"))
+
+    def test_gensym_unique(self):
+        a = gensym("t")
+        b = gensym("t")
+        assert a is not b
+        assert a.name != b.name
+
+    def test_gensym_contains_percent(self):
+        assert "%" in gensym().name
+
+
+class TestPairs:
+    def test_scheme_list(self):
+        lst = scheme_list(1, 2, 3)
+        assert isinstance(lst, Pair)
+        assert pylist_from_scheme(lst) == [1, 2, 3]
+
+    def test_empty_scheme_list_is_nil(self):
+        assert scheme_list() is NIL
+
+    def test_improper_tail(self):
+        dotted = scheme_list(1, 2, tail=3)
+        assert dotted.car == 1
+        assert dotted.cdr.cdr == 3
+
+    def test_iter_pairs_rejects_improper(self):
+        with pytest.raises(TypeError):
+            list(iter_pairs(scheme_list(1, tail=2)))
+
+    def test_structural_equality(self):
+        assert scheme_list(1, 2) == scheme_list(1, 2)
+        assert scheme_list(1, 2) != scheme_list(1, 3)
+        assert scheme_list(1, 2) != scheme_list(1, 2, 3)
+
+    def test_pairs_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Pair(1, 2))
+
+    def test_is_scheme_list(self):
+        assert is_scheme_list(NIL)
+        assert is_scheme_list(scheme_list(1, 2))
+        assert not is_scheme_list(scheme_list(1, tail=2))
+
+    def test_is_scheme_list_detects_cycles(self):
+        cell = Pair(1, NIL)
+        cell.cdr = cell
+        assert not is_scheme_list(cell)
+
+    def test_length(self):
+        assert scheme_list_length(scheme_list(1, 2, 3)) == 3
+        assert scheme_list_length(NIL) == 0
+
+
+class TestSingletons:
+    def test_nil_is_singleton_and_true(self):
+        assert NIL is type(NIL)()
+        assert bool(NIL)
+        assert len(NIL) == 0
+        assert list(NIL) == []
+
+    def test_unspecified_singleton(self):
+        assert UNSPECIFIED is type(UNSPECIFIED)()
+        assert repr(UNSPECIFIED) == "#<void>"
+
+    def test_eof_repr(self):
+        assert repr(EOF_OBJECT) == "#<eof>"
+
+
+class TestChar:
+    def test_single_char(self):
+        assert Char("a").value == "a"
+
+    def test_rejects_multichar(self):
+        with pytest.raises(ValueError):
+            Char("ab")
+
+    def test_named_chars(self):
+        assert Char.from_name("space").value == " "
+        assert Char.from_name("tab").value == "\t"
+        assert Char.from_name("newline").value == "\n"
+        assert Char.from_name("linefeed").value == "\n"
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            Char.from_name("nonsense")
+
+    def test_external(self):
+        assert Char(" ").external() == "#\\space"
+        assert Char("a").external() == "#\\a"
+
+    def test_ordering_and_equality(self):
+        assert Char("a") < Char("b")
+        assert Char("a") == Char("a")
+        assert hash(Char("a")) == hash(Char("a"))
+
+
+class TestVector:
+    def test_basic(self):
+        v = SchemeVector([1, 2, 3])
+        assert len(v) == 3
+        assert v[1] == 2
+        v[1] = 9
+        assert v[1] == 9
+
+    def test_equality(self):
+        assert SchemeVector([1]) == SchemeVector([1])
+        assert SchemeVector([1]) != SchemeVector([2])
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(SchemeVector([]))
+
+
+class TestWrite:
+    @pytest.mark.parametrize(
+        "datum,expected",
+        [
+            (NIL, "()"),
+            (True, "#t"),
+            (False, "#f"),
+            (42, "42"),
+            (-7, "-7"),
+            (Fraction(1, 2), "1/2"),
+            (1.5, "1.5"),
+            (Symbol("abc"), "abc"),
+            ("hi", '"hi"'),
+            ('say "hi"', '"say \\"hi\\""'),
+            ("a\nb", '"a\\nb"'),
+            (Char("x"), "#\\x"),
+            (Char(" "), "#\\space"),
+            (UNSPECIFIED, "#<void>"),
+        ],
+    )
+    def test_atoms(self, datum, expected):
+        assert write_datum(datum) == expected
+
+    def test_lists(self):
+        assert write_datum(scheme_list(1, 2, 3)) == "(1 2 3)"
+        assert write_datum(scheme_list(1, tail=2)) == "(1 . 2)"
+        assert write_datum(scheme_list(scheme_list(1), 2)) == "((1) 2)"
+
+    def test_vector(self):
+        assert write_datum(SchemeVector([1, Symbol("a")])) == "#(1 a)"
+
+    def test_quote_abbreviations(self):
+        assert write_datum(scheme_list(Symbol("quote"), Symbol("x"))) == "'x"
+        assert write_datum(scheme_list(Symbol("quasiquote"), Symbol("x"))) == "`x"
+        assert write_datum(scheme_list(Symbol("unquote"), Symbol("x"))) == ",x"
+        assert write_datum(scheme_list(Symbol("syntax"), Symbol("x"))) == "#'x"
+
+    def test_display_strings_raw(self):
+        assert display_datum("hi") == "hi"
+        assert display_datum(Char("x")) == "x"
+        assert display_datum(scheme_list("a", Char("b"))) == "(a b)"
+
+    def test_procedure(self):
+        def f():
+            pass
+
+        assert "procedure" in write_datum(f)

@@ -1,0 +1,143 @@
+"""Error-path coverage: malformed forms are rejected with ExpandError."""
+
+import pytest
+
+from repro.core.errors import ExpandError
+from repro.scheme.pipeline import SchemeSystem
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        # define family
+        "(define)",
+        "(define 42 1)",
+        "(define x 1 2)",
+        "(define (42) 1)",
+        "(define-syntax)",
+        "(define-syntax m)",
+        "(define-syntax 42 (lambda (s) s))",
+        "(define-syntax (m) #'1)",
+        # binding forms
+        "(lambda)",
+        "(lambda (x))",
+        "(lambda (1) x)",
+        "(let)",
+        "(let ([x]) x)",
+        "(let ([1 2]) 3)",
+        "(let* ([x 1 2]) x)",
+        "(letrec ((x)) x)",
+        "(let ([x 1]))",
+        # conditionals
+        "(if)",
+        "(if 1)",
+        "(if 1 2 3 4)",
+        "(when 1)",
+        "(unless 1)",
+        "(cond ())",
+        "(cond [else])",
+        "(cond [else 1] [#t 2])",
+        # quoting / templates
+        "(quote)",
+        "(quote 1 2)",
+        "(quasiquote)",
+        "(unquote 1)",
+        "(unquote-splicing 1)",
+        "(syntax)",
+        "(syntax 1 2)",
+        "(quasisyntax)",
+        "(unsyntax 1)",
+        "(unsyntax-splicing 1)",
+        "(syntax-case)",
+        "(syntax-case 1)",
+        "(syntax-case #'1 () [])",
+        "(with-syntax)",
+        "(with-syntax ([a]) 1)",
+        "(let-syntax ([m]) 1)",
+        # misc
+        "(set!)",
+        "(set! 42 1)",
+        "(set! (f) 1)",
+        "()",
+        "(do ([x 1 2 3 4]) (#t))",
+        "(case-lambda [()])",
+        "(define-record-type p)",
+        "(meta (define x 1)) (+ 1 (meta 2))",
+    ],
+)
+def test_malformed_source_rejected(source):
+    with pytest.raises(ExpandError):
+        SchemeSystem().run_source(source)
+
+
+@pytest.mark.parametrize(
+    "source,fragment",
+    [
+        ("(let ([x 1]) if)", "invalid use of core form"),
+        ("(define-syntax m (lambda (s) s)) (+ 1 (begin))", None),
+    ],
+)
+def test_core_form_misuse(source, fragment):
+    system = SchemeSystem()
+    if fragment is None:
+        # (begin) in expression position is legal (unspecified value).
+        system.run_source("(begin)")
+        return
+    with pytest.raises(ExpandError, match=fragment):
+        system.run_source(source)
+
+
+def test_error_messages_carry_source_locations():
+    try:
+        SchemeSystem().run_source("(if)", "myfile.ss")
+    except ExpandError as exc:
+        assert "myfile.ss" in str(exc)
+    else:  # pragma: no cover
+        pytest.fail("expected ExpandError")
+
+
+def test_macro_error_wraps_transformer_failures():
+    source = """
+    (define-syntax (boom stx) (error 'boom "kapow"))
+    (boom)
+    """
+    with pytest.raises(ExpandError, match="boom"):
+        SchemeSystem().run_source(source)
+
+
+def test_nonterminating_macro_caught():
+    source = """
+    (define-syntax (loop stx) #'(loop))
+    (loop)
+    """
+    with pytest.raises(ExpandError, match="did not terminate"):
+        SchemeSystem().run_source(source)
+
+
+class TestRuntimeErrorLocations:
+    def test_runtime_error_points_at_call_site(self):
+        from repro.core.errors import EvalError
+
+        try:
+            SchemeSystem().run_source("(define (f x) (car x))\n(f 5)", "err.ss")
+        except EvalError as exc:
+            assert "err.ss:2" in str(exc)
+        else:  # pragma: no cover
+            pytest.fail("expected EvalError")
+
+    def test_location_attached_only_once(self):
+        from repro.core.errors import EvalError
+
+        try:
+            SchemeSystem().run_source(
+                "(define (g y) (vector-ref y 9))\n(define (f x) (g x))\n(f (vector 1))",
+                "deep.ss",
+            )
+        except EvalError as exc:
+            assert str(exc).count("(at ") == 1
+            # Proper tail calls keep no frames (as in real Scheme), so the
+            # nearest *non-tail* application is reported: the top-level
+            # (f ...) call on line 3.
+            assert "deep.ss:3" in str(exc)
+        else:  # pragma: no cover
+            pytest.fail("expected EvalError")

@@ -1,0 +1,272 @@
+"""Tests for macro expansion: define-syntax, syntax-case, templates."""
+
+import pytest
+
+from repro.core.errors import ExpandError
+from repro.scheme.core_forms import unparse_string
+from tests.conftest import run_output, run_value
+
+
+class TestDefineSyntax:
+    def test_lambda_form(self, scheme):
+        source = """
+        (define-syntax twice
+          (lambda (stx)
+            (syntax-case stx ()
+              [(_ e) #'(begin e e)])))
+        (define n 0)
+        (twice (set! n (+ n 1)))
+        n
+        """
+        assert run_value(scheme, source) == "2"
+
+    def test_definition_sugar_form(self, scheme):
+        """The (define-syntax (name stx) ...) shape of paper Figure 1."""
+        source = """
+        (define-syntax (twice stx)
+          (syntax-case stx ()
+            [(_ e) #'(begin e e)]))
+        (define n 0)
+        (twice (set! n (+ n 1)))
+        n
+        """
+        assert run_value(scheme, source) == "2"
+
+    def test_macro_visible_to_later_forms_only(self, scheme):
+        source = """
+        (define-syntax k (lambda (stx) #'42))
+        (k)
+        """
+        assert run_value(scheme, source) == "42"
+
+    def test_identifier_macro(self, scheme):
+        source = """
+        (define-syntax answer (lambda (stx) #'42))
+        (+ answer 0)
+        """
+        assert run_value(scheme, source) == "42"
+
+    def test_recursive_macro(self, scheme):
+        source = """
+        (define-syntax my-list
+          (lambda (stx)
+            (syntax-case stx ()
+              [(_) #''()]
+              [(_ a b ...) #'(cons a (my-list b ...))])))
+        (my-list 1 2 3)
+        """
+        assert run_value(scheme, source) == "(1 2 3)"
+
+    def test_non_procedure_transformer_rejected(self, scheme):
+        with pytest.raises(ExpandError, match="not a procedure"):
+            scheme.run_source("(define-syntax bad 42)")
+
+    def test_macro_with_internal_defines(self, scheme):
+        """Transformers with internal helper definitions (Figure 6 style)."""
+        source = """
+        (define-syntax swap-args
+          (lambda (stx)
+            (define (flip pair) (reverse pair))
+            (syntax-case stx ()
+              [(_ f a b) #`(f #,@(flip #'(a b)))])))
+        (swap-args - 1 10)
+        """
+        assert run_value(scheme, source) == "9"
+
+
+class TestSyntaxCaseFeatures:
+    def test_literals(self, scheme):
+        source = """
+        (define-syntax arrowy
+          (lambda (stx)
+            (syntax-case stx (=>)
+              [(_ a => b) #''arrow]
+              [(_ a b c) #''plain])))
+        (list (arrowy 1 => 2) (arrowy 1 2 3))
+        """
+        assert run_value(scheme, source) == "(arrow plain)"
+
+    def test_fender(self, scheme):
+        source = """
+        (define-syntax classify
+          (lambda (stx)
+            (syntax-case stx ()
+              [(_ x) (number? (syntax->datum #'x)) #''number]
+              [(_ x) #''other])))
+        (list (classify 42) (classify foo))
+        """
+        assert run_value(scheme, source) == "(number other)"
+
+    def test_no_matching_clause(self, scheme):
+        source = """
+        (define-syntax one-arg
+          (lambda (stx)
+            (syntax-case stx ()
+              [(_ a) #'a])))
+        (one-arg 1 2)
+        """
+        with pytest.raises(ExpandError):
+            scheme.run_source(source)
+
+    def test_ellipsis_template_through_macro(self, scheme):
+        source = """
+        (define-syntax my-begin
+          (lambda (stx)
+            (syntax-case stx ()
+              [(_ e ...) #'((lambda () e ...))])))
+        (my-begin 1 2 3)
+        """
+        assert run_value(scheme, source) == "3"
+
+    def test_quasisyntax_hole(self, scheme):
+        source = """
+        (define-syntax add-42
+          (lambda (stx)
+            (syntax-case stx ()
+              [(_ e) #`(+ e #,(+ 40 2))])))
+        (add-42 1)
+        """
+        assert run_value(scheme, source) == "43"
+
+    def test_quasisyntax_splicing_hole(self, scheme):
+        source = """
+        (define-syntax reversed-call
+          (lambda (stx)
+            (syntax-case stx ()
+              [(_ f arg ...)
+               #`(f #,@(reverse #'(arg ...)))])))
+        (reversed-call list 1 2 3)
+        """
+        assert run_value(scheme, source) == "(3 2 1)"
+
+    def test_with_syntax(self, scheme):
+        source = """
+        (define-syntax double-both
+          (lambda (stx)
+            (syntax-case stx ()
+              [(_ a b)
+               (with-syntax ([x #'(* 2 a)] [y #'(* 2 b)])
+                 #'(+ x y))])))
+        (double-both 3 4)
+        """
+        assert run_value(scheme, source) == "14"
+
+    def test_syntax_to_datum_and_back(self, scheme):
+        source = """
+        (define-syntax stringify
+          (lambda (stx)
+            (syntax-case stx ()
+              [(_ x) (datum->syntax #'x (symbol->string (syntax->datum #'x)))])))
+        (stringify hello)
+        """
+        assert run_value(scheme, source) == '"hello"'
+
+
+class TestHygiene:
+    def test_introduced_binding_does_not_capture(self, scheme):
+        source = """
+        (define-syntax (my-or2 stx)
+          (syntax-case stx ()
+            [(_ a b) #'(let ([t a]) (if t t b))]))
+        (define t 'user-t)
+        (my-or2 #f t)
+        """
+        assert run_value(scheme, source) == "user-t"
+
+    def test_user_binding_does_not_capture_macro_reference(self, scheme):
+        source = """
+        (define (helper) 'from-global)
+        (define-syntax (call-helper stx)
+          (syntax-case stx ()
+            [(_) #'(helper)]))
+        (define (use)
+          (call-helper))
+        (use)
+        """
+        assert run_value(scheme, source) == "from-global"
+
+    def test_nested_macro_expansion_temporaries_distinct(self, scheme):
+        source = """
+        (define-syntax (swap! stx)
+          (syntax-case stx ()
+            [(_ a b) #'(let ([tmp a]) (set! a b) (set! b tmp))]))
+        (define x 1)
+        (define y 2)
+        (define tmp 3)
+        (swap! x tmp)
+        (swap! tmp y)
+        (list x y tmp)
+        """
+        assert run_value(scheme, source) == "(3 1 2)"
+
+    def test_let_bound_macro(self, scheme):
+        source = """
+        (let-syntax ([five (lambda (stx) #'5)])
+          (+ (five) 1))
+        """
+        assert run_value(scheme, source) == "6"
+
+    def test_local_macro_in_body(self, scheme):
+        source = """
+        (define (f)
+          (define-syntax ten (lambda (stx) #'10))
+          (ten))
+        (f)
+        """
+        assert run_value(scheme, source) == "10"
+
+
+class TestMeta:
+    def test_meta_define_usable_at_expand_time(self, scheme):
+        source = """
+        (meta (define expansion-count 41))
+        (define-syntax (bump stx)
+          (syntax-case stx ()
+            [(_) (begin
+                   (set! expansion-count (+ expansion-count 1))
+                   (datum->syntax stx expansion-count))]))
+        (bump)
+        """
+        assert run_value(scheme, source) == "42"
+
+    def test_meta_not_in_runtime(self, scheme):
+        with pytest.raises(Exception):
+            scheme.run_source("(meta (define x 1)) x (display x)")
+
+
+class TestTopLevelShapes:
+    def test_begin_splices_at_top(self, scheme):
+        assert run_value(scheme, "(begin (define a 1) (define b 2)) (+ a b)") == "3"
+
+    def test_redefinition(self, scheme):
+        assert run_value(scheme, "(define x 1) (define x 2) x") == "2"
+
+    def test_empty_application_rejected(self, scheme):
+        with pytest.raises(ExpandError, match="empty application"):
+            scheme.run_source("()")
+
+    def test_core_form_as_expression_rejected(self, scheme):
+        with pytest.raises(ExpandError):
+            scheme.run_source("(+ if 1)")
+
+    def test_define_in_expression_position_rejected(self, scheme):
+        with pytest.raises(ExpandError):
+            scheme.run_source("(+ 1 (define x 2))")
+
+    def test_expansion_output_shape(self, scheme):
+        program = scheme.compile("(define (inc x) (+ x 1))")
+        assert unparse_string(program) == "(define inc (lambda (x) (+ x 1)))"
+
+
+class TestPatternVarMisuse:
+    def test_pattern_var_outside_template(self, scheme):
+        source = """
+        (define-syntax bad
+          (lambda (stx)
+            (syntax-case stx ()
+              [(_ e) e])))
+        (bad 42)
+        """
+        # Referencing a pattern var as a value is an error in our dialect.
+        with pytest.raises(ExpandError, match="pattern variable"):
+            scheme.run_source(source)

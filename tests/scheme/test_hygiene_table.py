@@ -1,0 +1,118 @@
+"""Direct unit tests for the sets-of-scopes binding table."""
+
+import pytest
+
+from repro.core.errors import ExpandError
+from repro.core.srcloc import SourceLocation
+from repro.scheme.datum import Symbol
+from repro.scheme.hygiene import (
+    BindingTable,
+    CoreBinding,
+    MacroBinding,
+    PatternBinding,
+    ScopeCounter,
+    VariableBinding,
+)
+from repro.scheme.syntax import Syntax
+
+LOC = SourceLocation("h.ss", 0, 1)
+
+
+def ident(name: str, *scopes: int) -> Syntax:
+    return Syntax(Symbol(name), LOC, frozenset(scopes))
+
+
+class TestScopeCounter:
+    def test_fresh_scopes_are_distinct(self):
+        counter = ScopeCounter()
+        scopes = {counter.fresh() for _ in range(100)}
+        assert len(scopes) == 100
+
+
+class TestResolution:
+    def test_unbound(self):
+        assert BindingTable().resolve(ident("x", 1)) is None
+
+    def test_exact_match(self):
+        table = BindingTable()
+        binding = VariableBinding(Symbol("x1"))
+        table.add(Symbol("x"), frozenset({1}), binding)
+        assert table.resolve(ident("x", 1)) is binding
+
+    def test_subset_resolution(self):
+        """A reference with MORE scopes than the binding still resolves."""
+        table = BindingTable()
+        binding = VariableBinding(Symbol("x1"))
+        table.add(Symbol("x"), frozenset({1}), binding)
+        assert table.resolve(ident("x", 1, 2, 3)) is binding
+
+    def test_superset_does_not_resolve(self):
+        """A reference with FEWER scopes than the binding must not see it."""
+        table = BindingTable()
+        table.add(Symbol("x"), frozenset({1, 2}), VariableBinding(Symbol("x1")))
+        assert table.resolve(ident("x", 1)) is None
+
+    def test_largest_subset_wins(self):
+        """Shadowing: the binding with the largest applicable scope set."""
+        table = BindingTable()
+        outer = VariableBinding(Symbol("outer"))
+        inner = VariableBinding(Symbol("inner"))
+        table.add(Symbol("x"), frozenset({1}), outer)
+        table.add(Symbol("x"), frozenset({1, 2}), inner)
+        assert table.resolve(ident("x", 1, 2)) is inner
+        assert table.resolve(ident("x", 1)) is outer
+
+    def test_different_names_independent(self):
+        table = BindingTable()
+        table.add(Symbol("x"), frozenset({1}), VariableBinding(Symbol("x1")))
+        assert table.resolve(ident("y", 1)) is None
+
+    def test_redefinition_at_same_scopes_replaces(self):
+        table = BindingTable()
+        first = VariableBinding(Symbol("v1"))
+        second = VariableBinding(Symbol("v2"))
+        table.add(Symbol("x"), frozenset({1}), first)
+        table.add(Symbol("x"), frozenset({1}), second)
+        assert table.resolve(ident("x", 1)) is second
+
+    def test_ambiguous_incomparable_maxima(self):
+        table = BindingTable()
+        table.add(Symbol("x"), frozenset({1, 2}), VariableBinding(Symbol("a")))
+        table.add(Symbol("x"), frozenset({1, 3}), VariableBinding(Symbol("b")))
+        with pytest.raises(ExpandError, match="ambiguous"):
+            table.resolve(ident("x", 1, 2, 3))
+
+    def test_empty_scope_binding_is_global_fallback(self):
+        table = BindingTable()
+        binding = CoreBinding("if")
+        table.add(Symbol("if"), frozenset(), binding)
+        assert table.resolve(ident("if")) is binding
+        assert table.resolve(ident("if", 1, 2)) is binding
+
+
+class TestBindVariable:
+    def test_bind_variable_gensyms(self):
+        table = BindingTable()
+        u1 = table.bind_variable(ident("x", 1))
+        u2 = table.bind_variable(ident("x", 1, 2))
+        assert u1 is not u2
+        assert u1.name.startswith("x")
+
+    def test_bound_names(self):
+        table = BindingTable()
+        table.bind_variable(ident("x", 1))
+        table.bind_variable(ident("y", 1))
+        assert set(table.bound_names()) == {Symbol("x"), Symbol("y")}
+
+
+class TestBindingKinds:
+    def test_macro_binding_identity_semantics(self):
+        a = MacroBinding(lambda s: s, name="m")
+        b = MacroBinding(lambda s: s, name="m")
+        assert a == a
+        assert a != b
+
+    def test_pattern_binding_fields(self):
+        binding = PatternBinding(Symbol("pv1"), 2)
+        assert binding.unique is Symbol("pv1")
+        assert binding.depth == 2

@@ -1,0 +1,142 @@
+"""Tests for profiling instrumentation: counter correctness in both modes."""
+
+import pytest
+
+from repro.core.profile_point import ProfilePoint
+from repro.scheme.instrument import ProfileMode
+from repro.scheme.pipeline import SchemeSystem
+from repro.scheme.reader import read_string
+from repro.scheme.syntax import Syntax
+from repro.scheme.datum import NIL, Pair, Symbol
+
+
+def _find_subexpr(source: str, fragment: str, filename="prog.ss") -> Syntax:
+    """The syntax node whose text is exactly ``fragment``."""
+    start = source.index(fragment)
+    end = start + len(fragment)
+    result = []
+
+    def walk(stx):
+        if stx.srcloc.start == start and stx.srcloc.end == end:
+            result.append(stx)
+        datum = stx.datum
+        if isinstance(datum, Pair):
+            node = datum
+            while isinstance(node, Pair):
+                if isinstance(node.car, Syntax):
+                    walk(node.car)
+                node = node.cdr
+
+    for form in read_string(source, filename):
+        walk(form)
+    assert result, f"fragment {fragment!r} not found as a node"
+    return result[0]
+
+
+def _count(counters, source, fragment):
+    node = _find_subexpr(source, fragment)
+    return counters.count(ProfilePoint.for_location(node.srcloc))
+
+
+class TestExprMode:
+    def test_branch_counts(self):
+        source = "(define (f x) (if (< x 5) 'low 'high))\n(map f (list 1 2 3 9))"
+        system = SchemeSystem()
+        result = system.run_source(source, "prog.ss", instrument=ProfileMode.EXPR)
+        counters = result.counters
+        assert _count(counters, source, "'low") == 3
+        assert _count(counters, source, "'high") == 1
+        assert _count(counters, source, "(< x 5)") == 4
+        assert _count(counters, source, "(if (< x 5) 'low 'high)") == 4
+
+    def test_loop_counts(self):
+        source = "(define (loop n) (if (= n 0) 'done (loop (- n 1))))\n(loop 10)"
+        system = SchemeSystem()
+        result = system.run_source(source, "prog.ss", instrument=ProfileMode.EXPR)
+        assert _count(result.counters, source, "(- n 1)") == 10
+        assert _count(result.counters, source, "'done") == 1
+
+    def test_unexecuted_expression_counts_zero(self):
+        source = "(if #t 'yes 'no)"
+        system = SchemeSystem()
+        result = system.run_source(source, "prog.ss", instrument=ProfileMode.EXPR)
+        assert _count(result.counters, source, "'yes") == 1
+        assert _count(result.counters, source, "'no") == 0
+
+    def test_no_instrumentation_no_counters(self):
+        system = SchemeSystem()
+        result = system.run_source("(+ 1 2)")
+        assert result.counters is None
+
+
+class TestCallMode:
+    def test_counts_only_applications(self):
+        source = "(define (f x) (if (< x 5) 'low 'high))\n(map f (list 1 9))"
+        system = SchemeSystem()
+        result = system.run_source(source, "prog.ss", instrument=ProfileMode.CALL)
+        counters = result.counters
+        # The comparison call is counted...
+        assert _count(counters, source, "(< x 5)") == 2
+        # ...but the quote-constant branches are not (not calls).
+        assert _count(counters, source, "'low") == 0
+        assert _count(counters, source, "'high") == 0
+
+    def test_call_mode_counts_fewer_points(self):
+        source = "(define (f x) (* x x))\n(f 3)"
+        system = SchemeSystem()
+        expr = system.run_source(source, "p.ss", instrument=ProfileMode.EXPR).counters
+        system2 = SchemeSystem()
+        call = system2.run_source(source, "p.ss", instrument=ProfileMode.CALL).counters
+        assert len(call) < len(expr)
+
+
+class TestProfileWorkflow:
+    def test_profile_run_records_dataset(self):
+        system = SchemeSystem()
+        assert system.profile_db.dataset_count == 0
+        system.profile_run("(+ 1 2)")
+        assert system.profile_db.dataset_count == 1
+        assert system.profile_db.has_data()
+
+    def test_repeated_profile_runs_merge(self):
+        system = SchemeSystem()
+        system.profile_run("(if #t 'a 'b)", "p.ss")
+        system.profile_run("(if #t 'a 'b)", "p.ss")
+        assert system.profile_db.dataset_count == 2
+
+    def test_store_and_load_profile(self, tmp_path):
+        system = SchemeSystem()
+        system.profile_run("(define (f x) x) (f 1) (f 2)", "p.ss")
+        path = tmp_path / "p.json"
+        system.store_profile(path)
+        fresh = SchemeSystem()
+        fresh.load_profile(path)
+        assert fresh.profile_db.point_count() == system.profile_db.point_count()
+
+    def test_instrumentation_preserves_semantics(self):
+        source = """
+        (define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+        (fib 12)
+        """
+        plain = SchemeSystem().run_source(source)
+        instrumented = SchemeSystem().run_source(source, instrument=ProfileMode.EXPR)
+        assert plain.value == instrumented.value == 144
+
+    def test_annotated_point_overrides_implicit(self):
+        """annotate-expr replaces the implicit location-derived point."""
+        source = """
+        (define-syntax (count-me stx)
+          (syntax-case stx ()
+            [(_ e) (annotate-expr #'e (make-profile-point #'e))]))
+        (define (f x) (count-me (* x x)))
+        (f 2) (f 3)
+        """
+        system = SchemeSystem()
+        result = system.run_source(source, "ann.ss", instrument=ProfileMode.EXPR)
+        generated = [
+            point
+            for point in result.counters.points()
+            if point.generated
+        ]
+        assert generated, "generated profile point was not counted"
+        assert result.counters.count(generated[0]) == 2

@@ -1,0 +1,247 @@
+"""Semantics tests for the Scheme interpreter (via the full pipeline)."""
+
+import pytest
+
+from repro.core.errors import EvalError, SchemeUserError
+from tests.conftest import run_output, run_value
+
+
+class TestSelfEvaluating:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("42", "42"),
+            ("#t", "#t"),
+            ("#f", "#f"),
+            ('"hi"', '"hi"'),
+            ("#\\a", "#\\a"),
+            ("1/2", "1/2"),
+            ("1.5", "1.5"),
+            ("#(1 2)", "#(1 2)"),
+        ],
+    )
+    def test_atoms(self, scheme, source, expected):
+        assert run_value(scheme, source) == expected
+
+
+class TestSpecialForms:
+    def test_quote(self, scheme):
+        assert run_value(scheme, "'(1 2 (3))") == "(1 2 (3))"
+        assert run_value(scheme, "'sym") == "sym"
+
+    def test_if(self, scheme):
+        assert run_value(scheme, "(if #t 1 2)") == "1"
+        assert run_value(scheme, "(if #f 1 2)") == "2"
+        assert run_value(scheme, "(if 0 1 2)") == "1"  # only #f is false
+        assert run_value(scheme, "(if '() 1 2)") == "1"
+
+    def test_one_armed_if(self, scheme):
+        assert run_value(scheme, "(if #f 1)") == "#<void>"
+
+    def test_define_and_reference(self, scheme):
+        assert run_value(scheme, "(define x 10) (+ x 5)") == "15"
+
+    def test_define_function_sugar(self, scheme):
+        assert run_value(scheme, "(define (double x) (* 2 x)) (double 21)") == "42"
+
+    def test_define_rest_args(self, scheme):
+        assert run_value(scheme, "(define (f a . rest) (cons a rest)) (f 1 2 3)") == "(1 2 3)"
+
+    def test_variadic_lambda(self, scheme):
+        assert run_value(scheme, "((lambda args args) 1 2 3)") == "(1 2 3)"
+
+    def test_set_bang(self, scheme):
+        assert run_value(scheme, "(define x 1) (set! x 99) x") == "99"
+
+    def test_begin(self, scheme):
+        assert run_value(scheme, "(begin 1 2 3)") == "3"
+
+    def test_lambda_closure(self, scheme):
+        assert run_value(
+            scheme,
+            "(define (adder n) (lambda (x) (+ x n))) ((adder 10) 5)",
+        ) == "15"
+
+    def test_closure_captures_mutable_state(self, scheme):
+        source = """
+        (define (counter)
+          (let ([n 0])
+            (lambda () (set! n (+ n 1)) n)))
+        (define c (counter))
+        (c) (c) (c)
+        """
+        assert run_value(scheme, source) == "3"
+
+    def test_forward_reference_at_top_level(self, scheme):
+        source = """
+        (define (even2? n) (if (= n 0) #t (odd2? (- n 1))))
+        (define (odd2? n) (if (= n 0) #f (even2? (- n 1))))
+        (even2? 10)
+        """
+        assert run_value(scheme, source) == "#t"
+
+
+class TestLetForms:
+    def test_let(self, scheme):
+        assert run_value(scheme, "(let ([x 1] [y 2]) (+ x y))") == "3"
+
+    def test_let_shadowing(self, scheme):
+        assert run_value(scheme, "(define x 1) (let ([x 10]) x)") == "10"
+
+    def test_let_inits_see_outer(self, scheme):
+        assert run_value(scheme, "(define x 1) (let ([x (+ x 1)]) x)") == "2"
+
+    def test_let_star(self, scheme):
+        assert run_value(scheme, "(let* ([x 1] [y (+ x 1)] [z (+ y 1)]) z)") == "3"
+
+    def test_letrec(self, scheme):
+        source = """
+        (letrec ([even2? (lambda (n) (if (= n 0) #t (odd2? (- n 1))))]
+                 [odd2? (lambda (n) (if (= n 0) #f (even2? (- n 1))))])
+          (even2? 8))
+        """
+        assert run_value(scheme, source) == "#t"
+
+    def test_named_let(self, scheme):
+        source = "(let loop ([i 0] [acc '()]) (if (= i 3) acc (loop (+ i 1) (cons i acc))))"
+        assert run_value(scheme, source) == "(2 1 0)"
+
+    def test_internal_defines(self, scheme):
+        source = """
+        (define (f x)
+          (define y (* x 2))
+          (define (g z) (+ y z))
+          (g 1))
+        (f 10)
+        """
+        assert run_value(scheme, source) == "21"
+
+    def test_internal_defines_mutual_recursion(self, scheme):
+        source = """
+        (define (f n)
+          (define (even2? n) (if (= n 0) #t (odd2? (- n 1))))
+          (define (odd2? n) (if (= n 0) #f (even2? (- n 1))))
+          (even2? n))
+        (f 4)
+        """
+        assert run_value(scheme, source) == "#t"
+
+
+class TestConditionals:
+    def test_cond(self, scheme):
+        source = "(define (f x) (cond [(= x 1) 'one] [(= x 2) 'two] [else 'many])) (list (f 1) (f 2) (f 3))"
+        assert run_value(scheme, source) == "(one two many)"
+
+    def test_cond_no_match(self, scheme):
+        assert run_value(scheme, "(cond [#f 1])") == "#<void>"
+
+    def test_cond_test_only_clause(self, scheme):
+        assert run_value(scheme, "(cond [#f 1] [42] [else 2])") == "42"
+
+    def test_cond_arrow(self, scheme):
+        assert run_value(scheme, "(cond [(memv 2 '(1 2 3)) => car] [else 'no])") == "2"
+
+    def test_and(self, scheme):
+        assert run_value(scheme, "(and)") == "#t"
+        assert run_value(scheme, "(and 1 2 3)") == "3"
+        assert run_value(scheme, "(and 1 #f 3)") == "#f"
+
+    def test_and_short_circuits(self, scheme):
+        assert run_output(scheme, '(and #f (display "no"))') == ""
+
+    def test_or(self, scheme):
+        assert run_value(scheme, "(or)") == "#f"
+        assert run_value(scheme, "(or #f 2)") == "2"
+        assert run_value(scheme, "(or #f #f)") == "#f"
+
+    def test_or_short_circuits(self, scheme):
+        assert run_output(scheme, '(or 1 (display "no"))') == ""
+
+    def test_when_unless(self, scheme):
+        assert run_value(scheme, "(when #t 1 2)") == "2"
+        assert run_value(scheme, "(when #f 1 2)") == "#<void>"
+        assert run_value(scheme, "(unless #f 'yes)") == "yes"
+        assert run_value(scheme, "(unless #t 'yes)") == "#<void>"
+
+
+class TestQuasiquote:
+    def test_plain(self, scheme):
+        assert run_value(scheme, "`(1 2 3)") == "(1 2 3)"
+
+    def test_unquote(self, scheme):
+        assert run_value(scheme, "(define x 5) `(a ,x b)") == "(a 5 b)"
+
+    def test_unquote_splicing(self, scheme):
+        assert run_value(scheme, "`(a ,@(list 1 2) b)") == "(a 1 2 b)"
+
+    def test_nested_quasiquote(self, scheme):
+        # The printer abbreviates quasiquote/unquote back to `/,
+        assert run_value(scheme, "`(a `(b ,(c)))") == "(a `(b ,(c)))"
+
+    def test_dotted(self, scheme):
+        assert run_value(scheme, "(define x 2) `(1 . ,x)") == "(1 . 2)"
+
+    def test_vector(self, scheme):
+        assert run_value(scheme, "(define x 9) `#(1 ,x)") == "#(1 9)"
+
+
+class TestTailCalls:
+    def test_deep_tail_recursion(self, scheme):
+        source = "(define (loop n) (if (= n 0) 'done (loop (- n 1)))) (loop 100000)"
+        assert run_value(scheme, source) == "done"
+
+    def test_mutual_tail_recursion(self, scheme):
+        source = """
+        (define (ping n) (if (= n 0) 'ping (pong (- n 1))))
+        (define (pong n) (if (= n 0) 'pong (ping (- n 1))))
+        (ping 50001)
+        """
+        assert run_value(scheme, source) == "pong"
+
+    def test_named_let_loop(self, scheme):
+        source = "(let loop ([i 0] [acc 0]) (if (= i 100000) acc (loop (+ i 1) (+ acc 1))))"
+        assert run_value(scheme, source) == "100000"
+
+    def test_tail_call_through_cond(self, scheme):
+        source = """
+        (define (f n) (cond [(= n 0) 'done] [else (f (- n 1))]))
+        (f 60000)
+        """
+        assert run_value(scheme, source) == "done"
+
+
+class TestErrors:
+    def test_unbound_variable(self, scheme):
+        with pytest.raises(EvalError, match="unbound"):
+            scheme.run_source("nonexistent-variable")
+
+    def test_apply_non_procedure(self, scheme):
+        with pytest.raises(EvalError, match="non-procedure"):
+            scheme.run_source("(42 1)")
+
+    def test_arity_error(self, scheme):
+        with pytest.raises(EvalError, match="expected 1"):
+            scheme.run_source("((lambda (x) x) 1 2)")
+
+    def test_user_error(self, scheme):
+        with pytest.raises(SchemeUserError, match="boom"):
+            scheme.run_source("(error 'me \"boom\" 1 2)")
+
+    def test_set_of_unbound(self, scheme):
+        with pytest.raises(EvalError):
+            scheme.run_source("(set! never-defined 1)")
+
+
+class TestOutput:
+    def test_display_and_newline(self, scheme):
+        assert run_output(scheme, '(display "a") (newline) (display 42)') == "a\n42"
+
+    def test_write_quotes_strings(self, scheme):
+        assert run_output(scheme, '(write "a")') == '"a"'
+
+    def test_printf(self, scheme):
+        out = run_output(scheme, '(printf "x=~a y=~s~n" 1 "two")')
+        assert out == 'x=1 y="two"\n'
+
+    def test_printf_tilde(self, scheme):
+        assert run_output(scheme, '(printf "~~")') == "~"

@@ -1,0 +1,95 @@
+"""Property fuzzing of the macro layer.
+
+Generates random datum shapes and checks algebraic identities of
+``syntax-rules`` rewriting: pass-through templates are the identity,
+swapping twice restores the input, and nested-ellipsis extraction matches
+a runtime computation of the same thing.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheme.datum import write_datum
+from repro.scheme.pipeline import SchemeSystem
+from repro.scheme.syntax import strip_all
+
+
+def run(source: str) -> str:
+    return write_datum(strip_all(SchemeSystem().run_source(source).value))
+
+
+_atoms = st.sampled_from(["1", "42", "#t", "foo", '"s"', "#\\c", "2/3"])
+_forms = st.recursive(
+    _atoms,
+    lambda sub: st.lists(sub, min_size=0, max_size=4).map(
+        lambda items: "(" + " ".join(items) + ")"
+    ),
+    max_leaves=12,
+)
+
+
+@given(st.lists(_forms, min_size=0, max_size=5))
+@settings(max_examples=40, deadline=None)
+def test_ellipsis_passthrough_is_identity(items):
+    """(m x ...) => '(x ...) reproduces any argument list verbatim."""
+    args = " ".join(items)
+    source = f"""
+    (define-syntax m (syntax-rules () [(_ x ...) '(x ...)]))
+    (m {args})
+    """
+    assert run(source) == run(f"'({args})")
+
+
+@given(_forms, _forms)
+@settings(max_examples=30, deadline=None)
+def test_swap_composed_with_swap_is_identity(a, b):
+    source = f"""
+    (define-syntax swap2 (syntax-rules () [(_ (x y)) '(y x)]))
+    (swap2 ({a} {b}))
+    """
+    assert run(source) == run(f"'({b} {a})")
+    double = f"""
+    (define-syntax swap2 (syntax-rules () [(_ (x y)) (swap2* y x)]))
+    (define-syntax swap2* (syntax-rules () [(_ x y) '(y x)]))
+    (swap2 ({a} {b}))
+    """
+    assert run(double) == run(f"'({a} {b})")
+
+
+@given(st.lists(st.lists(_atoms, min_size=1, max_size=3), min_size=1, max_size=4))
+@settings(max_examples=30, deadline=None)
+def test_nested_ellipsis_heads(rows):
+    """((x y ...) ...) extracting x ... equals mapping car at runtime."""
+    table = " ".join("(" + " ".join(row) + ")" for row in rows)
+    source = f"""
+    (define-syntax heads (syntax-rules () [(_ (x y ...) ...) '(x ...)]))
+    (heads {table})
+    """
+    assert run(source) == run(f"(map car '({table}))")
+
+
+@given(st.lists(st.lists(_atoms, min_size=1, max_size=3), min_size=1, max_size=4))
+@settings(max_examples=20, deadline=None)
+def test_double_ellipsis_flatten_matches_append(rows):
+    table = " ".join("(" + " ".join(row) + ")" for row in rows)
+    source = f"""
+    (define-syntax flat (syntax-rules () [(_ (x ...) ...) '(x ... ...)]))
+    (flat {table})
+    """
+    assert run(source) == run(f"(apply append '({table}))")
+
+
+@given(st.lists(_forms, min_size=1, max_size=5))
+@settings(max_examples=25, deadline=None)
+def test_reverse_macro_matches_runtime_reverse(items):
+    """A recursive accumulator macro agrees with the reverse primitive."""
+    args = " ".join(items)
+    source = f"""
+    (define-syntax rev
+      (syntax-rules ()
+        [(_ () acc) 'acc]
+        [(_ (x y ...) acc) (rev (y ...) (x . acc))]))
+    (rev ({args}) ())
+    """
+    assert run(source) == run(f"(reverse '({args}))")

@@ -1,0 +1,200 @@
+"""Unit tests for syntax-case pattern matching."""
+
+import pytest
+
+from repro.core.errors import PatternError
+from repro.scheme.datum import Symbol
+from repro.scheme.patterns import match_pattern, pattern_variables
+from repro.scheme.reader import read_one
+from repro.scheme.syntax import Syntax, syntax_to_datum
+
+
+def match(pattern_text, input_text, literals=()):
+    return match_pattern(read_one(pattern_text), read_one(input_text), frozenset(literals))
+
+
+def shown(value):
+    """Render a match value (syntax or nested lists) as comparable data."""
+    if isinstance(value, list):
+        return [shown(v) for v in value]
+    from repro.scheme.datum import write_datum
+
+    return write_datum(syntax_to_datum(value))
+
+
+class TestAtomPatterns:
+    def test_variable_matches_anything(self):
+        assert shown(match("x", "42")["x"]) == "42"
+        assert shown(match("x", "(a b)")["x"]) == "(a b)"
+
+    def test_wildcard_binds_nothing(self):
+        assert match("_", "(1 2 3)") == {}
+
+    def test_number_literal(self):
+        assert match("42", "42") == {}
+        assert match("42", "43") is None
+
+    def test_string_literal(self):
+        assert match('"hi"', '"hi"') == {}
+        assert match('"hi"', '"ho"') is None
+
+    def test_boolean_literal(self):
+        assert match("#t", "#t") == {}
+        assert match("#t", "#f") is None
+        assert match("#t", "1") is None  # booleans are not numbers
+
+    def test_char_literal(self):
+        assert match("#\\a", "#\\a") == {}
+        assert match("#\\a", "#\\b") is None
+
+    def test_literal_identifier(self):
+        assert match("else", "else", literals={"else"}) == {}
+        assert match("else", "other", literals={"else"}) is None
+        # Non-literal identifier with the same spelling is a variable.
+        assert shown(match("else", "other")["else"]) == "other"
+
+
+class TestListPatterns:
+    def test_fixed_arity(self):
+        bindings = match("(a b c)", "(1 2 3)")
+        assert shown(bindings["a"]) == "1"
+        assert shown(bindings["c"]) == "3"
+
+    def test_arity_mismatch(self):
+        assert match("(a b)", "(1 2 3)") is None
+        assert match("(a b c)", "(1 2)") is None
+
+    def test_nested(self):
+        bindings = match("(a (b c) d)", "(1 (2 3) 4)")
+        assert shown(bindings["b"]) == "2"
+
+    def test_nested_failure(self):
+        assert match("(a (b c))", "(1 2)") is None
+
+    def test_empty(self):
+        assert match("()", "()") == {}
+        assert match("()", "(1)") is None
+
+    def test_dotted_pattern(self):
+        bindings = match("(a . rest)", "(1 2 3)")
+        assert shown(bindings["a"]) == "1"
+        assert shown(bindings["rest"]) == "(2 3)"
+
+    def test_dotted_pattern_matches_improper(self):
+        bindings = match("(a . b)", "(1 . 2)")
+        assert shown(bindings["b"]) == "2"
+
+    def test_dotted_pattern_empty_rest(self):
+        assert shown(match("(a . rest)", "(1)")["rest"]) == "()"
+
+    def test_proper_pattern_rejects_improper_input(self):
+        assert match("(a b)", "(1 . 2)") is None
+
+
+class TestEllipsis:
+    def test_simple(self):
+        bindings = match("(x ...)", "(1 2 3)")
+        assert shown(bindings["x"]) == ["1", "2", "3"]
+
+    def test_empty_repetition(self):
+        assert shown(match("(x ...)", "()")["x"]) == []
+
+    def test_head_then_ellipsis(self):
+        bindings = match("(head x ...)", "(a b c)")
+        assert shown(bindings["head"]) == "a"
+        assert shown(bindings["x"]) == ["b", "c"]
+
+    def test_trailing_after_ellipsis(self):
+        bindings = match("(x ... y z)", "(1 2 3 4 5)")
+        assert shown(bindings["x"]) == ["1", "2", "3"]
+        assert shown(bindings["y"]) == "4"
+        assert shown(bindings["z"]) == "5"
+
+    def test_trailing_insufficient(self):
+        assert match("(x ... y z)", "(1)") is None
+
+    def test_compound_subpattern(self):
+        bindings = match("((k v) ...)", "((a 1) (b 2))")
+        assert shown(bindings["k"]) == ["a", "b"]
+        assert shown(bindings["v"]) == ["1", "2"]
+
+    def test_compound_subpattern_failure(self):
+        assert match("((k v) ...)", "((a 1) (b))") is None
+
+    def test_nested_ellipsis(self):
+        bindings = match("((x ...) ...)", "((1 2) (3) ())")
+        assert shown(bindings["x"]) == [["1", "2"], ["3"], []]
+
+    def test_ellipsis_with_dotted_tail(self):
+        bindings = match("(x ... . rest)", "(1 2 . 3)")
+        assert shown(bindings["x"]) == ["1", "2"]
+        assert shown(bindings["rest"]) == "3"
+
+    def test_case_clause_shape(self):
+        """The pattern from the paper's Figure 6."""
+        bindings = match("((k ...) body)", "((1 2 3) (do-it))")
+        assert shown(bindings["k"]) == ["1", "2", "3"]
+        assert shown(bindings["body"]) == "(do-it)"
+
+    def test_syntax_case_form_shape(self):
+        """The pattern from the paper's Figure 7."""
+        bindings = match("(_ clause ...)", "(exclusive-cond (a 1) (b 2))")
+        assert shown(bindings["clause"]) == ["(a 1)", "(b 2)"]
+
+    def test_leading_ellipsis_rejected(self):
+        with pytest.raises(PatternError):
+            match("(... x)", "(1 2)")
+
+    def test_double_ellipsis_at_same_level_rejected(self):
+        with pytest.raises(PatternError):
+            match("(x ... y ...)", "(1 2)")
+
+
+class TestVectorPatterns:
+    def test_vector(self):
+        bindings = match("#(a b)", "#(1 2)")
+        assert shown(bindings["a"]) == "1"
+
+    def test_vector_ellipsis(self):
+        assert shown(match("#(x ...)", "#(1 2 3)")["x"]) == ["1", "2", "3"]
+
+    def test_vector_vs_list(self):
+        assert match("#(a)", "(1)") is None
+        assert match("(a)", "#(1)") is None
+
+
+class TestPatternVariables:
+    def test_depths(self):
+        depths = pattern_variables(read_one("(a (b ...) ((c ...) ...))"), frozenset())
+        assert depths == {"a": 0, "b": 1, "c": 2}
+
+    def test_literals_and_wildcards_excluded(self):
+        depths = pattern_variables(read_one("(_ else x)"), frozenset({"else"}))
+        assert depths == {"x": 0}
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(PatternError):
+            pattern_variables(read_one("(x x)"), frozenset())
+
+    def test_dotted_tail_variable(self):
+        depths = pattern_variables(read_one("(a . rest)"), frozenset())
+        assert depths == {"a": 0, "rest": 0}
+
+    def test_vector_pattern_variables(self):
+        assert pattern_variables(read_one("#(a b ...)"), frozenset()) == {
+            "a": 0,
+            "b": 1,
+        }
+
+
+class TestMatchedValuesAreSyntax:
+    def test_bindings_preserve_syntax_identity(self):
+        stx = read_one("(f (g 1))", filename="prog.ss")
+        bindings = match_pattern(read_one("(f arg)"), stx)
+        value = bindings["arg"]
+        assert isinstance(value, Syntax)
+        # The matched syntax is the *original* user syntax, with its srcloc:
+        # that's what makes profile-query on matched branches meaningful.
+        assert value.srcloc.filename == "prog.ss"
+        inner = stx.datum.cdr.car
+        assert value.srcloc == inner.srcloc

@@ -1,0 +1,88 @@
+"""Unit tests for SchemeSystem plumbing not covered elsewhere."""
+
+import pytest
+
+from repro.core.database import ProfileDatabase
+from repro.scheme.instrument import ProfileMode
+from repro.scheme.pipeline import RunResult, SchemeSystem
+
+
+class TestRunResult:
+    def test_expanded_requires_program(self):
+        result = RunResult(value=1, output="")
+        with pytest.raises(AssertionError):
+            result.expanded
+
+    def test_expanded_pretty_prints(self):
+        system = SchemeSystem()
+        result = system.run_source("(define (id x) x) (id 1)")
+        assert "(define id (lambda (x) x))" in result.expanded
+
+    def test_output_captured_not_leaked(self, capsys):
+        system = SchemeSystem()
+        result = system.run_source('(display "captured")')
+        assert result.output == "captured"
+        assert capsys.readouterr().out == ""
+
+    def test_echo_mode_prints_through(self, capsys):
+        system = SchemeSystem()
+        result = system.run_source('(display "both")', echo=True)
+        assert result.output == "both"
+        assert capsys.readouterr().out == "both"
+
+
+class TestSystemState:
+    def test_runtime_env_persists_across_runs(self):
+        system = SchemeSystem()
+        system.run_source("(define persistent 99)")
+        assert system.run_source("persistent").value == 99
+
+    def test_two_systems_are_isolated(self):
+        a, b = SchemeSystem(), SchemeSystem()
+        a.run_source("(define only-a 1)")
+        with pytest.raises(Exception, match="unbound"):
+            b.run_source("only-a")
+
+    def test_injected_profile_db_is_used(self):
+        db = ProfileDatabase(name="mine")
+        system = SchemeSystem(profile_db=db)
+        system.profile_run("(+ 1 2)")
+        assert db.dataset_count == 1
+
+    def test_default_mode_used_by_profile_run(self):
+        system = SchemeSystem(mode=ProfileMode.CALL)
+        result = system.profile_run("(define (f) 1) (f)")
+        # CALL mode counts only applications; the quote-free body adds none.
+        assert all(not p.generated for p in result.counters.points())
+
+    def test_compile_output_resets_each_compile(self):
+        from repro.casestudies.datastructs import make_datastructs_system
+
+        system = make_datastructs_system()
+        program = """
+        (define pl (profiled-list 1 2))
+        (define (go n acc)
+          (if (= n 0) acc (go (- n 1) (+ acc (p-list-ref pl (modulo n 2))))))
+        (go 40 0)
+        """
+        system.profile_run(program, "w.ss")
+        system.compile(program, "w.ss")
+        assert "WARNING" in system.last_compile_output
+        system.compile("(+ 1 2)", "clean.ss")
+        assert system.last_compile_output == ""
+
+    def test_load_library_exposes_helpers_at_expand_time(self):
+        system = SchemeSystem()
+        system.load_library("(define (helper x) (* 10 x))", "lib.ss")
+        source = """
+        (define-syntax (use-helper stx)
+          (syntax-case stx ()
+            [(_ n) (datum->syntax stx (helper (syntax->datum #'n)))]))
+        (use-helper 4)
+        """
+        assert system.run_source(source).value == 40
+
+    def test_read_helper(self):
+        system = SchemeSystem()
+        forms = system.read("(+ 1 2) (- 3)")
+        assert len(forms) == 2

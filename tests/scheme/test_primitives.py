@@ -1,0 +1,340 @@
+"""Tests for the primitive library."""
+
+import pytest
+
+from repro.core.errors import EvalError
+from tests.conftest import run_value
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("(+)", "0"),
+            ("(+ 1 2 3)", "6"),
+            ("(- 5)", "-5"),
+            ("(- 10 3 2)", "5"),
+            ("(*)", "1"),
+            ("(* 2 3 4)", "24"),
+            ("(/ 10 4)", "5/2"),
+            ("(/ 2)", "1/2"),
+            ("(/ 6 3)", "2"),
+            ("(abs -3)", "3"),
+            ("(min 3 1 2)", "1"),
+            ("(max 3 1 2)", "3"),
+            ("(quotient 7 2)", "3"),
+            ("(quotient -7 2)", "-3"),
+            ("(remainder 7 2)", "1"),
+            ("(remainder -7 2)", "-1"),
+            ("(modulo -7 2)", "1"),
+            ("(expt 2 10)", "1024"),
+            ("(sqrt 16)", "4"),
+            ("(sqrt 2)", "1.4142135623730951"),
+            ("(gcd 12 18)", "6"),
+            ("(lcm 4 6)", "12"),
+            ("(add1 41)", "42"),
+            ("(sub1 43)", "42"),
+            ("(floor 3/2)", "1"),
+            ("(ceiling 3/2)", "2"),
+            ("(sqr 7)", "49"),
+            ("(exact->inexact 1/2)", "0.5"),
+        ],
+    )
+    def test_numeric(self, scheme, source, expected):
+        assert run_value(scheme, source) == expected
+
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("(= 1 1 1)", "#t"),
+            ("(= 1 2)", "#f"),
+            ("(< 1 2 3)", "#t"),
+            ("(< 1 3 2)", "#f"),
+            ("(<= 1 1 2)", "#t"),
+            ("(> 3 2 1)", "#t"),
+            ("(>= 3 3 1)", "#t"),
+            ("(zero? 0)", "#t"),
+            ("(positive? 1)", "#t"),
+            ("(negative? -1)", "#t"),
+            ("(even? 4)", "#t"),
+            ("(odd? 3)", "#t"),
+            ("(number? 1)", "#t"),
+            ("(number? #t)", "#f"),
+            ("(integer? 2.0)", "#t"),
+            ("(integer? 1/2)", "#f"),
+        ],
+    )
+    def test_predicates(self, scheme, source, expected):
+        assert run_value(scheme, source) == expected
+
+    def test_division_by_zero(self, scheme):
+        with pytest.raises(EvalError):
+            scheme.run_source("(/ 1 0)")
+
+    def test_type_error(self, scheme):
+        with pytest.raises(EvalError, match="expected a number"):
+            scheme.run_source("(+ 1 'a)")
+
+    def test_number_string_conversions(self, scheme):
+        assert run_value(scheme, '(number->string 42)') == '"42"'
+        assert run_value(scheme, '(string->number "42")') == "42"
+        assert run_value(scheme, '(string->number "1/2")') == "1/2"
+        assert run_value(scheme, '(string->number "nope")') == "#f"
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("(eq? 'a 'a)", "#t"),
+            ("(eq? 'a 'b)", "#f"),
+            ("(eqv? 1 1)", "#t"),
+            ("(eqv? 1 1.0)", "#f"),
+            ("(equal? '(1 2) '(1 2))", "#t"),
+            ("(equal? '(1 2) '(1 3))", "#f"),
+            ('(equal? "ab" "ab")', "#t"),
+            ("(equal? #(1 2) #(1 2))", "#t"),
+            ("(eq? '() '())", "#t"),
+            ("(equal? 1 #t)", "#f"),
+            ("(not #f)", "#t"),
+            ("(not 0)", "#f"),
+            ("(boolean? #f)", "#t"),
+            ("(procedure? car)", "#t"),
+            ("(procedure? (lambda (x) x))", "#t"),
+            ("(procedure? 5)", "#f"),
+        ],
+    )
+    def test_cases(self, scheme, source, expected):
+        assert run_value(scheme, source) == expected
+
+    def test_eqv_distinct_pairs(self, scheme):
+        assert run_value(scheme, "(eqv? (cons 1 2) (cons 1 2))") == "#f"
+        assert run_value(scheme, "(define p (cons 1 2)) (eqv? p p)") == "#t"
+
+
+class TestLists:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("(cons 1 2)", "(1 . 2)"),
+            ("(car '(1 2))", "1"),
+            ("(cdr '(1 2))", "(2)"),
+            ("(cadr '(1 2 3))", "2"),
+            ("(caddr '(1 2 3))", "3"),
+            ("(list 1 2 3)", "(1 2 3)"),
+            ("(length '(1 2 3))", "3"),
+            ("(length '())", "0"),
+            ("(append '(1) '(2) '(3 4))", "(1 2 3 4)"),
+            ("(append)", "()"),
+            ("(reverse '(1 2 3))", "(3 2 1)"),
+            ("(list-ref '(a b c) 1)", "b"),
+            ("(list-tail '(a b c) 2)", "(c)"),
+            ("(memq 'b '(a b c))", "(b c)"),
+            ("(memq 'z '(a b c))", "#f"),
+            ("(member '(1) '((0) (1)))", "((1))"),
+            ("(assq 'b '((a 1) (b 2)))", "(b 2)"),
+            ("(assoc '(k) '(((k) 1)))", "((k) 1)"),
+            ("(pair? '(1))", "#t"),
+            ("(pair? '())", "#f"),
+            ("(null? '())", "#t"),
+            ("(list? '(1 2))", "#t"),
+            ("(list? '(1 . 2))", "#f"),
+            ("(iota 3)", "(0 1 2)"),
+            ("(iota 3 10)", "(10 11 12)"),
+            ("(iota 3 0 5)", "(0 5 10)"),
+            ("(last-pair '(1 2 3))", "(3)"),
+        ],
+    )
+    def test_cases(self, scheme, source, expected):
+        assert run_value(scheme, source) == expected
+
+    def test_car_of_non_pair(self, scheme):
+        with pytest.raises(EvalError, match="expected a pair"):
+            scheme.run_source("(car 5)")
+
+    def test_set_car(self, scheme):
+        assert run_value(scheme, "(define p (list 1 2)) (set-car! p 9) p") == "(9 2)"
+
+    def test_set_cdr(self, scheme):
+        assert run_value(scheme, "(define p (list 1 2)) (set-cdr! p '(8)) p") == "(1 8)"
+
+
+class TestHigherOrder:
+    def test_map(self, scheme):
+        assert run_value(scheme, "(map (lambda (x) (* x x)) '(1 2 3))") == "(1 4 9)"
+
+    def test_map_multi(self, scheme):
+        assert run_value(scheme, "(map + '(1 2) '(10 20))") == "(11 22)"
+
+    def test_map_length_mismatch(self, scheme):
+        with pytest.raises(EvalError):
+            scheme.run_source("(map + '(1) '(1 2))")
+
+    def test_for_each(self, scheme):
+        out = scheme.run_source("(for-each display '(1 2 3))").output
+        assert out == "123"
+
+    def test_filter(self, scheme):
+        assert run_value(scheme, "(filter odd? '(1 2 3 4 5))") == "(1 3 5)"
+
+    def test_fold_left(self, scheme):
+        assert run_value(scheme, "(fold-left cons '() '(1 2 3))") == "(((() . 1) . 2) . 3)"
+
+    def test_fold_right(self, scheme):
+        assert run_value(scheme, "(fold-right cons '() '(1 2 3))") == "(1 2 3)"
+
+    def test_apply(self, scheme):
+        assert run_value(scheme, "(apply + 1 2 '(3 4))") == "10"
+        assert run_value(scheme, "(apply list '())") == "()"
+
+    def test_curry(self, scheme):
+        assert run_value(scheme, "((curry + 1 2) 3)") == "6"
+        assert run_value(scheme, "(map (curry * 10) '(1 2))") == "(10 20)"
+
+    def test_sort(self, scheme):
+        assert run_value(scheme, "(sort '(3 1 2) <)") == "(1 2 3)"
+        assert run_value(scheme, "(sort '(3 1 2) >)") == "(3 2 1)"
+
+    def test_sort_with_key(self, scheme):
+        assert (
+            run_value(scheme, "(sort '((a 3) (b 1) (c 2)) < cadr)")
+            == "((b 1) (c 2) (a 3))"
+        )
+
+    def test_sort_is_stable(self, scheme):
+        assert (
+            run_value(scheme, "(sort '((a 1) (b 1) (c 0)) < cadr)")
+            == "((c 0) (a 1) (b 1))"
+        )
+
+    def test_map_with_user_procedure_and_primitives_mixed(self, scheme):
+        source = """
+        (define (twice f) (lambda (x) (f (f x))))
+        (map (twice add1) '(1 2))
+        """
+        assert run_value(scheme, source) == "(3 4)"
+
+
+class TestStringsCharsSymbols:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ('(string-length "abc")', "3"),
+            ('(string-ref "abc" 1)', "#\\b"),
+            ('(substring "hello" 1 3)', '"el"'),
+            ('(substring "hello" 2)', '"llo"'),
+            ('(string-append "a" "b" "c")', '"abc"'),
+            ('(string=? "a" "a")', "#t"),
+            ('(string<? "a" "b")', "#t"),
+            ('(string-upcase "ab")', '"AB"'),
+            ('(string->list "ab")', "(#\\a #\\b)"),
+            ("(list->string '(#\\a #\\b))", '"ab"'),
+            ('(string-contains? "hello" "ell")', "#t"),
+            ('(string-split "a,b" ",")', '("a" "b")'),
+            ('(string-join \'("a" "b") "-")', '"a-b"'),
+            ("(symbol->string 'abc)", '"abc"'),
+            ('(string->symbol "abc")', "abc"),
+            ("(symbol? 'a)", "#t"),
+            ('(symbol? "a")', "#f"),
+            ("(char->integer #\\A)", "65"),
+            ("(integer->char 97)", "#\\a"),
+            ("(char=? #\\a #\\a)", "#t"),
+            ("(char<? #\\a #\\b)", "#t"),
+            ("(char-alphabetic? #\\a)", "#t"),
+            ("(char-numeric? #\\5)", "#t"),
+            ("(char-whitespace? #\\space)", "#t"),
+            ("(char-upcase #\\a)", "#\\A"),
+            ("(string? \"x\")", "#t"),
+            ("(char? #\\x)", "#t"),
+        ],
+    )
+    def test_cases(self, scheme, source, expected):
+        assert run_value(scheme, source) == expected
+
+    def test_string_ref_out_of_range(self, scheme):
+        with pytest.raises(EvalError):
+            scheme.run_source('(string-ref "ab" 5)')
+
+    def test_gensym_distinct(self, scheme):
+        assert run_value(scheme, "(eq? (gensym) (gensym))") == "#f"
+
+
+class TestVectors:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("(vector 1 2 3)", "#(1 2 3)"),
+            ("(make-vector 3 'x)", "#(x x x)"),
+            ("(vector-length #(1 2))", "2"),
+            ("(vector-ref #(1 2) 1)", "2"),
+            ("(vector->list #(1 2))", "(1 2)"),
+            ("(list->vector '(1 2))", "#(1 2)"),
+            ("(vector-map add1 #(1 2))", "#(2 3)"),
+            ("(vector-append #(1) #(2 3))", "#(1 2 3)"),
+            ("(vector? #(1))", "#t"),
+            ("(vector? '(1))", "#f"),
+        ],
+    )
+    def test_cases(self, scheme, source, expected):
+        assert run_value(scheme, source) == expected
+
+    def test_vector_set(self, scheme):
+        assert run_value(scheme, "(define v (vector 1 2)) (vector-set! v 0 9) v") == "#(9 2)"
+
+    def test_vector_fill(self, scheme):
+        assert run_value(scheme, "(define v (make-vector 2 0)) (vector-fill! v 7) v") == "#(7 7)"
+
+    def test_vector_ref_out_of_range(self, scheme):
+        with pytest.raises(EvalError, match="out of range"):
+            scheme.run_source("(vector-ref #(1) 3)")
+
+    def test_vector_copy_independent(self, scheme):
+        source = """
+        (define v (vector 1 2))
+        (define w (vector-copy v))
+        (vector-set! w 0 9)
+        (list v w)
+        """
+        assert run_value(scheme, source) == "(#(1 2) #(9 2))"
+
+
+class TestHashtables:
+    def test_set_and_ref(self, scheme):
+        source = """
+        (define ht (make-eq-hashtable))
+        (hashtable-set! ht 'a 1)
+        (hashtable-set! ht 'b 2)
+        (list (hashtable-ref ht 'a #f) (hashtable-ref ht 'z 'default))
+        """
+        assert run_value(scheme, source) == "(1 default)"
+
+    def test_contains_delete_size(self, scheme):
+        source = """
+        (define ht (make-eq-hashtable))
+        (hashtable-set! ht 'a 1)
+        (define had (hashtable-contains? ht 'a))
+        (hashtable-delete! ht 'a)
+        (list had (hashtable-contains? ht 'a) (hashtable-size ht))
+        """
+        assert run_value(scheme, source) == "(#t #f 0)"
+
+    def test_object_keys_by_identity(self, scheme):
+        source = """
+        (define ht (make-eq-hashtable))
+        (define k1 (list 1))
+        (hashtable-set! ht k1 'one)
+        (list (hashtable-ref ht k1 #f) (hashtable-ref ht (list 1) #f))
+        """
+        assert run_value(scheme, source) == "(one #f)"
+
+    def test_predicate(self, scheme):
+        assert run_value(scheme, "(hashtable? (make-eq-hashtable))") == "#t"
+        assert run_value(scheme, "(hashtable? 5)") == "#f"
+
+
+class TestConstants:
+    def test_pi(self, scheme):
+        assert run_value(scheme, "(< 3.14 pi 3.15)") == "#t"
+
+    def test_void(self, scheme):
+        assert run_value(scheme, "(void 1 2 3)") == "#<void>"

@@ -1,0 +1,193 @@
+"""Classic-program regression corpus for the Scheme substrate.
+
+Whole programs exercising closures, recursion, higher-order functions,
+mutation, and data structures together — the kind of code the case-study
+workloads are made of.
+"""
+
+import pytest
+
+from tests.conftest import run_value
+
+
+PROGRAMS = {
+    "tak": (
+        """
+        (define (tak x y z)
+          (if (not (< y x))
+              z
+              (tak (tak (- x 1) y z)
+                   (tak (- y 1) z x)
+                   (tak (- z 1) x y))))
+        (tak 10 5 0)
+        """,
+        "5",
+    ),
+    "ackermann": (
+        """
+        (define (ack m n)
+          (cond [(= m 0) (+ n 1)]
+                [(= n 0) (ack (- m 1) 1)]
+                [else (ack (- m 1) (ack m (- n 1)))]))
+        (ack 2 3)
+        """,
+        "9",
+    ),
+    "quicksort": (
+        """
+        (define (quicksort lst)
+          (if (null? lst)
+              '()
+              (let ([pivot (car lst)] [rest (cdr lst)])
+                (append
+                  (quicksort (filter (lambda (x) (< x pivot)) rest))
+                  (list pivot)
+                  (quicksort (filter (lambda (x) (>= x pivot)) rest))))))
+        (quicksort '(3 1 4 1 5 9 2 6 5 3 5))
+        """,
+        "(1 1 2 3 3 4 5 5 5 6 9)",
+    ),
+    "mergesort": (
+        """
+        (define (merge a b)
+          (cond [(null? a) b]
+                [(null? b) a]
+                [(< (car a) (car b)) (cons (car a) (merge (cdr a) b))]
+                [else (cons (car b) (merge a (cdr b)))]))
+        (define (halve lst)
+          (if (or (null? lst) (null? (cdr lst)))
+              (cons lst '())
+              (let ([rest (halve (cdr (cdr lst)))])
+                (cons (cons (car lst) (car rest))
+                      (cons (cadr lst) (cdr rest))))))
+        (define (mergesort lst)
+          (if (or (null? lst) (null? (cdr lst)))
+              lst
+              (let ([halves (halve lst)])
+                (merge (mergesort (car halves)) (mergesort (cdr halves))))))
+        (mergesort '(9 8 7 1 2 3 6 5 4))
+        """,
+        "(1 2 3 4 5 6 7 8 9)",
+    ),
+    "church-numerals": (
+        """
+        (define zero (lambda (f) (lambda (x) x)))
+        (define (succ n) (lambda (f) (lambda (x) (f ((n f) x)))))
+        (define (church->int n) ((n (lambda (k) (+ k 1))) 0))
+        (define three (succ (succ (succ zero))))
+        (define (plus a b) (lambda (f) (lambda (x) ((a f) ((b f) x)))))
+        (church->int (plus three three))
+        """,
+        "6",
+    ),
+    "streams": (
+        """
+        (define (make-stream n) (cons n (lambda () (make-stream (+ n 1)))))
+        (define (stream-take s k)
+          (if (= k 0) '() (cons (car s) (stream-take ((cdr s)) (- k 1)))))
+        (stream-take (make-stream 5) 5)
+        """,
+        "(5 6 7 8 9)",
+    ),
+    "bank-account-closures": (
+        """
+        (define (make-account balance)
+          (lambda (op amount)
+            (cond [(eq? op 'deposit) (set! balance (+ balance amount)) balance]
+                  [(eq? op 'withdraw) (set! balance (- balance amount)) balance]
+                  [else balance])))
+        (define acct (make-account 100))
+        (acct 'deposit 50)
+        (acct 'withdraw 30)
+        (acct 'balance 0)
+        """,
+        "120",
+    ),
+    "assoc-environment-interpreter": (
+        """
+        ;; A micro-interpreter for arithmetic with variables (meta-circular
+        ;; flavour: the substrate interpreting an interpreter).
+        (define (lookup env x)
+          (cond [(null? env) (error 'lookup "unbound")]
+                [(eq? (car (car env)) x) (cdr (car env))]
+                [else (lookup (cdr env) x)]))
+        (define (ev e env)
+          (cond [(number? e) e]
+                [(symbol? e) (lookup env e)]
+                [(eq? (car e) 'add) (+ (ev (cadr e) env) (ev (caddr e) env))]
+                [(eq? (car e) 'mul) (* (ev (cadr e) env) (ev (caddr e) env))]
+                [else (error 'ev "bad form")]))
+        (ev '(add (mul x y) 3) (list (cons 'x 4) (cons 'y 5)))
+        """,
+        "23",
+    ),
+    "vector-sieve": (
+        """
+        (define (sieve n)
+          (let ([flags (make-vector (+ n 1) #t)])
+            (do ([i 2 (+ i 1)]) ((> (* i i) n))
+              (when (vector-ref flags i)
+                (do ([j (* i i) (+ j i)]) ((> j n))
+                  (vector-set! flags j #f))))
+            (let loop ([i 2] [out '()])
+              (cond [(> i n) (reverse out)]
+                    [(vector-ref flags i) (loop (+ i 1) (cons i out))]
+                    [else (loop (+ i 1) out)]))))
+        (sieve 30)
+        """,
+        "(2 3 5 7 11 13 17 19 23 29)",
+    ),
+    "deep-nesting": (
+        """
+        (define (build n) (if (= n 0) '() (cons n (build (- n 1)))))
+        (length (build 400))
+        """,
+        "400",
+    ),
+    "mutual-recursion-via-letrec": (
+        """
+        (letrec ([hail (lambda (n steps)
+                         (cond [(= n 1) steps]
+                               [(even? n) (hail (quotient n 2) (+ steps 1))]
+                               [else (hail (+ (* 3 n) 1) (+ steps 1))]))])
+          (hail 27 0))
+        """,
+        "111",
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_program(scheme, name):
+    source, expected = PROGRAMS[name]
+    assert run_value(scheme, source) == expected
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_program_in_vm(name):
+    """The same corpus through the block compiler + VM."""
+    from repro.blocks.compiler import compile_program
+    from repro.blocks.vm import VM
+    from repro.scheme.datum import write_datum
+    from repro.scheme.pipeline import SchemeSystem
+    from repro.scheme.primitives import make_global_env
+    from repro.scheme.syntax import strip_all
+
+    source, expected = PROGRAMS[name]
+    module = compile_program(SchemeSystem().compile(source))
+    value = VM(module, make_global_env()).run()
+    assert write_datum(strip_all(value)) == expected
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_program_instrumented(name):
+    """And once more under full expression profiling."""
+    from repro.scheme.instrument import ProfileMode
+    from repro.scheme.pipeline import SchemeSystem
+    from repro.scheme.datum import write_datum
+    from repro.scheme.syntax import strip_all
+
+    source, expected = PROGRAMS[name]
+    result = SchemeSystem().run_source(source, instrument=ProfileMode.EXPR)
+    assert write_datum(strip_all(result.value)) == expected
+    assert result.counters.total() > 0

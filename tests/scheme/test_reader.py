@@ -1,0 +1,283 @@
+"""Unit + property tests for the S-expression reader."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ReaderError
+from repro.scheme.datum import NIL, Char, Pair, SchemeVector, Symbol, write_datum
+from repro.scheme.reader import read_file, read_one, read_string
+from repro.scheme.syntax import Syntax, syntax_to_datum
+
+
+def datum(text: str):
+    return syntax_to_datum(read_one(text))
+
+
+class TestAtoms:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("42", 42),
+            ("-17", -17),
+            ("+3", 3),
+            ("3.14", 3.14),
+            ("-0.5", -0.5),
+            ("1/2", Fraction(1, 2)),
+            ("-3/4", Fraction(-3, 4)),
+            ("#t", True),
+            ("#f", False),
+            ("#true", True),
+            ("#false", False),
+            ('"hello"', "hello"),
+            ('""', ""),
+            ("#\\a", Char("a")),
+            ("#\\space", Char(" ")),
+            ("#\\tab", Char("\t")),
+            ("#\\newline", Char("\n")),
+            ("#\\(", Char("(")),
+            ("#\\)", Char(")")),
+            ("#\\0", Char("0")),
+        ],
+    )
+    def test_literals(self, text, expected):
+        assert datum(text) == expected
+
+    @pytest.mark.parametrize("name", ["foo", "set!", "list->vector", "+", "-", "...", "a1", "<=?"])
+    def test_symbols(self, name):
+        assert datum(name) is Symbol(name)
+
+    def test_minus_is_symbol_not_number(self):
+        assert datum("-") is Symbol("-")
+        assert datum("+") is Symbol("+")
+
+    def test_percent_rejected_in_symbols(self):
+        with pytest.raises(ReaderError):
+            read_one("foo%bar")
+
+    def test_string_escapes(self):
+        assert datum(r'"a\nb"') == "a\nb"
+        assert datum(r'"a\tb"') == "a\tb"
+        assert datum(r'"a\"b"') == 'a"b'
+        assert datum(r'"a\\b"') == "a\\b"
+        assert datum(r'"\x41;"') == "A"
+
+    def test_unknown_escape(self):
+        with pytest.raises(ReaderError):
+            read_one(r'"\q"')
+
+    def test_unterminated_string(self):
+        with pytest.raises(ReaderError):
+            read_one('"abc')
+
+
+class TestLists:
+    def test_simple(self):
+        assert write_datum(datum("(1 2 3)")) == "(1 2 3)"
+
+    def test_nested(self):
+        assert write_datum(datum("(a (b (c)) d)")) == "(a (b (c)) d)"
+
+    def test_brackets_interchangeable(self):
+        assert write_datum(datum("[a (b) [c]]")) == "(a (b) (c))"
+
+    def test_mismatched_brackets(self):
+        with pytest.raises(ReaderError):
+            read_one("(a]")
+
+    def test_dotted(self):
+        d = datum("(1 . 2)")
+        assert isinstance(d, Pair)
+        assert d.car == 1 and d.cdr == 2
+
+    def test_dotted_multi(self):
+        assert write_datum(datum("(1 2 . 3)")) == "(1 2 . 3)"
+
+    def test_dot_without_car(self):
+        with pytest.raises(ReaderError):
+            read_one("(. 2)")
+
+    def test_extra_after_dot(self):
+        with pytest.raises(ReaderError):
+            read_one("(1 . 2 3)")
+
+    def test_unterminated(self):
+        with pytest.raises(ReaderError):
+            read_one("(1 2")
+
+    def test_stray_close(self):
+        with pytest.raises(ReaderError):
+            read_one(")")
+
+    def test_empty(self):
+        assert datum("()") is NIL
+
+    def test_symbol_named_dot_ok_when_not_delimited(self):
+        assert datum("(a .b)") == datum("(a .b)")  # ".b" is a symbol
+
+
+class TestVectors:
+    def test_vector(self):
+        d = datum("#(1 2 3)")
+        assert isinstance(d, SchemeVector)
+        assert list(d) == [1, 2, 3]
+
+    def test_nested_vector(self):
+        assert write_datum(datum("#(1 #(2) ())")) == "#(1 #(2) ())"
+
+    def test_dotted_vector_rejected(self):
+        with pytest.raises(ReaderError):
+            read_one("#(1 . 2)")
+
+
+class TestQuotes:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("'x", "'x"),
+            ("`x", "`x"),
+            (",x", ",x"),
+            (",@x", ",@x"),
+            ("#'x", "#'x"),
+            ("#`x", "#`x"),
+            ("#,x", "#,x"),
+            ("#,@x", "#,@x"),
+            ("'(1 2)", "'(1 2)"),
+            ("''x", "''x"),
+        ],
+    )
+    def test_sugar(self, text, expected):
+        assert write_datum(datum(text)) == expected
+
+    def test_sugar_expands_to_pair(self):
+        d = datum("'x")
+        assert isinstance(d, Pair)
+        assert d.car is Symbol("quote")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert datum("; hi\n42") == 42
+
+    def test_block_comment(self):
+        assert datum("#| anything |# 42") == 42
+
+    def test_nested_block_comment(self):
+        assert datum("#| a #| b |# c |# 42") == 42
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ReaderError):
+            read_one("#| oops")
+
+    def test_datum_comment(self):
+        assert write_datum(datum("(1 #;(2 3) 4)")) == "(1 4)"
+
+    def test_datum_comment_at_eof(self):
+        with pytest.raises(ReaderError):
+            read_string("#;")
+
+
+class TestSourceLocations:
+    def test_toplevel_location(self):
+        stx = read_one("(foo bar)", filename="t.ss")
+        assert stx.srcloc.filename == "t.ss"
+        assert stx.srcloc.start == 0
+        assert stx.srcloc.end == len("(foo bar)")
+        assert stx.srcloc.line == 1
+
+    def test_inner_locations_distinct(self):
+        stx = read_one("(foo bar baz)")
+        parts = []
+        node = stx.datum
+        while node is not NIL:
+            parts.append(node.car)
+            node = node.cdr
+        locs = [p.srcloc for p in parts]
+        assert len({(l.start, l.end) for l in locs}) == 3
+
+    def test_multiline_line_numbers(self):
+        forms = read_string("a\nb\n  c\n")
+        assert [f.srcloc.line for f in forms] == [1, 2, 3]
+        assert forms[2].srcloc.column == 2
+
+    def test_every_node_is_syntax(self):
+        stx = read_one("((a b) #(c) 1)")
+        assert isinstance(stx, Syntax)
+        assert isinstance(stx.datum.car, Syntax)
+        assert isinstance(stx.datum.car.datum.car, Syntax)
+
+    def test_repeated_occurrences_get_distinct_points(self):
+        """Paper §3.1: flag and email appear multiple times, but each
+        occurrence is associated with a different profile point."""
+        stx = read_one("(if x (flag email) (flag email))")
+        items = []
+
+        def walk(s):
+            if isinstance(s.datum, Pair):
+                node = s.datum
+                while node is not NIL:
+                    walk(node.car)
+                    node = node.cdr
+            elif s.datum is Symbol("flag"):
+                items.append(s.profile_point)
+
+        walk(stx)
+        assert len(items) == 2
+        assert items[0] != items[1]
+
+
+class TestMultipleForms:
+    def test_read_string_all(self):
+        forms = read_string("1 2 3")
+        assert [syntax_to_datum(f) for f in forms] == [1, 2, 3]
+
+    def test_read_one_rejects_trailing(self):
+        with pytest.raises(ReaderError):
+            read_one("1 2")
+
+    def test_read_empty(self):
+        assert read_string("") == []
+        assert read_string("  ; just a comment\n") == []
+
+    def test_read_eof_error(self):
+        with pytest.raises(ReaderError):
+            read_one("   ")
+
+    def test_read_file(self, tmp_path):
+        path = tmp_path / "p.ss"
+        path.write_text("(+ 1 2) (- 3 4)")
+        forms = read_file(str(path))
+        assert len(forms) == 2
+        assert forms[0].srcloc.filename == str(path)
+
+
+# -- property: write/read round trip ------------------------------------------------
+
+_atom = st.one_of(
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.booleans(),
+    st.sampled_from([Symbol(s) for s in ("a", "foo", "set!", "x1", "-", "...")]),
+    st.text(alphabet=st.characters(blacklist_categories=("Cs", "Cc")), max_size=10),
+    st.sampled_from([Char("a"), Char(" "), Char("\t"), Char("(")]),
+    st.fractions(min_value=-100, max_value=100).filter(lambda f: f.denominator != 1),
+)
+
+
+def _to_scheme(value):
+    if isinstance(value, list):
+        from repro.scheme.datum import scheme_list
+
+        return scheme_list(*[_to_scheme(v) for v in value])
+    return value
+
+
+_tree = st.recursive(_atom, lambda children: st.lists(children, max_size=4), max_leaves=20)
+
+
+@given(_tree)
+def test_write_read_round_trip(value):
+    d = _to_scheme(value)
+    text = write_datum(d)
+    assert syntax_to_datum(read_one(text)) == d

@@ -1,0 +1,146 @@
+"""Tests for define-record-type, case-lambda, and the R6RS list utilities."""
+
+import pytest
+
+from repro.core.errors import EvalError, ExpandError
+from tests.conftest import run_value
+
+
+class TestRecords:
+    def test_constructor_predicate_accessors(self, scheme):
+        source = """
+        (define-record-type point (fields x y))
+        (define p (make-point 3 4))
+        (list (point? p) (point-x p) (point-y p))
+        """
+        assert run_value(scheme, source) == "(#t 3 4)"
+
+    def test_mutators(self, scheme):
+        source = """
+        (define-record-type cell (fields value))
+        (define c (make-cell 1))
+        (set-cell-value! c 99)
+        (cell-value c)
+        """
+        assert run_value(scheme, source) == "99"
+
+    def test_predicate_rejects_other_values(self, scheme):
+        source = """
+        (define-record-type point (fields x y))
+        (list (point? 5) (point? '(1 2)) (point? (vector 'point 1 2)))
+        """
+        assert run_value(scheme, source) == "(#f #f #f)"
+
+    def test_two_types_with_same_shape_are_distinct(self, scheme):
+        source = """
+        (define-record-type point (fields x y))
+        (define-record-type pair2 (fields x y))
+        (list (point? (make-pair2 1 2)) (pair2? (make-point 1 2)))
+        """
+        assert run_value(scheme, source) == "(#f #f)"
+
+    def test_record_in_body_context(self, scheme):
+        source = """
+        (define (f)
+          (define-record-type box (fields v))
+          (box-v (make-box 42)))
+        (f)
+        """
+        assert run_value(scheme, source) == "42"
+
+    def test_zero_field_record(self, scheme):
+        source = """
+        (define-record-type unit (fields))
+        (unit? (make-unit))
+        """
+        assert run_value(scheme, source) == "#t"
+
+    def test_malformed(self, scheme):
+        with pytest.raises(ExpandError):
+            scheme.run_source("(define-record-type)")
+        with pytest.raises(ExpandError):
+            scheme.run_source("(define-record-type p (slots x))")
+        with pytest.raises(ExpandError):
+            scheme.run_source("(+ 1 (define-record-type p (fields x)))")
+
+
+class TestCaseLambda:
+    def test_arity_dispatch(self, scheme):
+        source = """
+        (define f
+          (case-lambda
+            [() 'zero]
+            [(x) (list 'one x)]
+            [(x y) (list 'two x y)]))
+        (list (f) (f 1) (f 1 2))
+        """
+        assert run_value(scheme, source) == "(zero (one 1) (two 1 2))"
+
+    def test_rest_clause(self, scheme):
+        source = """
+        (define f
+          (case-lambda
+            [(x) 'exact]
+            [(x . rest) (cons 'rest rest)]))
+        (list (f 1) (f 1 2 3))
+        """
+        assert run_value(scheme, source) == "(exact (rest 2 3))"
+
+    def test_first_matching_clause_wins(self, scheme):
+        source = """
+        (define f (case-lambda [args 'general] [(x) 'specific]))
+        (f 1)
+        """
+        assert run_value(scheme, source) == "general"
+
+    def test_no_matching_clause(self, scheme):
+        with pytest.raises(EvalError, match="no clause"):
+            scheme.run_source("((case-lambda [(x) x]) 1 2)")
+
+    def test_closes_over_environment(self, scheme):
+        source = """
+        (define (make n)
+          (case-lambda
+            [() n]
+            [(m) (+ n m)]))
+        (define f (make 10))
+        (list (f) (f 5))
+        """
+        assert run_value(scheme, source) == "(10 15)"
+
+    def test_malformed(self, scheme):
+        with pytest.raises(ExpandError):
+            scheme.run_source("(case-lambda)")
+        with pytest.raises(ExpandError):
+            scheme.run_source("(case-lambda [(x)])")
+
+
+class TestListUtilities:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("(find even? '(1 3 4 5))", "4"),
+            ("(find even? '(1 3 5))", "#f"),
+            ("(remove even? '(1 2 3 4))", "(1 3)"),
+            ("(partition even? '(1 2 3 4))", "((2 4) 1 3)"),
+            ("(for-all positive? '(1 2))", "#t"),
+            ("(for-all positive? '(1 -2))", "#f"),
+            ("(for-all positive? '())", "#t"),
+            ("(exists negative? '(1 -2))", "#t"),
+            ("(exists negative? '())", "#f"),
+            ("(memp even? '(1 3 4 5))", "(4 5)"),
+            ("(assp even? '((1 a) (2 b)))", "(2 b)"),
+            ("(list-index even? '(1 3 6))", "2"),
+            ("(list-index even? '(1 3 5))", "#f"),
+            ("(filter-map (lambda (x) (and (even? x) (* x 10))) '(1 2 3 4))", "(20 40)"),
+            ("(take '(1 2 3 4) 2)", "(1 2)"),
+            ("(take '(1 2) 0)", "()"),
+            ("(drop '(1 2 3 4) 3)", "(4)"),
+        ],
+    )
+    def test_cases(self, scheme, source, expected):
+        assert run_value(scheme, source) == expected
+
+    def test_take_out_of_range(self, scheme):
+        with pytest.raises(EvalError):
+            scheme.run_source("(take '(1) 5)")

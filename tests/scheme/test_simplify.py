@@ -1,0 +1,120 @@
+"""Tests for the beta-contraction simplifier."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheme.core_forms import unparse_string
+from repro.scheme.datum import write_datum
+from repro.scheme.pipeline import SchemeSystem
+from repro.scheme.simplify import contract_betas
+from repro.scheme.syntax import strip_all
+
+
+def contracted(source: str):
+    system = SchemeSystem()
+    program, report = contract_betas(system.compile(source))
+    return system, program, report
+
+
+def run_both(source: str):
+    system = SchemeSystem()
+    original = system.compile(source)
+    value1 = system.run(original).value
+    simplified, _ = contract_betas(system.compile(source))
+    value2 = system.run(simplified).value
+    return write_datum(strip_all(value1)), write_datum(strip_all(value2))
+
+
+class TestContraction:
+    def test_let_of_constant_contracts(self):
+        _, program, report = contracted("(let ([x 5]) (+ x 1))")
+        assert report.contracted == 1
+        assert unparse_string(program) == "(+ 5 1)"
+
+    def test_variable_argument_contracts(self):
+        _, program, report = contracted("(define y 3) ((lambda (x) (* x x)) y)")
+        assert report.contracted == 1
+        assert "(* y y)" in unparse_string(program)
+
+    def test_multi_param(self):
+        _, program, report = contracted("((lambda (a b) (- a b)) 10 4)")
+        assert report.contracted == 1
+        assert unparse_string(program) == "(- 10 4)"
+
+    def test_nested_redexes_contract_transitively(self):
+        _, program, report = contracted("(let ([x 1]) (let ([y 2]) (+ x y)))")
+        assert report.contracted == 2
+        assert unparse_string(program) == "(+ 1 2)"
+
+    def test_multi_body_becomes_begin(self):
+        _, program, report = contracted("((lambda (x) (display x) x) 7)")
+        assert report.contracted == 1
+        assert unparse_string(program) == "(begin (display 7) 7)"
+
+
+class TestRefusals:
+    def test_complex_argument_not_contracted(self):
+        _, _, report = contracted("(let ([x (+ 1 2)]) (* x x))")
+        assert report.contracted == 0  # would duplicate the computation
+
+    def test_set_bang_in_body_not_contracted(self):
+        _, _, report = contracted("(define y 1) (let ([x y]) (set! x 2) x)")
+        assert report.contracted == 0
+
+    def test_nested_lambda_not_contracted(self):
+        _, _, report = contracted("(let ([x 1]) (lambda () x))")
+        assert report.contracted == 0
+
+    def test_rest_lambda_not_contracted(self):
+        _, _, report = contracted("((lambda args args) 1 2)")
+        assert report.contracted == 0
+
+    def test_refusals_still_count_considered(self):
+        _, _, report = contracted("(let ([x (+ 1 2)]) x)")
+        assert report.considered == 1
+
+
+class TestSemanticPreservation:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "(let ([x 5]) (+ x x))",
+            "(define y 2) (let ([x y]) (if (< x 3) 'small 'big))",
+            "(let ([a 1]) (let ([b 2]) (let ([c 3]) (list a b c))))",
+            "((lambda (x) (display x) (* 2 x)) 21)",
+            "(define (f n) (let ([m n]) (* m m))) (f 9)",
+            "(let ([x (+ 1 2)]) (* x x))",  # refused, still must run right
+        ],
+    )
+    def test_cases(self, source):
+        before, after = run_both(source)
+        assert before == after
+
+    @given(
+        st.integers(min_value=-50, max_value=50),
+        st.integers(min_value=-50, max_value=50),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_arithmetic_lets_property(self, a, b):
+        source = f"(let ([x {a}]) (let ([y {b}]) (- (* x y) (+ x y))))"
+        before, after = run_both(source)
+        assert before == after
+
+
+class TestInteractionWithPGMP:
+    def test_contract_inlined_case_study(self):
+        """The full chain: profile -> inline -> contract -> same value."""
+        from repro.casestudies.inliner import make_inliner_system
+
+        program_source = """
+        (define-inlinable (triple x) (* 3 x))
+        (define (hot n acc) (if (= n 0) acc (hot (- n 1) (+ acc (triple n)))))
+        (hot 50 0)
+        """
+        system = make_inliner_system()
+        first = system.profile_run(program_source, "s.ss")
+        optimized, report = contract_betas(system.compile(program_source, "s.ss"))
+        assert report.contracted >= 1
+        second = system.run(optimized)
+        assert str(first.value) == str(second.value)

@@ -1,0 +1,145 @@
+"""Unit tests for syntax objects: scopes, points, datum conversion."""
+
+import pytest
+
+from repro.core.profile_point import ProfilePoint, make_profile_point
+from repro.core.srcloc import UNKNOWN_LOCATION, SourceLocation
+from repro.scheme.datum import NIL, Pair, SchemeVector, Symbol, scheme_list, write_datum
+from repro.scheme.reader import read_one
+from repro.scheme.syntax import (
+    Syntax,
+    datum_to_syntax,
+    is_identifier,
+    strip_all,
+    syntax_pylist,
+    syntax_to_datum,
+)
+
+LOC = SourceLocation("s.ss", 0, 5, line=1, column=0)
+
+
+class TestProfilePointProtocol:
+    def test_implicit_point_from_srcloc(self):
+        stx = Syntax(Symbol("x"), LOC)
+        point = stx.profile_point
+        assert point == ProfilePoint.for_location(LOC)
+        assert not point.generated
+
+    def test_no_point_without_location(self):
+        stx = Syntax(Symbol("x"), UNKNOWN_LOCATION)
+        assert stx.profile_point is None
+
+    def test_with_point_overrides(self):
+        stx = Syntax(Symbol("x"), LOC)
+        fresh = make_profile_point(LOC)
+        annotated = stx.with_point(fresh)
+        assert annotated.profile_point == fresh
+        # Original untouched (immutability by convention).
+        assert stx.profile_point == ProfilePoint.for_location(LOC)
+
+    def test_with_point_replaces_prior_explicit_point(self):
+        stx = Syntax(Symbol("x"), LOC)
+        first = make_profile_point(LOC)
+        second = make_profile_point(LOC)
+        assert stx.with_point(first).with_point(second).profile_point == second
+
+
+class TestScopeOperations:
+    def test_add_scope_recurses(self):
+        stx = read_one("(a (b) c)")
+        scoped = stx.add_scope(7)
+        assert 7 in scoped.scopes
+        inner = scoped.datum.cdr.car  # (b)
+        assert 7 in inner.scopes
+        assert 7 in inner.datum.car.scopes
+
+    def test_flip_scope_is_involutive(self):
+        stx = read_one("(a b)")
+        assert stx.flip_scope(3).flip_scope(3).scopes == stx.scopes
+
+    def test_flip_scope_xor(self):
+        stx = Syntax(Symbol("x"), LOC, frozenset({1}))
+        assert stx.flip_scope(1).scopes == frozenset()
+        assert stx.flip_scope(2).scopes == frozenset({1, 2})
+
+    def test_remove_scope(self):
+        stx = Syntax(Symbol("x"), LOC, frozenset({1, 2}))
+        assert stx.remove_scope(1).scopes == frozenset({2})
+
+    def test_scope_ops_preserve_srcloc_and_point(self):
+        stx = Syntax(Symbol("x"), LOC).with_point(make_profile_point(LOC))
+        scoped = stx.add_scope(5)
+        assert scoped.srcloc == LOC
+        assert scoped.explicit_point == stx.explicit_point
+
+    def test_add_scope_on_vector(self):
+        stx = read_one("#(a b)")
+        scoped = stx.add_scope(9)
+        assert all(9 in item.scopes for item in scoped.datum)
+
+
+class TestConversions:
+    def test_syntax_to_datum_strips_recursively(self):
+        stx = read_one("(a (b #(c)) 1)")
+        assert write_datum(syntax_to_datum(stx)) == "(a (b #(c)) 1)"
+
+    def test_datum_to_syntax_wraps_recursively(self):
+        stx = datum_to_syntax(scheme_list(Symbol("a"), scheme_list(1)))
+        assert isinstance(stx, Syntax)
+        assert isinstance(stx.datum.car, Syntax)
+        assert write_datum(syntax_to_datum(stx)) == "(a (1))"
+
+    def test_datum_to_syntax_copies_context_scopes(self):
+        context = Syntax(Symbol("ctx"), LOC, frozenset({4, 5}))
+        stx = datum_to_syntax(Symbol("new"), context=context)
+        assert stx.scopes == frozenset({4, 5})
+        assert stx.srcloc == LOC
+
+    def test_datum_to_syntax_keeps_existing_syntax(self):
+        existing = Syntax(Symbol("keep"), LOC, frozenset({8}))
+        wrapped = datum_to_syntax(scheme_list(existing), context=None)
+        assert wrapped.datum.car is existing
+
+    def test_dotted_datum(self):
+        stx = datum_to_syntax(Pair(1, 2))
+        assert write_datum(syntax_to_datum(stx)) == "(1 . 2)"
+
+    def test_strip_all_non_syntax(self):
+        assert strip_all(42) == 42
+        assert strip_all("s") == "s"
+
+
+class TestListAccess:
+    def test_syntax_pylist(self):
+        items = syntax_pylist(read_one("(a b c)"))
+        assert [i.symbol_name for i in items] == ["a", "b", "c"]
+
+    def test_syntax_pylist_empty(self):
+        assert syntax_pylist(read_one("()")) == []
+
+    def test_syntax_pylist_rejects_improper(self):
+        with pytest.raises(TypeError):
+            syntax_pylist(read_one("(a . b)"))
+
+    def test_mixed_wrapped_spine(self):
+        # Template output mixes raw pairs and syntax-wrapped tails.
+        inner = read_one("(b c)")
+        mixed = Syntax(Pair(read_one("a"), inner), LOC)
+        assert [i.symbol_name for i in syntax_pylist(mixed)] == ["a", "b", "c"]
+
+    def test_head_symbol(self):
+        assert read_one("(foo 1)").head_symbol() is Symbol("foo")
+        assert read_one("((f) 1)").head_symbol() is None
+        assert read_one("x").head_symbol() is None
+
+    def test_is_identifier(self):
+        assert is_identifier(read_one("abc"))
+        assert not is_identifier(read_one("42"))
+        assert not is_identifier(read_one("(a)"))
+        assert not is_identifier("abc")
+
+    def test_predicates(self):
+        assert read_one("(a)").is_pair()
+        assert read_one("()").is_null()
+        assert read_one("x").is_symbol()
+        assert read_one("x").symbol_name == "x"

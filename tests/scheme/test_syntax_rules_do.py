@@ -1,0 +1,151 @@
+"""Tests for syntax-rules transformers and the do loop."""
+
+import pytest
+
+from repro.core.errors import ExpandError
+from tests.conftest import run_value
+
+
+class TestSyntaxRules:
+    def test_fixed_rewrite(self, scheme):
+        source = """
+        (define-syntax five (syntax-rules () [(_) 5]))
+        (five)
+        """
+        assert run_value(scheme, source) == "5"
+
+    def test_multiple_clauses(self, scheme):
+        source = """
+        (define-syntax my-or
+          (syntax-rules ()
+            [(_) #f]
+            [(_ e) e]
+            [(_ e1 e2 ...) (let ([t e1]) (if t t (my-or e2 ...)))]))
+        (list (my-or) (my-or 7) (my-or #f 8) (my-or #f #f 9))
+        """
+        assert run_value(scheme, source) == "(#f 7 8 9)"
+
+    def test_hygiene(self, scheme):
+        source = """
+        (define-syntax my-or2
+          (syntax-rules ()
+            [(_ a b) (let ([t a]) (if t t b))]))
+        (define t 'user)
+        (my-or2 #f t)
+        """
+        assert run_value(scheme, source) == "user"
+
+    def test_literals(self, scheme):
+        source = """
+        (define-syntax for
+          (syntax-rules (in)
+            [(_ x in lst body) (map (lambda (x) body) lst)]))
+        (for x in '(1 2 3) (* x x))
+        """
+        assert run_value(scheme, source) == "(1 4 9)"
+
+    def test_literal_mismatch_falls_through(self, scheme):
+        source = """
+        (define-syntax tagged
+          (syntax-rules (in)
+            [(_ x in y) 'with-in]
+            [(_ x y z) 'without]))
+        (list (tagged 1 in 2) (tagged 1 on 2))
+        """
+        assert run_value(scheme, source) == "(with-in without)"
+
+    def test_nested_ellipsis(self, scheme):
+        source = """
+        (define-syntax flatten2
+          (syntax-rules ()
+            [(_ ((x ...) ...)) (list x ... ...)]))
+        (flatten2 ((1 2) (3) ()))
+        """
+        assert run_value(scheme, source) == "(1 2 3)"
+
+    def test_recursive(self, scheme):
+        source = """
+        (define-syntax my-and
+          (syntax-rules ()
+            [(_) #t]
+            [(_ e) e]
+            [(_ e1 e2 ...) (if e1 (my-and e2 ...) #f)]))
+        (list (my-and 1 2 3) (my-and 1 #f 3))
+        """
+        assert run_value(scheme, source) == "(3 #f)"
+
+    def test_no_matching_rule_errors(self, scheme):
+        source = """
+        (define-syntax exactly-one (syntax-rules () [(_ e) e]))
+        (exactly-one 1 2)
+        """
+        with pytest.raises(ExpandError, match="no syntax-rules clause"):
+            scheme.run_source(source)
+
+    def test_keyword_position_ignored(self, scheme):
+        """The pattern's head matches the macro keyword regardless of name."""
+        source = """
+        (define-syntax k (syntax-rules () [(anything e) e]))
+        (k 42)
+        """
+        assert run_value(scheme, source) == "42"
+
+    def test_let_syntax_with_syntax_rules(self, scheme):
+        source = """
+        (let-syntax ([double (syntax-rules () [(_ e) (* 2 e)])])
+          (double 21))
+        """
+        assert run_value(scheme, source) == "42"
+
+    def test_syntax_rules_in_expression_position_rejected(self, scheme):
+        with pytest.raises(ExpandError):
+            scheme.run_source("(+ 1 (syntax-rules () [(_) 1]))")
+
+
+class TestDo:
+    def test_countdown(self, scheme):
+        assert run_value(
+            scheme, "(do ([i 0 (+ i 1)] [acc 1 (* acc 2)]) ((= i 4) acc))"
+        ) == "16"
+
+    def test_no_result_expr(self, scheme):
+        assert run_value(scheme, "(do ([i 0 (+ i 1)]) ((= i 3)))") == "#<void>"
+
+    def test_body_side_effects(self, scheme):
+        source = """
+        (define v (make-vector 4 0))
+        (do ([i 0 (+ i 1)]) ((= i 4) v)
+          (vector-set! v i (* i 10)))
+        """
+        assert run_value(scheme, source) == "#(0 10 20 30)"
+
+    def test_var_without_step(self, scheme):
+        assert run_value(
+            scheme, "(do ([i 0 (+ i 1)] [k 7]) ((= i 2) k))"
+        ) == "7"
+
+    def test_multiple_results(self, scheme):
+        assert run_value(
+            scheme, "(do ([i 0 (+ i 1)]) ((= i 1) 'a 'b 'c))"
+        ) == "c"
+
+    def test_nested_do(self, scheme):
+        source = """
+        (do ([i 0 (+ i 1)]
+             [total 0 (do ([j 0 (+ j 1)] [s total (+ s 1)]) ((= j i) s))])
+            ((= i 4) total))
+        """
+        assert run_value(scheme, source) == "6"  # 0+1+2+3
+
+    def test_do_is_tail_recursive(self, scheme):
+        assert run_value(
+            scheme, "(do ([i 0 (+ i 1)]) ((= i 100000) 'done))"
+        ) == "done"
+
+    def test_malformed(self, scheme):
+        with pytest.raises(ExpandError):
+            scheme.run_source("(do)")
+        with pytest.raises(ExpandError):
+            scheme.run_source("(do ([x 1 2 3 4]) (#t))")
+        with pytest.raises(ExpandError):
+            scheme.run_source("(do ([x 1]) ())")

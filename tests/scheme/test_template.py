@@ -1,0 +1,139 @@
+"""Unit tests for syntax template instantiation."""
+
+import pytest
+
+from repro.core.errors import TemplateError
+from repro.scheme.datum import write_datum
+from repro.scheme.patterns import match_pattern
+from repro.scheme.reader import read_one
+from repro.scheme.syntax import syntax_to_datum
+from repro.scheme.template import Splice, instantiate_template
+
+
+def instantiate(template_text, env):
+    out = instantiate_template(read_one(template_text), env)
+    return write_datum(syntax_to_datum(out))
+
+
+def matched(pattern_text, input_text):
+    """Bindings at (depth, value) form, as the expander supplies them."""
+    from repro.scheme.patterns import pattern_variables
+
+    pattern = read_one(pattern_text)
+    depths = pattern_variables(pattern, frozenset())
+    bindings = match_pattern(pattern, read_one(input_text))
+    assert bindings is not None
+    return {name: (depths[name], bindings[name]) for name in bindings}
+
+
+class TestBasics:
+    def test_constant_template(self):
+        assert instantiate("42", {}) == "42"
+        assert instantiate("(a b)", {}) == "(a b)"
+
+    def test_variable_substitution(self):
+        env = matched("(f x)", "(call 99)")
+        assert instantiate("(x)", env) == "(99)"
+
+    def test_unbound_identifiers_kept_literal(self):
+        env = matched("x", "5")
+        assert instantiate("(if x x)", env) == "(if 5 5)"
+
+    def test_dotted_template(self):
+        env = matched("(a b)", "(1 2)")
+        assert instantiate("(a . b)", env) == "(1 . 2)"
+
+    def test_vector_template(self):
+        env = matched("(a b)", "(1 2)")
+        assert instantiate("#(a b c)", env) == "#(1 2 c)"
+
+    def test_depth_misuse_rejected(self):
+        env = matched("(x ...)", "(1 2)")
+        with pytest.raises(TemplateError):
+            instantiate("x", env)
+
+
+class TestEllipsis:
+    def test_simple_repetition(self):
+        env = matched("(x ...)", "(1 2 3)")
+        assert instantiate("(x ...)", env) == "(1 2 3)"
+
+    def test_rewrap(self):
+        env = matched("(x ...)", "(1 2 3)")
+        assert instantiate("((go x) ...)", env) == "((go 1) (go 2) (go 3))"
+
+    def test_multiple_drivers(self):
+        env = matched("((k v) ...)", "((a 1) (b 2))")
+        assert instantiate("((v k) ...)", env) == "((1 a) (2 b))"
+
+    def test_mismatched_lengths_rejected(self):
+        env = {**matched("(x ...)", "(1 2)"), **matched("(y ...)", "(7 8 9)")}
+        with pytest.raises(TemplateError):
+            instantiate("((x y) ...)", env)
+
+    def test_constant_plus_driver(self):
+        env = {**matched("t", "k"), **matched("(x ...)", "(1 2)")}
+        assert instantiate("((t x) ...)", env) == "((k 1) (k 2))"
+
+    def test_nested_ellipsis(self):
+        env = matched("((x ...) ...)", "((1 2) (3))")
+        assert instantiate("((x ...) ...)", env) == "((1 2) (3))"
+
+    def test_double_ellipsis_flattens(self):
+        env = matched("((x ...) ...)", "((1 2) (3))")
+        assert instantiate("(x ... ...)", env) == "(1 2 3)"
+
+    def test_tail_after_ellipsis(self):
+        env = matched("(x ...)", "(1 2)")
+        assert instantiate("(x ... end)", env) == "(1 2 end)"
+
+    def test_no_driver_rejected(self):
+        with pytest.raises(TemplateError):
+            instantiate("(x ...)", {"x": (0, read_one("1"))})
+
+    def test_empty_repetition(self):
+        env = matched("(x ...)", "()")
+        assert instantiate("(wrap x ...)", env) == "(wrap)"
+
+    def test_ellipsis_escape(self):
+        env = {}
+        assert instantiate("(... ...)", env) == "..."
+
+    def test_ellipsis_escape_compound(self):
+        assert instantiate("(... (x ...))", {}) == "(x ...)"
+
+
+class TestSplices:
+    def test_splice_into_list(self):
+        items = [read_one("1"), read_one("2")]
+        env = {"hole": (0, Splice(items))}
+        assert instantiate("(begin hole end)", env) == "(begin 1 2 end)"
+
+    def test_empty_splice(self):
+        env = {"hole": (0, Splice([]))}
+        assert instantiate("(begin hole end)", env) == "(begin end)"
+
+    def test_splice_at_top_rejected(self):
+        env = {"hole": (0, Splice([read_one("1")]))}
+        with pytest.raises(TemplateError):
+            instantiate_template(read_one("hole"), env)
+
+    def test_splice_in_dotted_tail_rejected(self):
+        env = {"hole": (0, Splice([read_one("1")]))}
+        with pytest.raises(TemplateError):
+            instantiate_template(read_one("(a . hole)"), env)
+
+
+class TestSyntaxPreservation:
+    def test_substituted_values_keep_their_srcloc(self):
+        user = read_one("(f important-expr)", filename="user.ss")
+        bindings = match_pattern(read_one("(f e)"), user)
+        env = {"e": (0, bindings["e"])}
+        out = instantiate_template(read_one("(wrap e)", filename="macro.ss"), env)
+        wrapped = out.datum.cdr.car
+        assert wrapped.srcloc.filename == "user.ss"
+
+    def test_template_literals_keep_template_srcloc(self):
+        out = instantiate_template(read_one("(wrap x)", filename="macro.ss"), {})
+        head = out.datum.car
+        assert head.srcloc.filename == "macro.ss"

@@ -1,0 +1,96 @@
+"""Tests for core-form unparsing (the figure-comparison machinery)."""
+
+import pytest
+
+from repro.scheme.core_forms import (
+    App,
+    Begin,
+    Const,
+    Define,
+    If,
+    Lambda,
+    Program,
+    Ref,
+    SetBang,
+    unparse,
+    unparse_string,
+)
+from repro.scheme.datum import NIL, Symbol, gensym, scheme_list, write_datum
+from repro.scheme.pipeline import SchemeSystem
+
+
+def expanded(source: str) -> str:
+    return unparse_string(SchemeSystem().compile(source))
+
+
+class TestRoundTripShapes:
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("42", "42"),
+            ("'sym", "'sym"),
+            ("'(1 2)", "'(1 2)"),
+            ("(+ 1 2)", "(+ 1 2)"),
+            ("(if 1 2 3)", "(if 1 2 3)"),
+            ("(define x 5)", "(define x 5)"),
+            ("(define (f x) x)", "(define f (lambda (x) x))"),
+            ("(lambda (a b) (+ a b))", "(lambda (a b) (+ a b))"),
+            ("(lambda args args)", "(lambda args args)"),
+            ("(lambda (a . rest) rest)", "(lambda (a . rest) rest)"),
+            # top-level begin splices; expression-position begin survives
+            ("(if #t (begin 1 2) 3)", "(if #t (begin 1 2) 3)"),
+            ("(define x 1) (set! x 2)", "(define x 1)\n(set! x 2)"),
+            ('(display "hi")', '(display "hi")'),
+        ],
+    )
+    def test_cases(self, source, expected):
+        assert expanded(source) == expected
+
+    def test_let_unparse_shows_lambda_application(self):
+        assert expanded("(let ([x 1]) x)") == "((lambda (x) x) 1)"
+
+    def test_quasiquote_unparse(self):
+        out = expanded("`(a ,(+ 1 2))")
+        assert out == "(cons 'a (cons (+ 1 2) '()))"
+
+
+class TestPrettyNames:
+    def test_gensym_suffixes_stripped_by_default(self):
+        out = expanded("(let ([tmp 1]) tmp)")
+        assert "%" not in out
+        assert "tmp" in out
+
+    def test_raw_mode_keeps_unique_names(self):
+        program = SchemeSystem().compile("(let ([tmp 1]) tmp)")
+        raw = unparse_string(program, pretty=False)
+        assert "%" in raw
+
+    def test_distinct_shadowed_names_visible_in_raw_mode(self):
+        program = SchemeSystem().compile("(let ([x 1]) (let ([x 2]) x))")
+        raw = unparse_string(program, pretty=False)
+        names = {tok for tok in raw.replace("(", " ").replace(")", " ").split() if tok.startswith("x%")}
+        assert len(names) == 2
+
+
+class TestDirectConstruction:
+    def test_const_quote_wrapping(self):
+        assert write_datum(unparse(Const(None, Symbol("a")))) == "'a"
+        assert write_datum(unparse(Const(None, scheme_list(1)))) == "'(1)"
+        assert write_datum(unparse(Const(None, 5))) == "5"
+        assert write_datum(unparse(Const(None, NIL))) == "'()"
+
+    def test_program_unparse(self):
+        program = Program([Const(None, 1), Const(None, 2)])
+        assert unparse_string(program) == "1\n2"
+
+    def test_if_nodes(self):
+        node = If(None, Const(None, True), Const(None, 1), Const(None, 2))
+        assert unparse_string(node) == "(if #t 1 2)"
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(TypeError):
+            unparse(object())  # type: ignore[arg-type]
+
+    def test_setbang(self):
+        node = SetBang(None, Symbol("x"), Const(None, 1))
+        assert unparse_string(node) == "(set! x 1)"
