@@ -1,0 +1,136 @@
+"""Experiment C-1 — concurrent profiling throughput.
+
+The seed profiler mirrored the paper's single-threaded Scheme substrates:
+one shared dict, one lock. Under concurrent traffic (the ROADMAP's north
+star) every instrumented increment then serializes on that mutex. The
+sharded design (per-thread shards, merge at snapshot — the PROMPT-style
+low-overhead parallel profiling strategy) removes the lock from the hot
+path entirely.
+
+Claims verified here:
+
+* **correctness** — N threads × M increments into a
+  :class:`ShardedCounterSet` sum to exactly N×M: no counts are lost, which
+  an unlocked shared dict cannot guarantee;
+* **contention** — under a ``ThreadPoolExecutor(8)``, sharded counters
+  sustain at least the throughput of the locked ``CounterSet`` (in
+  practice, measurably more: no lock handoffs on the increment path);
+* single-thread overhead of sharding stays within a small constant factor
+  of the plain unlocked counter (the shard lookup is one attribute read).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from benchmarks.conftest import report
+from repro.core.counters import CounterSet, ShardedCounterSet
+from repro.core.profile_point import ProfilePoint
+from repro.core.srcloc import SourceLocation
+
+THREADS = 8
+INCREMENTS = 25_000
+POINTS = [
+    ProfilePoint.for_location(SourceLocation("conc.ss", n, n + 1)) for n in range(8)
+]
+
+
+def _worker(counters, barrier):
+    bumps = [counters.incrementer(point) for point in POINTS]
+    barrier.wait()
+    for _ in range(INCREMENTS):
+        for bump in bumps:
+            bump()
+
+
+def _timed_pool_run(counters) -> float:
+    barrier = threading.Barrier(THREADS + 1)
+    with ThreadPoolExecutor(THREADS) as pool:
+        futures = [pool.submit(_worker, counters, barrier) for _ in range(THREADS)]
+        barrier.wait()
+        start = time.perf_counter()
+        for future in futures:
+            future.result()
+        elapsed = time.perf_counter() - start
+    return elapsed
+
+
+def _best_of(fn, rounds: int = 3) -> tuple[float, object]:
+    best, result = float("inf"), None
+    for _ in range(rounds):
+        elapsed, value = fn()
+        if elapsed < best:
+            best, result = elapsed, value
+    return best, result
+
+
+def test_sharded_counters_lose_no_counts_under_thread_pool():
+    counters = ShardedCounterSet(name="pool")
+    _timed_pool_run(counters)
+    expected = THREADS * INCREMENTS
+    for point in POINTS:
+        assert counters.count(point) == expected
+    assert counters.total() == expected * len(POINTS)
+
+
+def test_concurrent_throughput_sharded_vs_locked():
+    def run_sharded():
+        counters = ShardedCounterSet(name="sharded")
+        elapsed = _timed_pool_run(counters)
+        return elapsed, counters.total()
+
+    def run_locked():
+        counters = CounterSet(name="locked", threadsafe=True)
+        elapsed = _timed_pool_run(counters)
+        return elapsed, counters.total()
+
+    sharded_time, sharded_total = _best_of(run_sharded)
+    locked_time, locked_total = _best_of(run_locked)
+
+    ops = THREADS * INCREMENTS * len(POINTS)
+    assert sharded_total == ops
+    assert locked_total == ops
+
+    # The contention claim: removing the lock from the hot path must not
+    # cost throughput under 8 threads (in practice it wins comfortably; the
+    # 1.1 slack keeps shared-container scheduling noise from flaking).
+    assert sharded_time <= locked_time * 1.1
+
+    report(
+        "C-1 (contention)",
+        "per-thread sharded counters avoid lock handoffs (PROMPT-style)",
+        f"8 threads x {INCREMENTS * len(POINTS)} bumps: "
+        f"sharded {ops / sharded_time / 1e6:.2f} Mops/s vs "
+        f"locked {ops / locked_time / 1e6:.2f} Mops/s "
+        f"({locked_time / sharded_time:.2f}x speedup)",
+    )
+
+
+def test_single_thread_sharded_overhead_is_bounded():
+    def run(counters):
+        bumps = [counters.incrementer(point) for point in POINTS]
+
+        def go():
+            start = time.perf_counter()
+            for _ in range(INCREMENTS):
+                for bump in bumps:
+                    bump()
+            return time.perf_counter() - start, counters.total()
+
+        return go
+
+    plain_time, _ = _best_of(run(CounterSet(name="plain")))
+    sharded_time, _ = _best_of(run(ShardedCounterSet(name="sharded")))
+
+    # One extra attribute read per bump: small constant factor, not a
+    # regression class. (Generous bound; typical is well under 2x.)
+    assert sharded_time <= plain_time * 4.0
+
+    report(
+        "C-1 (single thread)",
+        "sharding adds one thread-local read per bump",
+        f"plain {plain_time * 1e3:.1f}ms vs sharded {sharded_time * 1e3:.1f}ms "
+        f"({sharded_time / plain_time:.2f}x) for {INCREMENTS * len(POINTS)} bumps",
+    )

@@ -33,10 +33,12 @@ Quick start (the paper's running example)::
 """
 
 from repro.core import (
+    BaseCounterSet,
     CounterSet,
     PgmpError,
     ProfileDatabase,
     ProfilePoint,
+    ShardedCounterSet,
     SourceLocation,
     WeightTable,
     annotate_expr,
@@ -53,10 +55,12 @@ from repro.core import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BaseCounterSet",
     "CounterSet",
     "PgmpError",
     "ProfileDatabase",
     "ProfilePoint",
+    "ShardedCounterSet",
     "SourceLocation",
     "WeightTable",
     "__version__",

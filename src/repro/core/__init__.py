@@ -17,7 +17,7 @@ from repro.core.api import (
     store_profile,
     using_profile_information,
 )
-from repro.core.counters import CounterSet
+from repro.core.counters import BaseCounterSet, CounterSet, ShardedCounterSet
 from repro.core.database import ProfileDatabase
 from repro.core.errors import (
     MissingProfileError,
@@ -37,6 +37,7 @@ from repro.core.srcloc import UNKNOWN_LOCATION, SourceLocation
 from repro.core.weights import WeightTable, compute_weights, merge_weight_tables
 
 __all__ = [
+    "BaseCounterSet",
     "CounterSet",
     "MissingProfileError",
     "PgmpError",
@@ -46,6 +47,7 @@ __all__ = [
     "ProfilePoint",
     "ProfilePointError",
     "ProfilePointFactory",
+    "ShardedCounterSet",
     "SourceLocation",
     "SubstrateError",
     "UNKNOWN_LOCATION",

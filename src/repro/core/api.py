@@ -22,6 +22,7 @@ expression, which is exactly the generality claim of the paper's Section 3.
 from __future__ import annotations
 
 import contextlib
+import contextvars
 import os
 from typing import IO, Protocol, runtime_checkable
 
@@ -96,31 +97,79 @@ def _substrate_for(expr: object) -> SyntaxSubstrate:
 
 
 # -- (current-profile-information) ------------------------------------------
+#
+# The ambient database has two layers:
+#
+# * a **process-wide default**, replaced by :func:`set_profile_information`
+#   (and by ``load_profile`` outside any scope) — what threads and tasks see
+#   when nothing more specific is installed;
+# * a **context-local override** installed by
+#   :func:`using_profile_information` via :class:`contextvars.ContextVar`,
+#   so nested compiles and concurrent workers each get a properly scoped
+#   database instead of racing on a module global. Threads and asyncio
+#   tasks start from their own context, so one worker's scope never leaks
+#   into another's.
 
-_CURRENT_PROFILE = ProfileDatabase()
+_DEFAULT_PROFILE = ProfileDatabase()
+
+_PROFILE_VAR: contextvars.ContextVar[ProfileDatabase | None] = contextvars.ContextVar(
+    "pgmp_current_profile", default=None
+)
 
 
 def current_profile_information() -> ProfileDatabase:
-    """The ambient profile database, per the paper's Section 3.3."""
-    return _CURRENT_PROFILE
+    """The ambient profile database, per the paper's Section 3.3.
+
+    Resolves the innermost :func:`using_profile_information` scope active
+    in the current context, falling back to the process-wide default.
+    """
+    db = _PROFILE_VAR.get()
+    if db is not None:
+        return db
+    return _DEFAULT_PROFILE
 
 
 def set_profile_information(db: ProfileDatabase) -> ProfileDatabase:
-    """Replace the ambient profile database; returns the previous one."""
-    global _CURRENT_PROFILE
-    previous = _CURRENT_PROFILE
-    _CURRENT_PROFILE = db
+    """Replace the *process-wide default* database; returns the previous one.
+
+    The installation outlives the current context and is what fresh
+    threads observe. It does not pierce an active
+    :func:`using_profile_information` scope — code inside such a scope
+    keeps seeing the scoped database.
+    """
+    global _DEFAULT_PROFILE
+    previous = _DEFAULT_PROFILE
+    _DEFAULT_PROFILE = db
     return previous
+
+
+def _install_ambient(db: ProfileDatabase) -> None:
+    """Install ``db`` where the current code would look it up.
+
+    Inside a :func:`using_profile_information` scope this rebinds the
+    scope (so a ``load-profile`` during an expansion is visible to the
+    rest of that expansion, and the scope's exit still restores whatever
+    was ambient at entry); otherwise it replaces the process-wide default.
+    """
+    if _PROFILE_VAR.get() is not None:
+        _PROFILE_VAR.set(db)
+    else:
+        set_profile_information(db)
 
 
 @contextlib.contextmanager
 def using_profile_information(db: ProfileDatabase):
-    """Scoped replacement of the ambient database (tests, nested compiles)."""
-    previous = set_profile_information(db)
+    """Scoped replacement of the ambient database (tests, nested compiles).
+
+    Scoping is context-local (:mod:`contextvars`): concurrent tasks that
+    each enter their own scope are fully isolated, and nesting restores
+    the outer database on exit even if the body raises.
+    """
+    token = _PROFILE_VAR.set(db)
     try:
         yield db
     finally:
-        set_profile_information(previous)
+        _PROFILE_VAR.reset(token)
 
 
 # -- the five Figure-4 operations ---------------------------------------------
@@ -174,5 +223,5 @@ def load_profile(file: str | os.PathLike[str] | IO[str]) -> ProfileDatabase:
     """``(load-profile f)``: load stored profile information and install it
     as the ambient database (returning it)."""
     db = ProfileDatabase.load(file)
-    set_profile_information(db)
+    _install_ambient(db)
     return db

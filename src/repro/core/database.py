@@ -15,17 +15,34 @@ persistence used by ``store-profile`` / ``load-profile``:
 Costs match Section 4.4: loading is linear in the number of profile points
 and querying is amortized constant time (one dict lookup) — properties the
 benchmark ``benchmarks/bench_sec44_api_costs.py`` verifies empirically.
+
+Concurrency and crash safety:
+
+* The merged view is a **copy-on-write cache**: recording a data set never
+  mutates a table a concurrent ``query`` may be reading — it appends under
+  the database lock and bumps a generation counter; the next ``merged()``
+  rebuilds from a consistent snapshot and installs a *new* table. Queries
+  against the cached table remain one dict lookup, lock-free.
+* ``store`` writes to a temporary file in the destination directory and
+  atomically ``os.replace``s it into place, so a crash mid-write leaves the
+  previous profile intact. Concurrent writers additionally serialize on an
+  advisory lock (``fcntl.flock`` on a ``<path>.lock`` sidecar where
+  available, a per-path in-process lock otherwise).
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
+import math
 import os
+import tempfile
+import threading
 from collections.abc import Sequence
 from typing import IO
 
-from repro.core.counters import CounterSet
-from repro.core.errors import MissingProfileError, ProfileFormatError
+from repro.core.counters import BaseCounterSet
+from repro.core.errors import MissingProfileError, ProfileError, ProfileFormatError
 from repro.core.profile_point import ProfilePoint
 from repro.core.weights import WeightTable, compute_weights, merge_weight_tables
 
@@ -33,6 +50,44 @@ __all__ = ["ProfileDatabase", "FORMAT_VERSION"]
 
 #: Version tag written into stored profile files.
 FORMAT_VERSION = 1
+
+try:  # pragma: no cover - platform probe
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+#: In-process advisory locks, one per profile path (complements flock,
+#: which does not exclude threads sharing a process on all platforms).
+_PATH_LOCKS: dict[str, threading.Lock] = {}
+_PATH_LOCKS_GUARD = threading.Lock()
+
+
+def _path_lock(path: str) -> threading.Lock:
+    key = os.path.abspath(path)
+    with _PATH_LOCKS_GUARD:
+        lock = _PATH_LOCKS.get(key)
+        if lock is None:
+            lock = _PATH_LOCKS[key] = threading.Lock()
+        return lock
+
+
+@contextlib.contextmanager
+def _advisory_file_lock(path: str):
+    """Serialize concurrent writers of ``path`` (threads and processes)."""
+    with _path_lock(path):
+        if fcntl is None:
+            yield
+            return
+        lock_path = path + ".lock"
+        fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
 
 
 class ProfileDatabase:
@@ -42,17 +97,27 @@ class ProfileDatabase:
     with a relative importance). The database exposes the merged view that
     ``profile-query`` consults, recomputing the merge lazily so that hot-path
     queries stay O(1).
+
+    Thread safety: recording, querying, storing, and loading may all happen
+    concurrently. Mutations hold the database lock; readers work from
+    snapshots, and the merged table is immutable once built (copy-on-write),
+    so a query never observes a half-merged view.
     """
 
     def __init__(self, name: str = "profile-information") -> None:
         self.name = name
+        self._lock = threading.Lock()
         self._datasets: list[WeightTable] = []
         self._dataset_weights: list[float] = []
-        self._merged: WeightTable | None = None
+        #: Copy-on-write merge cache: (generation it was built from, table).
+        self._merged: tuple[int, WeightTable] | None = None
+        self._generation = 0
 
     # -- recording data sets -------------------------------------------------
 
-    def record_counters(self, counters: CounterSet, importance: float = 1.0) -> WeightTable:
+    def record_counters(
+        self, counters: BaseCounterSet, importance: float = 1.0
+    ) -> WeightTable:
         """Normalize one instrumented run's counters and add it as a data set."""
         table = compute_weights(counters)
         self.record_weights(table, importance)
@@ -60,30 +125,54 @@ class ProfileDatabase:
 
     def record_weights(self, table: WeightTable, importance: float = 1.0) -> None:
         """Add an already-normalized data set."""
-        self._datasets.append(table)
-        self._dataset_weights.append(float(importance))
-        self._merged = None
+        with self._lock:
+            self._datasets.append(table)
+            self._dataset_weights.append(float(importance))
+            self._generation += 1
 
     def clear(self) -> None:
         """Drop all recorded data sets."""
-        self._datasets.clear()
-        self._dataset_weights.clear()
-        self._merged = None
+        with self._lock:
+            self._datasets.clear()
+            self._dataset_weights.clear()
+            self._merged = None
+            self._generation += 1
 
     @property
     def dataset_count(self) -> int:
-        return len(self._datasets)
+        with self._lock:
+            return len(self._datasets)
 
     def datasets(self) -> list[WeightTable]:
-        return list(self._datasets)
+        with self._lock:
+            return list(self._datasets)
+
+    def _snapshot(self) -> tuple[int, list[WeightTable], list[float]]:
+        """Generation plus consistent copies of the data-set lists."""
+        with self._lock:
+            return self._generation, list(self._datasets), list(self._dataset_weights)
 
     # -- querying -------------------------------------------------------------
 
     def merged(self) -> WeightTable:
-        """The merged weight table across all data sets (cached)."""
-        if self._merged is None:
-            self._merged = merge_weight_tables(self._datasets, self._dataset_weights)
-        return self._merged
+        """The merged weight table across all data sets (cached).
+
+        The cache is copy-on-write: once returned, a table is never mutated;
+        recording another data set makes the *next* call build a fresh one.
+        Concurrent callers may redundantly compute the same merge, but each
+        works from a consistent snapshot, so the result is identical.
+        """
+        with self._lock:
+            cached = self._merged
+            if cached is not None and cached[0] == self._generation:
+                return cached[1]
+        generation, datasets, weights = self._snapshot()
+        table = merge_weight_tables(datasets, weights)
+        with self._lock:
+            # Install unless someone already cached a newer generation.
+            if self._merged is None or self._merged[0] <= generation:
+                self._merged = (generation, table)
+        return table
 
     def query(self, point: ProfilePoint, strict: bool = False) -> float:
         """The merged weight of ``point``.
@@ -102,7 +191,7 @@ class ProfileDatabase:
 
     def has_data(self) -> bool:
         """Whether any non-empty data set has been recorded or loaded."""
-        return any(len(table) for table in self._datasets)
+        return any(len(table) for table in self.datasets())
 
     def point_count(self) -> int:
         return len(self.merged())
@@ -111,6 +200,7 @@ class ProfileDatabase:
 
     def to_json_object(self) -> dict:
         """The stored representation: per-data-set weights plus importances."""
+        _, datasets, weights = self._snapshot()
         return {
             "format": "pgmp-profile",
             "version": FORMAT_VERSION,
@@ -121,7 +211,7 @@ class ProfileDatabase:
                     "importance": importance,
                     "weights": table.as_key_mapping(),
                 }
-                for table, importance in zip(self._datasets, self._dataset_weights)
+                for table, importance in zip(datasets, weights)
             ],
         }
 
@@ -147,20 +237,55 @@ class ProfileDatabase:
             weights = entry["weights"]
             if not isinstance(weights, dict):
                 raise ProfileFormatError(f"data set #{i} weights must be an object")
-            table = WeightTable.from_key_mapping(
-                weights, name=str(entry.get("name", f"dataset-{i}"))
-            )
-            db.record_weights(table, float(entry.get("importance", 1.0)))
+            importance = _validated_importance(entry.get("importance", 1.0), i)
+            try:
+                table = WeightTable.from_key_mapping(
+                    weights, name=str(entry.get("name", f"dataset-{i}"))
+                )
+            except ProfileFormatError as exc:
+                raise ProfileFormatError(f"data set #{i}: {exc}") from exc
+            except (ProfileError, TypeError, ValueError) as exc:
+                raise ProfileFormatError(
+                    f"data set #{i} has invalid weights: {exc}"
+                ) from exc
+            db.record_weights(table, importance)
         return db
 
     def store(self, file: str | os.PathLike[str] | IO[str]) -> None:
-        """``(store-profile f)``: write the recorded weights to ``file``."""
+        """``(store-profile f)``: write the recorded weights to ``file``.
+
+        Writing to a path is crash-safe and multi-writer-safe: the payload
+        goes to a temporary file in the destination directory, is flushed
+        and fsynced, then atomically renamed over the target via
+        ``os.replace`` — a reader (or a crash) can only ever observe the
+        old complete profile or the new complete profile. Writers holding
+        different databases serialize on an advisory per-path lock.
+        """
         payload = json.dumps(self.to_json_object(), indent=2, sort_keys=True)
         if hasattr(file, "write"):
             file.write(payload)  # type: ignore[union-attr]
-        else:
-            with open(file, "w", encoding="utf-8") as handle:
-                handle.write(payload)
+            return
+        path = os.fspath(file)
+        directory = os.path.dirname(path) or "."
+        with _advisory_file_lock(path):
+            fd, tmp_path = tempfile.mkstemp(
+                prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(payload)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                # mkstemp creates 0600 files; give the profile the same
+                # umask-honoring mode a plain ``open(path, "w")`` would.
+                umask = os.umask(0)
+                os.umask(umask)
+                os.chmod(tmp_path, 0o666 & ~umask)
+                os.replace(tmp_path, path)
+            except BaseException:
+                with contextlib.suppress(OSError):
+                    os.unlink(tmp_path)
+                raise
 
     @classmethod
     def load(cls, file: str | os.PathLike[str] | IO[str]) -> "ProfileDatabase":
@@ -179,7 +304,8 @@ class ProfileDatabase:
     def load_into(self, file: str | os.PathLike[str] | IO[str]) -> None:
         """Merge the data sets stored in ``file`` into this database."""
         other = ProfileDatabase.load(file)
-        for table, importance in zip(other._datasets, other._dataset_weights):
+        _, datasets, weights = other._snapshot()
+        for table, importance in zip(datasets, weights):
             self.record_weights(table, importance)
 
     # -- dunder ---------------------------------------------------------------
@@ -191,10 +317,34 @@ class ProfileDatabase:
         )
 
 
+def _validated_importance(raw: object, index: int) -> float:
+    """Validate a stored data-set importance at load time.
+
+    A corrupt importance (negative, NaN, infinite, non-numeric) would
+    otherwise only blow up much later inside ``merge_weight_tables`` with
+    an error that names no file or data set.
+    """
+    if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+        raise ProfileFormatError(
+            f"data set #{index} importance must be a number, got {raw!r}"
+        )
+    importance = float(raw)
+    if not math.isfinite(importance):
+        raise ProfileFormatError(
+            f"data set #{index} importance must be finite, got {importance!r}"
+        )
+    if importance < 0:
+        raise ProfileFormatError(
+            f"data set #{index} importance must be non-negative, got {importance!r}"
+        )
+    return importance
+
+
 def merge_databases(databases: Sequence[ProfileDatabase]) -> ProfileDatabase:
     """Concatenate the data sets of several databases into one."""
     merged = ProfileDatabase(name="merged")
     for db in databases:
-        for table, importance in zip(db._datasets, db._dataset_weights):
+        _, datasets, weights = db._snapshot()
+        for table, importance in zip(datasets, weights):
             merged.record_weights(table, importance)
     return merged

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 
-from repro.core.counters import CounterSet
+from repro.core.counters import BaseCounterSet
 from repro.core.errors import ProfileError
 from repro.core.profile_point import ProfilePoint
 
@@ -112,14 +112,18 @@ class WeightTable:
         return f"<WeightTable {self.name!r}: {len(self._weights)} points>"
 
 
-def compute_weights(counters: CounterSet | Mapping[ProfilePoint, int]) -> WeightTable:
+def compute_weights(
+    counters: BaseCounterSet | Mapping[ProfilePoint, int],
+) -> WeightTable:
     """Normalize absolute counts into profile weights.
 
     The weight of a point is ``count / max_count`` over the same data set,
     so the hottest point always has weight 1.0 and unexecuted points 0.0.
-    An empty data set yields an empty table.
+    An empty data set yields an empty table. Counter sets are snapshotted
+    once, so normalizing is consistent even while another thread is still
+    incrementing.
     """
-    if isinstance(counters, CounterSet):
+    if isinstance(counters, BaseCounterSet):
         name = counters.name
         counts = counters.snapshot()
     else:

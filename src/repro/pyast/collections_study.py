@@ -23,7 +23,7 @@ from collections import deque
 from repro.core.errors import MacroError
 from repro.core.profile_point import ProfilePoint
 from repro.pyast.macros import MacroContext, macro
-from repro.pyast.profiler import _ACTIVE, _point_for_key
+from repro.pyast.profiler import _point_for_key, active_collector
 
 __all__ = ["pyseq", "ListSeq", "DequeSeq", "PYSEQ_RUNTIME"]
 
@@ -44,8 +44,9 @@ class _ProfiledSeq:
         self._access_point = _point_for_key(access_key)
 
     def _count(self, point: ProfilePoint) -> None:
-        if _ACTIVE:
-            _ACTIVE[-1].increment(point)
+        collector = active_collector()
+        if collector is not None:
+            collector.increment(point)
 
     # -- the sequence interface ---------------------------------------------------
 

@@ -29,7 +29,7 @@ from collections.abc import Callable
 
 from repro.core.profile_point import ProfilePoint
 from repro.core.srcloc import SourceLocation
-from repro.pyast.profiler import _ACTIVE
+from repro.pyast.profiler import active_collector
 
 __all__ = ["cost_center", "cost_center_point", "cost_center_weight"]
 
@@ -71,8 +71,9 @@ def cost_center(name: str | None = None) -> Callable:
 
         @functools.wraps(fn)
         def entered(*args, **kwargs):
-            if _ACTIVE:
-                _ACTIVE[-1].increment(point)
+            collector = active_collector()
+            if collector is not None:
+                collector.increment(point)
             return fn(*args, **kwargs)
 
         entered.__cost_center__ = center

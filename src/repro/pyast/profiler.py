@@ -8,24 +8,36 @@ that: ``annotate_expr`` rewrites an expression ``e`` into::
     __pgmp_profile__("<point key>", lambda: e)
 
 where :func:`profile_hook` bumps the point's counter in the installed
-:class:`~repro.core.counters.CounterSet` (if any) and invokes the thunk.
-When no counter set is installed — a production run — the hook degrades to
-one dict read plus the thunk call; as the paper notes for Racket, the
-wrapping itself is residual overhead of call-level profiling (we measure it
-in ``benchmarks/bench_sec44_overhead.py``).
+counter set (if any) and invokes the thunk. When no counter set is
+installed — a production run — the hook degrades to one context-variable
+read plus the thunk call; as the paper notes for Racket, the wrapping
+itself is residual overhead of call-level profiling (we measure it in
+``benchmarks/bench_sec44_overhead.py``).
+
+Concurrency: the active-collector stack lives in a
+:class:`contextvars.ContextVar`, so nested ``collecting_counters`` scopes
+in concurrent tasks are isolated from each other. Worker threads spawned
+by a ``ThreadPoolExecutor`` start from a fresh context and would see no
+collector; pass ``all_threads=True`` to install the collector
+process-wide (typically with a
+:class:`~repro.core.counters.ShardedCounterSet`, whose increments are
+lock-free per thread).
 """
 
 from __future__ import annotations
 
 import contextlib
+import threading
+from contextvars import ContextVar
 from dataclasses import dataclass, field
 
-from repro.core.counters import CounterSet
+from repro.core.counters import BaseCounterSet, CounterSet
 from repro.core.profile_point import ProfilePoint
 
 __all__ = [
     "PROFILE_HOOK_NAME",
     "profile_hook",
+    "active_collector",
     "collecting_counters",
     "CallProfiler",
 ]
@@ -34,11 +46,20 @@ __all__ = [
 #: globals of every expanded function.
 PROFILE_HOOK_NAME = "__pgmp_profile__"
 
-#: The active counter set, or None outside a profiling run.
-_ACTIVE: list[CounterSet] = []
+#: Context-local stack of active counter sets (innermost last). A tuple so
+#: pushes/pops rebind rather than mutate — each context sees its own stack.
+_ACTIVE: ContextVar[tuple[BaseCounterSet, ...]] = ContextVar(
+    "pgmp_active_counters", default=()
+)
+
+#: Process-wide fallback collectors (``all_threads=True``), consulted when
+#: the current context has none installed. Guarded by ``_PROCESS_LOCK``.
+_PROCESS_ACTIVE: list[BaseCounterSet] = []
+_PROCESS_LOCK = threading.Lock()
 
 #: Cache from point key strings to ProfilePoint (keys are embedded as
-#: string constants in instrumented code).
+#: string constants in instrumented code). Single-key dict reads/writes are
+#: atomic under the GIL; a duplicate racing insert is harmless.
 _POINT_CACHE: dict[str, ProfilePoint] = {}
 
 
@@ -50,31 +71,66 @@ def _point_for_key(key: str) -> ProfilePoint:
     return point
 
 
+def active_collector() -> BaseCounterSet | None:
+    """The innermost installed counter set, or None outside profiling.
+
+    Context-local installations shadow process-wide (``all_threads=True``)
+    ones.
+    """
+    stack = _ACTIVE.get()
+    if stack:
+        return stack[-1]
+    if _PROCESS_ACTIVE:
+        return _PROCESS_ACTIVE[-1]
+    return None
+
+
 def profile_hook(key: str, thunk):
     """Bump ``key``'s counter (when profiling) and evaluate the thunk."""
-    if _ACTIVE:
-        _ACTIVE[-1].increment(_point_for_key(key))
+    collector = active_collector()
+    if collector is not None:
+        collector.increment(_point_for_key(key))
     return thunk()
 
 
 @contextlib.contextmanager
-def collecting_counters(counters: CounterSet):
-    """Install ``counters`` as the active profile collector."""
-    _ACTIVE.append(counters)
+def collecting_counters(counters: BaseCounterSet, all_threads: bool = False):
+    """Install ``counters`` as the active profile collector.
+
+    By default the installation is scoped to the current context (and
+    therefore the current thread/task): concurrent tasks each collecting
+    into their own counter set do not observe each other's collectors.
+    With ``all_threads=True`` the collector is also visible to threads
+    that start from a fresh context — e.g. ``ThreadPoolExecutor`` workers
+    running instrumented code; share a
+    :class:`~repro.core.counters.ShardedCounterSet` for that case.
+    """
+    token = _ACTIVE.set(_ACTIVE.get() + (counters,))
+    if all_threads:
+        with _PROCESS_LOCK:
+            _PROCESS_ACTIVE.append(counters)
     try:
         yield counters
     finally:
-        _ACTIVE.pop()
+        _ACTIVE.reset(token)
+        if all_threads:
+            with _PROCESS_LOCK:
+                # Remove this installation (not necessarily the top —
+                # another thread may have installed since).
+                for i in range(len(_PROCESS_ACTIVE) - 1, -1, -1):
+                    if _PROCESS_ACTIVE[i] is counters:
+                        del _PROCESS_ACTIVE[i]
+                        break
 
 
 @dataclass
 class CallProfiler:
     """A convenience bundle: a counter set plus context management."""
 
-    counters: CounterSet = field(default_factory=lambda: CounterSet(name="pyast"))
+    counters: BaseCounterSet = field(default_factory=lambda: CounterSet(name="pyast"))
 
-    def collect(self):
-        return collecting_counters(self.counters)
+    def collect(self, all_threads: bool = False):
+        return collecting_counters(self.counters, all_threads=all_threads)
 
     def count(self, point: ProfilePoint) -> int:
         return self.counters.count(point)

@@ -6,7 +6,7 @@ import os
 from collections.abc import Callable, Iterable
 
 from repro.core.api import using_profile_information
-from repro.core.counters import CounterSet
+from repro.core.counters import BaseCounterSet, CounterSet
 from repro.core.database import ProfileDatabase
 from repro.pyast.macros import MacroRegistry, expand_function
 from repro.pyast.profiler import collecting_counters
@@ -43,10 +43,16 @@ class PyAstSystem:
         expanded_fn: Callable,
         inputs: Iterable[tuple],
         importance: float = 1.0,
-    ) -> CounterSet:
+        counters: BaseCounterSet | None = None,
+    ) -> BaseCounterSet:
         """Run ``expanded_fn`` over representative inputs, collecting one
-        data set of counters and recording its weights."""
-        counters = CounterSet(name=getattr(expanded_fn, "__name__", "pyast-run"))
+        data set of counters and recording its weights.
+
+        Pass a :class:`~repro.core.counters.ShardedCounterSet` as
+        ``counters`` when the representative run itself is multi-threaded.
+        """
+        if counters is None:
+            counters = CounterSet(name=getattr(expanded_fn, "__name__", "pyast-run"))
         with collecting_counters(counters):
             for args in inputs:
                 expanded_fn(*args)

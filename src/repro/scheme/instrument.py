@@ -24,8 +24,9 @@ overhead".
 from __future__ import annotations
 
 import enum
+import threading
 
-from repro.core.counters import CounterSet
+from repro.core.counters import BaseCounterSet
 from repro.scheme.core_forms import App, CoreExpr
 
 __all__ = ["ProfileMode", "Instrumenter"]
@@ -50,7 +51,7 @@ class Instrumenter:
 
     def __init__(
         self,
-        counters: CounterSet,
+        counters: BaseCounterSet,
         mode: ProfileMode = ProfileMode.EXPR,
         sample_stride: int = 10,
     ) -> None:
@@ -76,16 +77,19 @@ class Instrumenter:
 
         Deterministic (a per-point modular counter, not randomness) so
         profiles — and therefore meta-program decisions — are reproducible
-        run to run, the same property make-profile-point demands.
+        run to run, the same property make-profile-point demands. The
+        modular counter is per-thread so concurrent interpreters sample
+        deterministically without racing on shared closure state.
         """
         stride = self.sample_stride
         counters = self.counters
-        state = {"n": 0}
+        state = threading.local()
 
         def bump() -> None:
-            state["n"] += 1
-            if state["n"] >= stride:
-                state["n"] = 0
+            n = getattr(state, "n", 0) + 1
+            if n >= stride:
+                n = 0
                 counters.increment(point, by=stride)
+            state.n = n
 
         return bump

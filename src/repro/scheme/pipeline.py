@@ -23,7 +23,7 @@ import os
 from dataclasses import dataclass, field
 
 from repro.core.api import register_substrate, using_profile_information
-from repro.core.counters import CounterSet
+from repro.core.counters import BaseCounterSet, CounterSet
 from repro.core.database import ProfileDatabase
 from repro.core.profile_point import ProfilePoint
 from repro.scheme.core_forms import Program, unparse_string
@@ -68,7 +68,7 @@ class RunResult:
 
     value: object
     output: str
-    counters: CounterSet | None = None
+    counters: BaseCounterSet | None = None
     program: Program | None = None
 
     @property
@@ -123,13 +123,21 @@ class SchemeSystem:
         program: Program,
         instrument: ProfileMode | None = None,
         echo: bool = False,
+        counters: BaseCounterSet | None = None,
     ) -> RunResult:
-        """Evaluate a compiled program, optionally instrumented."""
-        counters: CounterSet | None = None
+        """Evaluate a compiled program, optionally instrumented.
+
+        ``counters`` lets callers supply the counter sink — e.g. one
+        :class:`~repro.core.counters.ShardedCounterSet` shared by several
+        interpreter threads executing the same instrumented program.
+        """
         instrumenter: Instrumenter | None = None
         if instrument is not None:
-            counters = CounterSet(name="run")
+            if counters is None:
+                counters = CounterSet(name="run")
             instrumenter = Instrumenter(counters, instrument)
+        else:
+            counters = None
         interp = Interpreter(self.runtime_env, instrumenter)
         port = OutputPort()
         port.echo = echo
@@ -168,8 +176,9 @@ class SchemeSystem:
         filename: str = "<string>",
         instrument: ProfileMode | None = None,
         echo: bool = False,
+        counters: BaseCounterSet | None = None,
     ) -> RunResult:
-        return self.run(self.compile(source, filename), instrument, echo)
+        return self.run(self.compile(source, filename), instrument, echo, counters)
 
     def profile_run(
         self,
@@ -177,11 +186,14 @@ class SchemeSystem:
         filename: str = "<string>",
         mode: ProfileMode | None = None,
         importance: float = 1.0,
+        counters: BaseCounterSet | None = None,
     ) -> RunResult:
         """One instrumented run on representative input: compile with
         instrumentation, run, normalize counters to weights, and record the
         data set in the ambient database."""
-        result = self.run_source(source, filename, instrument=mode or self.mode)
+        result = self.run_source(
+            source, filename, instrument=mode or self.mode, counters=counters
+        )
         assert result.counters is not None
         self.profile_db.record_counters(result.counters, importance)
         return result

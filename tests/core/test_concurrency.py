@@ -1,0 +1,411 @@
+"""Stress tests for the concurrency-safe profiling runtime.
+
+Three layers are hammered from many threads at once:
+
+* counters — exact sums under contention, consistent snapshots mid-run;
+* the ambient profile context — ``contextvars`` isolation across workers;
+* persistence — atomic stores racing with loads and records.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core import api
+from repro.core.counters import CounterSet, ShardedCounterSet
+from repro.core.database import ProfileDatabase
+from repro.core.profile_point import ProfilePoint
+from repro.core.srcloc import SourceLocation
+from repro.core.weights import WeightTable
+
+THREADS = 8
+INCREMENTS = 2_000
+
+
+def _point(n: int) -> ProfilePoint:
+    return ProfilePoint.for_location(SourceLocation("conc.ss", n, n + 1))
+
+
+def _hammer_increments(counters, points, barrier):
+    barrier.wait()
+    for _ in range(INCREMENTS):
+        for point in points:
+            counters.increment(point)
+
+
+# -- counters -----------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda: ShardedCounterSet(name="stress"),
+        lambda: CounterSet(name="stress", threadsafe=True),
+    ],
+    ids=["sharded", "locked"],
+)
+def test_concurrent_increments_sum_exactly(make):
+    counters = make()
+    points = [_point(n) for n in range(5)]
+    barrier = threading.Barrier(THREADS)
+    with ThreadPoolExecutor(THREADS) as pool:
+        futures = [
+            pool.submit(_hammer_increments, counters, points, barrier)
+            for _ in range(THREADS)
+        ]
+        for future in futures:
+            future.result()
+    for point in points:
+        assert counters.count(point) == THREADS * INCREMENTS
+    assert counters.total() == THREADS * INCREMENTS * len(points)
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda: ShardedCounterSet(name="stress"),
+        lambda: CounterSet(name="stress", threadsafe=True),
+    ],
+    ids=["sharded", "locked"],
+)
+def test_reads_during_concurrent_increments_never_raise(make):
+    """Reads that iterate counts must never see a mid-resize dict.
+
+    Before the fix, ``total``/``max_count``/``points``/``as_key_mapping``
+    iterated the live dict without the lock and could raise ``RuntimeError:
+    dictionary changed size during iteration``.
+    """
+    counters = make()
+    stop = threading.Event()
+    errors: list[BaseException] = []
+
+    def writer(seed: int):
+        n = seed
+        while not stop.is_set():
+            counters.increment(_point(n % 512))
+            n += 7
+
+    def reader():
+        while not stop.is_set():
+            try:
+                counters.total()
+                counters.max_count()
+                list(counters.points())
+                counters.as_key_mapping()
+                counters.snapshot()
+                len(counters)
+                _point(3) in counters
+            except BaseException as exc:  # noqa: BLE001 - the assertion
+                errors.append(exc)
+                return
+
+    threads = [threading.Thread(target=writer, args=(i,)) for i in range(4)]
+    threads += [threading.Thread(target=reader) for _ in range(4)]
+    for t in threads:
+        t.start()
+    import time
+
+    time.sleep(0.5)
+    stop.set()
+    for t in threads:
+        t.join()
+    assert errors == []
+
+
+def test_sharded_incrementer_closures_across_threads():
+    counters = ShardedCounterSet()
+    point = _point(1)
+    bump = counters.incrementer(point)
+    barrier = threading.Barrier(THREADS)
+
+    def work():
+        barrier.wait()
+        for _ in range(INCREMENTS):
+            bump()
+
+    with ThreadPoolExecutor(THREADS) as pool:
+        futures = [pool.submit(work) for _ in range(THREADS)]
+        for future in futures:
+            future.result()
+    assert counters.count(point) == THREADS * INCREMENTS
+
+
+def test_snapshot_during_increments_is_monotonic():
+    """Snapshots taken mid-run are consistent prefixes: totals only grow."""
+    counters = ShardedCounterSet()
+    stop = threading.Event()
+
+    def writer():
+        while not stop.is_set():
+            counters.increment(_point(0))
+
+    threads = [threading.Thread(target=writer) for _ in range(4)]
+    for t in threads:
+        t.start()
+    last = 0
+    for _ in range(200):
+        total = sum(counters.snapshot().values())
+        assert total >= last
+        last = total
+    stop.set()
+    for t in threads:
+        t.join()
+
+
+# -- ambient context ----------------------------------------------------------
+
+
+def test_using_profile_information_isolates_threads():
+    """Each worker's scoped database is invisible to the others."""
+    results: dict[int, bool] = {}
+    barrier = threading.Barrier(THREADS)
+
+    def work(i: int) -> None:
+        db = ProfileDatabase(name=f"worker-{i}")
+        with api.using_profile_information(db):
+            barrier.wait()  # everyone is inside their own scope now
+            results[i] = api.current_profile_information() is db
+
+    with ThreadPoolExecutor(THREADS) as pool:
+        futures = [pool.submit(work, i) for i in range(THREADS)]
+        for future in futures:
+            future.result()
+    assert all(results[i] for i in range(THREADS))
+
+
+def test_fresh_threads_see_process_default():
+    default = ProfileDatabase(name="process-default")
+    previous = api.set_profile_information(default)
+    try:
+        outer = ProfileDatabase(name="outer-scope")
+        with api.using_profile_information(outer):
+            seen: list[ProfileDatabase] = []
+
+            def work():
+                seen.append(api.current_profile_information())
+
+            t = threading.Thread(target=work)
+            t.start()
+            t.join()
+            # The new thread starts from a fresh context: it sees the
+            # process-wide default, not this thread's scoped override.
+            assert seen[0] is default
+            assert api.current_profile_information() is outer
+    finally:
+        api.set_profile_information(previous)
+
+
+def test_nested_scopes_unwind_correctly():
+    a, b = ProfileDatabase(name="a"), ProfileDatabase(name="b")
+    with api.using_profile_information(a):
+        with api.using_profile_information(b):
+            assert api.current_profile_information() is b
+        assert api.current_profile_information() is a
+
+
+def test_load_profile_inside_scope_rebinds_scope_only(tmp_path):
+    stored = ProfileDatabase(name="stored")
+    stored.record_weights(WeightTable({_point(1): 1.0}))
+    path = tmp_path / "p.json"
+    stored.store(path)
+
+    default_before = api.current_profile_information()
+    scope_db = ProfileDatabase(name="scope")
+    with api.using_profile_information(scope_db):
+        loaded = api.load_profile(path)
+        # Visible for the rest of the scope (historical load-profile
+        # behaviour during an expansion)...
+        assert api.current_profile_information() is loaded
+    # ...but the process default is untouched and the scope unwound.
+    assert api.current_profile_information() is default_before
+
+
+# -- pyast profiler under a thread pool ---------------------------------------
+
+
+def test_profile_hook_thread_pool_with_sharded_counters():
+    from repro.pyast.profiler import collecting_counters, profile_hook
+
+    counters = ShardedCounterSet(name="pool")
+    key = _point(9).key()
+    barrier = threading.Barrier(THREADS)
+
+    def work():
+        barrier.wait()
+        for _ in range(INCREMENTS):
+            profile_hook(key, lambda: None)
+
+    with collecting_counters(counters, all_threads=True):
+        with ThreadPoolExecutor(THREADS) as pool:
+            futures = [pool.submit(work) for _ in range(THREADS)]
+            for future in futures:
+                future.result()
+    assert counters.count(_point(9)) == THREADS * INCREMENTS
+    # The installation is removed once the scope exits.
+    before = counters.count(_point(9))
+    profile_hook(key, lambda: None)
+    assert counters.count(_point(9)) == before
+
+
+def test_collecting_counters_scopes_are_isolated_per_thread():
+    from repro.pyast.profiler import collecting_counters, profile_hook
+
+    key = _point(5).key()
+    results: dict[int, int] = {}
+    barrier = threading.Barrier(4)
+
+    def work(i: int):
+        counters = CounterSet(name=f"w{i}")
+        with collecting_counters(counters):
+            barrier.wait()
+            for _ in range(100 * (i + 1)):
+                profile_hook(key, lambda: None)
+        results[i] = counters.count(_point(5))
+
+    with ThreadPoolExecutor(4) as pool:
+        futures = [pool.submit(work, i) for i in range(4)]
+        for future in futures:
+            future.result()
+    assert results == {0: 100, 1: 200, 2: 300, 3: 400}
+
+
+# -- database + persistence ---------------------------------------------------
+
+
+def test_concurrent_record_and_query_never_raise():
+    db = ProfileDatabase()
+    stop = threading.Event()
+    errors: list[BaseException] = []
+
+    def recorder(i: int):
+        n = 0
+        while not stop.is_set():
+            counters = CounterSet()
+            counters.increment(_point((i * 31 + n) % 64), by=n + 1)
+            db.record_counters(counters)
+            n += 1
+
+    def querier():
+        while not stop.is_set():
+            try:
+                db.query(_point(3))
+                db.has_data()
+                db.point_count()
+            except BaseException as exc:  # noqa: BLE001 - the assertion
+                errors.append(exc)
+                return
+
+    threads = [threading.Thread(target=recorder, args=(i,)) for i in range(3)]
+    threads += [threading.Thread(target=querier) for _ in range(3)]
+    for t in threads:
+        t.start()
+    import time
+
+    time.sleep(0.4)
+    stop.set()
+    for t in threads:
+        t.join()
+    assert errors == []
+    assert db.dataset_count > 0
+
+
+def test_concurrent_store_and_load_always_see_complete_files(tmp_path):
+    """A reader racing atomic writers only ever observes complete profiles."""
+    path = tmp_path / "profile.json"
+    db = ProfileDatabase(name="racer")
+    db.record_weights(WeightTable({_point(1): 1.0}))
+    db.store(path)
+    stop = threading.Event()
+    errors: list[BaseException] = []
+
+    def writer():
+        while not stop.is_set():
+            db.record_weights(WeightTable({_point(1): 0.5}))
+            db.store(path)
+
+    def reader():
+        while not stop.is_set():
+            try:
+                loaded = ProfileDatabase.load(path)
+                assert loaded.dataset_count >= 1
+                json.loads(path.read_text())
+            except BaseException as exc:  # noqa: BLE001 - the assertion
+                errors.append(exc)
+                return
+
+    threads = [threading.Thread(target=writer) for _ in range(2)]
+    threads += [threading.Thread(target=reader) for _ in range(2)]
+    for t in threads:
+        t.start()
+    import time
+
+    time.sleep(0.5)
+    stop.set()
+    for t in threads:
+        t.join()
+    assert errors == []
+
+
+def test_store_while_counters_still_incrementing(tmp_path):
+    """store() mid-run persists a consistent snapshot without raising."""
+    counters = ShardedCounterSet()
+    stop = threading.Event()
+
+    def writer():
+        while not stop.is_set():
+            counters.increment(_point(0))
+            counters.increment(_point(1))
+
+    threads = [threading.Thread(target=writer) for _ in range(4)]
+    for t in threads:
+        t.start()
+    try:
+        for i in range(20):
+            db = ProfileDatabase()
+            db.record_counters(counters)
+            db.store(tmp_path / f"snap-{i}.json")
+            loaded = ProfileDatabase.load(tmp_path / f"snap-{i}.json")
+            assert loaded.dataset_count == 1
+    finally:
+        stop.set()
+        for t in threads:
+            t.join()
+
+
+# -- scheme substrate under a thread pool -------------------------------------
+
+
+def test_scheme_instrumented_runs_share_sharded_counters():
+    """Each worker runs its own interpreter; all feed one sharded sink."""
+    from repro.scheme.instrument import ProfileMode
+    from repro.scheme.pipeline import SchemeSystem
+
+    source = "(define (loop n) (if (< n 1) 0 (loop (- n 1)))) (loop 50)"
+
+    # Reference: one single-threaded instrumented run's counts.
+    reference = SchemeSystem()
+    ref_result = reference.run_source(source, "conc.ss", instrument=ProfileMode.EXPR)
+    assert ref_result.counters is not None
+    expected_one_run = ref_result.counters.snapshot()
+    assert expected_one_run
+
+    shared = ShardedCounterSet(name="scheme-pool")
+
+    def work():
+        system = SchemeSystem()
+        result = system.run_source(
+            source, "conc.ss", instrument=ProfileMode.EXPR, counters=shared
+        )
+        assert result.counters is shared
+
+    with ThreadPoolExecutor(4) as pool:
+        futures = [pool.submit(work) for _ in range(4)]
+        for future in futures:
+            future.result()
+
+    merged = shared.snapshot()
+    assert merged == {point: count * 4 for point, count in expected_one_run.items()}

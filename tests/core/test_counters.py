@@ -1,6 +1,6 @@
 """Unit tests for raw execution counters."""
 
-from repro.core.counters import CounterSet
+from repro.core.counters import CounterSet, ShardedCounterSet
 from repro.core.profile_point import ProfilePoint
 from repro.core.srcloc import SourceLocation
 
@@ -90,3 +90,90 @@ def test_repr_mentions_name_and_totals():
     counters.increment(_point(1))
     assert "runX" in repr(counters)
     assert "1 points" in repr(counters)
+
+
+# -- ShardedCounterSet ---------------------------------------------------------
+
+
+def test_sharded_empty():
+    counters = ShardedCounterSet()
+    assert len(counters) == 0
+    assert counters.max_count() == 0
+    assert counters.total() == 0
+    assert counters.count(_point(0)) == 0
+
+
+def test_sharded_increment_and_queries():
+    counters = ShardedCounterSet(name="sharded")
+    counters.increment(_point(1))
+    counters.increment(_point(1))
+    counters.increment(_point(2), by=5)
+    assert counters.count(_point(1)) == 2
+    assert counters.count(_point(2)) == 5
+    assert counters.total() == 7
+    assert counters.max_count() == 5
+    assert _point(1) in counters
+    assert sorted(p.location.start for p in counters.points()) == [1, 2]
+    assert "sharded" in repr(counters)
+
+
+def test_sharded_incrementer_closure():
+    counters = ShardedCounterSet()
+    bump = counters.incrementer(_point(3))
+    for _ in range(10):
+        bump()
+    assert counters.count(_point(3)) == 10
+
+
+def test_sharded_clear():
+    counters = ShardedCounterSet()
+    counters.increment(_point(1))
+    counters.clear()
+    assert counters.total() == 0
+
+
+def test_sharded_snapshot_is_a_copy():
+    counters = ShardedCounterSet()
+    counters.increment(_point(1))
+    snap = counters.snapshot()
+    counters.increment(_point(1))
+    assert snap[_point(1)] == 1
+
+
+def test_sharded_key_mapping_matches_counterset_format():
+    sharded = ShardedCounterSet(name="ds1")
+    plain = CounterSet(name="ds1")
+    for cs in (sharded, plain):
+        cs.increment(_point(1), by=3)
+        cs.increment(_point(2), by=7)
+    assert sharded.as_key_mapping() == plain.as_key_mapping()
+
+
+def test_sharded_one_shard_per_thread():
+    import threading
+
+    counters = ShardedCounterSet()
+    counters.increment(_point(1))
+
+    def work():
+        counters.increment(_point(1))
+
+    threads = [threading.Thread(target=work) for _ in range(3)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert counters.shard_count == 4
+    # Counts from finished threads survive the thread.
+    assert counters.count(_point(1)) == 4
+
+
+def test_sharded_feeds_compute_weights():
+    from repro.core.weights import compute_weights
+
+    counters = ShardedCounterSet()
+    counters.increment(_point(1), by=5)
+    counters.increment(_point(2), by=10)
+    table = compute_weights(counters)
+    assert table.weight(_point(1)) == 0.5
+    assert table.weight(_point(2)) == 1.0

@@ -199,3 +199,100 @@ def test_store_load_round_trip_property(tmp_datasets):
             assert loaded.query(_point(index)) == pytest.approx(
                 db.query(_point(index))
             )
+
+
+def test_load_rejects_invalid_importance():
+    base = {"format": "pgmp-profile", "version": 1}
+
+    def entry(importance):
+        return {**base, "datasets": [{"weights": {}, "importance": importance}]}
+
+    for bad in (-1.0, float("nan"), float("inf"), float("-inf"), "heavy", None, True):
+        with pytest.raises(ProfileFormatError, match="data set #0"):
+            ProfileDatabase.from_json_object(entry(bad))
+    # Zero and positive importances are legitimate.
+    assert ProfileDatabase.from_json_object(entry(0.0)).dataset_count == 1
+    assert ProfileDatabase.from_json_object(entry(2)).dataset_count == 1
+
+
+def test_load_rejects_out_of_range_weight_as_format_error():
+    base = {"format": "pgmp-profile", "version": 1}
+    key = _point(1).key()
+    for bad in (1.5, -0.25):
+        with pytest.raises(ProfileFormatError, match="data set #1"):
+            ProfileDatabase.from_json_object(
+                {
+                    **base,
+                    "datasets": [
+                        {"weights": {key: 0.5}},
+                        {"weights": {key: bad}},
+                    ],
+                }
+            )
+
+
+def test_load_rejects_non_numeric_weight_as_format_error():
+    base = {"format": "pgmp-profile", "version": 1}
+    with pytest.raises(ProfileFormatError, match="data set #0"):
+        ProfileDatabase.from_json_object(
+            {**base, "datasets": [{"weights": {_point(1).key(): "hot"}}]}
+        )
+
+
+def test_load_rejects_malformed_point_key_as_format_error():
+    base = {"format": "pgmp-profile", "version": 1}
+    with pytest.raises(ProfileFormatError, match="data set #0"):
+        ProfileDatabase.from_json_object(
+            {**base, "datasets": [{"weights": {"no-such-key-shape": 0.5}}]}
+        )
+
+
+def test_store_leaves_no_temp_files(tmp_path):
+    db = ProfileDatabase()
+    db.record_counters(_counters(p1=1))
+    path = tmp_path / "p.json"
+    db.store(path)
+    db.store(path)  # overwrite goes through the same atomic path
+    leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+    assert leftovers == []
+    assert ProfileDatabase.load(path).dataset_count == 1
+
+
+def test_store_failure_preserves_existing_file(tmp_path, monkeypatch):
+    db = ProfileDatabase()
+    db.record_counters(_counters(p1=1))
+    path = tmp_path / "p.json"
+    db.store(path)
+    before = path.read_text()
+
+    db.record_counters(_counters(p2=7))
+    import os as _os
+
+    def exploding_replace(src, dst):
+        raise OSError("simulated crash between write and rename")
+
+    monkeypatch.setattr(_os, "replace", exploding_replace)
+    with pytest.raises(OSError):
+        db.store(path)
+    monkeypatch.undo()
+
+    # The old profile is intact and still loads; no temp debris remains.
+    assert path.read_text() == before
+    assert ProfileDatabase.load(path).dataset_count == 1
+    assert [p for p in tmp_path.iterdir() if p.suffix == ".tmp"] == []
+
+
+def test_store_honors_umask_like_plain_open(tmp_path):
+    """The atomic temp-file path must not leak mkstemp's 0600 mode."""
+    import os as _os
+    import stat
+
+    db = ProfileDatabase()
+    db.record_counters(_counters(p1=1))
+    path = tmp_path / "p.json"
+    db.store(path)
+
+    umask = _os.umask(0)
+    _os.umask(umask)
+    expected = 0o666 & ~umask
+    assert stat.S_IMODE(path.stat().st_mode) == expected
