@@ -35,21 +35,37 @@ Quick start (the paper's running example)::
 from repro.core import (
     BaseCounterSet,
     CounterSet,
+    Degradation,
+    DegradationLog,
     PgmpError,
     ProfileDatabase,
+    ProfileError,
+    ProfileFormatError,
     ProfilePoint,
+    ProfilePolicy,
+    QuarantineReport,
+    QuarantinedDataset,
     ShardedCounterSet,
     SourceLocation,
+    StaleProfileError,
+    StepBudget,
+    StepBudgetExceeded,
     WeightTable,
     annotate_expr,
     compute_weights,
+    current_degradation_log,
     current_profile_information,
+    current_profile_policy,
+    degrade,
     load_profile,
     make_profile_point,
+    merge_databases,
     merge_weight_tables,
     profile_query,
+    source_fingerprint,
     store_profile,
     using_profile_information,
+    using_profile_policy,
 )
 
 __version__ = "1.0.0"
@@ -57,20 +73,36 @@ __version__ = "1.0.0"
 __all__ = [
     "BaseCounterSet",
     "CounterSet",
+    "Degradation",
+    "DegradationLog",
     "PgmpError",
     "ProfileDatabase",
+    "ProfileError",
+    "ProfileFormatError",
     "ProfilePoint",
+    "ProfilePolicy",
+    "QuarantineReport",
+    "QuarantinedDataset",
     "ShardedCounterSet",
     "SourceLocation",
+    "StaleProfileError",
+    "StepBudget",
+    "StepBudgetExceeded",
     "WeightTable",
     "__version__",
     "annotate_expr",
     "compute_weights",
+    "current_degradation_log",
     "current_profile_information",
+    "current_profile_policy",
+    "degrade",
     "load_profile",
     "make_profile_point",
+    "merge_databases",
     "merge_weight_tables",
     "profile_query",
+    "source_fingerprint",
     "store_profile",
     "using_profile_information",
+    "using_profile_policy",
 ]

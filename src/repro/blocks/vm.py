@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.errors import VMError
+from repro.core.policy import StepBudget
 from repro.scheme.datum import UNSPECIFIED, Symbol, scheme_list, write_datum
 from repro.scheme.env import Environment, GlobalEnvironment
 
@@ -54,6 +55,47 @@ class BlockProfile:
     def taken_ratio(self) -> float:
         total = self.total_transfers
         return self.taken_jumps / total if total else 0.0
+
+    # -- persistence (three-pass workflow checkpoints) ---------------------
+
+    def to_json_object(self) -> dict:
+        """The stored representation used by workflow checkpoints."""
+        return {
+            "format": "pgmp-blocks",
+            "version": 1,
+            "block_counts": [
+                [fn, label, count]
+                for (fn, label), count in sorted(self.block_counts.items())
+            ],
+            "edge_counts": [
+                [fn, src, dst, count]
+                for (fn, src, dst), count in sorted(self.edge_counts.items())
+            ],
+            "fallthroughs": self.fallthroughs,
+            "taken_jumps": self.taken_jumps,
+        }
+
+    @classmethod
+    def from_json_object(cls, obj: object) -> "BlockProfile":
+        from repro.core.errors import ProfileFormatError
+
+        if not isinstance(obj, dict) or obj.get("format") != "pgmp-blocks":
+            raise ProfileFormatError("not a pgmp block-profile object")
+        if obj.get("version") != 1:
+            raise ProfileFormatError(
+                f"unsupported block-profile version {obj.get('version')!r}"
+            )
+        profile = cls()
+        try:
+            for fn, label, count in obj.get("block_counts", []):
+                profile.block_counts[(int(fn), str(label))] = int(count)
+            for fn, src, dst, count in obj.get("edge_counts", []):
+                profile.edge_counts[(int(fn), str(src), str(dst))] = int(count)
+            profile.fallthroughs = int(obj.get("fallthroughs", 0))
+            profile.taken_jumps = int(obj.get("taken_jumps", 0))
+        except (TypeError, ValueError) as exc:
+            raise ProfileFormatError(f"malformed block profile: {exc}") from exc
+        return profile
 
 
 class VMClosure:
@@ -112,10 +154,14 @@ class VM:
         module: Module,
         global_env: GlobalEnvironment,
         profile: bool = False,
+        budget: StepBudget | None = None,
     ) -> None:
         self.module = module
         self.global_env = global_env
         self.profile: BlockProfile | None = BlockProfile() if profile else None
+        #: optional fuel: each executed instruction charges one step, so a
+        #: runaway run raises StepBudgetExceeded instead of hanging.
+        self.budget = budget
 
     # -- public entry points --------------------------------------------------------
 
@@ -146,11 +192,14 @@ class VM:
 
     def _execute(self, frame: _Frame) -> object:
         frames: list[_Frame] = [frame]
+        budget = self.budget
         if self.profile is not None:
             self.profile.record_block(
                 frame.closure.function.index, frame.blocks[0].label
             )
         while True:
+            if budget is not None:
+                budget.charge()
             frame = frames[-1]
             block = frame.blocks[frame.block_pos]
             if frame.instr_index >= len(block.instrs):

@@ -21,6 +21,7 @@ supplies the numbers.
 
 from __future__ import annotations
 
+from repro.core.policy import ProfilePolicy
 from repro.scheme.instrument import ProfileMode
 from repro.scheme.pipeline import SchemeSystem
 
@@ -76,8 +77,11 @@ BOOLEAN_REORDER_LIBRARY = r"""
 """
 
 
-def make_boolean_system(mode: ProfileMode = ProfileMode.EXPR) -> SchemeSystem:
+def make_boolean_system(
+    mode: ProfileMode = ProfileMode.EXPR,
+    policy: ProfilePolicy | str = ProfilePolicy.WARN,
+) -> SchemeSystem:
     """A Scheme system with ``and-r`` / ``or-r`` installed."""
-    system = SchemeSystem(mode=mode)
+    system = SchemeSystem(mode=mode, policy=policy)
     system.load_library(BOOLEAN_REORDER_LIBRARY, "boolean-reorder.ss")
     return system

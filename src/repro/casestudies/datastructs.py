@@ -26,6 +26,7 @@ deterministic points at expansion time.
 
 from __future__ import annotations
 
+from repro.core.policy import ProfilePolicy
 from repro.scheme.instrument import ProfileMode
 from repro.scheme.pipeline import SchemeSystem
 
@@ -201,9 +202,12 @@ PROFILED_SEQUENCE_LIBRARY = r"""
 """
 
 
-def make_datastructs_system(mode: ProfileMode = ProfileMode.EXPR) -> SchemeSystem:
+def make_datastructs_system(
+    mode: ProfileMode = ProfileMode.EXPR,
+    policy: ProfilePolicy | str = ProfilePolicy.WARN,
+) -> SchemeSystem:
     """A Scheme system with all three §6.3 libraries installed."""
-    system = SchemeSystem(mode=mode)
+    system = SchemeSystem(mode=mode, policy=policy)
     system.load_library(PROFILED_LIST_LIBRARY, "profiled-list.ss")
     system.load_library(PROFILED_VECTOR_LIBRARY, "profiled-vector.ss")
     system.load_library(PROFILED_SEQUENCE_LIBRARY, "profiled-seq.ss")

@@ -24,6 +24,7 @@ is evaluated exactly once, which is the evident intent of the ``let``.
 
 from __future__ import annotations
 
+from repro.core.policy import ProfilePolicy
 from repro.scheme.instrument import ProfileMode
 from repro.scheme.pipeline import SchemeSystem
 
@@ -84,9 +85,16 @@ CASE_LIBRARY = r"""
 """
 
 
-def make_case_system(mode: ProfileMode = ProfileMode.EXPR) -> SchemeSystem:
-    """A Scheme system with ``exclusive-cond`` and ``case`` installed."""
-    system = SchemeSystem(mode=mode)
+def make_case_system(
+    mode: ProfileMode = ProfileMode.EXPR,
+    policy: ProfilePolicy | str = ProfilePolicy.WARN,
+) -> SchemeSystem:
+    """A Scheme system with ``exclusive-cond`` and ``case`` installed.
+
+    The default ``warn`` policy keeps clause reordering advisory: bad
+    profile data degrades to the source order with a recorded reason.
+    """
+    system = SchemeSystem(mode=mode, policy=policy)
     system.load_library(EXCLUSIVE_COND_LIBRARY, "exclusive-cond.ss")
     system.load_library(CASE_LIBRARY, "case.ss")
     return system

@@ -11,6 +11,7 @@ workflow end to end.
 
 from __future__ import annotations
 
+from repro.core.policy import ProfilePolicy
 from repro.scheme.instrument import ProfileMode
 from repro.scheme.pipeline import SchemeSystem
 
@@ -36,8 +37,16 @@ IF_R_LIBRARY = r"""
 """
 
 
-def make_if_r_system(mode: ProfileMode = ProfileMode.EXPR) -> SchemeSystem:
-    """A Scheme system with ``if-r`` installed."""
-    system = SchemeSystem(mode=mode)
+def make_if_r_system(
+    mode: ProfileMode = ProfileMode.EXPR,
+    policy: ProfilePolicy | str = ProfilePolicy.WARN,
+) -> SchemeSystem:
+    """A Scheme system with ``if-r`` installed.
+
+    The default ``warn`` policy makes the optimizer robust: missing, stale,
+    or corrupt profile data falls back to the unoptimized expansion with a
+    recorded reason instead of crashing the compile.
+    """
+    system = SchemeSystem(mode=mode, policy=policy)
     system.load_library(IF_R_LIBRARY, "if-r.ss")
     return system

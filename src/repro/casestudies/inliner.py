@@ -25,6 +25,7 @@ exactly the way large Scheme systems do.
 
 from __future__ import annotations
 
+from repro.core.policy import ProfilePolicy
 from repro.scheme.instrument import ProfileMode
 from repro.scheme.pipeline import SchemeSystem
 
@@ -87,8 +88,11 @@ INLINER_LIBRARY = r"""
 """
 
 
-def make_inliner_system(mode: ProfileMode = ProfileMode.EXPR) -> SchemeSystem:
+def make_inliner_system(
+    mode: ProfileMode = ProfileMode.EXPR,
+    policy: ProfilePolicy | str = ProfilePolicy.WARN,
+) -> SchemeSystem:
     """A Scheme system with ``define-inlinable`` installed."""
-    system = SchemeSystem(mode=mode)
+    system = SchemeSystem(mode=mode, policy=policy)
     system.load_library(INLINER_LIBRARY, "inliner.ss")
     return system

@@ -27,6 +27,7 @@ DSL-compiler-in-macros pattern the paper highlights.
 
 from __future__ import annotations
 
+from repro.core.policy import ProfilePolicy
 from repro.scheme.instrument import ProfileMode
 from repro.scheme.pipeline import SchemeSystem
 
@@ -275,9 +276,12 @@ ADAPTIVE_RECEIVER_LIBRARY = r"""
 """
 
 
-def make_object_system(mode: ProfileMode = ProfileMode.EXPR) -> SchemeSystem:
+def make_object_system(
+    mode: ProfileMode = ProfileMode.EXPR,
+    policy: ProfilePolicy | str = ProfilePolicy.WARN,
+) -> SchemeSystem:
     """A Scheme system with the object system and its PGO installed."""
-    system = SchemeSystem(mode=mode)
+    system = SchemeSystem(mode=mode, policy=policy)
     system.load_library(OBJECT_SYSTEM_LIBRARY, "object-system.ss")
     system.load_library(RECEIVER_CLASS_LIBRARY, "receiver-class.ss")
     system.load_library(ADAPTIVE_RECEIVER_LIBRARY, "receiver-adaptive.ss")

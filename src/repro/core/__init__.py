@@ -18,14 +18,32 @@ from repro.core.api import (
     using_profile_information,
 )
 from repro.core.counters import BaseCounterSet, CounterSet, ShardedCounterSet
-from repro.core.database import ProfileDatabase
+from repro.core.database import (
+    ProfileDatabase,
+    QuarantineReport,
+    QuarantinedDataset,
+    merge_databases,
+    source_fingerprint,
+)
 from repro.core.errors import (
     MissingProfileError,
     PgmpError,
     ProfileError,
     ProfileFormatError,
     ProfilePointError,
+    StaleProfileError,
+    StepBudgetExceeded,
     SubstrateError,
+)
+from repro.core.policy import (
+    Degradation,
+    DegradationLog,
+    ProfilePolicy,
+    StepBudget,
+    current_degradation_log,
+    current_profile_policy,
+    degrade,
+    using_profile_policy,
 )
 from repro.core.profile_point import (
     ProfilePoint,
@@ -39,6 +57,8 @@ from repro.core.weights import WeightTable, compute_weights, merge_weight_tables
 __all__ = [
     "BaseCounterSet",
     "CounterSet",
+    "Degradation",
+    "DegradationLog",
     "MissingProfileError",
     "PgmpError",
     "ProfileDatabase",
@@ -47,11 +67,23 @@ __all__ = [
     "ProfilePoint",
     "ProfilePointError",
     "ProfilePointFactory",
+    "ProfilePolicy",
+    "QuarantineReport",
+    "QuarantinedDataset",
     "ShardedCounterSet",
     "SourceLocation",
+    "StaleProfileError",
+    "StepBudget",
+    "StepBudgetExceeded",
     "SubstrateError",
     "UNKNOWN_LOCATION",
     "WeightTable",
+    "current_degradation_log",
+    "current_profile_policy",
+    "degrade",
+    "merge_databases",
+    "source_fingerprint",
+    "using_profile_policy",
     "annotate_expr",
     "compute_weights",
     "current_profile_information",

@@ -27,7 +27,8 @@ import os
 from typing import IO, Protocol, runtime_checkable
 
 from repro.core.database import ProfileDatabase
-from repro.core.errors import SubstrateError
+from repro.core.errors import ProfileError, SubstrateError
+from repro.core.policy import degrade
 from repro.core.profile_point import (
     ProfilePoint,
     make_profile_point,
@@ -207,11 +208,26 @@ def profile_query(expr: object, strict: bool = False) -> float:
     :class:`ProfilePoint`, or a :class:`SourceLocation`. Expressions with no
     associated point — and points with no recorded data — read as 0.0, so
     meta-programs degrade gracefully when run before any profiling.
+
+    Profile-data failures (a strict miss, corrupt data sets surfacing at
+    merge time) honor the ambient :class:`~repro.core.policy.ProfilePolicy`:
+    under ``STRICT`` they raise as before; under ``WARN``/``IGNORE`` the
+    query degrades to 0.0 with a recorded reason, so a meta-program never
+    crashes mid-expansion on bad profile data.
     """
     point = point_of_expr(expr)
     if point is None:
         return 0.0
-    return current_profile_information().query(point, strict=strict)
+    try:
+        return current_profile_information().query(point, strict=strict)
+    except ProfileError as exc:
+        degrade(
+            "profile-query",
+            str(exc),
+            f"treating {point} as weight 0.0",
+            error=exc,
+        )
+        return 0.0
 
 
 def store_profile(file: str | os.PathLike[str] | IO[str]) -> None:

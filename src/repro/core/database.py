@@ -27,29 +27,67 @@ Concurrency and crash safety:
   atomically ``os.replace``s it into place, so a crash mid-write leaves the
   previous profile intact. Concurrent writers additionally serialize on an
   advisory lock (``fcntl.flock`` on a ``<path>.lock`` sidecar where
-  available, a per-path in-process lock otherwise).
+  available, a per-path in-process lock otherwise). The sidecar is removed
+  after each store so profile directories stay clean.
+
+Versioning and staleness (format version 2):
+
+* Every stored data set may carry **source fingerprints** — a mapping from
+  filename to a digest of the source text the profile was collected
+  against. Loading with ``sources={filename: current_text}`` detects
+  profiles collected against changed source (the dominant real-world PGO
+  failure mode) instead of silently mis-weighting the new code.
+* Loading is either **strict** (``on_error="raise"``, the default: any
+  malformed or stale data set raises :class:`ProfileFormatError` /
+  :class:`StaleProfileError`) or **lenient** (``on_error="skip"``: bad data
+  sets are quarantined into the database's :class:`QuarantineReport` and
+  the healthy remainder loads normally — profile data is advisory, so a
+  partially-salvaged profile beats no profile).
+* Version-1 files (no fingerprints) still load; their data sets simply
+  cannot be staleness-checked.
 """
 
 from __future__ import annotations
 
 import contextlib
+import hashlib
 import json
 import math
 import os
 import tempfile
 import threading
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
 from typing import IO
 
 from repro.core.counters import BaseCounterSet
-from repro.core.errors import MissingProfileError, ProfileError, ProfileFormatError
+from repro.core.errors import (
+    MissingProfileError,
+    ProfileError,
+    ProfileFormatError,
+    StaleProfileError,
+)
 from repro.core.profile_point import ProfilePoint
 from repro.core.weights import WeightTable, compute_weights, merge_weight_tables
 
-__all__ = ["ProfileDatabase", "FORMAT_VERSION"]
+__all__ = [
+    "ProfileDatabase",
+    "QuarantineReport",
+    "QuarantinedDataset",
+    "FORMAT_VERSION",
+    "SUPPORTED_VERSIONS",
+    "source_fingerprint",
+    "atomic_write_text",
+    "merge_databases",
+]
 
 #: Version tag written into stored profile files.
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Versions :meth:`ProfileDatabase.from_json_object` accepts. Version 1
+#: predates source fingerprints; its data sets load but cannot be
+#: staleness-checked.
+SUPPORTED_VERSIONS = (1, 2)
 
 try:  # pragma: no cover - platform probe
     import fcntl
@@ -60,6 +98,16 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
 #: which does not exclude threads sharing a process on all platforms).
 _PATH_LOCKS: dict[str, threading.Lock] = {}
 _PATH_LOCKS_GUARD = threading.Lock()
+
+
+def source_fingerprint(text: str) -> str:
+    """A short, stable digest of source text, for staleness detection.
+
+    Stored per data set at ``store`` time and compared at ``load`` time
+    against the *current* source: a mismatch means the profile was
+    collected against code that has since changed.
+    """
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
 
 
 def _path_lock(path: str) -> threading.Lock:
@@ -73,7 +121,15 @@ def _path_lock(path: str) -> threading.Lock:
 
 @contextlib.contextmanager
 def _advisory_file_lock(path: str):
-    """Serialize concurrent writers of ``path`` (threads and processes)."""
+    """Serialize concurrent writers of ``path`` (threads and processes).
+
+    The ``<path>.lock`` sidecar is removed on exit so profile directories
+    do not accumulate lock debris. Removal opens a small cross-process
+    window (a process blocked on the unlinked inode and one locking a
+    recreated sidecar can both proceed), but the store itself stays atomic
+    via ``os.replace`` — the worst case is last-writer-wins between two
+    *complete* profiles, never a torn file.
+    """
     with _path_lock(path):
         if fcntl is None:
             yield
@@ -88,13 +144,107 @@ def _advisory_file_lock(path: str):
                 fcntl.flock(fd, fcntl.LOCK_UN)
         finally:
             os.close(fd)
+            with contextlib.suppress(OSError):
+                os.unlink(lock_path)
+
+
+def atomic_write_text(path: str | os.PathLike[str], payload: str) -> None:
+    """Crash-safely replace ``path`` with ``payload``.
+
+    The payload goes to a temporary file in the destination directory, is
+    flushed and fsynced, then atomically renamed over the target — a reader
+    (or a crash) can only ever observe the old complete file or the new
+    complete file. Used by profile stores and workflow checkpoints alike.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        # mkstemp creates 0600 files; give the target the same
+        # umask-honoring mode a plain ``open(path, "w")`` would.
+        umask = os.umask(0)
+        os.umask(umask)
+        os.chmod(tmp_path, 0o666 & ~umask)
+        os.replace(tmp_path, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_path)
+        raise
+
+
+@dataclass(frozen=True)
+class QuarantinedDataset:
+    """One data set a lenient load refused to use, and why."""
+
+    #: position of the data set in the stored file
+    index: int
+    #: stored data-set name (best effort — may be a placeholder if the
+    #: entry was too malformed to carry one)
+    name: str
+    #: "malformed" (failed parsing/validation) or "stale" (source changed)
+    kind: str
+    #: human-readable explanation
+    reason: str
+
+    def __str__(self) -> str:
+        return f"data set #{self.index} ({self.name!r}) {self.kind}: {self.reason}"
+
+
+class QuarantineReport:
+    """Data sets a lenient load set aside instead of raising.
+
+    Attached to every :class:`ProfileDatabase` (empty unless a
+    ``on_error="skip"`` load found problems), so callers can always answer
+    "did everything I profiled actually load?".
+    """
+
+    def __init__(self) -> None:
+        self.entries: list[QuarantinedDataset] = []
+
+    def add(self, index: int, name: str, kind: str, reason: str) -> QuarantinedDataset:
+        entry = QuarantinedDataset(index=index, name=name, kind=kind, reason=reason)
+        self.entries.append(entry)
+        return entry
+
+    def extend(self, other: "QuarantineReport") -> None:
+        self.entries.extend(other.entries)
+
+    def stale(self) -> list[QuarantinedDataset]:
+        return [e for e in self.entries if e.kind == "stale"]
+
+    def malformed(self) -> list[QuarantinedDataset]:
+        return [e for e in self.entries if e.kind == "malformed"]
+
+    def summary(self) -> str:
+        if not self.entries:
+            return "no data sets quarantined"
+        return "; ".join(str(entry) for entry in self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __repr__(self) -> str:
+        return f"<QuarantineReport: {len(self.entries)} data sets>"
 
 
 class ProfileDatabase:
     """Merged profile information from any number of data sets.
 
     A *data set* is one instrumented run (a :class:`WeightTable`, optionally
-    with a relative importance). The database exposes the merged view that
+    with a relative importance and the source fingerprints of the code it
+    was collected against). The database exposes the merged view that
     ``profile-query`` consults, recomputing the merge lazily so that hot-path
     queries stay O(1).
 
@@ -109,25 +259,43 @@ class ProfileDatabase:
         self._lock = threading.Lock()
         self._datasets: list[WeightTable] = []
         self._dataset_weights: list[float] = []
+        #: per-data-set {filename: fingerprint} of the profiled source
+        self._fingerprints: list[dict[str, str]] = []
         #: Copy-on-write merge cache: (generation it was built from, table).
         self._merged: tuple[int, WeightTable] | None = None
         self._generation = 0
+        #: data sets a lenient load set aside (empty for strict loads)
+        self.quarantine = QuarantineReport()
 
     # -- recording data sets -------------------------------------------------
 
     def record_counters(
-        self, counters: BaseCounterSet, importance: float = 1.0
+        self,
+        counters: BaseCounterSet,
+        importance: float = 1.0,
+        fingerprints: Mapping[str, str] | None = None,
     ) -> WeightTable:
         """Normalize one instrumented run's counters and add it as a data set."""
         table = compute_weights(counters)
-        self.record_weights(table, importance)
+        self.record_weights(table, importance, fingerprints)
         return table
 
-    def record_weights(self, table: WeightTable, importance: float = 1.0) -> None:
-        """Add an already-normalized data set."""
+    def record_weights(
+        self,
+        table: WeightTable,
+        importance: float = 1.0,
+        fingerprints: Mapping[str, str] | None = None,
+    ) -> None:
+        """Add an already-normalized data set.
+
+        ``fingerprints`` maps filenames to :func:`source_fingerprint`
+        digests of the source the data was collected against; they persist
+        through ``store``/``load`` and power staleness detection.
+        """
         with self._lock:
             self._datasets.append(table)
             self._dataset_weights.append(float(importance))
+            self._fingerprints.append(dict(fingerprints) if fingerprints else {})
             self._generation += 1
 
     def clear(self) -> None:
@@ -135,6 +303,7 @@ class ProfileDatabase:
         with self._lock:
             self._datasets.clear()
             self._dataset_weights.clear()
+            self._fingerprints.clear()
             self._merged = None
             self._generation += 1
 
@@ -147,10 +316,21 @@ class ProfileDatabase:
         with self._lock:
             return list(self._datasets)
 
-    def _snapshot(self) -> tuple[int, list[WeightTable], list[float]]:
+    def dataset_fingerprints(self) -> list[dict[str, str]]:
+        with self._lock:
+            return [dict(fp) for fp in self._fingerprints]
+
+    def _snapshot(
+        self,
+    ) -> tuple[int, list[WeightTable], list[float], list[dict[str, str]]]:
         """Generation plus consistent copies of the data-set lists."""
         with self._lock:
-            return self._generation, list(self._datasets), list(self._dataset_weights)
+            return (
+                self._generation,
+                list(self._datasets),
+                list(self._dataset_weights),
+                [dict(fp) for fp in self._fingerprints],
+            )
 
     # -- querying -------------------------------------------------------------
 
@@ -166,7 +346,7 @@ class ProfileDatabase:
             cached = self._merged
             if cached is not None and cached[0] == self._generation:
                 return cached[1]
-        generation, datasets, weights = self._snapshot()
+        generation, datasets, weights, _ = self._snapshot()
         table = merge_weight_tables(datasets, weights)
         with self._lock:
             # Install unless someone already cached a newer generation.
@@ -199,57 +379,129 @@ class ProfileDatabase:
     # -- persistence -----------------------------------------------------------
 
     def to_json_object(self) -> dict:
-        """The stored representation: per-data-set weights plus importances."""
-        _, datasets, weights = self._snapshot()
+        """The stored representation: per-data-set weights plus importances
+        and source fingerprints."""
+        _, datasets, weights, fingerprints = self._snapshot()
+        entries = []
+        for table, importance, fps in zip(datasets, weights, fingerprints):
+            entry: dict = {
+                "name": table.name,
+                "importance": importance,
+                "weights": table.as_key_mapping(),
+            }
+            if fps:
+                entry["fingerprints"] = dict(fps)
+            entries.append(entry)
         return {
             "format": "pgmp-profile",
             "version": FORMAT_VERSION,
             "name": self.name,
-            "datasets": [
-                {
-                    "name": table.name,
-                    "importance": importance,
-                    "weights": table.as_key_mapping(),
-                }
-                for table, importance in zip(datasets, weights)
-            ],
+            "datasets": entries,
         }
 
     @classmethod
-    def from_json_object(cls, obj: object) -> "ProfileDatabase":
+    def from_json_object(
+        cls,
+        obj: object,
+        *,
+        on_error: str = "raise",
+        sources: Mapping[str, str] | None = None,
+    ) -> "ProfileDatabase":
+        """Rebuild a database from its stored representation.
+
+        ``on_error="raise"`` (default) keeps strict behaviour: the first
+        malformed or stale data set aborts the load. ``on_error="skip"``
+        quarantines bad data sets into the returned database's
+        :attr:`quarantine` report and loads the rest.
+
+        ``sources`` maps filenames to their *current* source text; any data
+        set whose stored fingerprint disagrees is stale. Files the profile
+        fingerprints but ``sources`` does not mention are not checked.
+        """
+        if on_error not in ("raise", "skip"):
+            raise ValueError(
+                f"on_error must be 'raise' or 'skip', got {on_error!r}"
+            )
         if not isinstance(obj, dict):
             raise ProfileFormatError("profile file must contain a JSON object")
         if obj.get("format") != "pgmp-profile":
             raise ProfileFormatError(
                 f"not a pgmp profile file (format={obj.get('format')!r})"
             )
-        if obj.get("version") != FORMAT_VERSION:
+        if obj.get("version") not in SUPPORTED_VERSIONS:
             raise ProfileFormatError(
-                f"unsupported profile format version {obj.get('version')!r}"
+                f"unsupported profile format version {obj.get('version')!r} "
+                f"(supported: {', '.join(map(str, SUPPORTED_VERSIONS))})"
             )
         db = cls(name=str(obj.get("name", "profile-information")))
         datasets = obj.get("datasets")
         if not isinstance(datasets, list):
             raise ProfileFormatError("profile file missing 'datasets' list")
+        current = (
+            {name: source_fingerprint(text) for name, text in sources.items()}
+            if sources is not None
+            else None
+        )
         for i, entry in enumerate(datasets):
-            if not isinstance(entry, dict) or "weights" not in entry:
-                raise ProfileFormatError(f"malformed data set #{i} in profile file")
-            weights = entry["weights"]
-            if not isinstance(weights, dict):
-                raise ProfileFormatError(f"data set #{i} weights must be an object")
-            importance = _validated_importance(entry.get("importance", 1.0), i)
             try:
-                table = WeightTable.from_key_mapping(
-                    weights, name=str(entry.get("name", f"dataset-{i}"))
-                )
+                table, importance, fps = cls._parse_dataset(entry, i)
             except ProfileFormatError as exc:
-                raise ProfileFormatError(f"data set #{i}: {exc}") from exc
-            except (ProfileError, TypeError, ValueError) as exc:
-                raise ProfileFormatError(
-                    f"data set #{i} has invalid weights: {exc}"
-                ) from exc
-            db.record_weights(table, importance)
+                if on_error == "skip":
+                    name = (
+                        str(entry.get("name", f"dataset-{i}"))
+                        if isinstance(entry, dict)
+                        else f"dataset-{i}"
+                    )
+                    db.quarantine.add(i, name, "malformed", str(exc))
+                    continue
+                raise
+            if current is not None and fps:
+                changed = sorted(
+                    filename
+                    for filename, digest in fps.items()
+                    if filename in current and current[filename] != digest
+                )
+                if changed:
+                    reason = (
+                        f"profile was collected against different source for "
+                        f"{', '.join(changed)}"
+                    )
+                    if on_error == "skip":
+                        db.quarantine.add(i, table.name, "stale", reason)
+                        continue
+                    raise StaleProfileError(f"data set #{i} is stale: {reason}")
+            db.record_weights(table, importance, fps)
         return db
+
+    @staticmethod
+    def _parse_dataset(
+        entry: object, index: int
+    ) -> tuple[WeightTable, float, dict[str, str]]:
+        """Validate one stored data-set entry; raises :class:`ProfileFormatError`."""
+        if not isinstance(entry, dict) or "weights" not in entry:
+            raise ProfileFormatError(f"malformed data set #{index} in profile file")
+        weights = entry["weights"]
+        if not isinstance(weights, dict):
+            raise ProfileFormatError(f"data set #{index} weights must be an object")
+        importance = _validated_importance(entry.get("importance", 1.0), index)
+        fps_raw = entry.get("fingerprints", {})
+        if not isinstance(fps_raw, dict) or not all(
+            isinstance(k, str) and isinstance(v, str) for k, v in fps_raw.items()
+        ):
+            raise ProfileFormatError(
+                f"data set #{index} fingerprints must map filenames to digests"
+            )
+        try:
+            table = WeightTable.from_key_mapping(
+                weights, name=str(entry.get("name", f"dataset-{index}"))
+            )
+        except ProfileFormatError as exc:
+            raise ProfileFormatError(f"data set #{index}: {exc}") from exc
+        except (ProfileError, TypeError, ValueError) as exc:
+            raise ProfileFormatError(
+                f"data set #{index} has invalid weights: {exc}"
+            ) from exc
+        return table, importance, dict(fps_raw)
 
     def store(self, file: str | os.PathLike[str] | IO[str]) -> None:
         """``(store-profile f)``: write the recorded weights to ``file``.
@@ -259,54 +511,59 @@ class ProfileDatabase:
         and fsynced, then atomically renamed over the target via
         ``os.replace`` — a reader (or a crash) can only ever observe the
         old complete profile or the new complete profile. Writers holding
-        different databases serialize on an advisory per-path lock.
+        different databases serialize on an advisory per-path lock, whose
+        ``.lock`` sidecar is cleaned up after the store.
         """
         payload = json.dumps(self.to_json_object(), indent=2, sort_keys=True)
         if hasattr(file, "write"):
             file.write(payload)  # type: ignore[union-attr]
             return
         path = os.fspath(file)
-        directory = os.path.dirname(path) or "."
         with _advisory_file_lock(path):
-            fd, tmp_path = tempfile.mkstemp(
-                prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
-            )
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    handle.write(payload)
-                    handle.flush()
-                    os.fsync(handle.fileno())
-                # mkstemp creates 0600 files; give the profile the same
-                # umask-honoring mode a plain ``open(path, "w")`` would.
-                umask = os.umask(0)
-                os.umask(umask)
-                os.chmod(tmp_path, 0o666 & ~umask)
-                os.replace(tmp_path, path)
-            except BaseException:
-                with contextlib.suppress(OSError):
-                    os.unlink(tmp_path)
-                raise
+            atomic_write_text(path, payload)
 
     @classmethod
-    def load(cls, file: str | os.PathLike[str] | IO[str]) -> "ProfileDatabase":
-        """``(load-profile f)``: read a stored profile into a fresh database."""
-        if hasattr(file, "read"):
-            text = file.read()  # type: ignore[union-attr]
-        else:
-            with open(file, "r", encoding="utf-8") as handle:
-                text = handle.read()
+    def load(
+        cls,
+        file: str | os.PathLike[str] | IO[str],
+        *,
+        on_error: str = "raise",
+        sources: Mapping[str, str] | None = None,
+    ) -> "ProfileDatabase":
+        """``(load-profile f)``: read a stored profile into a fresh database.
+
+        See :meth:`from_json_object` for ``on_error`` and ``sources``.
+        File-level corruption (unreadable JSON, wrong format marker,
+        unsupported version) always raises — there is nothing to salvage;
+        per-data-set problems honor ``on_error``.
+        """
+        try:
+            if hasattr(file, "read"):
+                text = file.read()  # type: ignore[union-attr]
+            else:
+                with open(file, "r", encoding="utf-8") as handle:
+                    text = handle.read()
+        except UnicodeDecodeError as exc:
+            raise ProfileFormatError(f"profile file is not text: {exc}") from exc
         try:
             obj = json.loads(text)
         except json.JSONDecodeError as exc:
             raise ProfileFormatError(f"profile file is not valid JSON: {exc}") from exc
-        return cls.from_json_object(obj)
+        return cls.from_json_object(obj, on_error=on_error, sources=sources)
 
-    def load_into(self, file: str | os.PathLike[str] | IO[str]) -> None:
+    def load_into(
+        self,
+        file: str | os.PathLike[str] | IO[str],
+        *,
+        on_error: str = "raise",
+        sources: Mapping[str, str] | None = None,
+    ) -> None:
         """Merge the data sets stored in ``file`` into this database."""
-        other = ProfileDatabase.load(file)
-        _, datasets, weights = other._snapshot()
-        for table, importance in zip(datasets, weights):
-            self.record_weights(table, importance)
+        other = ProfileDatabase.load(file, on_error=on_error, sources=sources)
+        _, datasets, weights, fingerprints = other._snapshot()
+        for table, importance, fps in zip(datasets, weights, fingerprints):
+            self.record_weights(table, importance, fps)
+        self.quarantine.extend(other.quarantine)
 
     # -- dunder ---------------------------------------------------------------
 
@@ -341,10 +598,28 @@ def _validated_importance(raw: object, index: int) -> float:
 
 
 def merge_databases(databases: Sequence[ProfileDatabase]) -> ProfileDatabase:
-    """Concatenate the data sets of several databases into one."""
-    merged = ProfileDatabase(name="merged")
+    """Concatenate the data sets of several databases into one.
+
+    Names are preserved rather than dropped: merging databases that all
+    share a name keeps it, otherwise the result is named
+    ``merged(a+b+...)`` over the distinct input names. Quarantine reports
+    travel with their data. Merging nothing is an error — returning an
+    empty database would silently read every weight as 0.0.
+    """
+    if not databases:
+        raise ProfileError(
+            "merge_databases: no databases given (an empty merge would "
+            "silently report weight 0.0 for every point)"
+        )
+    names: list[str] = []
     for db in databases:
-        _, datasets, weights = db._snapshot()
-        for table, importance in zip(datasets, weights):
-            merged.record_weights(table, importance)
+        if db.name not in names:
+            names.append(db.name)
+    name = names[0] if len(names) == 1 else "merged(" + "+".join(names) + ")"
+    merged = ProfileDatabase(name=name)
+    for db in databases:
+        _, datasets, weights, fingerprints = db._snapshot()
+        for table, importance, fps in zip(datasets, weights, fingerprints):
+            merged.record_weights(table, importance, fps)
+        merged.quarantine.extend(db.quarantine)
     return merged

@@ -29,6 +29,23 @@ class ProfileFormatError(ProfileError):
     """A stored profile file could not be parsed or failed validation."""
 
 
+class StaleProfileError(ProfileFormatError):
+    """A stored data set's source fingerprint no longer matches the source.
+
+    Profiles collected against old source would silently mis-weight the new
+    one; strict loading refuses them, lenient loading quarantines them.
+    """
+
+
+class StepBudgetExceeded(PgmpError):
+    """An interpreter or VM run exceeded its step budget (fuel).
+
+    The resumable three-pass workflow uses budgets as per-pass timeouts; a
+    pass that exhausts its budget triggers the degradation chain instead of
+    hanging the whole compile.
+    """
+
+
 class ProfilePointError(PgmpError):
     """A profile point was constructed or used incorrectly."""
 

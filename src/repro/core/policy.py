@@ -1,0 +1,240 @@
+"""Degradation policy — how the library behaves when profile data is bad.
+
+The paper's central contract is that profile data is *advisory*: a
+meta-program must produce correct (if unoptimized) code whether the profile
+is present, partial, stale, or garbage. This module makes that contract
+operational:
+
+* :class:`ProfilePolicy` — what to do when profile data is missing, stale,
+  corrupt, or a budgeted pass runs out of fuel:
+
+  - ``STRICT``: raise, exactly as the pre-policy library did. For tests and
+    batch pipelines that want corruption to be loud.
+  - ``WARN``: degrade (fall back to the unoptimized behaviour), record the
+    reason, and print a one-line warning to stderr.
+  - ``IGNORE``: degrade and record the reason silently.
+
+* :class:`DegradationLog` — an append-only, thread-safe record of every
+  degradation taken, so "the optimizer silently did nothing" is never the
+  story: callers can always ask *which* fallback fired and *why*.
+
+* :func:`degrade` — the single choke point every subsystem routes its
+  failures through; policy and log are ambient (:mod:`contextvars`), so a
+  ``profile-query`` deep inside an expansion degrades under the policy of
+  the :class:`~repro.scheme.pipeline.SchemeSystem` that started the compile.
+
+* :class:`StepBudget` — interpreter/VM fuel, the timeout mechanism of the
+  resumable three-pass workflow (a pass that exceeds its budget raises
+  :class:`~repro.core.errors.StepBudgetExceeded` and the workflow falls
+  down its degradation chain instead of hanging).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import enum
+import sys
+import threading
+from dataclasses import dataclass
+
+from repro.core.errors import ProfileError, StepBudgetExceeded
+
+__all__ = [
+    "ProfilePolicy",
+    "Degradation",
+    "DegradationLog",
+    "StepBudget",
+    "current_profile_policy",
+    "current_degradation_log",
+    "using_profile_policy",
+    "degrade",
+]
+
+
+class ProfilePolicy(enum.Enum):
+    """What to do when profile data cannot be used as intended."""
+
+    STRICT = "strict"
+    WARN = "warn"
+    IGNORE = "ignore"
+
+    @classmethod
+    def coerce(cls, value: "ProfilePolicy | str") -> "ProfilePolicy":
+        """Accept a policy or its string name (for CLI flags and configs)."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            names = ", ".join(p.value for p in cls)
+            raise ProfileError(
+                f"unknown profile policy {value!r} (expected one of: {names})"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Degradation:
+    """One fallback the library took instead of crashing."""
+
+    #: which subsystem degraded ("load-profile", "profile-query", "expand",
+    #: "three-pass", ...)
+    stage: str
+    #: what was wrong with the profile data (or the run)
+    reason: str
+    #: what was done instead
+    fallback: str
+
+    def __str__(self) -> str:
+        text = f"{self.stage}: {self.reason}"
+        if self.fallback:
+            text += f" — {self.fallback}"
+        return text
+
+
+class DegradationLog:
+    """Thread-safe append-only record of degradations taken."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: list[Degradation] = []
+
+    def record(self, entry: Degradation) -> Degradation:
+        with self._lock:
+            self._entries.append(entry)
+        return entry
+
+    def entries(self) -> list[Degradation]:
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def reasons(self) -> list[str]:
+        return [str(entry) for entry in self.entries()]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __iter__(self):
+        return iter(self.entries())
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __repr__(self) -> str:
+        return f"<DegradationLog: {len(self)} entries>"
+
+
+class StepBudget:
+    """Interpreter/VM fuel: a mutable countdown of evaluation steps.
+
+    Exhaustion raises :class:`StepBudgetExceeded` (a
+    :class:`~repro.core.errors.PgmpError`), which the three-pass workflow's
+    degradation chain treats like any other profile-lifecycle failure. A
+    budget is single-use and not thread-safe — create one per pass.
+    """
+
+    __slots__ = ("initial", "remaining")
+
+    def __init__(self, steps: int) -> None:
+        steps = int(steps)
+        if steps < 0:
+            raise ValueError(f"step budget must be non-negative, got {steps}")
+        self.initial = steps
+        self.remaining = steps
+
+    def charge(self, steps: int = 1) -> None:
+        """Spend ``steps`` units of fuel; raise when the tank runs dry."""
+        self.remaining -= steps
+        if self.remaining < 0:
+            self.remaining = 0
+            raise StepBudgetExceeded(
+                f"step budget of {self.initial} steps exhausted"
+            )
+
+    @property
+    def exhausted(self) -> bool:
+        return self.remaining <= 0
+
+    def __repr__(self) -> str:
+        return f"<StepBudget {self.remaining}/{self.initial}>"
+
+
+# -- ambient policy + log -----------------------------------------------------
+#
+# Like the ambient profile database in repro.core.api, the active policy and
+# degradation log are context-local so concurrent compiles with different
+# policies never bleed into each other.
+
+_POLICY_VAR: contextvars.ContextVar[ProfilePolicy | None] = contextvars.ContextVar(
+    "pgmp_profile_policy", default=None
+)
+_LOG_VAR: contextvars.ContextVar[DegradationLog | None] = contextvars.ContextVar(
+    "pgmp_degradation_log", default=None
+)
+
+
+def current_profile_policy() -> ProfilePolicy:
+    """The ambient policy; :attr:`ProfilePolicy.STRICT` when none is scoped.
+
+    Strict is the default so library behaviour outside any
+    ``using_profile_policy`` scope is byte-for-byte what it was before
+    policies existed: corrupt data raises.
+    """
+    policy = _POLICY_VAR.get()
+    return policy if policy is not None else ProfilePolicy.STRICT
+
+
+def current_degradation_log() -> DegradationLog | None:
+    """The ambient degradation log, if any scope installed one."""
+    return _LOG_VAR.get()
+
+
+@contextlib.contextmanager
+def using_profile_policy(
+    policy: ProfilePolicy | str, log: DegradationLog | None = None
+):
+    """Scope the ambient policy (and optionally a log) for the current context."""
+    policy_token = _POLICY_VAR.set(ProfilePolicy.coerce(policy))
+    log_token = _LOG_VAR.set(log) if log is not None else None
+    try:
+        yield
+    finally:
+        if log_token is not None:
+            _LOG_VAR.reset(log_token)
+        _POLICY_VAR.reset(policy_token)
+
+
+def degrade(
+    stage: str,
+    reason: str,
+    fallback: str,
+    *,
+    error: BaseException | None = None,
+    policy: ProfilePolicy | None = None,
+    log: DegradationLog | None = None,
+) -> Degradation:
+    """Take (or refuse) a degradation, per policy.
+
+    Under ``STRICT`` this re-raises ``error`` (or a fresh
+    :class:`ProfileError`) — the caller's fallback code never runs. Under
+    ``WARN``/``IGNORE`` it records a :class:`Degradation` in ``log`` (or
+    the ambient log) and returns it; ``WARN`` additionally prints the entry
+    as a one-line warning on stderr.
+    """
+    active = policy if policy is not None else current_profile_policy()
+    if active is ProfilePolicy.STRICT:
+        if error is not None:
+            raise error
+        raise ProfileError(f"{stage}: {reason}")
+    entry = Degradation(stage=stage, reason=reason, fallback=fallback)
+    sink = log if log is not None else current_degradation_log()
+    if sink is not None:
+        sink.record(entry)
+    if active is ProfilePolicy.WARN:
+        print(f"pgmp: warning: {entry}", file=sys.stderr)
+    return entry

@@ -84,13 +84,19 @@ class MacroContext:
         return node_point(node, self.filename)
 
     def profile_query(self, node_or_point: ast.AST | ProfilePoint) -> float:
-        """The merged profile weight of a node or point (0.0 when unknown)."""
+        """The merged profile weight of a node or point (0.0 when unknown).
+
+        Routed through the policy-aware :func:`repro.core.api.profile_query`,
+        so corrupt profile data degrades to 0.0 (with a recorded reason)
+        instead of crashing the transformer when the ambient
+        :class:`~repro.core.policy.ProfilePolicy` is non-strict.
+        """
         if isinstance(node_or_point, ProfilePoint):
-            return core_api.current_profile_information().query(node_or_point)
+            return core_api.profile_query(node_or_point)
         point = self.point_of(node_or_point)
         if point is None:
             return 0.0
-        return core_api.current_profile_information().query(point)
+        return core_api.profile_query(point)
 
     def has_profile_data(self) -> bool:
         return core_api.current_profile_information().has_data()

@@ -3,11 +3,18 @@
 from __future__ import annotations
 
 import os
-from collections.abc import Callable, Iterable
+from collections.abc import Callable, Iterable, Mapping
 
 from repro.core.api import using_profile_information
 from repro.core.counters import BaseCounterSet, CounterSet
 from repro.core.database import ProfileDatabase
+from repro.core.errors import ProfileError, ProfileFormatError
+from repro.core.policy import (
+    DegradationLog,
+    ProfilePolicy,
+    degrade,
+    using_profile_policy,
+)
 from repro.pyast.macros import MacroRegistry, expand_function
 from repro.pyast.profiler import collecting_counters
 
@@ -18,8 +25,20 @@ class PyAstSystem:
     """One compile/profile/recompile cycle manager, like
     :class:`repro.scheme.SchemeSystem` but for Python functions."""
 
-    def __init__(self, profile_db: ProfileDatabase | None = None) -> None:
+    def __init__(
+        self,
+        profile_db: ProfileDatabase | None = None,
+        policy: ProfilePolicy | str = ProfilePolicy.STRICT,
+        degradations: DegradationLog | None = None,
+    ) -> None:
         self.profile_db = profile_db if profile_db is not None else ProfileDatabase()
+        self.policy = ProfilePolicy.coerce(policy)
+        self.degradations = (
+            degradations if degradations is not None else DegradationLog()
+        )
+
+    def _policy_scope(self):
+        return using_profile_policy(self.policy, self.degradations)
 
     def expand(
         self,
@@ -34,9 +53,27 @@ class PyAstSystem:
         code — the two compiles of the paper's workflow. ``extra_globals``
         are injected into the recompiled function's globals (for runtime
         helpers the expansion references).
+
+        Under a non-strict :attr:`policy`, a profile-data failure during
+        expansion falls back to re-expanding against an empty database (the
+        unoptimized expansion), with the reason recorded in
+        :attr:`degradations`.
         """
-        with using_profile_information(self.profile_db):
-            return expand_function(fn, registry, extra_globals)
+        with self._policy_scope():
+            try:
+                with using_profile_information(self.profile_db):
+                    return expand_function(fn, registry, extra_globals)
+            except ProfileError as exc:
+                if self.policy is ProfilePolicy.STRICT:
+                    raise
+                degrade(
+                    "expand",
+                    f"profile data unusable during expansion: {exc}",
+                    "re-expanding without profile data (unoptimized)",
+                    error=exc,
+                )
+                with using_profile_information(ProfileDatabase()):
+                    return expand_function(fn, registry, extra_globals)
 
     def profile(
         self,
@@ -44,23 +81,56 @@ class PyAstSystem:
         inputs: Iterable[tuple],
         importance: float = 1.0,
         counters: BaseCounterSet | None = None,
+        fingerprints: Mapping[str, str] | None = None,
     ) -> BaseCounterSet:
         """Run ``expanded_fn`` over representative inputs, collecting one
         data set of counters and recording its weights.
 
         Pass a :class:`~repro.core.counters.ShardedCounterSet` as
-        ``counters`` when the representative run itself is multi-threaded.
+        ``counters`` when the representative run itself is multi-threaded,
+        and ``fingerprints`` (filename → :func:`source_fingerprint` digest)
+        to make the data set staleness-checkable on later loads.
         """
         if counters is None:
             counters = CounterSet(name=getattr(expanded_fn, "__name__", "pyast-run"))
         with collecting_counters(counters):
             for args in inputs:
                 expanded_fn(*args)
-        self.profile_db.record_counters(counters, importance)
+        self.profile_db.record_counters(counters, importance, fingerprints)
         return counters
 
     def store_profile(self, path: str | os.PathLike[str]) -> None:
         self.profile_db.store(path)
 
-    def load_profile(self, path: str | os.PathLike[str]) -> None:
-        self.profile_db = ProfileDatabase.load(path)
+    def load_profile(
+        self,
+        path: str | os.PathLike[str],
+        sources: dict[str, str] | None = None,
+    ) -> None:
+        """Replace this system's database from a file, honoring
+        :attr:`policy` exactly like
+        :meth:`repro.scheme.SchemeSystem.load_profile`."""
+        if self.policy is ProfilePolicy.STRICT:
+            self.profile_db = ProfileDatabase.load(path, sources=sources)
+            return
+        try:
+            db = ProfileDatabase.load(path, on_error="skip", sources=sources)
+        except (ProfileFormatError, OSError) as exc:
+            degrade(
+                "load-profile",
+                f"{path}: {exc}",
+                "continuing with an empty profile database (unoptimized)",
+                policy=self.policy,
+                log=self.degradations,
+            )
+            self.profile_db = ProfileDatabase()
+            return
+        for entry in db.quarantine:
+            degrade(
+                "load-profile",
+                f"{path}: {entry}",
+                "quarantined the data set; loaded the rest",
+                policy=self.policy,
+                log=self.degradations,
+            )
+        self.profile_db = db

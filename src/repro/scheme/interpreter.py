@@ -23,6 +23,7 @@ from __future__ import annotations
 import sys
 
 from repro.core.errors import EvalError
+from repro.core.policy import StepBudget
 from repro.scheme import patterns, template
 from repro.scheme.core_forms import (
     App,
@@ -141,9 +142,14 @@ class Interpreter:
         self,
         global_env: GlobalEnvironment,
         instrumenter: Instrumenter | None = None,
+        budget: StepBudget | None = None,
     ) -> None:
         self.global_env = global_env
         self.instrumenter = instrumenter
+        #: optional fuel: every evaluated node charges one step, so a
+        #: runaway run raises StepBudgetExceeded instead of hanging —
+        #: the per-pass timeout of the resumable three-pass workflow.
+        self.budget = budget
 
     # -- public entry points -----------------------------------------------------
 
@@ -189,7 +195,15 @@ class Interpreter:
                     _bump()
                     return _inner(env)
 
-                return instrumented
+                step = instrumented
+        if self.budget is not None:
+            fueled = step
+
+            def budgeted(env, _charge=self.budget.charge, _inner=fueled):
+                _charge()
+                return _inner(env)
+
+            step = budgeted
         return step
 
     def _compile_node(self, expr: CoreExpr, tail: bool):

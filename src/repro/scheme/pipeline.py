@@ -24,7 +24,14 @@ from dataclasses import dataclass, field
 
 from repro.core.api import register_substrate, using_profile_information
 from repro.core.counters import BaseCounterSet, CounterSet
-from repro.core.database import ProfileDatabase
+from repro.core.database import ProfileDatabase, source_fingerprint
+from repro.core.errors import ProfileError, ProfileFormatError
+from repro.core.policy import (
+    DegradationLog,
+    ProfilePolicy,
+    degrade,
+    using_profile_policy,
+)
 from repro.core.profile_point import ProfilePoint
 from repro.scheme.core_forms import Program, unparse_string
 from repro.scheme.datum import UNSPECIFIED
@@ -85,15 +92,28 @@ class SchemeSystem:
         self,
         profile_db: ProfileDatabase | None = None,
         mode: ProfileMode = ProfileMode.EXPR,
+        policy: ProfilePolicy | str = ProfilePolicy.STRICT,
+        degradations: DegradationLog | None = None,
     ) -> None:
         self.profile_db = profile_db if profile_db is not None else ProfileDatabase()
         self.mode = mode
+        #: how profile-lifecycle failures behave (strict raises; warn/ignore
+        #: fall back to unoptimized behaviour with a recorded reason)
+        self.policy = ProfilePolicy.coerce(policy)
+        #: every degradation this system took (shared with the caller's log
+        #: when one is passed in)
+        self.degradations = (
+            degradations if degradations is not None else DegradationLog()
+        )
         self.expand_env: GlobalEnvironment = make_expand_env()
         self.expander = Expander(self.expand_env)
         self.runtime_env: GlobalEnvironment = make_global_env()
         self._library_sources: list[tuple[str, str]] = []
         #: expand-time output (compile-time warnings) of the last compile().
         self.last_compile_output: str = ""
+
+    def _policy_scope(self):
+        return using_profile_policy(self.policy, self.degradations)
 
     # -- building blocks ---------------------------------------------------------
 
@@ -106,13 +126,35 @@ class SchemeSystem:
 
         Output produced *at expand time* (e.g. the Perflint-style warnings
         of Section 6.3) is captured in :attr:`last_compile_output`.
+
+        Under a non-strict :attr:`policy`, a profile-data failure during
+        expansion (corrupt data surfacing at merge time, a strict query
+        miss) falls back to re-expanding against an *empty* database — the
+        unoptimized expansion the meta-programs would have produced before
+        any profiling — with the reason recorded in :attr:`degradations`.
         """
-        forms = self.read(source, filename)
         port = OutputPort()
         previous = set_current_output(port)
         try:
-            with using_profile_information(self.profile_db):
-                program = self.expander.expand_program(forms)
+            with self._policy_scope():
+                try:
+                    with using_profile_information(self.profile_db):
+                        program = self.expander.expand_program(
+                            self.read(source, filename)
+                        )
+                except ProfileError as exc:
+                    if self.policy is ProfilePolicy.STRICT:
+                        raise
+                    degrade(
+                        "expand",
+                        f"profile data unusable during expansion: {exc}",
+                        "re-expanding without profile data (unoptimized)",
+                        error=exc,
+                    )
+                    with using_profile_information(ProfileDatabase()):
+                        program = self.expander.expand_program(
+                            self.read(source, filename)
+                        )
         finally:
             set_current_output(previous)
         self.last_compile_output = port.getvalue()
@@ -143,7 +185,7 @@ class SchemeSystem:
         port.echo = echo
         previous = set_current_output(port)
         try:
-            with using_profile_information(self.profile_db):
+            with self._policy_scope(), using_profile_information(self.profile_db):
                 value = interp.run_program(program)
         finally:
             set_current_output(previous)
@@ -190,21 +232,65 @@ class SchemeSystem:
     ) -> RunResult:
         """One instrumented run on representative input: compile with
         instrumentation, run, normalize counters to weights, and record the
-        data set in the ambient database."""
+        data set in the ambient database.
+
+        The data set is fingerprinted against ``source``, so a later
+        ``load_profile(..., sources=...)`` can tell when the profile was
+        collected against code that has since changed.
+        """
         result = self.run_source(
             source, filename, instrument=mode or self.mode, counters=counters
         )
         assert result.counters is not None
-        self.profile_db.record_counters(result.counters, importance)
+        self.profile_db.record_counters(
+            result.counters,
+            importance,
+            fingerprints={filename: source_fingerprint(source)},
+        )
         return result
 
     def store_profile(self, path: str | os.PathLike[str]) -> None:
         """``(store-profile f)`` for this system's database."""
         self.profile_db.store(path)
 
-    def load_profile(self, path: str | os.PathLike[str]) -> None:
-        """``(load-profile f)``: replace this system's database from a file."""
-        self.profile_db = ProfileDatabase.load(path)
+    def load_profile(
+        self,
+        path: str | os.PathLike[str],
+        sources: dict[str, str] | None = None,
+    ) -> None:
+        """``(load-profile f)``: replace this system's database from a file.
+
+        ``sources`` maps filenames to their current source text for
+        staleness detection. Under a strict :attr:`policy` any malformed or
+        stale data set raises; under ``warn``/``ignore`` bad data sets are
+        quarantined (or, if the file is corrupt beyond salvage, the system
+        continues with an empty database) and the reason is recorded in
+        :attr:`degradations`.
+        """
+        if self.policy is ProfilePolicy.STRICT:
+            self.profile_db = ProfileDatabase.load(path, sources=sources)
+            return
+        try:
+            db = ProfileDatabase.load(path, on_error="skip", sources=sources)
+        except (ProfileFormatError, OSError) as exc:
+            degrade(
+                "load-profile",
+                f"{path}: {exc}",
+                "continuing with an empty profile database (unoptimized)",
+                policy=self.policy,
+                log=self.degradations,
+            )
+            self.profile_db = ProfileDatabase()
+            return
+        for entry in db.quarantine:
+            degrade(
+                "load-profile",
+                f"{path}: {entry}",
+                "quarantined the data set; loaded the rest",
+                policy=self.policy,
+                log=self.degradations,
+            )
+        self.profile_db = db
 
     def fresh_runtime(self) -> None:
         """Discard run-time state (top-level definitions) between runs,

@@ -1,0 +1,6 @@
+"""Test-support utilities shipped with the library.
+
+:mod:`repro.testing.faults` injects deterministic filesystem and resource
+faults into the profile lifecycle, so robustness behavior (quarantine,
+degradation chains, step budgets) is testable without real disk failures.
+"""

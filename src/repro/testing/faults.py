@@ -1,0 +1,154 @@
+"""Fault injection for the profile lifecycle (chaos-testing support).
+
+Profiles are the one piece of PGMP state that crosses process boundaries
+through the filesystem, so the interesting failures are filesystem
+failures: a write torn by a crash, a disk that fills or errors, two
+writers contending for the same profile, a pass that never terminates.
+This module injects each of those *deterministically*, so ``tests/chaos``
+can assert the degradation behavior (quarantine, fallback chains, budget
+exceptions) instead of hoping to observe it.
+
+All injectors are context managers that patch the process-wide write path
+(:func:`repro.core.database.atomic_write_text` and every module that
+imported it by name) and restore it on exit — they compose with ordinary
+pytest tests and with each other. None of them require root, a real full
+disk, or timing luck.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import errno as _errno
+import os
+import sys
+import threading
+from typing import Callable, Iterator
+
+from repro.core import database as _database
+
+__all__ = [
+    "torn_profile_store",
+    "failing_profile_store",
+    "profile_lock_contention",
+    "corrupt_profile_file",
+]
+
+#: Modules that bind ``atomic_write_text`` by name at import time. Patching
+#: only ``repro.core.database`` would miss ``from ... import`` aliases.
+_WRITE_SITES = ("repro.core.database", "repro.blocks.workflow")
+
+
+@contextlib.contextmanager
+def _patched_atomic_write(
+    replacement: Callable[[str | os.PathLike[str], str], None],
+) -> Iterator[None]:
+    saved: list[tuple[object, object]] = []
+    for name in _WRITE_SITES:
+        module = sys.modules.get(name)
+        if module is not None and hasattr(module, "atomic_write_text"):
+            saved.append((module, module.atomic_write_text))
+            module.atomic_write_text = replacement  # type: ignore[attr-defined]
+    try:
+        yield
+    finally:
+        for module, original in saved:
+            module.atomic_write_text = original  # type: ignore[attr-defined]
+
+
+@contextlib.contextmanager
+def torn_profile_store(keep_bytes: int = 32) -> Iterator[None]:
+    """Simulate a crash mid-write: the target file ends up *torn*.
+
+    Within the context every profile/checkpoint store writes only the first
+    ``keep_bytes`` bytes of its payload straight to the destination (no
+    temp file, no rename) and then raises ``OSError(EIO)`` — the on-disk
+    state a power cut leaves behind when the filesystem does not honor the
+    rename barrier. Loaders must treat the remnant as corrupt, never crash
+    on it.
+    """
+
+    def torn_write(path: str | os.PathLike[str], payload: str) -> None:
+        with open(os.fspath(path), "w", encoding="utf-8") as handle:
+            handle.write(payload[:keep_bytes])
+        raise OSError(_errno.EIO, "injected fault: write torn mid-payload")
+
+    with _patched_atomic_write(torn_write):
+        yield
+
+
+@contextlib.contextmanager
+def failing_profile_store(errno_code: int = _errno.ENOSPC) -> Iterator[None]:
+    """Every profile/checkpoint store fails cleanly with ``errno_code``.
+
+    Defaults to ``ENOSPC`` (disk full); pass ``errno.EIO`` for a flaky
+    device. Unlike :func:`torn_profile_store` the destination file is left
+    untouched — this is the well-behaved failure atomic writes guarantee.
+    """
+
+    def failing_write(path: str | os.PathLike[str], payload: str) -> None:
+        raise OSError(errno_code, f"injected fault: {os.strerror(errno_code)}")
+
+    with _patched_atomic_write(failing_write):
+        yield
+
+
+@contextlib.contextmanager
+def profile_lock_contention(path: str | os.PathLike[str]) -> Iterator[threading.Event]:
+    """Hold the advisory store lock for ``path`` from a background thread.
+
+    Within the context, any :meth:`ProfileDatabase.store` to ``path`` blocks
+    exactly as it would behind a slow concurrent writer. The yielded event
+    releases the lock early; otherwise it is released on exit. Use to
+    assert that contended stores wait and then complete rather than
+    corrupting the file or deadlocking.
+    """
+    release = threading.Event()
+    acquired = threading.Event()
+
+    def hold() -> None:
+        with _database._advisory_file_lock(os.fspath(path)):
+            acquired.set()
+            release.wait(timeout=30.0)
+
+    holder = threading.Thread(target=hold, daemon=True)
+    holder.start()
+    if not acquired.wait(timeout=10.0):  # pragma: no cover - defensive
+        raise RuntimeError("lock holder thread failed to start")
+    try:
+        yield release
+    finally:
+        release.set()
+        holder.join(timeout=10.0)
+
+
+def corrupt_profile_file(path: str | os.PathLike[str], mode: str = "truncate") -> None:
+    """Mangle a stored profile in place, the way real corruption does.
+
+    ``mode``:
+
+    * ``"truncate"`` — keep the first half of the file (torn write remnant);
+    * ``"garbage"`` — overwrite with bytes that are not JSON at all;
+    * ``"bad-dataset"`` — keep valid JSON but poison every data set's
+      importance with ``NaN`` (exercises per-data-set quarantine rather
+      than file-level rejection).
+    """
+    path = os.fspath(path)
+    if mode == "truncate":
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text[: max(1, len(text) // 2)])
+    elif mode == "garbage":
+        with open(path, "wb") as handle:
+            handle.write(b"\x00\xffnot json\x00")
+    elif mode == "bad-dataset":
+        import json
+
+        with open(path, "r", encoding="utf-8") as handle:
+            obj = json.load(handle)
+        for entry in obj.get("datasets", []):
+            entry["importance"] = "NaN"
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(obj, handle)
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")

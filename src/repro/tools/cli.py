@@ -122,6 +122,14 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="contract immediate beta-redexes after expansion",
         )
+        p.add_argument(
+            "--profile-policy",
+            choices=["strict", "warn", "ignore"],
+            default="strict",
+            help="what to do when profile data is missing, stale, or corrupt: "
+            "strict fails the command, warn degrades with a message on "
+            "stderr, ignore degrades silently (default: strict)",
+        )
 
     p_run = sub.add_parser("run", help="compile and run a program")
     common(p_run)
@@ -145,6 +153,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_wf = sub.add_parser("workflow", help="run the three-pass source+block PGO")
     common(p_wf)
+    p_wf.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="directory for pass-1/pass-2 checkpoints (enables resume)",
+    )
+    p_wf.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="ignore existing checkpoints; re-run every pass",
+    )
+    p_wf.add_argument(
+        "--pass-budget",
+        type=int,
+        default=None,
+        metavar="STEPS",
+        help="step budget (interpreter/VM fuel) for each representative run",
+    )
 
     p_dis = sub.add_parser("disasm", help="print basic-block bytecode")
     common(p_dis)
@@ -159,11 +184,16 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _make_system(args: argparse.Namespace) -> tuple[SchemeSystem, list[str]]:
-    system = SchemeSystem()
+def _make_system(
+    args: argparse.Namespace, source: str | None = None
+) -> tuple[SchemeSystem, list[str]]:
+    system = SchemeSystem(policy=args.profile_policy)
     sources = _load_libraries(system, args.library)
     if args.profile_file:
-        system.load_profile(args.profile_file)
+        # Hand the current program text over for staleness detection: a
+        # profile collected against an older version of args.file is stale.
+        staleness = {args.file: source} if source is not None else None
+        system.load_profile(args.profile_file, sources=staleness)
     return system, sources
 
 
@@ -172,10 +202,10 @@ def main(argv: list[str] | None = None) -> int:
     try:
         return _dispatch(args)
     except PgmpError as exc:
-        print(f"pgmp: error: {exc}", file=sys.stderr)
+        print(f"pgmp: error: {type(exc).__name__}: {exc}", file=sys.stderr)
         return 1
     except OSError as exc:
-        print(f"pgmp: {exc}", file=sys.stderr)
+        print(f"pgmp: error: {type(exc).__name__}: {exc}", file=sys.stderr)
         return 1
 
 
@@ -194,7 +224,7 @@ def _maybe_simplify(args: argparse.Namespace, program):
 
 def _dispatch(args: argparse.Namespace) -> int:
     source = _read_program(args.file)
-    system, library_sources = _make_system(args)
+    system, library_sources = _make_system(args, source)
 
     if args.command == "run":
         mode = _mode(args.instrument) if args.instrument else None
@@ -242,22 +272,34 @@ def _dispatch(args: argparse.Namespace) -> int:
         from repro.blocks.workflow import three_pass_compile
 
         report = three_pass_compile(
-            source, args.file, libraries=tuple(library_sources)
+            source,
+            args.file,
+            libraries=tuple(library_sources),
+            checkpoint_dir=args.checkpoint_dir,
+            resume=not args.no_resume,
+            pass_budget=args.pass_budget,
+            policy=args.profile_policy,
         )
         print(f"value:                   {write_datum(report.value)}")
+        print(f"rung:                    {report.rung}")
         print(f"expansion stable:        {report.expansion_stable}")
         print(f"block structure stable:  {report.block_structure_stable}")
         print(f"semantics preserved:     {report.semantics_preserved}")
         print(f"source profile points:   {report.source_points}")
-        print(
-            f"taken jumps:             {report.taken_jumps_before} -> "
-            f"{report.taken_jumps_after}"
-        )
-        print(
-            f"fall-throughs:           {report.fallthroughs_before} -> "
-            f"{report.fallthroughs_after}"
-        )
-        print(f"layout:                  {report.layout}")
+        if report.rung == "three-pass":
+            print(
+                f"taken jumps:             {report.taken_jumps_before} -> "
+                f"{report.taken_jumps_after}"
+            )
+            print(
+                f"fall-throughs:           {report.fallthroughs_before} -> "
+                f"{report.fallthroughs_after}"
+            )
+            print(f"layout:                  {report.layout}")
+        if report.resumed:
+            print(f"resumed from checkpoint: {', '.join(report.resumed)}")
+        for entry in report.degradations:
+            print(f"degraded:                {entry}", file=sys.stderr)
         return 0
 
     if args.command == "report":

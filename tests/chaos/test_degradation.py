@@ -1,0 +1,142 @@
+"""With faults active, every optimizer still produces correct output —
+degraded, with recorded reasons, never a bare traceback."""
+
+import errno
+
+import pytest
+
+from repro.blocks.workflow import three_pass_compile
+from repro.casestudies.exclusive_cond import make_case_system
+from repro.casestudies.if_r import IF_R_LIBRARY, make_if_r_system
+from repro.core.api import profile_query, using_profile_information
+from repro.core.database import ProfileDatabase
+from repro.core.errors import MissingProfileError, StepBudgetExceeded
+from repro.core.policy import DegradationLog, ProfilePolicy, using_profile_policy
+from repro.core.profile_point import ProfilePoint
+from repro.core.srcloc import SourceLocation
+from repro.testing.faults import corrupt_profile_file, failing_profile_store
+
+IF_R_PROGRAM = """
+(define (classify n)
+  (if-r (even? n) 'even 'odd))
+(classify 4)
+"""
+
+CASE_PROGRAM = """
+(define (kind x)
+  (case x
+    [(1 2 3) 'small]
+    [(4 5 6) 'medium]
+    [else 'large]))
+(kind 5)
+"""
+
+
+def test_if_r_survives_corrupt_profile_file(tmp_path):
+    # Collect and store a real profile, then corrupt it on disk.
+    collector = make_if_r_system()
+    collector.profile_run(IF_R_PROGRAM, "p.ss")
+    path = str(tmp_path / "p.json")
+    collector.store_profile(path)
+    corrupt_profile_file(path, "garbage")
+
+    system = make_if_r_system()  # default policy: warn
+    system.load_profile(path)
+    result = system.run_source(IF_R_PROGRAM, "p.ss")
+    assert str(result.value) == "even"
+    assert system.degradations, "the degraded load must be recorded"
+    assert any("load-profile" in str(d) for d in system.degradations)
+
+
+def test_if_r_quarantines_stale_profile(tmp_path):
+    collector = make_if_r_system()
+    collector.profile_run(IF_R_PROGRAM, "p.ss")
+    path = str(tmp_path / "p.json")
+    collector.store_profile(path)
+
+    edited = IF_R_PROGRAM.replace("(classify 4)", "(classify 7)")
+    system = make_if_r_system()
+    system.load_profile(path, sources={"p.ss": edited})
+    result = system.run_source(edited, "p.ss")
+    assert str(result.value) == "odd"
+    assert any("stale" in str(d) for d in system.degradations)
+
+
+def test_case_survives_dataset_corruption(tmp_path):
+    collector = make_case_system()
+    collector.profile_run(CASE_PROGRAM, "c.ss")
+    path = str(tmp_path / "c.json")
+    collector.store_profile(path)
+    corrupt_profile_file(path, "bad-dataset")
+
+    system = make_case_system()
+    system.load_profile(path)
+    result = system.run_source(CASE_PROGRAM, "c.ss")
+    assert str(result.value) == "medium"
+    assert any("quarantined" in str(d) for d in system.degradations)
+
+
+def test_strict_policy_still_raises(tmp_path):
+    collector = make_if_r_system()
+    collector.profile_run(IF_R_PROGRAM, "p.ss")
+    path = str(tmp_path / "p.json")
+    collector.store_profile(path)
+    corrupt_profile_file(path, "truncate")
+
+    system = make_if_r_system(policy="strict")
+    with pytest.raises(Exception) as excinfo:
+        system.load_profile(path)
+    assert "ProfileFormat" in type(excinfo.value).__name__
+
+
+def test_profile_query_degrades_to_zero_under_warn(capsys):
+    point = ProfilePoint.for_location(SourceLocation("f.ss", 1, 2))
+    log = DegradationLog()
+    with using_profile_information(ProfileDatabase()):
+        with using_profile_policy(ProfilePolicy.WARN, log):
+            assert profile_query(point, strict=True) == 0.0
+        assert len(log) == 1
+        assert "weight 0.0" in str(log.entries()[0])
+        assert "pgmp: warning" in capsys.readouterr().err
+        # strict scope: same query raises
+        with using_profile_policy(ProfilePolicy.STRICT):
+            with pytest.raises(MissingProfileError):
+                profile_query(point, strict=True)
+
+
+def test_three_pass_budget_exhaustion_degrades_not_hangs():
+    with pytest.raises(StepBudgetExceeded):
+        three_pass_compile(IF_R_PROGRAM, libraries=(IF_R_LIBRARY,), pass_budget=5)
+    report = three_pass_compile(
+        IF_R_PROGRAM, libraries=(IF_R_LIBRARY,), pass_budget=5, policy="warn"
+    )
+    assert str(report.value) == "even"
+    assert report.rung in ("source-only", "unoptimized")
+    assert report.degradations
+
+
+def test_three_pass_survives_unwritable_checkpoints(tmp_path):
+    with failing_profile_store(errno.ENOSPC):
+        report = three_pass_compile(
+            IF_R_PROGRAM,
+            libraries=(IF_R_LIBRARY,),
+            checkpoint_dir=str(tmp_path / "ckpt"),
+            policy="warn",
+        )
+    # The checkpoint is a cache: losing it costs resumability, not the run.
+    assert report.rung == "three-pass"
+    assert str(report.value) == "even"
+    assert report.expansion_stable
+    assert any("checkpoint" in d for d in report.degradations)
+
+
+def test_three_pass_full_chain_reaches_unoptimized():
+    report = three_pass_compile(
+        IF_R_PROGRAM, libraries=(IF_R_LIBRARY,), pass_budget=1, policy="ignore"
+    )
+    assert str(report.value) == "even"
+    assert report.rung == "unoptimized"
+    assert report.semantics_preserved
+    # Both rungs of the fallback are recorded, in order.
+    assert "three-pass" in report.degradations[0]
+    assert "source-only" in report.degradations[1]

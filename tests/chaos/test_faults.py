@@ -1,0 +1,118 @@
+"""The fault injectors themselves: each produces exactly the failure it
+claims, and the persistence layer reacts the way the docstrings promise."""
+
+import errno
+import json
+import threading
+
+import pytest
+
+from repro.core.counters import CounterSet
+from repro.core.database import ProfileDatabase
+from repro.core.errors import ProfileFormatError
+from repro.core.profile_point import ProfilePoint
+from repro.core.srcloc import SourceLocation
+from repro.testing.faults import (
+    corrupt_profile_file,
+    failing_profile_store,
+    profile_lock_contention,
+    torn_profile_store,
+)
+
+
+def _point(n: int) -> ProfilePoint:
+    return ProfilePoint.for_location(SourceLocation("f.ss", n, n + 1))
+
+
+def _db() -> ProfileDatabase:
+    counters = CounterSet()
+    counters.increment(_point(1), by=5)
+    counters.increment(_point(2), by=10)
+    db = ProfileDatabase()
+    db.record_counters(counters)
+    return db
+
+
+def test_torn_store_leaves_truncated_file_and_raises(tmp_path):
+    path = str(tmp_path / "p.json")
+    with torn_profile_store(keep_bytes=16):
+        with pytest.raises(OSError) as excinfo:
+            _db().store(path)
+        assert excinfo.value.errno == errno.EIO
+    with open(path, "r", encoding="utf-8") as handle:
+        remnant = handle.read()
+    assert len(remnant) == 16
+    with pytest.raises(ProfileFormatError):
+        ProfileDatabase.load(path)
+
+
+def test_failing_store_is_clean_and_preserves_previous_profile(tmp_path):
+    path = str(tmp_path / "p.json")
+    _db().store(path)
+    with failing_profile_store(errno.ENOSPC):
+        with pytest.raises(OSError) as excinfo:
+            _db().store(path)
+        assert excinfo.value.errno == errno.ENOSPC
+    # The well-behaved failure: the old complete profile is intact.
+    loaded = ProfileDatabase.load(path)
+    assert loaded.query(_point(2)) == pytest.approx(1.0)
+
+
+def test_fault_injection_is_scoped_to_the_context(tmp_path):
+    path = str(tmp_path / "p.json")
+    with failing_profile_store():
+        pass
+    _db().store(path)  # no fault outside the context
+    assert ProfileDatabase.load(path).has_data()
+
+
+def test_lock_contention_blocks_store_until_release(tmp_path):
+    path = str(tmp_path / "p.json")
+    done = threading.Event()
+
+    def store_in_background():
+        _db().store(path)
+        done.set()
+
+    with profile_lock_contention(path) as release:
+        writer = threading.Thread(target=store_in_background, daemon=True)
+        writer.start()
+        # The store must be waiting behind the held advisory lock.
+        assert not done.wait(timeout=0.3)
+        release.set()
+        assert done.wait(timeout=10.0)
+        writer.join(timeout=10.0)
+    # The contended store completed and wrote a valid profile.
+    assert ProfileDatabase.load(path).has_data()
+
+
+@pytest.mark.parametrize("mode", ["truncate", "garbage"])
+def test_file_level_corruption_always_raises(tmp_path, mode):
+    path = str(tmp_path / "p.json")
+    _db().store(path)
+    corrupt_profile_file(path, mode)
+    with pytest.raises(ProfileFormatError):
+        ProfileDatabase.load(path)
+    with pytest.raises(ProfileFormatError):
+        ProfileDatabase.load(path, on_error="skip")
+
+
+def test_dataset_level_corruption_is_quarantined_by_lenient_load(tmp_path):
+    path = str(tmp_path / "p.json")
+    _db().store(path)
+    corrupt_profile_file(path, "bad-dataset")
+    with pytest.raises(ProfileFormatError):
+        ProfileDatabase.load(path)
+    db = ProfileDatabase.load(path, on_error="skip")
+    assert not db.has_data()
+    assert len(db.quarantine.malformed()) == 1
+    # The valid JSON envelope survived; only the data set was dropped.
+    with open(path, "r", encoding="utf-8") as handle:
+        assert json.load(handle)["format"] == "pgmp-profile"
+
+
+def test_corrupt_profile_file_rejects_unknown_mode(tmp_path):
+    path = str(tmp_path / "p.json")
+    _db().store(path)
+    with pytest.raises(ValueError):
+        corrupt_profile_file(path, "meteor-strike")

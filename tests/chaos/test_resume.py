@@ -1,0 +1,107 @@
+"""A three-pass run killed partway through resumes from its checkpoints
+and still reaches a stable, semantics-preserving result."""
+
+import pytest
+
+import repro.blocks.workflow as workflow_mod
+from repro.blocks.workflow import ThreePassCheckpoint, three_pass_compile
+from repro.casestudies.if_r import IF_R_LIBRARY
+
+SRC = """
+(define (classify n)
+  (if-r (even? n) 'even 'odd))
+(define (loop i acc)
+  (if (= i 0) acc (loop (- i 1) (cons (classify i) acc))))
+(length (loop 30 '()))
+"""
+
+
+def _run(checkpoint_dir, source=SRC, **kwargs):
+    return three_pass_compile(
+        source, libraries=(IF_R_LIBRARY,), checkpoint_dir=checkpoint_dir, **kwargs
+    )
+
+
+def test_clean_run_then_full_resume(tmp_path):
+    first = _run(tmp_path)
+    assert first.resumed == ()
+    assert first.expansion_stable and first.semantics_preserved
+
+    second = _run(tmp_path)
+    assert second.resumed == ("pass1", "pass2")
+    assert second.expansion_stable and second.block_structure_stable
+    assert second.semantics_preserved
+    assert str(second.value) == str(first.value)
+
+
+def test_resume_false_reruns_everything(tmp_path):
+    _run(tmp_path)
+    report = _run(tmp_path, resume=False)
+    assert report.resumed == ()
+    assert report.expansion_stable
+
+
+def test_killed_after_pass1_resumes_pass1(tmp_path, monkeypatch):
+    # Simulate a crash at the start of pass 2: pass 1 has already been
+    # checkpointed, the block compiler never runs.
+    def crash(*args, **kwargs):
+        raise RuntimeError("killed")
+
+    monkeypatch.setattr(workflow_mod, "compile_program", crash)
+    with pytest.raises(RuntimeError):
+        _run(tmp_path)
+    monkeypatch.undo()
+
+    report = _run(tmp_path)
+    assert report.resumed == ("pass1",)
+    assert report.rung == "three-pass"
+    assert report.expansion_stable and report.semantics_preserved
+
+
+def test_killed_during_pass3_resumes_both_passes(tmp_path, monkeypatch):
+    # Simulate a crash after the pass-2 checkpoint: layout never happens.
+    def crash(*args, **kwargs):
+        raise RuntimeError("killed")
+
+    monkeypatch.setattr(workflow_mod, "optimize_layout", crash)
+    with pytest.raises(RuntimeError):
+        _run(tmp_path)
+    monkeypatch.undo()
+
+    report = _run(tmp_path)
+    assert report.resumed == ("pass1", "pass2")
+    assert report.expansion_stable and report.block_structure_stable
+    assert report.semantics_preserved
+
+
+def test_checkpoint_for_different_source_is_ignored(tmp_path):
+    _run(tmp_path)
+    edited = SRC.replace("(loop 30 '())", "(loop 12 '())")
+    report = _run(tmp_path, source=edited)
+    assert report.resumed == ()
+    assert str(report.value) == "12"
+    assert report.expansion_stable
+
+
+def test_torn_state_file_self_heals(tmp_path):
+    _run(tmp_path)
+    state = tmp_path / ThreePassCheckpoint.STATE_FILE
+    state.write_text(state.read_text()[: len(state.read_text()) // 3])
+    report = _run(tmp_path)
+    assert report.resumed == ()
+    assert report.expansion_stable and report.semantics_preserved
+
+
+def test_stale_pass2_signature_forces_vm_rerun(tmp_path):
+    _run(tmp_path)
+    # Doctor the recorded signature: the block profile no longer matches
+    # the current module structure and must not be trusted.
+    import json
+
+    state = tmp_path / ThreePassCheckpoint.STATE_FILE
+    obj = json.loads(state.read_text())
+    obj["signature"] = "0" * 16
+    state.write_text(json.dumps(obj))
+    report = _run(tmp_path)
+    assert report.resumed == ("pass1",)
+    assert report.expansion_stable and report.block_structure_stable

@@ -144,7 +144,7 @@ def test_stored_format_is_versioned_json(tmp_path):
     db.store(path)
     payload = json.loads(path.read_text())
     assert payload["format"] == "pgmp-profile"
-    assert payload["version"] == 1
+    assert payload["version"] == 2
     assert isinstance(payload["datasets"], list)
 
 
@@ -296,3 +296,167 @@ def test_store_honors_umask_like_plain_open(tmp_path):
     _os.umask(umask)
     expected = 0o666 & ~umask
     assert stat.S_IMODE(path.stat().st_mode) == expected
+
+
+# -- format version 2: fingerprints, staleness, quarantine ---------------------
+
+
+def test_v2_round_trip_preserves_fingerprints(tmp_path):
+    from repro.core.database import source_fingerprint
+
+    db = ProfileDatabase()
+    db.record_counters(
+        _counters(p1=5), fingerprints={"f.ss": source_fingerprint("(+ 1 2)")}
+    )
+    path = tmp_path / "p.json"
+    db.store(path)
+    loaded = ProfileDatabase.load(path)
+    assert loaded.dataset_fingerprints() == [
+        {"f.ss": source_fingerprint("(+ 1 2)")}
+    ]
+
+
+def test_version_1_files_still_load():
+    obj = {
+        "format": "pgmp-profile",
+        "version": 1,
+        "datasets": [{"weights": {_point(1).key(): 0.5}}],
+    }
+    db = ProfileDatabase.from_json_object(obj)
+    assert db.query(_point(1)) == 0.5
+    # v1 predates fingerprints, so a v1 data set is never considered stale.
+    db = ProfileDatabase.from_json_object(obj, sources={"f.ss": "anything"})
+    assert db.query(_point(1)) == 0.5
+
+
+def test_unsupported_version_always_raises():
+    obj = {"format": "pgmp-profile", "version": 99, "datasets": []}
+    with pytest.raises(ProfileFormatError, match="version"):
+        ProfileDatabase.from_json_object(obj)
+    with pytest.raises(ProfileFormatError, match="version"):
+        ProfileDatabase.from_json_object(obj, on_error="skip")
+
+
+def test_stale_dataset_raises_under_strict_load():
+    from repro.core.database import source_fingerprint
+    from repro.core.errors import StaleProfileError
+
+    obj = {
+        "format": "pgmp-profile",
+        "version": 2,
+        "datasets": [
+            {
+                "weights": {_point(1).key(): 0.5},
+                "fingerprints": {"f.ss": source_fingerprint("old text")},
+            }
+        ],
+    }
+    with pytest.raises(StaleProfileError, match="stale"):
+        ProfileDatabase.from_json_object(obj, sources={"f.ss": "new text"})
+    # Matching source: loads clean.
+    db = ProfileDatabase.from_json_object(obj, sources={"f.ss": "old text"})
+    assert db.query(_point(1)) == 0.5
+
+
+def test_stale_dataset_is_quarantined_under_lenient_load():
+    from repro.core.database import source_fingerprint
+
+    good = {
+        "weights": {_point(1).key(): 0.5},
+        "fingerprints": {"f.ss": source_fingerprint("current")},
+    }
+    stale = {
+        "weights": {_point(2).key(): 1.0},
+        "fingerprints": {"f.ss": source_fingerprint("older")},
+    }
+    obj = {"format": "pgmp-profile", "version": 2, "datasets": [good, stale]}
+    db = ProfileDatabase.from_json_object(
+        obj, on_error="skip", sources={"f.ss": "current"}
+    )
+    assert db.query(_point(1)) == 0.5
+    assert not db.known(_point(2))
+    assert len(db.quarantine.stale()) == 1
+    assert "stale" in db.quarantine.summary()
+
+
+def test_lenient_load_quarantines_malformed_and_keeps_good():
+    obj = {
+        "format": "pgmp-profile",
+        "version": 2,
+        "datasets": [
+            {"weights": {_point(1).key(): 0.5}},
+            {"weights": {_point(2).key(): 7.5}},  # out of range
+            "not even a dict",
+            {"weights": {_point(3).key(): 1.0}, "importance": float("nan")},
+        ],
+    }
+    with pytest.raises(ProfileFormatError):
+        ProfileDatabase.from_json_object(obj)
+    db = ProfileDatabase.from_json_object(obj, on_error="skip")
+    assert db.dataset_count == 1
+    assert db.query(_point(1)) == 0.5
+    assert len(db.quarantine) == 3
+    assert len(db.quarantine.malformed()) == 3
+    assert db.quarantine.stale() == []
+
+
+def test_load_rejects_invalid_on_error_value():
+    obj = {"format": "pgmp-profile", "version": 2, "datasets": []}
+    with pytest.raises(ValueError, match="on_error"):
+        ProfileDatabase.from_json_object(obj, on_error="explode")
+
+
+def test_load_rejects_nan_weight_as_format_error():
+    obj = {
+        "format": "pgmp-profile",
+        "version": 2,
+        "datasets": [{"weights": {_point(1).key(): float("nan")}}],
+    }
+    with pytest.raises(ProfileFormatError, match="data set #0"):
+        ProfileDatabase.from_json_object(obj)
+
+
+# -- lock hygiene and merge semantics ------------------------------------------
+
+
+def test_store_cleans_up_lock_sidecar(tmp_path):
+    db = ProfileDatabase()
+    db.record_counters(_counters(p1=1))
+    path = tmp_path / "p.json"
+    db.store(path)
+    db.store(path)
+    assert not (tmp_path / "p.json.lock").exists()
+    assert sorted(p.name for p in tmp_path.iterdir()) == ["p.json"]
+
+
+def test_merge_databases_preserves_names():
+    a = ProfileDatabase(name="alpha")
+    a.record_counters(_counters(p1=1))
+    b = ProfileDatabase(name="beta")
+    b.record_counters(_counters(p2=1))
+    assert merge_databases([a, b]).name == "merged(alpha+beta)"
+    # A single shared name is kept as-is.
+    c = ProfileDatabase(name="alpha")
+    c.record_counters(_counters(p3=1))
+    assert merge_databases([a, c]).name == "alpha"
+
+
+def test_merge_databases_rejects_empty_input():
+    from repro.core.errors import ProfileError
+
+    with pytest.raises(ProfileError, match="no databases"):
+        merge_databases([])
+
+
+def test_merge_databases_carries_fingerprints():
+    from repro.core.database import source_fingerprint
+
+    a = ProfileDatabase()
+    a.record_counters(_counters(p1=1), fingerprints={"f.ss": source_fingerprint("x")})
+    b = ProfileDatabase()
+    b.record_counters(_counters(p2=1))
+    merged = merge_databases([a, b])
+    assert merged.dataset_fingerprints() == [
+        {"f.ss": source_fingerprint("x")},
+        {},
+    ]

@@ -126,3 +126,79 @@ def test_simplify_flag_on_run(tmp_path, capsys):
     program.write_text("(let ([x 6]) (* x 7))")
     assert main(["run", str(program), "--simplify"]) == 0
     assert capsys.readouterr().out.strip() == "42"
+
+
+def test_error_message_is_structured_one_liner(capsys):
+    assert main(["run", "/nonexistent/x.ss"]) == 1
+    err = capsys.readouterr().err.strip()
+    assert err.startswith("pgmp: error: ")
+    assert "\n" not in err
+    assert "Traceback" not in err
+
+
+def test_profile_policy_strict_fails_on_corrupt_profile(
+    program_file, tmp_path, capsys
+):
+    profile = tmp_path / "p.json"
+    profile.write_text("{ not json")
+    assert main(["run", program_file, "--library", "case",
+                 "--profile-file", str(profile)]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("pgmp: error: ProfileFormatError:")
+
+
+def test_profile_policy_warn_degrades_on_corrupt_profile(
+    program_file, tmp_path, capsys
+):
+    profile = tmp_path / "p.json"
+    profile.write_text("{ not json")
+    assert main(["run", program_file, "--library", "case",
+                 "--profile-file", str(profile),
+                 "--profile-policy", "warn"]) == 0
+    captured = capsys.readouterr()
+    assert captured.out.strip() == "60"
+    assert "pgmp: warning" in captured.err
+
+
+def test_profile_policy_warn_flags_stale_profile(program_file, tmp_path, capsys):
+    profile = tmp_path / "p.json"
+    assert main(["profile", program_file, "--library", "case",
+                 "--out", str(profile)]) == 0
+    # Edit the program: the stored profile no longer matches its source.
+    with open(program_file, "a", encoding="utf-8") as handle:
+        handle.write("\n;; edited\n")
+    capsys.readouterr()
+    assert main(["run", program_file, "--library", "case",
+                 "--profile-file", str(profile),
+                 "--profile-policy", "warn"]) == 0
+    assert "stale" in capsys.readouterr().err
+
+
+def test_workflow_checkpoint_resume(program_file, tmp_path, capsys):
+    ckpt = str(tmp_path / "ckpt")
+    assert main(["workflow", program_file, "--library", "case",
+                 "--checkpoint-dir", ckpt]) == 0
+    first = capsys.readouterr().out
+    assert "rung:                    three-pass" in first
+    assert "resumed" not in first
+    assert main(["workflow", program_file, "--library", "case",
+                 "--checkpoint-dir", ckpt]) == 0
+    second = capsys.readouterr().out
+    assert "resumed from checkpoint: pass1, pass2" in second
+    assert main(["workflow", program_file, "--library", "case",
+                 "--checkpoint-dir", ckpt, "--no-resume"]) == 0
+    assert "resumed" not in capsys.readouterr().out
+
+
+def test_workflow_budget_degrades_under_warn(program_file, capsys):
+    assert main(["workflow", program_file, "--library", "case",
+                 "--pass-budget", "5", "--profile-policy", "warn"]) == 0
+    captured = capsys.readouterr()
+    assert "rung:                    unoptimized" in captured.out
+    assert "degraded:" in captured.err
+
+
+def test_workflow_budget_fails_under_strict(program_file, capsys):
+    assert main(["workflow", program_file, "--library", "case",
+                 "--pass-budget", "5"]) == 1
+    assert "StepBudgetExceeded" in capsys.readouterr().err
