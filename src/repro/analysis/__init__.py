@@ -1,0 +1,59 @@
+"""Static soundness and profile-hygiene analysis (``pgmp lint``).
+
+The paper's meta-program optimizers are only sound under assumptions they
+never check:
+
+* §6.1 — ``exclusive-cond`` (and everything layered on it) may *reorder*
+  clauses, which is only semantics-preserving when the clause tests are
+  effect-free and mutually exclusive;
+* §3.1 — every expression carries *at most one* profile point, and two
+  expressions share a counter only when that is intended;
+* §4.1 — freshly manufactured profile points must be generated
+  deterministically, or the next compile reads back someone else's data;
+* §3.3/§4.4 — a loaded profile is only useful while its points still map
+  to live source locations.
+
+This package turns those implicit contracts into machine-checked
+diagnostics over *both* substrates: the Scheme syntax-object substrate
+(:mod:`repro.scheme`) and the Python-AST substrate (:mod:`repro.pyast`).
+
+Entry points:
+
+* :func:`repro.analysis.runner.lint_path` — file-level analysis behind the
+  ``pgmp lint`` CLI subcommand;
+* :meth:`repro.scheme.pipeline.SchemeSystem.analyze` and
+  :meth:`repro.pyast.system.PyAstSystem.analyze` — opt-in programmatic
+  analysis against a system's ambient profile database.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import (
+    CODE_CATALOG,
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    render_json,
+    render_text,
+)
+from repro.analysis.purity import EffectReport, Purity
+from repro.analysis.pyast_passes import analyze_python_function, analyze_python_source
+from repro.analysis.runner import lint_path, lint_paths, lint_source
+from repro.analysis.scheme_passes import analyze_scheme_source
+
+__all__ = [
+    "AnalysisReport",
+    "CODE_CATALOG",
+    "Diagnostic",
+    "EffectReport",
+    "Purity",
+    "Severity",
+    "analyze_python_function",
+    "analyze_python_source",
+    "analyze_scheme_source",
+    "lint_path",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,268 @@
+"""The diagnostics framework behind ``pgmp lint``.
+
+A :class:`Diagnostic` is one finding of one analysis pass: a stable code
+(``PGMP101`` …), a severity, a human-readable message, and an optional
+:class:`~repro.core.srcloc.SourceLocation` anchor. Diagnostics accumulate
+in an :class:`AnalysisReport`, which the CLI renders as text (one
+``file:line:col: severity: code: message`` line each, the format editors
+and CI annotators already parse) or as JSON (stable keys, for tooling).
+
+Codes are grouped by pass family:
+
+* ``PGMP1xx`` — effects / exclusivity of reorderable clause tests (§6.1);
+* ``PGMP2xx`` — profile-point hygiene (§3.1, §4.1);
+* ``PGMP3xx`` — profiling coverage of optimizable constructs;
+* ``PGMP4xx`` — staleness of loaded profile data (format v2 fingerprints);
+* ``PGMP0xx`` — meta-diagnostics about the analysis itself.
+
+Every code has a fixed default severity recorded in :data:`CODE_CATALOG`;
+emitting a diagnostic with an unknown code is a programming error, so the
+set of codes in documentation, tests, and implementation cannot drift
+apart silently.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+
+from repro.core.srcloc import SourceLocation
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "AnalysisReport",
+    "CODE_CATALOG",
+    "CodeInfo",
+    "render_text",
+    "render_json",
+]
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is; ordering is meaningful (ERROR is highest)."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def coerce(cls, value: "Severity | str") -> "Severity":
+        if isinstance(value, Severity):
+            return value
+        try:
+            return cls[value.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {value!r} (expected info, warning, or error)"
+            ) from None
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """Catalog entry for one diagnostic code."""
+
+    code: str
+    severity: Severity
+    title: str
+
+
+#: Every diagnostic ``pgmp lint`` can emit, with its default severity.
+#: ``docs/analysis.md`` documents the rationale for each code.
+CODE_CATALOG: dict[str, CodeInfo] = {
+    info.code: info
+    for info in (
+        # -- PGMP0xx: analysis meta-diagnostics --------------------------------
+        CodeInfo("PGMP001", Severity.INFO,
+                 "program could not be expanded; expansion-dependent passes skipped"),
+        # -- PGMP1xx: effects / exclusivity (§6.1) -----------------------------
+        CodeInfo("PGMP101", Severity.ERROR,
+                 "side-effecting test in a reorderable construct"),
+        CodeInfo("PGMP102", Severity.ERROR,
+                 "provably overlapping clauses in a construct declared exclusive"),
+        CodeInfo("PGMP103", Severity.WARNING,
+                 "test of a reorderable construct cannot be proved effect-free"),
+        # -- PGMP2xx: profile-point hygiene (§3.1, §4.1) -----------------------
+        CodeInfo("PGMP201", Severity.WARNING,
+                 "one profile point attached to expressions at multiple locations"),
+        CodeInfo("PGMP202", Severity.WARNING,
+                 "one source expression carries multiple profile points"),
+        CodeInfo("PGMP203", Severity.ERROR,
+                 "fresh profile points are not generated deterministically"),
+        # -- PGMP3xx: coverage --------------------------------------------------
+        CodeInfo("PGMP301", Severity.WARNING,
+                 "branch of an optimizable construct carries no profile point"),
+        CodeInfo("PGMP302", Severity.INFO,
+                 "loaded profile has no data for any branch of this construct"),
+        # -- PGMP4xx: staleness (profile format v2) ----------------------------
+        CodeInfo("PGMP401", Severity.WARNING,
+                 "profile point no longer maps to any live source location"),
+        CodeInfo("PGMP402", Severity.ERROR,
+                 "profile data set was collected against different source"),
+    )
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one analysis pass."""
+
+    code: str
+    message: str
+    location: SourceLocation | None = None
+    #: which pass family produced this ("effects", "hygiene", "coverage",
+    #: "staleness", or "analysis" for meta-diagnostics)
+    pass_name: str = "analysis"
+    #: severity, defaulting to the catalog entry for ``code``
+    severity: Severity = field(default=Severity.WARNING)
+
+    @classmethod
+    def make(
+        cls,
+        code: str,
+        message: str,
+        location: SourceLocation | None = None,
+        pass_name: str = "analysis",
+        severity: Severity | None = None,
+    ) -> "Diagnostic":
+        """Build a diagnostic, defaulting severity from :data:`CODE_CATALOG`."""
+        try:
+            info = CODE_CATALOG[code]
+        except KeyError:
+            raise ValueError(f"unknown diagnostic code {code!r}") from None
+        return cls(
+            code=code,
+            message=message,
+            location=location,
+            pass_name=pass_name,
+            severity=severity if severity is not None else info.severity,
+        )
+
+    @property
+    def title(self) -> str:
+        return CODE_CATALOG[self.code].title
+
+    def anchor(self) -> str:
+        """``file:line:col`` (or a placeholder) for the text renderer."""
+        if self.location is None:
+            return "<no location>"
+        loc = self.location
+        if loc.line:
+            return f"{loc.filename}:{loc.line}:{loc.column}"
+        return f"{loc.filename}[{loc.start}:{loc.end}]"
+
+    def to_json_object(self) -> dict:
+        obj: dict = {
+            "code": self.code,
+            "severity": str(self.severity),
+            "pass": self.pass_name,
+            "message": self.message,
+        }
+        if self.location is not None:
+            obj["location"] = {
+                "filename": self.location.filename,
+                "line": self.location.line,
+                "column": self.location.column,
+                "start": self.location.start,
+                "end": self.location.end,
+            }
+        return obj
+
+    def __str__(self) -> str:
+        return f"{self.anchor()}: {self.severity}: {self.code}: {self.message}"
+
+
+class AnalysisReport:
+    """All diagnostics one analysis run produced, in emission order."""
+
+    def __init__(self, diagnostics: list[Diagnostic] | None = None) -> None:
+        self.diagnostics: list[Diagnostic] = list(diagnostics or [])
+
+    def emit(
+        self,
+        code: str,
+        message: str,
+        location: SourceLocation | None = None,
+        pass_name: str = "analysis",
+        severity: Severity | None = None,
+    ) -> Diagnostic:
+        diag = Diagnostic.make(code, message, location, pass_name, severity)
+        self.diagnostics.append(diag)
+        return diag
+
+    def extend(self, other: "AnalysisReport") -> None:
+        self.diagnostics.extend(other.diagnostics)
+
+    def at_least(self, severity: Severity | str) -> list[Diagnostic]:
+        """Diagnostics at or above ``severity``, in emission order."""
+        threshold = Severity.coerce(severity)
+        return [d for d in self.diagnostics if d.severity >= threshold]
+
+    def errors(self) -> list[Diagnostic]:
+        return self.at_least(Severity.ERROR)
+
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    def by_code(self, code: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def codes(self) -> list[str]:
+        """The distinct codes present, sorted."""
+        return sorted({d.code for d in self.diagnostics})
+
+    def max_severity(self) -> Severity | None:
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def __bool__(self) -> bool:
+        return bool(self.diagnostics)
+
+    def __repr__(self) -> str:
+        return f"<AnalysisReport: {len(self.diagnostics)} diagnostics>"
+
+
+def _summary_counts(diagnostics: list[Diagnostic]) -> dict[str, int]:
+    counts = {"error": 0, "warning": 0, "info": 0}
+    for diag in diagnostics:
+        counts[str(diag.severity)] += 1
+    return counts
+
+
+def render_text(report: AnalysisReport, min_severity: Severity | str = Severity.INFO) -> str:
+    """One ``file:line:col: severity: code: message`` line per diagnostic,
+    plus a one-line summary — empty-report output is a single "clean" line.
+    """
+    shown = report.at_least(min_severity)
+    if not shown:
+        return "pgmp lint: no findings"
+    lines = [str(diag) for diag in shown]
+    counts = _summary_counts(shown)
+    lines.append(
+        f"pgmp lint: {counts['error']} error(s), {counts['warning']} warning(s), "
+        f"{counts['info']} info"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport, min_severity: Severity | str = Severity.INFO) -> str:
+    """The report as a stable JSON document (for editors and CI tooling)."""
+    shown = report.at_least(min_severity)
+    payload = {
+        "format": "pgmp-lint",
+        "version": 1,
+        "diagnostics": [diag.to_json_object() for diag in shown],
+        "summary": _summary_counts(shown),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,365 @@
+"""Conservative effect analysis of clause tests, for both substrates.
+
+§6.1's reordering transformations (``exclusive-cond``, ``case``, ``and-r``,
+``or-r``, ``pycase``) are only semantics-preserving when the expressions
+they reorder are effect-free: after reordering, a different *subset* of the
+tests runs, in a different order. The analyses here are deliberately
+conservative three-valued judgements:
+
+* :attr:`Purity.PURE` — provably effect-free (literals, variable
+  references, applications of known-pure primitives to pure arguments…);
+* :attr:`Purity.IMPURE` — provably effectful (``set!``, mutation
+  primitives, I/O, ``error``…) — reordering *will* change semantics;
+* :attr:`Purity.UNKNOWN` — a call to a procedure the analyzer cannot see
+  through. Sound meta-programming treats this as "the programmer asserted
+  purity" (the paper's framing: ``exclusive-cond`` encodes programmer
+  domain knowledge), so it rates a warning, not an error.
+
+Raising is treated as an effect: reordering tests changes *which* error a
+program signals, or whether it signals one at all.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+from dataclasses import dataclass
+
+from repro.core.srcloc import SourceLocation
+from repro.scheme.datum import Char, Pair, SchemeVector, Symbol
+from repro.scheme.syntax import Syntax, syntax_pylist
+
+__all__ = [
+    "Purity",
+    "EffectReport",
+    "scheme_effect",
+    "python_effect",
+]
+
+
+class Purity(enum.IntEnum):
+    """Three-valued purity judgement; ordering is "worseness"."""
+
+    PURE = 0
+    UNKNOWN = 1
+    IMPURE = 2
+
+
+@dataclass(frozen=True)
+class EffectReport:
+    """The verdict for one expression, with the first offending witness."""
+
+    purity: Purity
+    reason: str = ""
+    location: SourceLocation | None = None
+
+    @property
+    def pure(self) -> bool:
+        return self.purity is Purity.PURE
+
+
+_PURE = EffectReport(Purity.PURE)
+
+
+def _combine(reports: "list[EffectReport]") -> EffectReport:
+    """The worst sub-verdict wins; the first witness of that rank is kept."""
+    worst = _PURE
+    for report in reports:
+        if report.purity > worst.purity:
+            worst = report
+            if worst.purity is Purity.IMPURE:
+                break
+    return worst
+
+
+# -- Scheme substrate ----------------------------------------------------------
+
+#: Primitives that only inspect or construct values. Applying one of these
+#: to pure arguments is pure.
+SCHEME_PURE_PRIMITIVES: frozenset[str] = frozenset(
+    """
+    + - * / sqr abs min max quotient remainder modulo expt sqrt
+    exact->inexact inexact->exact floor ceiling round truncate gcd lcm
+    add1 sub1 zero? positive? negative? even? odd? number? integer?
+    number->string string->number not boolean? procedure? eq? eqv? equal?
+    < <= > >= =
+    cons car cdr pair? null? list? list length append reverse list-ref
+    list-tail last-pair list-copy iota memq memv member assq assv assoc
+    take drop
+    symbol? symbol->string string->symbol
+    char? char->integer integer->char char=? char<? char-alphabetic?
+    char-numeric? char-whitespace? char-upcase char-downcase
+    string? string-length string-ref substring string-append string=?
+    string<? string-upcase string-downcase string->list list->string
+    string-contains? string-split string-join
+    vector? make-vector vector vector-length vector-ref vector->list
+    list->vector vector-copy vector-append
+    make-eq-hashtable hashtable? hashtable-ref hashtable-contains?
+    hashtable-size hashtable-keys
+    values void key-in?
+    """.split()
+)
+
+#: Primitives that mutate state, perform I/O, or raise: applying one is an
+#: effect no matter the arguments.
+SCHEME_IMPURE_PRIMITIVES: frozenset[str] = frozenset(
+    """
+    set-car! set-cdr! vector-set! vector-fill! hashtable-set!
+    hashtable-delete! display write newline printf error assert gensym
+    store-profile load-profile
+    """.split()
+)
+
+#: Higher-order primitives: themselves effect-free, but they *call* their
+#: procedure argument, which the analyzer cannot see through.
+SCHEME_HIGHER_ORDER_PRIMITIVES: frozenset[str] = frozenset(
+    """
+    map for-each filter fold-left fold-right sort find remove partition
+    for-all exists memp assp list-index filter-map apply curry vector-map
+    vector-for-each call-with-values make-case-lambda
+    """.split()
+)
+
+#: Special forms whose subexpressions simply combine.
+_SCHEME_TRANSPARENT_FORMS: frozenset[str] = frozenset(
+    {"if", "and", "or", "when", "unless", "begin", "not"}
+)
+
+_SCHEME_PURE_HEADS: frozenset[str] = frozenset({"quote", "lambda", "case-lambda",
+                                                "syntax", "quasisyntax"})
+
+_SCHEME_LET_FORMS: frozenset[str] = frozenset({"let", "let*", "letrec", "letrec*"})
+
+
+def _loc(stx: Syntax) -> SourceLocation | None:
+    if stx.srcloc.filename == "<unknown>":
+        return None
+    return stx.srcloc
+
+
+def scheme_effect(stx: Syntax) -> EffectReport:
+    """Conservative purity of one surface Scheme expression.
+
+    Operates on *read* syntax (before expansion), because the reorderable
+    constructs this feeds (``exclusive-cond`` clauses and friends) are
+    macros that vanish during expansion.
+    """
+    datum = stx.datum
+    if isinstance(datum, Symbol):
+        return _PURE  # a variable reference
+    if isinstance(datum, (int, float, str, bool, Char)) or datum is None:
+        return _PURE
+    if isinstance(datum, SchemeVector):
+        return _combine(
+            [scheme_effect(x) for x in datum if isinstance(x, Syntax)]
+        )
+    if not isinstance(datum, Pair):
+        return _PURE  # NIL, fractions, other self-evaluating data
+
+    try:
+        items = syntax_pylist(stx)
+    except TypeError:
+        return EffectReport(
+            Purity.UNKNOWN, "improper list form", _loc(stx)
+        )
+    if not items:
+        return _PURE
+    head = stx.head_symbol()
+    if head is not None:
+        name = head.name
+        if name in _SCHEME_PURE_HEADS:
+            return _PURE
+        if name == "set!":
+            return EffectReport(Purity.IMPURE, "set! mutates a variable", _loc(stx))
+        if name in _SCHEME_TRANSPARENT_FORMS:
+            return _combine([scheme_effect(x) for x in items[1:]])
+        if name in _SCHEME_LET_FORMS and len(items) >= 2:
+            parts: list[EffectReport] = []
+            bindings = items[1]
+            if bindings.is_pair() or bindings.is_null():
+                try:
+                    for binding in syntax_pylist(bindings):
+                        pair = syntax_pylist(binding) if binding.is_pair() else []
+                        if len(pair) == 2:
+                            parts.append(scheme_effect(pair[1]))
+                except TypeError:
+                    parts.append(
+                        EffectReport(Purity.UNKNOWN, "unrecognized binding form",
+                                     _loc(bindings))
+                    )
+            parts.extend(scheme_effect(x) for x in items[2:])
+            return _combine(parts)
+        if name == "quasiquote":
+            return _quasiquote_effect(items[1]) if len(items) > 1 else _PURE
+        if name in SCHEME_IMPURE_PRIMITIVES:
+            return EffectReport(
+                Purity.IMPURE,
+                f"calls effectful primitive {name!r}",
+                _loc(stx),
+            )
+        if name in SCHEME_PURE_PRIMITIVES:
+            return _combine([scheme_effect(x) for x in items[1:]])
+        if name in SCHEME_HIGHER_ORDER_PRIMITIVES:
+            args = _combine([scheme_effect(x) for x in items[1:]])
+            if args.purity is Purity.IMPURE:
+                return args
+            return EffectReport(
+                Purity.UNKNOWN,
+                f"{name!r} calls a procedure the analyzer cannot see through",
+                _loc(stx),
+            )
+        # An application of a user-defined (or unknown) procedure.
+        args = _combine([scheme_effect(x) for x in items[1:]])
+        if args.purity is Purity.IMPURE:
+            return args
+        return EffectReport(
+            Purity.UNKNOWN,
+            f"calls {name!r}, which cannot be proved effect-free",
+            _loc(stx),
+        )
+    # Applying a computed procedure: conservative.
+    parts = [scheme_effect(x) for x in items]
+    worst = _combine(parts)
+    if worst.purity is Purity.IMPURE:
+        return worst
+    return EffectReport(
+        Purity.UNKNOWN, "applies a computed procedure", _loc(stx)
+    )
+
+
+def _quasiquote_effect(template: Syntax) -> EffectReport:
+    """A quasiquote template is pure except for its unquoted holes."""
+    head = template.head_symbol() if template.is_pair() else None
+    if head is not None and head.name in ("unquote", "unquote-splicing"):
+        items = syntax_pylist(template)
+        return _combine([scheme_effect(x) for x in items[1:]])
+    if template.is_pair():
+        try:
+            return _combine([_quasiquote_effect(x) for x in syntax_pylist(template)])
+        except TypeError:
+            return EffectReport(Purity.UNKNOWN, "improper quasiquote template",
+                                _loc(template))
+    return _PURE
+
+
+# -- Python substrate ----------------------------------------------------------
+
+#: Builtins that only inspect or construct values.
+PYTHON_PURE_CALLS: frozenset[str] = frozenset(
+    """
+    abs all any ascii bin bool bytes callable chr complex dict divmod
+    enumerate float format frozenset getattr hasattr hash hex id int
+    isinstance issubclass len list max min oct ord pow range repr
+    reversed round set slice sorted str sum tuple type zip
+    """.split()
+)
+
+#: Builtins whose very invocation is an effect (I/O, dynamic execution,
+#: mutation, or state advancement).
+PYTHON_IMPURE_CALLS: frozenset[str] = frozenset(
+    """
+    print input open exec eval compile setattr delattr next breakpoint
+    exit quit globals vars
+    """.split()
+)
+
+#: Method names that conventionally mutate their receiver or do I/O.
+PYTHON_MUTATING_METHODS: frozenset[str] = frozenset(
+    """
+    append extend insert remove pop clear sort reverse add discard
+    update setdefault popitem write writelines read readline readlines
+    seek flush close send put get acquire release
+    """.split()
+)
+
+
+def _py_loc(node: ast.AST, filename: str) -> SourceLocation | None:
+    from repro.pyast.srcloc import node_location
+
+    return node_location(node, filename)
+
+
+def python_effect(node: ast.AST, filename: str = "<python>") -> EffectReport:
+    """Conservative purity of one Python expression AST.
+
+    Attribute and subscript *loads* are treated as pure (descriptors and
+    ``__getitem__`` could observeably misbehave, but flagging every
+    ``self.x`` would drown the real findings); calls are where the
+    analysis is strict.
+    """
+    if isinstance(node, (ast.Constant, ast.Name, ast.Lambda)):
+        return _PURE
+    if isinstance(node, ast.NamedExpr):
+        return EffectReport(
+            Purity.IMPURE, "assignment expression mutates a variable",
+            _py_loc(node, filename),
+        )
+    if isinstance(node, (ast.Await, ast.Yield, ast.YieldFrom)):
+        return EffectReport(
+            Purity.IMPURE, "suspension point inside a reorderable test",
+            _py_loc(node, filename),
+        )
+    if isinstance(node, ast.Call):
+        arg_reports = [python_effect(a, filename) for a in node.args]
+        arg_reports += [python_effect(kw.value, filename) for kw in node.keywords]
+        args = _combine(arg_reports)
+        if args.purity is Purity.IMPURE:
+            return args
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in PYTHON_IMPURE_CALLS:
+                return EffectReport(
+                    Purity.IMPURE,
+                    f"calls effectful builtin {func.id!r}",
+                    _py_loc(node, filename),
+                )
+            if func.id in PYTHON_PURE_CALLS:
+                return args
+            return EffectReport(
+                Purity.UNKNOWN,
+                f"calls {func.id!r}, which cannot be proved effect-free",
+                _py_loc(node, filename),
+            )
+        if isinstance(func, ast.Attribute):
+            if func.attr in PYTHON_MUTATING_METHODS:
+                return EffectReport(
+                    Purity.IMPURE,
+                    f"calls mutating method .{func.attr}()",
+                    _py_loc(node, filename),
+                )
+            return EffectReport(
+                Purity.UNKNOWN,
+                f"calls method .{func.attr}(), which cannot be proved effect-free",
+                _py_loc(node, filename),
+            )
+        return EffectReport(
+            Purity.UNKNOWN, "applies a computed callable", _py_loc(node, filename)
+        )
+    if isinstance(
+        node,
+        (
+            ast.BoolOp, ast.BinOp, ast.UnaryOp, ast.Compare, ast.IfExp,
+            ast.Tuple, ast.List, ast.Set, ast.Dict, ast.Starred,
+            ast.Attribute, ast.Subscript, ast.Slice, ast.JoinedStr,
+            ast.FormattedValue,
+        ),
+    ):
+        return _combine(
+            [python_effect(child, filename) for child in ast.iter_child_nodes(node)
+             if isinstance(child, ast.expr)]
+        )
+    if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+        parts: list[EffectReport] = []
+        for child in ast.walk(node):
+            if isinstance(child, (ast.Call, ast.NamedExpr, ast.Await,
+                                  ast.Yield, ast.YieldFrom)):
+                parts.append(python_effect(child, filename))
+        return _combine(parts)
+    if isinstance(node, (ast.operator, ast.boolop, ast.unaryop, ast.cmpop,
+                         ast.expr_context, ast.keyword, ast.comprehension)):
+        return _PURE
+    return EffectReport(
+        Purity.UNKNOWN,
+        f"unrecognized expression form {type(node).__name__}",
+        _py_loc(node, filename),
+    )

@@ -1,0 +1,445 @@
+"""The four analysis pass families over the Python-AST substrate.
+
+:func:`analyze_python_source` is purely static — ``ast.parse`` only, the
+analyzed file is **never executed** — which is what ``pgmp lint`` needs to
+run safely over arbitrary ``examples/``. It judges ``pycase``/``if_r``
+call sites and, because the shipped examples drive the Scheme substrate
+from Python strings, also reads embedded Scheme program literals and runs
+the surface Scheme passes over them.
+
+:func:`analyze_python_function` is the opt-in programmatic entry point
+(behind :meth:`repro.pyast.system.PyAstSystem.analyze`): it *does* expand
+the function — twice — which unlocks the hygiene and determinism passes
+over the instrumented AST, where explicit profile points finally exist.
+
+One substrate-specific subtlety: ``annotate_expr_ast`` wraps the original
+expression (which keeps its implicit location point) inside a profiling
+call at the *same* location carrying the explicit point. Implicit/explicit
+coexistence at one location is therefore the normal instrumentation shape
+here, not a bug — the pyast hygiene pass compares **explicit** points
+only: two *different explicit* points on one location means a macro
+double-annotated the expression and split its counters (PGMP202).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable
+
+from repro.analysis.diagnostics import AnalysisReport
+from repro.analysis.purity import Purity, python_effect
+from repro.analysis.scheme_passes import analyze_scheme_forms
+from repro.analysis.staleness import check_staleness
+from repro.core.database import ProfileDatabase
+from repro.core.errors import PgmpError, SchemeError
+from repro.core.profile_point import ProfilePoint
+from repro.core.srcloc import SourceLocation
+from repro.pyast.srcloc import POINT_ATTR, node_location, node_point
+from repro.scheme.reader import read_string
+
+__all__ = [
+    "PY_OPTIMIZABLE_CALLS",
+    "analyze_python_function",
+    "analyze_python_source",
+]
+
+#: Call-site names of the Python substrate's profile-guided macros.
+PY_OPTIMIZABLE_CALLS: frozenset[str] = frozenset({"if_r", "pycase"})
+
+#: Substrings that make a Python string literal a candidate embedded
+#: Scheme program worth reading and surface-analyzing.
+_EMBEDDED_SCHEME_MARKERS = (
+    "(exclusive-cond",
+    "(case ",
+    "(case\n",
+    "(if-r",
+    "(and-r",
+    "(or-r",
+)
+
+
+def _call_name(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _pycase_clauses(node: ast.Call) -> list[tuple[ast.expr, ast.expr]]:
+    clauses = []
+    for arg in node.args[1:]:
+        if isinstance(arg, ast.Tuple) and len(arg.elts) == 2:
+            clauses.append((arg.elts[0], arg.elts[1]))
+    return clauses
+
+
+def _literal_constants(constants: ast.expr) -> list[object] | None:
+    """The constant values of a literal tuple/list/set, or None when the
+    clause's constants are computed (nothing provable about overlap then)."""
+    if not isinstance(constants, (ast.Tuple, ast.List, ast.Set)):
+        return None
+    values = []
+    for element in constants.elts:
+        if not isinstance(element, ast.Constant):
+            return None
+        values.append(element.value)
+    return values
+
+
+# -- pass 1: effects / exclusivity (PGMP1xx) ----------------------------------
+
+
+def _check_pycase(
+    report: AnalysisReport,
+    node: ast.Call,
+    filename: str,
+    db: ProfileDatabase | None,
+) -> None:
+    clauses = _pycase_clauses(node)
+
+    # Effects: the constants expressions are membership-tested in clause
+    # order after reordering, so any effect in them is order-dependent.
+    for constants, _result in clauses:
+        verdict = python_effect(constants, filename)
+        if verdict.purity is Purity.IMPURE:
+            report.emit(
+                "PGMP101",
+                f"pycase(…) may reorder its clauses, but a clause's constants "
+                f"expression has a side effect: {verdict.reason}; reordering "
+                f"changes the program's behaviour",
+                location=verdict.location or node_location(constants, filename),
+                pass_name="effects",
+            )
+        elif verdict.purity is Purity.UNKNOWN:
+            report.emit(
+                "PGMP103",
+                f"pycase(…) asserts its clause constants are effect-free, but "
+                f"this expression {verdict.reason}",
+                location=verdict.location or node_location(constants, filename),
+                pass_name="effects",
+            )
+
+    # Exclusivity: literal constant tuples must be pairwise disjoint.
+    owners: dict[object, int] = {}
+    for number, (constants, _result) in enumerate(clauses, start=1):
+        values = _literal_constants(constants)
+        if values is None:
+            continue
+        shared = sorted(
+            {repr(v) for v in values if v in owners and owners[v] != number}
+        )
+        if shared:
+            report.emit(
+                "PGMP102",
+                f"pycase(…) clauses are exclusive by construction only if "
+                f"their constants are disjoint; clause #{number} repeats "
+                f"{', '.join(shared)} from an earlier clause — after "
+                f"reordering the later clause can win",
+                location=node_location(constants, filename),
+                pass_name="effects",
+            )
+        for value in values:
+            owners.setdefault(value, number)
+
+    _check_py_coverage(report, "pycase", node,
+                       [result for _constants, result in clauses],
+                       filename, db)
+
+
+def _check_if_r(
+    report: AnalysisReport,
+    node: ast.Call,
+    filename: str,
+    db: ProfileDatabase | None,
+) -> None:
+    # if_r's test runs exactly once in both expansions and its branches are
+    # lazily selected, so there is no effects obligation — only coverage.
+    _check_py_coverage(report, "if_r", node, list(node.args[1:3]), filename, db)
+
+
+# -- pass 3: coverage (PGMP3xx) ------------------------------------------------
+
+
+def _check_py_coverage(
+    report: AnalysisReport,
+    head: str,
+    construct: ast.Call,
+    branches: list[ast.expr],
+    filename: str,
+    db: ProfileDatabase | None,
+) -> None:
+    points: list[ProfilePoint] = []
+    for branch in branches:
+        point = node_point(branch, filename)
+        if point is None:
+            report.emit(
+                "PGMP301",
+                f"branch {ast.unparse(branch)} of {head}(…) carries no "
+                f"profile point (no source position); profiling can never "
+                f"weight it, so this construct cannot be optimized",
+                location=node_location(branch, filename)
+                or node_location(construct, filename),
+                pass_name="coverage",
+            )
+        else:
+            points.append(point)
+    if db is not None and db.has_data() and points:
+        if not any(db.known(point) for point in points):
+            report.emit(
+                "PGMP302",
+                f"the loaded profile has no data for any branch of this "
+                f"{head}(…); it was collected before this construct existed "
+                f"or never exercised it, so the source order is kept",
+                location=node_location(construct, filename),
+                pass_name="coverage",
+            )
+
+
+# -- embedded Scheme ----------------------------------------------------------
+
+
+def _embedded_scheme_strings(tree: ast.AST) -> list[tuple[str, ast.Constant]]:
+    """Plain string literals that look like Scheme programs using the
+    optimizable constructs. F-string pieces are skipped — they are source
+    *templates*, not programs."""
+    fstring_parts = {
+        id(value)
+        for node in ast.walk(tree)
+        if isinstance(node, ast.JoinedStr)
+        for value in node.values
+    }
+    found = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+            and id(node) not in fstring_parts
+            and any(marker in node.value for marker in _EMBEDDED_SCHEME_MARKERS)
+        ):
+            found.append((node.value, node))
+    return found
+
+
+# -- pass 2: hygiene + determinism over instrumented ASTs ----------------------
+
+
+def _explicit_points(tree: ast.AST, filename: str) -> list[tuple[ProfilePoint, SourceLocation | None]]:
+    out = []
+    for node in ast.walk(tree):
+        point = getattr(node, POINT_ATTR, None)
+        if isinstance(point, ProfilePoint):
+            out.append((point, node_location(node, filename)))
+    return out
+
+
+def _check_py_hygiene(report: AnalysisReport, tree: ast.AST, filename: str) -> None:
+    explicit = _explicit_points(tree, filename)
+
+    sites: dict[ProfilePoint, set[SourceLocation]] = {}
+    points_by_loc: dict[SourceLocation, set[ProfilePoint]] = {}
+    for point, loc in explicit:
+        if loc is None:
+            continue
+        sites.setdefault(point, set()).add(loc)
+        points_by_loc.setdefault(loc, set()).add(point)
+
+    for point, locs in sorted(sites.items(), key=lambda kv: kv[0].key()):
+        if len(locs) >= 2:
+            where = ", ".join(
+                str(loc) for loc in sorted(locs, key=lambda loc: loc.key())
+            )
+            report.emit(
+                "PGMP201",
+                f"profile point {point.location} is annotated onto "
+                f"expressions at {len(locs)} distinct locations ({where}); "
+                f"their counters alias, so profile-guided decisions cannot "
+                f"tell them apart",
+                location=min(locs, key=lambda loc: loc.key()),
+                pass_name="hygiene",
+            )
+
+    for loc, points in sorted(points_by_loc.items(), key=lambda kv: kv[0].key()):
+        if len(points) >= 2:
+            report.emit(
+                "PGMP202",
+                f"the expression at {loc} was annotated with "
+                f"{len(points)} different explicit profile points "
+                f"({', '.join(str(p.location) for p in sorted(points, key=lambda p: p.key()))}); "
+                f"its execution counts are split across that many counters "
+                f"(§3.1 allows at most one point per expression)",
+                location=loc,
+                pass_name="hygiene",
+            )
+
+
+def _generated_keys(tree: ast.AST, filename: str) -> frozenset[str]:
+    return frozenset(
+        point.key()
+        for point, _loc in _explicit_points(tree, filename)
+        if point.generated
+    )
+
+
+def _live_python_points(tree: ast.AST, filename: str) -> frozenset[str]:
+    keys = set()
+    for node in ast.walk(tree):
+        point = node_point(node, filename)
+        if point is not None:
+            keys.add(point.key())
+    return frozenset(keys)
+
+
+# -- drivers -------------------------------------------------------------------
+
+
+def analyze_python_source(
+    source: str,
+    filename: str = "<python>",
+    db: ProfileDatabase | None = None,
+    staleness: bool = True,
+) -> AnalysisReport:
+    """Statically analyze one Python file (never executing it).
+
+    Runs effects/exclusivity and coverage over ``pycase``/``if_r`` call
+    sites, surface-analyzes embedded Scheme program literals, and — when
+    ``db`` holds data — checks it for staleness against this file.
+    Expansion-dependent passes need a live function object; see
+    :func:`analyze_python_function`.
+    """
+    report = AnalysisReport()
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        report.emit(
+            "PGMP001",
+            f"could not parse {filename}: {exc}; analysis skipped",
+            pass_name="analysis",
+        )
+        return report
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            name = _call_name(node)
+            if name == "pycase":
+                _check_pycase(report, node, filename, db)
+            elif name == "if_r" and len(node.args) == 3:
+                _check_if_r(report, node, filename, db)
+
+    for text, constant in _embedded_scheme_strings(tree):
+        loc = node_location(constant, filename)
+        pseudo = f"{filename}#L{constant.lineno}" if loc else filename
+        try:
+            forms = read_string(text, pseudo)
+        except SchemeError:
+            continue  # looked like Scheme, is not — not this linter's problem
+        # Surface passes only: an embedded program cannot be expanded here,
+        # and its pseudo-filename points can never match the database.
+        analyze_scheme_forms(forms, report, None)
+
+    if staleness and db is not None and db.has_data():
+        live = {filename: _live_python_points(tree, filename)}
+        check_staleness(
+            report,
+            db,
+            {filename: source},
+            live,
+            include_generated=False,
+        )
+    return report
+
+
+def analyze_python_function(
+    fn: Callable,
+    db: ProfileDatabase | None = None,
+    expand: Callable[[Callable], Callable] | None = None,
+) -> AnalysisReport:
+    """Fully analyze one Python function, expansion passes included.
+
+    ``expand`` performs one macro expansion of ``fn`` (defaulting to a
+    plain :func:`repro.pyast.macros.expand_function` against ``db``); it is
+    called **twice** so the determinism pass can diff the generated point
+    sets, exactly like the Scheme side. Expansion failure degrades to the
+    static source analysis plus a PGMP001 note.
+    """
+    import inspect
+    import textwrap
+
+    from repro.core.api import using_profile_information
+    from repro.pyast.macros import expand_function
+
+    try:
+        source_lines, start_line = inspect.getsourcelines(fn)
+        source = textwrap.dedent("".join(source_lines))
+        filename = inspect.getsourcefile(fn) or "<python>"
+    except (OSError, TypeError):
+        source, filename, start_line = "", "<python>", 1
+
+    report = AnalysisReport()
+    if source:
+        # Pad to the function's real line so implicit points computed here
+        # key identically to the ones `expand_function` instruments (it
+        # dedents, then realigns with ast.increment_lineno). Staleness is
+        # deferred until after expansion, when the live point set
+        # (including re-manufactured generated points) is complete.
+        padded = "\n" * (start_line - 1) + source
+        static = analyze_python_source(padded, filename, db=db, staleness=False)
+        report.extend(static)
+
+    expander = expand
+    if expander is None:
+        database = db if db is not None else ProfileDatabase()
+
+        def _default_expand(target: Callable) -> Callable:
+            with using_profile_information(database):
+                return expand_function(target)
+
+        expander = _default_expand
+
+    try:
+        first = expander(fn)
+        second = expander(fn)
+    except PgmpError as exc:
+        report.emit(
+            "PGMP001",
+            f"could not expand {getattr(fn, '__name__', fn)!r}: {exc}; "
+            f"profile-point hygiene and determinism passes were skipped",
+            pass_name="analysis",
+        )
+        return report
+
+    tree_1 = getattr(first, "__pgmp_ast__", None)
+    tree_2 = getattr(second, "__pgmp_ast__", None)
+    if tree_1 is None or tree_2 is None:
+        return report
+
+    _check_py_hygiene(report, tree_1, filename)
+    before, after = _generated_keys(tree_1, filename), _generated_keys(tree_2, filename)
+    if before != after:
+        only_first = sorted(before - after)[:3]
+        only_second = sorted(after - before)[:3]
+        details = []
+        if only_first:
+            details.append(f"only in expansion 1: {', '.join(only_first)}")
+        if only_second:
+            details.append(f"only in expansion 2: {', '.join(only_second)}")
+        report.emit(
+            "PGMP203",
+            f"two independent expansions of "
+            f"{getattr(fn, '__name__', fn)!r} manufactured different fresh "
+            f"profile points ({len(before)} vs {len(after)}; "
+            f"{'; '.join(details)}); §4.1 requires deterministic generation "
+            f"or the next compile cannot read back this compile's data",
+            pass_name="hygiene",
+        )
+
+    if db is not None and db.has_data() and source:
+        live = {filename: _live_python_points(tree_1, filename) | _all_keys(tree_1, filename)}
+        check_staleness(report, db, {filename: source}, live)
+    return report
+
+
+def _all_keys(tree: ast.AST, filename: str) -> frozenset[str]:
+    return frozenset(
+        point.key() for point, _loc in _explicit_points(tree, filename)
+    )

@@ -1,0 +1,540 @@
+"""The four analysis pass families over the Scheme substrate.
+
+Surface passes (effects/exclusivity, coverage) run over *read* syntax,
+because the constructs they judge — ``exclusive-cond``, ``case``,
+``if-r``, ``and-r``, ``or-r`` — are macros that vanish during expansion.
+Detection is textual-by-head-symbol and deliberately conservative: a
+shadowed ``case`` binding would still be analyzed, which is the right
+trade-off for a linter.
+
+Expansion passes (profile-point hygiene, fresh-point determinism) run
+over the expanded core program, where every node's profile point is
+finally settled; determinism is checked the only way it can be — by
+expanding twice and diffing the generated point sets (§4.1's contract
+that ``make-profile-point`` output is reproducible across compiles).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+from typing import Protocol
+
+from repro.analysis.diagnostics import AnalysisReport
+from repro.analysis.purity import Purity, scheme_effect
+from repro.analysis.staleness import check_staleness
+from repro.core.database import ProfileDatabase
+from repro.core.errors import PgmpError
+from repro.core.profile_point import ProfilePoint
+from repro.core.srcloc import SourceLocation
+from repro.scheme.core_forms import (
+    App,
+    Begin,
+    CoreExpr,
+    Define,
+    If,
+    Lambda,
+    Program,
+    SetBang,
+    SyntaxCaseExpr,
+    TemplateExpr,
+)
+from repro.scheme.datum import Pair, SchemeVector, write_datum
+from repro.scheme.reader import read_string
+from repro.scheme.syntax import Syntax, syntax_pylist, syntax_to_datum
+
+__all__ = [
+    "OPTIMIZABLE_HEADS",
+    "analyze_scheme_source",
+    "analyze_scheme_forms",
+    "iter_syntax_nodes",
+    "live_scheme_points",
+]
+
+#: Head symbols of the constructs the shipped meta-programs may reorder or
+#: specialize. ``case`` layers on ``exclusive-cond`` (Figure 6), ``if-r``
+#: is Figure 1, ``and-r``/``or-r`` are the short-circuit extension.
+OPTIMIZABLE_HEADS: frozenset[str] = frozenset(
+    {"exclusive-cond", "case", "if-r", "and-r", "or-r"}
+)
+
+#: Heads whose clause *tests* are reordered and therefore must be pure.
+#: (``if-r`` evaluates its test exactly once in both expansions, and
+#: ``case`` tests are membership checks against quoted constants.)
+_REORDERED_TEST_HEADS = frozenset({"exclusive-cond", "and-r", "or-r"})
+
+
+class SchemeSystemLike(Protocol):
+    """What the expansion passes need from :class:`SchemeSystem`."""
+
+    profile_db: ProfileDatabase
+
+    def compile(self, source: str, filename: str = ...) -> Program: ...
+
+
+def _baseline_expansion(
+    system: SchemeSystemLike, source: str, filename: str
+) -> Program | None:
+    """Expand against an *empty* database — the instrumented expansion.
+
+    Generated profile points live only in this expansion (meta-programs
+    drop their instrumentation once they have data), so liveness judgments
+    about generated points must consult it, not the optimized expansion.
+    """
+    saved = system.profile_db
+    try:
+        system.profile_db = ProfileDatabase()
+        return system.compile(source, filename)
+    except PgmpError:
+        return None
+    finally:
+        system.profile_db = saved
+
+
+# -- syntax traversal ---------------------------------------------------------
+
+
+def iter_syntax_nodes(stx: Syntax) -> Iterator[Syntax]:
+    """Depth-first iteration over every syntax node, including ``stx``."""
+    stack: list[Syntax] = [stx]
+    while stack:
+        node = stack.pop()
+        yield node
+        datum = node.datum
+        if isinstance(datum, Pair):
+            spine: object = datum
+            while isinstance(spine, Pair):
+                if isinstance(spine.car, Syntax):
+                    stack.append(spine.car)
+                spine = spine.cdr
+            if isinstance(spine, Syntax):
+                stack.append(spine)
+        elif isinstance(datum, SchemeVector):
+            stack.extend(x for x in datum if isinstance(x, Syntax))
+
+
+def _constructs(forms: list[Syntax]) -> Iterator[tuple[str, Syntax]]:
+    """Every optimizable construct in ``forms``, outermost first."""
+    for form in forms:
+        for node in iter_syntax_nodes(form):
+            head = node.head_symbol()
+            if head is not None and head.name in OPTIMIZABLE_HEADS:
+                yield head.name, node
+
+
+def _loc(stx: Syntax) -> SourceLocation | None:
+    if stx.srcloc.filename == "<unknown>":
+        return None
+    return stx.srcloc
+
+
+def _datum_text(stx: Syntax) -> str:
+    return write_datum(syntax_to_datum(stx))
+
+
+def _is_else_clause(clause: Syntax) -> bool:
+    head = clause.head_symbol()
+    return head is not None and head.name == "else"
+
+
+def _clause_list(construct: Syntax) -> list[Syntax]:
+    try:
+        return [item for item in syntax_pylist(construct) if item.is_pair()]
+    except TypeError:
+        return []
+
+
+def _exclusive_cond_parts(clause: Syntax) -> tuple[Syntax | None, Syntax | None]:
+    """(test, weight-carrying branch) of one ``exclusive-cond`` clause."""
+    try:
+        items = syntax_pylist(clause)
+    except TypeError:
+        return None, None
+    if not items or _is_else_clause(clause):
+        return None, None
+    test = items[0]
+    if len(items) >= 3 and items[1].is_symbol() and items[1].symbol_name == "=>":
+        return test, items[2]
+    if len(items) == 1:
+        return test, test  # test-only clause: the test is the branch
+    return test, items[1]
+
+
+def _case_parts(clause: Syntax) -> tuple[list[Syntax], Syntax | None]:
+    """(constant list, weight-carrying branch) of one ``case`` clause."""
+    try:
+        items = syntax_pylist(clause)
+    except TypeError:
+        return [], None
+    if not items or _is_else_clause(clause):
+        return [], None
+    constants: list[Syntax] = []
+    if items[0].is_pair() or items[0].is_null():
+        try:
+            constants = syntax_pylist(items[0])
+        except TypeError:
+            constants = []
+    return constants, (items[1] if len(items) > 1 else None)
+
+
+# -- pass 1: effects / exclusivity (PGMP1xx) ----------------------------------
+
+
+def _check_test_effect(report: AnalysisReport, head: str, test: Syntax) -> None:
+    verdict = scheme_effect(test)
+    if verdict.purity is Purity.IMPURE:
+        report.emit(
+            "PGMP101",
+            f"({head} …) may reorder its tests, but {_datum_text(test)} has a "
+            f"side effect: {verdict.reason}; reordering changes the program's "
+            f"behaviour",
+            location=verdict.location or _loc(test),
+            pass_name="effects",
+        )
+    elif verdict.purity is Purity.UNKNOWN:
+        report.emit(
+            "PGMP103",
+            f"({head} …) asserts its tests are effect-free, but "
+            f"{_datum_text(test)} {verdict.reason}",
+            location=verdict.location or _loc(test),
+            pass_name="effects",
+        )
+
+
+def _check_effects_and_exclusivity(
+    report: AnalysisReport, head: str, construct: Syntax
+) -> None:
+    if head in _REORDERED_TEST_HEADS:
+        if head == "exclusive-cond":
+            tests = [
+                test
+                for clause in _clause_list(construct)
+                if (test := _exclusive_cond_parts(clause)[0]) is not None
+            ]
+        else:  # and-r / or-r operands are the reordered tests
+            try:
+                tests = syntax_pylist(construct)[1:]
+            except TypeError:
+                tests = []
+        for test in tests:
+            _check_test_effect(report, head, test)
+        if head == "exclusive-cond":
+            seen: dict[str, Syntax] = {}
+            for test in tests:
+                text = _datum_text(test)
+                if text in seen:
+                    report.emit(
+                        "PGMP102",
+                        f"(exclusive-cond …) declares its clauses mutually "
+                        f"exclusive, but the test {text} appears more than "
+                        f"once; after reordering a different clause wins",
+                        location=_loc(test),
+                        pass_name="effects",
+                    )
+                else:
+                    seen[text] = test
+    elif head == "case":
+        owners: dict[str, int] = {}
+        for number, clause in enumerate(_clause_list(construct), start=1):
+            constants, _branch = _case_parts(clause)
+            shared = sorted(
+                {
+                    _datum_text(const)
+                    for const in constants
+                    if _datum_text(const) in owners
+                    and owners[_datum_text(const)] != number
+                }
+            )
+            if shared:
+                report.emit(
+                    "PGMP102",
+                    f"(case …) clauses are exclusive by construction only if "
+                    f"their constants are disjoint; clause #{number} repeats "
+                    f"{', '.join(shared)} from an earlier clause — after "
+                    f"reordering the later clause can win",
+                    location=_loc(clause),
+                    pass_name="effects",
+                )
+            for const in constants:
+                owners.setdefault(_datum_text(const), number)
+
+
+# -- pass 3: coverage (PGMP3xx) ------------------------------------------------
+
+
+def _branches(head: str, construct: Syntax) -> list[Syntax]:
+    """The weight-carrying expressions a profile must cover to guide
+    ``construct``."""
+    if head == "exclusive-cond":
+        return [
+            branch
+            for clause in _clause_list(construct)
+            if (branch := _exclusive_cond_parts(clause)[1]) is not None
+        ]
+    if head == "case":
+        return [
+            branch
+            for clause in _clause_list(construct)
+            if (branch := _case_parts(clause)[1]) is not None
+        ]
+    try:
+        items = syntax_pylist(construct)
+    except TypeError:
+        return []
+    if head == "if-r":
+        return items[2:4]
+    return items[1:]  # and-r / or-r operands
+
+
+def _check_coverage(
+    report: AnalysisReport,
+    head: str,
+    construct: Syntax,
+    db: ProfileDatabase | None,
+) -> None:
+    branches = _branches(head, construct)
+    points: list[ProfilePoint] = []
+    for branch in branches:
+        point = branch.profile_point
+        if point is None:
+            report.emit(
+                "PGMP301",
+                f"branch {_datum_text(branch)} of ({head} …) carries no "
+                f"profile point (no usable source location); profiling can "
+                f"never weight it, so this construct cannot be optimized",
+                location=_loc(branch) or _loc(construct),
+                pass_name="coverage",
+            )
+        else:
+            points.append(point)
+    if db is not None and db.has_data() and points:
+        if not any(db.known(point) for point in points):
+            report.emit(
+                "PGMP302",
+                f"the loaded profile has no data for any branch of this "
+                f"({head} …); it was collected before this construct existed "
+                f"or never exercised it, so the source order is kept",
+                location=_loc(construct),
+                pass_name="coverage",
+            )
+
+
+# -- pass 2: profile-point hygiene (PGMP2xx) -----------------------------------
+
+
+def iter_core_nodes(expr: CoreExpr | Program) -> Iterator[CoreExpr]:
+    """Depth-first iteration over a core program's expression nodes."""
+    stack: list[CoreExpr] = (
+        list(expr.forms) if isinstance(expr, Program) else [expr]
+    )
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (SetBang, Define)):
+            stack.append(node.expr)
+        elif isinstance(node, If):
+            stack.extend((node.test, node.then, node.otherwise))
+        elif isinstance(node, Lambda):
+            stack.extend(node.body)
+        elif isinstance(node, Begin):
+            stack.extend(node.exprs)
+        elif isinstance(node, App):
+            stack.append(node.fn)
+            stack.extend(node.args)
+        elif isinstance(node, SyntaxCaseExpr):
+            stack.append(node.subject)
+            for clause in node.clauses:
+                if clause.fender is not None:
+                    stack.append(clause.fender)
+                stack.append(clause.body)
+        elif isinstance(node, TemplateExpr):
+            stack.extend(hole for hole, _splice in node.holes.values())
+
+
+def _check_hygiene(report: AnalysisReport, program: Program) -> None:
+    explicit_sites: dict[ProfilePoint, set[SourceLocation]] = {}
+    points_by_loc: dict[SourceLocation, set[ProfilePoint]] = {}
+    for node in iter_core_nodes(program):
+        stx = node.stx
+        if stx is None:
+            continue
+        point = stx.profile_point
+        if point is None:
+            continue
+        if stx.explicit_point is not None:
+            explicit_sites.setdefault(point, set()).add(stx.srcloc)
+        if stx.srcloc.filename != "<unknown>":
+            points_by_loc.setdefault(stx.srcloc, set()).add(point)
+
+    for point, sites in sorted(
+        explicit_sites.items(), key=lambda kv: kv[0].key()
+    ):
+        real_sites = {loc for loc in sites if loc.filename != "<unknown>"}
+        if len(real_sites) >= 2:
+            where = ", ".join(str(loc) for loc in sorted(
+                real_sites, key=lambda loc: loc.key()
+            ))
+            report.emit(
+                "PGMP201",
+                f"profile point {point.location} is annotated onto expressions "
+                f"at {len(real_sites)} distinct locations ({where}); their "
+                f"counters alias, so profile-guided decisions cannot tell "
+                f"them apart",
+                location=min(real_sites, key=lambda loc: loc.key()),
+                pass_name="hygiene",
+            )
+
+    for loc, points in sorted(points_by_loc.items(), key=lambda kv: kv[0].key()):
+        if len(points) < 2:
+            continue
+        implicit = ProfilePoint.for_location(loc)
+        if implicit in points:
+            others = [p for p in points if p != implicit]
+            report.emit(
+                "PGMP202",
+                f"the expression at {loc} occurs both with its implicit "
+                f"profile point and re-annotated as "
+                f"{', '.join(str(p.location) for p in sorted(others, key=lambda p: p.key()))}; "
+                f"its execution counts are split across {len(points)} counters "
+                f"(§3.1 allows at most one point per expression)",
+                location=loc,
+                pass_name="hygiene",
+            )
+
+
+def _generated_point_keys(program: Program) -> frozenset[str]:
+    keys = set()
+    for node in iter_core_nodes(program):
+        point = node.profile_point
+        if point is not None and point.generated:
+            keys.add(point.key())
+    return frozenset(keys)
+
+
+def _all_point_keys(program: Program) -> frozenset[str]:
+    keys = set()
+    for node in iter_core_nodes(program):
+        point = node.profile_point
+        if point is not None:
+            keys.add(point.key())
+    return frozenset(keys)
+
+
+# -- pass 4 helper: live points ------------------------------------------------
+
+
+def live_scheme_points(
+    forms: list[Syntax], expansions: list[Program] | None = None
+) -> frozenset[str]:
+    """Every profile-point key the current source can still produce:
+    implicit location points of all read syntax, plus any point that an
+    actual expansion associates with a node (covering deterministically
+    re-manufactured generated points)."""
+    keys = {
+        ProfilePoint.for_location(node.srcloc).key()
+        for form in forms
+        for node in iter_syntax_nodes(form)
+        if node.srcloc.filename != "<unknown>"
+    }
+    for program in expansions or []:
+        keys |= _all_point_keys(program)
+    return frozenset(keys)
+
+
+# -- driver -------------------------------------------------------------------
+
+
+def analyze_scheme_forms(
+    forms: list[Syntax],
+    report: AnalysisReport | None = None,
+    db: ProfileDatabase | None = None,
+) -> AnalysisReport:
+    """Run the surface passes (effects/exclusivity + coverage) over read
+    syntax. This is all the analysis that is possible without being able
+    to expand the program (e.g. for Scheme embedded in Python strings)."""
+    report = report if report is not None else AnalysisReport()
+    for head, construct in _constructs(forms):
+        _check_effects_and_exclusivity(report, head, construct)
+        _check_coverage(report, head, construct, db)
+    return report
+
+
+def analyze_scheme_source(
+    source: str,
+    filename: str = "<scheme>",
+    system: SchemeSystemLike | None = None,
+    db: ProfileDatabase | None = None,
+    sources: Mapping[str, str] | None = None,
+) -> AnalysisReport:
+    """Full analysis of one Scheme program.
+
+    Surface passes always run. When ``system`` is provided (anything with
+    ``compile``, e.g. a :class:`~repro.scheme.pipeline.SchemeSystem` with
+    the right libraries loaded), the program is expanded **twice** for the
+    hygiene and determinism passes; if expansion fails — say the file uses
+    macros whose library was not loaded — the analysis degrades to
+    surface-only with a PGMP001 note instead of failing.
+
+    ``db`` defaults to the system's ambient database; when it holds data,
+    the staleness pass checks it against ``sources`` (defaulting to the
+    analyzed file itself).
+    """
+    report = AnalysisReport()
+    forms = read_string(source, filename)
+    if db is None and system is not None:
+        db = system.profile_db
+    analyze_scheme_forms(forms, report, db)
+
+    expansions: list[Program] = []
+    if system is not None:
+        try:
+            first = system.compile(source, filename)
+            second = system.compile(source, filename)
+            expansions = [first, second]
+        except PgmpError as exc:
+            report.emit(
+                "PGMP001",
+                f"could not expand {filename}: {exc}; profile-point hygiene "
+                f"and determinism passes were skipped (load the construct's "
+                f"library with --library to enable them)",
+                pass_name="analysis",
+            )
+        else:
+            _check_hygiene(report, first)
+            before, after = (
+                _generated_point_keys(first),
+                _generated_point_keys(second),
+            )
+            if before != after:
+                only_first = sorted(before - after)[:3]
+                only_second = sorted(after - before)[:3]
+                details = []
+                if only_first:
+                    details.append(f"only in expansion 1: {', '.join(only_first)}")
+                if only_second:
+                    details.append(f"only in expansion 2: {', '.join(only_second)}")
+                report.emit(
+                    "PGMP203",
+                    f"two independent expansions of {filename} manufactured "
+                    f"different fresh profile points "
+                    f"({len(before)} vs {len(after)}; {'; '.join(details)}); "
+                    f"§4.1 requires deterministic generation or the next "
+                    f"compile cannot read back this compile's data",
+                    pass_name="hygiene",
+                )
+
+    if db is not None and db.has_data():
+        effective_sources = dict(sources) if sources is not None else {filename: source}
+        effective_sources.setdefault(filename, source)
+        if system is not None:
+            baseline = _baseline_expansion(system, source, filename)
+            if baseline is not None:
+                expansions = expansions + [baseline]
+        live = {filename: live_scheme_points(forms, expansions)}
+        check_staleness(
+            report,
+            db,
+            effective_sources,
+            live,
+            include_generated=bool(expansions),
+        )
+    return report

@@ -1,0 +1,87 @@
+"""PGMP4xx — staleness checks for loaded profile databases.
+
+A profile database is only useful while (a) the source it was collected
+against has not changed (checked here via the format-v2 per-data-set
+fingerprints) and (b) its profile points still map to *live* source
+locations — expressions that the current program would actually
+re-associate with a counter. Both substrates feed this module the same
+inputs: a database and a map from filename to the set of live profile-point
+keys that file can produce today (implicit location points plus
+deterministically re-manufactured generated points).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.analysis.diagnostics import AnalysisReport
+from repro.core.database import ProfileDatabase, source_fingerprint
+from repro.core.profile_point import GENERATED_MARKER
+
+__all__ = ["check_staleness"]
+
+PASS_NAME = "staleness"
+
+
+def _base_filename(filename: str) -> str:
+    """Strip the deterministic generated-point suffix (``…%pgmpN``)."""
+    return filename.split(GENERATED_MARKER, 1)[0]
+
+
+def check_staleness(
+    report: AnalysisReport,
+    db: ProfileDatabase,
+    sources: Mapping[str, str],
+    live_points: Mapping[str, frozenset[str] | set[str]],
+    include_generated: bool = True,
+) -> None:
+    """Emit PGMP401/PGMP402 for ``db`` against the current ``sources``.
+
+    ``live_points`` maps each analyzed filename to the set of profile-point
+    *keys* that file can still produce; database points attributed to an
+    analyzed file but absent from its live set are dead (PGMP401). Points
+    from files the caller did not analyze are left alone — the analyzer
+    only judges what it can see. Fingerprint mismatches (PGMP402) reuse the
+    format-v2 staleness machinery of :mod:`repro.core.database`.
+
+    Callers that could not *expand* the analyzed file pass
+    ``include_generated=False``: without an expansion the deterministically
+    re-manufactured generated points are unknowable, so only implicit
+    (location-derived) points are judged for liveness.
+    """
+    # PGMP402 — data sets collected against source that has since changed.
+    current = {name: source_fingerprint(text) for name, text in sources.items()}
+    tables = db.datasets()
+    for index, fps in enumerate(db.dataset_fingerprints()):
+        name = tables[index].name if index < len(tables) else f"dataset-{index}"
+        changed = sorted(
+            filename
+            for filename, digest in fps.items()
+            if filename in current and current[filename] != digest
+        )
+        if changed:
+            report.emit(
+                "PGMP402",
+                f"data set #{index} ({name!r}) was collected against different "
+                f"source for {', '.join(changed)}; its weights mis-attribute "
+                f"to the current code",
+                pass_name=PASS_NAME,
+            )
+
+    # PGMP401 — points that no longer map to any live source location.
+    for point in db.merged().points():
+        if point.generated and not include_generated:
+            continue
+        base = _base_filename(point.location.filename)
+        live = live_points.get(base)
+        if live is None:
+            continue  # a file the caller did not analyze
+        if point.key() not in live:
+            kind = "generated point" if point.generated else "point"
+            report.emit(
+                "PGMP401",
+                f"profile {kind} {point.location} does not map to any live "
+                f"source location in {base}; its data can never be queried",
+                location=point.location,
+                pass_name=PASS_NAME,
+            )

@@ -46,9 +46,21 @@ EXCLUSIVE_COND_LIBRARY = r"""
       [(test) (profile-query #'test)]
       [(test e1 e2 ...) (profile-query #'e1)]))
   (define (sort-clauses clause*)
-    ;; Sort clauses greatest-to-least by weight. The sort is stable, so
-    ;; without profile data the original order is preserved.
-    (sort clause* > clause-weight))
+    ;; Sort clauses greatest-to-least by weight. Equal-weight clauses
+    ;; keep their source order via an explicit original-index tie-break —
+    ;; a guarantee of deterministic re-expansion, not an accident of the
+    ;; host sort's stability.
+    (define (decorate clause* i)
+      (if (null? clause*)
+          '()
+          (cons (list (clause-weight (car clause*)) i (car clause*))
+                (decorate (cdr clause*) (+ i 1)))))
+    (define (hotter? a b)
+      (if (= (car a) (car b))
+          (< (car (cdr a)) (car (cdr b)))
+          (> (car a) (car b))))
+    (map (lambda (entry) (car (cdr (cdr entry))))
+         (sort (decorate clause* 0) hotter?)))
   ;; Start of code transformation.
   (syntax-case syn (else)
     [(_ clause ... [else e1 e2 ...])

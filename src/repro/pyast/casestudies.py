@@ -108,16 +108,18 @@ def _expand_pycase(node: ast.Call, ctx: MacroContext) -> ast.AST:
             raise MacroError(f"pycase: unknown keyword {kw.arg!r}")
     ast.copy_location(default, node)
 
-    # Sort clauses hottest-first (stable: no data ⇒ source order).
+    # Sort clauses hottest-first. Equal-weight clauses keep their source
+    # order via an explicit original-index tie-break — deterministic
+    # re-expansion guaranteed, not inherited from sort stability.
     weighted = sorted(
-        clauses,
-        key=lambda clause: -case_weights_key(clause[1], ctx),
+        enumerate(clauses),
+        key=lambda pair: (-case_weights_key(pair[1][1], ctx), pair[0]),
     )
 
     # (lambda __pgmp_key: r1 if __pgmp_key in c1 else ... default)(key)
     key_name = "__pgmp_key"
     body: ast.expr = default
-    for constants, result in reversed(weighted):
+    for _index, (constants, result) in reversed(weighted):
         point = ctx.point_of(result)
         annotated = ctx.annotate(result, point) if point is not None else result
         test = ast.Compare(

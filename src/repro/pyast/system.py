@@ -99,6 +99,28 @@ class PyAstSystem:
         self.profile_db.record_counters(counters, importance, fingerprints)
         return counters
 
+    def analyze(
+        self,
+        fn: Callable,
+        registry: MacroRegistry | None = None,
+    ):
+        """Opt-in static analysis of ``fn`` (the ``pgmp lint`` passes).
+
+        Runs the effects/exclusivity and coverage passes over ``fn``'s
+        source, then expands it twice through :meth:`expand` for the
+        profile-point hygiene and determinism passes, and checks
+        :attr:`profile_db` for staleness. Returns an
+        :class:`repro.analysis.AnalysisReport`; ``fn`` itself is never
+        called.
+        """
+        from repro.analysis.pyast_passes import analyze_python_function
+
+        return analyze_python_function(
+            fn,
+            db=self.profile_db,
+            expand=lambda target: self.expand(target, registry),
+        )
+
     def store_profile(self, path: str | os.PathLike[str]) -> None:
         self.profile_db.store(path)
 

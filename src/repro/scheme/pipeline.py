@@ -292,6 +292,27 @@ class SchemeSystem:
             )
         self.profile_db = db
 
+    def analyze(
+        self,
+        source: str,
+        filename: str = "<string>",
+        sources: dict[str, str] | None = None,
+    ):
+        """Opt-in static analysis of ``source`` (the ``pgmp lint`` passes).
+
+        Runs the effects/exclusivity and coverage passes over the read
+        syntax, the profile-point hygiene and determinism passes over the
+        expansion (against this system's loaded libraries and ambient
+        database), and the staleness pass over :attr:`profile_db`. Returns
+        an :class:`repro.analysis.AnalysisReport`; nothing is executed and
+        no state of this system is modified.
+        """
+        from repro.analysis.scheme_passes import analyze_scheme_source
+
+        return analyze_scheme_source(
+            source, filename, system=self, db=self.profile_db, sources=sources
+        )
+
     def fresh_runtime(self) -> None:
         """Discard run-time state (top-level definitions) between runs,
         then re-install loaded libraries."""

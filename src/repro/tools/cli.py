@@ -9,6 +9,7 @@ Subcommands mirror the paper's workflow:
 * ``pgmp workflow FILE``  — run the Section-4.3 three-pass protocol
 * ``pgmp disasm FILE``    — print basic-block bytecode
 * ``pgmp report FILE``    — render a stored profile over the source
+* ``pgmp lint FILE...``   — static soundness & profile-hygiene analysis
 
 Built-in case-study libraries are loadable by name via ``--library``:
 ``if-r``, ``case``, ``oop``, ``datastructs``, ``boolean``, ``inliner``, or a
@@ -20,7 +21,9 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core.errors import PgmpError
+from repro.core.database import ProfileDatabase
+from repro.core.errors import PgmpError, ProfileFormatError
+from repro.core.policy import DegradationLog, ProfilePolicy, degrade
 from repro.scheme.core_forms import unparse_string
 from repro.scheme.datum import write_datum
 from repro.scheme.instrument import ProfileMode
@@ -69,21 +72,66 @@ def _builtin_libraries() -> dict[str, list[tuple[str, str]]]:
     return _BUILTIN_LIBRARIES
 
 
-def _load_libraries(system: SchemeSystem, names: list[str]) -> list[str]:
-    """Install libraries; returns their sources (for the workflow command)."""
-    sources: list[str] = []
+def _resolve_library_sources(names: list[str]) -> list[tuple[str, str]]:
+    """``--library`` values to (source, filename) pairs (builtin or path)."""
+    pairs: list[tuple[str, str]] = []
     for name in names:
         builtin = _builtin_libraries().get(name)
         if builtin is not None:
-            for source, filename in builtin:
-                system.load_library(source, filename)
-                sources.append(source)
+            pairs.extend(builtin)
         else:
             with open(name, "r", encoding="utf-8") as handle:
-                source = handle.read()
-            system.load_library(source, name)
-            sources.append(source)
+                pairs.append((handle.read(), name))
+    return pairs
+
+
+def _load_libraries(system: SchemeSystem, names: list[str]) -> list[str]:
+    """Install libraries; returns their sources (for the workflow command)."""
+    sources: list[str] = []
+    for source, filename in _resolve_library_sources(names):
+        system.load_library(source, filename)
+        sources.append(source)
     return sources
+
+
+def _load_profile_database(
+    path: str,
+    policy: ProfilePolicy | str,
+    sources: dict[str, str] | None = None,
+    degradations: DegradationLog | None = None,
+) -> ProfileDatabase:
+    """Load a stored profile honoring ``--profile-policy``.
+
+    The one loading path shared by every subcommand that reads a profile
+    file (``report``, ``lint``, and everything routed through
+    :func:`_make_system`): strict raises on malformed or stale data,
+    warn/ignore quarantine bad data sets (or fall back to an empty
+    database) through the standard :func:`repro.core.policy.degrade`
+    choke point.
+    """
+    policy = ProfilePolicy.coerce(policy)
+    if policy is ProfilePolicy.STRICT:
+        return ProfileDatabase.load(path, sources=sources)
+    try:
+        db = ProfileDatabase.load(path, on_error="skip", sources=sources)
+    except (ProfileFormatError, OSError) as exc:
+        degrade(
+            "load-profile",
+            f"{path}: {exc}",
+            "continuing with an empty profile database (unoptimized)",
+            policy=policy,
+            log=degradations,
+        )
+        return ProfileDatabase()
+    for entry in db.quarantine:
+        degrade(
+            "load-profile",
+            f"{path}: {entry}",
+            "quarantined the data set; loaded the rest",
+            policy=policy,
+            log=degradations,
+        )
+    return db
 
 
 def _read_program(path: str) -> str:
@@ -181,6 +229,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--histogram", action="store_true", help="also print a weight histogram"
     )
 
+    p_lint = sub.add_parser(
+        "lint", help="static soundness & profile-hygiene analysis"
+    )
+    p_lint.add_argument(
+        "files", nargs="+", help="Scheme or Python files to analyze"
+    )
+    p_lint.add_argument(
+        "--library",
+        action="append",
+        default=[],
+        help="library to preload: if-r, case, oop, datastructs, or a path "
+        "(enables the expansion-dependent passes for Scheme files)",
+    )
+    p_lint.add_argument(
+        "--profile-file",
+        default=None,
+        help="stored profile to check for coverage and staleness",
+    )
+    p_lint.add_argument(
+        "--profile-policy",
+        choices=["strict", "warn", "ignore"],
+        default="strict",
+        help="policy used while loading the profile and expanding programs",
+    )
+    p_lint.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="diagnostic output format (default: text)",
+    )
+    p_lint.add_argument(
+        "--severity",
+        choices=["info", "warning", "error"],
+        default="warning",
+        help="minimum severity to report (default: warning); the exit code "
+        "reflects errors regardless",
+    )
+
     return parser
 
 
@@ -193,8 +279,32 @@ def _make_system(
         # Hand the current program text over for staleness detection: a
         # profile collected against an older version of args.file is stale.
         staleness = {args.file: source} if source is not None else None
-        system.load_profile(args.profile_file, sources=staleness)
+        system.profile_db = _load_profile_database(
+            args.profile_file, system.policy, staleness, system.degradations
+        )
     return system, sources
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import lint_paths, render_json, render_text
+
+    db = None
+    if args.profile_file:
+        # No `sources` at load time: lint reports staleness as PGMP402
+        # diagnostics instead of refusing to load the profile.
+        db = _load_profile_database(args.profile_file, args.profile_policy)
+    library_sources = _resolve_library_sources(args.library)
+    report = lint_paths(
+        args.files,
+        library_sources=library_sources,
+        db=db,
+        policy=args.profile_policy,
+    )
+    if args.format == "json":
+        print(render_json(report, args.severity))
+    else:
+        print(render_text(report, args.severity))
+    return 1 if report.errors() else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -223,6 +333,8 @@ def _maybe_simplify(args: argparse.Namespace, program):
 
 
 def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "lint":
+        return _run_lint(args)
     source = _read_program(args.file)
     system, library_sources = _make_system(args, source)
 

@@ -1,0 +1,161 @@
+"""Golden-output tests for the diagnostics framework and its renderers."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    CODE_CATALOG,
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    render_json,
+    render_text,
+)
+from repro.core.srcloc import SourceLocation
+
+
+def sample_report() -> AnalysisReport:
+    report = AnalysisReport()
+    report.emit(
+        "PGMP101",
+        "test has a side effect",
+        location=SourceLocation("f.ss", 10, 20, 3, 4),
+        pass_name="effects",
+    )
+    report.emit(
+        "PGMP103",
+        "test purity cannot be proved",
+        location=SourceLocation("f.ss", 30, 40, 5, 2),
+        pass_name="effects",
+    )
+    report.emit("PGMP302", "profile knows no branch", pass_name="coverage")
+    return report
+
+
+GOLDEN_TEXT = """\
+f.ss:3:4: error: PGMP101: test has a side effect
+f.ss:5:2: warning: PGMP103: test purity cannot be proved
+<no location>: info: PGMP302: profile knows no branch
+pgmp lint: 1 error(s), 1 warning(s), 1 info"""
+
+
+GOLDEN_JSON_OBJECT = {
+    "format": "pgmp-lint",
+    "version": 1,
+    "diagnostics": [
+        {
+            "code": "PGMP101",
+            "severity": "error",
+            "pass": "effects",
+            "message": "test has a side effect",
+            "location": {
+                "filename": "f.ss",
+                "line": 3,
+                "column": 4,
+                "start": 10,
+                "end": 20,
+            },
+        },
+        {
+            "code": "PGMP103",
+            "severity": "warning",
+            "pass": "effects",
+            "message": "test purity cannot be proved",
+            "location": {
+                "filename": "f.ss",
+                "line": 5,
+                "column": 2,
+                "start": 30,
+                "end": 40,
+            },
+        },
+        {
+            "code": "PGMP302",
+            "severity": "info",
+            "pass": "coverage",
+            "message": "profile knows no branch",
+        },
+    ],
+    "summary": {"error": 1, "warning": 1, "info": 1},
+}
+
+
+class TestTextRenderer:
+    def test_golden_full_output(self):
+        assert render_text(sample_report()) == GOLDEN_TEXT
+
+    def test_severity_gate_hides_lower_findings(self):
+        text = render_text(sample_report(), min_severity="error")
+        assert "PGMP101" in text
+        assert "PGMP103" not in text
+        assert "PGMP302" not in text
+        assert text.endswith("pgmp lint: 1 error(s), 0 warning(s), 0 info")
+
+    def test_empty_report_is_clean_line(self):
+        assert render_text(AnalysisReport()) == "pgmp lint: no findings"
+
+    def test_gate_that_hides_everything_is_clean_line(self):
+        report = AnalysisReport()
+        report.emit("PGMP302", "nothing", pass_name="coverage")
+        assert render_text(report, min_severity="error") == "pgmp lint: no findings"
+
+
+class TestJsonRenderer:
+    def test_golden_full_output(self):
+        rendered = render_json(sample_report())
+        assert json.loads(rendered) == GOLDEN_JSON_OBJECT
+        # The serialized form itself is stable (sorted keys, 2-space indent).
+        assert rendered == json.dumps(GOLDEN_JSON_OBJECT, indent=2, sort_keys=True)
+
+    def test_severity_gate(self):
+        payload = json.loads(render_json(sample_report(), min_severity="warning"))
+        assert [d["code"] for d in payload["diagnostics"]] == ["PGMP101", "PGMP103"]
+        assert payload["summary"] == {"error": 1, "warning": 1, "info": 0}
+
+
+class TestSeverity:
+    def test_coerce_accepts_names_and_values(self):
+        assert Severity.coerce("error") is Severity.ERROR
+        assert Severity.coerce("WARNING") is Severity.WARNING
+        assert Severity.coerce(Severity.INFO) is Severity.INFO
+
+    def test_coerce_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.coerce("fatal")
+
+    def test_ordering(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.INFO
+
+
+class TestCatalog:
+    def test_unknown_code_is_a_programming_error(self):
+        with pytest.raises(ValueError, match="unknown diagnostic code"):
+            Diagnostic.make("PGMP999", "nope")
+
+    def test_every_pass_family_is_represented(self):
+        families = {code[:5] for code in CODE_CATALOG}
+        assert families == {"PGMP0", "PGMP1", "PGMP2", "PGMP3", "PGMP4"}
+
+    def test_default_severities_come_from_catalog(self):
+        diag = Diagnostic.make("PGMP203", "points differ")
+        assert diag.severity is Severity.ERROR
+        diag = Diagnostic.make("PGMP203", "points differ", severity=Severity.INFO)
+        assert diag.severity is Severity.INFO
+
+
+class TestReportHelpers:
+    def test_codes_and_by_code_and_max_severity(self):
+        report = sample_report()
+        assert report.codes() == ["PGMP101", "PGMP103", "PGMP302"]
+        assert len(report.by_code("PGMP103")) == 1
+        assert report.max_severity() is Severity.ERROR
+        assert AnalysisReport().max_severity() is None
+
+    def test_extend_concatenates_in_order(self):
+        a, b = sample_report(), sample_report()
+        a.extend(b)
+        assert len(a) == 6
+        assert bool(a) and not bool(AnalysisReport())

@@ -1,0 +1,150 @@
+"""End-to-end tests for the ``pgmp lint`` subcommand."""
+
+from __future__ import annotations
+
+import glob
+import json
+
+import pytest
+
+from repro.tools.cli import main
+
+OVERLAPPING = """
+(define (f x)
+  (case x [(1 2) 'a] [(2 3) 'b] [else 'c]))
+"""
+
+UNPROVABLE = """
+(define (f x)
+  (exclusive-cond [(hot? x) 'a] [else 'b]))
+"""
+
+CLEAN = """
+(define (f x)
+  (case x [(1 2) 'a] [(3 4) 'b] [else 'c]))
+"""
+
+
+@pytest.fixture
+def write(tmp_path):
+    def _write(name: str, text: str) -> str:
+        path = tmp_path / name
+        path.write_text(text)
+        return str(path)
+
+    return _write
+
+
+class TestExitCodes:
+    def test_error_finding_exits_1(self, write, capsys):
+        assert main(["lint", write("f.ss", OVERLAPPING)]) == 1
+        out = capsys.readouterr().out
+        assert "PGMP102" in out
+        assert "1 error(s)" in out
+
+    def test_warning_only_exits_0(self, write, capsys):
+        assert main(["lint", write("f.ss", UNPROVABLE)]) == 0
+        out = capsys.readouterr().out
+        assert "PGMP103" in out
+
+    def test_clean_file_exits_0(self, write, capsys):
+        assert main(["lint", write("f.ss", CLEAN)]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_missing_file_is_a_cli_error(self, capsys):
+        assert main(["lint", "/nonexistent/f.ss"]) == 1
+        assert capsys.readouterr().err.startswith("pgmp: error:")
+
+
+class TestSeverityGate:
+    def test_gate_hides_warnings_but_exit_still_reflects_errors(
+        self, write, capsys
+    ):
+        target = write("f.ss", OVERLAPPING + UNPROVABLE)
+        assert main(["lint", target, "--severity", "error"]) == 1
+        out = capsys.readouterr().out
+        assert "PGMP102" in out
+        assert "PGMP103" not in out
+
+    def test_gated_out_warnings_do_not_flip_exit_code(self, write, capsys):
+        assert main(["lint", write("f.ss", UNPROVABLE),
+                     "--severity", "error"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+
+class TestJsonFormat:
+    def test_json_is_parsable_and_versioned(self, write, capsys):
+        assert main(["lint", write("f.ss", OVERLAPPING),
+                     "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "pgmp-lint"
+        assert payload["version"] == 1
+        assert [d["code"] for d in payload["diagnostics"]] == ["PGMP102"]
+        assert payload["diagnostics"][0]["location"]["filename"].endswith("f.ss")
+
+
+class TestMultipleFilesAndKinds:
+    def test_findings_accumulate_across_files(self, write, capsys):
+        a = write("a.ss", OVERLAPPING)
+        b = write("b.py", "def f(k):\n"
+                  "    return pycase(k, ((1, 2), 'x'), ((2,), 'y'), default=0)\n")
+        assert main(["lint", a, b]) == 1
+        out = capsys.readouterr().out
+        assert out.count("PGMP102") == 2
+
+    def test_python_files_are_never_executed(self, write, capsys):
+        target = write("evil.py", "import sys\nsys.exit(99)\n"
+                       "raise RuntimeError('executed!')\n")
+        assert main(["lint", target]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+
+class TestLibrariesAndProfiles:
+    def test_library_file_enables_macro_passes(self, write, capsys):
+        lib = write("flaky.ss", """
+(meta (define flip #f))
+(define-syntax (flaky syn)
+  (syntax-case syn ()
+    [(_ e)
+     (begin
+       (set! flip (not flip))
+       (if flip
+           (annotate-expr #'e (make-profile-point syn))
+           #'e))]))
+""")
+        target = write("f.ss", "(flaky (+ 1 2))")
+        assert main(["lint", target, "--library", lib]) == 1
+        assert "PGMP203" in capsys.readouterr().out
+
+    def test_stale_profile_reports_pgmp402_instead_of_refusing(
+        self, write, tmp_path, capsys
+    ):
+        program = write("prog.ss", "(define (f x) (case x [(1) 'a] [else 'b]))\n(f 1)\n")
+        profile = str(tmp_path / "prog.profile")
+        assert main(["profile", program, "--library", "case",
+                     "--out", profile]) == 0
+        with open(program, "a", encoding="utf-8") as handle:
+            handle.write(";; edited since profiling\n")
+        capsys.readouterr()
+        assert main(["lint", program, "--library", "case",
+                     "--profile-file", profile]) == 1
+        out = capsys.readouterr().out
+        assert "PGMP402" in out
+
+    def test_fresh_profile_is_not_stale(self, write, tmp_path, capsys):
+        program = write("prog.ss", "(define (f x) (case x [(1) 'a] [else 'b]))\n(f 1)\n")
+        profile = str(tmp_path / "prog.profile")
+        assert main(["profile", program, "--library", "case",
+                     "--out", profile]) == 0
+        capsys.readouterr()
+        assert main(["lint", program, "--library", "case",
+                     "--profile-file", profile]) == 0
+
+
+class TestShippedExamples:
+    @pytest.mark.parametrize(
+        "example", sorted(glob.glob("examples/*.py")) or ["<missing>"]
+    )
+    def test_examples_lint_clean(self, example, capsys):
+        assert example != "<missing>", "examples/ directory not found"
+        assert main(["lint", example]) == 0

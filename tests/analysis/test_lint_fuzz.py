@@ -1,0 +1,71 @@
+"""Property fuzzing of the linter: it must never crash.
+
+The contract of ``pgmp lint`` is that any program the reader accepts is
+analyzable — the passes may find nothing, but they may not raise. The
+generators bias toward the optimizable heads (``case``, ``exclusive-cond``,
+``and-r``, …) so the passes actually execute, including on malformed uses
+of those heads (a clause that is an atom, an ``else`` in the wrong place),
+which is exactly where a naive pass would crash.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import AnalysisReport, analyze_scheme_source
+from repro.analysis.scheme_passes import analyze_scheme_forms
+from repro.analysis.runner import lint_source
+from repro.scheme.reader import read_string
+
+_atoms = st.sampled_from(
+    ["1", "42", "#t", "foo", '"s"', "#\\c", "2/3", "else",
+     "case", "exclusive-cond", "if-r", "and-r", "or-r", "=>"]
+)
+_forms = st.recursive(
+    _atoms,
+    lambda sub: st.lists(sub, min_size=0, max_size=4).map(
+        lambda items: "(" + " ".join(items) + ")"
+    ),
+    max_leaves=16,
+)
+
+
+@given(st.lists(_forms, min_size=0, max_size=4))
+@settings(max_examples=60, deadline=None)
+def test_surface_passes_never_crash(items):
+    source = "\n".join(items)
+    forms = read_string(source, "fuzz.ss")
+    report = analyze_scheme_forms(forms, AnalysisReport())
+    for diagnostic in report:
+        assert diagnostic.code in {
+            "PGMP101", "PGMP102", "PGMP103", "PGMP301", "PGMP302"
+        }
+
+
+@given(st.lists(_forms, min_size=1, max_size=3))
+@settings(max_examples=30, deadline=None)
+def test_full_analysis_never_crashes(items):
+    # Full pipeline, expansion included: random programs mostly fail to
+    # expand (unbound names, malformed core forms) — that must degrade to
+    # PGMP001, not propagate.
+    source = "\n".join(items)
+    report = lint_source(source, "fuzz.ss", kind="scheme")
+    assert isinstance(report, AnalysisReport)
+
+
+@given(_forms, _forms, _forms)
+@settings(max_examples=30, deadline=None)
+def test_malformed_optimizable_heads_never_crash(a, b, c):
+    # Deliberately ill-shaped uses of every optimizable construct.
+    source = (
+        f"(case {a} {b} {c})\n"
+        f"(exclusive-cond {a} {b})\n"
+        f"(if-r {a})\n"
+        f"(and-r)\n"
+        f"(or-r {a} {b} {c})\n"
+        f"(case)\n"
+        f"(exclusive-cond [else {a}] {b})\n"
+    )
+    report = analyze_scheme_source(source, "fuzz.ss")
+    assert isinstance(report, AnalysisReport)

@@ -1,0 +1,309 @@
+"""One test per diagnostic code, over the Python-AST substrate."""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+
+from repro.analysis import AnalysisReport, analyze_python_function, analyze_python_source
+from repro.analysis.pyast_passes import _check_py_coverage
+from repro.core.counters import CounterSet
+from repro.core.database import ProfileDatabase, source_fingerprint
+from repro.core.profile_point import ProfilePoint
+from repro.pyast.casestudies import pycase  # noqa: F401 (expanded sources)
+from repro.pyast.macros import MacroRegistry, expand_function
+from repro.pyast.system import PyAstSystem
+
+
+def codes(report) -> set[str]:
+    return set(report.codes())
+
+
+# -- PGMP0xx ------------------------------------------------------------------
+
+
+class TestParseAndExpansionFailure:
+    def test_pgmp001_on_unparsable_source(self):
+        report = analyze_python_source("def f(:\n", "bad.py")
+        assert codes(report) == {"PGMP001"}
+
+    def test_pgmp001_when_expansion_raises(self):
+        registry = MacroRegistry()
+
+        @registry.macro("boom")
+        def _boom(node, ctx):
+            from repro.core.errors import MacroError
+
+            raise MacroError("no")
+
+        def uses_boom(x):
+            return boom(x)  # noqa: F821 — expanded away (or not, here)
+
+        report = analyze_python_function(
+            uses_boom, expand=lambda fn: expand_function(fn, registry)
+        )
+        assert "PGMP001" in codes(report)
+
+
+# -- PGMP1xx ------------------------------------------------------------------
+
+
+class TestEffectsAndExclusivity:
+    def test_pgmp101_mutating_constants_expression(self):
+        source = """
+def f(k, acc):
+    return pycase(k, ((1,), 'a'), ((acc.pop(),), 'b'), default=None)
+"""
+        report = analyze_python_source(source, "f.py")
+        diags = report.by_code("PGMP101")
+        assert len(diags) == 1
+        assert "pop" in diags[0].message
+
+    def test_pgmp102_shared_constants_between_clauses(self):
+        source = """
+def f(k):
+    return pycase(k, ((1, 2), 'a'), ((2, 3), 'b'), default=None)
+"""
+        report = analyze_python_source(source, "f.py")
+        diags = report.by_code("PGMP102")
+        assert len(diags) == 1
+        assert "repeats 2" in diags[0].message
+
+    def test_pgmp103_computed_constants_are_unprovable(self):
+        source = """
+def f(k, lookup):
+    return pycase(k, ((lookup(0),), 'a'), ((2,), 'b'), default=None)
+"""
+        report = analyze_python_source(source, "f.py")
+        assert len(report.by_code("PGMP103")) == 1
+        assert not report.errors()
+
+    def test_if_r_has_no_effects_obligation(self):
+        # if_r's test runs exactly once in both expansions; effects in it
+        # are reorder-safe.
+        source = """
+def f(xs):
+    return if_r(xs.pop() > 0, 'pos', 'neg')
+"""
+        report = analyze_python_source(source, "f.py")
+        assert "PGMP101" not in codes(report)
+        assert "PGMP103" not in codes(report)
+
+    def test_clean_pycase_has_no_findings(self):
+        source = """
+def f(k):
+    return pycase(k, ((1, 2), 'a'), ((3, 4), 'b'), default='z')
+"""
+        report = analyze_python_source(source, "f.py")
+        assert not report.diagnostics
+
+
+class TestEmbeddedScheme:
+    def test_embedded_program_surface_analyzed(self):
+        source = '''
+PROGRAM = """
+(case x
+  [(1 2) 'a]
+  [(2) 'b]
+  [else 'c])
+"""
+'''
+        report = analyze_python_source(source, "f.py")
+        diags = report.by_code("PGMP102")
+        assert len(diags) == 1
+        assert diags[0].location is not None
+        assert diags[0].location.filename.startswith("f.py#L")
+
+    def test_fstring_templates_are_skipped(self):
+        source = """
+def render(n):
+    return f"(case {n} [(1) 'a] [(1) 'b])"
+"""
+        report = analyze_python_source(source, "f.py")
+        assert not report.diagnostics
+
+    def test_non_scheme_strings_are_ignored(self):
+        report = analyze_python_source(
+            "x = '(case closed — not a scheme program'\n", "f.py"
+        )
+        assert not report.diagnostics
+
+
+# -- PGMP2xx ------------------------------------------------------------------
+
+
+def _aliasing_registry() -> MacroRegistry:
+    registry = MacroRegistry()
+
+    @registry.macro("both")
+    def _both(node, ctx):
+        point = ctx.make_profile_point(node)
+        a = ctx.annotate(node.args[0], point)
+        b = ctx.annotate(node.args[1], point)
+        out = ast.BoolOp(op=ast.And(), values=[a, b])
+        return ast.copy_location(out, node)
+
+    return registry
+
+
+def _splitting_registry() -> MacroRegistry:
+    registry = MacroRegistry()
+
+    @registry.macro("twice")
+    def _twice(node, ctx):
+        first = ctx.make_profile_point(node)
+        second = ctx.make_profile_point(node)
+        doubled = ctx.annotate(ctx.annotate(node.args[0], first), second)
+        out = ast.BoolOp(op=ast.Or(), values=[doubled, ast.Constant(value=False)])
+        return ast.copy_location(out, node)
+
+    return registry
+
+
+def _nondeterministic_registry() -> MacroRegistry:
+    registry = MacroRegistry()
+    state = {"n": 0}
+
+    @registry.macro("flaky")
+    def _flaky(node, ctx):
+        state["n"] += 1
+        if state["n"] % 2:
+            return ctx.annotate(node.args[0], ctx.make_profile_point(node))
+        return node.args[0]
+
+    return registry
+
+
+class TestHygiene:
+    def test_pgmp201_one_point_many_locations(self):
+        def uses_both(x, y):
+            return both(x + 1, y + 2)  # noqa: F821 — expanded away
+
+        registry = _aliasing_registry()
+        report = analyze_python_function(
+            uses_both, expand=lambda fn: expand_function(fn, registry)
+        )
+        diags = report.by_code("PGMP201")
+        assert len(diags) == 1
+        assert "counters alias" in diags[0].message
+
+    def test_pgmp202_one_expression_many_points(self):
+        def uses_twice(x):
+            return twice(x + 1)  # noqa: F821 — expanded away
+
+        registry = _splitting_registry()
+        report = analyze_python_function(
+            uses_twice, expand=lambda fn: expand_function(fn, registry)
+        )
+        diags = report.by_code("PGMP202")
+        assert len(diags) == 1
+        assert "split" in diags[0].message
+
+    def test_pgmp203_nondeterministic_generated_points(self):
+        def uses_flaky(x):
+            return flaky(x + 1)  # noqa: F821 — expanded away
+
+        registry = _nondeterministic_registry()
+        report = analyze_python_function(
+            uses_flaky, expand=lambda fn: expand_function(fn, registry)
+        )
+        assert len(report.by_code("PGMP203")) == 1
+
+    def test_shipped_macros_are_hygienic(self):
+        def classify(k):
+            return pycase(k, ((1,), "a"), ((2,), "b"), default="z")
+
+        report = PyAstSystem().analyze(classify)
+        assert not report.diagnostics
+
+
+# -- PGMP3xx ------------------------------------------------------------------
+
+
+class TestCoverage:
+    def test_pgmp301_branch_without_position(self):
+        report = AnalysisReport()
+        construct = ast.Call(
+            func=ast.Name(id="if_r", ctx=ast.Load()),
+            args=[ast.Name(id="t", ctx=ast.Load()),
+                  ast.Name(id="a", ctx=ast.Load()),
+                  ast.Name(id="b", ctx=ast.Load())],
+            keywords=[],
+        )
+        _check_py_coverage(
+            report, "if_r", construct, list(construct.args[1:3]), "f.py", None
+        )
+        assert len(report.by_code("PGMP301")) == 2
+
+    def test_pgmp302_profile_knows_no_branch(self):
+        def classify(k):
+            return pycase(k, ((1,), "a"), ((2,), "b"), default="z")
+
+        system = PyAstSystem()
+        # Data exists, but for an unrelated point in an unrelated file.
+        counters = CounterSet(name="other")
+        counters.increment(ProfilePoint.from_key("other.py:10-20:1.0"))
+        system.profile_db.record_counters(counters)
+
+        source = textwrap.dedent(inspect.getsource(classify))
+        report = analyze_python_source(source, "f.py", db=system.profile_db)
+        assert len(report.by_code("PGMP302")) == 1
+
+    def test_no_pgmp302_after_real_profiling(self):
+        def classify(k):
+            return pycase(k, ((1,), "a"), ((2,), "b"), default="z")
+
+        system = PyAstSystem()
+        instrumented = system.expand(classify)
+        system.profile(instrumented, [(1,), (2,)])
+        report = system.analyze(classify)
+        assert "PGMP302" not in codes(report)
+
+
+# -- PGMP4xx ------------------------------------------------------------------
+
+
+class TestStaleness:
+    def test_pgmp402_fingerprint_mismatch(self):
+        def classify(k):
+            return pycase(k, ((1,), "a"), ((2,), "b"), default="z")
+
+        filename = inspect.getsourcefile(classify)
+        system = PyAstSystem()
+        instrumented = system.expand(classify)
+        system.profile(
+            instrumented,
+            [(1,)],
+            fingerprints={filename: source_fingerprint("an older revision")},
+        )
+        report = system.analyze(classify)
+        diags = report.by_code("PGMP402")
+        assert len(diags) == 1
+        assert "different source" in diags[0].message
+
+    def test_pgmp401_dead_point_in_analyzed_file(self):
+        def classify(k):
+            return pycase(k, ((1,), "a"), ((2,), "b"), default="z")
+
+        filename = inspect.getsourcefile(classify)
+        db = ProfileDatabase()
+        counters = CounterSet(name="stale")
+        # A counter for a location this file cannot produce.
+        counters.increment(
+            ProfilePoint.from_key(f"{filename}:999990000-999990009:99999.0")
+        )
+        db.record_counters(counters)
+        report = analyze_python_function(classify, db=db)
+        assert len(report.by_code("PGMP401")) == 1
+
+    def test_live_points_are_not_flagged(self):
+        def classify(k):
+            return pycase(k, ((1,), "a"), ((2,), "b"), default="z")
+
+        system = PyAstSystem()
+        instrumented = system.expand(classify)
+        system.profile(instrumented, [(1,), (2,)])
+        report = system.analyze(classify)
+        assert "PGMP401" not in codes(report)
+        assert "PGMP402" not in codes(report)

@@ -1,0 +1,248 @@
+"""One test per diagnostic code, over the Scheme substrate."""
+
+from __future__ import annotations
+
+from repro.analysis import AnalysisReport, analyze_scheme_source
+from repro.analysis.scheme_passes import analyze_scheme_forms
+from repro.casestudies.boolean_reorder import BOOLEAN_REORDER_LIBRARY
+from repro.casestudies.exclusive_cond import make_case_system
+from repro.scheme.datum import Symbol, scheme_list
+from repro.scheme.pipeline import SchemeSystem
+from repro.scheme.syntax import datum_to_syntax
+
+
+def codes(report) -> set[str]:
+    return set(report.codes())
+
+
+# -- PGMP0xx ------------------------------------------------------------------
+
+
+class TestExpansionFailure:
+    def test_pgmp001_when_expansion_fails_surface_passes_still_run(self):
+        # `(if)` is a malformed core form: expansion fails, but the surface
+        # passes still see the duplicate test.
+        source = """
+        (define (f x)
+          (exclusive-cond [(> x 0) 'a] [(> x 0) 'b] [else 'c]))
+        (if)
+        """
+        report = SchemeSystem().analyze(source, "f.ss")
+        assert "PGMP001" in codes(report)
+        assert "PGMP102" in codes(report)
+
+
+# -- PGMP1xx ------------------------------------------------------------------
+
+
+class TestEffectsAndExclusivity:
+    def test_pgmp101_side_effecting_test(self):
+        source = """
+        (define (f x)
+          (exclusive-cond
+            [(begin (set! x 1) (> x 0)) 'pos]
+            [else 'neg]))
+        """
+        report = make_case_system().analyze(source, "f.ss")
+        diags = report.by_code("PGMP101")
+        assert len(diags) == 1
+        assert "set!" in diags[0].message
+
+    def test_pgmp101_impure_primitive_in_and_r_operand(self):
+        system = SchemeSystem()
+        system.load_library(BOOLEAN_REORDER_LIBRARY, "boolean-reorder.ss")
+        report = system.analyze("(and-r (begin (display 1) #t) #f)", "f.ss")
+        assert "PGMP101" in codes(report)
+
+    def test_pgmp102_overlapping_case_constants(self):
+        source = """
+        (define (f x)
+          (case x [(1 2) 'a] [(2 3) 'b] [else 'c]))
+        """
+        report = make_case_system().analyze(source, "f.ss")
+        diags = report.by_code("PGMP102")
+        assert len(diags) == 1
+        assert "repeats 2" in diags[0].message
+
+    def test_pgmp102_duplicate_exclusive_cond_test(self):
+        source = """
+        (define (f x)
+          (exclusive-cond [(> x 0) 'a] [(> x 0) 'b] [else 'c]))
+        """
+        report = make_case_system().analyze(source, "f.ss")
+        assert len(report.by_code("PGMP102")) == 1
+
+    def test_pgmp103_unprovable_test_purity_is_warning_not_error(self):
+        source = "(define (f x) (exclusive-cond [(hot? x) 'a] [else 'b]))"
+        report = make_case_system().analyze(source, "f.ss")
+        diags = report.by_code("PGMP103")
+        assert len(diags) == 1
+        assert not report.errors()
+
+    def test_pure_tests_and_disjoint_constants_are_clean(self):
+        source = """
+        (define (f x)
+          (case x [(1 2) 'a] [(3 4) 'b] [else 'c]))
+        (define (g x)
+          (exclusive-cond [(< x 0) 'neg] [(= x 0) 'zero] [else 'pos]))
+        """
+        report = make_case_system().analyze(source, "f.ss")
+        assert not report.diagnostics
+
+
+# -- PGMP2xx ------------------------------------------------------------------
+
+#: A macro that annotates two *different* expressions with one point:
+#: their counters alias (PGMP201).
+ALIASING_LIBRARY = r"""
+(define-syntax (same-point-twice syn)
+  (syntax-case syn ()
+    [(_ a b)
+     (let ([pt (make-profile-point syn)])
+       #`(if #,(annotate-expr #'a pt) #,(annotate-expr #'b pt) #f))]))
+"""
+
+#: A macro that copies its argument and re-annotates only one copy: the
+#: source expression now carries two points (PGMP202).
+SPLITTING_LIBRARY = r"""
+(define-syntax (dup syn)
+  (syntax-case syn ()
+    [(_ e)
+     (let ([pt (make-profile-point syn)])
+       #`(if #,(annotate-expr #'e pt) e #f))]))
+"""
+
+#: A macro whose fresh-point generation depends on mutable meta-level
+#: state that persists across compiles: expansion is nondeterministic
+#: (PGMP203).
+NONDETERMINISTIC_LIBRARY = r"""
+(meta (define flip #f))
+(define-syntax (flaky syn)
+  (syntax-case syn ()
+    [(_ e)
+     (begin
+       (set! flip (not flip))
+       (if flip
+           (annotate-expr #'e (make-profile-point syn))
+           #'e))]))
+"""
+
+
+class TestHygiene:
+    def test_pgmp201_one_point_many_locations(self):
+        system = SchemeSystem()
+        system.load_library(ALIASING_LIBRARY, "aliasing.ss")
+        report = system.analyze("(same-point-twice (+ 1 2) (+ 3 4))", "f.ss")
+        diags = report.by_code("PGMP201")
+        assert len(diags) == 1
+        assert "counters alias" in diags[0].message
+
+    def test_pgmp202_one_expression_many_points(self):
+        system = SchemeSystem()
+        system.load_library(SPLITTING_LIBRARY, "splitting.ss")
+        report = system.analyze("(dup (+ 1 2))", "f.ss")
+        diags = report.by_code("PGMP202")
+        assert len(diags) == 1
+        assert "split" in diags[0].message
+
+    def test_pgmp203_nondeterministic_generated_points(self):
+        system = SchemeSystem()
+        system.load_library(NONDETERMINISTIC_LIBRARY, "flaky.ss")
+        report = system.analyze("(flaky (+ 1 2))", "f.ss")
+        diags = report.by_code("PGMP203")
+        assert len(diags) == 1
+        assert report.errors()
+
+    def test_deterministic_generated_points_are_clean(self):
+        system = SchemeSystem()
+        system.load_library(BOOLEAN_REORDER_LIBRARY, "boolean-reorder.ss")
+        report = system.analyze("(and-r (> 1 0) (> 2 0))", "f.ss")
+        assert "PGMP203" not in codes(report)
+        assert "PGMP201" not in codes(report)
+        assert "PGMP202" not in codes(report)
+
+
+# -- PGMP3xx ------------------------------------------------------------------
+
+
+class TestCoverage:
+    def test_pgmp301_branch_without_location_has_no_point(self):
+        # Surface syntax manufactured without source locations — the shape a
+        # careless meta-program hands to the analyzer.
+        form = datum_to_syntax(
+            scheme_list(Symbol("if-r"), Symbol("t"), Symbol("a"), Symbol("b"))
+        )
+        report = analyze_scheme_forms([form], AnalysisReport())
+        assert len(report.by_code("PGMP301")) == 2  # both branches
+
+    def test_pgmp302_profile_knows_no_branch_of_construct(self):
+        system = make_case_system()
+        system.profile_run("(case 1 [(1) 'a] [else 'b])", "a.ss")
+        report = system.analyze(
+            "(define (h x) (case x [(5) 'v] [else 'w]))", "b.ss"
+        )
+        diags = report.by_code("PGMP302")
+        assert len(diags) == 1
+        assert diags[0].severity.name == "INFO"
+
+    def test_no_pgmp302_when_profile_covers_the_construct(self):
+        system = make_case_system()
+        source = "(define (f x) (case x [(1) 'a] [else 'b]))\n(f 1)"
+        system.profile_run(source, "a.ss")
+        report = system.analyze(source, "a.ss")
+        assert "PGMP302" not in codes(report)
+
+
+# -- PGMP4xx ------------------------------------------------------------------
+
+
+class TestStaleness:
+    def test_pgmp402_and_pgmp401_after_source_rewrite(self):
+        system = make_case_system()
+        old = """
+        (define (f x) (case x [(1) 'one] [(2) 'two] [else 'o]))
+        (f 1)
+        (f 2)
+        """
+        system.profile_run(old, "prog.ss")
+        new = "(define (g y) y)\n(g 5)\n"
+        report = system.analyze(new, "prog.ss")
+        assert len(report.by_code("PGMP402")) == 1  # fingerprint mismatch
+        assert report.by_code("PGMP401")  # f's points are dead in g
+
+    def test_same_source_is_not_stale(self):
+        system = make_case_system()
+        source = "(define (f x) (case x [(1) 'a] [else 'b]))\n(f 1)\n"
+        system.profile_run(source, "prog.ss")
+        report = system.analyze(source, "prog.ss")
+        assert "PGMP401" not in codes(report)
+        assert "PGMP402" not in codes(report)
+
+    def test_points_of_unanalyzed_files_are_left_alone(self):
+        system = make_case_system()
+        system.profile_run("(case 1 [(1) 'a] [else 'b])", "other.ss")
+        report = analyze_scheme_source(
+            "(+ 1 2)", "this.ss", system=system, db=system.profile_db
+        )
+        assert "PGMP401" not in codes(report)
+
+
+# -- direct API ----------------------------------------------------------------
+
+
+class TestAnalyzeMethod:
+    def test_analyze_does_not_mutate_system_state(self):
+        system = make_case_system()
+        source = "(define (f x) (case x [(1) 'a] [else 'b]))\n(f 1)\n"
+        system.profile_run(source, "prog.ss")
+        db_before = system.profile_db
+        system.analyze(source, "prog.ss")
+        assert system.profile_db is db_before
+
+    def test_surface_only_without_system(self):
+        report = analyze_scheme_source(
+            "(case x [(1 1) 'a] [else 'b])", "f.ss"
+        )
+        # Duplicate constant inside ONE clause is not cross-clause overlap.
+        assert "PGMP102" not in codes(report)
+        assert "PGMP001" not in codes(report)  # no system, nothing skipped

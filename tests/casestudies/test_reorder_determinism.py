@@ -1,0 +1,101 @@
+"""Weight-tie determinism of the reordering meta-programs.
+
+The §6.1 optimizers sort clauses by profile weight. When two clauses have
+*equal* weight, the order must still be deterministic — specifically, the
+original source order — by explicit construction (an original-clause-index
+tie-break), not as an accident of the host language's sort stability.
+These tests pin that contract for both substrates.
+"""
+
+from __future__ import annotations
+
+from repro.casestudies.exclusive_cond import make_case_system
+from repro.pyast.casestudies import pycase  # noqa: F401 (used in expanded source)
+from repro.pyast.system import PyAstSystem
+from repro.scheme.core_forms import unparse_string
+
+CASE_PROGRAM = """
+(define (classify x)
+  (case x
+    [(1) 'one]
+    [(2) 'two]
+    [(3) 'three]
+    [else 'other]))
+"""
+
+
+def _clause_order(expanded: str) -> list[str]:
+    names = ["one", "two", "three"]
+    return sorted(names, key=lambda name: expanded.index(name))
+
+
+class TestSchemeCaseTies:
+    def test_all_tied_keeps_source_order(self):
+        system = make_case_system()
+        for key in (1, 2, 3):
+            system.profile_run(f"{CASE_PROGRAM}\n(classify {key})", "tie.ss")
+        expanded = unparse_string(system.compile(CASE_PROGRAM, "tie.ss"))
+        assert _clause_order(expanded) == ["one", "two", "three"]
+
+    def test_tied_tail_keeps_source_order_behind_hot_clause(self):
+        system = make_case_system()
+        # 'three' is exercised twice as often; 'one' and 'two' tie.
+        for key in (3, 3, 1, 2):
+            system.profile_run(f"{CASE_PROGRAM}\n(classify {key})", "tie.ss")
+        expanded = unparse_string(system.compile(CASE_PROGRAM, "tie.ss"))
+        assert _clause_order(expanded) == ["three", "one", "two"]
+
+    def test_reexpansion_is_identical(self):
+        system = make_case_system()
+        for key in (3, 3, 1, 2):
+            system.profile_run(f"{CASE_PROGRAM}\n(classify {key})", "tie.ss")
+        first = unparse_string(system.compile(CASE_PROGRAM, "tie.ss"))
+        second = unparse_string(system.compile(CASE_PROGRAM, "tie.ss"))
+        assert first == second
+
+
+def _py_classify(k):
+    return pycase(
+        k,
+        ((1,), "one"),
+        ((2,), "two"),
+        ((3,), "three"),
+        default="other",
+    )
+
+
+def _py_clause_order(expanded_source: str) -> list[str]:
+    names = ["'one'", "'two'", "'three'"]
+    return sorted(names, key=lambda name: expanded_source.index(name))
+
+
+class TestPycaseTies:
+    def test_all_tied_keeps_source_order(self):
+        system = PyAstSystem()
+        instrumented = system.expand(_py_classify)
+        system.profile(instrumented, [(1,), (2,), (3,)])
+        optimized = system.expand(_py_classify)
+        assert _py_clause_order(optimized.__pgmp_source__) == [
+            "'one'",
+            "'two'",
+            "'three'",
+        ]
+
+    def test_tied_tail_keeps_source_order_behind_hot_clause(self):
+        system = PyAstSystem()
+        instrumented = system.expand(_py_classify)
+        system.profile(instrumented, [(3,), (3,), (1,), (2,)])
+        optimized = system.expand(_py_classify)
+        assert _py_clause_order(optimized.__pgmp_source__) == [
+            "'three'",
+            "'one'",
+            "'two'",
+        ]
+
+    def test_reexpansion_is_identical(self):
+        system = PyAstSystem()
+        instrumented = system.expand(_py_classify)
+        system.profile(instrumented, [(3,), (3,), (1,), (2,)])
+        first = system.expand(_py_classify).__pgmp_source__
+        second = system.expand(_py_classify).__pgmp_source__
+        assert first == second
