@@ -1,0 +1,139 @@
+"""Run every ``benchmarks/bench_*.py`` module and emit machine-readable
+results.
+
+Each benchmark module prints ``[experiment] paper:`` / ``[experiment]
+measured:`` rows through :func:`benchmarks.conftest.report`; this driver
+runs the modules one pytest subprocess at a time (so one crashing module
+cannot take down the rest), scrapes those rows, and writes everything —
+per-module pass/fail, duration, and the paper-vs-measured comparisons —
+to a versioned JSON document (default ``BENCH_results.json``).
+
+Usage::
+
+    PYTHONPATH=src:. python benchmarks/run_all.py [--out FILE] [--match SUBSTR]
+
+Exit status is non-zero when any benchmark module fails, making this
+suitable as a CI gate; the JSON is written either way so partial results
+survive a red run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+
+#: ``[experiment] paper: ...`` / ``[experiment] measured: ...`` rows as
+#: printed by :func:`benchmarks.conftest.report`.
+_ROW = re.compile(r"^\[(?P<experiment>[^\]]+)\] (?P<kind>paper|measured): (?P<text>.*)$")
+
+
+def discover() -> list[Path]:
+    return sorted(BENCH_DIR.glob("bench_*.py"))
+
+
+def parse_rows(stdout: str) -> list[dict[str, str]]:
+    """The paper-vs-measured comparison rows, paired up in print order."""
+    rows: list[dict[str, str]] = []
+    open_rows: dict[str, dict[str, str]] = {}
+    for line in stdout.splitlines():
+        match = _ROW.match(line.strip())
+        if not match:
+            continue
+        experiment = match.group("experiment")
+        kind = match.group("kind")
+        if kind == "paper":
+            entry = {"experiment": experiment, "paper": match.group("text")}
+            rows.append(entry)
+            open_rows[experiment] = entry
+        else:
+            entry = open_rows.pop(experiment, None)
+            if entry is None:
+                entry = {"experiment": experiment, "paper": ""}
+                rows.append(entry)
+            entry["measured"] = match.group("text")
+    return rows
+
+
+def run_module(path: Path) -> dict:
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", str(path), "-q", "-s", "--no-header", "-p", "no:cacheprovider"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    duration = time.perf_counter() - start
+    return {
+        "module": path.name,
+        "passed": proc.returncode == 0,
+        "returncode": proc.returncode,
+        "duration_seconds": round(duration, 3),
+        "comparisons": parse_rows(proc.stdout),
+        # the pytest tail is the useful part of a failure; keep it bounded
+        "tail": proc.stdout[-2000:] if proc.returncode != 0 else "",
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(REPO_ROOT / "BENCH_results.json"),
+        help="where to write the JSON results (default: BENCH_results.json)",
+    )
+    parser.add_argument(
+        "--match",
+        default=None,
+        help="only run modules whose filename contains this substring",
+    )
+    args = parser.parse_args(argv)
+
+    modules = discover()
+    if args.match:
+        modules = [path for path in modules if args.match in path.name]
+    if not modules:
+        print("run_all: no benchmark modules matched", file=sys.stderr)
+        return 2
+
+    results = []
+    for path in modules:
+        print(f"run_all: {path.name} ...", flush=True)
+        outcome = run_module(path)
+        status = "ok" if outcome["passed"] else f"FAILED (rc={outcome['returncode']})"
+        print(f"run_all: {path.name} {status} in {outcome['duration_seconds']}s")
+        for row in outcome["comparisons"]:
+            print(f"  [{row['experiment']}] {row.get('measured', '')}")
+        results.append(outcome)
+
+    from repro.analysis.diagnostics import JSON_RENDER_VERSION
+
+    failed = [r["module"] for r in results if not r["passed"]]
+    payload = {
+        "format": "pgmp-bench",
+        "version": JSON_RENDER_VERSION,
+        "python": sys.version.split()[0],
+        "modules": results,
+        "summary": {
+            "total": len(results),
+            "passed": len(results) - len(failed),
+            "failed": failed,
+        },
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"run_all: wrote {args.out}")
+    if failed:
+        print(f"run_all: {len(failed)} module(s) failed: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,7 +37,13 @@ __all__ = [
     "CodeInfo",
     "render_text",
     "render_json",
+    "JSON_RENDER_VERSION",
 ]
+
+#: Schema version of every versioned-JSON document the pgmp CLI emits
+#: (``pgmp lint --format json`` *and* ``pgmp report --format json`` share
+#: it), so downstream tooling can parse both with one version check.
+JSON_RENDER_VERSION = 1
 
 
 class Severity(enum.IntEnum):
@@ -261,7 +267,7 @@ def render_json(report: AnalysisReport, min_severity: Severity | str = Severity.
     shown = report.at_least(min_severity)
     payload = {
         "format": "pgmp-lint",
-        "version": 1,
+        "version": JSON_RENDER_VERSION,
         "diagnostics": [diag.to_json_object() for diag in shown],
         "summary": _summary_counts(shown),
     }

@@ -26,6 +26,7 @@ from __future__ import annotations
 import threading
 from collections.abc import Iterator, Mapping
 
+from repro.core.errors import ProfileError
 from repro.core.profile_point import ProfilePoint
 
 __all__ = ["BaseCounterSet", "CounterSet", "ShardedCounterSet"]
@@ -72,6 +73,32 @@ class BaseCounterSet:
     def count(self, point: ProfilePoint) -> int:
         """The absolute count for ``point`` (0 when never executed)."""
         raise NotImplementedError
+
+    # -- delta application (continuous-profiling support) ------------------
+
+    def apply_increments(self, increments: Mapping[ProfilePoint, int]) -> None:
+        """Add a batch of counter increments (a *delta*) to this set.
+
+        The bulk-apply path used by the :mod:`repro.service` aggregator:
+        applying the same counters a worker accumulated locally must yield
+        the same totals as if the worker had incremented this set directly.
+        Increments must be non-negative — deltas carry counts *since the
+        last flush*, never corrections.
+        """
+        for point, by in increments.items():
+            by = int(by)
+            if by < 0:
+                raise ProfileError(
+                    f"delta increment must be non-negative, got {by} for {point}"
+                )
+            if by:
+                self.increment(point, by)
+
+    def apply_key_increments(self, increments: Mapping[str, int]) -> None:
+        """:meth:`apply_increments` over serialized point keys (wire form)."""
+        self.apply_increments(
+            {ProfilePoint.from_key(key): by for key, by in increments.items()}
+        )
 
     # -- meta-program-facing queries (snapshot-based, race-free) -----------
 
@@ -163,6 +190,24 @@ class CounterSet(BaseCounterSet):
         else:
             with self._lock:
                 self._counts.clear()
+
+    def apply_increments(self, increments: Mapping[ProfilePoint, int]) -> None:
+        # Bulk apply under a single lock acquisition (not one per point),
+        # and never half-applied from a locked reader's point of view.
+        for by in increments.values():
+            if int(by) < 0:
+                raise ProfileError(
+                    f"delta increment must be non-negative, got {by}"
+                )
+        if self._lock is None:
+            for point, by in increments.items():
+                if by:
+                    self._counts[point] = self._counts.get(point, 0) + int(by)
+        else:
+            with self._lock:
+                for point, by in increments.items():
+                    if by:
+                        self._counts[point] = self._counts.get(point, 0) + int(by)
 
     # -- meta-program-facing queries ---------------------------------------
 

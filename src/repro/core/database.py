@@ -298,6 +298,41 @@ class ProfileDatabase:
             self._fingerprints.append(dict(fingerprints) if fingerprints else {})
             self._generation += 1
 
+    @classmethod
+    def from_counter_sets(
+        cls,
+        counter_sets: Sequence[BaseCounterSet],
+        *,
+        name: str = "profile-information",
+        importances: Sequence[float] | None = None,
+        fingerprints: Sequence[Mapping[str, str] | None] | None = None,
+    ) -> "ProfileDatabase":
+        """Build a database with one data set per counter set.
+
+        The snapshot/normalize/record path the :mod:`repro.service`
+        aggregator uses at checkpoint time: each live per-dataset counter
+        set becomes one weighted data set, exactly as if a worker had
+        called :meth:`record_counters` locally.
+        """
+        if importances is not None and len(importances) != len(counter_sets):
+            raise ProfileError(
+                f"got {len(counter_sets)} counter sets but "
+                f"{len(importances)} importances"
+            )
+        if fingerprints is not None and len(fingerprints) != len(counter_sets):
+            raise ProfileError(
+                f"got {len(counter_sets)} counter sets but "
+                f"{len(fingerprints)} fingerprint mappings"
+            )
+        db = cls(name=name)
+        for i, counters in enumerate(counter_sets):
+            db.record_counters(
+                counters,
+                importances[i] if importances is not None else 1.0,
+                fingerprints[i] if fingerprints is not None else None,
+            )
+        return db
+
     def clear(self) -> None:
         """Drop all recorded data sets."""
         with self._lock:

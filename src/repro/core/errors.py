@@ -50,6 +50,27 @@ class ProfilePointError(PgmpError):
     """A profile point was constructed or used incorrectly."""
 
 
+class ServiceError(PgmpError):
+    """Base class for errors in the continuous-profiling service layer
+    (:mod:`repro.service`): delta shipping, aggregation, recompilation."""
+
+
+class DeltaFormatError(ServiceError):
+    """A profile delta (or wire frame) could not be parsed or validated.
+
+    The aggregator treats these like corrupt profile data sets: the frame
+    is rejected (and counted) rather than crashing the server, because
+    profile data is advisory."""
+
+
+class BackpressureError(ServiceError):
+    """A shipper's bounded delta queue overflowed and spilling was
+    impossible or disabled.
+
+    Raised only under a ``STRICT`` profile policy; ``warn``/``ignore``
+    degrade by dropping the oldest delta with a recorded reason."""
+
+
 class SubstrateError(PgmpError):
     """An operation required a meta-programming substrate that was not active,
     or an expression type the active substrate does not understand."""

@@ -121,6 +121,17 @@ class PyAstSystem:
             expand=lambda target: self.expand(target, registry),
         )
 
+    def hot_swap_profile(self, db: ProfileDatabase) -> ProfileDatabase:
+        """Atomically replace the ambient database; returns the old one.
+
+        Mirrors :meth:`repro.scheme.SchemeSystem.hot_swap_profile` — the
+        seam the online recompilation controller uses to re-expand against
+        freshly merged weights without rebuilding the system.
+        """
+        previous = self.profile_db
+        self.profile_db = db
+        return previous
+
     def store_profile(self, path: str | os.PathLike[str]) -> None:
         self.profile_db.store(path)
 

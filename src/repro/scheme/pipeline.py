@@ -292,6 +292,20 @@ class SchemeSystem:
             )
         self.profile_db = db
 
+    def hot_swap_profile(self, db: ProfileDatabase) -> ProfileDatabase:
+        """Atomically replace the ambient database; returns the old one.
+
+        The online-recompilation entry point
+        (:mod:`repro.service.controller`): a single reference assignment,
+        so compiles racing with the swap see either the old or the new
+        database in full — never a mixture. In-flight expansions keep the
+        database they started with (they read it through
+        ``using_profile_information`` scopes).
+        """
+        previous = self.profile_db
+        self.profile_db = db
+        return previous
+
     def analyze(
         self,
         source: str,

@@ -1,0 +1,630 @@
+"""The aggregation server: many shippers in, one merged profile out.
+
+A :class:`ProfileAggregator` accepts framed connections from any number
+of :class:`~repro.service.shipper.ProfileShipper`s (one handler thread
+per connection, matching the repo's threading-based concurrency story)
+and maintains:
+
+* one **live counter set per (dataset, fingerprint) key** — deltas apply
+  additively, so N workers shipping the same dataset merge into exactly
+  the totals a single worker would have counted;
+* a **delta ledger** making application idempotent across retries,
+  reconnects, and spill replays;
+* a **quarantine** for deltas whose source fingerprints disagree with the
+  source the aggregator serves (reusing
+  :class:`~repro.core.database.QuarantineReport` — stale profile data is
+  the same failure whether it arrives in a file or a frame);
+* periodic **checkpoints**: the merged profile goes through the existing
+  atomic :meth:`ProfileDatabase.store` (so ``pgmp report``/``optimize``
+  and the batch workflow read it like any stored profile), and a private
+  state file (raw counts + ledger) lets a restarted aggregator resume
+  exactly — replayed deltas are recognized as duplicates;
+* an optional :class:`~repro.service.controller.RecompileController`
+  evaluated after each checkpoint, closing the continuous loop:
+  ingest → merge → drift → re-expand → swap;
+* :class:`~repro.service.metrics.ServiceMetrics` and an optional plain
+  ``http.server`` endpoint exposing ``/metrics`` and ``/healthz``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import http.server
+import json
+import socket
+import socketserver
+import threading
+import time
+from collections.abc import Mapping
+
+from repro.core.counters import CounterSet
+from repro.core.database import (
+    ProfileDatabase,
+    QuarantineReport,
+    atomic_write_text,
+    source_fingerprint,
+)
+from repro.core.errors import DeltaFormatError, ServiceError
+from repro.core.policy import DegradationLog, ProfilePolicy, degrade
+from repro.service.controller import RecompilationDecision, RecompileController
+from repro.service.delta import (
+    DeltaLedger,
+    ProfileDelta,
+    read_frame,
+    write_frame,
+)
+from repro.service.metrics import ServiceMetrics
+from repro.service.transport import ServiceAddress, parse_address
+
+__all__ = ["ProfileAggregator", "STATE_FORMAT_VERSION"]
+
+#: Version tag of the aggregator's private state file.
+STATE_FORMAT_VERSION = 1
+
+
+class _DatasetSlot:
+    """One live dataset: a threadsafe counter set plus its provenance."""
+
+    __slots__ = ("counters", "fingerprints")
+
+    def __init__(self, name: str, fingerprints: Mapping[str, str]) -> None:
+        self.counters = CounterSet(name=name, threadsafe=True)
+        self.fingerprints = dict(fingerprints)
+
+
+def _dataset_key(dataset: str, fingerprints: Mapping[str, str]) -> str:
+    """Stable key for a (dataset name, source fingerprints) pair.
+
+    Deltas from workers running *different* source versions must not be
+    summed into one counter set — they describe different code. Keying by
+    name + a digest of the fingerprint mapping keeps them separate.
+    """
+    if not fingerprints:
+        return dataset
+    blob = json.dumps(sorted(fingerprints.items()), separators=(",", ":"))
+    return f"{dataset}@{hashlib.sha256(blob.encode('utf-8')).hexdigest()[:12]}"
+
+
+class _FrameServerMixin:
+    aggregator: "ProfileAggregator"
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class _TcpServer(_FrameServerMixin, socketserver.ThreadingTCPServer):
+    pass
+
+
+if hasattr(socket, "AF_UNIX"):
+
+    class _UnixServer(_FrameServerMixin, socketserver.ThreadingUnixStreamServer):
+        pass
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    """One shipper connection: a loop of request frame → response frame."""
+
+    def handle(self) -> None:
+        aggregator = self.server.aggregator  # type: ignore[attr-defined]
+        aggregator.metrics.inc("connections_total")
+        stream = self.request.makefile("rwb")
+        try:
+            while True:
+                try:
+                    frame = read_frame(stream)
+                except DeltaFormatError:
+                    # A torn or corrupt stream: nothing sensible can follow.
+                    aggregator.metrics.inc("protocol_errors_total")
+                    return
+                if frame is None:
+                    return
+                response = aggregator.handle_frame(frame)
+                if response is None:
+                    return  # shutdown frame: close this connection too
+                write_frame(stream, response)
+                stream.flush()
+        except (OSError, ValueError):
+            return  # client vanished mid-frame; its spill will replay
+        finally:
+            try:
+                stream.close()
+            except OSError:
+                pass
+
+
+class ProfileAggregator:
+    """Merge profile deltas from a fleet of workers (see module docs)."""
+
+    def __init__(
+        self,
+        listen: str | ServiceAddress,
+        *,
+        checkpoint_path: str | None = None,
+        state_path: str | None = None,
+        checkpoint_interval: float = 10.0,
+        sources: Mapping[str, str] | None = None,
+        expected_fingerprints: Mapping[str, str] | None = None,
+        controller: RecompileController | None = None,
+        policy: ProfilePolicy | str = ProfilePolicy.WARN,
+        degradations: DegradationLog | None = None,
+        metrics: ServiceMetrics | None = None,
+        metrics_port: int | None = None,
+        name: str = "profile-information",
+    ) -> None:
+        self.listen = parse_address(listen)
+        self.checkpoint_path = checkpoint_path
+        self.state_path = state_path
+        self.checkpoint_interval = float(checkpoint_interval)
+        self.controller = controller
+        self.policy = ProfilePolicy.coerce(policy)
+        self.degradations = (
+            degradations if degradations is not None else DegradationLog()
+        )
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.metrics_port = metrics_port
+        self.name = name
+        #: current source fingerprints deltas are checked against; a delta
+        #: fingerprinting one of these files differently is quarantined.
+        self.expected_fingerprints: dict[str, str] = dict(
+            expected_fingerprints or {}
+        )
+        if sources:
+            for filename, text in sources.items():
+                self.expected_fingerprints[filename] = source_fingerprint(text)
+
+        self._lock = threading.Lock()
+        self._datasets: dict[str, _DatasetSlot] = {}
+        self._ledger = DeltaLedger()
+        self.quarantine = QuarantineReport()
+        self._quarantine_index = 0
+
+        self._server: socketserver.BaseServer | None = None
+        self._server_thread: threading.Thread | None = None
+        self._housekeeper: threading.Thread | None = None
+        self._metrics_server: http.server.ThreadingHTTPServer | None = None
+        self._metrics_thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        #: set when a shutdown frame arrives (the CLI waits on this)
+        self.shutdown_requested = threading.Event()
+
+        self._describe_metrics()
+        if self.state_path:
+            self._load_state()
+
+    # -- metrics boilerplate ----------------------------------------------
+
+    def _describe_metrics(self) -> None:
+        m = self.metrics
+        m.describe("deltas_applied_total", "Profile deltas applied")
+        m.describe("deltas_duplicate_total", "Deltas ignored as already applied")
+        m.describe(
+            "deltas_quarantined_total", "Deltas quarantined (stale fingerprints)"
+        )
+        m.describe("deltas_rejected_total", "Deltas rejected as malformed")
+        m.describe("bytes_ingested_total", "Payload bytes carried by applied deltas")
+        m.describe("counts_ingested_total", "Counter increments applied")
+        m.describe("checkpoints_total", "Successful checkpoints written")
+        m.describe("checkpoint_failures_total", "Checkpoints that failed to write")
+        m.describe("recompilations_total", "Controller recompile-and-swaps")
+        m.describe("connections_total", "Shipper connections accepted")
+        m.describe("protocol_errors_total", "Connections dropped on torn frames")
+        m.describe("datasets", "Live (dataset, fingerprint) counter sets")
+        m.describe("ingest_latency", "Per-delta apply latency")
+        m.describe("recompile_pause", "Recompile-and-swap pause")
+
+    # -- frame dispatch ----------------------------------------------------
+
+    def handle_frame(self, frame: object) -> dict | None:
+        """Process one request frame; returns the response frame.
+
+        Returns ``None`` for a shutdown frame (the handler then closes the
+        connection). Never raises on malformed input — bad frames are
+        counted and answered with a rejection, because a profile service
+        must not be crashable by one confused worker.
+        """
+        if not isinstance(frame, dict):
+            self.metrics.inc("deltas_rejected_total")
+            return {"type": "ack", "status": "rejected", "error": "not an object"}
+        kind = frame.get("type")
+        if kind == "delta":
+            return self._handle_delta(frame)
+        if kind == "stats":
+            return self._stats_frame()
+        if kind == "metrics":
+            return {"type": "metrics", "text": self.metrics.render()}
+        if kind == "ping":
+            return {"type": "pong"}
+        if kind == "shutdown":
+            self.shutdown_requested.set()
+            return None
+        self.metrics.inc("deltas_rejected_total")
+        return {
+            "type": "ack",
+            "status": "rejected",
+            "error": f"unknown frame type {kind!r}",
+        }
+
+    def _handle_delta(self, frame: dict) -> dict:
+        started = time.perf_counter()
+        try:
+            delta = ProfileDelta.from_json_object(frame)
+        except DeltaFormatError as exc:
+            self.metrics.inc("deltas_rejected_total")
+            degrade(
+                "aggregate",
+                f"malformed delta frame: {exc}",
+                "frame rejected",
+                policy=self.policy,
+                log=self.degradations,
+            )
+            return {"type": "ack", "status": "rejected", "error": str(exc)}
+
+        stale = self._stale_files(delta.fingerprints)
+        if stale:
+            with self._lock:
+                self._quarantine_index += 1
+                index = self._quarantine_index
+            reason = (
+                f"delta seq={delta.seq} from {delta.shipper!r} was collected "
+                f"against different source for {', '.join(stale)}"
+            )
+            self.quarantine.add(index, delta.dataset, "stale", reason)
+            self.metrics.inc("deltas_quarantined_total")
+            degrade(
+                "aggregate",
+                reason,
+                "delta quarantined; healthy shippers keep merging",
+                policy=self.policy,
+                log=self.degradations,
+            )
+            return {"type": "ack", "seq": delta.seq, "status": "stale"}
+
+        key = _dataset_key(delta.dataset, delta.fingerprints)
+        with self._lock:
+            if not self._ledger.mark(delta.shipper, delta.seq):
+                self.metrics.inc("deltas_duplicate_total")
+                return {"type": "ack", "seq": delta.seq, "status": "duplicate"}
+            slot = self._datasets.get(key)
+            if slot is None:
+                slot = self._datasets[key] = _DatasetSlot(
+                    delta.dataset, delta.fingerprints
+                )
+                self.metrics.set_gauge("datasets", len(self._datasets))
+        try:
+            slot.counters.apply_key_increments(delta.counts)
+        except Exception as exc:
+            # Point keys that fail to parse are malformed wire data; the
+            # ledger already marked the seq, which is correct — retrying
+            # the same bad delta must not loop forever.
+            self.metrics.inc("deltas_rejected_total")
+            degrade(
+                "aggregate",
+                f"delta seq={delta.seq} from {delta.shipper!r} carried "
+                f"unparseable counts: {exc}",
+                "delta rejected",
+                policy=self.policy,
+                log=self.degradations,
+            )
+            return {"type": "ack", "seq": delta.seq, "status": "rejected",
+                    "error": str(exc)}
+        self.metrics.inc("deltas_applied_total")
+        self.metrics.inc("counts_ingested_total", delta.total())
+        self.metrics.inc(
+            "bytes_ingested_total",
+            len(json.dumps(frame, separators=(",", ":"))),
+        )
+        self.metrics.observe_latency(
+            "ingest_latency", time.perf_counter() - started
+        )
+        return {"type": "ack", "seq": delta.seq, "status": "applied"}
+
+    def _stale_files(self, fingerprints: Mapping[str, str]) -> list[str]:
+        return sorted(
+            filename
+            for filename, digest in fingerprints.items()
+            if filename in self.expected_fingerprints
+            and self.expected_fingerprints[filename] != digest
+        )
+
+    def _stats_frame(self) -> dict:
+        with self._lock:
+            datasets = {
+                key: {
+                    "name": slot.counters.name,
+                    "total": slot.counters.total(),
+                    "points": len(slot.counters),
+                    "fingerprints": dict(slot.fingerprints),
+                }
+                for key, slot in self._datasets.items()
+            }
+            shippers = {
+                shipper: self._ledger.applied_count(shipper)
+                for shipper in self._ledger.shippers()
+            }
+        return {
+            "type": "stats",
+            "datasets": datasets,
+            "shippers": shippers,
+            "quarantined": len(self.quarantine),
+            "metrics": self.metrics.snapshot(),
+        }
+
+    # -- merged views ------------------------------------------------------
+
+    def total_counts(self) -> int:
+        """Sum of every applied increment (the zero-loss check)."""
+        with self._lock:
+            slots = list(self._datasets.values())
+        return sum(slot.counters.total() for slot in slots)
+
+    def merged_database(self) -> ProfileDatabase:
+        """The merged profile as a standard :class:`ProfileDatabase`.
+
+        One data set per live (dataset, fingerprint) counter set — the
+        same weighted Figure-3 merge the batch workflow computes.
+        """
+        with self._lock:
+            slots = list(self._datasets.values())
+        return ProfileDatabase.from_counter_sets(
+            [slot.counters for slot in slots],
+            name=self.name,
+            fingerprints=[slot.fingerprints for slot in slots],
+        )
+
+    # -- checkpointing -----------------------------------------------------
+
+    def checkpoint(self) -> bool:
+        """Atomically persist the merged profile (and private state).
+
+        Returns whether both writes succeeded; failures degrade per
+        policy (an unwritable disk must not take the ingest path down).
+        """
+        ok = True
+        if self.checkpoint_path:
+            try:
+                self.merged_database().store(self.checkpoint_path)
+            except OSError as exc:
+                ok = False
+                self.metrics.inc("checkpoint_failures_total")
+                degrade(
+                    "checkpoint",
+                    f"{self.checkpoint_path}: {exc}",
+                    "profile checkpoint skipped; counts remain in memory",
+                    policy=self.policy,
+                    log=self.degradations,
+                )
+        if self.state_path:
+            try:
+                atomic_write_text(self.state_path, self._state_payload())
+            except OSError as exc:
+                ok = False
+                self.metrics.inc("checkpoint_failures_total")
+                degrade(
+                    "checkpoint",
+                    f"{self.state_path}: {exc}",
+                    "state checkpoint skipped; a restart would lose counts",
+                    policy=self.policy,
+                    log=self.degradations,
+                )
+        if ok and (self.checkpoint_path or self.state_path):
+            self.metrics.inc("checkpoints_total")
+        return ok
+
+    def _state_payload(self) -> str:
+        with self._lock:
+            datasets = [
+                {
+                    "key": key,
+                    "name": slot.counters.name,
+                    "fingerprints": dict(slot.fingerprints),
+                    "counts": slot.counters.as_key_mapping(),
+                }
+                for key, slot in self._datasets.items()
+            ]
+            ledger = self._ledger.to_json_object()
+        return json.dumps(
+            {
+                "format": "pgmp-service-state",
+                "version": STATE_FORMAT_VERSION,
+                "name": self.name,
+                "datasets": datasets,
+                "ledger": ledger,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    def _load_state(self) -> None:
+        """Resume counts + ledger from a state checkpoint, if present.
+
+        Corrupt or torn state degrades to a cold start (per policy) — the
+        aggregator serves either way; with the v2 checkpoint written
+        atomically, a *well-formed-but-old* state is the worst non-fault
+        case, and shipper spill replay + the ledger close the gap.
+        """
+        try:
+            with open(self.state_path, "r", encoding="utf-8") as handle:  # type: ignore[arg-type]
+                obj = json.load(handle)
+            if not isinstance(obj, dict) or obj.get("format") != "pgmp-service-state":
+                raise DeltaFormatError(
+                    f"not a pgmp service state file "
+                    f"(format={obj.get('format') if isinstance(obj, dict) else None!r})"
+                )
+            if obj.get("version") != STATE_FORMAT_VERSION:
+                raise DeltaFormatError(
+                    f"unsupported state version {obj.get('version')!r}"
+                )
+            datasets = obj.get("datasets")
+            if not isinstance(datasets, list):
+                raise DeltaFormatError("state file missing 'datasets' list")
+            restored: dict[str, _DatasetSlot] = {}
+            for entry in datasets:
+                if not isinstance(entry, dict):
+                    raise DeltaFormatError("malformed state dataset entry")
+                slot = _DatasetSlot(
+                    str(entry.get("name", "dataset")),
+                    entry.get("fingerprints", {}),
+                )
+                slot.counters.apply_key_increments(entry.get("counts", {}))
+                restored[str(entry["key"])] = slot
+            ledger = DeltaLedger.from_json_object(obj.get("ledger", {}))
+        except FileNotFoundError:
+            return
+        except Exception as exc:
+            degrade(
+                "restore",
+                f"{self.state_path}: {exc}",
+                "starting with empty counters (cold start)",
+                policy=self.policy,
+                log=self.degradations,
+            )
+            return
+        with self._lock:
+            self._datasets = restored
+            self._ledger = ledger
+            self.metrics.set_gauge("datasets", len(restored))
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def address(self) -> ServiceAddress:
+        """The bound address (with the real port once started)."""
+        if self._server is not None and self.listen.family == "tcp":
+            host, port = self._server.server_address[:2]  # type: ignore[misc]
+            return ServiceAddress(family="tcp", host=str(host), port=int(port))
+        return self.listen
+
+    def start(self) -> "ProfileAggregator":
+        """Bind, start the accept loop + housekeeping (+ metrics HTTP)."""
+        if self._server is not None:
+            return self
+        if self.listen.family == "unix":
+            if not hasattr(socket, "AF_UNIX"):  # pragma: no cover
+                raise ServiceError(
+                    "unix-domain sockets unavailable on this platform"
+                )
+            server: socketserver.BaseServer = _UnixServer(
+                self.listen.path, _Handler
+            )
+        else:
+            server = _TcpServer((self.listen.host, self.listen.port), _Handler)
+        server.aggregator = self  # type: ignore[attr-defined]
+        self._server = server
+        self._stop.clear()
+        self._server_thread = threading.Thread(
+            target=server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="pgmp-aggregator-accept",
+            daemon=True,
+        )
+        self._server_thread.start()
+        self._housekeeper = threading.Thread(
+            target=self._housekeeping, name="pgmp-aggregator-housekeeping",
+            daemon=True,
+        )
+        self._housekeeper.start()
+        if self.metrics_port is not None:
+            self._start_metrics_server(self.metrics_port)
+        return self
+
+    def _housekeeping(self) -> None:
+        while not self._stop.wait(self.checkpoint_interval):
+            self.checkpoint()
+            self.run_controller()
+
+    def run_controller(self) -> RecompilationDecision | None:
+        """One controller evaluation over the current merged profile."""
+        if self.controller is None:
+            return None
+        try:
+            return self.controller.maybe_recompile(self.merged_database())
+        except Exception as exc:
+            degrade(
+                "recompile",
+                f"controller raised: {exc}",
+                "keeping the previously-deployed artifact",
+                policy=self.policy,
+                log=self.degradations,
+            )
+            return None
+
+    def stop(self) -> None:
+        """Stop serving, final checkpoint, release the port/socket."""
+        self._stop.set()
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._server_thread is not None:
+            self._server_thread.join(timeout=10.0)
+            self._server_thread = None
+        if self._housekeeper is not None:
+            self._housekeeper.join(timeout=10.0)
+            self._housekeeper = None
+        if self._metrics_server is not None:
+            self._metrics_server.shutdown()
+            self._metrics_server.server_close()
+            self._metrics_server = None
+        if self._metrics_thread is not None:
+            self._metrics_thread.join(timeout=10.0)
+            self._metrics_thread = None
+        self.checkpoint()
+
+    def __enter__(self) -> "ProfileAggregator":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- metrics HTTP endpoint ---------------------------------------------
+
+    def _start_metrics_server(self, port: int) -> None:
+        aggregator = self
+
+        class MetricsHandler(http.server.BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                if self.path == "/metrics":
+                    body = aggregator.metrics.render().encode("utf-8")
+                    self.send_response(200)
+                    self.send_header(
+                        "Content-Type", "text/plain; version=0.0.4"
+                    )
+                elif self.path == "/healthz":
+                    body = b"ok\n"
+                    self.send_response(200)
+                    self.send_header("Content-Type", "text/plain")
+                else:
+                    body = b"not found\n"
+                    self.send_response(404)
+                    self.send_header("Content-Type", "text/plain")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args: object) -> None:
+                pass  # metrics scrapes must not spam the server's stderr
+
+        server = http.server.ThreadingHTTPServer(("127.0.0.1", port), MetricsHandler)
+        server.daemon_threads = True
+        self._metrics_server = server
+        self._metrics_thread = threading.Thread(
+            target=server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="pgmp-aggregator-metrics",
+            daemon=True,
+        )
+        self._metrics_thread.start()
+
+    @property
+    def metrics_address(self) -> tuple[str, int] | None:
+        if self._metrics_server is None:
+            return None
+        host, port = self._metrics_server.server_address[:2]
+        return str(host), int(port)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ProfileAggregator {self.address} "
+            f"datasets={len(self._datasets)} "
+            f"applied={int(self.metrics.counter('deltas_applied_total'))}>"
+        )

@@ -1,0 +1,269 @@
+"""The online recompilation controller.
+
+The batch workflow re-expands a program when a human re-runs the
+compiler. In continuous operation the decision must be automatic: as the
+aggregator merges fresh deltas, the merged weights *drift* away from the
+weights the currently-deployed expansion was optimized against. The
+controller measures that drift and, past a configurable threshold,
+re-runs the meta-program optimization and atomically swaps the compiled
+artifact.
+
+Drift metric: **L∞ distance** over the union of point keys between the
+merged weight mapping now and the mapping used for the last expansion.
+Profile weights live in ``[0, 1]``, so drift does too; the threshold is
+directly interpretable ("recompile when any point's weight moved by more
+than X"). Against an empty baseline the drift of any non-empty profile is
+1.0 (the hottest point went from 0 to 1), so the first profile data
+always triggers the first optimization.
+
+Every decision — recompile or not — is recorded in a
+:class:`RecompilationLog`, so "why is production still running the old
+expansion?" is always answerable.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.database import ProfileDatabase
+from repro.service.metrics import ServiceMetrics
+
+__all__ = [
+    "weight_drift",
+    "RecompilationDecision",
+    "RecompilationLog",
+    "RecompileController",
+    "scheme_recompiler",
+    "pyast_recompiler",
+]
+
+
+def weight_drift(
+    before: Mapping[str, float], after: Mapping[str, float]
+) -> float:
+    """L∞ distance between two merged weight mappings (point key → weight).
+
+    A point missing from a mapping has weight 0.0 — the same convention
+    ``profile-query`` uses — so newly-hot and gone-cold points both count.
+    """
+    keys = before.keys() | after.keys()
+    return max(
+        (abs(before.get(k, 0.0) - after.get(k, 0.0)) for k in keys),
+        default=0.0,
+    )
+
+
+@dataclass(frozen=True)
+class RecompilationDecision:
+    """One controller evaluation: the drift seen and what was done."""
+
+    #: how many recompilations had happened before this decision
+    generation: int
+    #: L∞ drift of the merged weights against the last-compiled baseline
+    drift: float
+    #: the threshold in force
+    threshold: float
+    #: whether a recompile-and-swap was performed
+    recompiled: bool
+    #: human-readable explanation
+    reason: str
+    #: wall-clock seconds the recompile + swap took (0.0 when skipped)
+    pause_seconds: float = 0.0
+
+    def __str__(self) -> str:
+        verb = "recompiled" if self.recompiled else "kept"
+        return (
+            f"gen {self.generation}: drift {self.drift:.4f} "
+            f"(threshold {self.threshold:.4f}) -> {verb} ({self.reason})"
+        )
+
+    def to_json_object(self) -> dict:
+        return {
+            "generation": self.generation,
+            "drift": self.drift,
+            "threshold": self.threshold,
+            "recompiled": self.recompiled,
+            "reason": self.reason,
+            "pause_seconds": self.pause_seconds,
+        }
+
+
+class RecompilationLog:
+    """Thread-safe append-only record of controller decisions."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: list[RecompilationDecision] = []
+
+    def record(self, entry: RecompilationDecision) -> RecompilationDecision:
+        with self._lock:
+            self._entries.append(entry)
+        return entry
+
+    def entries(self) -> list[RecompilationDecision]:
+        with self._lock:
+            return list(self._entries)
+
+    def recompilations(self) -> list[RecompilationDecision]:
+        return [e for e in self.entries() if e.recompiled]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __iter__(self):
+        return iter(self.entries())
+
+    def __repr__(self) -> str:
+        return (
+            f"<RecompilationLog: {len(self)} decisions, "
+            f"{len(self.recompilations())} recompilations>"
+        )
+
+
+class RecompileController:
+    """Drift-triggered optimization with an atomically-swapped artifact.
+
+    ``recompile`` is the substrate-specific compile step: given the merged
+    :class:`ProfileDatabase`, produce a new compiled artifact (a Scheme
+    :class:`~repro.scheme.core_forms.Program`, a recompiled Python
+    function, …). The controller guarantees:
+
+    * :meth:`artifact` readers never observe a half-swapped state — the
+      swap is a single reference assignment under the controller lock;
+    * the baseline weights and the artifact move together: a decision to
+      recompile updates both or (if ``recompile`` raises) neither;
+    * decisions are serialized — concurrent :meth:`maybe_recompile` calls
+      cannot both recompile for the same drift.
+    """
+
+    def __init__(
+        self,
+        recompile: Callable[[ProfileDatabase], Any],
+        *,
+        threshold: float = 0.05,
+        log: RecompilationLog | None = None,
+        metrics: ServiceMetrics | None = None,
+    ) -> None:
+        if not 0.0 <= float(threshold) <= 1.0:
+            raise ValueError(
+                f"drift threshold must be in [0, 1], got {threshold!r}"
+            )
+        self._recompile = recompile
+        self.threshold = float(threshold)
+        self.log = log if log is not None else RecompilationLog()
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._artifact: Any = None
+        self._baseline: dict[str, float] | None = None
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """How many recompile-and-swaps have happened."""
+        with self._lock:
+            return self._generation
+
+    def artifact(self) -> Any:
+        """The currently-deployed compiled artifact (``None`` before the
+        first recompilation)."""
+        with self._lock:
+            return self._artifact
+
+    def baseline_weights(self) -> dict[str, float] | None:
+        """The merged weights the current artifact was optimized against."""
+        with self._lock:
+            return dict(self._baseline) if self._baseline is not None else None
+
+    def maybe_recompile(self, db: ProfileDatabase) -> RecompilationDecision:
+        """Evaluate drift of ``db``'s merged weights; recompile if needed."""
+        merged = db.merged().as_key_mapping()
+        with self._lock:
+            if not merged and self._baseline is None:
+                decision = RecompilationDecision(
+                    generation=self._generation,
+                    drift=0.0,
+                    threshold=self.threshold,
+                    recompiled=False,
+                    reason="no profile data yet",
+                )
+                return self.log.record(decision)
+            baseline = self._baseline if self._baseline is not None else {}
+            drift = weight_drift(baseline, merged)
+            if drift <= self.threshold:
+                decision = RecompilationDecision(
+                    generation=self._generation,
+                    drift=drift,
+                    threshold=self.threshold,
+                    recompiled=False,
+                    reason="drift within threshold",
+                )
+                return self.log.record(decision)
+            started = time.perf_counter()
+            artifact = self._recompile(db)
+            pause = time.perf_counter() - started
+            self._artifact = artifact
+            self._baseline = dict(merged)
+            self._generation += 1
+            decision = RecompilationDecision(
+                generation=self._generation,
+                drift=drift,
+                threshold=self.threshold,
+                recompiled=True,
+                reason=(
+                    "first optimization"
+                    if not baseline
+                    else "drift exceeded threshold"
+                ),
+                pause_seconds=pause,
+            )
+        if self.metrics is not None:
+            self.metrics.inc("recompilations_total")
+            self.metrics.observe_latency("recompile_pause", pause)
+            self.metrics.set_gauge("recompile_generation", decision.generation)
+        return self.log.record(decision)
+
+    def __repr__(self) -> str:
+        return (
+            f"<RecompileController gen={self.generation} "
+            f"threshold={self.threshold}>"
+        )
+
+
+def scheme_recompiler(
+    system: Any, source: str, filename: str = "<service>"
+) -> Callable[[ProfileDatabase], Any]:
+    """A ``recompile`` step re-expanding Scheme ``source`` on a
+    :class:`~repro.scheme.pipeline.SchemeSystem`.
+
+    Each call hot-swaps the merged database into the system and re-runs
+    the full expansion, so meta-programs (clause reordering, dispatch
+    specialization, …) re-decide against the fresh weights — exactly the
+    offline ``pgmp optimize`` path, minus the restart.
+    """
+
+    def recompile(db: ProfileDatabase) -> Any:
+        system.hot_swap_profile(db)
+        return system.compile(source, filename)
+
+    return recompile
+
+
+def pyast_recompiler(
+    system: Any,
+    fn: Callable,
+    registry: Any = None,
+    extra_globals: dict | None = None,
+) -> Callable[[ProfileDatabase], Any]:
+    """A ``recompile`` step re-expanding a Python function on a
+    :class:`~repro.pyast.system.PyAstSystem`."""
+
+    def recompile(db: ProfileDatabase) -> Any:
+        system.hot_swap_profile(db)
+        return system.expand(fn, registry, extra_globals)
+
+    return recompile

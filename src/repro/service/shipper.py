@@ -1,0 +1,441 @@
+"""The worker-side client: ship counter deltas to an aggregator.
+
+A :class:`ProfileShipper` wraps the counter set an instrumented worker is
+already bumping (typically a lock-free
+:class:`~repro.core.counters.ShardedCounterSet`) and periodically flushes
+the *increments since the last flush* as :class:`ProfileDelta`s to the
+aggregation service. Design invariants:
+
+* **The hot path is untouched** — instrumented code keeps incrementing
+  its counter set; the shipper only ever *reads* snapshots.
+* **Profile loss degrades, never crashes.** Every failure (unreachable
+  aggregator, full queue, quarantined delta) routes through the standard
+  :func:`repro.core.policy.degrade` choke point: ``strict`` raises,
+  ``warn``/``ignore`` record the reason and keep the worker serving.
+* **Delivery is at-least-once, counted exactly once.** Undeliverable
+  deltas go to a bounded in-memory queue, overflow to a
+  :class:`~repro.service.spill.SpillLog`, and are replayed after
+  reconnecting; the aggregator's ledger drops duplicates.
+* **Reconnects back off exponentially** (with a deterministic schedule —
+  no thundering herd of instantly-retrying workers after an aggregator
+  restart).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from collections import deque
+from collections.abc import Mapping
+
+from repro.core.counters import BaseCounterSet
+from repro.core.errors import BackpressureError, DeltaFormatError, ServiceError
+from repro.core.policy import DegradationLog, ProfilePolicy, degrade
+from repro.service.delta import ProfileDelta, read_frame, write_frame
+from repro.service.spill import SpillLog
+from repro.service.transport import ServiceAddress, connect, parse_address
+
+__all__ = ["ProfileShipper"]
+
+
+def _default_shipper_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}-{os.urandom(4).hex()}"
+
+
+class ProfileShipper:
+    """Flush counter increments to an aggregator as idempotent deltas.
+
+    May be driven manually (:meth:`flush` after each unit of work, or
+    :meth:`maybe_flush` on the fast path) or as a background daemon
+    (:meth:`start` / :meth:`close`) flushing every ``flush_interval``
+    seconds and whenever ``flush_threshold`` new counts have accumulated.
+
+    ``shipper_id`` names one *incarnation* of a worker: sequence numbers
+    restart at 1 with every new shipper object, so a restarted worker must
+    use a fresh id (the default includes random bytes). Spilled frames
+    embed the id they were cut under, which keeps spill replay idempotent
+    across restarts without any id coordination.
+    """
+
+    def __init__(
+        self,
+        counters: BaseCounterSet,
+        address: str | ServiceAddress,
+        *,
+        dataset: str | None = None,
+        fingerprints: Mapping[str, str] | None = None,
+        shipper_id: str | None = None,
+        flush_interval: float = 1.0,
+        flush_threshold: int = 10_000,
+        max_pending: int = 64,
+        spill_path: str | os.PathLike[str] | None = None,
+        policy: ProfilePolicy | str = ProfilePolicy.WARN,
+        degradations: DegradationLog | None = None,
+        backoff_base: float = 0.05,
+        backoff_max: float = 5.0,
+        timeout: float = 5.0,
+    ) -> None:
+        self.counters = counters
+        self.address = parse_address(address)
+        self.dataset = dataset if dataset is not None else counters.name
+        self.fingerprints = dict(fingerprints) if fingerprints else {}
+        self.shipper_id = shipper_id or _default_shipper_id()
+        self.flush_interval = float(flush_interval)
+        self.flush_threshold = int(flush_threshold)
+        self.max_pending = int(max_pending)
+        self.policy = ProfilePolicy.coerce(policy)
+        self.degradations = (
+            degradations if degradations is not None else DegradationLog()
+        )
+        self.spill = SpillLog(spill_path) if spill_path is not None else None
+        self.backoff_base = float(backoff_base)
+        self.backoff_max = float(backoff_max)
+        self.timeout = float(timeout)
+
+        self._lock = threading.RLock()
+        self._seq = 0
+        self._baseline: dict[str, int] = {}
+        self._queue: deque[ProfileDelta] = deque()
+        self._sock: socket.socket | None = None
+        self._stream = None
+        self._failures = 0
+        self._retry_at = 0.0
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+        # -- delivery stats (for tests and ship-side reporting) ------------
+        self.shipped_deltas = 0
+        self.shipped_counts = 0
+        self.duplicate_deltas = 0
+        self.quarantined_deltas = 0
+        self.rejected_deltas = 0
+        self.spilled_deltas = 0
+        self.replayed_deltas = 0
+        self.dropped_deltas = 0
+
+    # -- delta construction ------------------------------------------------
+
+    def _diff_since_baseline(self) -> dict[str, int]:
+        """Per-key increments between the baseline and a fresh snapshot."""
+        now = self.counters.as_key_mapping()
+        increments: dict[str, int] = {}
+        rewound = []
+        for key, count in now.items():
+            before = self._baseline.get(key, 0)
+            if count > before:
+                increments[key] = count - before
+            elif count < before:
+                rewound.append(key)
+        if rewound:
+            # The counter set was cleared/replaced under us. Re-baseline on
+            # the new values (shipping them as fresh increments) instead of
+            # silently wedging on an impossible negative delta.
+            degrade(
+                "ship",
+                f"counter set {self.counters.name!r} went backwards for "
+                f"{len(rewound)} point(s) (cleared mid-flight?)",
+                "re-baselining on the current counts",
+                policy=self.policy,
+                log=self.degradations,
+            )
+            for key in rewound:
+                increments[key] = now[key]
+        self._baseline = now
+        return increments
+
+    def pending_counts(self) -> int:
+        """How many counts have accumulated since the last flush."""
+        with self._lock:
+            baseline_total = sum(self._baseline.values())
+        return max(0, self.counters.total() - baseline_total)
+
+    def flush(self) -> ProfileDelta | None:
+        """Cut a delta from the counter increments since the last flush,
+        queue it, and attempt delivery. Returns the delta (or ``None`` if
+        nothing accumulated)."""
+        with self._lock:
+            increments = self._diff_since_baseline()
+            delta = None
+            if increments:
+                self._seq += 1
+                delta = ProfileDelta(
+                    shipper=self.shipper_id,
+                    seq=self._seq,
+                    dataset=self.dataset,
+                    counts=increments,
+                    fingerprints=self.fingerprints,
+                )
+                self._enqueue(delta)
+            self._drain()
+            return delta
+
+    def maybe_flush(self) -> ProfileDelta | None:
+        """Flush only once ``flush_threshold`` new counts accumulated."""
+        if self.pending_counts() >= self.flush_threshold:
+            return self.flush()
+        with self._lock:
+            self._drain()
+        return None
+
+    # -- queueing and backpressure ----------------------------------------
+
+    def _enqueue(self, delta: ProfileDelta) -> None:
+        self._queue.append(delta)
+        while len(self._queue) > self.max_pending:
+            overflow = self._queue.popleft()
+            if self.spill is not None:
+                try:
+                    self.spill.append(overflow.to_json_object())
+                    self.spilled_deltas += 1
+                    continue
+                except OSError as exc:
+                    degrade(
+                        "ship",
+                        f"spill to {self.spill.path} failed: {exc}",
+                        f"dropping delta seq={overflow.seq} "
+                        f"({overflow.total()} counts)",
+                        error=BackpressureError(
+                            f"delta queue overflowed ({self.max_pending}) and "
+                            f"spilling failed: {exc}"
+                        ),
+                        policy=self.policy,
+                        log=self.degradations,
+                    )
+            else:
+                degrade(
+                    "ship",
+                    f"delta queue overflowed ({self.max_pending} pending, "
+                    f"no spill path configured)",
+                    f"dropping oldest delta seq={overflow.seq} "
+                    f"({overflow.total()} counts)",
+                    error=BackpressureError(
+                        f"delta queue overflowed ({self.max_pending} pending) "
+                        "and no spill path is configured"
+                    ),
+                    policy=self.policy,
+                    log=self.degradations,
+                )
+            self.dropped_deltas += 1
+
+    # -- connection management ---------------------------------------------
+
+    def _connected(self) -> bool:
+        return self._stream is not None
+
+    def _disconnect(self) -> None:
+        if self._stream is not None:
+            try:
+                self._stream.close()
+            except OSError:
+                pass
+            self._stream = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _note_failure(self, reason: str) -> None:
+        self._disconnect()
+        self._failures += 1
+        backoff = min(
+            self.backoff_max, self.backoff_base * (2 ** (self._failures - 1))
+        )
+        self._retry_at = time.monotonic() + backoff
+        degrade(
+            "ship",
+            f"aggregator {self.address} unreachable: {reason}",
+            f"buffering deltas; retrying in {backoff:.2f}s "
+            f"(attempt {self._failures})",
+            policy=self.policy,
+            log=self.degradations,
+        )
+
+    def _ensure_connection(self) -> bool:
+        if self._connected():
+            return True
+        if time.monotonic() < self._retry_at:
+            return False
+        try:
+            self._sock = connect(self.address, timeout=self.timeout)
+            self._stream = self._sock.makefile("rwb")
+        except OSError as exc:
+            self._note_failure(str(exc))
+            return False
+        self._failures = 0
+        self._retry_at = 0.0
+        return True
+
+    # -- delivery ----------------------------------------------------------
+
+    def _send_one(self, obj: dict) -> str:
+        """Send one delta frame and wait for its ack; returns the status."""
+        assert self._stream is not None
+        write_frame(self._stream, obj)
+        self._stream.flush()
+        response = read_frame(self._stream)
+        if not isinstance(response, dict) or response.get("type") != "ack":
+            raise ServiceError(
+                f"aggregator sent no ack (got {response!r})"
+            )
+        status = response.get("status")
+        if status not in ("applied", "duplicate", "stale", "rejected"):
+            raise ServiceError(f"aggregator sent unknown ack status {status!r}")
+        return str(status)
+
+    def _account(self, status: str, obj: dict, replayed: bool) -> None:
+        total = sum(obj.get("counts", {}).values())
+        if status == "applied":
+            self.shipped_deltas += 1
+            self.shipped_counts += total
+            if replayed:
+                self.replayed_deltas += 1
+        elif status == "duplicate":
+            self.duplicate_deltas += 1
+        elif status == "stale":
+            self.quarantined_deltas += 1
+            degrade(
+                "ship",
+                f"aggregator quarantined delta seq={obj.get('seq')} as stale "
+                "(source fingerprint mismatch)",
+                "delta dropped; profile for the changed source is not merged",
+                policy=self.policy,
+                log=self.degradations,
+            )
+        else:  # rejected
+            self.rejected_deltas += 1
+            degrade(
+                "ship",
+                f"aggregator rejected delta seq={obj.get('seq')} as malformed",
+                "delta dropped",
+                policy=self.policy,
+                log=self.degradations,
+            )
+
+    def _replay_spill(self) -> bool:
+        """Deliver every spilled frame; returns True when the spill is clear."""
+        if self.spill is None:
+            return True
+        frames, torn = self.spill.replay()
+        if torn:
+            degrade(
+                "ship",
+                f"spill log {self.spill.path} has a torn tail",
+                f"recovered {len(frames)} complete delta(s); the torn tail "
+                "is lost",
+                policy=self.policy,
+                log=self.degradations,
+            )
+        if not frames and not torn:
+            self.spill.clear()
+            return True
+        delivered = 0
+        try:
+            for frame in frames:
+                if not isinstance(frame, dict):
+                    raise DeltaFormatError(f"spilled frame is not an object: {frame!r}")
+                status = self._send_one(frame)
+                self._account(status, frame, replayed=True)
+                delivered += 1
+        except (OSError, ServiceError) as exc:
+            # Rewrite the spill to only the undelivered tail, then back off.
+            remainder = frames[delivered:]
+            self.spill.clear()
+            for frame in remainder:
+                self.spill.append(frame)
+            self._note_failure(str(exc))
+            return False
+        except DeltaFormatError as exc:
+            degrade(
+                "ship",
+                f"spill log {self.spill.path} held a corrupt frame: {exc}",
+                "discarding the remainder of the spill",
+                policy=self.policy,
+                log=self.degradations,
+            )
+        self.spill.clear()
+        return True
+
+    def _drain(self) -> None:
+        """Push spilled then queued deltas to the aggregator (best effort)."""
+        if not self._queue and (self.spill is None or not self.spill.size_bytes()):
+            return
+        if not self._ensure_connection():
+            return
+        if not self._replay_spill():
+            return
+        while self._queue:
+            delta = self._queue[0]
+            obj = delta.to_json_object()
+            try:
+                status = self._send_one(obj)
+            except (OSError, ServiceError) as exc:
+                self._note_failure(str(exc))
+                return
+            self._queue.popleft()
+            self._account(status, obj, replayed=False)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "ProfileShipper":
+        """Start the background flush thread (daemon)."""
+        with self._lock:
+            if self._thread is not None:
+                return self
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name=f"pgmp-shipper-{self.shipper_id}", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.flush_interval):
+            self.flush()
+
+    def close(self) -> None:
+        """Final flush + drain; spill whatever could not be delivered."""
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=max(5.0, self.flush_interval * 2))
+            self._thread = None
+        with self._lock:
+            try:
+                self.flush()
+            finally:
+                if self._queue and self.spill is not None:
+                    while self._queue:
+                        delta = self._queue.popleft()
+                        try:
+                            self.spill.append(delta.to_json_object())
+                            self.spilled_deltas += 1
+                        except OSError:
+                            self.dropped_deltas += 1
+                elif self._queue:
+                    undelivered = len(self._queue)
+                    self._queue.clear()
+                    self.dropped_deltas += undelivered
+                    degrade(
+                        "ship",
+                        f"{undelivered} delta(s) undelivered at close "
+                        "(no spill path configured)",
+                        "profile data for those deltas is lost",
+                        policy=self.policy,
+                        log=self.degradations,
+                    )
+                self._disconnect()
+
+    def __enter__(self) -> "ProfileShipper":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<ProfileShipper {self.shipper_id!r} -> {self.address} "
+            f"seq={self._seq} queued={len(self._queue)}>"
+        )

@@ -1,0 +1,90 @@
+"""Spill-to-disk for deltas the shipper could not deliver.
+
+When the aggregator is unreachable (or the in-memory queue overflows), a
+worker must not crash, block its serving threads, or silently discard
+profile data. It appends the undeliverable delta frames to a local
+*spill log* and replays them after reconnecting. The profile-lifecycle
+contract carries over:
+
+* appends are flushed per frame, so a crash loses at most the frame being
+  written (a *torn tail*);
+* replay parses the log with the same length-prefixed framing as the wire
+  and **stops cleanly at the first torn or corrupt frame** — everything
+  before the tear is recovered, nothing after it can be misparsed;
+* the aggregator's :class:`~repro.service.delta.DeltaLedger` makes replay
+  idempotent, so "replay everything still in the log" is always safe,
+  even when an ack was lost and the delta had in fact been applied.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+
+from repro.service.delta import FrameDecoder, encode_frame
+
+__all__ = ["SpillLog"]
+
+
+class SpillLog:
+    """An append-only on-disk log of wire frames (JSON objects).
+
+    Single-writer by design — each shipper owns its spill path. Not
+    thread-safe; the shipper serializes access through its own lock.
+    """
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = os.fspath(path)
+
+    def append(self, obj: object) -> int:
+        """Append one frame, fsynced; returns the bytes written."""
+        frame = encode_frame(obj)
+        with open(self.path, "ab") as handle:
+            handle.write(frame)
+            handle.flush()
+            os.fsync(handle.fileno())
+        return len(frame)
+
+    def replay(self) -> tuple[list[object], bool]:
+        """Parse the log back into frames.
+
+        Returns ``(frames, torn)`` where ``torn`` reports whether the log
+        ended mid-frame (crash during an append) or held a corrupt frame —
+        replay recovered every complete frame before the damage either
+        way. A missing file is an empty, un-torn log.
+        """
+        try:
+            with open(self.path, "rb") as handle:
+                data = handle.read()
+        except FileNotFoundError:
+            return [], False
+        decoder = FrameDecoder()
+        frames: list[object] = []
+        torn = False
+        try:
+            frames.extend(decoder.feed(data))
+        except Exception:
+            # A corrupt length prefix or unparseable payload: keep what
+            # decoded cleanly, flag the damage.
+            torn = True
+        if decoder.partial:
+            torn = True
+        return frames, torn
+
+    def clear(self) -> None:
+        """Delete the log (after a fully-acked replay)."""
+        with contextlib.suppress(FileNotFoundError):
+            os.unlink(self.path)
+
+    def size_bytes(self) -> int:
+        try:
+            return os.path.getsize(self.path)
+        except OSError:
+            return 0
+
+    def __len__(self) -> int:
+        frames, _ = self.replay()
+        return len(frames)
+
+    def __repr__(self) -> str:
+        return f"<SpillLog {self.path!r}: {self.size_bytes()} bytes>"

@@ -1,0 +1,78 @@
+"""Socket plumbing shared by the shipper and the aggregator.
+
+Addresses are spelled one of two ways:
+
+* ``host:port`` — TCP (``127.0.0.1:9901``; port ``0`` asks the OS for a
+  free port, which the aggregator reports back after binding);
+* ``unix:/path/to.sock`` — a Unix-domain stream socket.
+
+Both sides speak the same length-prefixed frame protocol from
+:mod:`repro.service.delta` over a buffered socket file.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass
+
+from repro.core.errors import ServiceError
+
+__all__ = ["ServiceAddress", "parse_address", "connect"]
+
+
+@dataclass(frozen=True)
+class ServiceAddress:
+    """A parsed service endpoint: TCP host/port or a Unix socket path."""
+
+    family: str  # "tcp" | "unix"
+    host: str = ""
+    port: int = 0
+    path: str = ""
+
+    def __str__(self) -> str:
+        if self.family == "unix":
+            return f"unix:{self.path}"
+        return f"{self.host}:{self.port}"
+
+
+def parse_address(spec: "str | ServiceAddress") -> ServiceAddress:
+    """Parse ``host:port`` or ``unix:/path`` into a :class:`ServiceAddress`."""
+    if isinstance(spec, ServiceAddress):
+        return spec
+    spec = str(spec)
+    if spec.startswith("unix:"):
+        path = spec[len("unix:") :]
+        if not path:
+            raise ServiceError("unix address needs a socket path (unix:/path)")
+        return ServiceAddress(family="unix", path=path)
+    host, sep, port_text = spec.rpartition(":")
+    if not sep or not host:
+        raise ServiceError(
+            f"service address must be host:port or unix:/path, got {spec!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ServiceError(f"invalid port in service address {spec!r}") from None
+    if not 0 <= port <= 65535:
+        raise ServiceError(f"port out of range in service address {spec!r}")
+    return ServiceAddress(family="tcp", host=host, port=port)
+
+
+def connect(address: "str | ServiceAddress", timeout: float = 5.0) -> socket.socket:
+    """Open a stream connection to ``address`` (caller closes it)."""
+    address = parse_address(address)
+    if address.family == "unix":
+        if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - non-POSIX
+            raise ServiceError("unix-domain sockets unavailable on this platform")
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.settimeout(timeout)
+            sock.connect(address.path)
+        except BaseException:
+            sock.close()
+            raise
+        return sock
+    return socket.create_connection(
+        (address.host, address.port), timeout=timeout
+    )

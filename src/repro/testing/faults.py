@@ -31,11 +31,18 @@ __all__ = [
     "failing_profile_store",
     "profile_lock_contention",
     "corrupt_profile_file",
+    "tear_spill_log",
 ]
 
 #: Modules that bind ``atomic_write_text`` by name at import time. Patching
 #: only ``repro.core.database`` would miss ``from ... import`` aliases.
-_WRITE_SITES = ("repro.core.database", "repro.blocks.workflow")
+#: ``repro.service.aggregator`` is here so the same injectors cover the
+#: aggregation service's checkpoint/state stores.
+_WRITE_SITES = (
+    "repro.core.database",
+    "repro.blocks.workflow",
+    "repro.service.aggregator",
+)
 
 
 @contextlib.contextmanager
@@ -152,3 +159,19 @@ def corrupt_profile_file(path: str | os.PathLike[str], mode: str = "truncate") -
             json.dump(obj, handle)
     else:
         raise ValueError(f"unknown corruption mode {mode!r}")
+
+
+def tear_spill_log(path: str | os.PathLike[str], drop_bytes: int = 3) -> None:
+    """Truncate a shipper spill log mid-frame, in place.
+
+    The on-disk state a client crash leaves behind when it died inside a
+    spill append: the final length-prefixed frame is incomplete. Replay
+    must deliver every frame *before* the tear and treat the remnant as
+    the end of the log — never crash, never deliver a half frame.
+    """
+    path = os.fspath(path)
+    size = os.path.getsize(path)
+    if size == 0:
+        return
+    with open(path, "r+b") as handle:
+        handle.truncate(max(1, size - drop_bytes))

@@ -10,6 +10,8 @@ Subcommands mirror the paper's workflow:
 * ``pgmp disasm FILE``    — print basic-block bytecode
 * ``pgmp report FILE``    — render a stored profile over the source
 * ``pgmp lint FILE...``   — static soundness & profile-hygiene analysis
+* ``pgmp serve``          — run the continuous-profiling aggregator
+* ``pgmp ship FILE``      — run instrumented, streaming deltas to ``serve``
 
 Built-in case-study libraries are loadable by name via ``--library``:
 ``if-r``, ``case``, ``oop``, ``datastructs``, ``boolean``, ``inliner``, or a
@@ -228,6 +230,126 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument(
         "--histogram", action="store_true", help="also print a weight histogram"
     )
+    p_rep.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report output format (default: text); json is versioned and "
+        "machine-readable, like pgmp lint --format json",
+    )
+
+    p_serve = sub.add_parser(
+        "serve", help="run the continuous-profiling aggregation service"
+    )
+    p_serve.add_argument(
+        "--listen",
+        default="127.0.0.1:0",
+        help="address to accept shippers on: host:port (port 0 = any free "
+        "port, reported on stderr) or unix:/path (default: 127.0.0.1:0)",
+    )
+    p_serve.add_argument(
+        "--checkpoint",
+        default=None,
+        help="profile file to checkpoint the merged weights into "
+        "(readable by report/optimize/workflow)",
+    )
+    p_serve.add_argument(
+        "--state",
+        default=None,
+        help="private state file (raw counts + delta ledger) enabling "
+        "exact resume after a restart",
+    )
+    p_serve.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="how often to checkpoint and evaluate drift (default: 10)",
+    )
+    p_serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve plaintext /metrics and /healthz on 127.0.0.1:PORT",
+    )
+    p_serve.add_argument(
+        "--optimize",
+        default=None,
+        metavar="FILE",
+        help="Scheme program to re-expand when the merged weights drift; "
+        "enables the online recompilation controller",
+    )
+    p_serve.add_argument(
+        "--library",
+        action="append",
+        default=[],
+        help="library to preload for --optimize: if-r, case, oop, "
+        "datastructs, boolean, inliner, or a path",
+    )
+    p_serve.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=0.05,
+        metavar="L_INF",
+        help="recompile when any merged weight moved by more than this "
+        "(L-infinity distance, default: 0.05)",
+    )
+    p_serve.add_argument(
+        "--profile-policy",
+        choices=["strict", "warn", "ignore"],
+        default="warn",
+        help="degradation policy for bad deltas, unwritable checkpoints, "
+        "and failed recompiles (default: warn — a profile service should "
+        "log and keep serving)",
+    )
+
+    p_ship = sub.add_parser(
+        "ship", help="run a program instrumented, shipping profile deltas"
+    )
+    p_ship.add_argument("file", help="Scheme source file ('-' for stdin)")
+    p_ship.add_argument(
+        "--connect",
+        required=True,
+        metavar="ADDR",
+        help="aggregator address: host:port or unix:/path",
+    )
+    p_ship.add_argument(
+        "--library",
+        action="append",
+        default=[],
+        help="library to preload: if-r, case, oop, datastructs, or a path",
+    )
+    p_ship.add_argument(
+        "--mode", choices=["expr", "call"], default="expr",
+        help="instrumentation mode (default: expr)",
+    )
+    p_ship.add_argument(
+        "--runs", type=int, default=1, help="instrumented runs to execute"
+    )
+    p_ship.add_argument(
+        "--dataset",
+        default=None,
+        help="data-set name for the shipped deltas (default: the file name)",
+    )
+    p_ship.add_argument(
+        "--shipper-id",
+        default=None,
+        help="stable shipper identity (default: host-pid-random)",
+    )
+    p_ship.add_argument(
+        "--spill",
+        default=None,
+        metavar="PATH",
+        help="spill undeliverable deltas to this file and replay them "
+        "on reconnect",
+    )
+    p_ship.add_argument(
+        "--profile-policy",
+        choices=["strict", "warn", "ignore"],
+        default="warn",
+        help="what to do when deltas cannot be delivered (default: warn)",
+    )
 
     p_lint = sub.add_parser(
         "lint", help="static soundness & profile-hygiene analysis"
@@ -332,9 +454,118 @@ def _maybe_simplify(args: argparse.Namespace, program):
     return program
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.service import (
+        ProfileAggregator,
+        RecompileController,
+        ServiceMetrics,
+        scheme_recompiler,
+    )
+
+    metrics = ServiceMetrics()
+    controller = None
+    sources = None
+    if args.optimize:
+        optimize_source = _read_program(args.optimize)
+        system = SchemeSystem(policy=args.profile_policy)
+        _load_libraries(system, args.library)
+        controller = RecompileController(
+            scheme_recompiler(system, optimize_source, args.optimize),
+            threshold=args.drift_threshold,
+            metrics=metrics,
+        )
+        # Deltas fingerprinting a *different* version of the optimized
+        # source are stale by definition — quarantine them.
+        sources = {args.optimize: optimize_source}
+    aggregator = ProfileAggregator(
+        args.listen,
+        checkpoint_path=args.checkpoint,
+        state_path=args.state,
+        checkpoint_interval=args.checkpoint_interval,
+        sources=sources,
+        controller=controller,
+        policy=args.profile_policy,
+        metrics=metrics,
+        metrics_port=args.metrics_port,
+    )
+    aggregator.start()
+    try:
+        print(
+            f"pgmp serve: listening on {aggregator.address}",
+            file=sys.stderr,
+            flush=True,
+        )
+        if aggregator.metrics_address is not None:
+            host, port = aggregator.metrics_address
+            print(
+                f"pgmp serve: metrics on http://{host}:{port}/metrics",
+                file=sys.stderr,
+                flush=True,
+            )
+        try:
+            aggregator.shutdown_requested.wait()
+        except KeyboardInterrupt:
+            pass
+    finally:
+        aggregator.stop()
+    applied = int(metrics.counter("deltas_applied_total"))
+    counts = int(metrics.counter("counts_ingested_total"))
+    quarantined = int(metrics.counter("deltas_quarantined_total"))
+    print(
+        f"pgmp serve: applied {applied} delta(s) carrying {counts} counts; "
+        f"{quarantined} quarantined",
+        file=sys.stderr,
+    )
+    if controller is not None:
+        for decision in controller.log.recompilations():
+            print(f"pgmp serve: {decision}", file=sys.stderr)
+    return 0
+
+
+def _run_ship(args: argparse.Namespace) -> int:
+    from repro.core.counters import ShardedCounterSet
+    from repro.core.database import source_fingerprint
+    from repro.service import ProfileShipper
+
+    source = _read_program(args.file)
+    system = SchemeSystem(policy=args.profile_policy)
+    _load_libraries(system, args.library)
+    dataset = args.dataset if args.dataset else args.file
+    counters = ShardedCounterSet(name=dataset)
+    shipper = ProfileShipper(
+        counters,
+        args.connect,
+        dataset=dataset,
+        fingerprints={args.file: source_fingerprint(source)},
+        shipper_id=args.shipper_id,
+        spill_path=args.spill,
+        policy=args.profile_policy,
+    )
+    program = system.compile(source, args.file)
+    mode = _mode(args.mode)
+    try:
+        for _ in range(max(1, args.runs)):
+            system.run(program, instrument=mode, counters=counters)
+            shipper.flush()
+    finally:
+        shipper.close()
+    print(
+        f";; shipped {shipper.shipped_counts} counts in "
+        f"{shipper.shipped_deltas} delta(s) to {shipper.address} "
+        f"(spilled {shipper.spilled_deltas}, dropped {shipper.dropped_deltas}, "
+        f"quarantined {shipper.quarantined_deltas})",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "lint":
         return _run_lint(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "ship":
+        return _run_ship(args)
     source = _read_program(args.file)
     system, library_sources = _make_system(args, source)
 
@@ -415,12 +646,20 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "report":
-        from repro.tools.report import annotate_source, histogram, hottest_report
+        from repro.tools.report import (
+            annotate_source,
+            histogram,
+            hottest_report,
+            report_json,
+        )
 
         if not args.profile_file:
             print("pgmp report: --profile-file is required", file=sys.stderr)
             return 2
         db = system.profile_db
+        if args.format == "json":
+            print(report_json(db, source, args.file, args.top))
+            return 0
         print(hottest_report(db, args.top))
         print()
         print(annotate_source(source, args.file, db))

@@ -6,7 +6,11 @@ source; this module provides the same affordance for stored PGMP profiles:
 * :func:`hottest_report` — a table of the N hottest profile points;
 * :func:`annotate_source` — the program text with per-line heat columns
   (maximum weight of any profile point starting on that line);
-* :func:`histogram` — a terminal bar chart of the weight distribution.
+* :func:`histogram` — a terminal bar chart of the weight distribution;
+* :func:`report_json` — the same data as a versioned JSON document
+  (``pgmp report --format json``), sharing its schema version with
+  ``pgmp lint --format json`` so downstream tooling parses both with one
+  version check.
 
 All functions consume the merged view of a
 :class:`~repro.core.database.ProfileDatabase`, so multi-data-set profiles
@@ -15,9 +19,12 @@ render exactly what ``profile-query`` would report.
 
 from __future__ import annotations
 
+import json
+
+from repro.analysis.diagnostics import JSON_RENDER_VERSION
 from repro.core.database import ProfileDatabase
 
-__all__ = ["hottest_report", "annotate_source", "histogram"]
+__all__ = ["hottest_report", "annotate_source", "histogram", "report_json"]
 
 
 def hottest_report(db: ProfileDatabase, n: int = 10) -> str:
@@ -58,6 +65,53 @@ def annotate_source(source: str, filename: str, db: ProfileDatabase) -> str:
         column = f"{weight:6.4f}" if weight is not None else " " * 6
         out.append(f"{column} | {text}")
     return "\n".join(out)
+
+
+def report_json(
+    db: ProfileDatabase,
+    source: str,
+    filename: str,
+    top: int = 10,
+) -> str:
+    """The profile report as a stable, versioned JSON document.
+
+    Mirrors the text report's content: the hottest-N table, the per-line
+    heat mapping for ``filename``, and summary counts. The ``version``
+    field is :data:`~repro.analysis.diagnostics.JSON_RENDER_VERSION`, the
+    same constant ``pgmp lint --format json`` stamps its output with.
+    """
+    merged = db.merged()
+    hottest = [
+        {
+            "location": str(point.location),
+            "key": point.key(),
+            "weight": weight,
+            "generated": point.generated,
+        }
+        for point, weight in merged.hottest(top)
+    ]
+    by_line: dict[int, float] = {}
+    for point, weight in merged.items():
+        location = point.location
+        if location.filename.split("%", 1)[0] != filename:
+            continue
+        if location.line <= 0:
+            continue
+        by_line[location.line] = max(by_line.get(location.line, 0.0), weight)
+    payload = {
+        "format": "pgmp-report",
+        "version": JSON_RENDER_VERSION,
+        "file": filename,
+        "hottest": hottest,
+        "lines": {str(line): weight for line, weight in sorted(by_line.items())},
+        "summary": {
+            "datasets": db.dataset_count,
+            "points": len(merged),
+            "source_lines": len(source.splitlines()),
+            "quarantined": len(db.quarantine),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
 
 
 def histogram(db: ProfileDatabase, buckets: int = 10, width: int = 40) -> str:

@@ -1,0 +1,89 @@
+"""The ``pgmp`` console-script entry point.
+
+``pyproject.toml`` declares ``pgmp = "repro.tools.cli:main"``; these tests
+pin that declaration to the module's actual ``main`` and prove that a
+console script built from it dispatches identically to
+``python -m repro.tools.cli`` — same stdout, same exit code — so either
+invocation style is interchangeable in docs, CI, and user scripts.
+"""
+
+import importlib
+import shutil
+import subprocess
+import sys
+import tomllib
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _entry_point_spec() -> str:
+    payload = tomllib.loads((REPO_ROOT / "pyproject.toml").read_text())
+    return payload["project"]["scripts"]["pgmp"]
+
+
+def test_entry_point_declared():
+    assert _entry_point_spec() == "repro.tools.cli:main"
+
+
+def test_entry_point_resolves_to_cli_main():
+    modname, _, attr = _entry_point_spec().partition(":")
+    module = importlib.import_module(modname)
+    resolved = getattr(module, attr)
+    from repro.tools.cli import main
+
+    assert resolved is main
+    assert callable(resolved)
+
+
+def _run(argv: list[str], entry: bool) -> subprocess.CompletedProcess:
+    """Run the CLI as a console script would (``entry=True``) or as
+    ``python -m repro.tools.cli`` (``entry=False``)."""
+    if entry:
+        modname, _, attr = _entry_point_spec().partition(":")
+        stub = (
+            "import sys\n"
+            f"from {modname} import {attr}\n"
+            f"sys.exit({attr}())\n"
+        )
+        cmd = [sys.executable, "-c", stub, *argv]
+    else:
+        cmd = [sys.executable, "-m", "repro.tools.cli", *argv]
+    return subprocess.run(
+        cmd,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": ""},
+    )
+
+
+def test_console_script_dispatch_matches_module_dispatch(tmp_path):
+    prog = tmp_path / "prog.ss"
+    prog.write_text("(+ 1 2)\n")
+    argv = ["run", str(prog)]
+    via_entry = _run(argv, entry=True)
+    via_module = _run(argv, entry=False)
+    assert via_entry.returncode == via_module.returncode == 0
+    assert via_entry.stdout == via_module.stdout == "3\n"
+
+
+def test_console_script_error_paths_match(tmp_path):
+    argv = ["run", str(tmp_path / "missing.ss")]
+    via_entry = _run(argv, entry=True)
+    via_module = _run(argv, entry=False)
+    assert via_entry.returncode == via_module.returncode == 1
+    assert via_entry.stderr == via_module.stderr
+    assert "pgmp: error:" in via_entry.stderr
+
+
+@pytest.mark.skipif(shutil.which("pgmp") is None, reason="pgmp not installed")
+def test_installed_console_script_smoke(tmp_path):
+    prog = tmp_path / "prog.ss"
+    prog.write_text("(+ 1 2)\n")
+    result = subprocess.run(
+        ["pgmp", "run", str(prog)], capture_output=True, text=True
+    )
+    assert result.returncode == 0
+    assert result.stdout == "3\n"

@@ -1,0 +1,199 @@
+"""The delta wire protocol: framing, validation, and the idempotency
+ledger — every invariant the module docstring promises."""
+
+import pytest
+
+from repro.core.errors import DeltaFormatError
+from repro.service.delta import (
+    MAX_FRAME_BYTES,
+    WIRE_VERSION,
+    DeltaLedger,
+    FrameDecoder,
+    ProfileDelta,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+
+
+def _delta(seq: int = 1, **overrides) -> ProfileDelta:
+    fields = dict(
+        shipper="worker-1",
+        seq=seq,
+        dataset="requests",
+        counts={"f.ss:1-2:1.0": 5, "f.ss:3-4:2.0": 7},
+        fingerprints={"f.ss": "abcd1234"},
+    )
+    fields.update(overrides)
+    return ProfileDelta(**fields)
+
+
+# -- ProfileDelta ---------------------------------------------------------------
+
+
+def test_delta_round_trips_through_json():
+    delta = _delta()
+    rebuilt = ProfileDelta.from_json_object(delta.to_json_object())
+    assert rebuilt == delta
+    assert rebuilt.total() == 12
+
+
+def test_delta_wire_object_is_tagged_and_versioned():
+    obj = _delta().to_json_object()
+    assert obj["type"] == "delta"
+    assert obj["v"] == WIRE_VERSION
+
+
+def test_delta_without_fingerprints_omits_the_field():
+    obj = _delta(fingerprints={}).to_json_object()
+    assert "fingerprints" not in obj
+    assert ProfileDelta.from_json_object(obj).fingerprints == {}
+
+
+@pytest.mark.parametrize(
+    "mutation",
+    [
+        {"type": "profile"},
+        {"v": WIRE_VERSION + 1},
+        {"shipper": ""},
+        {"shipper": 7},
+        {"seq": 0},
+        {"seq": -3},
+        {"seq": True},
+        {"seq": "1"},
+        {"dataset": ""},
+        {"counts": [1, 2]},
+        {"counts": {"k": -1}},
+        {"counts": {"k": True}},
+        {"counts": {"k": 1.5}},
+        {"fingerprints": {"f.ss": 9}},
+        {"fingerprints": "nope"},
+    ],
+)
+def test_delta_validation_rejects_each_malformation(mutation):
+    obj = _delta().to_json_object()
+    obj.update(mutation)
+    with pytest.raises(DeltaFormatError):
+        ProfileDelta.from_json_object(obj)
+
+
+def test_delta_from_non_object_rejected():
+    with pytest.raises(DeltaFormatError):
+        ProfileDelta.from_json_object([1, 2, 3])
+
+
+# -- DeltaLedger ----------------------------------------------------------------
+
+
+def test_ledger_marks_once_and_only_once():
+    ledger = DeltaLedger()
+    assert ledger.mark("w", 1) is True
+    assert ledger.mark("w", 1) is False
+    assert ledger.seen("w", 1)
+    assert not ledger.seen("w", 2)
+
+
+def test_ledger_tolerates_out_of_order_and_compacts():
+    ledger = DeltaLedger()
+    for seq in (3, 1, 5, 2):
+        assert ledger.mark("w", seq) is True
+    # 1..3 compacted into the watermark; 5 pending above the gap at 4.
+    assert ledger.to_json_object() == {
+        "watermark": {"w": 3},
+        "pending": {"w": [5]},
+    }
+    assert ledger.mark("w", 4) is True
+    assert ledger.to_json_object() == {"watermark": {"w": 5}, "pending": {}}
+    assert ledger.applied_count("w") == 5
+
+
+def test_ledger_tracks_shippers_independently():
+    ledger = DeltaLedger()
+    ledger.mark("a", 1)
+    ledger.mark("b", 1)
+    assert ledger.mark("a", 1) is False
+    assert ledger.shippers() == ["a", "b"]
+    assert ledger.applied_count("a") == 1
+
+
+def test_ledger_json_round_trip_preserves_dedup():
+    ledger = DeltaLedger()
+    for seq in (1, 2, 7):
+        ledger.mark("w", seq)
+    restored = DeltaLedger.from_json_object(ledger.to_json_object())
+    assert restored.mark("w", 2) is False
+    assert restored.mark("w", 7) is False
+    assert restored.mark("w", 3) is True
+
+
+def test_ledger_rejects_malformed_json():
+    with pytest.raises(DeltaFormatError):
+        DeltaLedger.from_json_object("nope")
+    with pytest.raises(DeltaFormatError):
+        DeltaLedger.from_json_object({"watermark": {"w": "high"}})
+
+
+# -- framing --------------------------------------------------------------------
+
+
+def test_frame_round_trip_through_decoder():
+    frames = [_delta(seq).to_json_object() for seq in (1, 2, 3)]
+    wire = b"".join(encode_frame(obj) for obj in frames)
+    decoder = FrameDecoder()
+    assert list(decoder.feed(wire)) == frames
+    assert not decoder.partial
+
+
+def test_decoder_handles_byte_at_a_time_delivery():
+    obj = _delta().to_json_object()
+    wire = encode_frame(obj)
+    decoder = FrameDecoder()
+    seen = []
+    for i in range(len(wire)):
+        seen.extend(decoder.feed(wire[i : i + 1]))
+    assert seen == [obj]
+    assert not decoder.partial
+
+
+def test_decoder_flags_torn_tail_as_partial():
+    wire = encode_frame(_delta().to_json_object())
+    decoder = FrameDecoder()
+    assert list(decoder.feed(wire[:-3])) == []
+    assert decoder.partial
+
+
+def test_decoder_rejects_oversized_length_prefix():
+    import struct
+
+    decoder = FrameDecoder()
+    with pytest.raises(DeltaFormatError):
+        list(decoder.feed(struct.pack(">I", MAX_FRAME_BYTES + 1)))
+
+
+def test_decoder_rejects_non_json_payload():
+    import struct
+
+    decoder = FrameDecoder()
+    with pytest.raises(DeltaFormatError):
+        list(decoder.feed(struct.pack(">I", 4) + b"\x00\xff\x00\xff"))
+
+
+def test_stream_read_write_round_trip(tmp_path):
+    path = tmp_path / "frames.bin"
+    obj = _delta().to_json_object()
+    with open(path, "wb") as handle:
+        write_frame(handle, obj)
+        write_frame(handle, {"type": "ping"})
+    with open(path, "rb") as handle:
+        assert read_frame(handle) == obj
+        assert read_frame(handle) == {"type": "ping"}
+        assert read_frame(handle) is None  # clean EOF
+
+
+def test_stream_read_raises_on_torn_frame(tmp_path):
+    path = tmp_path / "torn.bin"
+    wire = encode_frame(_delta().to_json_object())
+    path.write_bytes(wire[:-2])
+    with open(path, "rb") as handle:
+        with pytest.raises(DeltaFormatError):
+            read_frame(handle)

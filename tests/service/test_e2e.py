@@ -1,0 +1,252 @@
+"""End-to-end acceptance for the continuous-profiling service.
+
+Three contracts the whole pipeline — counters → shipper → wire →
+aggregator → merged database → controller — must honor:
+
+1. four *concurrent* shippers lose zero counts (the acked at-least-once
+   protocol plus ledger dedup is exact, not approximate);
+2. the online recompilation controller's re-expansion reproduces the
+   exact optimization decisions the offline ``pgmp optimize`` workflow
+   makes on the same merged profile (byte-identical expansion);
+3. the shipped fleet works over the real CLI: ``pgmp serve`` plus four
+   ``pgmp ship`` worker *processes*, with the aggregator's ingest totals
+   matching the workers' shipped totals exactly.
+"""
+
+import os
+import re
+import subprocess
+import sys
+import threading
+
+from repro.core.counters import CounterSet
+from repro.core.database import source_fingerprint
+from repro.core.profile_point import ProfilePoint
+from repro.core.srcloc import SourceLocation
+from repro.scheme.core_forms import unparse_string
+from repro.scheme.pipeline import SchemeSystem
+from repro.service import (
+    ProfileAggregator,
+    ProfileShipper,
+    RecompileController,
+    connect,
+    scheme_recompiler,
+    write_frame,
+)
+
+POINTS = [
+    ProfilePoint.for_location(SourceLocation("e2e.ss", n, n + 1)) for n in range(8)
+]
+
+CASE_PROGRAM = """
+(define (classify n)
+  (case (modulo n 7)
+    [(0) 'zero]
+    [(1 2) 'small]
+    [(3 4) 'mid]
+    [(5 6) 'big]))
+(define (run n acc)
+  (if (= n 0) acc (run (- n 1) (cons (classify n) acc))))
+(length (run 40 '()))
+"""
+
+
+# -- 1: four concurrent shippers, zero loss -------------------------------------
+
+
+def test_four_concurrent_shippers_lose_zero_counts():
+    workers = 4
+    rounds = 25
+    with ProfileAggregator("127.0.0.1:0") as agg:
+        errors: list[BaseException] = []
+        shippers: list[ProfileShipper] = []
+
+        def worker(index: int) -> None:
+            counters = CounterSet(name="fleet")
+            shipper = ProfileShipper(
+                counters, agg.address, dataset="fleet", flush_threshold=1
+            )
+            shippers.append(shipper)
+            try:
+                for round_no in range(rounds):
+                    for offset, point in enumerate(POINTS):
+                        counters.increment(point, by=index + offset + 1)
+                    if round_no % 3 == index % 3:
+                        shipper.flush()
+                shipper.close()  # final flush drains whatever is pending
+            except BaseException as exc:  # surfaced after join
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(index,)) for index in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors
+
+        expected = sum(
+            rounds * (index + offset + 1)
+            for index in range(workers)
+            for offset in range(len(POINTS))
+        )
+        assert agg.total_counts() == expected, "no count lost or double-applied"
+        assert sum(s.shipped_counts for s in shippers) == expected
+        assert sum(s.dropped_deltas for s in shippers) == 0
+        stats = agg.handle_frame({"type": "stats"})
+        assert len(stats["shippers"]) == workers
+
+
+# -- 2: online recompilation == offline optimize --------------------------------
+
+
+def _case_system() -> SchemeSystem:
+    from repro.casestudies import CASE_LIBRARY, EXCLUSIVE_COND_LIBRARY
+
+    system = SchemeSystem(policy="warn")
+    system.load_library(EXCLUSIVE_COND_LIBRARY, "exclusive-cond.ss")
+    system.load_library(CASE_LIBRARY, "case.ss")
+    return system
+
+
+def test_online_recompile_matches_offline_optimize():
+    # Collect a profile the way a worker would: one instrumented run.
+    profiling = _case_system()
+    counters = CounterSet(name="app")
+    profiling.profile_run(CASE_PROGRAM, "app.ss", counters=counters)
+
+    # Offline workflow: load the recorded profile, re-expand (pgmp optimize).
+    offline = _case_system()
+    offline.hot_swap_profile(profiling.profile_db)
+    offline_text = unparse_string(offline.compile(CASE_PROGRAM, "app.ss"))
+
+    # Online workflow: the same counters travel the wire and the controller
+    # re-expands against the *merged* database.
+    with ProfileAggregator(
+        "127.0.0.1:0", sources={"app.ss": CASE_PROGRAM}
+    ) as agg:
+        shipper = ProfileShipper(
+            counters,
+            agg.address,
+            dataset="app",
+            fingerprints={"app.ss": source_fingerprint(CASE_PROGRAM)},
+        )
+        shipper.flush()
+        shipper.close()
+        assert agg.total_counts() == counters.total()
+        merged = agg.merged_database()
+
+    online = _case_system()
+    controller = RecompileController(
+        scheme_recompiler(online, CASE_PROGRAM, "app.ss"), threshold=0.05
+    )
+    decision = controller.maybe_recompile(merged)
+    assert decision.recompiled
+    online_text = unparse_string(controller.artifact())
+
+    assert online_text == offline_text, (
+        "the controller's re-expansion must reproduce the offline "
+        "optimization decisions exactly"
+    )
+    # And the profile actually changed the expansion — the equality above
+    # is not vacuous.
+    unoptimized = _case_system()
+    unoptimized_text = unparse_string(unoptimized.compile(CASE_PROGRAM, "app.ss"))
+    assert online_text != unoptimized_text
+
+
+# -- 3: the real CLI, four worker processes -------------------------------------
+
+# No libraries needed: plain core forms keep the subprocess startup cheap.
+CLI_PROGRAM = """
+(define (spin n acc)
+  (if (= n 0) acc (spin (- n 1) (+ acc n))))
+(spin 25 0)
+"""
+
+_SHIPPED = re.compile(r";; shipped (\d+) counts in (\d+) delta\(s\)")
+_APPLIED = re.compile(r"applied (\d+) delta\(s\) carrying (\d+) counts; (\d+) quarantined")
+
+
+def _cli_env() -> dict:
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def test_fleet_of_cli_worker_processes(tmp_path):
+    program = tmp_path / "app.ss"
+    program.write_text(CLI_PROGRAM)
+    env = _cli_env()
+
+    serve = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.tools.cli",
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--checkpoint",
+            str(tmp_path / "profile.json"),
+        ],
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        banner = serve.stderr.readline()
+        match = re.search(r"listening on (\S+)", banner)
+        assert match, f"no listen banner in {banner!r}"
+        address = match.group(1)
+
+        workers = [
+            subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.tools.cli",
+                    "ship",
+                    str(program),
+                    "--connect",
+                    address,
+                    "--dataset",
+                    "app",
+                    "--runs",
+                    "2",
+                ],
+                stderr=subprocess.PIPE,
+                text=True,
+                env=env,
+            )
+            for _ in range(4)
+        ]
+        shipped_counts = 0
+        for worker in workers:
+            _, stderr = worker.communicate(timeout=120)
+            assert worker.returncode == 0, stderr
+            match = _SHIPPED.search(stderr)
+            assert match, f"no shipping summary in {stderr!r}"
+            shipped_counts += int(match.group(1))
+            assert "dropped 0" in stderr
+
+        sock = connect(address)
+        write_frame(sock.makefile("rwb"), {"type": "shutdown"})
+        sock.close()
+        _, serve_stderr = serve.communicate(timeout=60)
+        assert serve.returncode == 0, serve_stderr
+        match = _APPLIED.search(serve_stderr)
+        assert match, f"no ingest summary in {serve_stderr!r}"
+        applied_counts = int(match.group(2))
+        assert applied_counts == shipped_counts > 0, "fleet lost zero counts"
+        assert int(match.group(3)) == 0
+        # The checkpoint the service left behind is an ordinary profile.
+        from repro.core.database import ProfileDatabase
+
+        assert ProfileDatabase.load(str(tmp_path / "profile.json")).point_count() > 0
+    finally:
+        if serve.poll() is None:
+            serve.kill()
+            serve.wait(timeout=30)

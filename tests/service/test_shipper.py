@@ -1,0 +1,250 @@
+"""The shipper client: delta cutting, backpressure, reconnect, spill."""
+
+import socket
+import time
+
+import pytest
+
+from repro.core.counters import CounterSet, ShardedCounterSet
+from repro.core.errors import BackpressureError
+from repro.core.policy import ProfilePolicy
+from repro.core.profile_point import ProfilePoint
+from repro.core.srcloc import SourceLocation
+from repro.service import ProfileAggregator, ProfileShipper
+from repro.service.spill import SpillLog
+
+POINTS = [
+    ProfilePoint.for_location(SourceLocation("w.ss", n, n + 1)) for n in range(4)
+]
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _dead_address() -> str:
+    return f"127.0.0.1:{_free_port()}"
+
+
+@pytest.fixture
+def aggregator():
+    with ProfileAggregator("127.0.0.1:0") as agg:
+        yield agg
+
+
+def test_flush_ships_only_increments_since_last_flush(aggregator):
+    counters = CounterSet(name="ds")
+    with ProfileShipper(counters, aggregator.address) as shipper:
+        counters.increment(POINTS[0], by=5)
+        first = shipper.flush()
+        assert first is not None and first.total() == 5
+        counters.increment(POINTS[0], by=2)
+        counters.increment(POINTS[1], by=3)
+        second = shipper.flush()
+        assert second is not None and second.total() == 5
+        assert second.counts[POINTS[0].key()] == 2
+        assert shipper.flush() is None  # nothing accumulated
+    assert aggregator.total_counts() == 10
+    assert shipper.shipped_deltas == 2
+
+
+def test_maybe_flush_respects_threshold(aggregator):
+    counters = CounterSet(name="ds")
+    with ProfileShipper(
+        counters, aggregator.address, flush_threshold=10
+    ) as shipper:
+        counters.increment(POINTS[0], by=9)
+        assert shipper.maybe_flush() is None
+        assert shipper.pending_counts() == 9
+        counters.increment(POINTS[0], by=1)
+        delta = shipper.maybe_flush()
+        assert delta is not None and delta.total() == 10
+
+
+def test_sharded_counters_ship_cleanly(aggregator):
+    counters = ShardedCounterSet(name="ds")
+    counters.increment(POINTS[0], by=4)
+    with ProfileShipper(counters, aggregator.address) as shipper:
+        shipper.flush()
+    assert aggregator.total_counts() == 4
+
+
+def test_unreachable_aggregator_buffers_and_backs_off():
+    counters = CounterSet(name="ds")
+    shipper = ProfileShipper(
+        counters,
+        _dead_address(),
+        policy=ProfilePolicy.IGNORE,
+        backoff_base=30.0,  # long enough that the retry gate stays shut
+    )
+    counters.increment(POINTS[0], by=3)
+    assert shipper.flush() is not None
+    assert shipper.shipped_deltas == 0
+    assert len(shipper._queue) == 1
+    assert shipper._retry_at > time.monotonic()
+    degr = shipper.degradations.entries()
+    assert any("unreachable" in entry.reason for entry in degr)
+
+
+def test_backoff_schedule_is_exponential_and_capped():
+    counters = CounterSet(name="ds")
+    shipper = ProfileShipper(
+        counters,
+        _dead_address(),
+        policy=ProfilePolicy.IGNORE,
+        backoff_base=0.05,
+        backoff_max=0.2,
+    )
+    delays = []
+    for _ in range(4):
+        shipper._retry_at = 0.0  # reopen the gate for the next attempt
+        before = time.monotonic()
+        counters.increment(POINTS[0])
+        shipper.flush()
+        delays.append(shipper._retry_at - before)
+    assert delays[0] == pytest.approx(0.05, abs=0.03)
+    assert delays[1] == pytest.approx(0.10, abs=0.03)
+    assert delays[2] == pytest.approx(0.20, abs=0.03)
+    assert delays[3] == pytest.approx(0.20, abs=0.03)  # capped
+
+
+def test_queue_overflow_without_spill_drops_oldest():
+    counters = CounterSet(name="ds")
+    shipper = ProfileShipper(
+        counters,
+        _dead_address(),
+        policy=ProfilePolicy.IGNORE,
+        max_pending=2,
+        backoff_base=30.0,
+    )
+    for _ in range(4):
+        counters.increment(POINTS[0])
+        shipper.flush()
+    assert len(shipper._queue) == 2
+    assert shipper.dropped_deltas == 2
+    # The queue holds the *newest* deltas; the oldest were sacrificed.
+    assert [delta.seq for delta in shipper._queue] == [3, 4]
+
+
+def test_queue_overflow_under_strict_raises_backpressure():
+    from repro.core.errors import ProfileError
+
+    counters = CounterSet(name="ds")
+    shipper = ProfileShipper(
+        counters,
+        _dead_address(),
+        policy=ProfilePolicy.STRICT,
+        max_pending=1,
+        backoff_base=30.0,
+    )
+    counters.increment(POINTS[0])
+    # Strict surfaces the unreachable aggregator immediately; the delta
+    # stays queued for whoever catches and retries.
+    with pytest.raises(ProfileError):
+        shipper.flush()
+    counters.increment(POINTS[0])
+    with pytest.raises(BackpressureError):
+        shipper.flush()
+
+
+def test_queue_overflow_spills_to_disk_and_replays(tmp_path):
+    spill_path = tmp_path / "spill.bin"
+    counters = CounterSet(name="ds")
+    dead = _dead_address()
+    shipper = ProfileShipper(
+        counters,
+        dead,
+        policy=ProfilePolicy.IGNORE,
+        max_pending=1,
+        spill_path=spill_path,
+        backoff_base=30.0,
+    )
+    for _ in range(3):
+        counters.increment(POINTS[0])
+        shipper.flush()
+    assert shipper.spilled_deltas == 2
+    assert shipper.dropped_deltas == 0
+    assert len(SpillLog(spill_path)) == 2
+
+    # The aggregator comes up on the address the shipper was aiming at.
+    with ProfileAggregator(dead) as aggregator:
+        shipper._retry_at = 0.0
+        shipper.flush()
+        shipper.close()
+        assert aggregator.total_counts() == 3, "spilled + queued all arrive"
+    assert shipper.replayed_deltas == 2
+    assert shipper.shipped_deltas == 3
+    assert SpillLog(spill_path).size_bytes() == 0, "spill cleared after replay"
+
+
+def test_close_spills_undelivered_deltas(tmp_path):
+    spill_path = tmp_path / "spill.bin"
+    counters = CounterSet(name="ds")
+    shipper = ProfileShipper(
+        counters,
+        _dead_address(),
+        policy=ProfilePolicy.IGNORE,
+        spill_path=spill_path,
+        backoff_base=30.0,
+    )
+    counters.increment(POINTS[0], by=7)
+    shipper.flush()
+    shipper.close()
+    frames, torn = SpillLog(spill_path).replay()
+    assert not torn
+    assert len(frames) == 1
+    assert frames[0]["counts"] == {POINTS[0].key(): 7}
+
+
+def test_close_without_spill_drops_and_degrades():
+    counters = CounterSet(name="ds")
+    shipper = ProfileShipper(
+        counters,
+        _dead_address(),
+        policy=ProfilePolicy.IGNORE,
+        backoff_base=30.0,
+    )
+    counters.increment(POINTS[0])
+    shipper.flush()
+    shipper.close()
+    assert shipper.dropped_deltas == 1
+    assert any(
+        "undelivered at close" in entry.reason
+        for entry in shipper.degradations.entries()
+    )
+
+
+def test_counter_rewind_rebaselines_with_degradation(aggregator):
+    counters = CounterSet(name="ds")
+    with ProfileShipper(
+        counters, aggregator.address, policy=ProfilePolicy.IGNORE
+    ) as shipper:
+        counters.increment(POINTS[0], by=10)
+        shipper.flush()
+        counters.clear()
+        counters.increment(POINTS[0], by=4)
+        delta = shipper.flush()
+        assert delta is not None
+        assert delta.counts == {POINTS[0].key(): 4}
+        assert any(
+            "went backwards" in entry.reason
+            for entry in shipper.degradations.entries()
+        )
+    assert aggregator.total_counts() == 14
+
+
+def test_background_thread_flushes_periodically(aggregator):
+    counters = CounterSet(name="ds")
+    shipper = ProfileShipper(
+        counters, aggregator.address, flush_interval=0.05
+    ).start()
+    try:
+        counters.increment(POINTS[0], by=6)
+        deadline = time.monotonic() + 5.0
+        while aggregator.total_counts() < 6 and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert aggregator.total_counts() == 6
+    finally:
+        shipper.close()

@@ -1,0 +1,65 @@
+"""The spill log: per-frame durability and torn-tail recovery."""
+
+from repro.service.spill import SpillLog
+from repro.testing.faults import tear_spill_log
+
+
+def _frames(n: int) -> list[dict]:
+    return [{"type": "delta", "seq": i, "counts": {"k": i}} for i in range(1, n + 1)]
+
+
+def test_append_replay_round_trip(tmp_path):
+    log = SpillLog(tmp_path / "spill.bin")
+    for frame in _frames(3):
+        log.append(frame)
+    frames, torn = log.replay()
+    assert frames == _frames(3)
+    assert not torn
+    assert len(log) == 3
+
+
+def test_missing_log_is_empty_not_torn(tmp_path):
+    frames, torn = SpillLog(tmp_path / "absent.bin").replay()
+    assert frames == []
+    assert not torn
+
+
+def test_clear_removes_the_log(tmp_path):
+    log = SpillLog(tmp_path / "spill.bin")
+    log.append({"a": 1})
+    assert log.size_bytes() > 0
+    log.clear()
+    assert log.size_bytes() == 0
+    log.clear()  # idempotent on a missing file
+
+
+def test_torn_tail_recovers_every_complete_frame(tmp_path):
+    log = SpillLog(tmp_path / "spill.bin")
+    for frame in _frames(3):
+        log.append(frame)
+    tear_spill_log(log.path, drop_bytes=3)
+    frames, torn = log.replay()
+    assert frames == _frames(2), "everything before the tear is recovered"
+    assert torn
+
+
+def test_tear_inside_length_prefix_still_recovers_prefix_frames(tmp_path):
+    log = SpillLog(tmp_path / "spill.bin")
+    sizes = [log.append(frame) for frame in _frames(2)]
+    # Leave only 2 bytes of the second frame: a torn length prefix.
+    tear_spill_log(log.path, drop_bytes=sizes[1] - 2)
+    frames, torn = log.replay()
+    assert frames == _frames(1)
+    assert torn
+
+
+def test_corrupt_payload_stops_replay_at_the_damage(tmp_path):
+    log = SpillLog(tmp_path / "spill.bin")
+    log.append(_frames(1)[0])
+    import struct
+
+    with open(log.path, "ab") as handle:
+        handle.write(struct.pack(">I", 4) + b"\x00\xffxx")
+    frames, torn = log.replay()
+    assert frames == _frames(1)
+    assert torn
