@@ -1,0 +1,133 @@
+"""Experiment T-1 — decision-provenance tracing overhead.
+
+The tracing layer's contract (docs/observability.md): **off by default
+with a zero-allocation fast path** — an untraced expansion pays one
+``ContextVar.get`` per instrumentation site and constructs no trace
+objects at all — and **cheap when on** — a traced expansion stays within
+a 10% budget of the untraced one.
+
+Wall-clock in shared containers is noisy, so the budget is asserted on a
+deterministic proxy (Python call events during expansion, the same
+technique as bench_sec44_overhead.py); best-of-N wall clock is reported
+for the EXPERIMENTS.md row.
+"""
+
+import sys
+import time
+
+from benchmarks.conftest import report
+from repro.core.api import reset_generated_points
+from repro.obs.tracer import (
+    Tracer,
+    set_decision_record_hook,
+    using_tracer,
+)
+from repro.scheme.instrument import ProfileMode
+from repro.scheme.pipeline import SchemeSystem
+from repro.tools import cli
+
+PROGRAM = """
+(define (classify n)
+  (case n
+    ((1 2 3) 'small)
+    ((4 5 6) 'medium)
+    ((7 8 9) 'large)
+    (else 'other)))
+(define (f n) (if-r (< n 5) (classify n) 'hi))
+(map f (list 1 6 7 8 9 2 7 7 7 3))
+"""
+
+
+def _system() -> SchemeSystem:
+    system = SchemeSystem()
+    for library in ("if-r", "case"):
+        for source, filename in cli._resolve_library_sources([library]):
+            system.load_library(source, filename)
+    return system
+
+
+def _profiled_system() -> SchemeSystem:
+    system = _system()
+    system.profile_run(PROGRAM, "bench.ss", mode=ProfileMode.EXPR)
+    return system
+
+
+def _compile(system: SchemeSystem, traced: bool):
+    reset_generated_points()
+    if traced:
+        with using_tracer(Tracer()):
+            return system.compile(PROGRAM, "bench.ss")
+    return system.compile(PROGRAM, "bench.ss")
+
+
+def _call_events(fn) -> int:
+    """Python-level call events during fn() — exact and repeatable."""
+    count = 0
+
+    def tracer(frame, event, arg):
+        nonlocal count
+        if event == "call":
+            count += 1
+
+    sys.setprofile(tracer)
+    try:
+        fn()
+    finally:
+        sys.setprofile(None)
+    return count
+
+
+def _best_of(fn, repeats: int = 5) -> float:
+    best = float("inf")
+    fn()  # warm up
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_disabled_tracing_constructs_nothing(benchmark):
+    """~0% when disabled: not a single trace object is built."""
+    system = _profiled_system()
+    constructed = []
+    previous = set_decision_record_hook(constructed.append)
+    try:
+        benchmark.pedantic(
+            lambda: _compile(system, traced=False), rounds=3, iterations=1
+        )
+        assert constructed == []
+    finally:
+        set_decision_record_hook(previous)
+    report(
+        "T-1 disabled fast path",
+        "tracing off by default; zero-allocation fast path",
+        "0 DecisionRecord/Span objects constructed over 3 untraced compiles",
+    )
+
+
+def test_traced_expansion_within_budget(benchmark):
+    """≤10% when enabled, on the deterministic call-event proxy."""
+    system = _profiled_system()
+    untraced = _call_events(lambda: _compile(system, traced=False))
+    traced = benchmark.pedantic(
+        lambda: _call_events(lambda: _compile(system, traced=True)),
+        rounds=1,
+        iterations=1,
+    )
+    overhead = traced / untraced - 1.0
+    assert traced >= untraced, "tracing cannot remove work"
+    assert overhead <= 0.10, (
+        f"traced expansion exceeded the 10% budget: {traced} vs {untraced} "
+        f"call events (+{overhead:.1%})"
+    )
+
+    wall_untraced = _best_of(lambda: _compile(system, traced=False))
+    wall_traced = _best_of(lambda: _compile(system, traced=True))
+    report(
+        "T-1 traced expansion budget",
+        "traced expansion within 10% of untraced",
+        f"+{overhead:.2%} call events "
+        f"(wall clock best-of-5: {wall_untraced * 1e3:.2f}ms untraced, "
+        f"{wall_traced * 1e3:.2f}ms traced)",
+    )

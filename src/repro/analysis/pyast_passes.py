@@ -55,6 +55,8 @@ _EMBEDDED_SCHEME_MARKERS = (
     "(if-r",
     "(and-r",
     "(or-r",
+    "(class ",
+    "(method ",
 )
 
 

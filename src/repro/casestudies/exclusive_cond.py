@@ -45,6 +45,13 @@ EXCLUSIVE_COND_LIBRARY = r"""
       [(test => e1) (profile-query #'e1)]
       [(test) (profile-query #'test)]
       [(test e1 e2 ...) (profile-query #'e1)]))
+  (define (clause-test clause)
+    ;; The clause's test datum — the human-readable label trace-decision
+    ;; records for each alternative.
+    (syntax-case clause (=>)
+      [(test => e1) (syntax->datum #'test)]
+      [(test) (syntax->datum #'test)]
+      [(test e1 e2 ...) (syntax->datum #'test)]))
   (define (sort-clauses clause*)
     ;; Sort clauses greatest-to-least by weight. Equal-weight clauses
     ;; keep their source order via an explicit original-index tie-break —
@@ -65,9 +72,19 @@ EXCLUSIVE_COND_LIBRARY = r"""
   (syntax-case syn (else)
     [(_ clause ... [else e1 e2 ...])
      ;; Splice sorted clauses into a cond expression; else stays last.
-     #`(cond #,@(sort-clauses #'(clause ...)) [else e1 e2 ...])]
+     (let ([sorted (sort-clauses #'(clause ...))])
+       (trace-decision 'exclusive-cond syn
+                       (map clause-test sorted)
+                       (map clause-test #'(clause ...))
+                       "emitted clause order vs. source order; else pinned last")
+       #`(cond #,@sorted [else e1 e2 ...]))]
     [(_ clause ...)
-     #`(cond #,@(sort-clauses #'(clause ...)))]))
+     (let ([sorted (sort-clauses #'(clause ...))])
+       (trace-decision 'exclusive-cond syn
+                       (map clause-test sorted)
+                       (map clause-test #'(clause ...))
+                       "emitted clause order vs. source order")
+       #`(cond #,@sorted))]))
 """
 
 #: Figure 6 (with the full paper version's else clause), plus the
@@ -90,10 +107,13 @@ CASE_LIBRARY = r"""
     [(_ key-expr clause ...)
      ;; Evaluate the key-expr only once, instead of copying the entire
      ;; expression in the template.
-     #`(let ([t key-expr])
-         (exclusive-cond
-          ;; transform each case clause into an exclusive-cond clause
-          #,@(map (curry rewrite-clause #'t) #'(clause ...))))]))
+     (begin
+       (trace-decision 'case syn '(delegate-to-exclusive-cond) '()
+                       "mutual exclusivity established by construction; reordering delegated")
+       #`(let ([t key-expr])
+           (exclusive-cond
+            ;; transform each case clause into an exclusive-cond clause
+            #,@(map (curry rewrite-clause #'t) #'(clause ...)))))]))
 """
 
 

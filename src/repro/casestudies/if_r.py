@@ -30,10 +30,20 @@ IF_R_LIBRARY = r"""
        (cond
          [(< t-prof f-prof)
           ;; This if expression would run at run time when generated.
-          #'(if (not test) f-branch t-branch)]
+          (begin
+            (trace-decision 'if-r stx
+                            '(swapped-branches negated-test)
+                            '(source-order)
+                            "false branch hotter; negated the test")
+            #'(if (not test) f-branch t-branch))]
          [(>= t-prof f-prof)
           ;; So would this if expression.
-          #'(if test t-branch f-branch)]))]))
+          (begin
+            (trace-decision 'if-r stx
+                            '(source-order)
+                            '(swapped-branches)
+                            "true branch at least as hot; kept source order")
+            #'(if test t-branch f-branch))]))]))
 """
 
 

@@ -74,13 +74,23 @@ INLINER_LIBRARY = r"""
                 ;; and re-profiling after inlining stays stable.
                 (if (and (not rec) (> (profile-query use) inline-threshold))
                     ;; Hot call site: inline the recorded body.
-                    (annotate-expr
-                      #'((lambda (arg ...) body ...) actual (... ...))
-                      (expression-profile-point use))
+                    (begin
+                      (trace-decision 'define-inlinable use
+                                      '(inline name) '(call name)
+                                      "call-site weight above inline-threshold")
+                      (annotate-expr
+                        #'((lambda (arg ...) body ...) actual (... ...))
+                        (expression-profile-point use)))
                     ;; Cold (or recursive) call site: plain call.
-                    (annotate-expr
-                      #'(impl actual (... ...))
-                      (expression-profile-point use)))]
+                    (begin
+                      (trace-decision 'define-inlinable use
+                                      '(call name) '(inline name)
+                                      (if rec
+                                          "recursive; never inlined"
+                                          "call-site weight at or below inline-threshold"))
+                      (annotate-expr
+                        #'(impl actual (... ...))
+                        (expression-profile-point use))))]
                ;; Bare reference (higher-order use): the procedure itself.
                [_ #'impl]))
            ;; The out-of-line implementation.

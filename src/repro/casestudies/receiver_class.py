@@ -198,16 +198,35 @@ RECEIVER_CLASS_LIBRARY = r"""
              (if (or (null? sorted) (= n 0))
                  '()
                  (cons (car sorted) (take (cdr sorted) (- n 1)))))))
+       (define (class-names cls*)
+         (map (lambda (cls) (syntax->datum (class-name cls))) cls*))
+       ;; NOTE: `hot` is an internal define, not a wrapping `let` — a `let`
+       ;; around the template would add a scope to the `x` binder below
+       ;; that the clause templates (built by the helpers above, outside
+       ;; that scope) don't carry, leaving their `x` references unbound.
+       (define hot (sorted-hot-classes))
+       (if (or no-profile-data? (null? hot))
+           (trace-decision 'method syn
+                           (cons 'instrument-all (class-names classes))
+                           '(inline-cache)
+                           "no receiver profile data at this call site; instrumenting every class")
+           (let ([hot-names (class-names (map car hot))])
+             (trace-decision 'method syn
+                             (cons 'inline hot-names)
+                             (cons 'dispatch
+                                   (filter (lambda (n) (not (member n hot-names)))
+                                           (class-names classes)))
+                             "polymorphic inline cache, hottest receivers first")))
        ;; Don't copy the object expression throughout the template.
        #`(let ([x obj])
            (cond
-             #,@(if (or no-profile-data? (null? (sorted-hot-classes)))
+             #,@(if (or no-profile-data? (null? hot))
                     ;; If no profile data, instrument!
                     (map instrument-clause classes points)
                     ;; If profile data, inline up to the top inline-limit
                     ;; classes with non-zero weights.
                     (map (lambda (t) (inline-clause (car t) (car (cdr t))))
-                         (sorted-hot-classes)))
+                         hot))
              ;; Fall back to dynamic dispatch.
              [else (dynamic-dispatch x 'm val* ...)])))]))
 """
@@ -266,12 +285,29 @@ ADAPTIVE_RECEIVER_LIBRARY = r"""
                (loop (cdr sorted)
                      (+ covered (car (cdr (cdr (car sorted)))))
                      (cons (car sorted) out)))))
+       (define (class-names cls*)
+         (map (lambda (cls) (syntax->datum (class-name cls))) cls*))
+       ;; Internal define, not a wrapping `let` — see the scope note in
+       ;; `method` above.
+       (define covering (if no-profile-data? '() (covering-classes)))
+       (if no-profile-data?
+           (trace-decision 'method-adaptive syn
+                           (cons 'instrument-all (class-names classes))
+                           '(inline-cache)
+                           "no receiver profile data at this call site; instrumenting every class")
+           (let ([hot-names (class-names (map car covering))])
+             (trace-decision 'method-adaptive syn
+                             (cons 'inline hot-names)
+                             (cons 'dispatch
+                                   (filter (lambda (n) (not (member n hot-names)))
+                                           (class-names classes)))
+                             "smallest hottest-first prefix covering the coverage target")))
        #`(let ([x obj])
            (cond
              #,@(if no-profile-data?
                     (map instrument-clause classes points)
                     (map (lambda (t) (inline-clause (car t) (car (cdr t))))
-                         (covering-classes)))
+                         covering))
              [else (dynamic-dispatch x 'm val* ...)])))]))
 """
 

@@ -35,6 +35,7 @@ from repro.core.profile_point import (
     reset_generated_points,
 )
 from repro.core.srcloc import SourceLocation
+from repro.obs.tracer import active_tracer
 
 __all__ = [
     "SyntaxSubstrate",
@@ -219,7 +220,7 @@ def profile_query(expr: object, strict: bool = False) -> float:
     if point is None:
         return 0.0
     try:
-        return current_profile_information().query(point, strict=strict)
+        weight = current_profile_information().query(point, strict=strict)
     except ProfileError as exc:
         degrade(
             "profile-query",
@@ -227,7 +228,11 @@ def profile_query(expr: object, strict: bool = False) -> float:
             f"treating {point} as weight 0.0",
             error=exc,
         )
-        return 0.0
+        weight = 0.0
+    tracer = active_tracer()
+    if tracer is not None:
+        tracer.record_query(point.key(), weight)
+    return weight
 
 
 def store_profile(file: str | os.PathLike[str] | IO[str]) -> None:

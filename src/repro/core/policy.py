@@ -39,6 +39,7 @@ import threading
 from dataclasses import dataclass
 
 from repro.core.errors import ProfileError, StepBudgetExceeded
+from repro.obs.tracer import active_tracer
 
 __all__ = [
     "ProfilePolicy",
@@ -235,6 +236,9 @@ def degrade(
     sink = log if log is not None else current_degradation_log()
     if sink is not None:
         sink.record(entry)
+    tracer = active_tracer()
+    if tracer is not None:
+        tracer.event("degradation", stage, reason=reason, fallback=fallback)
     if active is ProfilePolicy.WARN:
         print(f"pgmp: warning: {entry}", file=sys.stderr)
     return entry

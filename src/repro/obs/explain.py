@@ -1,0 +1,106 @@
+"""``pgmp explain`` — answer "why does the expansion look like this here?"
+
+Given a finished decision-provenance trace (and the compile's
+:class:`~repro.core.policy.DegradationLog`), :func:`explain_at` renders,
+for every profile-guided construct at one ``FILE:LINE``: the decision
+made, the weights consulted, the alternatives rejected, and the *cause* —
+profile-guided, or degraded ("no profile data → default order"), routed
+through the same policy machinery the rest of the library uses.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.obs.tracer import DecisionRecord, Tracer
+
+__all__ = ["explain_at", "parse_at", "decision_cause"]
+
+
+def parse_at(spec: str) -> tuple[str, int]:
+    """Parse a ``FILE:LINE`` anchor (the ``--at`` argument)."""
+    filename, sep, line_text = spec.rpartition(":")
+    if not sep or not filename:
+        raise ValueError(f"--at expects FILE:LINE, got {spec!r}")
+    try:
+        line = int(line_text)
+    except ValueError:
+        raise ValueError(
+            f"--at expects FILE:LINE with an integer line, got {spec!r}"
+        ) from None
+    return filename, line
+
+
+def decision_cause(record: DecisionRecord) -> str:
+    """One line naming what actually drove the decision."""
+    if not record.inputs:
+        return "no profile points consulted -> default behaviour"
+    if not record.data_driven:
+        return (
+            "no profile data for the consulted points -> default order "
+            "(all weights 0)"
+        )
+    nonzero = sum(1 for _point, weight in record.inputs if weight != 0.0)
+    return (
+        f"profile-guided: {nonzero} of {len(record.inputs)} consulted "
+        f"weights non-zero (margin {record.margin:.6f})"
+    )
+
+
+def _format_record(record: DecisionRecord) -> list[str]:
+    lines = [f"{record.construct} at {record.location} [{record.substrate}]"]
+    lines.append(f"  decision: {', '.join(record.chosen) or '<nothing>'}")
+    if record.rejected:
+        lines.append(f"  rejected: {', '.join(record.rejected)}")
+    else:
+        lines.append("  rejected: <nothing — only one viable alternative>")
+    if record.inputs:
+        lines.append("  weights consulted:")
+        for point, weight in record.inputs:
+            lines.append(f"    {point} -> {weight:.6f}")
+    else:
+        lines.append("  weights consulted: <none>")
+    lines.append(f"  cause: {decision_cause(record)}")
+    if record.note:
+        lines.append(f"  note: {record.note}")
+    return lines
+
+
+def explain_at(
+    tracer: Tracer,
+    filename: str,
+    line: int,
+    degradations: Iterable[object] = (),
+) -> str:
+    """The full ``pgmp explain`` answer for one source anchor."""
+    records = tracer.decisions_at(filename, line)
+    lines: list[str] = []
+    if records:
+        lines.append(
+            f"{len(records)} profile-guided decision(s) at {filename}:{line}"
+        )
+        lines.append("")
+        for record in records:
+            lines.extend(_format_record(record))
+            lines.append("")
+    else:
+        lines.append(f"no profile-guided decisions recorded at {filename}:{line}")
+        everywhere = tracer.decisions()
+        if everywhere:
+            anchors = sorted(
+                {f"{record.filename}:{record.line}" for record in everywhere}
+            )
+            lines.append("decisions were recorded at: " + ", ".join(anchors))
+        else:
+            lines.append(
+                "the traced compile made no profile-guided decisions at all "
+                "(no optimizable constructs reached, or their libraries were "
+                "not loaded)"
+            )
+        lines.append("")
+    entries = list(degradations)
+    if entries:
+        lines.append("degradations during this compile:")
+        for entry in entries:
+            lines.append(f"  {entry}")
+    return "\n".join(lines).rstrip("\n")

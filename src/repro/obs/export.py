@@ -1,0 +1,232 @@
+"""Trace exporters: human text, versioned JSON, and Chrome ``trace_event``.
+
+Three renderings of one :class:`~repro.obs.tracer.Tracer`:
+
+* :func:`render_trace_text` — an indented span tree with the queries and
+  decisions inline, for terminals;
+* :func:`render_trace_json` — the canonical machine-readable form. The
+  top-level ``version`` field is the shared
+  :data:`~repro.analysis.diagnostics.JSON_RENDER_VERSION` (the same
+  version check parses ``pgmp lint``/``report``/``trace`` output) and
+  ``trace_schema_version`` versions the span/event model itself. Keys are
+  sorted and the clock is logical, so the same program expanded against
+  the same merged profile renders **byte-identical** JSON.
+* :func:`render_chrome_trace` — the Chrome ``trace_event`` JSON array
+  format, loadable in Perfetto (https://ui.perfetto.dev) or
+  ``chrome://tracing``. Spans become complete (``"ph": "X"``) events and
+  queries/decisions become instants; the time axis is the logical tick,
+  presented as microseconds.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.tracer import TRACE_SCHEMA_VERSION, Span, Tracer
+
+__all__ = [
+    "trace_to_json_object",
+    "render_trace_json",
+    "render_trace_text",
+    "render_chrome_trace",
+    "decisions_from_json_object",
+]
+
+
+def trace_to_json_object(tracer: Tracer) -> dict:
+    """The canonical JSON document for a finished trace."""
+    # Imported lazily: repro.analysis pulls in the Scheme substrate, which
+    # itself imports the core API (which imports repro.obs.tracer).
+    from repro.analysis.diagnostics import JSON_RENDER_VERSION
+
+    tracer.close()
+    decisions = tracer.decisions()
+    return {
+        "schema": "pgmp-trace",
+        "version": JSON_RENDER_VERSION,
+        "trace_schema_version": TRACE_SCHEMA_VERSION,
+        "summary": {
+            "spans": len(tracer.spans),
+            "queries": len(tracer.queries()),
+            "decisions": len(decisions),
+            "data_driven_decisions": sum(
+                1 for record in decisions if record.data_driven
+            ),
+            "ticks": tracer.ticks,
+        },
+        "spans": [span.to_json_object() for span in tracer.spans],
+    }
+
+
+def render_trace_json(tracer: Tracer) -> str:
+    """Deterministic (byte-identical for identical traces) JSON text."""
+    return json.dumps(
+        trace_to_json_object(tracer), indent=2, sort_keys=True, ensure_ascii=True
+    )
+
+
+def decisions_from_json_object(document: dict) -> list[dict]:
+    """The decision records of a stored trace document, in tick order.
+
+    The join half of ``pgmp report --trace``: tolerant of extra fields,
+    strict about the schema marker.
+    """
+    if document.get("schema") != "pgmp-trace":
+        raise ValueError(
+            f"not a pgmp trace document (schema={document.get('schema')!r})"
+        )
+    decisions = [
+        dict(record)
+        for span in document.get("spans", ())
+        for record in span.get("decisions", ())
+    ]
+    decisions.sort(key=lambda record: record.get("tick", 0))
+    return decisions
+
+
+# -- text --------------------------------------------------------------------
+
+
+def _format_weight(weight: float) -> str:
+    return f"{weight:.6f}".rstrip("0").rstrip(".") or "0"
+
+
+def render_trace_text(tracer: Tracer) -> str:
+    """Indented human rendering of the span tree."""
+    tracer.close()
+    children: dict[int, list[Span]] = {}
+    for span in tracer.spans[1:]:
+        children.setdefault(span.parent_id, []).append(span)
+
+    lines: list[str] = []
+    decisions = tracer.decisions()
+    lines.append(
+        f"trace: {len(tracer.spans) - 1} span(s), "
+        f"{len(tracer.queries())} profile quer{'y' if len(tracer.queries()) == 1 else 'ies'}, "
+        f"{len(decisions)} decision(s) "
+        f"({sum(1 for r in decisions if r.data_driven)} data-driven)"
+    )
+
+    def emit(span: Span, depth: int) -> None:
+        indent = "  " * depth
+        if span.span_id != 0:
+            attrs = "".join(
+                f" {key}={value}" for key, value in sorted(span.attrs.items())
+            )
+            lines.append(
+                f"{indent}[{span.kind}] {span.name}"
+                f" (ticks {span.start_tick}..{span.end_tick}){attrs}"
+            )
+        inner = "  " * (depth + 1)
+        for event in span.events:
+            attrs = "".join(f" {key}={value}" for key, value in event.attrs)
+            lines.append(f"{inner}! {event.kind}: {event.name}{attrs}")
+        for query in span.queries:
+            lines.append(
+                f"{inner}? profile-query {query.point} -> "
+                f"{_format_weight(query.weight)}"
+            )
+        for record in span.decisions:
+            lines.append(f"{inner}* decision {record.construct} at {record.location}")
+            lines.append(
+                f"{inner}    chose:    {', '.join(record.chosen) or '<nothing>'}"
+            )
+            if record.rejected:
+                lines.append(f"{inner}    rejected: {', '.join(record.rejected)}")
+            if record.inputs:
+                lines.append(
+                    f"{inner}    weights:  "
+                    + ", ".join(
+                        f"{point}={_format_weight(weight)}"
+                        for point, weight in record.inputs
+                    )
+                )
+                lines.append(
+                    f"{inner}    margin:   {_format_weight(record.margin)}"
+                    + ("" if record.data_driven else "  (no profile data)")
+                )
+            if record.note:
+                lines.append(f"{inner}    note:     {record.note}")
+        for child in children.get(span.span_id, ()):
+            emit(child, depth + 1)
+
+    emit(tracer.root, 0)
+    return "\n".join(lines)
+
+
+# -- Chrome trace_event ------------------------------------------------------
+
+
+def render_chrome_trace(tracer: Tracer) -> str:
+    """The trace in Chrome's ``trace_event`` JSON object format.
+
+    Load the output in Perfetto or ``chrome://tracing``. ``ts``/``dur``
+    carry the deterministic logical ticks (as microseconds), not wall
+    time — the shape of the expansion, not its speed.
+    """
+    tracer.close()
+    events: list[dict] = []
+    for span in tracer.spans:
+        if span.span_id != 0:
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.kind,
+                    "ph": "X",
+                    "ts": span.start_tick,
+                    "dur": max(span.end_tick - span.start_tick, 1),
+                    "pid": 1,
+                    "tid": 1,
+                    "args": dict(span.attrs),
+                }
+            )
+        for query in span.queries:
+            events.append(
+                {
+                    "name": f"profile-query {query.point}",
+                    "cat": "query",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": query.tick,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": {"weight": query.weight, "caller": query.caller},
+                }
+            )
+        for record in span.decisions:
+            events.append(
+                {
+                    "name": f"{record.construct} decision",
+                    "cat": "decision",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": record.tick,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": record.to_json_object(),
+                }
+            )
+        for event in span.events:
+            events.append(
+                {
+                    "name": event.name,
+                    "cat": event.kind,
+                    "ph": "i",
+                    "s": "t",
+                    "ts": event.tick,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": {key: value for key, value in event.attrs},
+                }
+            )
+    events.sort(key=lambda entry: (entry["ts"], entry["name"]))
+    document = {
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": "pgmp-trace-chrome",
+            "trace_schema_version": TRACE_SCHEMA_VERSION,
+            "clock": "logical-ticks",
+        },
+        "traceEvents": events,
+    }
+    return json.dumps(document, indent=2, sort_keys=True, ensure_ascii=True)

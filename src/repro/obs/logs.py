@@ -1,0 +1,74 @@
+"""The ``repro`` logger hierarchy.
+
+Every module logs through ``logging.getLogger("repro.<subsystem>")``
+obtained from :func:`get_logger`. Library rule number one applies: the
+root ``repro`` logger carries a :class:`logging.NullHandler`, so
+importing the library never configures logging behind an application's
+back — silence is the default.
+
+:func:`configure_logging` is the opt-in used by ``pgmp --log-level``: it
+attaches one stderr handler with a uniform format to the ``repro`` root
+and sets the level. Calling it again replaces the previous handler
+(idempotent), so tests and long-lived sessions can re-configure freely.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO
+
+__all__ = ["ROOT_LOGGER_NAME", "get_logger", "configure_logging", "LOG_LEVELS"]
+
+ROOT_LOGGER_NAME = "repro"
+
+#: CLI-facing level names (ordered most to least verbose).
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+#: Marker attribute identifying the handler we installed (so re-configure
+#: replaces ours and never touches handlers the application added).
+_MARKER = "_pgmp_configured"
+
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.
+
+    Accepts either a dotted module path already rooted at ``repro``
+    (``"repro.service.aggregator"``, what ``__name__`` gives library
+    modules), a bare suffix (``"service.aggregator"``), or nothing (the
+    ``repro`` root itself).
+    """
+    if name is None:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def configure_logging(
+    level: str | int, stream: IO[str] | None = None
+) -> logging.Handler:
+    """Attach a stream handler to the ``repro`` root at ``level``.
+
+    Returns the handler (tests capture its stream). Replaces any handler
+    a previous call installed; application-owned handlers are untouched.
+    """
+    if isinstance(level, str):
+        numeric = logging.getLevelName(level.upper())
+        if not isinstance(numeric, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = numeric
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(root.handlers):
+        if getattr(handler, _MARKER, False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    setattr(handler, _MARKER, True)
+    root.addHandler(handler)
+    root.setLevel(level)
+    return handler

@@ -1,0 +1,480 @@
+"""Decision-provenance tracing — the core of the observability layer.
+
+The paper's thesis is that profile data changes what the expander
+*generates*; this module records the decisions in between. A
+:class:`Tracer` collects, during one compile/profile/optimize cycle:
+
+* **spans** — nested timed regions (``expand`` around each macro
+  invocation, ``profile_load`` around database loads, ``optimize``,
+  ``recompile``, …);
+* **query events** — every ``profile-query`` a meta-program issued: the
+  profile point consulted, the weight it resolved to, and which
+  meta-program (innermost ``expand`` span) asked;
+* **decision records** — one :class:`DecisionRecord` per profile-guided
+  choice a case study made: the construct, its source location, the
+  inputs consulted, the chosen ordering/prediction, and the alternatives
+  it rejected. The same record type serves both substrates.
+
+Design constraints, enforced by tests:
+
+* **Off by default, zero-allocation fast path.** Tracing is scoped with
+  :func:`using_tracer` (a :class:`contextvars.ContextVar`, so concurrent
+  compiles are isolated). Hot call sites ask :func:`active_tracer` —
+  a bare ``ContextVar.get`` returning ``None`` — and skip all work when
+  no tracer is installed: no event objects, no spans, no
+  :class:`DecisionRecord` instances are ever constructed.
+* **Determinism.** The trace clock is *logical*: a per-tracer tick that
+  increments once per recorded item. No wall-clock time, object ids, or
+  memory addresses ever enter a trace, so the same program expanded
+  against the same merged profile produces a byte-identical trace.
+* **Dependency-free.** This module imports only the standard library;
+  locations are duck-typed (anything with ``filename``/``line``), so the
+  Scheme and Python substrates feed it without import cycles.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import threading
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "SPAN_KINDS",
+    "DecisionRecord",
+    "QueryEvent",
+    "TraceEvent",
+    "Span",
+    "Tracer",
+    "active_tracer",
+    "using_tracer",
+    "maybe_span",
+    "set_decision_record_hook",
+    "decision_margin",
+]
+
+#: Version of the span/event/decision data model (bump on breaking change;
+#: exporters embed it next to the shared JSON render version).
+TRACE_SCHEMA_VERSION = 1
+
+#: The well-known span kinds emitted by the library. The vocabulary is
+#: open — exporters treat the kind as an opaque category — but these are
+#: the ones documented in docs/observability.md.
+SPAN_KINDS = frozenset(
+    {
+        "trace",        # the implicit root
+        "program",      # one traced compilation unit
+        "expand",       # one macro/transformer invocation
+        "instrument",   # instrumented execution
+        "profile_load", # reading a stored profile database
+        "query",        # reserved for aggregated query phases
+        "optimize",     # post-expansion optimization (simplify, layout)
+        "recompile",    # an online recompilation (service controller)
+    }
+)
+
+# -- the counting hook used by the overhead tests ----------------------------
+
+_RECORD_HOOK: Callable[["DecisionRecord"], None] | None = None
+
+
+def set_decision_record_hook(
+    hook: Callable[["DecisionRecord"], None] | None,
+) -> Callable[["DecisionRecord"], None] | None:
+    """Install (or clear, with ``None``) a hook called on every
+    :class:`DecisionRecord` construction; returns the previous hook.
+
+    The overhead test suite uses a counting hook to assert the disabled
+    fast path constructs *no* records at all.
+    """
+    global _RECORD_HOOK
+    previous = _RECORD_HOOK
+    _RECORD_HOOK = hook
+    return previous
+
+
+def decision_margin(inputs: Iterable[tuple[str, float]]) -> float:
+    """How decisive the consulted weights were: the smallest gap between
+    adjacent weights once sorted. 0.0 when fewer than two inputs (a
+    degenerate decision) — and 0.0 exactly when some tie was broken by
+    source order rather than by data."""
+    weights = sorted(weight for _point, weight in inputs)
+    if len(weights) < 2:
+        return 0.0
+    return min(b - a for a, b in zip(weights, weights[1:]))
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One profile-guided choice a meta-program made.
+
+    ``inputs`` are the ``(profile point key, resolved weight)`` pairs the
+    decision consulted; ``chosen`` and ``rejected`` are human-readable
+    labels (clause tests, branch names, class names) for the selected and
+    discarded alternatives.
+    """
+
+    #: the linguistic construct that decided ("exclusive-cond", "if_r", …)
+    construct: str
+    #: which substrate it ran on ("scheme" or "pyast")
+    substrate: str
+    #: source file of the deciding construct's use site
+    filename: str
+    #: 1-based line of the use site (0 when unknown)
+    line: int
+    #: the full source location, stringified, for display
+    location: str
+    #: (point key, weight) pairs consulted, in consultation order
+    inputs: tuple[tuple[str, float], ...]
+    #: the ordering/prediction the meta-program chose
+    chosen: tuple[str, ...]
+    #: the alternatives it rejected (empty when nothing was rejected)
+    rejected: tuple[str, ...]
+    #: logical trace time of the decision
+    tick: int = 0
+    #: id of the span the decision was made under
+    span_id: int = 0
+    #: free-form annotation ("delegated to exclusive-cond", …)
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if _RECORD_HOOK is not None:
+            _RECORD_HOOK(self)
+
+    @property
+    def margin(self) -> float:
+        """Smallest weight gap that separated the alternatives."""
+        return decision_margin(self.inputs)
+
+    @property
+    def data_driven(self) -> bool:
+        """Whether any consulted weight was non-zero — i.e. whether
+        profile data (rather than the all-zero default) shaped the
+        choice."""
+        return any(weight != 0.0 for _point, weight in self.inputs)
+
+    def to_json_object(self) -> dict:
+        return {
+            "construct": self.construct,
+            "substrate": self.substrate,
+            "filename": self.filename,
+            "line": self.line,
+            "location": self.location,
+            "inputs": [
+                {"point": point, "weight": weight} for point, weight in self.inputs
+            ],
+            "chosen": list(self.chosen),
+            "rejected": list(self.rejected),
+            "margin": self.margin,
+            "data_driven": self.data_driven,
+            "tick": self.tick,
+            "span_id": self.span_id,
+            "note": self.note,
+        }
+
+    def __str__(self) -> str:
+        arrow = " -> ".join(self.chosen) or "<nothing>"
+        return f"{self.construct} at {self.location}: chose {arrow}"
+
+
+@dataclass(frozen=True)
+class QueryEvent:
+    """One ``profile-query`` issued while tracing was active."""
+
+    #: stable key of the profile point consulted
+    point: str
+    #: the weight the query resolved to
+    weight: float
+    #: innermost span name at query time — which meta-program asked
+    caller: str
+    tick: int = 0
+    span_id: int = 0
+
+    def to_json_object(self) -> dict:
+        return {
+            "point": self.point,
+            "weight": self.weight,
+            "caller": self.caller,
+            "tick": self.tick,
+            "span_id": self.span_id,
+        }
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A generic instant event (errors, degradations, checkpoints, …)."""
+
+    kind: str
+    name: str
+    attrs: tuple[tuple[str, object], ...] = ()
+    tick: int = 0
+    span_id: int = 0
+
+    def to_json_object(self) -> dict:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "attrs": {key: value for key, value in self.attrs},
+            "tick": self.tick,
+            "span_id": self.span_id,
+        }
+
+
+@dataclass
+class Span:
+    """A nested region of the trace (open interval in logical ticks)."""
+
+    span_id: int
+    parent_id: int
+    kind: str
+    name: str
+    attrs: dict[str, object] = field(default_factory=dict)
+    start_tick: int = 0
+    end_tick: int = 0
+    queries: list[QueryEvent] = field(default_factory=list)
+    decisions: list[DecisionRecord] = field(default_factory=list)
+    events: list[TraceEvent] = field(default_factory=list)
+    #: how many leading queries earlier decisions already claimed as inputs
+    _consumed_queries: int = 0
+
+    def to_json_object(self) -> dict:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "kind": self.kind,
+            "name": self.name,
+            "attrs": dict(self.attrs),
+            "start_tick": self.start_tick,
+            "end_tick": self.end_tick,
+            "queries": [event.to_json_object() for event in self.queries],
+            "decisions": [record.to_json_object() for record in self.decisions],
+            "events": [event.to_json_object() for event in self.events],
+        }
+
+
+#: The ambient tracer. ``None`` (the default) is the disabled fast path.
+_TRACER_VAR: contextvars.ContextVar["Tracer | None"] = contextvars.ContextVar(
+    "pgmp_tracer", default=None
+)
+
+#: The ambient span stack, per context so concurrent traced compiles (and
+#: threads, which start from a fresh context) never interleave stacks.
+_STACK_VAR: contextvars.ContextVar[tuple[Span, ...]] = contextvars.ContextVar(
+    "pgmp_trace_spans", default=()
+)
+
+
+def active_tracer() -> "Tracer | None":
+    """The ambient tracer, or ``None`` when tracing is disabled.
+
+    This is the one call hot paths make; when it returns ``None`` they
+    must do nothing else — no allocation, no formatting.
+    """
+    return _TRACER_VAR.get()
+
+
+@contextlib.contextmanager
+def using_tracer(tracer: "Tracer"):
+    """Enable ``tracer`` for the current context (and its children)."""
+    token = _TRACER_VAR.set(tracer)
+    stack_token = _STACK_VAR.set(())
+    try:
+        yield tracer
+    finally:
+        _STACK_VAR.reset(stack_token)
+        _TRACER_VAR.reset(token)
+
+
+def maybe_span(kind: str, name: str, **attrs: object):
+    """A span on the ambient tracer, or a no-op context when disabled.
+
+    The convenience wrapper instrumented call sites use when they would
+    otherwise need the ``if tracer is not None`` dance around a ``with``.
+    """
+    tracer = _TRACER_VAR.get()
+    if tracer is None:
+        return contextlib.nullcontext()
+    return tracer.span(kind, name, **attrs)
+
+
+class Tracer:
+    """Collects one trace. Thread-safe; logically (not wall-) clocked."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._tick = 0
+        self.root = Span(span_id=0, parent_id=-1, kind="trace", name="trace")
+        self.spans: list[Span] = [self.root]
+
+    # -- clock -------------------------------------------------------------
+
+    def _next_tick(self) -> int:
+        with self._lock:
+            self._tick += 1
+            return self._tick
+
+    @property
+    def ticks(self) -> int:
+        """How many items this trace has recorded so far."""
+        with self._lock:
+            return self._tick
+
+    # -- span management ---------------------------------------------------
+
+    def _current_span(self) -> Span:
+        stack = _STACK_VAR.get()
+        return stack[-1] if stack else self.root
+
+    @contextlib.contextmanager
+    def span(self, kind: str, name: str, **attrs: object):
+        """Open a nested span; events recorded inside attach to it."""
+        parent = self._current_span()
+        with self._lock:
+            self._tick += 1
+            span = Span(
+                span_id=len(self.spans),
+                parent_id=parent.span_id,
+                kind=kind,
+                name=name,
+                attrs=dict(attrs),
+                start_tick=self._tick,
+            )
+            self.spans.append(span)
+        token = _STACK_VAR.set(_STACK_VAR.get() + (span,))
+        try:
+            yield span
+        finally:
+            _STACK_VAR.reset(token)
+            span.end_tick = self._next_tick()
+
+    # -- recording ---------------------------------------------------------
+
+    def record_query(self, point_key: str, weight: float) -> QueryEvent:
+        """Record one ``profile-query`` resolution (called by the core API)."""
+        span = self._current_span()
+        event = QueryEvent(
+            point=point_key,
+            weight=weight,
+            caller=span.name,
+            tick=self._next_tick(),
+            span_id=span.span_id,
+        )
+        with self._lock:
+            span.queries.append(event)
+        return event
+
+    def pending_inputs(self) -> tuple[tuple[str, float], ...]:
+        """The queries of the innermost span not yet claimed by a decision.
+
+        Lets a decision site say "my inputs were whatever my transformer
+        consulted since the last decision" without threading bookkeeping
+        through the meta-program.
+        """
+        span = self._current_span()
+        with self._lock:
+            pending = span.queries[span._consumed_queries :]
+            span._consumed_queries = len(span.queries)
+        return tuple((event.point, event.weight) for event in pending)
+
+    def decision(
+        self,
+        construct: str,
+        substrate: str,
+        chosen: Iterable[str],
+        rejected: Iterable[str] = (),
+        location: object | None = None,
+        inputs: Iterable[tuple[str, float]] | None = None,
+        note: str = "",
+    ) -> DecisionRecord:
+        """Record one profile-guided decision.
+
+        ``location`` is duck-typed: anything with ``filename`` and
+        ``line`` attributes (a :class:`~repro.core.srcloc.SourceLocation`)
+        or a plain string. ``inputs=None`` claims the innermost span's
+        unconsumed query events as the inputs consulted.
+        """
+        if inputs is None:
+            inputs = self.pending_inputs()
+        filename = ""
+        line = 0
+        location_str = ""
+        if location is not None:
+            filename = str(getattr(location, "filename", location))
+            line = int(getattr(location, "line", 0) or 0)
+            location_str = str(location)
+        span = self._current_span()
+        record = DecisionRecord(
+            construct=construct,
+            substrate=substrate,
+            filename=filename,
+            line=line,
+            location=location_str,
+            inputs=tuple((str(point), float(weight)) for point, weight in inputs),
+            chosen=tuple(str(item) for item in chosen),
+            rejected=tuple(str(item) for item in rejected),
+            tick=self._next_tick(),
+            span_id=span.span_id,
+            note=note,
+        )
+        with self._lock:
+            span.decisions.append(record)
+        return record
+
+    def event(self, kind: str, name: str, **attrs: object) -> TraceEvent:
+        """Record a generic instant event under the innermost span."""
+        span = self._current_span()
+        event = TraceEvent(
+            kind=kind,
+            name=name,
+            attrs=tuple(sorted(attrs.items())),
+            tick=self._next_tick(),
+            span_id=span.span_id,
+        )
+        with self._lock:
+            span.events.append(event)
+        return event
+
+    # -- reading -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Seal the root span (idempotent)."""
+        if self.root.end_tick == 0:
+            self.root.end_tick = self._next_tick()
+
+    def decisions(self) -> list[DecisionRecord]:
+        """Every decision recorded, in tick order."""
+        with self._lock:
+            records = [
+                record for span in self.spans for record in span.decisions
+            ]
+        records.sort(key=lambda record: record.tick)
+        return records
+
+    def queries(self) -> list[QueryEvent]:
+        """Every query event recorded, in tick order."""
+        with self._lock:
+            events = [event for span in self.spans for event in span.queries]
+        events.sort(key=lambda event: event.tick)
+        return events
+
+    def decisions_at(self, filename: str, line: int) -> list[DecisionRecord]:
+        """Decisions anchored at ``filename:line`` (basename match allowed)."""
+        import posixpath
+
+        def matches(record: DecisionRecord) -> bool:
+            if record.line != line:
+                return False
+            return record.filename == filename or (
+                posixpath.basename(record.filename) == posixpath.basename(filename)
+                and bool(posixpath.basename(filename))
+            )
+
+        return [record for record in self.decisions() if matches(record)]
+
+    def __repr__(self) -> str:
+        return (
+            f"<Tracer: {len(self.spans)} spans, "
+            f"{len(self.decisions())} decisions, {self.ticks} ticks>"
+        )

@@ -32,6 +32,7 @@ from __future__ import annotations
 import ast
 
 from repro.core.errors import MacroError
+from repro.obs.tracer import active_tracer
 from repro.pyast.macros import MacroContext, macro
 
 __all__ = ["if_r", "pycase", "case_weights_key"]
@@ -75,12 +76,31 @@ def _expand_if_r(node: ast.Call, ctx: MacroContext) -> ast.AST:
     orelse_i = ctx.annotate(orelse, f_point)
     t_weight = ctx.profile_query(t_point)
     f_weight = ctx.profile_query(f_point)
+    tracer = active_tracer()
     if t_weight < f_weight:
+        if tracer is not None:
+            tracer.decision(
+                "if_r",
+                "pyast",
+                chosen=("swapped-branches", "negated-test"),
+                rejected=("source-order",),
+                location=ctx.location(node),
+                note="false branch hotter; negated the test",
+            )
         # (if (not test) f-branch t-branch)
         flipped = ast.UnaryOp(op=ast.Not(), operand=test)
         ast.copy_location(flipped, test)
         result: ast.expr = ast.IfExp(test=flipped, body=orelse_i, orelse=then_i)
     else:
+        if tracer is not None:
+            tracer.decision(
+                "if_r",
+                "pyast",
+                chosen=("source-order",),
+                rejected=("swapped-branches",),
+                location=ctx.location(node),
+                note="true branch at least as hot; kept source order",
+            )
         result = ast.IfExp(test=test, body=then_i, orelse=orelse_i)
     return ast.copy_location(result, node)
 
@@ -115,6 +135,20 @@ def _expand_pycase(node: ast.Call, ctx: MacroContext) -> ast.AST:
         enumerate(clauses),
         key=lambda pair: (-case_weights_key(pair[1][1], ctx), pair[0]),
     )
+    tracer = active_tracer()
+    if tracer is not None:
+        tracer.decision(
+            "pycase",
+            "pyast",
+            chosen=tuple(
+                ast.unparse(constants) for _i, (constants, _r) in weighted
+            ),
+            rejected=tuple(
+                ast.unparse(constants) for constants, _r in clauses
+            ),
+            location=ctx.location(node),
+            note="emitted clause order vs. source order",
+        )
 
     # (lambda __pgmp_key: r1 if __pgmp_key in c1 else ... default)(key)
     key_name = "__pgmp_key"

@@ -22,6 +22,7 @@ over enclosing-function locals.
 from __future__ import annotations
 
 import ast
+import contextlib
 import functools
 import inspect
 import textwrap
@@ -30,6 +31,7 @@ from collections.abc import Callable
 from repro.core import api as core_api
 from repro.core.errors import MacroError
 from repro.core.profile_point import ProfilePoint
+from repro.obs.tracer import active_tracer
 from repro.pyast.profiler import PROFILE_HOOK_NAME, profile_hook
 from repro.pyast.srcloc import POINT_ATTR, node_location, node_point
 
@@ -161,7 +163,18 @@ class _MacroExpander(ast.NodeTransformer):
             transformer = self.registry.get(node.func.id)
             if transformer is not None:
                 self.expanded += 1
-                result = transformer(node, self.ctx)
+                tracer = active_tracer()
+                span = (
+                    tracer.span(
+                        "expand",
+                        node.func.id,
+                        location=str(self.ctx.location(node)),
+                    )
+                    if tracer is not None
+                    else contextlib.nullcontext()
+                )
+                with span:
+                    result = transformer(node, self.ctx)
                 if not isinstance(result, ast.AST):
                     raise MacroError(
                         f"macro {node.func.id!r} returned {type(result).__name__}, "

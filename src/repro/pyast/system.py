@@ -15,10 +15,15 @@ from repro.core.policy import (
     degrade,
     using_profile_policy,
 )
+from repro.obs.logs import get_logger
+from repro.obs.metrics import get_global_metrics
+from repro.obs.tracer import maybe_span
 from repro.pyast.macros import MacroRegistry, expand_function
 from repro.pyast.profiler import collecting_counters
 
 __all__ = ["PyAstSystem"]
+
+logger = get_logger(__name__)
 
 
 class PyAstSystem:
@@ -59,7 +64,10 @@ class PyAstSystem:
         unoptimized expansion), with the reason recorded in
         :attr:`degradations`.
         """
-        with self._policy_scope():
+        name = getattr(fn, "__name__", "<function>")
+        get_global_metrics().inc("pyast_expansions_total")
+        logger.debug("expanding %s", name)
+        with self._policy_scope(), maybe_span("program", name, substrate="pyast"):
             try:
                 with using_profile_information(self.profile_db):
                     return expand_function(fn, registry, extra_globals)
@@ -93,7 +101,9 @@ class PyAstSystem:
         """
         if counters is None:
             counters = CounterSet(name=getattr(expanded_fn, "__name__", "pyast-run"))
-        with collecting_counters(counters):
+        with maybe_span(
+            "instrument", getattr(expanded_fn, "__name__", "pyast-run")
+        ), collecting_counters(counters):
             for args in inputs:
                 expanded_fn(*args)
         self.profile_db.record_counters(counters, importance, fingerprints)
@@ -143,27 +153,29 @@ class PyAstSystem:
         """Replace this system's database from a file, honoring
         :attr:`policy` exactly like
         :meth:`repro.scheme.SchemeSystem.load_profile`."""
-        if self.policy is ProfilePolicy.STRICT:
-            self.profile_db = ProfileDatabase.load(path, sources=sources)
-            return
-        try:
-            db = ProfileDatabase.load(path, on_error="skip", sources=sources)
-        except (ProfileFormatError, OSError) as exc:
-            degrade(
-                "load-profile",
-                f"{path}: {exc}",
-                "continuing with an empty profile database (unoptimized)",
-                policy=self.policy,
-                log=self.degradations,
-            )
-            self.profile_db = ProfileDatabase()
-            return
-        for entry in db.quarantine:
-            degrade(
-                "load-profile",
-                f"{path}: {entry}",
-                "quarantined the data set; loaded the rest",
-                policy=self.policy,
-                log=self.degradations,
-            )
-        self.profile_db = db
+        with maybe_span("profile_load", str(path)):
+            if self.policy is ProfilePolicy.STRICT:
+                self.profile_db = ProfileDatabase.load(path, sources=sources)
+                return
+            try:
+                db = ProfileDatabase.load(path, on_error="skip", sources=sources)
+            except (ProfileFormatError, OSError) as exc:
+                degrade(
+                    "load-profile",
+                    f"{path}: {exc}",
+                    "continuing with an empty profile database (unoptimized)",
+                    policy=self.policy,
+                    log=self.degradations,
+                )
+                self.profile_db = ProfileDatabase()
+                return
+            for entry in db.quarantine:
+                degrade(
+                    "load-profile",
+                    f"{path}: {entry}",
+                    "quarantined the data set; loaded the rest",
+                    policy=self.policy,
+                    log=self.degradations,
+                )
+            self.profile_db = db
+        logger.info("loaded profile %s", path)

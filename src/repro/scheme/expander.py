@@ -25,10 +25,12 @@ built in: the paper implements it as a profile-guided meta-program
 
 from __future__ import annotations
 
+import contextlib
 from fractions import Fraction
 
 from repro.core.errors import ExpandError
 from repro.core.profile_point import reset_generated_points
+from repro.obs.tracer import active_tracer
 from repro.scheme.core_forms import (
     App,
     Begin,
@@ -437,8 +439,15 @@ class Expander:
     def _apply_macro(self, binding: MacroBinding, stx: Syntax) -> Syntax:
         intro = self.scope_counter.fresh()
         flipped = stx.flip_scope(intro)
+        tracer = active_tracer()
+        span = (
+            tracer.span("expand", binding.name, location=str(stx.srcloc))
+            if tracer is not None
+            else contextlib.nullcontext()
+        )
         try:
-            result = apply_procedure(binding.transformer, [flipped])
+            with span:
+                result = apply_procedure(binding.transformer, [flipped])
         except ExpandError:
             raise
         except Exception as exc:

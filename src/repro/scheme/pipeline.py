@@ -19,6 +19,7 @@ exactly as in the paper's figures) so user programs can use them.
 
 from __future__ import annotations
 
+import contextlib
 import os
 from dataclasses import dataclass, field
 
@@ -33,6 +34,9 @@ from repro.core.policy import (
     using_profile_policy,
 )
 from repro.core.profile_point import ProfilePoint
+from repro.obs.logs import get_logger
+from repro.obs.metrics import get_global_metrics
+from repro.obs.tracer import maybe_span
 from repro.scheme.core_forms import Program, unparse_string
 from repro.scheme.datum import UNSPECIFIED
 from repro.scheme.env import GlobalEnvironment
@@ -49,6 +53,8 @@ from repro.scheme.reader import read_string
 from repro.scheme.syntax import Syntax
 
 __all__ = ["SchemeSystem", "RunResult", "SchemeSubstrate"]
+
+logger = get_logger(__name__)
 
 
 class SchemeSubstrate:
@@ -136,7 +142,9 @@ class SchemeSystem:
         port = OutputPort()
         previous = set_current_output(port)
         try:
-            with self._policy_scope():
+            with self._policy_scope(), maybe_span(
+                "program", filename, substrate="scheme"
+            ):
                 try:
                     with using_profile_information(self.profile_db):
                         program = self.expander.expand_program(
@@ -158,6 +166,8 @@ class SchemeSystem:
         finally:
             set_current_output(previous)
         self.last_compile_output = port.getvalue()
+        get_global_metrics().inc("expansions_total")
+        logger.debug("expanded %s (%d forms)", filename, len(program.forms))
         return program
 
     def run(
@@ -184,8 +194,15 @@ class SchemeSystem:
         port = OutputPort()
         port.echo = echo
         previous = set_current_output(port)
+        span = (
+            maybe_span("instrument", "instrumented-run", mode=instrument.value)
+            if instrument is not None
+            else contextlib.nullcontext()
+        )
         try:
-            with self._policy_scope(), using_profile_information(self.profile_db):
+            with self._policy_scope(), using_profile_information(
+                self.profile_db
+            ), span:
                 value = interp.run_program(program)
         finally:
             set_current_output(previous)
@@ -267,30 +284,32 @@ class SchemeSystem:
         continues with an empty database) and the reason is recorded in
         :attr:`degradations`.
         """
-        if self.policy is ProfilePolicy.STRICT:
-            self.profile_db = ProfileDatabase.load(path, sources=sources)
-            return
-        try:
-            db = ProfileDatabase.load(path, on_error="skip", sources=sources)
-        except (ProfileFormatError, OSError) as exc:
-            degrade(
-                "load-profile",
-                f"{path}: {exc}",
-                "continuing with an empty profile database (unoptimized)",
-                policy=self.policy,
-                log=self.degradations,
-            )
-            self.profile_db = ProfileDatabase()
-            return
-        for entry in db.quarantine:
-            degrade(
-                "load-profile",
-                f"{path}: {entry}",
-                "quarantined the data set; loaded the rest",
-                policy=self.policy,
-                log=self.degradations,
-            )
-        self.profile_db = db
+        with maybe_span("profile_load", str(path)):
+            if self.policy is ProfilePolicy.STRICT:
+                self.profile_db = ProfileDatabase.load(path, sources=sources)
+                return
+            try:
+                db = ProfileDatabase.load(path, on_error="skip", sources=sources)
+            except (ProfileFormatError, OSError) as exc:
+                degrade(
+                    "load-profile",
+                    f"{path}: {exc}",
+                    "continuing with an empty profile database (unoptimized)",
+                    policy=self.policy,
+                    log=self.degradations,
+                )
+                self.profile_db = ProfileDatabase()
+                return
+            for entry in db.quarantine:
+                degrade(
+                    "load-profile",
+                    f"{path}: {entry}",
+                    "quarantined the data set; loaded the rest",
+                    policy=self.policy,
+                    log=self.degradations,
+                )
+            self.profile_db = db
+        logger.info("loaded profile %s", path)
 
     def hot_swap_profile(self, db: ProfileDatabase) -> ProfileDatabase:
         """Atomically replace the ambient database; returns the old one.

@@ -27,6 +27,7 @@ from repro.core import api as core_api
 from repro.core.errors import EvalError, SchemeUserError
 from repro.core.profile_point import ProfilePoint
 from repro.core.srcloc import SourceLocation
+from repro.obs.tracer import active_tracer
 from repro.scheme.datum import (
     EOF_OBJECT,
     MultipleValues,
@@ -1381,6 +1382,57 @@ def _annotate_expr(expr, point):
     if not isinstance(point, ProfilePoint):
         raise EvalError("annotate-expr: expected a profile point")
     return core_api.annotate_expr(expr, point)
+
+
+def _decision_labels(value) -> list[str]:
+    """Render a trace-decision alternative (datum or list of datums) as
+    human-readable labels."""
+    if isinstance(value, Syntax):
+        value = syntax_to_datum(value)
+    if value is NIL or is_scheme_list(value):
+        items = pylist_from_scheme(value) if value is not NIL else []
+        return [
+            write_datum(
+                syntax_to_datum(item) if isinstance(item, Syntax) else item
+            )
+            for item in items
+        ]
+    return [write_datum(value)]
+
+
+@expand_primitive("trace-decision")
+def _trace_decision(construct, where, chosen, rejected=NIL, note=None):
+    """``(trace-decision 'construct stx chosen rejected [note])`` — record a
+    profile-guided decision on the ambient tracer.
+
+    A no-op (constructing nothing) when tracing is disabled, so case
+    studies call it unconditionally at expand time. ``chosen`` and
+    ``rejected`` are datums or lists of datums naming the selected and
+    discarded alternatives; the inputs consulted are claimed automatically
+    from the ``profile-query`` calls the transformer made since its last
+    decision.
+    """
+    tracer = active_tracer()
+    if tracer is None:
+        return UNSPECIFIED
+    location = where.srcloc if isinstance(where, Syntax) else None
+    if isinstance(construct, Syntax):
+        construct = syntax_to_datum(construct)
+    name = construct.name if isinstance(construct, Symbol) else str(construct)
+    note_text = ""
+    if note is not None:
+        if isinstance(note, Syntax):
+            note = syntax_to_datum(note)
+        note_text = note if isinstance(note, str) else display_datum(note)
+    tracer.decision(
+        name,
+        "scheme",
+        chosen=_decision_labels(chosen),
+        rejected=_decision_labels(rejected),
+        location=location,
+        note=note_text,
+    )
+    return UNSPECIFIED
 
 
 @expand_primitive("store-profile")

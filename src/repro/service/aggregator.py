@@ -46,6 +46,7 @@ from repro.core.database import (
 )
 from repro.core.errors import DeltaFormatError, ServiceError
 from repro.core.policy import DegradationLog, ProfilePolicy, degrade
+from repro.obs.logs import get_logger
 from repro.service.controller import RecompilationDecision, RecompileController
 from repro.service.delta import (
     DeltaLedger,
@@ -55,6 +56,8 @@ from repro.service.delta import (
 )
 from repro.service.metrics import ServiceMetrics
 from repro.service.transport import ServiceAddress, parse_address
+
+logger = get_logger(__name__)
 
 __all__ = ["ProfileAggregator", "STATE_FORMAT_VERSION"]
 
@@ -206,6 +209,14 @@ class ProfileAggregator:
         m.describe("checkpoints_total", "Successful checkpoints written")
         m.describe("checkpoint_failures_total", "Checkpoints that failed to write")
         m.describe("recompilations_total", "Controller recompile-and-swaps")
+        m.describe(
+            "recompile_generation",
+            "Generation number of the deployed artifact",
+        )
+        m.describe(
+            "recompile_decisions_changed",
+            "Meta-program decision sites that changed in the last swap",
+        )
         m.describe("connections_total", "Shipper connections accepted")
         m.describe("protocol_errors_total", "Connections dropped on torn frames")
         m.describe("datasets", "Live (dataset, fingerprint) counter sets")
@@ -525,6 +536,7 @@ class ProfileAggregator:
         self._housekeeper.start()
         if self.metrics_port is not None:
             self._start_metrics_server(self.metrics_port)
+        logger.info("aggregator %s listening on %s", self.name, self.address)
         return self
 
     def _housekeeping(self) -> None:
@@ -569,6 +581,7 @@ class ProfileAggregator:
             self._metrics_thread.join(timeout=10.0)
             self._metrics_thread = None
         self.checkpoint()
+        logger.info("aggregator %s stopped", self.name)
 
     def __enter__(self) -> "ProfileAggregator":
         return self.start()

@@ -30,16 +30,67 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.core.database import ProfileDatabase
+from repro.obs.logs import get_logger
+from repro.obs.metrics import get_global_metrics
+from repro.obs.tracer import DecisionRecord, Tracer, using_tracer
 from repro.service.metrics import ServiceMetrics
 
 __all__ = [
     "weight_drift",
+    "decision_diff",
     "RecompilationDecision",
     "RecompilationLog",
     "RecompileController",
     "scheme_recompiler",
     "pyast_recompiler",
 ]
+
+logger = get_logger(__name__)
+
+
+def decision_diff(
+    previous: list[DecisionRecord] | None, current: list[DecisionRecord]
+) -> tuple[str, int]:
+    """Summarize how this recompile's meta-program decisions differ from
+    the previous artifact's: ``(summary, changed_count)``.
+
+    Decisions are keyed by ``(construct, location)``; a decision *changed*
+    when the chosen alternative at that site differs. ``previous=None``
+    (the first recompile) reports every decision as new.
+    """
+
+    def keyed(records: list[DecisionRecord]) -> dict:
+        return {
+            (record.construct, record.location): record.chosen
+            for record in records
+        }
+
+    now = keyed(current)
+    if previous is None:
+        return (f"first artifact: {len(now)} decision site(s)", len(now))
+    before = keyed(previous)
+    changed = [
+        f"{construct}@{location}"
+        for (construct, location), chosen in sorted(now.items())
+        if (construct, location) in before
+        and before[(construct, location)] != chosen
+    ]
+    new = sum(1 for key in now if key not in before)
+    gone = sum(1 for key in before if key not in now)
+    unchanged = sum(
+        1
+        for key, chosen in now.items()
+        if key in before and before[key] == chosen
+    )
+    parts = [f"{len(changed)} changed", f"{unchanged} unchanged"]
+    if new:
+        parts.append(f"{new} new")
+    if gone:
+        parts.append(f"{gone} gone")
+    summary = ", ".join(parts)
+    if changed:
+        summary += " [" + "; ".join(changed) + "]"
+    return (summary, len(changed) + new + gone)
 
 
 def weight_drift(
@@ -73,6 +124,12 @@ class RecompilationDecision:
     reason: str
     #: wall-clock seconds the recompile + swap took (0.0 when skipped)
     pause_seconds: float = 0.0
+    #: how the meta-program decisions differ from the previous artifact's
+    #: (empty when no recompile happened)
+    decision_diff: str = ""
+    #: decision sites whose outcome changed/appeared/disappeared vs the
+    #: previous artifact
+    decisions_changed: int = 0
 
     def __str__(self) -> str:
         verb = "recompiled" if self.recompiled else "kept"
@@ -89,6 +146,8 @@ class RecompilationDecision:
             "recompiled": self.recompiled,
             "reason": self.reason,
             "pause_seconds": self.pause_seconds,
+            "decision_diff": self.decision_diff,
+            "decisions_changed": self.decisions_changed,
         }
 
 
@@ -161,6 +220,8 @@ class RecompileController:
         self._artifact: Any = None
         self._baseline: dict[str, float] | None = None
         self._generation = 0
+        #: decision records of the currently-deployed artifact's expansion
+        self._last_decisions: list[DecisionRecord] | None = None
 
     @property
     def generation(self) -> int:
@@ -204,10 +265,21 @@ class RecompileController:
                 )
                 return self.log.record(decision)
             started = time.perf_counter()
-            artifact = self._recompile(db)
+            # Trace the recompile's expansion so this decision can be
+            # tagged with how the meta-programs' choices moved relative to
+            # the previous artifact (the decision-provenance diff).
+            tracer = Tracer()
+            with using_tracer(tracer), tracer.span(
+                "recompile", f"generation-{self._generation + 1}"
+            ):
+                artifact = self._recompile(db)
             pause = time.perf_counter() - started
+            get_global_metrics().inc("traces_total")
+            decisions = tracer.decisions()
+            diff, changed = decision_diff(self._last_decisions, decisions)
             self._artifact = artifact
             self._baseline = dict(merged)
+            self._last_decisions = decisions
             self._generation += 1
             decision = RecompilationDecision(
                 generation=self._generation,
@@ -220,11 +292,20 @@ class RecompileController:
                     else "drift exceeded threshold"
                 ),
                 pause_seconds=pause,
+                decision_diff=diff,
+                decisions_changed=changed,
             )
+        logger.info(
+            "recompiled generation %d (drift %.4f): %s",
+            decision.generation, decision.drift, decision.decision_diff,
+        )
         if self.metrics is not None:
             self.metrics.inc("recompilations_total")
             self.metrics.observe_latency("recompile_pause", pause)
             self.metrics.set_gauge("recompile_generation", decision.generation)
+            self.metrics.set_gauge(
+                "recompile_decisions_changed", decision.decisions_changed
+            )
         return self.log.record(decision)
 
     def __repr__(self) -> str:

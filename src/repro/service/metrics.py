@@ -1,141 +1,23 @@
-"""Observability counters for the continuous-profiling service.
+"""Back-compat shim: :class:`ServiceMetrics` now lives in ``repro.obs``.
 
-A deliberately small, dependency-free metrics registry: monotonic
-counters, point-in-time gauges, and a bounded latency reservoir with
-p50/p95 quantiles, rendered in the Prometheus text exposition format so a
-``curl`` of the aggregator's ``/metrics`` endpoint drops straight into
-existing scrape pipelines.
+The registry was promoted to :mod:`repro.obs.metrics` so the whole
+library — core expansion, the three-pass workflow, and the service — can
+report through one metrics type. Existing imports of
+``repro.service.metrics`` keep working unchanged.
 """
 
 from __future__ import annotations
 
-import threading
-from collections import deque
+from repro.obs.metrics import (
+    LATENCY_WINDOW,
+    RENDER_QUANTILES,
+    ServiceMetrics,
+    get_global_metrics,
+)
 
-__all__ = ["ServiceMetrics"]
-
-#: How many recent latency observations the quantile reservoir keeps.
-#: Bounded so a long-lived aggregator's memory stays flat; quantiles are
-#: therefore over a sliding window, which is what operators want anyway.
-LATENCY_WINDOW = 2048
-
-
-class ServiceMetrics:
-    """Thread-safe counters/gauges/latency for one service process."""
-
-    def __init__(self, namespace: str = "pgmp") -> None:
-        self.namespace = namespace
-        self._lock = threading.Lock()
-        self._counters: dict[str, float] = {}
-        self._gauges: dict[str, float] = {}
-        self._help: dict[str, str] = {}
-        self._latencies: dict[str, deque[float]] = {}
-
-    # -- recording ---------------------------------------------------------
-
-    def describe(self, name: str, help_text: str) -> None:
-        """Attach a ``# HELP`` line to ``name`` (idempotent)."""
-        with self._lock:
-            self._help[name] = help_text
-
-    def inc(self, name: str, by: float = 1) -> None:
-        """Bump a monotonic counter."""
-        with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + by
-
-    def counter(self, name: str) -> float:
-        with self._lock:
-            return self._counters.get(name, 0)
-
-    def set_gauge(self, name: str, value: float) -> None:
-        with self._lock:
-            self._gauges[name] = value
-
-    def gauge(self, name: str) -> float:
-        with self._lock:
-            return self._gauges.get(name, 0)
-
-    def observe_latency(self, name: str, seconds: float) -> None:
-        """Record one latency sample into ``name``'s sliding window."""
-        with self._lock:
-            window = self._latencies.get(name)
-            if window is None:
-                window = self._latencies[name] = deque(maxlen=LATENCY_WINDOW)
-            window.append(seconds)
-
-    def latency_quantile(self, name: str, q: float) -> float:
-        """The ``q``-quantile (0..1) of recent samples; 0.0 when empty.
-
-        Nearest-rank over the sorted window — exact for the window, cheap,
-        and deterministic for tests.
-        """
-        with self._lock:
-            samples = sorted(self._latencies.get(name, ()))
-        if not samples:
-            return 0.0
-        rank = min(len(samples) - 1, max(0, int(q * len(samples))))
-        return samples[rank]
-
-    def latency_count(self, name: str) -> int:
-        with self._lock:
-            return len(self._latencies.get(name, ()))
-
-    # -- rendering ---------------------------------------------------------
-
-    def render(self) -> str:
-        """The Prometheus text exposition of everything recorded."""
-        with self._lock:
-            counters = dict(self._counters)
-            gauges = dict(self._gauges)
-            help_text = dict(self._help)
-            latencies = {
-                name: sorted(window) for name, window in self._latencies.items()
-            }
-        lines: list[str] = []
-        for name in sorted(counters):
-            full = f"{self.namespace}_{name}"
-            if name in help_text:
-                lines.append(f"# HELP {full} {help_text[name]}")
-            lines.append(f"# TYPE {full} counter")
-            lines.append(f"{full} {_format_value(counters[name])}")
-        for name in sorted(gauges):
-            full = f"{self.namespace}_{name}"
-            if name in help_text:
-                lines.append(f"# HELP {full} {help_text[name]}")
-            lines.append(f"# TYPE {full} gauge")
-            lines.append(f"{full} {_format_value(gauges[name])}")
-        for name in sorted(latencies):
-            samples = latencies[name]
-            full = f"{self.namespace}_{name}_seconds"
-            if name in help_text:
-                lines.append(f"# HELP {full} {help_text[name]}")
-            lines.append(f"# TYPE {full} summary")
-            for q in (0.5, 0.95):
-                if samples:
-                    rank = min(len(samples) - 1, max(0, int(q * len(samples))))
-                    value = samples[rank]
-                else:
-                    value = 0.0
-                lines.append(
-                    f'{full}{{quantile="{q}"}} {_format_value(value)}'
-                )
-            lines.append(f"{full}_count {len(samples)}")
-            lines.append(f"{full}_sum {_format_value(sum(samples))}")
-        return "\n".join(lines) + "\n"
-
-    def snapshot(self) -> dict:
-        """All values as a JSON-friendly dict (for the stats frame)."""
-        with self._lock:
-            return {
-                "counters": dict(self._counters),
-                "gauges": dict(self._gauges),
-                "latency_counts": {
-                    name: len(window) for name, window in self._latencies.items()
-                },
-            }
-
-
-def _format_value(value: float) -> str:
-    if float(value).is_integer():
-        return str(int(value))
-    return repr(float(value))
+__all__ = [
+    "LATENCY_WINDOW",
+    "RENDER_QUANTILES",
+    "ServiceMetrics",
+    "get_global_metrics",
+]

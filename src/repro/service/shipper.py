@@ -33,9 +33,12 @@ from collections.abc import Mapping
 from repro.core.counters import BaseCounterSet
 from repro.core.errors import BackpressureError, DeltaFormatError, ServiceError
 from repro.core.policy import DegradationLog, ProfilePolicy, degrade
+from repro.obs.logs import get_logger
 from repro.service.delta import ProfileDelta, read_frame, write_frame
 from repro.service.spill import SpillLog
 from repro.service.transport import ServiceAddress, connect, parse_address
+
+logger = get_logger(__name__)
 
 __all__ = ["ProfileShipper"]
 
@@ -390,6 +393,10 @@ class ProfileShipper:
                 target=self._run, name=f"pgmp-shipper-{self.shipper_id}", daemon=True
             )
             self._thread.start()
+        logger.info(
+            "shipper %s started (flush every %.1fs -> %s)",
+            self.shipper_id, self.flush_interval, self.address,
+        )
         return self
 
     def _run(self) -> None:
@@ -427,6 +434,11 @@ class ProfileShipper:
                         log=self.degradations,
                     )
                 self._disconnect()
+        logger.info(
+            "shipper %s closed (shipped=%d spilled=%d dropped=%d)",
+            self.shipper_id, self.shipped_deltas, self.spilled_deltas,
+            self.dropped_deltas,
+        )
 
     def __enter__(self) -> "ProfileShipper":
         return self

@@ -12,6 +12,11 @@ Subcommands mirror the paper's workflow:
 * ``pgmp lint FILE...``   — static soundness & profile-hygiene analysis
 * ``pgmp serve``          — run the continuous-profiling aggregator
 * ``pgmp ship FILE``      — run instrumented, streaming deltas to ``serve``
+* ``pgmp trace FILE``     — record decision provenance during expansion
+* ``pgmp explain FILE``   — why the expansion looks the way it does at a line
+
+``pgmp --log-level LEVEL <command>`` turns on stdlib logging for the whole
+``repro`` hierarchy (off by default).
 
 Built-in case-study libraries are loadable by name via ``--library``:
 ``if-r``, ``case``, ``oop``, ``datastructs``, ``boolean``, ``inliner``, or a
@@ -148,9 +153,18 @@ def _mode(name: str) -> ProfileMode:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.obs.logs import LOG_LEVELS
+
     parser = argparse.ArgumentParser(
         prog="pgmp",
         description="Profile-guided meta-programming (PLDI 2015 reproduction).",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=list(LOG_LEVELS),
+        default=None,
+        help="enable stdlib logging for the repro.* hierarchy on stderr "
+        "(default: logging stays off)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -224,6 +238,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_dis = sub.add_parser("disasm", help="print basic-block bytecode")
     common(p_dis)
 
+    p_trace = sub.add_parser(
+        "trace", help="record decision provenance while expanding a program"
+    )
+    common(p_trace)
+    p_trace.add_argument(
+        "--format",
+        choices=["text", "json", "chrome"],
+        default="text",
+        help="trace output format (default: text); json is the canonical "
+        "versioned document (readable by report --trace), chrome is the "
+        "trace_event format loadable in Perfetto",
+    )
+    p_trace.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the trace to FILE instead of stdout",
+    )
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="explain the profile-guided decisions at one source line",
+    )
+    common(p_explain)
+    p_explain.add_argument(
+        "--at",
+        required=True,
+        metavar="FILE:LINE",
+        help="the source anchor to explain (e.g. prog.ss:12)",
+    )
+
     p_rep = sub.add_parser("report", help="render a stored profile")
     common(p_rep)
     p_rep.add_argument("--top", type=int, default=10, help="hottest-N table size")
@@ -236,6 +281,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="text",
         help="report output format (default: text); json is versioned and "
         "machine-readable, like pgmp lint --format json",
+    )
+    p_rep.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="also join a stored pgmp-trace JSON document (pgmp trace "
+        "--format json) against the profile: which decisions the recorded "
+        "weights drove, and whether those weights have since drifted",
     )
 
     p_serve = sub.add_parser(
@@ -429,8 +482,151 @@ def _run_lint(args: argparse.Namespace) -> int:
     return 1 if report.errors() else 0
 
 
+def _trace_units(source: str, path: str) -> list[tuple[str, object, str]]:
+    """What ``pgmp trace``/``explain`` actually expands:
+    ``(kind, payload, label)`` triples.
+
+    A Scheme file is one ``("scheme", source, filename)`` unit. A Python
+    file contributes its *embedded* Scheme programs (string literals using
+    the optimizable constructs, exactly the ones ``pgmp lint`` analyzes),
+    each under the ``file.py#L<line>`` pseudo-filename its profile points
+    carry — plus one ``("pyfunc", fn, name)`` unit for every top-level
+    function that calls a registered Python macro (``if_r``, ``pycase``).
+    """
+    if not path.endswith(".py"):
+        return [("scheme", source, path)]
+    import ast as python_ast
+
+    from repro.analysis.pyast_passes import _embedded_scheme_strings
+    from repro.pyast.macros import default_registry
+
+    tree = python_ast.parse(source, filename=path)
+    units: list[tuple[str, object, str]] = [
+        ("scheme", text, f"{path}#L{constant.lineno}")
+        for text, constant in _embedded_scheme_strings(tree)
+    ]
+
+    macro_names = set(default_registry().names())
+    macro_functions = [
+        node.name
+        for node in tree.body
+        if isinstance(node, python_ast.FunctionDef)
+        and any(
+            isinstance(call, python_ast.Call)
+            and isinstance(call.func, python_ast.Name)
+            and call.func.id in macro_names
+            for call in python_ast.walk(node)
+        )
+    ]
+    if macro_functions:
+        # Exec the module (its __main__ guard keeps scripts inert) to get
+        # real function objects the pyast expander can re-source.
+        namespace: dict = {"__name__": "<pgmp-trace>", "__file__": path}
+        exec(compile(tree, path, "exec"), namespace)
+        units.extend(
+            ("pyfunc", namespace[name], f"{path}:{name}")
+            for name in macro_functions
+        )
+
+    if not units:
+        raise PgmpError(
+            f"{path}: nothing to trace — no embedded Scheme programs and "
+            "no functions using registered Python macros"
+        )
+    return units
+
+
+def _traced_compile(args: argparse.Namespace):
+    """Compile ``args.file`` under a fresh tracer; returns
+    ``(tracer, system)`` with the trace closed."""
+    from repro.core.api import reset_generated_points
+    from repro.obs import Tracer, get_global_metrics, using_tracer
+
+    source = _read_program(args.file)
+    system, _ = _make_system(args, source)
+    # Fresh generated-point counters: two traces of the same program in
+    # one process must be byte-identical.
+    reset_generated_points()
+    pyast_system = None
+    tracer = Tracer()
+    with using_tracer(tracer):
+        for kind, payload, label in _trace_units(source, args.file):
+            try:
+                if kind == "scheme":
+                    system.compile(payload, label)
+                else:
+                    if pyast_system is None:
+                        from repro.pyast.system import PyAstSystem
+
+                        pyast_system = PyAstSystem(
+                            profile_db=system.profile_db,
+                            policy=system.policy,
+                            degradations=system.degradations,
+                        )
+                    pyast_system.expand(payload)
+            except PgmpError as exc:
+                # A failed expansion is part of the provenance, not a
+                # reason to lose the trace collected so far.
+                tracer.event(
+                    "error", label, error=f"{type(exc).__name__}: {exc}"
+                )
+                print(f"pgmp trace: {label}: {exc}", file=sys.stderr)
+    tracer.close()
+    get_global_metrics().inc("traces_total")
+    return tracer, system
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        render_chrome_trace,
+        render_trace_json,
+        render_trace_text,
+    )
+
+    tracer, _system = _traced_compile(args)
+    renderer = {
+        "text": render_trace_text,
+        "json": render_trace_json,
+        "chrome": render_chrome_trace,
+    }[args.format]
+    rendered = renderer(tracer)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        decisions = tracer.decisions()
+        print(
+            f"pgmp trace: wrote {args.format} trace ({len(decisions)} "
+            f"decision(s)) to {args.out}",
+            file=sys.stderr,
+        )
+    else:
+        print(rendered)
+    return 0
+
+
+def _run_explain(args: argparse.Namespace) -> int:
+    from repro.obs import explain_at, parse_at
+
+    try:
+        anchor_file, line = parse_at(args.at)
+    except ValueError as exc:
+        print(f"pgmp explain: {exc}", file=sys.stderr)
+        return 2
+    tracer, system = _traced_compile(args)
+    print(
+        explain_at(
+            tracer, anchor_file, line, system.degradations.entries()
+        )
+    )
+    return 0 if tracer.decisions_at(anchor_file, line) else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.log_level:
+        from repro.obs.logs import configure_logging
+
+        configure_logging(args.log_level)
     try:
         return _dispatch(args)
     except PgmpError as exc:
@@ -566,6 +762,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _run_serve(args)
     if args.command == "ship":
         return _run_ship(args)
+    if args.command == "trace":
+        return _run_trace(args)
+    if args.command == "explain":
+        return _run_explain(args)
     source = _read_program(args.file)
     system, library_sources = _make_system(args, source)
 
@@ -646,11 +846,15 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "report":
+        import json
+
+        from repro.obs import decisions_from_json_object
         from repro.tools.report import (
             annotate_source,
             histogram,
             hottest_report,
             report_json,
+            trace_report,
         )
 
         if not args.profile_file:
@@ -666,6 +870,23 @@ def _dispatch(args: argparse.Namespace) -> int:
         if args.histogram:
             print()
             print(histogram(db))
+        if args.trace:
+            with open(args.trace, "r", encoding="utf-8") as handle:
+                try:
+                    document = json.load(handle)
+                except json.JSONDecodeError as exc:
+                    print(
+                        f"pgmp report: {args.trace}: not JSON: {exc}",
+                        file=sys.stderr,
+                    )
+                    return 2
+            try:
+                decisions = decisions_from_json_object(document)
+            except ValueError as exc:
+                print(f"pgmp report: {args.trace}: {exc}", file=sys.stderr)
+                return 2
+            print()
+            print(trace_report(db, decisions))
         return 0
 
     if args.command == "disasm":

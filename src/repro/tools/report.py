@@ -24,7 +24,13 @@ import json
 from repro.analysis.diagnostics import JSON_RENDER_VERSION
 from repro.core.database import ProfileDatabase
 
-__all__ = ["hottest_report", "annotate_source", "histogram", "report_json"]
+__all__ = [
+    "hottest_report",
+    "annotate_source",
+    "histogram",
+    "report_json",
+    "trace_report",
+]
 
 
 def hottest_report(db: ProfileDatabase, n: int = 10) -> str:
@@ -112,6 +118,71 @@ def report_json(
         },
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def trace_report(db: ProfileDatabase, decisions: list[dict]) -> str:
+    """Join a stored decision trace with the current merged profile.
+
+    ``decisions`` is the output of
+    :func:`repro.obs.export.decisions_from_json_object` — the decision
+    records of a ``pgmp trace --format json`` document. For every decision
+    the report shows the weight each consulted point had *at trace time*
+    next to its weight in this profile, so "would the meta-programs still
+    decide the same way?" is answerable without re-expanding.
+    """
+    if not decisions:
+        return "(trace contains no decisions)"
+    merged = db.merged().as_key_mapping()
+    lines = [
+        f"{len(decisions)} decision(s) in trace, joined against "
+        f"{len(merged)} merged profile point(s)"
+    ]
+    drifted_decisions = 0
+    for record in decisions:
+        lines.append("")
+        lines.append(
+            f"{record.get('construct', '?')} at {record.get('location', '?')}"
+        )
+        lines.append(
+            f"  chose: {', '.join(record.get('chosen', ())) or '<nothing>'}"
+        )
+        inputs = record.get("inputs", ())
+        if not inputs:
+            lines.append("  consulted: <no profile points>")
+            continue
+        drifted = False
+        for entry in inputs:
+            point, traced = entry["point"], entry["weight"]
+            now = merged.get(point)
+            if now is None:
+                lines.append(
+                    f"  {point}: {traced:.4f} at trace time, "
+                    "absent from this profile"
+                )
+                drifted = True
+            elif abs(now - traced) > 1e-9:
+                lines.append(
+                    f"  {point}: {traced:.4f} at trace time, {now:.4f} now "
+                    "(drifted)"
+                )
+                drifted = True
+            else:
+                lines.append(f"  {point}: {traced:.4f} (unchanged)")
+        if drifted:
+            drifted_decisions += 1
+    lines.append("")
+    if drifted_decisions:
+        lines.append(
+            f"{drifted_decisions} decision(s) consulted weights that have "
+            "since moved; re-expanding against this profile may decide "
+            "differently"
+        )
+    else:
+        lines.append(
+            "every consulted weight is unchanged; re-expanding against this "
+            "profile reproduces the traced decisions"
+        )
+    return "\n".join(lines)
 
 
 def histogram(db: ProfileDatabase, buckets: int = 10, width: int = 40) -> str:

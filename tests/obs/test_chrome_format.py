@@ -1,0 +1,53 @@
+"""The Chrome ``trace_event`` exporter: Perfetto-loadable structure."""
+
+import json
+
+from repro.obs.export import render_chrome_trace
+from repro.obs.tracer import TRACE_SCHEMA_VERSION, Tracer
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("program", "p.ss"):
+        with tracer.span("expand", "case"):
+            tracer.record_query("p.ss:3:4", 0.5)
+            tracer.decision("case", "scheme", chosen=("reordered",))
+        tracer.event("error", "unit-1", error="boom")
+    tracer.close()
+    return tracer
+
+
+def test_chrome_document_structure():
+    document = json.loads(render_chrome_trace(_sample_tracer()))
+    assert document["otherData"]["schema"] == "pgmp-trace-chrome"
+    assert document["otherData"]["trace_schema_version"] == TRACE_SCHEMA_VERSION
+    assert document["otherData"]["clock"] == "logical-ticks"
+    events = document["traceEvents"]
+    assert events, "no events emitted"
+    # Spans are complete events, queries/decisions/events are instants.
+    phases = {event["name"]: event["ph"] for event in events}
+    assert phases["p.ss"] == "X"
+    assert phases["case"] == "X"
+    assert phases["profile-query p.ss:3:4"] == "i"
+    assert phases["case decision"] == "i"
+
+
+def test_chrome_events_have_required_fields_and_are_sorted():
+    events = json.loads(render_chrome_trace(_sample_tracer()))["traceEvents"]
+    for event in events:
+        assert {"name", "cat", "ph", "ts", "pid", "tid"} <= event.keys()
+        if event["ph"] == "X":
+            assert event["dur"] >= 1
+        else:
+            assert event["s"] == "t"
+    stamps = [(event["ts"], event["name"]) for event in events]
+    assert stamps == sorted(stamps)
+
+
+def test_chrome_decision_args_carry_the_record():
+    events = json.loads(render_chrome_trace(_sample_tracer()))["traceEvents"]
+    decision = next(e for e in events if e["cat"] == "decision")
+    assert decision["args"]["chosen"] == ["reordered"]
+    assert decision["args"]["inputs"] == [
+        {"point": "p.ss:3:4", "weight": 0.5}
+    ]

@@ -1,0 +1,108 @@
+"""Trace determinism: same program + same merged profile ⇒ byte-identical
+JSON, across both substrates, every case-study library, and every example.
+
+Mirrors the determinism pin in ``tests/service/test_e2e.py`` — a trace
+that isn't reproducible can't serve as decision *provenance*.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.core.api import reset_generated_points
+from repro.obs.export import render_trace_json
+from repro.obs.tracer import Tracer, using_tracer
+from repro.scheme.instrument import ProfileMode
+from repro.scheme.pipeline import SchemeSystem
+from repro.tools import cli
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+#: (library names, program) per Scheme case study — each program exercises
+#: the library's profile-guided construct.
+CASE_STUDIES = {
+    "if-r": (
+        ["if-r"],
+        "(define (f n) (if-r (< n 5) 'lo 'hi))\n"
+        "(map f (list 1 6 7 8 9))",
+    ),
+    "case": (
+        ["case"],
+        "(define (g n) (case n ((1 2) 'small) ((8 9) 'big) (else 'mid)))\n"
+        "(map g (list 8 8 8 9 1 5))",
+    ),
+    "oop": (
+        ["oop"],
+        "(class Circle ((r 0)) (define-method (area this) (field this r)))\n"
+        "(class Square ((s 0)) (define-method (area this) (field this s)))\n"
+        "(define shapes (list (make-Circle 2) (make-Circle 3) (make-Square 4)))\n"
+        "(map (lambda (s) (method s area)) shapes)",
+    ),
+    "boolean": (
+        ["boolean"],
+        "(define (h n) (and-r (> n 0) (< n 10)))\n"
+        "(map h (list -1 5 20))",
+    ),
+    "inliner": (
+        ["inliner"],
+        "(define-inlinable (sq n) (* n n))\n"
+        "(define (k n) (sq (+ n 1)))\n"
+        "(map k (list 1 2 3 4 5))",
+    ),
+}
+
+
+def _traced_json(libraries, program, profile_db) -> str:
+    """One traced compile of ``program`` against ``profile_db``."""
+    system = SchemeSystem()
+    for name in libraries:
+        for source, filename in cli._resolve_library_sources([name]):
+            system.load_library(source, filename)
+    system.profile_db = profile_db
+    reset_generated_points()
+    tracer = Tracer()
+    with using_tracer(tracer):
+        system.compile(program, "unit.ss")
+    return render_trace_json(tracer)
+
+
+@pytest.mark.parametrize("name", sorted(CASE_STUDIES))
+def test_scheme_case_study_traces_are_byte_identical(name):
+    libraries, program = CASE_STUDIES[name]
+    # Collect real profile data first so the traces are data-driven.
+    system = SchemeSystem()
+    for library in libraries:
+        for source, filename in cli._resolve_library_sources([library]):
+            system.load_library(source, filename)
+    system.profile_run(program, "unit.ss", mode=ProfileMode.EXPR)
+    db = system.profile_db
+    first = _traced_json(libraries, program, db)
+    second = _traced_json(libraries, program, db)
+    assert first == second
+    assert '"decisions"' in first
+
+
+@pytest.mark.parametrize(
+    "example",
+    sorted(
+        os.path.basename(path)
+        for path in glob.glob(os.path.join(EXAMPLES_DIR, "*.py"))
+    ),
+)
+def test_example_traces_are_byte_identical(example, capsys):
+    """``pgmp trace examples/X.py --format json`` twice ⇒ identical bytes."""
+    path = os.path.join(EXAMPLES_DIR, example)
+    argv = [
+        "trace", path, "--format", "json",
+        "--library", "if-r", "--library", "case", "--library", "oop",
+        "--library", "boolean", "--library", "inliner",
+    ]
+    code_one = cli.main(argv)
+    first = capsys.readouterr().out
+    code_two = cli.main(argv)
+    second = capsys.readouterr().out
+    assert code_one == code_two
+    assert first == second
+    if code_one == 0:
+        assert '"schema": "pgmp-trace"' in first

@@ -1,0 +1,191 @@
+"""``pgmp trace``/``pgmp explain``/``pgmp report --trace`` end to end."""
+
+import json
+
+import pytest
+
+from repro.obs.explain import decision_cause, explain_at, parse_at
+from repro.obs.tracer import Tracer
+from repro.tools import cli
+
+PROGRAM = """(define (classify email)
+  (if-r (< email 5)
+    'important
+    'spam))
+(map classify (list 1 2 3 6 7 8 9 10 11 12 13 14))
+"""
+
+
+@pytest.fixture
+def program_path(tmp_path):
+    path = tmp_path / "prog.ss"
+    path.write_text(PROGRAM, encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture
+def profile_path(program_path, tmp_path, capsys):
+    out = str(tmp_path / "prog.profile")
+    assert cli.main(
+        ["profile", program_path, "--library", "if-r", "--out", out]
+    ) == 0
+    capsys.readouterr()
+    return out
+
+
+def test_parse_at():
+    assert parse_at("prog.ss:12") == ("prog.ss", 12)
+    assert parse_at("C:/x/prog.ss:3") == ("C:/x/prog.ss", 3)
+    with pytest.raises(ValueError):
+        parse_at("prog.ss")
+    with pytest.raises(ValueError):
+        parse_at("prog.ss:abc")
+
+
+def test_decision_cause_tiers():
+    tracer = Tracer()
+    with tracer.span("expand", "x"):
+        no_inputs = tracer.decision("case", "scheme", chosen=("a",), inputs=())
+        all_zero = tracer.decision(
+            "case", "scheme", chosen=("a",), inputs=(("p", 0.0),)
+        )
+        driven = tracer.decision(
+            "case", "scheme", chosen=("a",),
+            inputs=(("p", 0.25), ("q", 0.75)),
+        )
+    assert "no profile points consulted" in decision_cause(no_inputs)
+    assert "no profile data" in decision_cause(all_zero)
+    assert "profile-guided: 2 of 2" in decision_cause(driven)
+
+
+def test_explain_at_reports_decision_and_degradations():
+    tracer = Tracer()
+    with tracer.span("expand", "if-r"):
+
+        class Loc:
+            filename = "prog.ss"
+            line = 2
+
+            def __str__(self):
+                return "prog.ss:2:2"
+
+        tracer.record_query("prog.ss:3:4", 0.25)
+        tracer.record_query("prog.ss:4:4", 0.75)
+        tracer.decision(
+            "if-r", "scheme",
+            chosen=("swapped-branches",), rejected=("source-order",),
+            location=Loc(),
+        )
+    text = explain_at(tracer, "prog.ss", 2, ["stale profile quarantined"])
+    assert "1 profile-guided decision(s) at prog.ss:2" in text
+    assert "decision: swapped-branches" in text
+    assert "rejected: source-order" in text
+    assert "prog.ss:3:4 -> 0.250000" in text
+    assert "degradations during this compile:" in text
+    assert "stale profile quarantined" in text
+
+
+def test_explain_at_misses_point_to_recorded_anchors():
+    tracer = Tracer()
+    with tracer.span("expand", "if-r"):
+
+        class Loc:
+            filename = "prog.ss"
+            line = 7
+
+        tracer.decision("if-r", "scheme", chosen=("x",), location=Loc())
+    text = explain_at(tracer, "prog.ss", 99)
+    assert "no profile-guided decisions recorded at prog.ss:99" in text
+    assert "prog.ss:7" in text
+
+
+def test_cli_trace_text_and_exit_codes(program_path, profile_path, capsys):
+    assert cli.main(
+        ["trace", program_path, "--library", "if-r",
+         "--profile-file", profile_path]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "* decision if-r" in out
+    assert "1 data-driven" in out
+
+
+def test_cli_trace_counts_toward_traces_total(
+    program_path, profile_path, capsys
+):
+    from repro.obs.metrics import get_global_metrics
+
+    counters = get_global_metrics().snapshot()["counters"]
+    before = counters.get("traces_total", 0)
+    assert cli.main(
+        ["trace", program_path, "--library", "if-r",
+         "--profile-file", profile_path]
+    ) == 0
+    capsys.readouterr()
+    counters = get_global_metrics().snapshot()["counters"]
+    after = counters.get("traces_total", 0)
+    assert after == before + 1
+
+
+def test_cli_trace_json_out_file(program_path, profile_path, tmp_path, capsys):
+    out_path = tmp_path / "trace.json"
+    assert cli.main(
+        ["trace", program_path, "--library", "if-r",
+         "--profile-file", profile_path,
+         "--format", "json", "--out", str(out_path)]
+    ) == 0
+    err = capsys.readouterr().err
+    assert "wrote json trace" in err
+    document = json.loads(out_path.read_text(encoding="utf-8"))
+    assert document["schema"] == "pgmp-trace"
+    assert document["summary"]["data_driven_decisions"] == 1
+
+
+def test_cli_explain_found_and_not_found(program_path, profile_path, capsys):
+    assert cli.main(
+        ["explain", program_path, "--library", "if-r",
+         "--profile-file", profile_path, "--at", "prog.ss:2"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "profile-guided decision(s) at prog.ss:2" in out
+    assert "swapped-branches" in out
+    assert "cause: profile-guided" in out
+
+    assert cli.main(
+        ["explain", program_path, "--library", "if-r",
+         "--profile-file", profile_path, "--at", "prog.ss:999"]
+    ) == 1
+    assert "no profile-guided decisions" in capsys.readouterr().out
+
+    assert cli.main(
+        ["explain", program_path, "--library", "if-r", "--at", "nope"]
+    ) == 2
+
+
+def test_cli_report_trace_join(program_path, profile_path, tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    assert cli.main(
+        ["trace", program_path, "--library", "if-r",
+         "--profile-file", profile_path,
+         "--format", "json", "--out", str(trace_path)]
+    ) == 0
+    capsys.readouterr()
+    assert cli.main(
+        ["report", program_path, "--profile-file", profile_path,
+         "--trace", str(trace_path)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "1 decision(s) in trace" in out
+    assert "chose: swapped-branches, negated-test" in out
+    assert "every consulted weight is unchanged" in out
+
+
+def test_cli_report_trace_rejects_non_trace_json(
+    program_path, profile_path, tmp_path, capsys
+):
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text('{"schema": "something-else"}', encoding="utf-8")
+    assert cli.main(
+        ["report", program_path, "--profile-file", profile_path,
+         "--trace", str(bogus)]
+    ) == 2
+    assert "not a pgmp trace document" in capsys.readouterr().err

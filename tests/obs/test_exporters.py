@@ -1,0 +1,95 @@
+"""The text and JSON exporters, and the stored-trace reader."""
+
+import json
+
+import pytest
+
+from repro.analysis.diagnostics import JSON_RENDER_VERSION
+from repro.obs.export import (
+    decisions_from_json_object,
+    render_trace_json,
+    render_trace_text,
+    trace_to_json_object,
+)
+from repro.obs.tracer import TRACE_SCHEMA_VERSION, Tracer
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("program", "p.ss", substrate="scheme"):
+        with tracer.span("expand", "if-r", location="p.ss:2:0"):
+            tracer.record_query("p.ss:3:4", 0.25)
+            tracer.record_query("p.ss:4:4", 0.75)
+
+            class Loc:
+                filename = "p.ss"
+                line = 2
+
+                def __str__(self) -> str:
+                    return "p.ss:2:0"
+
+            tracer.decision(
+                "if-r",
+                "scheme",
+                chosen=("swapped-branches",),
+                rejected=("source-order",),
+                location=Loc(),
+                note="false branch hotter",
+            )
+        tracer.event("degradation", "load-profile", reason="corrupt")
+    tracer.close()
+    return tracer
+
+
+def test_json_document_shape_and_versions():
+    document = trace_to_json_object(_sample_tracer())
+    assert document["schema"] == "pgmp-trace"
+    assert document["version"] == JSON_RENDER_VERSION
+    assert document["trace_schema_version"] == TRACE_SCHEMA_VERSION
+    assert document["summary"]["decisions"] == 1
+    assert document["summary"]["queries"] == 2
+    assert document["summary"]["data_driven_decisions"] == 1
+    # Spans carry their queries/decisions/events inline.
+    expand = document["spans"][2]
+    assert expand["kind"] == "expand"
+    assert [q["point"] for q in expand["queries"]] == ["p.ss:3:4", "p.ss:4:4"]
+    assert expand["decisions"][0]["chosen"] == ["swapped-branches"]
+    assert expand["decisions"][0]["margin"] == 0.5
+
+
+def test_json_rendering_is_stable_text():
+    tracer = _sample_tracer()
+    text = render_trace_json(tracer)
+    assert json.loads(text) == trace_to_json_object(tracer)
+    # Canonical form: sorted keys, 2-space indent, pure ASCII.
+    assert text == json.dumps(
+        json.loads(text), indent=2, sort_keys=True, ensure_ascii=True
+    )
+
+
+def test_text_rendering_mentions_everything():
+    text = render_trace_text(_sample_tracer())
+    assert "1 decision(s) (1 data-driven)" in text
+    assert "? profile-query p.ss:3:4 -> 0.25" in text
+    assert "* decision if-r at p.ss:2:0" in text
+    assert "rejected: source-order" in text
+    assert "! degradation: load-profile reason=corrupt" in text
+    assert "note:     false branch hotter" in text
+
+
+def test_decisions_from_json_object_roundtrip():
+    document = trace_to_json_object(_sample_tracer())
+    decisions = decisions_from_json_object(json.loads(json.dumps(document)))
+    assert len(decisions) == 1
+    assert decisions[0]["construct"] == "if-r"
+    assert decisions[0]["inputs"] == [
+        {"point": "p.ss:3:4", "weight": 0.25},
+        {"point": "p.ss:4:4", "weight": 0.75},
+    ]
+
+
+def test_decisions_from_json_object_rejects_other_schemas():
+    with pytest.raises(ValueError):
+        decisions_from_json_object({"schema": "pgmp-report"})
+    with pytest.raises(ValueError):
+        decisions_from_json_object({})

@@ -1,0 +1,85 @@
+"""The ``repro`` logger hierarchy and ``pgmp --log-level`` wiring."""
+
+import io
+import logging
+
+from repro.obs.logs import (
+    LOG_LEVELS,
+    ROOT_LOGGER_NAME,
+    configure_logging,
+    get_logger,
+)
+
+
+def _reset_root():
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(root.handlers):
+        if getattr(handler, "_pgmp_configured", False):
+            root.removeHandler(handler)
+    root.setLevel(logging.NOTSET)
+
+
+def test_root_logger_has_a_null_handler():
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    assert any(
+        isinstance(handler, logging.NullHandler) for handler in root.handlers
+    )
+
+
+def test_get_logger_builds_the_hierarchy():
+    assert get_logger("repro.scheme.pipeline").name == "repro.scheme.pipeline"
+    assert get_logger("service.shipper").name == "repro.service.shipper"
+    assert get_logger().name == ROOT_LOGGER_NAME
+
+
+def test_silent_by_default():
+    """Without configure_logging, library logging emits nothing.
+
+    The NullHandler on the ``repro`` root means records never reach
+    ``logging.lastResort`` — the stdlib's handler-of-last-resort check is
+    ``logger.callHandlers`` finding at least one handler up the chain.
+    """
+    _reset_root()
+    previous = logging.lastResort
+    logging.lastResort = None
+    try:
+        # Would raise "No handlers could be found" noise (or hit
+        # lastResort) without the NullHandler; with it, this is silent.
+        get_logger("scheme.pipeline").error("should vanish")
+    finally:
+        logging.lastResort = previous
+
+
+def test_configure_logging_emits_and_is_idempotent():
+    _reset_root()
+    stream = io.StringIO()
+    configure_logging("info", stream=stream)
+    configure_logging("info", stream=stream)  # replaces, not duplicates
+    get_logger("scheme.pipeline").info("hello %s", "world")
+    lines = [line for line in stream.getvalue().splitlines() if line]
+    assert len(lines) == 1
+    assert "repro.scheme.pipeline" in lines[0]
+    assert "hello world" in lines[0]
+    _reset_root()
+
+
+def test_configure_logging_respects_level():
+    _reset_root()
+    stream = io.StringIO()
+    configure_logging("warning", stream=stream)
+    get_logger("scheme.pipeline").info("filtered")
+    get_logger("scheme.pipeline").warning("kept")
+    assert "filtered" not in stream.getvalue()
+    assert "kept" in stream.getvalue()
+    _reset_root()
+
+
+def test_cli_exposes_every_log_level():
+    from repro.tools.cli import build_parser
+
+    parser = build_parser()
+    for level in LOG_LEVELS:
+        args = parser.parse_args(["--log-level", level, "expand", "x.ss"])
+        assert args.log_level == level
+    args = parser.parse_args(["expand", "x.ss"])
+    assert args.log_level is None

@@ -1,0 +1,75 @@
+"""The promoted obs metrics registry: p99, HELP coverage, render age."""
+
+from repro.obs.metrics import (
+    RENDER_QUANTILES,
+    RENDER_TIMESTAMP_GAUGE,
+    ServiceMetrics,
+)
+from repro.service.aggregator import ProfileAggregator
+from repro.service.controller import RecompileController
+
+
+def test_p99_quantile_is_rendered():
+    assert 0.99 in RENDER_QUANTILES
+    m = ServiceMetrics()
+    for i in range(1, 101):
+        m.observe_latency("ingest_latency", i / 100.0)
+    assert m.latency_quantile("ingest_latency", 0.99) == 1.0
+    assert 'quantile="0.99"' in m.render()
+
+
+def test_render_stamps_timestamp_gauge():
+    m = ServiceMetrics()
+    text = m.render(now=123.5)
+    assert f"pgmp_{RENDER_TIMESTAMP_GAUGE} 123.5" in text
+    assert m.gauge(RENDER_TIMESTAMP_GAUGE) == 123.5
+
+
+def test_timestamp_gauge_has_help():
+    m = ServiceMetrics()
+    m.render()
+    assert m.undocumented_names() == []
+    assert m.help_for(RENDER_TIMESTAMP_GAUGE)
+
+
+def test_undocumented_names_flags_missing_help():
+    m = ServiceMetrics()
+    m.inc("mystery_total")
+    assert m.undocumented_names() == ["mystery_total"]
+    m.describe("mystery_total", "No longer a mystery")
+    assert m.undocumented_names() == []
+
+
+def test_every_service_metric_has_help_in_a_real_scrape():
+    """No help-less names: every metric the aggregator + controller can
+    emit carries a ``# HELP`` line in the rendered exposition."""
+    metrics = ServiceMetrics()
+    aggregator = ProfileAggregator(
+        listen="tcp://127.0.0.1:0", metrics=metrics
+    )
+    controller = RecompileController(lambda db: object(), metrics=metrics)
+    # Touch the controller-set gauges the way a recompile would.
+    metrics.set_gauge("recompile_generation", 1)
+    metrics.set_gauge("recompile_decisions_changed", 0)
+    text = metrics.render()
+    assert aggregator is not None and controller is not None
+    assert metrics.undocumented_names() == []
+    for line in text.splitlines():
+        if line.startswith("#") or not line:
+            continue
+        name = line.split("{")[0].split(" ")[0]
+        base = name.removeprefix("pgmp_")
+        if not metrics.help_for(base):
+            # Latency summaries render as <name>_seconds{,_count,_sum}.
+            for suffix in ("_seconds_count", "_seconds_sum", "_seconds"):
+                if base.endswith(suffix):
+                    base = base[: -len(suffix)]
+                    break
+        assert metrics.help_for(base), f"metric without HELP: {name}"
+
+
+def test_back_compat_import_path_is_the_same_class():
+    from repro.service import metrics as service_metrics
+
+    assert service_metrics.ServiceMetrics is ServiceMetrics
+    assert service_metrics.RENDER_QUANTILES is RENDER_QUANTILES

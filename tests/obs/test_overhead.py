@@ -1,0 +1,78 @@
+"""The zero-overhead pin: tracing off ⇒ no trace objects are built.
+
+A counting hook (installed via :func:`set_decision_record_hook`) fires in
+``DecisionRecord.__post_init__``, so it counts *constructions*, not
+recordings — if a disabled code path ever builds a record "just in case",
+this suite catches it.
+"""
+
+from repro.core.api import reset_generated_points
+from repro.obs.tracer import Tracer, set_decision_record_hook, using_tracer
+from repro.pyast.system import PyAstSystem
+from repro.scheme.instrument import ProfileMode
+from repro.scheme.pipeline import SchemeSystem
+from repro.tools import cli
+
+PROGRAM = """
+(define (f n) (if-r (< n 5) 'lo 'hi))
+(map f (list 1 6 7 8 9))
+"""
+
+
+def _if_r_system() -> SchemeSystem:
+    system = SchemeSystem()
+    for source, filename in cli._resolve_library_sources(["if-r"]):
+        system.load_library(source, filename)
+    return system
+
+
+def _counting_hook():
+    constructed = []
+    previous = set_decision_record_hook(
+        lambda record: constructed.append(record)
+    )
+    return constructed, previous
+
+
+def test_disabled_tracing_constructs_no_decision_records_scheme():
+    constructed, previous = _counting_hook()
+    try:
+        system = _if_r_system()
+        system.profile_run(PROGRAM, "unit.ss", mode=ProfileMode.EXPR)
+        reset_generated_points()
+        system.compile(PROGRAM, "unit.ss")  # optimized compile, no tracer
+        assert constructed == []
+    finally:
+        set_decision_record_hook(previous)
+
+
+def test_disabled_tracing_constructs_no_decision_records_pyast():
+    from repro.pyast.casestudies import pycase
+
+    def classify(c):
+        return pycase(c, (("a",), 1), (("b", "c"), 2), default=0)
+
+    constructed, previous = _counting_hook()
+    try:
+        system = PyAstSystem()
+        instrumented = system.expand(classify)
+        system.profile(instrumented, [(c,) for c in "abcbcbc"])
+        system.expand(classify)
+        assert constructed == []
+    finally:
+        set_decision_record_hook(previous)
+
+
+def test_enabled_tracing_constructs_records():
+    """The same compile under a tracer does build records — the hook works."""
+    constructed, previous = _counting_hook()
+    try:
+        system = _if_r_system()
+        system.profile_run(PROGRAM, "unit.ss", mode=ProfileMode.EXPR)
+        reset_generated_points()
+        with using_tracer(Tracer()):
+            system.compile(PROGRAM, "unit.ss")
+        assert len(constructed) == 1
+        assert constructed[0].construct == "if-r"
+    finally:
+        set_decision_record_hook(previous)

@@ -1,0 +1,142 @@
+"""The Tracer core: spans, queries, decisions, and the ambient ContextVar."""
+
+import threading
+
+from repro.obs.tracer import (
+    DecisionRecord,
+    Tracer,
+    active_tracer,
+    decision_margin,
+    maybe_span,
+    using_tracer,
+)
+
+
+def test_disabled_by_default():
+    assert active_tracer() is None
+
+
+def test_using_tracer_installs_and_restores():
+    tracer = Tracer()
+    with using_tracer(tracer):
+        assert active_tracer() is tracer
+    assert active_tracer() is None
+
+
+def test_span_nesting_and_ticks():
+    tracer = Tracer()
+    with tracer.span("program", "p.ss"):
+        with tracer.span("expand", "if-r"):
+            pass
+        with tracer.span("expand", "case"):
+            pass
+    tracer.close()
+    kinds = [(s.kind, s.name) for s in tracer.spans[1:]]
+    assert kinds == [("program", "p.ss"), ("expand", "if-r"), ("expand", "case")]
+    program, if_r, case = tracer.spans[1:]
+    assert if_r.parent_id == program.span_id
+    assert case.parent_id == program.span_id
+    # The logical clock is strictly increasing: child spans nest inside
+    # the parent's tick interval, siblings do not overlap.
+    assert program.start_tick < if_r.start_tick <= if_r.end_tick
+    assert if_r.end_tick < case.start_tick <= case.end_tick <= program.end_tick
+
+
+def test_span_kind_vocabulary_is_open():
+    """Exporters treat the kind as an opaque category — custom kinds work."""
+    tracer = Tracer()
+    with tracer.span("my-subsystem", "x"):
+        pass
+    assert tracer.spans[1].kind == "my-subsystem"
+
+
+def test_queries_are_claimed_by_the_next_decision():
+    tracer = Tracer()
+    with tracer.span("expand", "if-r"):
+        tracer.record_query("a.ss:1:0", 0.25)
+        tracer.record_query("a.ss:2:0", 0.75)
+        record = tracer.decision(
+            "if-r", "scheme", chosen=("swap",), rejected=("keep",)
+        )
+        assert record.inputs == (("a.ss:1:0", 0.25), ("a.ss:2:0", 0.75))
+        # Claimed queries are not handed to a second decision.
+        second = tracer.decision("if-r", "scheme", chosen=("keep",))
+        assert second.inputs == ()
+
+
+def test_decision_margin_and_data_driven():
+    assert decision_margin([("a", 0.25), ("b", 0.75)]) == 0.5
+    assert decision_margin([("a", 0.25)]) == 0.0
+    record = DecisionRecord(
+        construct="if-r",
+        substrate="scheme",
+        filename="a.ss",
+        line=1,
+        location="a.ss:1:0",
+        inputs=(("a", 0.0), ("b", 0.0)),
+        chosen=("keep",),
+        rejected=(),
+        tick=1,
+        span_id=1,
+    )
+    assert not record.data_driven
+    assert record.margin == 0.0
+
+
+def test_decisions_at_matches_exact_and_basename():
+    tracer = Tracer()
+    with tracer.span("expand", "if-r", location="/tmp/prog.ss:3:0"):
+
+        class Loc:
+            filename = "/tmp/prog.ss"
+            line = 3
+
+        tracer.decision("if-r", "scheme", chosen=("swap",), location=Loc())
+    assert tracer.decisions_at("/tmp/prog.ss", 3)
+    assert tracer.decisions_at("prog.ss", 3)
+    assert not tracer.decisions_at("prog.ss", 4)
+    assert not tracer.decisions_at("other.ss", 3)
+
+
+def test_events_record_in_current_span():
+    tracer = Tracer()
+    with tracer.span("profile_load", "db.json"):
+        tracer.event("degradation", "load-profile", reason="corrupt")
+    span = tracer.spans[1]
+    assert [e.kind for e in span.events] == ["degradation"]
+    assert dict(span.events[0].attrs)["reason"] == "corrupt"
+
+
+def test_maybe_span_is_nullcontext_when_disabled():
+    with maybe_span("program", "p.ss"):
+        assert active_tracer() is None
+    tracer = Tracer()
+    with using_tracer(tracer), maybe_span("program", "p.ss"):
+        pass
+    assert [s.kind for s in tracer.spans[1:]] == ["program"]
+
+
+def test_ambient_tracer_is_contextvar_scoped_per_thread():
+    """A tracer installed in one thread is invisible to another."""
+    seen = {}
+
+    def probe():
+        seen["other"] = active_tracer()
+
+    tracer = Tracer()
+    with using_tracer(tracer):
+        thread = threading.Thread(target=probe)
+        thread.start()
+        thread.join()
+        assert active_tracer() is tracer
+    assert seen["other"] is None
+
+
+def test_close_is_idempotent():
+    tracer = Tracer()
+    with tracer.span("program", "p.ss"):
+        pass
+    tracer.close()
+    ticks = tracer.ticks
+    tracer.close()
+    assert tracer.ticks == ticks
