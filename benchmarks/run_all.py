@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import re
 import subprocess
 import sys
@@ -62,13 +63,17 @@ def parse_rows(stdout: str) -> list[dict[str, str]]:
     return rows
 
 
-def run_module(path: Path) -> dict:
+def run_module(path: Path, smoke: bool = False) -> dict:
+    env = dict(os.environ)
+    if smoke:
+        env["PGMP_BENCH_SMOKE"] = "1"
     start = time.perf_counter()
     proc = subprocess.run(
         [sys.executable, "-m", "pytest", str(path), "-q", "-s", "--no-header", "-p", "no:cacheprovider"],
         capture_output=True,
         text=True,
         cwd=REPO_ROOT,
+        env=env,
     )
     duration = time.perf_counter() - start
     return {
@@ -80,6 +85,45 @@ def run_module(path: Path) -> dict:
         # the pytest tail is the useful part of a failure; keep it bounded
         "tail": proc.stdout[-2000:] if proc.returncode != 0 else "",
     }
+
+
+#: ``NN.Nx (interp ...)`` — the leading ratio in a compile-backend row.
+_RATIO = re.compile(r"^(?P<ratio>\d+(?:\.\d+)?)x\b")
+
+
+def validate_smoke(payload: dict) -> list[str]:
+    """The CI bench-smoke gate: schema shape plus the backend speedup.
+
+    Returns a list of problems (empty = gate passes). The per-experiment
+    thresholds already ran as assertions inside the benchmark module; this
+    re-checks the *published document*, so a schema regression or a row
+    that stopped being emitted fails CI even if pytest stayed green.
+    """
+    problems: list[str] = []
+    for field in ("format", "version", "python", "modules", "summary"):
+        if field not in payload:
+            problems.append(f"schema: missing top-level field {field!r}")
+    if payload.get("format") != "pgmp-bench":
+        problems.append(f"schema: format is {payload.get('format')!r}")
+    ratios: list[tuple[str, float]] = []
+    for module in payload.get("modules", []):
+        for field in ("module", "passed", "returncode", "duration_seconds", "comparisons"):
+            if field not in module:
+                problems.append(
+                    f"schema: {module.get('module', '?')} missing {field!r}"
+                )
+        if module.get("module") != "bench_compile_backend.py":
+            continue
+        for row in module.get("comparisons", []):
+            match = _RATIO.match(row.get("measured", ""))
+            if match:
+                ratios.append((row["experiment"], float(match.group("ratio"))))
+    if not ratios:
+        problems.append("no compile-backend speedup rows in the results")
+    elif max(ratio for _, ratio in ratios) < 2.0:
+        worst = ", ".join(f"{name}={ratio}x" for name, ratio in ratios)
+        problems.append(f"compiled backend under 2x everywhere: {worst}")
+    return problems
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -94,6 +138,14 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="only run modules whose filename contains this substring",
     )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI smoke mode: run with PGMP_BENCH_SMOKE=1 (shrunken "
+        "workloads), then validate the result schema and that the "
+        "compiled backend clears its smoke-floor speedup over the "
+        "interpreter",
+    )
     args = parser.parse_args(argv)
 
     modules = discover()
@@ -106,7 +158,7 @@ def main(argv: list[str] | None = None) -> int:
     results = []
     for path in modules:
         print(f"run_all: {path.name} ...", flush=True)
-        outcome = run_module(path)
+        outcome = run_module(path, smoke=args.smoke)
         status = "ok" if outcome["passed"] else f"FAILED (rc={outcome['returncode']})"
         print(f"run_all: {path.name} {status} in {outcome['duration_seconds']}s")
         for row in outcome["comparisons"]:
@@ -129,6 +181,13 @@ def main(argv: list[str] | None = None) -> int:
     }
     Path(args.out).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"run_all: wrote {args.out}")
+    if args.smoke:
+        problems = validate_smoke(payload)
+        for problem in problems:
+            print(f"run_all: smoke gate: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print("run_all: smoke gate ok (schema valid, backend speedup >= 2x)")
     if failed:
         print(f"run_all: {len(failed)} module(s) failed: {', '.join(failed)}", file=sys.stderr)
         return 1

@@ -263,6 +263,8 @@ class ProfileDatabase:
         self._fingerprints: list[dict[str, str]] = []
         #: Copy-on-write merge cache: (generation it was built from, table).
         self._merged: tuple[int, WeightTable] | None = None
+        #: Fingerprint cache for the merged view, keyed the same way.
+        self._merged_fp: tuple[int, str] | None = None
         self._generation = 0
         #: data sets a lenient load set aside (empty for strict loads)
         self.quarantine = QuarantineReport()
@@ -340,6 +342,7 @@ class ProfileDatabase:
             self._dataset_weights.clear()
             self._fingerprints.clear()
             self._merged = None
+            self._merged_fp = None
             self._generation += 1
 
     @property
@@ -388,6 +391,29 @@ class ProfileDatabase:
             if self._merged is None or self._merged[0] <= generation:
                 self._merged = (generation, table)
         return table
+
+    def merged_fingerprint(self) -> str:
+        """A short content digest of the merged weight table.
+
+        Stable across processes (it hashes the merged point→weight mapping,
+        not object identities) and cached per generation exactly like the
+        :meth:`merged` table itself, so hot callers — the compiled-backend
+        artifact cache keys every compile on it — pay one dict lookup, not
+        a re-hash. Two databases that merge to the same weights share a
+        fingerprint even if they got there via different data sets, which
+        is precisely the equivalence an artifact cache wants.
+        """
+        with self._lock:
+            cached = self._merged_fp
+            if cached is not None and cached[0] == self._generation:
+                return cached[1]
+            generation = self._generation
+        payload = json.dumps(self.merged().as_key_mapping(), sort_keys=True)
+        digest = source_fingerprint(payload)
+        with self._lock:
+            if self._merged_fp is None or self._merged_fp[0] <= generation:
+                self._merged_fp = (generation, digest)
+        return digest
 
     def query(self, point: ProfilePoint, strict: bool = False) -> float:
         """The merged weight of ``point``.

@@ -110,6 +110,31 @@ class EvalError(SchemeError):
     """A run-time error in the Scheme interpreter."""
 
 
+class SchemeRecursionError(EvalError):
+    """Deep non-tail recursion exhausted the Python stack.
+
+    Mirrors :class:`StepBudgetExceeded`: a resource-exhaustion failure the
+    program caused, reported as a structured Scheme error carrying the
+    innermost known source location instead of escaping as a raw Python
+    ``RecursionError``. Both evaluator backends raise this type.
+    """
+
+    def __init__(self, message: str, srcloc: object | None = None) -> None:
+        super().__init__(message)
+        self.srcloc = srcloc
+
+    @classmethod
+    def at(cls, srcloc: object | None) -> "SchemeRecursionError":
+        message = "maximum recursion depth exceeded (deep non-tail recursion)"
+        if srcloc is not None:
+            error = cls(f"{message} (at {srcloc})", srcloc)
+            # The innermost frame located it; outer call sites must not
+            # re-attach their own locations (same convention as EvalError).
+            error.located = True  # type: ignore[attr-defined]
+            return error
+        return cls(message)
+
+
 class SchemeUserError(EvalError):
     """Raised by the Scheme ``error`` primitive (a user-level error)."""
 

@@ -217,5 +217,21 @@ def get_global_metrics() -> ServiceMetrics:
                 "three_pass_runs_total", "Three-pass workflow invocations"
             )
             metrics.describe("traces_total", "Decision-provenance traces collected")
+            metrics.describe(
+                "artifact_cache_hits_total",
+                "Compiled-artifact cache hits (no re-expansion or recompile)",
+            )
+            metrics.describe(
+                "artifact_cache_misses_total",
+                "Compiled-artifact cache misses (expansion + codegen ran)",
+            )
+            metrics.describe(
+                "artifact_compiles_total",
+                "Scheme programs translated to Python by the compiled backend",
+            )
+            metrics.describe(
+                "backend_fallbacks_total",
+                "Runs the compiled backend handed back to the interpreter",
+            )
             _GLOBAL_METRICS = metrics
         return _GLOBAL_METRICS

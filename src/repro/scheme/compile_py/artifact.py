@@ -1,0 +1,219 @@
+"""Compiled artifacts: generated Python source plus its executable form.
+
+An artifact is the unit the cache stores and the pipeline swaps in for
+interpretation. It always keeps the *generated source* (debuggability: a
+cached artifact on disk is a readable Python module) and, when the
+program is translatable, the compiled ``_pgmp_main`` entry point.
+
+Programs the backend cannot translate still produce an artifact — with
+``main is None`` and only the expansion text — so a warm cache can answer
+``pgmp optimize`` without re-expanding even for interpreter-only programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import SchemeRecursionError
+from repro.core.policy import StepBudget
+from repro.scheme.compile_py import runtime as RT
+from repro.scheme.compile_py.codegen import (
+    CODEGEN_VERSION,
+    UnsupportedFormError,
+    generate_source,
+)
+from repro.scheme.core_forms import Program
+from repro.scheme.env import GlobalEnvironment
+from repro.scheme.instrument import Instrumenter
+
+__all__ = [
+    "ArtifactKey",
+    "CompiledArtifact",
+    "compile_program",
+    "flavor_for",
+]
+
+
+#: (source fingerprint, profile fingerprint, flavor, codegen version)
+ArtifactKey = tuple[str, str, str, int]
+
+
+def flavor_for(instrumented: bool, budgeted: bool) -> str:
+    """The artifact flavor matching a run configuration.
+
+    Instrumentation hooks and budget charges are compiled *into* the
+    generated code (that's what makes them free when absent, exactly like
+    the interpreter's wrapper scheme), so each combination is a distinct
+    artifact.
+    """
+    if instrumented and budgeted:
+        return "instr+budget"
+    if instrumented:
+        return "instr"
+    if budgeted:
+        return "budget"
+    return "plain"
+
+
+@dataclass(slots=True)
+class CompiledArtifact:
+    """One compiled (or expansion-only) program, ready to execute."""
+
+    python_source: str
+    filename: str
+    flavor: str
+    #: ordered (profile point, is_app) per generated ``H[i]()`` site
+    hook_sites: list
+    expansion_text: str
+    compile_output: str
+    key: ArtifactKey | None = None
+    #: the expanded Program, when this artifact was built in-process
+    #: (disk-loaded artifacts don't carry one)
+    program: Program | None = None
+    main: object = None
+    #: why ``main`` is None, for fallback diagnostics
+    unsupported_reason: str = ""
+    codegen_version: int = CODEGEN_VERSION
+    _fields: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def runnable(self) -> bool:
+        return self.main is not None
+
+    def execute(
+        self,
+        global_env: GlobalEnvironment,
+        instrumenter: Instrumenter | None = None,
+        budget: StepBudget | None = None,
+    ) -> object:
+        """Run the artifact; the compiled twin of ``run_program``.
+
+        The caller must pass a configuration matching this artifact's
+        flavor: hooks and charges exist only where they were compiled in.
+        """
+        if self.main is None:
+            raise UnsupportedFormError(
+                self.unsupported_reason or "artifact is expansion-only"
+            )
+        expected = flavor_for(instrumenter is not None, budget is not None)
+        if expected != self.flavor:
+            raise ValueError(
+                f"artifact flavor {self.flavor!r} cannot run a "
+                f"{expected!r} configuration"
+            )
+        hooks = RT.hook_table(instrumenter, self.hook_sites)
+        charge = budget.charge if budget is not None else None
+        try:
+            return self.main(global_env, hooks, charge)
+        except RecursionError:
+            # Backstop, mirroring Interpreter.run_top_form: call sites
+            # inside the generated code convert first and carry a srcloc.
+            raise SchemeRecursionError.at(None) from None
+
+
+def _exec_module(source: str, filename: str) -> dict:
+    namespace: dict = {}
+    code = compile(source, f"<pgmp-compiled {filename}>", "exec")
+    exec(code, namespace)
+    return namespace
+
+
+def compile_program(
+    program: Program,
+    filename: str,
+    flavor: str = "plain",
+    expansion_text: str = "",
+    compile_output: str = "",
+    key: ArtifactKey | None = None,
+) -> CompiledArtifact:
+    """Translate an expanded program into an executable artifact.
+
+    Returns an expansion-only artifact (``main is None``) instead of
+    raising when the program uses untranslatable forms, so callers decide
+    between fallback and error uniformly.
+    """
+    instrumented = "instr" in flavor
+    budgeted = "budget" in flavor
+    try:
+        source, hook_sites = generate_source(
+            program, instrumented=instrumented, budgeted=budgeted
+        )
+    except UnsupportedFormError as exc:
+        return CompiledArtifact(
+            python_source="",
+            filename=filename,
+            flavor=flavor,
+            hook_sites=[],
+            expansion_text=expansion_text,
+            compile_output=compile_output,
+            key=key,
+            program=program,
+            main=None,
+            unsupported_reason=str(exc),
+        )
+    namespace = _exec_module(source, filename)
+    return CompiledArtifact(
+        python_source=source,
+        filename=filename,
+        flavor=flavor,
+        hook_sites=hook_sites,
+        expansion_text=expansion_text,
+        compile_output=compile_output,
+        key=key,
+        program=program,
+        main=namespace["_pgmp_main"],
+    )
+
+
+def load_artifact_source(
+    text: str, filename: str, key: ArtifactKey
+) -> CompiledArtifact | None:
+    """Rebuild an artifact from a cached on-disk module.
+
+    Returns None — a cache miss — when the module doesn't exec, carries no
+    metadata, or was written for a different key (stale or corrupt file).
+    Only ``plain``-flavor artifacts live on disk (hook sites reference
+    in-memory profile points), so ``hook_sites`` is always empty here.
+    """
+    try:
+        namespace = _exec_module(text, filename)
+        meta = namespace["__pgmp_meta__"]
+        if list(meta["key"]) != list(key):
+            return None
+        return CompiledArtifact(
+            python_source=text,
+            filename=filename,
+            flavor="plain",
+            hook_sites=[],
+            expansion_text=meta["expansion_text"],
+            compile_output=meta["compile_output"],
+            key=key,
+            program=None,
+            main=namespace.get("_pgmp_main"),
+            unsupported_reason=meta.get("unsupported_reason", ""),
+        )
+    except Exception:
+        return None
+
+
+def render_artifact_module(artifact: CompiledArtifact) -> str:
+    """The self-contained on-disk form: generated source + metadata.
+
+    ``__pgmp_meta__`` is a literal dict appended after the code, carrying
+    everything ``pgmp optimize`` prints on a warm hit — so a hit performs
+    zero re-expansions.
+    """
+    meta = {
+        "key": list(artifact.key) if artifact.key is not None else None,
+        "expansion_text": artifact.expansion_text,
+        "compile_output": artifact.compile_output,
+        "unsupported_reason": artifact.unsupported_reason,
+    }
+    source = artifact.python_source
+    if not source:
+        source = (
+            "# Expansion-only artifact (program not translatable); cached\n"
+            "# so warm pipelines still skip re-expansion.\n"
+            "_pgmp_main = None\n"
+        )
+    return f"{source}\n__pgmp_meta__ = {meta!r}\n"

@@ -1,0 +1,79 @@
+"""The profile-keyed artifact cache.
+
+A compiled artifact is valid for exactly one ``(source, profile)`` world:
+the key combines the v2 source fingerprint of everything that feeds
+expansion (libraries + program text) with the *merged-profile
+fingerprint* — which, via the generation-counted merge cache, changes
+precisely when recorded weights change. Any data-set store, clear, or
+hot-swap therefore invalidates automatically; no TTLs, no manual flushes.
+
+Two tiers:
+
+* **in-memory** — all flavors, carries the expanded :class:`Program`
+  (the recompile controller swaps these without re-expanding);
+* **on-disk** (optional) — ``plain``-flavor artifacts as self-contained,
+  readable Python modules, written atomically, so a *new process* with
+  the same sources and profile reuses yesterday's compile. A file that
+  fails to exec or whose embedded key mismatches is simply a miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+from repro.core.database import atomic_write_text
+from repro.scheme.compile_py.artifact import (
+    ArtifactKey,
+    CompiledArtifact,
+    load_artifact_source,
+    render_artifact_module,
+)
+
+__all__ = ["ArtifactCache", "artifact_filename"]
+
+
+def artifact_filename(key: ArtifactKey) -> str:
+    digest = hashlib.sha256("|".join(map(str, key)).encode("utf-8")).hexdigest()
+    return f"pgmp_{digest[:24]}.py"
+
+
+class ArtifactCache:
+    """Two-tier (memory + optional directory) artifact store."""
+
+    def __init__(self, directory: str | os.PathLike[str] | None = None) -> None:
+        self.directory = os.fspath(directory) if directory is not None else None
+        self._memory: dict[ArtifactKey, CompiledArtifact] = {}
+
+    def get(self, key: ArtifactKey) -> CompiledArtifact | None:
+        hit = self._memory.get(key)
+        if hit is not None:
+            return hit
+        if self.directory is None or key[2] != "plain":
+            return None
+        path = os.path.join(self.directory, artifact_filename(key))
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError:
+            return None
+        artifact = load_artifact_source(text, path, key)
+        if artifact is not None:
+            self._memory[key] = artifact
+        return artifact
+
+    def put(self, artifact: CompiledArtifact) -> None:
+        key = artifact.key
+        if key is None:
+            raise ValueError("cannot cache an unkeyed artifact")
+        self._memory[key] = artifact
+        if self.directory is not None and artifact.flavor == "plain":
+            os.makedirs(self.directory, exist_ok=True)
+            path = os.path.join(self.directory, artifact_filename(key))
+            atomic_write_text(path, render_artifact_module(artifact))
+
+    def clear(self) -> None:
+        self._memory.clear()
+
+    def __len__(self) -> int:
+        return len(self._memory)

@@ -151,6 +151,10 @@ class Program:
     """A fully-expanded top-level program."""
 
     forms: list[CoreExpr]
+    #: per-flavor compiled artifacts, attached lazily by the Python backend
+    #: (:mod:`repro.scheme.compile_py`); excluded from equality because two
+    #: programs with the same forms *are* the same program.
+    artifacts: dict = field(default_factory=dict, compare=False, repr=False)
 
 
 # -- unparsing (for tests, figures, and the CLI's `expand` command) -----------

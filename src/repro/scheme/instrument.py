@@ -63,10 +63,19 @@ class Instrumenter:
 
     def hook(self, expr: CoreExpr):
         """A pre-bound counter bump for ``expr``, or None when not profiled."""
-        point = expr.profile_point
+        return self.hook_for(expr.profile_point, isinstance(expr, App))
+
+    def hook_for(self, point, is_app: bool):
+        """A pre-bound counter bump for a profile point at a known site.
+
+        The seam the compiled backend shares with the interpreter: both
+        describe a site as ``(point, is-it-an-application)`` and get back
+        the identical bump (or ``None``), so per-mode filtering and the
+        per-site sampling state behave the same under either backend.
+        """
         if point is None:
             return None
-        if self.mode is ProfileMode.CALL and not isinstance(expr, App):
+        if self.mode is ProfileMode.CALL and not is_app:
             return None
         if self.mode is ProfileMode.SAMPLE:
             return self._sampling_bump(point)

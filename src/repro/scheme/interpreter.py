@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import sys
 
-from repro.core.errors import EvalError
+from repro.core.errors import EvalError, SchemeRecursionError
 from repro.core.policy import StepBudget
 from repro.scheme import patterns, template
 from repro.scheme.core_forms import (
@@ -161,15 +161,21 @@ class Interpreter:
         return result
 
     def run_top_form(self, form: CoreExpr) -> object:
-        if isinstance(form, Define):
-            step = self.compile(form.expr, tail=False)
-            value = self._trampoline(step(self.global_env))
-            if isinstance(value, Closure) and value.name == "lambda":
-                value.name = form.source_name or form.unique.name
-            self.global_env.define(form.unique, value)
-            return UNSPECIFIED
-        step = self.compile(form, tail=False)
-        return self._trampoline(step(self.global_env))
+        try:
+            if isinstance(form, Define):
+                step = self.compile(form.expr, tail=False)
+                value = self._trampoline(step(self.global_env))
+                if isinstance(value, Closure) and value.name == "lambda":
+                    value.name = form.source_name or form.unique.name
+                self.global_env.define(form.unique, value)
+                return UNSPECIFIED
+            step = self.compile(form, tail=False)
+            return self._trampoline(step(self.global_env))
+        except RecursionError:
+            # Backstop for stack exhaustion outside any application frame
+            # (e.g. compiling a pathologically deep expression). Inner
+            # do_app frames convert first and carry their srcloc.
+            raise SchemeRecursionError.at(None) from None
 
     def eval_expr(self, expr: CoreExpr, env=None) -> object:
         step = self.compile(expr, tail=False)
@@ -290,6 +296,11 @@ class Interpreter:
                         exc.located = True  # type: ignore[attr-defined]
                         exc.args = (f"{exc.args[0]} (at {srcloc})",) + exc.args[1:]
                     raise
+                except RecursionError:
+                    # Deep non-tail recursion: report a structured Scheme
+                    # error at the innermost call site, not a raw Python
+                    # RecursionError (mirrors StepBudgetExceeded).
+                    raise SchemeRecursionError.at(srcloc) from None
 
             return do_app
 

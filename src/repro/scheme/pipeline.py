@@ -30,6 +30,7 @@ from repro.core.errors import ProfileError, ProfileFormatError
 from repro.core.policy import (
     DegradationLog,
     ProfilePolicy,
+    StepBudget,
     degrade,
     using_profile_policy,
 )
@@ -37,6 +38,13 @@ from repro.core.profile_point import ProfilePoint
 from repro.obs.logs import get_logger
 from repro.obs.metrics import get_global_metrics
 from repro.obs.tracer import maybe_span
+from repro.scheme.compile_py import (
+    CODEGEN_VERSION,
+    ArtifactCache,
+    CompiledArtifact,
+    compile_program,
+    flavor_for,
+)
 from repro.scheme.core_forms import Program, unparse_string
 from repro.scheme.datum import UNSPECIFIED
 from repro.scheme.env import GlobalEnvironment
@@ -55,6 +63,16 @@ from repro.scheme.syntax import Syntax
 __all__ = ["SchemeSystem", "RunResult", "SchemeSubstrate"]
 
 logger = get_logger(__name__)
+
+_BACKENDS = ("interp", "compile")
+
+
+def _coerce_backend(name: str) -> str:
+    if name not in _BACKENDS:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of {', '.join(_BACKENDS)}"
+        )
+    return name
 
 
 class SchemeSubstrate:
@@ -100,6 +118,8 @@ class SchemeSystem:
         mode: ProfileMode = ProfileMode.EXPR,
         policy: ProfilePolicy | str = ProfilePolicy.STRICT,
         degradations: DegradationLog | None = None,
+        backend: str | None = None,
+        artifact_cache: ArtifactCache | None = None,
     ) -> None:
         self.profile_db = profile_db if profile_db is not None else ProfileDatabase()
         self.mode = mode
@@ -117,6 +137,20 @@ class SchemeSystem:
         self._library_sources: list[tuple[str, str]] = []
         #: expand-time output (compile-time warnings) of the last compile().
         self.last_compile_output: str = ""
+        #: how programs execute: ``"interp"`` (the closure-compiling
+        #: interpreter) or ``"compile"`` (the Python backend of
+        #: :mod:`repro.scheme.compile_py`, with interpreter fallback for
+        #: untranslatable programs). Overridable per call on :meth:`run`.
+        self.backend = _coerce_backend(
+            backend
+            if backend is not None
+            else os.environ.get("PGMP_BACKEND", "interp")
+        )
+        #: artifact store for :meth:`compile_cached`; in-memory unless the
+        #: caller provides a directory-backed cache.
+        self.artifact_cache = (
+            artifact_cache if artifact_cache is not None else ArtifactCache()
+        )
 
     def _policy_scope(self):
         return using_profile_policy(self.policy, self.degradations)
@@ -176,12 +210,20 @@ class SchemeSystem:
         instrument: ProfileMode | None = None,
         echo: bool = False,
         counters: BaseCounterSet | None = None,
+        backend: str | None = None,
+        budget: StepBudget | None = None,
     ) -> RunResult:
         """Evaluate a compiled program, optionally instrumented.
 
         ``counters`` lets callers supply the counter sink — e.g. one
         :class:`~repro.core.counters.ShardedCounterSet` shared by several
         interpreter threads executing the same instrumented program.
+
+        ``backend`` overrides the system backend for this run; under
+        ``"compile"`` the program runs as a compiled artifact (memoized on
+        the Program, per flavor) with identical values, output, counters,
+        and budget charges, falling back to the interpreter — counted in
+        ``backend_fallbacks_total`` — when it cannot be translated.
         """
         instrumenter: Instrumenter | None = None
         if instrument is not None:
@@ -190,7 +232,6 @@ class SchemeSystem:
             instrumenter = Instrumenter(counters, instrument)
         else:
             counters = None
-        interp = Interpreter(self.runtime_env, instrumenter)
         port = OutputPort()
         port.echo = echo
         previous = set_current_output(port)
@@ -203,10 +244,129 @@ class SchemeSystem:
             with self._policy_scope(), using_profile_information(
                 self.profile_db
             ), span:
-                value = interp.run_program(program)
+                value = self._execute(
+                    program,
+                    instrumenter,
+                    budget,
+                    _coerce_backend(backend) if backend is not None else self.backend,
+                )
         finally:
             set_current_output(previous)
         return RunResult(value=value, output=port.getvalue(), counters=counters, program=program)
+
+    def _execute(
+        self,
+        program: Program,
+        instrumenter: Instrumenter | None,
+        budget: StepBudget | None,
+        backend: str,
+    ) -> object:
+        if backend == "compile":
+            artifact = self._artifact_for(
+                program, instrumenter is not None, budget is not None
+            )
+            if artifact.runnable:
+                return artifact.execute(self.runtime_env, instrumenter, budget)
+            get_global_metrics().inc("backend_fallbacks_total")
+            logger.debug(
+                "compiled backend fell back to the interpreter: %s",
+                artifact.unsupported_reason,
+            )
+        return Interpreter(self.runtime_env, instrumenter, budget).run_program(
+            program
+        )
+
+    def _artifact_for(
+        self, program: Program, instrumented: bool, budgeted: bool
+    ) -> CompiledArtifact:
+        """The per-Program, per-flavor artifact memo (no cross-run keying —
+        a Program object's forms never change once expanded)."""
+        flavor = flavor_for(instrumented, budgeted)
+        artifact = program.artifacts.get(flavor)
+        if artifact is None:
+            artifact = compile_program(program, "<program>", flavor)
+            if artifact.runnable:
+                get_global_metrics().inc("artifact_compiles_total")
+            program.artifacts[flavor] = artifact
+        return artifact
+
+    # -- the profile-keyed artifact cache -----------------------------------------
+
+    def artifact_key(
+        self, source: str, flavor: str = "plain"
+    ) -> tuple[str, str, str, int]:
+        """What a cached artifact's validity depends on, and nothing else:
+
+        * the fingerprint of every input to expansion (loaded libraries,
+          in order, plus the program source);
+        * the merged-profile fingerprint, which moves with the database's
+          generation counter — any record/clear/hot-swap that changes
+          effective weights changes the key, because meta-programs may
+          expand differently under the new profile;
+        * the artifact flavor and codegen version.
+        """
+        texts = [text for text, _ in self._library_sources]
+        texts.append(source)
+        return (
+            source_fingerprint("\x00".join(texts)),
+            self.profile_db.merged_fingerprint(),
+            flavor,
+            CODEGEN_VERSION,
+        )
+
+    def compile_cached(
+        self,
+        source: str,
+        filename: str = "<string>",
+        flavor: str = "plain",
+        cache: ArtifactCache | None = None,
+    ) -> CompiledArtifact:
+        """Expand + translate ``source``, reusing a cached artifact when the
+        ``(source fingerprint, profile generation)`` world is unchanged.
+
+        A hit performs **zero** re-expansions (``expansions_total`` does
+        not move); a miss compiles and populates the cache. Both outcomes
+        are traced (``artifact_cache`` spans) and counted
+        (``artifact_cache_{hits,misses}_total``).
+        """
+        cache = cache if cache is not None else self.artifact_cache
+        key = self.artifact_key(source, flavor)
+        metrics = get_global_metrics()
+        artifact = cache.get(key)
+        if artifact is not None:
+            metrics.inc("artifact_cache_hits_total")
+            with maybe_span(
+                "artifact_cache",
+                filename,
+                outcome="hit",
+                flavor=flavor,
+                source_fp=key[0],
+                profile_fp=key[1],
+            ):
+                pass
+            return artifact
+        metrics.inc("artifact_cache_misses_total")
+        with maybe_span(
+            "artifact_cache",
+            filename,
+            outcome="miss",
+            flavor=flavor,
+            source_fp=key[0],
+            profile_fp=key[1],
+        ):
+            program = self.compile(source, filename)
+            artifact = compile_program(
+                program,
+                filename,
+                flavor,
+                expansion_text=unparse_string(program),
+                compile_output=self.last_compile_output,
+                key=key,
+            )
+            if artifact.runnable:
+                metrics.inc("artifact_compiles_total")
+            cache.put(artifact)
+        return artifact
 
     # -- user-facing workflow ------------------------------------------------------
 
@@ -216,9 +376,12 @@ class SchemeSystem:
         run-time and expand-time environments."""
         self._library_sources.append((source, filename))
         program = self.compile(source, filename)
-        interp = Interpreter(self.runtime_env)
-        with using_profile_information(self.profile_db):
-            interp.run_program(program)
+        # Library procedures are on the hot path of every later run, so
+        # they go through the configured backend too: under "compile" a
+        # library's defines become real Python functions instead of
+        # interpreted closures.
+        with self._policy_scope(), using_profile_information(self.profile_db):
+            self._execute(program, None, None, self.backend)
         # Library procedures are frequently also needed at expand time
         # (e.g. helpers used by transformers); mirror their definitions.
         from repro.scheme.core_forms import Define

@@ -321,14 +321,23 @@ def scheme_recompiler(
     """A ``recompile`` step re-expanding Scheme ``source`` on a
     :class:`~repro.scheme.pipeline.SchemeSystem`.
 
-    Each call hot-swaps the merged database into the system and re-runs
-    the full expansion, so meta-programs (clause reordering, dispatch
-    specialization, …) re-decide against the fresh weights — exactly the
-    offline ``pgmp optimize`` path, minus the restart.
+    Each call hot-swaps the merged database into the system and goes
+    through the profile-keyed artifact cache: a genuinely drifted profile
+    changes the merged fingerprint and misses (meta-programs re-decide
+    against the fresh weights — exactly the offline ``pgmp optimize``
+    path, minus the restart), while a swap that didn't change effective
+    weights — or a flap back to weights already compiled under — swaps
+    the precompiled artifact in without re-expanding anything.
     """
 
     def recompile(db: ProfileDatabase) -> Any:
         system.hot_swap_profile(db)
+        artifact = system.compile_cached(source, filename)
+        if artifact.program is not None:
+            return artifact.program
+        # Disk-tier hit from an earlier process: the artifact is runnable
+        # but carries no expanded Program object, which the controller's
+        # artifact() contract requires — re-expand for it.
         return system.compile(source, filename)
 
     return recompile

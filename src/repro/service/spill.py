@@ -21,9 +21,13 @@ from __future__ import annotations
 import contextlib
 import os
 
+from repro.core.errors import DeltaFormatError
+from repro.obs.logs import get_logger
 from repro.service.delta import FrameDecoder, encode_frame
 
 __all__ = ["SpillLog"]
+
+logger = get_logger(__name__)
 
 
 class SpillLog:
@@ -63,10 +67,18 @@ class SpillLog:
         torn = False
         try:
             frames.extend(decoder.feed(data))
-        except Exception:
+        except DeltaFormatError as exc:
             # A corrupt length prefix or unparseable payload: keep what
-            # decoded cleanly, flag the damage.
+            # decoded cleanly, flag the damage. Only the frame-decode
+            # error type is "torn log" — a decoder *bug* (AttributeError
+            # and friends) must propagate, not masquerade as corruption.
             torn = True
+            logger.warning(
+                "spill log %s: corrupt frame after %d recovered frame(s): %s",
+                self.path,
+                len(frames),
+                exc,
+            )
         if decoder.partial:
             torn = True
         return frames, torn

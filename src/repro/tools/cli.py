@@ -194,6 +194,16 @@ def build_parser() -> argparse.ArgumentParser:
             "strict fails the command, warn degrades with a message on "
             "stderr, ignore degrades silently (default: strict)",
         )
+        p.add_argument(
+            "--backend",
+            choices=["interp", "compile"],
+            default=None,
+            help="execution backend: interp (the closure-compiling "
+            "interpreter) or compile (translate the expansion to Python; "
+            "identical semantics, counters, and errors). Default: "
+            "$PGMP_BACKEND or interp — except pgmp optimize, which "
+            "defaults to compile",
+        )
 
     p_run = sub.add_parser("run", help="compile and run a program")
     common(p_run)
@@ -214,6 +224,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_opt = sub.add_parser("optimize", help="print the profile-optimized expansion")
     common(p_opt)
+    p_opt.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for on-disk compiled artifacts; a warm cache "
+        "(same sources, same profile) re-expands nothing, even across "
+        "processes (compile backend only)",
+    )
 
     p_wf = sub.add_parser("workflow", help="run the three-pass source+block PGO")
     common(p_wf)
@@ -772,7 +790,7 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "run":
         mode = _mode(args.instrument) if args.instrument else None
         program = _maybe_simplify(args, system.compile(source, args.file))
-        result = system.run(program, instrument=mode)
+        result = system.run(program, instrument=mode, backend=args.backend)
         if result.output:
             print(result.output, end="")
         print(write_datum(result.value))
@@ -805,6 +823,23 @@ def _dispatch(args: argparse.Namespace) -> int:
         if not args.profile_file:
             print("pgmp optimize: --profile-file is required", file=sys.stderr)
             return 2
+        backend = args.backend if args.backend is not None else "compile"
+        if backend == "compile" and not args.simplify:
+            # The artifact-cache path: a warm cache answers from the
+            # precompiled artifact with zero re-expansions. --simplify
+            # transforms the expansion post hoc, so it bypasses the cache.
+            from repro.scheme.compile_py import ArtifactCache
+
+            cache = (
+                ArtifactCache(args.cache_dir)
+                if args.cache_dir is not None
+                else None
+            )
+            artifact = system.compile_cached(source, args.file, cache=cache)
+            if artifact.compile_output:
+                print(artifact.compile_output, end="", file=sys.stderr)
+            print(artifact.expansion_text)
+            return 0
         program = _maybe_simplify(args, system.compile(source, args.file))
         if system.last_compile_output:
             print(system.last_compile_output, end="", file=sys.stderr)
@@ -822,6 +857,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             resume=not args.no_resume,
             pass_budget=args.pass_budget,
             policy=args.profile_policy,
+            backend=args.backend,
         )
         print(f"value:                   {write_datum(report.value)}")
         print(f"rung:                    {report.rung}")

@@ -1,0 +1,217 @@
+"""The profile-keyed artifact cache: hits, misses, and invalidation.
+
+Every assertion about cache behaviour goes through the global metrics
+counters (``artifact_cache_{hits,misses}_total``, ``expansions_total``),
+because that is the operational contract: a warm hit performs zero
+re-expansions, and anything that could change the expansion — new profile
+data, changed source — misses.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.obs.metrics import get_global_metrics
+from repro.scheme.compile_py import ArtifactCache, artifact_filename
+from repro.scheme.datum import write_datum
+from repro.scheme.pipeline import SchemeSystem
+
+PROGRAM = """
+(define (classify n) (if (< n 10) 'small 'large))
+(define (walk xs acc)
+  (if (null? xs) acc (walk (cdr xs) (cons (classify (car xs)) acc))))
+(walk '(1 20 3 40) '())
+"""
+
+
+class _Counters:
+    """Deltas of the global metrics counters since construction."""
+
+    NAMES = (
+        "artifact_cache_hits_total",
+        "artifact_cache_misses_total",
+        "artifact_compiles_total",
+        "expansions_total",
+    )
+
+    def __init__(self):
+        self.metrics = get_global_metrics()
+        self.base = {name: self.metrics.counter(name) for name in self.NAMES}
+
+    def delta(self, name: str) -> float:
+        return self.metrics.counter(name) - self.base[name]
+
+
+def test_second_compile_is_a_hit_with_zero_reexpansions():
+    system = SchemeSystem()
+    counters = _Counters()
+    first = system.compile_cached(PROGRAM, "prog.ss")
+    assert counters.delta("artifact_cache_misses_total") == 1
+    assert counters.delta("artifact_compiles_total") == 1
+    assert counters.delta("expansions_total") == 1
+    second = system.compile_cached(PROGRAM, "prog.ss")
+    assert second is first
+    assert counters.delta("artifact_cache_hits_total") == 1
+    assert counters.delta("expansions_total") == 1, "a hit re-expands nothing"
+
+
+def test_profile_generation_bump_invalidates():
+    system = SchemeSystem()
+    system.compile_cached(PROGRAM, "prog.ss")
+    counters = _Counters()
+    # New profile data moves the merged fingerprint (generation-counted
+    # merge cache), so the same source must recompile: meta-programs may
+    # now expand differently.
+    system.profile_run(PROGRAM, "prog.ss")
+    key_after = system.artifact_key(PROGRAM)
+    system.compile_cached(PROGRAM, "prog.ss")
+    assert counters.delta("artifact_cache_misses_total") == 1
+    assert counters.delta("artifact_cache_hits_total") == 0
+    # ... and the new world is itself cached:
+    system.compile_cached(PROGRAM, "prog.ss")
+    assert counters.delta("artifact_cache_hits_total") == 1
+    assert system.artifact_key(PROGRAM) == key_after
+
+
+def test_source_change_invalidates():
+    system = SchemeSystem()
+    system.compile_cached(PROGRAM, "prog.ss")
+    counters = _Counters()
+    system.compile_cached(PROGRAM + " 'tail", "prog.ss")
+    assert counters.delta("artifact_cache_misses_total") == 1
+    system.compile_cached(PROGRAM, "prog.ss")
+    assert counters.delta("artifact_cache_hits_total") == 1, (
+        "the original source's artifact is still valid"
+    )
+
+
+def test_library_change_invalidates():
+    plain = SchemeSystem()
+    with_lib = SchemeSystem()
+    with_lib.load_library("(define (helper x) x)", "helper.ss")
+    assert plain.artifact_key(PROGRAM) != with_lib.artifact_key(PROGRAM), (
+        "loaded libraries feed expansion, so they are part of the key"
+    )
+
+
+def test_cross_process_disk_reuse(tmp_path):
+    cache_dir = tmp_path / "artifacts"
+    first = SchemeSystem(artifact_cache=ArtifactCache(cache_dir))
+    artifact = first.compile_cached(PROGRAM, "prog.ss")
+    assert artifact.runnable
+
+    # A fresh system with a fresh cache object on the same directory
+    # models a new process: same sources, same (empty) profile.
+    counters = _Counters()
+    second = SchemeSystem(artifact_cache=ArtifactCache(cache_dir))
+    warm = second.compile_cached(PROGRAM, "prog.ss")
+    assert counters.delta("artifact_cache_hits_total") == 1
+    assert counters.delta("expansions_total") == 0, "no re-expansion at all"
+    assert warm.runnable and warm.program is None, "loaded from disk"
+    assert warm.expansion_text == artifact.expansion_text
+    value = warm.execute(second.runtime_env)
+    assert write_datum(value) == write_datum(
+        first.run(artifact.program).value
+    )
+
+
+def test_corrupt_disk_artifact_is_a_miss(tmp_path):
+    cache_dir = tmp_path / "artifacts"
+    system = SchemeSystem(artifact_cache=ArtifactCache(cache_dir))
+    artifact = system.compile_cached(PROGRAM, "prog.ss")
+    path = cache_dir / artifact_filename(artifact.key)
+    assert path.exists()
+    path.write_text("def _pgmp_main(:  # truncated mid-write\n")
+
+    counters = _Counters()
+    fresh = SchemeSystem(artifact_cache=ArtifactCache(cache_dir))
+    recompiled = fresh.compile_cached(PROGRAM, "prog.ss")
+    assert counters.delta("artifact_cache_misses_total") == 1
+    assert recompiled.runnable
+    assert path.read_text() != "def _pgmp_main(:  # truncated mid-write\n", (
+        "the miss rewrote a good artifact"
+    )
+
+
+def test_disk_artifact_is_readable_python(tmp_path):
+    cache_dir = tmp_path / "artifacts"
+    system = SchemeSystem(artifact_cache=ArtifactCache(cache_dir))
+    artifact = system.compile_cached(PROGRAM, "prog.ss")
+    text = (cache_dir / artifact_filename(artifact.key)).read_text()
+    assert "def _pgmp_main(GB, H, C):" in text
+    assert "__pgmp_meta__" in text
+    compile(text, "<artifact>", "exec")  # debuggable: it's plain Python
+
+
+@pytest.mark.parametrize("flavor", ["instr", "budget"])
+def test_non_plain_flavors_stay_in_memory(tmp_path, flavor):
+    cache_dir = tmp_path / "artifacts"
+    system = SchemeSystem(artifact_cache=ArtifactCache(cache_dir))
+    artifact = system.compile_cached(PROGRAM, "prog.ss", flavor=flavor)
+    assert artifact.flavor == flavor
+    assert not (cache_dir / artifact_filename(artifact.key)).exists(), (
+        "hook sites reference in-memory profile points; only plain "
+        "artifacts are written out"
+    )
+    assert system.compile_cached(PROGRAM, "prog.ss", flavor=flavor) is artifact
+
+
+def _run_cli(args, cwd):
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.tools.cli", *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        env=env,
+        timeout=120,
+    )
+
+
+def test_warm_optimize_across_processes(tmp_path):
+    # The CLI end of the contract: two separate `pgmp optimize` processes
+    # sharing a --cache-dir print byte-identical expansions, the second
+    # from the cached artifact.
+    program = tmp_path / "prog.ss"
+    program.write_text(PROGRAM)
+    profile = tmp_path / "weights.json"
+    store = _run_cli(
+        ["profile", str(program), "--out", str(profile)], tmp_path
+    )
+    assert store.returncode == 0, store.stderr
+    cache_dir = str(tmp_path / "artifacts")
+    runs = [
+        _run_cli(
+            [
+                "optimize",
+                str(program),
+                "--profile-file",
+                str(profile),
+                "--cache-dir",
+                cache_dir,
+            ],
+            tmp_path,
+        )
+        for _ in range(2)
+    ]
+    for run in runs:
+        assert run.returncode == 0, run.stderr
+    assert runs[0].stdout == runs[1].stdout
+    assert runs[0].stdout.strip(), "the optimized expansion was printed"
+
+
+def test_warm_optimize_performs_zero_expansions(tmp_path):
+    # In-process twin of the acceptance criterion, asserted via metrics.
+    cache = ArtifactCache(tmp_path / "artifacts")
+    cold = SchemeSystem(artifact_cache=cache)
+    cold.compile_cached(PROGRAM, "prog.ss")
+    counters = _Counters()
+    warm = SchemeSystem(artifact_cache=ArtifactCache(tmp_path / "artifacts"))
+    artifact = warm.compile_cached(PROGRAM, "prog.ss")
+    assert artifact.expansion_text
+    assert counters.delta("expansions_total") == 0
+    assert counters.delta("artifact_cache_hits_total") == 1

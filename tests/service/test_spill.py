@@ -1,5 +1,10 @@
 """The spill log: per-frame durability and torn-tail recovery."""
 
+import logging
+
+import pytest
+
+from repro.core.errors import DeltaFormatError
 from repro.service.spill import SpillLog
 from repro.testing.faults import tear_spill_log
 
@@ -63,3 +68,57 @@ def test_corrupt_payload_stops_replay_at_the_damage(tmp_path):
     frames, torn = log.replay()
     assert frames == _frames(1)
     assert torn
+
+
+def test_corrupt_frame_logs_a_warning(tmp_path, caplog):
+    import struct
+
+    log = SpillLog(tmp_path / "spill.bin")
+    log.append(_frames(1)[0])
+    with open(log.path, "ab") as handle:
+        handle.write(struct.pack(">I", 4) + b"\x00\xffxx")
+    with caplog.at_level(logging.WARNING, logger="repro.service.spill"):
+        frames, torn = log.replay()
+    assert torn and frames == _frames(1)
+    [record] = [r for r in caplog.records if "corrupt frame" in r.getMessage()]
+    assert "1 recovered frame(s)" in record.getMessage()
+    assert log.path in record.getMessage()
+
+
+class _BuggyDecoder:
+    """A decoder with a programming error, not corrupt input."""
+
+    partial = False
+
+    def feed(self, data):
+        raise AttributeError("'NoneType' object has no attribute 'unpack'")
+
+
+def test_decoder_bug_propagates_instead_of_reporting_torn(tmp_path, monkeypatch):
+    # Regression: replay used to catch bare Exception, so a decoder *bug*
+    # (AttributeError and friends) was silently misreported as a torn log
+    # and the frames were dropped. Only DeltaFormatError means corruption.
+    log = SpillLog(tmp_path / "spill.bin")
+    log.append(_frames(1)[0])
+    monkeypatch.setattr("repro.service.spill.FrameDecoder", _BuggyDecoder)
+    with pytest.raises(AttributeError):
+        log.replay()
+
+
+class _RejectingDecoder:
+    """A decoder that reports every byte stream as corrupt."""
+
+    partial = False
+
+    def feed(self, data):
+        raise DeltaFormatError("frame 0: bad magic")
+
+
+def test_decode_error_is_torn_with_zero_frames(tmp_path, monkeypatch, caplog):
+    log = SpillLog(tmp_path / "spill.bin")
+    log.append(_frames(1)[0])
+    monkeypatch.setattr("repro.service.spill.FrameDecoder", _RejectingDecoder)
+    with caplog.at_level(logging.WARNING, logger="repro.service.spill"):
+        frames, torn = log.replay()
+    assert frames == [] and torn
+    assert any("corrupt frame" in r.getMessage() for r in caplog.records)
