@@ -72,6 +72,9 @@ SPAN_KINDS = frozenset(
         "query",        # reserved for aggregated query phases
         "optimize",     # post-expansion optimization (simplify, layout)
         "recompile",    # an online recompilation (service controller)
+        "rollout",      # a guarded recompile-and-swap (canary + journal)
+        "canary",       # pre-swap differential validation of a candidate
+        "rollback",     # restoring a previous journaled generation
     }
 )
 

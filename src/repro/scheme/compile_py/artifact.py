@@ -12,6 +12,7 @@ Programs the backend cannot translate still produce an artifact — with
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.core.errors import SchemeRecursionError
@@ -29,6 +30,7 @@ from repro.scheme.instrument import Instrumenter
 __all__ = [
     "ArtifactKey",
     "CompiledArtifact",
+    "artifact_checksum",
     "compile_program",
     "flavor_for",
 ]
@@ -79,6 +81,37 @@ class CompiledArtifact:
     @property
     def runnable(self) -> bool:
         return self.main is not None
+
+    def self_check(self) -> list[str]:
+        """Integrity problems with this artifact (empty = healthy).
+
+        The rollout guard runs this before a swap: a misrendered or
+        tampered artifact must be caught at the canary, not in the
+        serving path. Checks are structural — the *behavioral* check is
+        the canary's differential battery.
+        """
+        problems: list[str] = []
+        if self.flavor not in ("plain", "instr", "budget", "instr+budget"):
+            problems.append(f"unknown flavor {self.flavor!r}")
+        if self.codegen_version != CODEGEN_VERSION:
+            problems.append(
+                f"codegen version {self.codegen_version} != "
+                f"current {CODEGEN_VERSION}"
+            )
+        if self.main is not None and not callable(self.main):
+            problems.append("main entry point is not callable")
+        if self.python_source:
+            try:
+                compile(
+                    self.python_source,
+                    f"<pgmp-selfcheck {self.filename}>",
+                    "exec",
+                )
+            except SyntaxError as exc:
+                problems.append(f"generated source does not parse: {exc}")
+        elif self.main is not None and "instr" not in self.flavor:
+            problems.append("runnable artifact carries no generated source")
+        return problems
 
     def execute(
         self,
@@ -165,19 +198,36 @@ def compile_program(
     )
 
 
+#: Marker separating the generated module body from its metadata literal.
+_META_MARKER = "\n__pgmp_meta__ = "
+
+
+def artifact_checksum(body: str) -> str:
+    """Content digest of an artifact module body (the part above the
+    ``__pgmp_meta__`` literal)."""
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()[:16]
+
+
 def load_artifact_source(
     text: str, filename: str, key: ArtifactKey
 ) -> CompiledArtifact | None:
     """Rebuild an artifact from a cached on-disk module.
 
     Returns None — a cache miss — when the module doesn't exec, carries no
-    metadata, or was written for a different key (stale or corrupt file).
+    metadata, fails its checksum (bit rot or tampering between store and
+    load), or was written for a different key (stale or corrupt file).
     Only ``plain``-flavor artifacts live on disk (hook sites reference
     in-memory profile points), so ``hook_sites`` is always empty here.
     """
     try:
+        marker = text.rfind(_META_MARKER)
+        if marker < 0:
+            return None
+        body = text[: marker + 1]  # include the trailing newline
         namespace = _exec_module(text, filename)
         meta = namespace["__pgmp_meta__"]
+        if meta.get("checksum") != artifact_checksum(body):
+            return None
         if list(meta["key"]) != list(key):
             return None
         return CompiledArtifact(
@@ -203,12 +253,6 @@ def render_artifact_module(artifact: CompiledArtifact) -> str:
     everything ``pgmp optimize`` prints on a warm hit — so a hit performs
     zero re-expansions.
     """
-    meta = {
-        "key": list(artifact.key) if artifact.key is not None else None,
-        "expansion_text": artifact.expansion_text,
-        "compile_output": artifact.compile_output,
-        "unsupported_reason": artifact.unsupported_reason,
-    }
     source = artifact.python_source
     if not source:
         source = (
@@ -216,4 +260,12 @@ def render_artifact_module(artifact: CompiledArtifact) -> str:
             "# so warm pipelines still skip re-expansion.\n"
             "_pgmp_main = None\n"
         )
-    return f"{source}\n__pgmp_meta__ = {meta!r}\n"
+    body = f"{source}\n"
+    meta = {
+        "key": list(artifact.key) if artifact.key is not None else None,
+        "expansion_text": artifact.expansion_text,
+        "compile_output": artifact.compile_output,
+        "unsupported_reason": artifact.unsupported_reason,
+        "checksum": artifact_checksum(body),
+    }
+    return f"{body}__pgmp_meta__ = {meta!r}\n"

@@ -34,7 +34,15 @@ from repro.service.delta import (
     read_frame,
     write_frame,
 )
+from repro.service.aggregator import StopResult
 from repro.service.metrics import ServiceMetrics
+from repro.service.rollout import (
+    CanaryResult,
+    CircuitBreaker,
+    GenerationJournal,
+    RolloutGuard,
+    scheme_canary,
+)
 from repro.service.shipper import ProfileShipper
 from repro.service.spill import SpillLog
 from repro.service.transport import ServiceAddress, connect, parse_address
@@ -54,6 +62,12 @@ __all__ = [
     "weight_drift",
     "scheme_recompiler",
     "pyast_recompiler",
+    "RolloutGuard",
+    "GenerationJournal",
+    "CircuitBreaker",
+    "CanaryResult",
+    "scheme_canary",
+    "StopResult",
     "encode_frame",
     "read_frame",
     "write_frame",

@@ -36,6 +36,7 @@ import socketserver
 import threading
 import time
 from collections.abc import Mapping
+from dataclasses import dataclass, field
 
 from repro.core.counters import CounterSet
 from repro.core.database import (
@@ -59,10 +60,43 @@ from repro.service.transport import ServiceAddress, parse_address
 
 logger = get_logger(__name__)
 
-__all__ = ["ProfileAggregator", "STATE_FORMAT_VERSION"]
+__all__ = ["ProfileAggregator", "StopResult", "STATE_FORMAT_VERSION"]
 
 #: Version tag of the aggregator's private state file.
 STATE_FORMAT_VERSION = 1
+
+
+@dataclass
+class StopResult:
+    """What :meth:`ProfileAggregator.stop` managed to shut down.
+
+    A thread that does not join within the timeout is *abandoned*, not
+    ignored: it is named here and logged as an error, and the CLI turns
+    a dirty stop into a non-zero exit code — a handler wedged on a dead
+    peer must not look like a clean shutdown.
+    """
+
+    stuck_threads: list[str] = field(default_factory=list)
+    checkpoint_ok: bool = True
+
+    @property
+    def clean(self) -> bool:
+        """No thread was abandoned. The final checkpoint's outcome is
+        reported separately (``checkpoint_ok``) because checkpoint
+        failures already degrade per policy during normal operation."""
+        return not self.stuck_threads
+
+    def __str__(self) -> str:
+        if self.clean:
+            return "stopped cleanly"
+        parts = []
+        if self.stuck_threads:
+            parts.append(
+                "stuck thread(s): " + ", ".join(self.stuck_threads)
+            )
+        if not self.checkpoint_ok:
+            parts.append("final checkpoint failed")
+        return "; ".join(parts)
 
 
 class _DatasetSlot:
@@ -110,11 +144,23 @@ class _Handler(socketserver.BaseRequestHandler):
     def handle(self) -> None:
         aggregator = self.server.aggregator  # type: ignore[attr-defined]
         aggregator.metrics.inc("connections_total")
+        if aggregator.read_timeout is not None:
+            # A stalled or vanished client must not pin this handler
+            # thread forever: reads give up after the timeout and the
+            # connection drops (the shipper's spill log replays).
+            self.request.settimeout(aggregator.read_timeout)
         stream = self.request.makefile("rwb")
         try:
             while True:
                 try:
                     frame = read_frame(stream)
+                except TimeoutError:
+                    aggregator.metrics.inc("handler_read_timeouts_total")
+                    logger.warning(
+                        "dropping connection: no frame within %.1fs",
+                        aggregator.read_timeout,
+                    )
+                    return
                 except DeltaFormatError:
                     # A torn or corrupt stream: nothing sensible can follow.
                     aggregator.metrics.inc("protocol_errors_total")
@@ -152,6 +198,7 @@ class ProfileAggregator:
         degradations: DegradationLog | None = None,
         metrics: ServiceMetrics | None = None,
         metrics_port: int | None = None,
+        read_timeout: float | None = 30.0,
         name: str = "profile-information",
     ) -> None:
         self.listen = parse_address(listen)
@@ -159,6 +206,8 @@ class ProfileAggregator:
         self.state_path = state_path
         self.checkpoint_interval = float(checkpoint_interval)
         self.controller = controller
+        #: per-connection read timeout for handler threads (None = never)
+        self.read_timeout = float(read_timeout) if read_timeout else None
         self.policy = ProfilePolicy.coerce(policy)
         self.degradations = (
             degradations if degradations is not None else DegradationLog()
@@ -219,6 +268,10 @@ class ProfileAggregator:
         )
         m.describe("connections_total", "Shipper connections accepted")
         m.describe("protocol_errors_total", "Connections dropped on torn frames")
+        m.describe(
+            "handler_read_timeouts_total",
+            "Connections dropped because a client sent no frame in time",
+        )
         m.describe("datasets", "Live (dataset, fingerprint) counter sets")
         m.describe("ingest_latency", "Per-delta apply latency")
         m.describe("recompile_pause", "Recompile-and-swap pause")
@@ -245,6 +298,10 @@ class ProfileAggregator:
             return {"type": "metrics", "text": self.metrics.render()}
         if kind == "ping":
             return {"type": "pong"}
+        if kind == "rollback":
+            return self._handle_rollback(frame)
+        if kind == "observe":
+            return self._handle_observe(frame)
         if kind == "shutdown":
             self.shutdown_requested.set()
             return None
@@ -329,6 +386,67 @@ class ProfileAggregator:
         )
         return {"type": "ack", "seq": delta.seq, "status": "applied"}
 
+    def _handle_rollback(self, frame: dict) -> dict:
+        """``pgmp rollback`` over the wire: force a manual rollback."""
+        if self.controller is None:
+            return {
+                "type": "rollback",
+                "status": "unavailable",
+                "error": "no recompile controller configured",
+            }
+        reason = str(frame.get("reason", "manual rollback (wire request)"))
+        try:
+            decision = self.controller.rollback(reason=reason)
+        except Exception as exc:
+            degrade(
+                "rollback",
+                f"rollback raised: {exc}",
+                "keeping the currently-deployed artifact",
+                policy=self.policy,
+                log=self.degradations,
+            )
+            return {"type": "rollback", "status": "failed", "error": str(exc)}
+        return {
+            "type": "rollback",
+            "status": "ok" if decision.recompiled else "unavailable",
+            "generation": decision.generation,
+            "reason": decision.reason,
+        }
+
+    def _handle_observe(self, frame: dict) -> dict:
+        """A serving-path health sample for the rollout watch window."""
+        if self.controller is None:
+            return {
+                "type": "ack",
+                "status": "ignored",
+                "error": "no recompile controller configured",
+            }
+        ok = frame.get("ok")
+        if not isinstance(ok, bool):
+            self.metrics.inc("deltas_rejected_total")
+            return {
+                "type": "ack",
+                "status": "rejected",
+                "error": "observe frame needs a boolean 'ok'",
+            }
+        latency = frame.get("latency")
+        if latency is not None and not isinstance(latency, (int, float)):
+            self.metrics.inc("deltas_rejected_total")
+            return {
+                "type": "ack",
+                "status": "rejected",
+                "error": "observe frame 'latency' must be a number",
+            }
+        decision = self.controller.observe_health(
+            ok, float(latency) if latency is not None else None
+        )
+        response: dict = {"type": "ack", "status": "observed",
+                          "rolled_back": decision is not None}
+        if decision is not None:
+            response["generation"] = decision.generation
+            response["reason"] = decision.reason
+        return response
+
     def _stale_files(self, fingerprints: Mapping[str, str]) -> list[str]:
         return sorted(
             filename
@@ -352,13 +470,18 @@ class ProfileAggregator:
                 shipper: self._ledger.applied_count(shipper)
                 for shipper in self._ledger.shippers()
             }
-        return {
+        stats: dict = {
             "type": "stats",
             "datasets": datasets,
             "shippers": shippers,
             "quarantined": len(self.quarantine),
             "metrics": self.metrics.snapshot(),
         }
+        if self.controller is not None:
+            rollout = self.controller.rollout_status()
+            if rollout is not None:
+                stats["rollout"] = rollout
+        return stats
 
     # -- merged views ------------------------------------------------------
 
@@ -560,28 +683,53 @@ class ProfileAggregator:
             )
             return None
 
-    def stop(self) -> None:
-        """Stop serving, final checkpoint, release the port/socket."""
+    def stop(self, join_timeout: float = 10.0) -> StopResult:
+        """Stop serving, final checkpoint, release the port/socket.
+
+        Returns a :class:`StopResult`; a thread still alive after
+        ``join_timeout`` is reported there (and logged as an error)
+        instead of being silently abandoned.
+        """
+        result = StopResult()
         self._stop.set()
         if self._server is not None:
             self._server.shutdown()
             self._server.server_close()
             self._server = None
-        if self._server_thread is not None:
-            self._server_thread.join(timeout=10.0)
-            self._server_thread = None
-        if self._housekeeper is not None:
-            self._housekeeper.join(timeout=10.0)
-            self._housekeeper = None
+        self._server_thread = self._join_or_report(
+            self._server_thread, join_timeout, result
+        )
+        self._housekeeper = self._join_or_report(
+            self._housekeeper, join_timeout, result
+        )
         if self._metrics_server is not None:
             self._metrics_server.shutdown()
             self._metrics_server.server_close()
             self._metrics_server = None
-        if self._metrics_thread is not None:
-            self._metrics_thread.join(timeout=10.0)
-            self._metrics_thread = None
-        self.checkpoint()
-        logger.info("aggregator %s stopped", self.name)
+        self._metrics_thread = self._join_or_report(
+            self._metrics_thread, join_timeout, result
+        )
+        result.checkpoint_ok = self.checkpoint()
+        logger.info("aggregator %s stopped (%s)", self.name, result)
+        return result
+
+    def _join_or_report(
+        self,
+        thread: threading.Thread | None,
+        join_timeout: float,
+        result: StopResult,
+    ) -> threading.Thread | None:
+        if thread is None:
+            return None
+        thread.join(timeout=join_timeout)
+        if thread.is_alive():
+            result.stuck_threads.append(thread.name)
+            logger.error(
+                "thread %r did not stop within %.1fs; abandoning it "
+                "(daemon thread, dies with the process)",
+                thread.name, join_timeout,
+            )
+        return None
 
     def __enter__(self) -> "ProfileAggregator":
         return self.start()
@@ -604,6 +752,16 @@ class ProfileAggregator:
                     )
                 elif self.path == "/healthz":
                     body = b"ok\n"
+                    rollout = (
+                        aggregator.controller.rollout_status()
+                        if aggregator.controller is not None
+                        else None
+                    )
+                    if rollout is not None:
+                        body = (
+                            f"ok generation={rollout['generation']} "
+                            f"breaker={rollout['breaker']}\n"
+                        ).encode("utf-8")
                     self.send_response(200)
                     self.send_header("Content-Type", "text/plain")
                 else:

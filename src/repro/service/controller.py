@@ -34,6 +34,7 @@ from repro.obs.logs import get_logger
 from repro.obs.metrics import get_global_metrics
 from repro.obs.tracer import DecisionRecord, Tracer, using_tracer
 from repro.service.metrics import ServiceMetrics
+from repro.service.rollout import CanaryResult, RolloutGuard
 
 __all__ = [
     "weight_drift",
@@ -198,6 +199,15 @@ class RecompileController:
       recompile updates both or (if ``recompile`` raises) neither;
     * decisions are serialized — concurrent :meth:`maybe_recompile` calls
       cannot both recompile for the same drift.
+
+    With a :class:`~repro.service.rollout.RolloutGuard` attached, every
+    swap additionally passes the guard's gates: quarantine check and
+    circuit breaker before the recompile, canary validation after it,
+    and a fsynced journal write *before* the in-memory swap — so
+    :meth:`rollback` (manual, or automatic via :meth:`observe_health`)
+    can restore the previous generation, and
+    :meth:`resume_from_journal` can rebuild the journaled live
+    generation after a crash.
     """
 
     def __init__(
@@ -207,6 +217,7 @@ class RecompileController:
         threshold: float = 0.05,
         log: RecompilationLog | None = None,
         metrics: ServiceMetrics | None = None,
+        guard: RolloutGuard | None = None,
     ) -> None:
         if not 0.0 <= float(threshold) <= 1.0:
             raise ValueError(
@@ -216,6 +227,7 @@ class RecompileController:
         self.threshold = float(threshold)
         self.log = log if log is not None else RecompilationLog()
         self.metrics = metrics
+        self.guard = guard
         self._lock = threading.Lock()
         self._artifact: Any = None
         self._baseline: dict[str, float] | None = None
@@ -264,23 +276,95 @@ class RecompileController:
                     reason="drift within threshold",
                 )
                 return self.log.record(decision)
+            guard = self.guard
+            if guard is not None:
+                fingerprint = db.merged_fingerprint()
+                if guard.is_quarantined(fingerprint):
+                    decision = RecompilationDecision(
+                        generation=self._generation,
+                        drift=drift,
+                        threshold=self.threshold,
+                        recompiled=False,
+                        reason=(
+                            f"profile snapshot quarantined "
+                            f"({fingerprint[:12]})"
+                        ),
+                    )
+                    return self.log.record(decision)
+                allowed, retry_in = guard.breaker.allow()
+                if not allowed:
+                    state = guard.breaker.state
+                    reason = f"circuit breaker {state}"
+                    if retry_in > 0:
+                        reason += f" (retry in {retry_in:.1f}s)"
+                    else:
+                        reason += " (probe recompile in flight)"
+                    decision = RecompilationDecision(
+                        generation=self._generation,
+                        drift=drift,
+                        threshold=self.threshold,
+                        recompiled=False,
+                        reason=reason,
+                    )
+                    return self.log.record(decision)
             started = time.perf_counter()
+            next_generation = self._generation + 1
             # Trace the recompile's expansion so this decision can be
             # tagged with how the meta-programs' choices moved relative to
             # the previous artifact (the decision-provenance diff).
             tracer = Tracer()
-            with using_tracer(tracer), tracer.span(
-                "recompile", f"generation-{self._generation + 1}"
-            ):
-                artifact = self._recompile(db)
+            canary: CanaryResult | None = None
+            try:
+                with using_tracer(tracer), tracer.span(
+                    "rollout" if guard is not None else "recompile",
+                    f"generation-{next_generation}",
+                ):
+                    if guard is not None:
+                        with tracer.span(
+                            "recompile", f"generation-{next_generation}"
+                        ):
+                            artifact = self._recompile(db)
+                        canary = guard.validate(artifact)
+                    else:
+                        artifact = self._recompile(db)
+            except Exception:
+                if guard is not None:
+                    guard.breaker.record_failure()
+                raise
             pause = time.perf_counter() - started
             get_global_metrics().inc("traces_total")
+            if canary is not None and not canary.passed:
+                # The candidate never goes live: keep the deployed
+                # artifact, count the strike against the breaker.
+                assert guard is not None
+                guard.breaker.record_failure()
+                decision = RecompilationDecision(
+                    generation=self._generation,
+                    drift=drift,
+                    threshold=self.threshold,
+                    recompiled=False,
+                    reason=f"canary failed: {canary.summary()}",
+                    pause_seconds=pause,
+                )
+                logger.warning(
+                    "candidate generation %d rejected by canary: %s",
+                    next_generation, canary.summary(),
+                )
+                return self.log.record(decision)
             decisions = tracer.decisions()
             diff, changed = decision_diff(self._last_decisions, decisions)
+            if guard is not None:
+                # Journal before the swap: a crash after this point
+                # resumes on the new generation, a crash before it on
+                # the old one — never on a half-deployed mixture.
+                guard.commit(next_generation, db, merged)
             self._artifact = artifact
             self._baseline = dict(merged)
             self._last_decisions = decisions
-            self._generation += 1
+            self._generation = next_generation
+            if guard is not None:
+                guard.breaker.record_success()
+                guard.begin_watch(next_generation)
             decision = RecompilationDecision(
                 generation=self._generation,
                 drift=drift,
@@ -307,6 +391,161 @@ class RecompileController:
                 "recompile_decisions_changed", decision.decisions_changed
             )
         return self.log.record(decision)
+
+    def rollback(self, reason: str = "manual rollback") -> RecompilationDecision:
+        """Restore the previous journaled generation and quarantine the
+        offending profile snapshot.
+
+        Rebuilds the target artifact by re-running the recompiler
+        against the journaled merged-profile snapshot — deterministic
+        expansion plus the profile-keyed artifact cache make that
+        reproduce (usually just re-fetch) the artifact that generation
+        deployed. The offending generation's fingerprint is quarantined
+        so the still-drifted merged profile cannot immediately
+        re-trigger the same bad recompile (the ping-pong loop).
+        Skips the canary and the breaker: the target generation already
+        proved itself in production, and rolling back must work
+        precisely when recompiles are failing.
+        """
+        with self._lock:
+            guard = self.guard
+            if guard is None:
+                decision = RecompilationDecision(
+                    generation=self._generation,
+                    drift=0.0,
+                    threshold=self.threshold,
+                    recompiled=False,
+                    reason="no rollout guard configured",
+                )
+                return self.log.record(decision)
+            live = guard.journal.live()
+            target = guard.journal.rollback_target()
+            if live is None or target is None:
+                decision = RecompilationDecision(
+                    generation=self._generation,
+                    drift=0.0,
+                    threshold=self.threshold,
+                    recompiled=False,
+                    reason="nothing to roll back to",
+                )
+                return self.log.record(decision)
+            started = time.perf_counter()
+            snapshot = guard.journal.load_snapshot(target)
+            tracer = Tracer()
+            with using_tracer(tracer), tracer.span(
+                "rollback",
+                f"generation-{live.generation}->generation-{target.generation}",
+                reason=reason,
+            ):
+                artifact = self._recompile(snapshot)
+            pause = time.perf_counter() - started
+            get_global_metrics().inc("traces_total")
+            decisions = tracer.decisions()
+            diff, changed = decision_diff(self._last_decisions, decisions)
+            self._artifact = artifact
+            self._baseline = dict(target.baseline)
+            self._last_decisions = decisions
+            guard.journal.quarantine(
+                live.profile_fingerprint, live.generation, reason
+            )
+            guard.journal.roll_back(live.generation, target.generation)
+            guard.end_watch()
+            decision = RecompilationDecision(
+                generation=target.generation,
+                drift=0.0,
+                threshold=self.threshold,
+                recompiled=True,
+                reason=(
+                    f"rolled back generation {live.generation} -> "
+                    f"{target.generation}: {reason}"
+                ),
+                pause_seconds=pause,
+                decision_diff=diff,
+                decisions_changed=changed,
+            )
+        logger.warning(
+            "rolled back generation %d -> %d (%s); quarantined profile %s",
+            live.generation, target.generation, reason,
+            live.profile_fingerprint[:12],
+        )
+        if self.metrics is not None:
+            self.metrics.inc("rollbacks_total")
+            self.metrics.set_gauge("recompile_generation", target.generation)
+            self.metrics.set_gauge("rollout_generation", target.generation)
+        return self.log.record(decision)
+
+    def observe_health(
+        self, ok: bool, latency: float | None = None
+    ) -> RecompilationDecision | None:
+        """Feed one serving-path health sample to the guard's watch
+        window; performs the automatic rollback when the window's error
+        budget or latency SLO is blown. Returns the rollback decision
+        when one happened."""
+        if self.guard is None:
+            return None
+        trigger = self.guard.observe(ok, latency)
+        if trigger is None:
+            return None
+        return self.rollback(reason=trigger)
+
+    def resume_from_journal(self) -> RecompilationDecision | None:
+        """Rebuild the journaled live generation after a restart.
+
+        A crash between the journal write and the swap — or any crash
+        after a rollout — leaves the journal naming a generation this
+        process no longer holds in memory. Recompiling from that
+        generation's profile snapshot reproduces its artifact (the
+        journal write preceded the swap, so the journal is never behind
+        the artifact that was serving). No-op without a guard, without
+        journal history, or once an artifact is already deployed.
+        """
+        with self._lock:
+            guard = self.guard
+            if guard is None or self._artifact is not None:
+                return None
+            live = guard.journal.live()
+            if live is None:
+                return None
+            started = time.perf_counter()
+            snapshot = guard.journal.load_snapshot(live)
+            tracer = Tracer()
+            with using_tracer(tracer), tracer.span(
+                "recompile", f"generation-{live.generation}-resume"
+            ):
+                artifact = self._recompile(snapshot)
+            pause = time.perf_counter() - started
+            get_global_metrics().inc("traces_total")
+            decisions = tracer.decisions()
+            diff, changed = decision_diff(None, decisions)
+            self._artifact = artifact
+            self._baseline = dict(live.baseline)
+            self._last_decisions = decisions
+            self._generation = live.generation
+            decision = RecompilationDecision(
+                generation=live.generation,
+                drift=0.0,
+                threshold=self.threshold,
+                recompiled=True,
+                reason=f"resumed generation {live.generation} from journal",
+                pause_seconds=pause,
+                decision_diff=diff,
+                decisions_changed=changed,
+            )
+        logger.info(
+            "resumed generation %d from the rollout journal",
+            decision.generation,
+        )
+        if self.metrics is not None:
+            self.metrics.set_gauge("recompile_generation", decision.generation)
+            self.metrics.set_gauge("rollout_generation", decision.generation)
+        return self.log.record(decision)
+
+    def rollout_status(self) -> dict | None:
+        """The guard's status block for ``stats``/``/healthz`` (``None``
+        without a guard)."""
+        if self.guard is None:
+            return None
+        return self.guard.status()
 
     def __repr__(self) -> str:
         return (

@@ -32,6 +32,10 @@ __all__ = [
     "profile_lock_contention",
     "corrupt_profile_file",
     "tear_spill_log",
+    "poison_compiled_program",
+    "poisoned_recompiles",
+    "failing_canary",
+    "crash_after_journal_commit",
 ]
 
 #: Modules that bind ``atomic_write_text`` by name at import time. Patching
@@ -175,3 +179,112 @@ def tear_spill_log(path: str | os.PathLike[str], drop_bytes: int = 3) -> None:
         return
     with open(path, "r+b") as handle:
         handle.truncate(max(1, size - drop_bytes))
+
+
+# -- rollout-path faults -----------------------------------------------------
+#
+# The rollout guard exists to survive a *misbehaving artifact*: one that
+# loads fine but computes the wrong thing. These injectors manufacture
+# that failure deterministically, at the three points where it can slip
+# in — the recompile output, the canary verdict, and the gap between the
+# journal write and the swap.
+
+
+def poison_compiled_program(program: object, value: object = 424242) -> None:
+    """Seed ``program``'s per-flavor artifact memo with *misbehaving*
+    compiled artifacts: structurally healthy (they load, parse, and
+    self-check clean) but returning ``value`` instead of the program's
+    real result — the failure mode only differential validation or
+    production observation can catch.
+
+    Mutates the Program in place (and therefore any cache entry holding
+    it); restore by recompiling or by clearing ``program.artifacts``.
+    """
+    from repro.scheme.compile_py.artifact import CompiledArtifact
+
+    def misbehaving_main(
+        global_env: object, hooks: object, charge: object
+    ) -> object:
+        return value
+
+    for flavor in ("plain", "instr", "budget", "instr+budget"):
+        program.artifacts[flavor] = CompiledArtifact(  # type: ignore[attr-defined]
+            python_source=(
+                "# injected fault: misbehaving compiled artifact\n"
+                "_pgmp_main = None\n"
+            ),
+            filename="<injected-fault>",
+            flavor=flavor,
+            hook_sites=[],
+            expansion_text="",
+            compile_output="",
+            main=misbehaving_main,
+        )
+
+
+@contextlib.contextmanager
+def poisoned_recompiles(
+    controller: object, value: object = 424242
+) -> Iterator[None]:
+    """Every recompile the controller performs yields a misbehaving
+    artifact (see :func:`poison_compiled_program`): the expansion is the
+    real one, but the compiled execution path returns ``value``.
+
+    Caveat: the poison mutates the Program object, which the artifact
+    cache may keep — recompiling against the same merged profile after
+    the context exits can resurface the poisoned entry.
+    """
+    real = controller._recompile  # type: ignore[attr-defined]
+
+    def poisoned(db: object) -> object:
+        program = real(db)
+        poison_compiled_program(program, value)
+        return program
+
+    controller._recompile = poisoned  # type: ignore[attr-defined]
+    try:
+        yield
+    finally:
+        controller._recompile = real  # type: ignore[attr-defined]
+
+
+@contextlib.contextmanager
+def failing_canary(
+    guard: object, reason: str = "injected fault: canary failure"
+) -> Iterator[None]:
+    """The guard's canary rejects every candidate with ``reason`` —
+    deterministic canary failure, for driving the circuit breaker."""
+    from repro.service.rollout import CanaryResult
+
+    real = guard.validator  # type: ignore[attr-defined]
+
+    def fail(candidate: object) -> CanaryResult:
+        return CanaryResult(passed=False, probes=1, failures=(reason,))
+
+    guard.validator = fail  # type: ignore[attr-defined]
+    try:
+        yield
+    finally:
+        guard.validator = real  # type: ignore[attr-defined]
+
+
+@contextlib.contextmanager
+def crash_after_journal_commit(
+    guard: object, message: str = "injected fault: crashed after journal write"
+) -> Iterator[None]:
+    """The controller process "dies" between the journal write and the
+    in-memory swap: :meth:`RolloutGuard.commit` performs the real
+    (fsynced) journal write, then raises. Restart-and-resume tests
+    assert the journaled generation is what a fresh controller serves.
+    """
+    real = guard.commit  # type: ignore[attr-defined]
+
+    def commit_then_crash(*args: object, **kwargs: object) -> object:
+        real(*args, **kwargs)
+        raise RuntimeError(message)
+
+    guard.commit = commit_then_crash  # type: ignore[attr-defined]
+    try:
+        yield
+    finally:
+        guard.commit = real  # type: ignore[attr-defined]

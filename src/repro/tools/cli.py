@@ -12,6 +12,7 @@ Subcommands mirror the paper's workflow:
 * ``pgmp lint FILE...``   — static soundness & profile-hygiene analysis
 * ``pgmp serve``          — run the continuous-profiling aggregator
 * ``pgmp ship FILE``      — run instrumented, streaming deltas to ``serve``
+* ``pgmp rollback``       — force a running ``serve`` back one generation
 * ``pgmp trace FILE``     — record decision provenance during expansion
 * ``pgmp explain FILE``   — why the expansion looks the way it does at a line
 
@@ -374,6 +375,76 @@ def build_parser() -> argparse.ArgumentParser:
         "and failed recompiles (default: warn — a profile service should "
         "log and keep serving)",
     )
+    p_serve.add_argument(
+        "--read-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-connection read timeout for handler threads; a client "
+        "sending no frame for this long is dropped (0 = never, "
+        "default: 30)",
+    )
+    p_serve.add_argument(
+        "--no-rollout-guard",
+        action="store_true",
+        help="swap recompiled artifacts without canary validation, "
+        "journaling, or the circuit breaker (the pre-guard behavior)",
+    )
+    p_serve.add_argument(
+        "--canary-probes",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="extra Scheme programs the pre-swap canary battery runs "
+        "differentially (compiled vs interpreter); may repeat. The "
+        "--optimize program itself is always probed",
+    )
+    p_serve.add_argument(
+        "--journal-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for the fsynced generation journal (profile "
+        "snapshots of the last --max-generations rollouts), enabling "
+        "rollback and crash resume; default: in-memory only",
+    )
+    p_serve.add_argument(
+        "--rollback-window",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="post-swap watch window: error-budget breaches observed "
+        "within it trigger automatic rollback (default: 30)",
+    )
+    p_serve.add_argument(
+        "--max-generations",
+        type=int,
+        default=5,
+        metavar="N",
+        help="journaled generations kept for rollback (default: 5)",
+    )
+
+    p_rollback = sub.add_parser(
+        "rollback",
+        help="force a running pgmp serve to roll back one generation",
+    )
+    p_rollback.add_argument(
+        "--connect",
+        required=True,
+        metavar="ADDR",
+        help="aggregator address: host:port or unix:/path",
+    )
+    p_rollback.add_argument(
+        "--reason",
+        default="manual rollback (pgmp rollback)",
+        help="reason recorded in the decision log and the quarantine",
+    )
+    p_rollback.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="connect/read timeout (default: 5)",
+    )
 
     p_ship = sub.add_parser(
         "ship", help="run a program instrumented, shipping profile deltas"
@@ -420,6 +491,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["strict", "warn", "ignore"],
         default="warn",
         help="what to do when deltas cannot be delivered (default: warn)",
+    )
+    p_ship.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="connect/read timeout for the aggregator link (default: 5)",
     )
 
     p_lint = sub.add_parser(
@@ -670,9 +748,12 @@ def _maybe_simplify(args: argparse.Namespace, program):
 
 def _run_serve(args: argparse.Namespace) -> int:
     from repro.service import (
+        GenerationJournal,
         ProfileAggregator,
         RecompileController,
+        RolloutGuard,
         ServiceMetrics,
+        scheme_canary,
         scheme_recompiler,
     )
 
@@ -683,11 +764,28 @@ def _run_serve(args: argparse.Namespace) -> int:
         optimize_source = _read_program(args.optimize)
         system = SchemeSystem(policy=args.profile_policy)
         _load_libraries(system, args.library)
+        guard = None
+        if not args.no_rollout_guard:
+            probes = [
+                (_read_program(path), path) for path in args.canary_probes
+            ]
+            guard = RolloutGuard(
+                validator=scheme_canary(system, probes),
+                journal=GenerationJournal(
+                    args.journal_dir, max_generations=args.max_generations
+                ),
+                rollback_window=args.rollback_window,
+                metrics=metrics,
+            )
         controller = RecompileController(
             scheme_recompiler(system, optimize_source, args.optimize),
             threshold=args.drift_threshold,
             metrics=metrics,
+            guard=guard,
         )
+        resumed = controller.resume_from_journal()
+        if resumed is not None:
+            print(f"pgmp serve: {resumed.reason}", file=sys.stderr)
         # Deltas fingerprinting a *different* version of the optimized
         # source are stale by definition — quarantine them.
         sources = {args.optimize: optimize_source}
@@ -701,6 +799,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         policy=args.profile_policy,
         metrics=metrics,
         metrics_port=args.metrics_port,
+        read_timeout=args.read_timeout,
     )
     aggregator.start()
     try:
@@ -721,7 +820,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         except KeyboardInterrupt:
             pass
     finally:
-        aggregator.stop()
+        stop_result = aggregator.stop()
     applied = int(metrics.counter("deltas_applied_total"))
     counts = int(metrics.counter("counts_ingested_total"))
     quarantined = int(metrics.counter("deltas_quarantined_total"))
@@ -733,7 +832,41 @@ def _run_serve(args: argparse.Namespace) -> int:
     if controller is not None:
         for decision in controller.log.recompilations():
             print(f"pgmp serve: {decision}", file=sys.stderr)
+    if not stop_result.clean:
+        print(f"pgmp serve: dirty stop: {stop_result}", file=sys.stderr)
+        return 1
     return 0
+
+
+def _run_rollback(args: argparse.Namespace) -> int:
+    from repro.service.delta import read_frame, write_frame
+    from repro.service.transport import connect
+
+    sock = connect(args.connect, timeout=args.timeout)
+    try:
+        stream = sock.makefile("rwb")
+        try:
+            write_frame(
+                stream, {"type": "rollback", "reason": args.reason}
+            )
+            stream.flush()
+            response = read_frame(stream)
+        finally:
+            stream.close()
+    finally:
+        sock.close()
+    if not isinstance(response, dict) or response.get("type") != "rollback":
+        print(
+            f"pgmp rollback: unexpected response {response!r}",
+            file=sys.stderr,
+        )
+        return 1
+    status = response.get("status")
+    detail = response.get("reason") or response.get("error") or ""
+    generation = response.get("generation")
+    suffix = f" (now serving generation {generation})" if status == "ok" else ""
+    print(f"pgmp rollback: {status}: {detail}{suffix}", file=sys.stderr)
+    return 0 if status == "ok" else 1
 
 
 def _run_ship(args: argparse.Namespace) -> int:
@@ -754,6 +887,7 @@ def _run_ship(args: argparse.Namespace) -> int:
         shipper_id=args.shipper_id,
         spill_path=args.spill,
         policy=args.profile_policy,
+        timeout=args.timeout,
     )
     program = system.compile(source, args.file)
     mode = _mode(args.mode)
@@ -780,6 +914,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _run_serve(args)
     if args.command == "ship":
         return _run_ship(args)
+    if args.command == "rollback":
+        return _run_rollback(args)
     if args.command == "trace":
         return _run_trace(args)
     if args.command == "explain":

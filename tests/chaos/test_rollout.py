@@ -1,0 +1,290 @@
+"""Chaos: the rollout guard under injected artifact and canary faults.
+
+The acceptance story for the guarded swap path: a *misbehaving*
+artifact — one that loads, parses, and self-checks clean but computes
+the wrong answer — is either (a) blocked at the canary, or (b) if it
+slips past the canary, detected by the post-swap watch window, rolled
+back, and its profile snapshot quarantined, while the service keeps
+serving byte-identical results throughout. Repeated failures open the
+recompile circuit breaker; a half-open probe later closes it.
+"""
+
+import pytest
+
+from repro.core.counters import CounterSet
+from repro.core.database import ProfileDatabase
+from repro.core.policy import StepBudget
+from repro.core.profile_point import ProfilePoint
+from repro.core.srcloc import SourceLocation
+from repro.scheme.datum import write_datum
+from repro.scheme.pipeline import SchemeSystem
+from repro.service import (
+    CircuitBreaker,
+    GenerationJournal,
+    RecompileController,
+    RolloutGuard,
+    ServiceMetrics,
+    scheme_canary,
+    scheme_recompiler,
+)
+from repro.testing.faults import (
+    crash_after_journal_commit,
+    failing_canary,
+    poison_compiled_program,
+    poisoned_recompiles,
+)
+
+PROGRAM = """
+(define (classify n)
+  (if (= (modulo n 2) 0) 'even 'odd))
+(define (run n acc)
+  (if (= n 0) acc (run (- n 1) (cons (classify n) acc))))
+(length (run 24 '()))
+"""
+
+
+def _point(n: int) -> ProfilePoint:
+    return ProfilePoint.for_location(SourceLocation("chaos.ss", n, n + 1))
+
+
+def _db(counts: dict) -> ProfileDatabase:
+    counters = CounterSet(name="chaos-rollout")
+    for n, count in counts.items():
+        counters.increment(_point(n), by=count)
+    db = ProfileDatabase()
+    db.record_counters(counters)
+    return db
+
+
+def _serve(system: SchemeSystem, controller: RecompileController) -> tuple:
+    """What production would see: run the deployed artifact compiled."""
+    result = system.run(
+        controller.artifact(), backend="compile", budget=StepBudget(1_000_000)
+    )
+    return (write_datum(result.value), result.output)
+
+
+def _stack(metrics=None, journal=None, **guard_kwargs):
+    metrics = metrics if metrics is not None else ServiceMetrics()
+    system = SchemeSystem(policy="warn")
+    guard = RolloutGuard(
+        validator=scheme_canary(system),
+        journal=journal,
+        metrics=metrics,
+        **guard_kwargs,
+    )
+    controller = RecompileController(
+        scheme_recompiler(system, PROGRAM, "chaos.ss"),
+        threshold=0.05,
+        metrics=metrics,
+        guard=guard,
+    )
+    return system, guard, controller, metrics
+
+
+def test_misbehaving_artifact_is_blocked_at_the_canary():
+    system, guard, controller, metrics = _stack()
+    assert controller.maybe_recompile(_db({1: 10})).recompiled
+    before = _serve(system, controller)
+
+    with poisoned_recompiles(controller, value=424242):
+        decision = controller.maybe_recompile(_db({2: 10}))
+
+    assert not decision.recompiled
+    assert decision.reason.startswith("canary failed")
+    assert "diverged" in decision.reason
+    assert metrics.counter("canary_failures_total") == 1
+    assert metrics.counter("rollbacks_total") == 0
+    assert controller.generation == 1
+    # The serving path never saw the bad candidate.
+    assert _serve(system, controller) == before
+    assert before[0] == "24"
+
+
+def test_corrupt_artifact_mid_swap_is_rejected_structurally():
+    """An artifact corrupted between codegen and swap fails self_check
+    (and so the canary battery) rather than going live."""
+    system, guard, controller, metrics = _stack()
+    real = controller._recompile
+
+    def corrupting(db):
+        program = real(db)
+        artifact = program.artifacts.get("plain")
+        if artifact is None:
+            system.run(program, backend="compile")
+            artifact = program.artifacts["plain"]
+        # Bit rot in the generated module: no longer valid Python.
+        artifact.python_source = artifact.python_source[:-10] + "\ndef ):\n"
+        return program
+
+    controller._recompile = corrupting
+    try:
+        decision = controller.maybe_recompile(_db({1: 10}))
+    finally:
+        controller._recompile = real
+    assert not decision.recompiled
+    assert decision.reason.startswith("canary failed")
+    assert "does not parse" in decision.reason
+    assert controller.artifact() is None
+
+
+def test_deterministic_canary_failures_drive_the_breaker_cycle():
+    """failures -> open (backoff) -> half-open probe -> closed."""
+
+    class Clock:
+        now = 1_000.0
+
+        def __call__(self) -> float:
+            return self.now
+
+    clock = Clock()
+    metrics = ServiceMetrics()
+    breaker = CircuitBreaker(
+        failure_threshold=2, backoff_base=30.0, clock=clock, metrics=metrics
+    )
+    system, guard, controller, metrics = _stack(
+        metrics=metrics, breaker=breaker
+    )
+    assert controller.maybe_recompile(_db({1: 10})).recompiled
+    drifted = _db({2: 10})
+
+    with failing_canary(guard):
+        first = controller.maybe_recompile(drifted)
+        second = controller.maybe_recompile(drifted)
+    assert first.reason.startswith("canary failed")
+    assert second.reason.startswith("canary failed")
+    assert guard.breaker.state == "open"
+    assert metrics.counter("breaker_opens_total") == 1
+    assert metrics.gauge("breaker_state") == 1
+
+    # While open, the controller refuses to recompile at all.
+    held = controller.maybe_recompile(drifted)
+    assert not held.recompiled
+    assert held.reason.startswith("circuit breaker open")
+
+    # Backoff elapses; the half-open probe recompiles, still fails.
+    clock.now += 30.0
+    with failing_canary(guard):
+        probe = controller.maybe_recompile(drifted)
+    assert probe.reason.startswith("canary failed")
+    assert guard.breaker.state == "open", "failed probe reopens"
+    assert metrics.counter("breaker_opens_total") == 2
+
+    # Doubled backoff elapses; a healthy probe closes the breaker.
+    clock.now += 60.0
+    healed = controller.maybe_recompile(drifted)
+    assert healed.recompiled
+    assert guard.breaker.state == "closed"
+    assert metrics.gauge("breaker_state") == 0
+    assert controller.generation == 2
+
+
+def test_crash_between_journal_write_and_swap_resumes_journaled(tmp_path):
+    journal_dir = tmp_path / "journal"
+    system, guard, controller, metrics = _stack(
+        journal=GenerationJournal(journal_dir)
+    )
+    assert controller.maybe_recompile(_db({1: 10})).recompiled
+    expected = _serve(system, controller)
+
+    with crash_after_journal_commit(guard):
+        with pytest.raises(RuntimeError, match="injected fault"):
+            controller.maybe_recompile(_db({2: 10}))
+    # The journal got generation 2; this process never swapped it.
+    assert controller.generation == 1
+    live = GenerationJournal(journal_dir).live()
+    assert live is not None and live.generation == 2
+
+    # "Restart": fresh system + controller over the same journal.
+    system2, guard2, restarted, _ = _stack(
+        journal=GenerationJournal(journal_dir)
+    )
+    decision = restarted.resume_from_journal()
+    assert decision is not None
+    assert decision.reason == "resumed generation 2 from journal"
+    assert restarted.generation == 2
+    # The resumed generation serves, and serves the right answer —
+    # deterministic re-expansion from the journaled snapshot.
+    assert _serve(system2, restarted) == expected
+    # Its baseline matches the journaled profile: no spurious recompile.
+    assert restarted.maybe_recompile(_db({2: 10})).reason == (
+        "drift within threshold"
+    )
+
+
+def test_quarantine_prevents_recompile_ping_pong():
+    system, guard, controller, metrics = _stack()
+    assert controller.maybe_recompile(_db({1: 10})).recompiled
+    drifted = _db({2: 10})
+    assert controller.maybe_recompile(drifted).recompiled
+    assert controller.rollback(reason="post-swap regression").recompiled
+    assert metrics.counter("rollbacks_total") == 1
+
+    # The merged profile is still drifted vs the restored baseline; the
+    # quarantine — not luck — is what stops the bad recompile recurring.
+    for _ in range(3):
+        decision = controller.maybe_recompile(drifted)
+        assert not decision.recompiled
+        assert "quarantined" in decision.reason
+    assert metrics.counter("rollbacks_total") == 1
+    live = guard.journal.live()
+    assert live is not None and live.generation == 1
+
+    # A genuinely new profile shape is not held hostage.
+    moved_on = controller.maybe_recompile(_db({3: 10}))
+    assert moved_on.recompiled
+
+
+def test_end_to_end_bad_artifact_past_canary_rolls_back(tmp_path):
+    """The full acceptance path: injected past the canary, detected in
+    the watch window, rolled back, quarantined, serving byte-identical
+    results."""
+    metrics = ServiceMetrics()
+    system, guard, controller, metrics = _stack(
+        metrics=metrics,
+        journal=GenerationJournal(tmp_path / "journal"),
+        rollback_window=300.0,
+        error_budget=2,
+    )
+    assert controller.maybe_recompile(_db({1: 10})).recompiled
+    golden = _serve(system, controller)
+    assert golden[0] == "24"
+
+    # Generation 2 is healthy at canary time...
+    drifted = _db({1: 10, 2: 40})
+    assert controller.maybe_recompile(drifted).recompiled
+    assert controller.generation == 2
+    assert metrics.counter("rollouts_total") == 2
+    assert guard.watching
+    # ...then starts misbehaving only in production (the failure class
+    # a pre-swap gate cannot catch).
+    poison_compiled_program(controller.artifact(), value=-1)
+    assert _serve(system, controller)[0] == "-1", "regression is live"
+
+    # The controller's watch window sees the errors and rolls back.
+    assert controller.observe_health(False) is None
+    decision = controller.observe_health(False)
+    assert decision is not None and decision.recompiled
+    assert decision.generation == 1
+    assert "error budget" in decision.reason
+
+    # Back on generation 1: byte-identical to the pre-swap outputs.
+    assert _serve(system, controller) == golden
+    assert metrics.counter("rollbacks_total") == 1
+    assert metrics.counter("canary_failures_total") == 0
+    assert metrics.gauge("rollout_generation") == 1
+
+    # The offending snapshot is quarantined: the still-drifted profile
+    # cannot ping-pong the same bad recompile back in.
+    held = controller.maybe_recompile(drifted)
+    assert not held.recompiled and "quarantined" in held.reason
+    journal = guard.journal
+    assert [r.status for r in journal.generations()] == ["live", "rolled-back"]
+    assert journal.quarantine_entries()[0]["generation"] == 2
+    # And the guard keeps serving the journaled truth across a restart.
+    system3, guard3, resumed, _ = _stack(
+        journal=GenerationJournal(tmp_path / "journal")
+    )
+    resumed.resume_from_journal()
+    assert resumed.generation == 1
+    assert _serve(system3, resumed) == golden
