@@ -23,7 +23,9 @@ Entry points:
   ``pgmp lint`` CLI subcommand;
 * :meth:`repro.scheme.pipeline.SchemeSystem.analyze` and
   :meth:`repro.pyast.system.PyAstSystem.analyze` — opt-in programmatic
-  analysis against a system's ambient profile database.
+  analysis against a system's ambient profile database;
+* :mod:`repro.analysis.verify` — static translation validation of
+  compiled artifacts (the PGMP5xx family behind ``pgmp verify``).
 """
 
 from __future__ import annotations
@@ -38,8 +40,21 @@ from repro.analysis.diagnostics import (
 )
 from repro.analysis.purity import EffectReport, Purity
 from repro.analysis.pyast_passes import analyze_python_function, analyze_python_source
-from repro.analysis.runner import lint_path, lint_paths, lint_source
+from repro.analysis.runner import (
+    expand_source_paths,
+    lint_path,
+    lint_paths,
+    lint_source,
+)
 from repro.analysis.scheme_passes import analyze_scheme_source
+from repro.analysis.verify import (
+    verify_artifact,
+    verify_cache_dir,
+    verify_path,
+    verify_paths,
+    verify_program,
+    verify_source,
+)
 
 __all__ = [
     "AnalysisReport",
@@ -51,9 +66,16 @@ __all__ = [
     "analyze_python_function",
     "analyze_python_source",
     "analyze_scheme_source",
+    "expand_source_paths",
     "lint_path",
     "lint_paths",
     "lint_source",
     "render_json",
     "render_text",
+    "verify_artifact",
+    "verify_cache_dir",
+    "verify_path",
+    "verify_paths",
+    "verify_program",
+    "verify_source",
 ]

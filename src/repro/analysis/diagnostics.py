@@ -13,6 +13,8 @@ Codes are grouped by pass family:
 * ``PGMP2xx`` — profile-point hygiene (§3.1, §4.1);
 * ``PGMP3xx`` — profiling coverage of optimizable constructs;
 * ``PGMP4xx`` — staleness of loaded profile data (format v2 fingerprints);
+* ``PGMP5xx`` — translation validation of compiled artifacts
+  (``pgmp verify``, :mod:`repro.analysis.verify`);
 * ``PGMP0xx`` — meta-diagnostics about the analysis itself.
 
 Every code has a fixed default severity recorded in :data:`CODE_CATALOG`;
@@ -109,6 +111,24 @@ CODE_CATALOG: dict[str, CodeInfo] = {
                  "profile point no longer maps to any live source location"),
         CodeInfo("PGMP402", Severity.ERROR,
                  "profile data set was collected against different source"),
+        # -- PGMP5xx: translation validation of compiled artifacts -------------
+        CodeInfo("PGMP501", Severity.ERROR,
+                 "instrumentation sites diverge from the interpreter's "
+                 "traversal order"),
+        CodeInfo("PGMP502", Severity.ERROR,
+                 "step-budget charge sites are missing or out of "
+                 "interpreter order"),
+        CodeInfo("PGMP503", Severity.ERROR,
+                 "generated code references names outside the core-form "
+                 "lexical environment"),
+        CodeInfo("PGMP504", Severity.ERROR,
+                 "self-tail-call loop rebinds parameters without "
+                 "parallel-assignment safety"),
+        CodeInfo("PGMP505", Severity.ERROR,
+                 "inlined primitive fast path is not protected by an "
+                 "identity guard"),
+        CodeInfo("PGMP506", Severity.INFO,
+                 "artifact falls back to the interpreter"),
     )
 }
 

@@ -18,7 +18,13 @@ from repro.analysis.pyast_passes import analyze_python_source
 from repro.analysis.scheme_passes import analyze_scheme_source
 from repro.core.database import ProfileDatabase
 
-__all__ = ["SCHEME_SUFFIXES", "lint_path", "lint_paths", "lint_source"]
+__all__ = [
+    "SCHEME_SUFFIXES",
+    "expand_source_paths",
+    "lint_path",
+    "lint_paths",
+    "lint_source",
+]
 
 #: File suffixes treated as Scheme programs.
 SCHEME_SUFFIXES: frozenset[str] = frozenset({".ss", ".scm", ".sls", ".sps", ".sch"})
@@ -36,6 +42,34 @@ def _guess_kind(filename: str, source: str) -> str:
     if head.startswith(("(", ";", "#")) or not head:
         return "scheme"
     return "python"
+
+
+def expand_source_paths(
+    paths: Iterable[str | os.PathLike[str]],
+) -> list[str]:
+    """Expand directories into the analyzable files they contain.
+
+    A directory argument recurses (sorted, deterministic order) over
+    every ``*.py`` and Scheme-suffixed file, skipping hidden and dunder
+    directories (``.git``, ``__pycache__`` …); plain file arguments pass
+    through untouched, so a nonexistent path still errors at open time
+    with a normal message.
+    """
+    expanded: list[str] = []
+    for path in paths:
+        name = os.fspath(path)
+        if not os.path.isdir(name):
+            expanded.append(name)
+            continue
+        for root, dirs, files in os.walk(name):
+            dirs[:] = sorted(
+                d for d in dirs if not d.startswith((".", "__"))
+            )
+            for filename in sorted(files):
+                suffix = os.path.splitext(filename)[1].lower()
+                if suffix == ".py" or suffix in SCHEME_SUFFIXES:
+                    expanded.append(os.path.join(root, filename))
+    return expanded
 
 
 def lint_source(
@@ -87,9 +121,13 @@ def lint_paths(
     db: ProfileDatabase | None = None,
     policy: str = "strict",
 ) -> AnalysisReport:
-    """Analyze several files, concatenating their diagnostics in path order."""
+    """Analyze several files, concatenating their diagnostics in path order.
+
+    Directories recurse over their ``*.py`` and Scheme files (see
+    :func:`expand_source_paths`).
+    """
     combined = AnalysisReport()
-    for path in paths:
+    for path in expand_source_paths(paths):
         combined.extend(
             lint_path(path, library_sources=library_sources, db=db, policy=policy)
         )

@@ -1,0 +1,32 @@
+"""Static translation validation of compiled artifacts (``pgmp verify``).
+
+The PGMP5xx pass family: :func:`verify_artifact` checks one
+:class:`~repro.scheme.compile_py.artifact.CompiledArtifact` against the
+core forms it claims to implement; the runner-level entry points verify
+whole programs, files, and artifact-cache directories. See
+``docs/analysis.md`` for the code catalog and rationale.
+"""
+
+from repro.analysis.verify.expected import ExpectedEvents, expected_events
+from repro.analysis.verify.passes import PASS_NAME, verify_artifact
+from repro.analysis.verify.runner import (
+    ALL_FLAVORS,
+    verify_cache_dir,
+    verify_path,
+    verify_paths,
+    verify_program,
+    verify_source,
+)
+
+__all__ = [
+    "ALL_FLAVORS",
+    "ExpectedEvents",
+    "PASS_NAME",
+    "expected_events",
+    "verify_artifact",
+    "verify_cache_dir",
+    "verify_path",
+    "verify_paths",
+    "verify_program",
+    "verify_source",
+]

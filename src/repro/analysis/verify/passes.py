@@ -1,0 +1,666 @@
+"""Translation-validation passes over one compiled artifact (PGMP5xx).
+
+Given a :class:`~repro.scheme.compile_py.artifact.CompiledArtifact`,
+:func:`verify_artifact` statically checks the generated Python AST
+against the properties the compiled backend's observational-equality
+contract rests on — without executing the artifact:
+
+* **PGMP501** — ``H[i]()`` instrumentation sites appear exactly once per
+  recorded hook site, with sequential indices in textual order, and
+  (when the expanded program is available) the recorded sites match the
+  interpreter-order sites re-derived from the core forms;
+* **PGMP502** — ``C()`` step-budget charges are present in the expected
+  count for budget flavors, absent otherwise, and each profile bump is
+  immediately preceded by its charge (the interpreter's charge-then-bump
+  order);
+* **PGMP503** — every name the generated module reads resolves through
+  the lexical environment codegen established (function scopes, the
+  runtime import, a tiny builtin whitelist), and a runnable artifact
+  actually defines the ``_pgmp_main(GB, H, C)`` entry point;
+* **PGMP504** — parameter rebinding before a ``continue`` in a
+  self-tail-call ``while`` loop is a single parallel (tuple) assignment,
+  never a sequential one that could read an already-clobbered parameter;
+* **PGMP505** — every inlined primitive fast path (int arithmetic and
+  comparisons, ``car``/``cdr`` field access) sits under an identity
+  guard (``... is RT.P_x``) so a redefined primitive falls back to the
+  generic call;
+* **PGMP506** (info) — artifacts the backend could not translate are
+  enumerated with their fallback reason instead of failing silently.
+
+All diagnostics use ``pass_name="verify"`` and anchor to the artifact's
+filename, with generated-source line numbers where the finding has one.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.diagnostics import AnalysisReport, Severity
+from repro.analysis.verify.expected import ExpectedEvents, expected_events
+from repro.core.srcloc import SourceLocation
+from repro.scheme.compile_py.artifact import CompiledArtifact
+from repro.scheme.core_forms import Program
+
+__all__ = ["PASS_NAME", "verify_artifact"]
+
+PASS_NAME = "verify"
+
+#: Builtins the generated code is allowed to read (arity checks, inline
+#: type guards, the recursion backstop); anything else outside the
+#: module/function scopes is a PGMP503 finding.
+_ALLOWED_BUILTINS = frozenset({"len", "type", "int", "RecursionError"})
+
+_ARITH_OPS = (ast.Add, ast.Sub, ast.Mult)
+_ORDER_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+
+def _anchor(filename: str, node: ast.AST | None = None) -> SourceLocation:
+    line = getattr(node, "lineno", 0) if node is not None else 0
+    column = getattr(node, "col_offset", 0) if node is not None else 0
+    return SourceLocation(filename, 0, 0, line=line, column=column)
+
+
+# -- AST helpers -------------------------------------------------------------
+
+
+def _hook_index(stmt: ast.stmt) -> int | None:
+    """The ``i`` of an ``H[i]()`` statement, or None."""
+    if not isinstance(stmt, ast.Expr) or not isinstance(stmt.value, ast.Call):
+        return None
+    call = stmt.value
+    if call.args or call.keywords:
+        return None
+    func = call.func
+    if (
+        isinstance(func, ast.Subscript)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "H"
+        and isinstance(func.slice, ast.Constant)
+        and isinstance(func.slice.value, int)
+    ):
+        return func.slice.value
+    return None
+
+
+def _is_charge(stmt: ast.stmt) -> bool:
+    """Whether ``stmt`` is a bare ``C()`` budget charge."""
+    return (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Call)
+        and isinstance(stmt.value.func, ast.Name)
+        and stmt.value.func.id == "C"
+        and not stmt.value.args
+        and not stmt.value.keywords
+    )
+
+
+def _ordered_statements(stmts: list[ast.stmt]) -> Iterator[ast.stmt]:
+    """Every statement, in source (line) order."""
+    for stmt in stmts:
+        yield stmt
+        for field in ("body", "orelse", "finalbody"):
+            sub = getattr(stmt, field, None)
+            if sub:
+                yield from _ordered_statements(sub)
+        for handler in getattr(stmt, "handlers", None) or []:
+            yield from _ordered_statements(handler.body)
+
+
+def _statement_lists(stmts: list[ast.stmt]) -> Iterator[list[ast.stmt]]:
+    """Every block (list of sibling statements), outermost first."""
+    yield stmts
+    for stmt in stmts:
+        for field in ("body", "orelse", "finalbody"):
+            sub = getattr(stmt, field, None)
+            if sub:
+                yield from _statement_lists(sub)
+        for handler in getattr(stmt, "handlers", None) or []:
+            yield from _statement_lists(handler.body)
+
+
+# -- PGMP501: instrumentation-site order -------------------------------------
+
+
+def _check_hooks(
+    report: AnalysisReport,
+    tree: ast.Module,
+    artifact: CompiledArtifact,
+    expected: ExpectedEvents | None,
+    prefix: str,
+    filename: str,
+) -> None:
+    hooks = [
+        (stmt, index)
+        for stmt in _ordered_statements(tree.body)
+        if (index := _hook_index(stmt)) is not None
+    ]
+    instrumented = "instr" in artifact.flavor
+    if not instrumented:
+        if hooks:
+            stmt, index = hooks[0]
+            report.emit(
+                "PGMP501",
+                prefix + f"non-instrumented flavor emits hook call H[{index}]",
+                _anchor(filename, stmt),
+                PASS_NAME,
+            )
+        return
+    for position, (stmt, index) in enumerate(hooks):
+        if index != position:
+            report.emit(
+                "PGMP501",
+                prefix
+                + f"hook call #{position} in textual order has index "
+                f"{index}; emission order must match traversal order",
+                _anchor(filename, stmt),
+                PASS_NAME,
+            )
+            return
+    if len(hooks) != len(artifact.hook_sites):
+        report.emit(
+            "PGMP501",
+            prefix
+            + f"generated source contains {len(hooks)} hook call(s) but the "
+            f"artifact records {len(artifact.hook_sites)} hook site(s)",
+            _anchor(filename),
+            PASS_NAME,
+        )
+        return
+    if expected is None:
+        return
+    derived = expected.hook_sites
+    recorded = [tuple(site) for site in artifact.hook_sites]
+    if len(recorded) != len(derived):
+        report.emit(
+            "PGMP501",
+            prefix
+            + f"artifact records {len(recorded)} hook site(s) but the "
+            f"interpreter traversal produces {len(derived)}",
+            _anchor(filename),
+            PASS_NAME,
+        )
+        return
+    for index, (got, want) in enumerate(zip(recorded, derived)):
+        if got != want:
+            report.emit(
+                "PGMP501",
+                prefix
+                + f"hook site #{index} diverges from interpreter order: "
+                f"recorded point {got[0]} (is_app={got[1]}), expected "
+                f"{want[0]} (is_app={want[1]})",
+                _anchor(filename),
+                PASS_NAME,
+            )
+            return
+
+
+# -- PGMP502: step-budget charge sites ---------------------------------------
+
+
+def _check_charges(
+    report: AnalysisReport,
+    tree: ast.Module,
+    artifact: CompiledArtifact,
+    expected: ExpectedEvents | None,
+    prefix: str,
+    filename: str,
+) -> None:
+    charges = [
+        stmt for stmt in _ordered_statements(tree.body) if _is_charge(stmt)
+    ]
+    budgeted = "budget" in artifact.flavor
+    if not budgeted:
+        if charges:
+            report.emit(
+                "PGMP502",
+                prefix + "non-budget flavor emits a C() charge",
+                _anchor(filename, charges[0]),
+                PASS_NAME,
+            )
+        return
+    if artifact.charge_count >= 0 and len(charges) != artifact.charge_count:
+        report.emit(
+            "PGMP502",
+            prefix
+            + f"generated source contains {len(charges)} C() charge(s) but "
+            f"codegen recorded {artifact.charge_count}",
+            _anchor(filename),
+            PASS_NAME,
+        )
+        return
+    if expected is not None and len(charges) != expected.charge_count:
+        report.emit(
+            "PGMP502",
+            prefix
+            + f"generated source contains {len(charges)} C() charge(s) but "
+            f"the interpreter traversal evaluates {expected.charge_count} "
+            f"node(s)",
+            _anchor(filename),
+            PASS_NAME,
+        )
+        return
+    if "instr" not in artifact.flavor:
+        return
+    # Charge-then-bump: in instr+budget artifacts every hook call must be
+    # immediately preceded by its node's charge, as sibling statements.
+    for block in _statement_lists(tree.body):
+        for position, stmt in enumerate(block):
+            if _hook_index(stmt) is None:
+                continue
+            if position == 0 or not _is_charge(block[position - 1]):
+                report.emit(
+                    "PGMP502",
+                    prefix
+                    + "hook call is not immediately preceded by its C() "
+                    "charge (interpreter order is charge, then bump)",
+                    _anchor(filename, stmt),
+                    PASS_NAME,
+                )
+                return
+
+
+# -- PGMP503: lexical environment --------------------------------------------
+
+
+def _check_entry_point(
+    report: AnalysisReport, tree: ast.Module, prefix: str, filename: str
+) -> bool:
+    for stmt in tree.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == "_pgmp_main":
+            params = [arg.arg for arg in stmt.args.args]
+            if params != ["GB", "H", "C"] or stmt.args.vararg is not None:
+                report.emit(
+                    "PGMP503",
+                    prefix
+                    + f"_pgmp_main has parameters ({', '.join(params)}); "
+                    "the execution contract requires (GB, H, C)",
+                    _anchor(filename, stmt),
+                    PASS_NAME,
+                )
+                return False
+            return True
+    report.emit(
+        "PGMP503",
+        prefix
+        + "runnable artifact's source defines no _pgmp_main(GB, H, C) "
+        "entry point — the callable cannot be the code it claims to be",
+        _anchor(filename),
+        PASS_NAME,
+    )
+    return False
+
+
+def _local_names(fn: ast.FunctionDef) -> set[str]:
+    """Names bound inside ``fn`` (excluding nested function bodies)."""
+    names = {arg.arg for arg in fn.args.args}
+    if fn.args.vararg is not None:
+        names.add(fn.args.vararg.arg)
+    stack: list[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.FunctionDef):
+            names.add(node.name)
+            continue  # its body is a separate scope
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            names.add(node.id)
+        if isinstance(node, ast.ExceptHandler) and node.name:
+            names.add(node.name)
+        stack.extend(ast.iter_child_nodes(node))
+    return names
+
+
+def _check_scope(
+    report: AnalysisReport, tree: ast.Module, prefix: str, filename: str
+) -> None:
+    module_names: set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                module_names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(stmt, ast.ImportFrom):
+            for alias in stmt.names:
+                module_names.add(alias.asname or alias.name)
+        elif isinstance(stmt, ast.FunctionDef):
+            module_names.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                for node in ast.walk(target):
+                    if isinstance(node, ast.Name):
+                        module_names.add(node.id)
+
+    def visit(fn: ast.FunctionDef, enclosing: tuple[set[str], ...]) -> bool:
+        frames = enclosing + (_local_names(fn),)
+        stack: list[ast.AST] = list(fn.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.FunctionDef):
+                if not visit(node, frames):
+                    return False
+                continue
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                name = node.id
+                if (
+                    not any(name in frame for frame in frames)
+                    and name not in module_names
+                    and name not in _ALLOWED_BUILTINS
+                ):
+                    report.emit(
+                        "PGMP503",
+                        prefix
+                        + f"generated code reads {name!r}, which is bound in "
+                        "no enclosing scope of the core-form lexical "
+                        "environment",
+                        _anchor(filename, node),
+                        PASS_NAME,
+                    )
+                    return False
+            stack.extend(ast.iter_child_nodes(node))
+        return True
+
+    for stmt in tree.body:
+        if isinstance(stmt, ast.FunctionDef):
+            if not visit(stmt, ()):
+                return
+
+
+# -- PGMP504: self-tail-call loop rebinding ----------------------------------
+
+
+def _function_params(fn: ast.FunctionDef) -> set[str]:
+    """The loop variables of a generated function: names bound from the
+    ``*_a`` argument tuple at the top of the body."""
+    params: set[str] = set()
+    for stmt in fn.body:
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            continue
+        target = stmt.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        if any(
+            isinstance(node, ast.Name) and node.id == "_a"
+            for node in ast.walk(stmt.value)
+        ):
+            params.add(target.id)
+    return params
+
+
+def _is_param_assign(stmt: ast.stmt, params: set[str]) -> bool:
+    if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+        return False
+    target = stmt.targets[0]
+    if isinstance(target, ast.Name):
+        return target.id in params
+    if isinstance(target, ast.Tuple):
+        return all(isinstance(elt, ast.Name) for elt in target.elts) and any(
+            elt.id in params
+            for elt in target.elts
+            if isinstance(elt, ast.Name)
+        )
+    return False
+
+
+def _check_tail_loops(
+    report: AnalysisReport, tree: ast.Module, prefix: str, filename: str
+) -> None:
+    for fn in (n for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)):
+        params = _function_params(fn)
+        loops = [
+            node
+            for node in ast.walk(fn)
+            if isinstance(node, ast.While)
+            and isinstance(node.test, ast.Constant)
+            and node.test.value is True
+        ]
+        for loop in loops:
+            for block in _statement_lists(loop.body):
+                for position, stmt in enumerate(block):
+                    if not isinstance(stmt, ast.Continue):
+                        continue
+                    if not _check_continue(
+                        report, block, position, params, prefix, filename
+                    ):
+                        return
+
+
+def _check_continue(
+    report: AnalysisReport,
+    block: list[ast.stmt],
+    position: int,
+    params: set[str],
+    prefix: str,
+    filename: str,
+) -> bool:
+    run: list[ast.Assign] = []
+    index = position - 1
+    while index >= 0 and _is_param_assign(block[index], params):
+        assign = block[index]
+        assert isinstance(assign, ast.Assign)
+        run.append(assign)
+        index -= 1
+    if len(run) > 1:
+        report.emit(
+            "PGMP504",
+            prefix
+            + f"self-tail-call rebinds loop parameters in {len(run)} "
+            "sequential assignments before continue; a later assignment "
+            "can read an already-rebound parameter",
+            _anchor(filename, run[0]),
+            PASS_NAME,
+        )
+        return False
+    if not run:
+        return True  # zero-parameter loop: bare continue is fine
+    assign = run[0]
+    target = assign.targets[0]
+    if isinstance(target, ast.Name):
+        return True  # one variable: nothing to clobber
+    assert isinstance(target, ast.Tuple)
+    value = assign.value
+    if not isinstance(value, ast.Tuple) or len(value.elts) != len(target.elts):
+        report.emit(
+            "PGMP504",
+            prefix
+            + "self-tail-call rebinding is not a parallel tuple assignment "
+            "of matching arity",
+            _anchor(filename, assign),
+            PASS_NAME,
+        )
+        return False
+    names = [elt.id for elt in target.elts if isinstance(elt, ast.Name)]
+    if len(set(names)) != len(target.elts):
+        report.emit(
+            "PGMP504",
+            prefix
+            + "self-tail-call rebinding assigns the same loop parameter "
+            "twice in one tuple assignment",
+            _anchor(filename, assign),
+            PASS_NAME,
+        )
+        return False
+    return True
+
+
+# -- PGMP505: inline-primitive identity guards -------------------------------
+
+
+def _guard_kinds(test: ast.expr) -> tuple[bool, bool]:
+    """``(has identity guard, has dynamic type test)`` for an if-test."""
+    identity = False
+    typed = False
+    for node in ast.walk(test):
+        if (
+            isinstance(node, ast.Compare)
+            and len(node.ops) == 1
+            and isinstance(node.ops[0], ast.Is)
+            and isinstance(node.comparators[0], ast.Attribute)
+            and isinstance(node.comparators[0].value, ast.Name)
+            and node.comparators[0].value.id == "RT"
+            and node.comparators[0].attr.startswith("P_")
+        ):
+            identity = True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "type"
+        ):
+            typed = True
+    return identity, typed
+
+
+def _is_arity_check(node: ast.Compare) -> bool:
+    left = node.left
+    return (
+        isinstance(left, ast.Call)
+        and isinstance(left.func, ast.Name)
+        and left.func.id == "len"
+    )
+
+
+def _check_inline_guards(
+    report: AnalysisReport, tree: ast.Module, prefix: str, filename: str
+) -> None:
+    def visit(node: ast.AST, identity: bool, typed: bool) -> bool:
+        if isinstance(node, ast.If):
+            guard_identity, guard_typed = _guard_kinds(node.test)
+            if not visit(node.test, identity, typed):
+                return False
+            for stmt in node.body:
+                if not visit(
+                    stmt, identity or guard_identity, typed or guard_typed
+                ):
+                    return False
+            # The else branch is the generic fallback: the guard does NOT
+            # cover it, so fast ops there are findings.
+            for stmt in node.orelse:
+                if not visit(stmt, identity, typed):
+                    return False
+            return True
+        if (
+            isinstance(node, ast.BinOp)
+            and isinstance(node.op, _ARITH_OPS)
+            and not (identity and typed)
+        ):
+            report.emit(
+                "PGMP505",
+                prefix
+                + "inlined arithmetic fast path is not protected by an "
+                "identity guard plus int type test",
+                _anchor(filename, node),
+                PASS_NAME,
+            )
+            return False
+        if (
+            isinstance(node, ast.Compare)
+            and any(isinstance(op, _ORDER_OPS) for op in node.ops)
+            and not _is_arity_check(node)
+            and not (identity and typed)
+        ):
+            report.emit(
+                "PGMP505",
+                prefix
+                + "inlined comparison fast path is not protected by an "
+                "identity guard plus int type test",
+                _anchor(filename, node),
+                PASS_NAME,
+            )
+            return False
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr in ("car", "cdr")
+            and isinstance(node.ctx, ast.Load)
+            and not (isinstance(node.value, ast.Name) and node.value.id == "RT")
+            and not identity
+        ):
+            report.emit(
+                "PGMP505",
+                prefix
+                + f"inlined .{node.attr} field access is not protected by "
+                "a primitive identity guard",
+                _anchor(filename, node),
+                PASS_NAME,
+            )
+            return False
+        for child in ast.iter_child_nodes(node):
+            if not visit(child, identity, typed):
+                return False
+        return True
+
+    visit(tree, False, False)
+
+
+# -- the per-artifact entry point --------------------------------------------
+
+
+def verify_artifact(
+    artifact: CompiledArtifact,
+    program: Program | None = None,
+    filename: str | None = None,
+) -> AnalysisReport:
+    """Statically validate one compiled artifact (PGMP5xx diagnostics).
+
+    ``program`` is the expanded program the artifact claims to implement;
+    it defaults to the artifact's own carried Program. Without one (e.g.
+    a disk-loaded cache entry) the expected-order comparison degrades to
+    the source-level invariants, which still catch swapped indices,
+    missing charges, scope escapes, unsafe rebinding, and unguarded fast
+    paths.
+    """
+    report = AnalysisReport()
+    name = filename if filename is not None else artifact.filename
+    prefix = f"artifact[{artifact.flavor}]: "
+    if not artifact.runnable:
+        report.emit(
+            "PGMP506",
+            prefix
+            + "interpreter fallback: "
+            + (artifact.unsupported_reason or "artifact is expansion-only"),
+            _anchor(name),
+            PASS_NAME,
+        )
+        return report
+    source = artifact.python_source
+    if not source:
+        # Mirrors CompiledArtifact.self_check: instr flavors legitimately
+        # drop their source; a plain/budget runnable artifact must not.
+        if "instr" not in artifact.flavor:
+            report.emit(
+                "PGMP503",
+                prefix
+                + "runnable artifact carries no generated source to verify",
+                _anchor(name),
+                PASS_NAME,
+            )
+        return report
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        report.emit(
+            "PGMP503",
+            prefix + f"generated source does not parse: {exc}",
+            _anchor(name),
+            PASS_NAME,
+        )
+        return report
+    target = program if program is not None else artifact.program
+    expected: ExpectedEvents | None = None
+    if target is not None:
+        try:
+            expected = expected_events(target)
+        except Exception as exc:
+            report.emit(
+                "PGMP501",
+                prefix
+                + f"could not re-derive expected instrumentation sites: "
+                f"{type(exc).__name__}: {exc}",
+                _anchor(name),
+                PASS_NAME,
+                severity=Severity.WARNING,
+            )
+    _check_entry_point(report, tree, prefix, name)
+    _check_hooks(report, tree, artifact, expected, prefix, name)
+    _check_charges(report, tree, artifact, expected, prefix, name)
+    _check_scope(report, tree, prefix, name)
+    _check_tail_loops(report, tree, prefix, name)
+    _check_inline_guards(report, tree, prefix, name)
+    return report

@@ -47,6 +47,8 @@ class ServiceMetrics:
         self.namespace = namespace
         self._lock = threading.Lock()
         self._counters: dict[str, float] = {}
+        #: counter name -> {sorted (label, value) tuple -> count}
+        self._labeled: dict[str, dict[tuple[tuple[str, str], ...], float]] = {}
         self._gauges: dict[str, float] = {}
         self._help: dict[str, str] = {}
         self._latencies: dict[str, deque[float]] = {}
@@ -70,6 +72,29 @@ class ServiceMetrics:
     def counter(self, name: str) -> float:
         with self._lock:
             return self._counters.get(name, 0)
+
+    def inc_labeled(
+        self, name: str, labels: dict[str, str], by: float = 1
+    ) -> None:
+        """Bump one labeled series of a counter (e.g. a per-reason
+        breakdown). The unlabeled total, if any, is tracked separately by
+        :meth:`inc` — callers that want both bump both."""
+        if not labels:
+            raise ValueError("inc_labeled requires at least one label")
+        key = tuple(sorted(labels.items()))
+        with self._lock:
+            series = self._labeled.setdefault(name, {})
+            series[key] = series.get(key, 0) + by
+
+    def labeled_counter(self, name: str, labels: dict[str, str]) -> float:
+        key = tuple(sorted(labels.items()))
+        with self._lock:
+            return self._labeled.get(name, {}).get(key, 0)
+
+    def labeled_series(self, name: str) -> dict[tuple[tuple[str, str], ...], float]:
+        """All labeled samples of ``name`` (label-tuple -> count)."""
+        with self._lock:
+            return dict(self._labeled.get(name, {}))
 
     def set_gauge(self, name: str, value: float) -> None:
         with self._lock:
@@ -116,7 +141,10 @@ class ServiceMetrics:
         """
         with self._lock:
             recorded = (
-                set(self._counters) | set(self._gauges) | set(self._latencies)
+                set(self._counters)
+                | set(self._labeled)
+                | set(self._gauges)
+                | set(self._latencies)
             )
             return sorted(recorded - set(self._help))
 
@@ -135,18 +163,26 @@ class ServiceMetrics:
         self.set_gauge(RENDER_TIMESTAMP_GAUGE, time.time() if now is None else now)
         with self._lock:
             counters = dict(self._counters)
+            labeled = {name: dict(series) for name, series in self._labeled.items()}
             gauges = dict(self._gauges)
             help_text = dict(self._help)
             latencies = {
                 name: sorted(window) for name, window in self._latencies.items()
             }
         lines: list[str] = []
-        for name in sorted(counters):
+        for name in sorted(set(counters) | set(labeled)):
             full = f"{self.namespace}_{name}"
             if name in help_text:
                 lines.append(f"# HELP {full} {help_text[name]}")
             lines.append(f"# TYPE {full} counter")
-            lines.append(f"{full} {_format_value(counters[name])}")
+            if name in counters:
+                lines.append(f"{full} {_format_value(counters[name])}")
+            for key in sorted(labeled.get(name, ())):
+                rendered = ",".join(f'{k}="{v}"' for k, v in key)
+                lines.append(
+                    f"{full}{{{rendered}}} "
+                    f"{_format_value(labeled[name][key])}"
+                )
         for name in sorted(gauges):
             full = f"{self.namespace}_{name}"
             if name in help_text:
@@ -177,6 +213,13 @@ class ServiceMetrics:
         with self._lock:
             return {
                 "counters": dict(self._counters),
+                "labeled_counters": {
+                    name: {
+                        ",".join(f"{k}={v}" for k, v in key): count
+                        for key, count in series.items()
+                    }
+                    for name, series in self._labeled.items()
+                },
                 "gauges": dict(self._gauges),
                 "latency_counts": {
                     name: len(window) for name, window in self._latencies.items()
@@ -231,7 +274,16 @@ def get_global_metrics() -> ServiceMetrics:
             )
             metrics.describe(
                 "backend_fallbacks_total",
-                "Runs the compiled backend handed back to the interpreter",
+                "Runs the compiled backend handed back to the interpreter "
+                "(labeled samples break the total down by reason)",
+            )
+            metrics.describe(
+                "artifact_verify_passes_total",
+                "Compiled artifacts that passed static translation validation",
+            )
+            metrics.describe(
+                "artifact_verify_failures_total",
+                "Compiled artifacts rejected by static translation validation",
             )
             _GLOBAL_METRICS = metrics
         return _GLOBAL_METRICS

@@ -26,6 +26,7 @@ from repro.scheme.compile_py.codegen import (
     CODEGEN_VERSION,
     UnsupportedFormError,
     generate_source,
+    generate_unit,
 )
 
 __all__ = [
@@ -38,4 +39,5 @@ __all__ = [
     "compile_program",
     "flavor_for",
     "generate_source",
+    "generate_unit",
 ]

@@ -21,7 +21,7 @@ from repro.scheme.compile_py import runtime as RT
 from repro.scheme.compile_py.codegen import (
     CODEGEN_VERSION,
     UnsupportedFormError,
-    generate_source,
+    generate_unit,
 )
 from repro.scheme.core_forms import Program
 from repro.scheme.env import GlobalEnvironment
@@ -76,6 +76,9 @@ class CompiledArtifact:
     #: why ``main`` is None, for fallback diagnostics
     unsupported_reason: str = ""
     codegen_version: int = CODEGEN_VERSION
+    #: C() charges codegen emitted (0 for non-budget flavors); -1 means
+    #: unknown (e.g. artifacts predating the metadata)
+    charge_count: int = -1
     _fields: dict = field(default_factory=dict, repr=False)
 
     @property
@@ -168,7 +171,7 @@ def compile_program(
     instrumented = "instr" in flavor
     budgeted = "budget" in flavor
     try:
-        source, hook_sites = generate_source(
+        source, hook_sites, charge_count = generate_unit(
             program, instrumented=instrumented, budgeted=budgeted
         )
     except UnsupportedFormError as exc:
@@ -195,6 +198,7 @@ def compile_program(
         key=key,
         program=program,
         main=namespace["_pgmp_main"],
+        charge_count=charge_count,
     )
 
 
@@ -241,6 +245,7 @@ def load_artifact_source(
             program=None,
             main=namespace.get("_pgmp_main"),
             unsupported_reason=meta.get("unsupported_reason", ""),
+            charge_count=int(meta.get("charge_count", -1)),
         )
     except Exception:
         return None
@@ -266,6 +271,7 @@ def render_artifact_module(artifact: CompiledArtifact) -> str:
         "expansion_text": artifact.expansion_text,
         "compile_output": artifact.compile_output,
         "unsupported_reason": artifact.unsupported_reason,
+        "charge_count": artifact.charge_count,
         "checksum": artifact_checksum(body),
     }
     return f"{body}__pgmp_meta__ = {meta!r}\n"

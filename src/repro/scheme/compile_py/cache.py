@@ -15,6 +15,11 @@ Two tiers:
   readable Python modules, written atomically, so a *new process* with
   the same sources and profile reuses yesterday's compile. A file that
   fails to exec or whose embedded key mismatches is simply a miss.
+
+With ``verify="load"``, every disk-loaded artifact is additionally
+translation-validated (the PGMP5xx passes of ``pgmp verify``) before it
+is trusted; a failing artifact is treated as a miss and counted in
+``artifact_verify_failures_total``.
 """
 
 from __future__ import annotations
@@ -41,8 +46,15 @@ def artifact_filename(key: ArtifactKey) -> str:
 class ArtifactCache:
     """Two-tier (memory + optional directory) artifact store."""
 
-    def __init__(self, directory: str | os.PathLike[str] | None = None) -> None:
+    def __init__(
+        self,
+        directory: str | os.PathLike[str] | None = None,
+        verify: str | None = None,
+    ) -> None:
+        if verify not in (None, "load"):
+            raise ValueError(f"unknown verify mode {verify!r} (use 'load')")
         self.directory = os.fspath(directory) if directory is not None else None
+        self.verify = verify
         self._memory: dict[ArtifactKey, CompiledArtifact] = {}
 
     def get(self, key: ArtifactKey) -> CompiledArtifact | None:
@@ -58,9 +70,24 @@ class ArtifactCache:
         except OSError:
             return None
         artifact = load_artifact_source(text, path, key)
+        if artifact is not None and self.verify == "load":
+            if not self._verified(artifact):
+                return None  # counted by the caller as an ordinary miss
         if artifact is not None:
             self._memory[key] = artifact
         return artifact
+
+    def _verified(self, artifact: CompiledArtifact) -> bool:
+        """Translation-validate a disk-loaded artifact (``verify="load"``)."""
+        from repro.analysis.verify import verify_artifact
+        from repro.obs.metrics import get_global_metrics
+
+        report = verify_artifact(artifact)
+        if report.errors():
+            get_global_metrics().inc("artifact_verify_failures_total")
+            return False
+        get_global_metrics().inc("artifact_verify_passes_total")
+        return True
 
     def put(self, artifact: CompiledArtifact) -> None:
         key = artifact.key

@@ -69,6 +69,7 @@ __all__ = [
     "CODEGEN_VERSION",
     "UnsupportedFormError",
     "generate_source",
+    "generate_unit",
 ]
 
 #: Part of every artifact-cache key: bump on any change to the generated
@@ -194,6 +195,10 @@ class _Codegen:
         self.current_form = -1
         #: ordered (profile point, is_app) per emitted hook call
         self.hook_sites: list[tuple[ProfilePoint, bool]] = []
+        #: how many C() charges were emitted (0 unless budgeted) — recorded
+        #: so translation validation can check charge sites without
+        #: re-running codegen
+        self.charge_count = 0
         self._symbols: dict[Symbol, str] = {}
         self._locs: dict[str, str] = {}
         self._kconsts: list[tuple[str, str]] = []
@@ -275,6 +280,7 @@ class _Codegen:
     def node_prologue(self, e: CoreExpr) -> None:
         """Budget charge and profile bump, in the interpreter's order."""
         if self.budgeted:
+            self.charge_count += 1
             self.w("C()")
         if self.instrumented:
             point = e.profile_point
@@ -677,3 +683,17 @@ def generate_source(
     :class:`UnsupportedFormError` for programs the backend cannot run.
     """
     return _Codegen(program, instrumented, budgeted).generate()
+
+
+def generate_unit(
+    program: Program, instrumented: bool = False, budgeted: bool = False
+) -> tuple[str, list[tuple[ProfilePoint, bool]], int]:
+    """Like :func:`generate_source`, plus the emitted charge count.
+
+    ``charge_count`` is codegen's own record of how many ``C()`` charges
+    the source contains; translation validation (PGMP502) cross-checks it
+    against both the source and the interpreter-order traversal.
+    """
+    codegen = _Codegen(program, instrumented, budgeted)
+    source, hook_sites = codegen.generate()
+    return source, hook_sites, codegen.charge_count

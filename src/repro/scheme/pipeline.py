@@ -60,7 +60,12 @@ from repro.scheme.primitives import (
 from repro.scheme.reader import read_string
 from repro.scheme.syntax import Syntax
 
-__all__ = ["SchemeSystem", "RunResult", "SchemeSubstrate"]
+__all__ = [
+    "SchemeSystem",
+    "RunResult",
+    "SchemeSubstrate",
+    "fallback_reason_slug",
+]
 
 logger = get_logger(__name__)
 
@@ -73,6 +78,25 @@ def _coerce_backend(name: str) -> str:
             f"unknown backend {name!r}; expected one of {', '.join(_BACKENDS)}"
         )
     return name
+
+
+def fallback_reason_slug(reason: str) -> str:
+    """A stable, low-cardinality label value for one fallback reason.
+
+    ``backend_fallbacks_total`` breaks down by these slugs; the full
+    human-readable reason stays in the debug log and in ``pgmp verify``'s
+    PGMP506 diagnostics (one slug covers e.g. every unsupported constant
+    type, so label cardinality stays bounded).
+    """
+    if reason.startswith("nested define"):
+        return "nested-define"
+    if reason.startswith("expand-time form"):
+        return "expand-time-form"
+    if reason.startswith("cannot translate constant"):
+        return "untranslatable-constant"
+    if reason.startswith("core form"):
+        return "unsupported-core-form"
+    return "other"
 
 
 class SchemeSubstrate:
@@ -267,7 +291,12 @@ class SchemeSystem:
             )
             if artifact.runnable:
                 return artifact.execute(self.runtime_env, instrumenter, budget)
-            get_global_metrics().inc("backend_fallbacks_total")
+            metrics = get_global_metrics()
+            metrics.inc("backend_fallbacks_total")
+            metrics.inc_labeled(
+                "backend_fallbacks_total",
+                {"reason": fallback_reason_slug(artifact.unsupported_reason)},
+            )
             logger.debug(
                 "compiled backend fell back to the interpreter: %s",
                 artifact.unsupported_reason,

@@ -41,7 +41,9 @@ from repro.service.rollout import (
     CircuitBreaker,
     GenerationJournal,
     RolloutGuard,
+    StaticVerifyResult,
     scheme_canary,
+    scheme_static_verifier,
 )
 from repro.service.shipper import ProfileShipper
 from repro.service.spill import SpillLog
@@ -67,6 +69,8 @@ __all__ = [
     "CircuitBreaker",
     "CanaryResult",
     "scheme_canary",
+    "StaticVerifyResult",
+    "scheme_static_verifier",
     "StopResult",
     "encode_frame",
     "read_frame",

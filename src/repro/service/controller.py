@@ -34,7 +34,7 @@ from repro.obs.logs import get_logger
 from repro.obs.metrics import get_global_metrics
 from repro.obs.tracer import DecisionRecord, Tracer, using_tracer
 from repro.service.metrics import ServiceMetrics
-from repro.service.rollout import CanaryResult, RolloutGuard
+from repro.service.rollout import CanaryResult, RolloutGuard, StaticVerifyResult
 
 __all__ = [
     "weight_drift",
@@ -314,6 +314,7 @@ class RecompileController:
             # the previous artifact (the decision-provenance diff).
             tracer = Tracer()
             canary: CanaryResult | None = None
+            static: StaticVerifyResult | None = None
             try:
                 with using_tracer(tracer), tracer.span(
                     "rollout" if guard is not None else "recompile",
@@ -324,7 +325,12 @@ class RecompileController:
                             "recompile", f"generation-{next_generation}"
                         ):
                             artifact = self._recompile(db)
-                        canary = guard.validate(artifact)
+                        # Static gate first: a candidate that provably
+                        # breaks a translation invariant never gets a
+                        # canary probe spent on it.
+                        static = guard.verify(artifact)
+                        if static.passed:
+                            canary = guard.validate(artifact)
                     else:
                         artifact = self._recompile(db)
             except Exception:
@@ -333,6 +339,22 @@ class RecompileController:
                 raise
             pause = time.perf_counter() - started
             get_global_metrics().inc("traces_total")
+            if static is not None and not static.passed:
+                assert guard is not None
+                guard.breaker.record_failure()
+                decision = RecompilationDecision(
+                    generation=self._generation,
+                    drift=drift,
+                    threshold=self.threshold,
+                    recompiled=False,
+                    reason=f"static verify failed: {static.summary()}",
+                    pause_seconds=pause,
+                )
+                logger.warning(
+                    "candidate generation %d rejected by static verification: %s",
+                    next_generation, static.summary(),
+                )
+                return self.log.record(decision)
             if canary is not None and not canary.passed:
                 # The candidate never goes live: keep the deployed
                 # artifact, count the strike against the breaker.

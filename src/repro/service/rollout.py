@@ -5,8 +5,16 @@ That turned every drift-triggered recompile into an unreviewed
 deployment: a poisoned merged profile, a codegen edge case, or an
 artifact that loads but misbehaves would ship straight into the serving
 path with no gate and no way back. This module is the gate and the way
-back — three cooperating pieces, composed by :class:`RolloutGuard` and
+back — cooperating pieces composed by :class:`RolloutGuard` and
 wired into :class:`~repro.service.controller.RecompileController`:
+
+**Static verification** (pre-canary). Before any probe runs, the
+candidate's compiled artifacts are translation-validated against their
+core forms (the PGMP5xx passes of ``pgmp verify``): instrumentation and
+budget-charge sites in interpreter order, lexical scoping, tail-loop
+rebinding safety, primitive identity guards. Static, so it covers every
+branch of the generated code — including ones the canary's probe inputs
+never reach — and costs no candidate execution at all.
 
 **Canary validation** (pre-swap). Before a candidate artifact goes
 live it must pass a differential smoke battery: the candidate program
@@ -69,8 +77,10 @@ __all__ = [
     "GenerationJournal",
     "GenerationRecord",
     "RolloutGuard",
+    "StaticVerifyResult",
     "describe_rollout_metrics",
     "scheme_canary",
+    "scheme_static_verifier",
 ]
 
 logger = get_logger(__name__)
@@ -103,6 +113,14 @@ def describe_rollout_metrics(metrics: ServiceMetrics) -> None:
         "rollout_generation", "Generation currently live per the rollout journal"
     )
     metrics.describe("canary_latency", "Compiled-backend canary probe latency")
+    metrics.describe(
+        "artifact_verify_passes_total",
+        "Candidate artifacts that passed static translation validation",
+    )
+    metrics.describe(
+        "artifact_verify_failures_total",
+        "Candidate artifacts rejected by static translation validation",
+    )
 
 
 # -- canary validation -------------------------------------------------------
@@ -220,6 +238,60 @@ def scheme_canary(
         )
 
     return validate
+
+
+# -- static verification (pre-canary) ----------------------------------------
+
+
+@dataclass(frozen=True)
+class StaticVerifyResult:
+    """Outcome of static translation validation of one candidate."""
+
+    passed: bool
+    artifacts: int
+    findings: tuple[str, ...] = ()
+
+    def summary(self) -> str:
+        if self.passed:
+            return f"{self.artifacts} artifact(s) verified"
+        head = "; ".join(self.findings[:3])
+        more = len(self.findings) - 3
+        if more > 0:
+            head += f"; +{more} more"
+        return head
+
+    def __str__(self) -> str:
+        verdict = "passed" if self.passed else "FAILED"
+        return f"static verify {verdict}: {self.summary()}"
+
+
+def scheme_static_verifier(
+    flavors: Sequence[str] | None = None,
+) -> Callable[[Any], StaticVerifyResult]:
+    """A static translation validator for Scheme candidates.
+
+    Runs the PGMP5xx pass family (:mod:`repro.analysis.verify`) over
+    every artifact flavor of the candidate program — no probe inputs, no
+    execution of the candidate — so a miscompiled branch the canary's
+    probes never reach is still caught. Only ERROR-severity findings
+    fail the candidate; PGMP506 fallback infos are recorded as findings
+    text but do not block (an interpreter-fallback program is slower,
+    not wrong).
+    """
+
+    def verify(candidate: Any) -> StaticVerifyResult:
+        from repro.analysis.verify import ALL_FLAVORS, verify_program
+
+        chosen = tuple(flavors) if flavors is not None else ALL_FLAVORS
+        report = verify_program(candidate, "<candidate>", flavors=chosen)
+        errors = report.errors()
+        return StaticVerifyResult(
+            passed=not errors,
+            artifacts=len(chosen),
+            findings=tuple(str(diag) for diag in errors),
+        )
+
+    return verify
 
 
 # -- generation journal ------------------------------------------------------
@@ -649,9 +721,11 @@ class RolloutGuard:
 
     1. ``breaker.allow()`` / :meth:`is_quarantined` — may we recompile?
     2. recompile (a raise is a breaker failure);
-    3. :meth:`validate` — the canary battery over the candidate;
-    4. :meth:`commit` — journal the generation *before* the swap;
-    5. swap, then :meth:`begin_watch` — post-swap observations stream in
+    3. :meth:`verify` — static translation validation of the candidate's
+       artifacts (cheap, no execution), *before* any probe runs;
+    4. :meth:`validate` — the canary battery over the candidate;
+    5. :meth:`commit` — journal the generation *before* the swap;
+    6. swap, then :meth:`begin_watch` — post-swap observations stream in
        through :meth:`observe`, which answers with a rollback trigger
        reason when the error budget or latency SLO is blown within the
        watch window.
@@ -661,6 +735,7 @@ class RolloutGuard:
         self,
         *,
         validator: Callable[[Any], CanaryResult] | None = None,
+        static_verifier: Callable[[Any], StaticVerifyResult] | None = None,
         journal: GenerationJournal | None = None,
         breaker: CircuitBreaker | None = None,
         rollback_window: float = 30.0,
@@ -672,6 +747,8 @@ class RolloutGuard:
     ) -> None:
         #: public so fault injection can swap a deterministic failure in
         self.validator = validator
+        #: static gate ahead of the canary; public for the same reason
+        self.static_verifier = static_verifier
         self.journal = journal if journal is not None else GenerationJournal()
         self.breaker = (
             breaker if breaker is not None else CircuitBreaker(metrics=metrics)
@@ -691,6 +768,28 @@ class RolloutGuard:
 
     def is_quarantined(self, fingerprint: str) -> bool:
         return self.journal.is_quarantined(fingerprint)
+
+    def verify(self, candidate: Any) -> StaticVerifyResult:
+        """Statically verify the candidate's artifacts; never executes them.
+
+        Runs *before* :meth:`validate`: a candidate whose generated code
+        provably breaks a translation invariant is rejected without
+        spending a single canary probe on it.
+        """
+        if self.static_verifier is None:
+            return StaticVerifyResult(passed=True, artifacts=0)
+        with maybe_span("verify", "candidate-static-verification"):
+            result = self.static_verifier(candidate)
+        if self.metrics is not None:
+            if result.passed:
+                self.metrics.inc("artifact_verify_passes_total", result.artifacts)
+            else:
+                self.metrics.inc("artifact_verify_failures_total")
+        if not result.passed:
+            logger.warning(
+                "static verification rejected candidate: %s", result.summary()
+            )
+        return result
 
     def validate(self, candidate: Any) -> CanaryResult:
         """Run the canary battery; counts failures, never swaps."""

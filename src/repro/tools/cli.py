@@ -504,7 +504,10 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="static soundness & profile-hygiene analysis"
     )
     p_lint.add_argument(
-        "files", nargs="+", help="Scheme or Python files to analyze"
+        "files",
+        nargs="+",
+        help="Scheme or Python files to analyze; directories recurse "
+        "over *.py and Scheme files",
     )
     p_lint.add_argument(
         "--library",
@@ -536,6 +539,63 @@ def build_parser() -> argparse.ArgumentParser:
         default="warning",
         help="minimum severity to report (default: warning); the exit code "
         "reflects errors regardless",
+    )
+    p_lint.add_argument(
+        "--verify-artifacts",
+        action="store_true",
+        help="additionally compile each program and run static translation "
+        "validation (the PGMP5xx passes of `pgmp verify`) over every "
+        "artifact flavor",
+    )
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="static translation validation of compiled artifacts (PGMP5xx)",
+    )
+    p_verify.add_argument(
+        "files",
+        nargs="*",
+        help="Scheme or Python files whose compiled artifacts to verify; "
+        "directories recurse over *.py and Scheme files",
+    )
+    p_verify.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="also verify every cached artifact module in DIR (an "
+        "ArtifactCache directory)",
+    )
+    p_verify.add_argument(
+        "--library",
+        action="append",
+        default=[],
+        help="library to preload: if-r, case, oop, datastructs, or a path",
+    )
+    p_verify.add_argument(
+        "--profile-file",
+        default=None,
+        help="stored profile to expand against (a different profile can "
+        "pick different expansions, hence different artifacts)",
+    )
+    p_verify.add_argument(
+        "--profile-policy",
+        choices=["strict", "warn", "ignore"],
+        default="strict",
+        help="policy used while loading the profile and expanding programs",
+    )
+    p_verify.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="diagnostic output format (default: text)",
+    )
+    p_verify.add_argument(
+        "--severity",
+        choices=["info", "warning", "error"],
+        default="info",
+        help="minimum severity to report (default: info, so PGMP506 "
+        "interpreter fallbacks are visible); the exit code reflects "
+        "errors regardless",
     )
 
     return parser
@@ -571,6 +631,49 @@ def _run_lint(args: argparse.Namespace) -> int:
         db=db,
         policy=args.profile_policy,
     )
+    if args.verify_artifacts:
+        from repro.analysis import verify_paths
+
+        report.extend(
+            verify_paths(
+                args.files,
+                library_sources=library_sources,
+                db=db,
+                policy=args.profile_policy,
+            )
+        )
+    if args.format == "json":
+        print(render_json(report, args.severity))
+    else:
+        print(render_text(report, args.severity))
+    return 1 if report.errors() else 0
+
+
+def _run_verify(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        render_json,
+        render_text,
+        verify_cache_dir,
+        verify_paths,
+    )
+
+    if not args.files and args.cache_dir is None:
+        print(
+            "pgmp verify: nothing to verify (pass files and/or --cache-dir)",
+            file=sys.stderr,
+        )
+        return 2
+    db = None
+    if args.profile_file:
+        db = _load_profile_database(args.profile_file, args.profile_policy)
+    report = verify_paths(
+        args.files,
+        library_sources=_resolve_library_sources(args.library),
+        db=db,
+        policy=args.profile_policy,
+    )
+    if args.cache_dir is not None:
+        report.extend(verify_cache_dir(args.cache_dir))
     if args.format == "json":
         print(render_json(report, args.severity))
     else:
@@ -755,6 +858,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         ServiceMetrics,
         scheme_canary,
         scheme_recompiler,
+        scheme_static_verifier,
     )
 
     metrics = ServiceMetrics()
@@ -771,6 +875,7 @@ def _run_serve(args: argparse.Namespace) -> int:
             ]
             guard = RolloutGuard(
                 validator=scheme_canary(system, probes),
+                static_verifier=scheme_static_verifier(),
                 journal=GenerationJournal(
                     args.journal_dir, max_generations=args.max_generations
                 ),
@@ -910,6 +1015,8 @@ def _run_ship(args: argparse.Namespace) -> int:
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "lint":
         return _run_lint(args)
+    if args.command == "verify":
+        return _run_verify(args)
     if args.command == "serve":
         return _run_serve(args)
     if args.command == "ship":

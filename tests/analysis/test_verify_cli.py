@@ -1,0 +1,142 @@
+"""End-to-end tests for the ``pgmp verify`` subcommand (and the
+``pgmp lint --verify-artifacts`` bridge)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.tools.cli import main
+
+CLEAN = """
+(define (loop n acc) (if (= n 0) acc (loop (- n 1) (+ acc n))))
+(loop 5 0)
+"""
+
+FALLBACK = "(define stx #'(a b)) (pair? 1)\n"
+
+EMBEDDED = '''
+SCHEME = """
+(define (inc x) (+ x 1))
+(inc 41)
+"""
+'''
+
+
+@pytest.fixture
+def write(tmp_path):
+    def _write(name: str, text: str) -> str:
+        path = tmp_path / name
+        path.write_text(text)
+        return str(path)
+
+    return _write
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    """A populated ArtifactCache directory and a tamper helper."""
+    from repro.scheme.compile_py.cache import ArtifactCache
+    from repro.scheme.pipeline import SchemeSystem
+
+    directory = tmp_path / "cache"
+    directory.mkdir()
+    SchemeSystem().compile_cached(CLEAN, "<cli>", cache=ArtifactCache(directory))
+    return directory
+
+
+class TestExitCodes:
+    def test_clean_file_exits_0(self, write, capsys):
+        assert main(["verify", write("f.ss", CLEAN)]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_fallback_is_info_and_exits_0(self, write, capsys):
+        assert main(["verify", write("f.ss", FALLBACK)]) == 0
+        out = capsys.readouterr().out
+        assert "PGMP506" in out
+        assert "interpreter fallback" in out
+
+    def test_no_inputs_is_usage_error(self, capsys):
+        assert main(["verify"]) == 2
+        assert "nothing to verify" in capsys.readouterr().err
+
+    def test_missing_file_is_a_cli_error(self, capsys):
+        assert main(["verify", "/nonexistent/f.ss"]) == 1
+        assert capsys.readouterr().err.startswith("pgmp: error:")
+
+    def test_unparsable_program_is_reported_not_raised(self, write, capsys):
+        assert main(["verify", write("f.ss", "(define (f x)")]) == 0
+        out = capsys.readouterr().out
+        assert "PGMP001" in out
+        assert "could not be expanded" in out
+
+
+class TestInputs:
+    def test_directory_recurses(self, write, tmp_path, capsys):
+        write("a.ss", CLEAN)
+        write("b.py", EMBEDDED)
+        assert main(["verify", str(tmp_path)]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_embedded_python_programs_are_verified(self, write, capsys):
+        assert main(["verify", write("m.py", EMBEDDED)]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_cache_dir_clean(self, cache_dir, capsys):
+        assert main(["verify", "--cache-dir", str(cache_dir)]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_cache_dir_tamper_is_an_error(self, cache_dir, capsys):
+        (path,) = sorted(cache_dir.glob("*.py"))
+        path.write_text(path.read_text().replace("_B = GB.bindings", "pass", 1))
+        assert main(["verify", "--cache-dir", str(cache_dir)]) == 1
+        out = capsys.readouterr().out
+        assert "PGMP503" in out
+        assert "checksum mismatch" in out
+
+    def test_files_and_cache_dir_combine(self, write, cache_dir, capsys):
+        assert main(
+            ["verify", write("f.ss", CLEAN), "--cache-dir", str(cache_dir)]
+        ) == 0
+        assert "no findings" in capsys.readouterr().out
+
+
+class TestJsonOutput:
+    def test_json_shares_the_lint_schema(self, write, capsys):
+        assert main(["verify", write("f.ss", FALLBACK), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "pgmp-lint"
+        assert payload["version"] == 1
+        codes = {d["code"] for d in payload["diagnostics"]}
+        assert codes == {"PGMP506"}
+        assert payload["summary"]["error"] == 0
+
+    def test_severity_gate_hides_infos(self, write, capsys):
+        assert main(
+            ["verify", write("f.ss", FALLBACK), "--severity", "warning"]
+        ) == 0
+        assert "PGMP506" not in capsys.readouterr().out
+
+
+class TestLintBridge:
+    def test_lint_verify_artifacts_appends_pgmp5_diagnostics(
+        self, write, capsys
+    ):
+        target = write("f.ss", FALLBACK)
+        assert main(
+            ["lint", target, "--verify-artifacts", "--severity", "info"]
+        ) == 0
+        assert "PGMP506" in capsys.readouterr().out
+
+    def test_lint_without_flag_never_compiles(self, write, capsys):
+        assert main(["lint", write("f.ss", FALLBACK), "--severity", "info"]) == 0
+        assert "PGMP506" not in capsys.readouterr().out
+
+    def test_lint_directory_recurses(self, write, tmp_path, capsys):
+        write("a.ss", CLEAN)
+        nested = tmp_path / "sub"
+        nested.mkdir()
+        (nested / "b.ss").write_text(CLEAN)
+        assert main(["lint", str(tmp_path)]) == 0
+        assert "no findings" in capsys.readouterr().out

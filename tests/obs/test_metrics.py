@@ -73,3 +73,89 @@ def test_back_compat_import_path_is_the_same_class():
 
     assert service_metrics.ServiceMetrics is ServiceMetrics
     assert service_metrics.RENDER_QUANTILES is RENDER_QUANTILES
+
+
+# -- labeled counters ----------------------------------------------------------
+
+
+def test_labeled_counter_accumulates_per_label_set():
+    m = ServiceMetrics()
+    m.inc_labeled("backend_fallbacks_total", {"reason": "nested-define"})
+    m.inc_labeled("backend_fallbacks_total", {"reason": "nested-define"}, 2)
+    m.inc_labeled("backend_fallbacks_total", {"reason": "other"})
+    assert (
+        m.labeled_counter("backend_fallbacks_total", {"reason": "nested-define"})
+        == 3
+    )
+    assert m.labeled_counter("backend_fallbacks_total", {"reason": "other"}) == 1
+    assert m.labeled_counter("backend_fallbacks_total", {"reason": "never"}) == 0
+
+
+def test_labeled_key_is_order_insensitive():
+    m = ServiceMetrics()
+    m.inc_labeled("x_total", {"a": "1", "b": "2"})
+    m.inc_labeled("x_total", {"b": "2", "a": "1"})
+    assert m.labeled_counter("x_total", {"b": "2", "a": "1"}) == 2
+    assert m.labeled_series("x_total") == {(("a", "1"), ("b", "2")): 2}
+
+
+def test_empty_labels_are_a_programming_error():
+    import pytest
+
+    m = ServiceMetrics()
+    with pytest.raises(ValueError, match="at least one label"):
+        m.inc_labeled("x_total", {})
+
+
+def test_labeled_samples_render_within_one_family():
+    m = ServiceMetrics()
+    m.describe("backend_fallbacks_total", "Interpreter fallbacks")
+    m.inc("backend_fallbacks_total", 3)
+    m.inc_labeled("backend_fallbacks_total", {"reason": "nested-define"}, 2)
+    m.inc_labeled("backend_fallbacks_total", {"reason": "other"})
+    text = m.render()
+    assert text.count("# HELP pgmp_backend_fallbacks_total") == 1
+    assert text.count("# TYPE pgmp_backend_fallbacks_total counter") == 1
+    assert "pgmp_backend_fallbacks_total 3" in text
+    assert 'pgmp_backend_fallbacks_total{reason="nested-define"} 2' in text
+    assert 'pgmp_backend_fallbacks_total{reason="other"} 1' in text
+
+
+def test_snapshot_includes_labeled_counters():
+    m = ServiceMetrics()
+    m.inc_labeled("backend_fallbacks_total", {"reason": "other"})
+    snap = m.snapshot()
+    assert snap["labeled_counters"] == {
+        "backend_fallbacks_total": {"reason=other": 1}
+    }
+
+
+def test_fallback_reason_slugs_are_low_cardinality():
+    from repro.scheme.pipeline import fallback_reason_slug
+
+    assert fallback_reason_slug("nested define") == "nested-define"
+    assert (
+        fallback_reason_slug("expand-time form TemplateExpr at run time")
+        == "expand-time-form"
+    )
+    assert (
+        fallback_reason_slug("cannot translate constant of type Procedure")
+        == "untranslatable-constant"
+    )
+    assert fallback_reason_slug("core form WeirdExpr") == "unsupported-core-form"
+    assert fallback_reason_slug("anything else") == "other"
+
+
+def test_pipeline_fallback_is_labeled_by_reason():
+    from repro.obs.metrics import get_global_metrics
+    from repro.scheme.pipeline import SchemeSystem
+
+    metrics = get_global_metrics()
+    labels = {"reason": "expand-time-form"}
+    before = metrics.labeled_counter("backend_fallbacks_total", labels)
+    system = SchemeSystem(backend="compile")
+    program = system.compile("(define stx #'(a b)) (pair? 1)", "<fb>")
+    system.run(program)
+    assert (
+        metrics.labeled_counter("backend_fallbacks_total", labels) == before + 1
+    )

@@ -67,6 +67,7 @@ def test_snapshot_shape():
     m.observe_latency("l", 0.1)
     assert m.snapshot() == {
         "counters": {"a": 2},
+        "labeled_counters": {},
         "gauges": {"g": 7},
         "latency_counts": {"l": 1},
     }

@@ -623,3 +623,120 @@ def test_stop_reports_a_stuck_thread():
         assert "stuck thread" in str(result)
     finally:
         release.set()
+
+
+# -- static verification (pre-canary) ------------------------------------------
+
+
+def test_static_verifier_passes_a_healthy_candidate():
+    from repro.service import scheme_static_verifier
+
+    system = _system()
+    candidate = system.compile(PROGRAM, "rollout.ss")
+    verify = scheme_static_verifier()
+    result = verify(candidate)
+    assert result.passed
+    assert result.artifacts == 4
+    assert "static verify passed" in str(result)
+
+
+def test_static_verifier_rejects_a_poisoned_candidate():
+    from repro.service import scheme_static_verifier
+
+    system = _system()
+    candidate = system.compile(PROGRAM, "rollout.ss")
+    poison_compiled_program(candidate)
+    result = scheme_static_verifier()(candidate)
+    assert not result.passed
+    assert result.findings
+    assert "PGMP" in result.findings[0]
+    assert "static verify FAILED" in str(result)
+
+
+def test_guard_without_static_verifier_passes_vacuously():
+    guard = RolloutGuard()
+    result = guard.verify(object())
+    assert result.passed
+    assert result.artifacts == 0
+
+
+def test_guard_verify_records_metrics():
+    from repro.service import scheme_static_verifier
+
+    metrics = ServiceMetrics()
+    system = _system()
+    guard = RolloutGuard(static_verifier=scheme_static_verifier(), metrics=metrics)
+    healthy = system.compile(PROGRAM, "rollout.ss")
+    assert guard.verify(healthy).passed
+    assert metrics.counter("artifact_verify_passes_total") == 4
+    poisoned = SchemeSystem(policy="warn").compile(PROGRAM, "rollout.ss")
+    poison_compiled_program(poisoned)
+    assert not guard.verify(poisoned).passed
+    assert metrics.counter("artifact_verify_failures_total") == 1
+
+
+def test_poisoned_candidate_is_rejected_statically_before_the_canary():
+    """The mutation gate: a tampered artifact must die at the static
+    verifier — the canary (disabled here: it would fail the test if it
+    ever ran) never spends a probe on it."""
+    from repro.service import scheme_static_verifier
+
+    def canary_must_not_run(candidate):
+        raise AssertionError("canary ran on a statically-invalid candidate")
+
+    metrics = ServiceMetrics()
+    system = _system()
+    guard = RolloutGuard(
+        static_verifier=scheme_static_verifier(),
+        validator=canary_must_not_run,
+        metrics=metrics,
+        breaker=CircuitBreaker(failure_threshold=2, backoff_base=60.0),
+    )
+    controller = RecompileController(
+        scheme_recompiler(system, PROGRAM, "rollout.ss"),
+        threshold=0.05,
+        metrics=metrics,
+        guard=guard,
+    )
+
+    from repro.testing.faults import poisoned_recompiles
+
+    with poisoned_recompiles(controller):
+        decision = controller.maybe_recompile(_db({1: 10}))
+    assert not decision.recompiled
+    assert decision.reason.startswith("static verify failed")
+    assert controller.artifact() is None, "nothing was deployed"
+    assert controller.generation == 0
+    assert metrics.counter("artifact_verify_failures_total") == 1
+    assert metrics.counter("canary_failures_total") == 0
+    assert guard.breaker.consecutive_failures == 1, "static failure strikes"
+    assert guard.journal.live() is None
+
+
+def test_static_pass_hands_off_to_the_canary():
+    from repro.service import scheme_static_verifier
+
+    metrics = ServiceMetrics()
+    system = _system()
+    canary_ran = []
+
+    def tracking_canary(candidate):
+        canary_ran.append(candidate)
+        return scheme_canary(system)(candidate)
+
+    guard = RolloutGuard(
+        static_verifier=scheme_static_verifier(),
+        validator=tracking_canary,
+        metrics=metrics,
+    )
+    controller = RecompileController(
+        scheme_recompiler(system, PROGRAM, "rollout.ss"),
+        threshold=0.05,
+        metrics=metrics,
+        guard=guard,
+    )
+    decision = controller.maybe_recompile(_db({1: 10}))
+    assert decision.recompiled
+    assert len(canary_ran) == 1, "static pass then canary, in that order"
+    assert metrics.counter("artifact_verify_passes_total") == 4
+    assert metrics.counter("artifact_verify_failures_total") == 0
