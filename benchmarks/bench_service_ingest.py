@@ -98,6 +98,167 @@ def test_ingest_throughput_and_latency():
     )
 
 
+def test_fleet_sharded_ingest_throughput(tmp_path):
+    """Experiment S-2 — fleet-scale sharded ingest.
+
+    The sharded service exists so ingest scales past one aggregator
+    process: N shard subprocesses (real OS parallelism) each own a hash
+    slice and apply wire-v2 *batched* deltas. Claims:
+
+    * **aggregate throughput** — 4 shards absorb ≥50k deltas/s of acked,
+      WAL-durable batch ingest from loopback clients;
+    * **per-delta latency** — the shards' own p99 ingest latency (the
+      apply step a delta waits on before its ack) stays under 5 ms;
+    * **exactness** — every delta is applied exactly once.
+
+    ``PGMP_BENCH_SMOKE=1`` relaxes the floors for cramped CI boxes; the
+    measured numbers are reported either way.
+    """
+    import os
+    import subprocess
+    import sys
+
+    from repro.service.fleet import FleetSupervisor
+
+    smoke = bool(os.environ.get("PGMP_BENCH_SMOKE"))
+    shard_count = 4
+    batch_size = 512
+    batches_per_shard = 5 if smoke else 25
+    deltas_total = shard_count * batches_per_shard * batch_size
+
+    # One client *process* per shard: a real fleet's shippers are many
+    # processes, and a single-process client would serialize ack parsing
+    # behind the GIL and measure itself, not the service. Each client
+    # pre-encodes its frames, reports ready, and blocks on a GO line so
+    # interpreter startup stays outside the timed window; frames are
+    # pipelined with a bounded window instead of one round trip apiece.
+    driver = tmp_path / "drive_shard.py"
+    driver.write_text(
+        """
+import socket, sys
+from repro.service.delta import encode_frame, read_frame
+from repro.service.transport import parse_address
+from repro.core.profile_point import ProfilePoint
+from repro.core.srcloc import SourceLocation
+
+shard, address, batches, batch_size = (
+    sys.argv[1], sys.argv[2], int(sys.argv[3]), int(sys.argv[4])
+)
+POINTS = [
+    ProfilePoint.for_location(SourceLocation("svc.ss", n, n + 1))
+    for n in range(32)
+]
+frames, seq = [], 0
+for _ in range(batches):
+    deltas = []
+    for _ in range(batch_size):
+        seq += 1
+        deltas.append({
+            "type": "delta", "v": 2, "shipper": f"bench-{shard}",
+            "seq": seq, "dataset": "bench-fleet",
+            "counts": {POINTS[seq % 32].key(): 1},
+        })
+    frames.append(encode_frame({"type": "batch", "v": 2, "deltas": deltas}))
+
+parsed = parse_address(address)
+sock = socket.create_connection((parsed.host, parsed.port), timeout=60.0)
+stream = sock.makefile("rwb")
+print("READY", flush=True)
+assert sys.stdin.readline().strip() == "GO"
+applied, outstanding, WINDOW = 0, 0, 8
+for frame in frames:
+    stream.write(frame)
+    stream.flush()
+    outstanding += 1
+    if outstanding >= WINDOW:
+        ack = read_frame(stream)
+        assert ack["status"] == "batch", ack
+        applied += ack["applied"]
+        outstanding -= 1
+while outstanding:
+    ack = read_frame(stream)
+    assert ack["status"] == "batch", ack
+    applied += ack["applied"]
+    outstanding -= 1
+stream.close()
+sock.close()
+print(f"APPLIED {applied}", flush=True)
+""",
+        encoding="utf-8",
+    )
+
+    with FleetSupervisor(
+        shard_count,
+        tmp_path / "fleet",
+        in_process=False,
+        checkpoint_interval=300.0,  # keep uplink I/O out of the timing
+        spawn_timeout=60.0,
+    ) as fleet:
+        assert fleet.wait_all_up(timeout=60.0)
+        addresses = fleet.shard_addresses()
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH")) if p
+        )
+        clients = [
+            subprocess.Popen(
+                [
+                    sys.executable,
+                    str(driver),
+                    str(n),
+                    addresses[str(n)],
+                    str(batches_per_shard),
+                    str(batch_size),
+                ],
+                stdin=subprocess.PIPE,
+                stdout=subprocess.PIPE,
+                text=True,
+                env=env,
+            )
+            for n in range(shard_count)
+        ]
+        for client in clients:
+            assert client.stdout.readline().strip() == "READY"
+        start = time.perf_counter()
+        for client in clients:
+            client.stdin.write("GO\n")
+            client.stdin.flush()
+        acked = 0
+        for client in clients:
+            line = client.stdout.readline().strip()
+            assert line.startswith("APPLIED "), line
+            acked += int(line.split()[1])
+            assert client.wait(timeout=60.0) == 0
+        elapsed = time.perf_counter() - start
+
+        stats = fleet.stats()
+        shard_stats = stats["shard_stats"].values()
+        applied = sum(
+            s["metrics"]["counters"]["deltas_applied_total"]
+            for s in shard_stats
+        )
+        p99s = [
+            s["metrics"]["latency_quantiles"]["ingest_latency"]["0.99"]
+            for s in shard_stats
+        ]
+
+    assert applied == deltas_total, "sharded ingest must lose zero deltas"
+    assert acked == deltas_total
+    deltas_per_sec = deltas_total / elapsed
+    p99_ms = max(p99s) * 1e3
+    floor, ceiling_ms = (2_000, 50.0) if smoke else (50_000, 5.0)
+    assert deltas_per_sec > floor, f"{deltas_per_sec:,.0f} deltas/s"
+    assert p99_ms < ceiling_ms, f"p99 ingest {p99_ms:.2f} ms"
+    report(
+        "S-2 fleet ingest",
+        "sharding scales ingest past one aggregator process",
+        f"{deltas_per_sec:,.0f} deltas/s aggregate across {shard_count} "
+        f"shard subprocesses (batch={batch_size}, WAL-durable, acked); "
+        f"worst shard p99 ingest {p99_ms:.3f} ms; "
+        f"{deltas_total:,} deltas, 0 lost",
+    )
+
+
 def test_recompile_swap_pause():
     system = SchemeSystem(policy="warn")
     from repro.casestudies import CASE_LIBRARY, EXCLUSIVE_COND_LIBRARY

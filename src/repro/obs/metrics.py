@@ -50,6 +50,8 @@ class ServiceMetrics:
         #: counter name -> {sorted (label, value) tuple -> count}
         self._labeled: dict[str, dict[tuple[tuple[str, str], ...], float]] = {}
         self._gauges: dict[str, float] = {}
+        #: gauge name -> {sorted (label, value) tuple -> value}
+        self._labeled_gauges: dict[str, dict[tuple[tuple[str, str], ...], float]] = {}
         self._help: dict[str, str] = {}
         self._latencies: dict[str, deque[float]] = {}
         self.describe(
@@ -104,6 +106,32 @@ class ServiceMetrics:
         with self._lock:
             return self._gauges.get(name, 0)
 
+    def set_labeled_gauge(
+        self, name: str, labels: dict[str, str], value: float
+    ) -> None:
+        """Set one labeled series of a gauge (e.g. per-shard liveness)."""
+        if not labels:
+            raise ValueError("set_labeled_gauge requires at least one label")
+        key = tuple(sorted(labels.items()))
+        with self._lock:
+            self._labeled_gauges.setdefault(name, {})[key] = value
+
+    def labeled_gauge(self, name: str, labels: dict[str, str]) -> float:
+        key = tuple(sorted(labels.items()))
+        with self._lock:
+            return self._labeled_gauges.get(name, {}).get(key, 0)
+
+    def drop_labeled_gauge(self, name: str, labels: dict[str, str]) -> None:
+        """Forget one labeled gauge series (a shard removed from the ring
+        must stop being scraped, not linger at its last value)."""
+        key = tuple(sorted(labels.items()))
+        with self._lock:
+            series = self._labeled_gauges.get(name)
+            if series is not None:
+                series.pop(key, None)
+                if not series:
+                    del self._labeled_gauges[name]
+
     def observe_latency(self, name: str, seconds: float) -> None:
         """Record one latency sample into ``name``'s sliding window."""
         with self._lock:
@@ -121,10 +149,7 @@ class ServiceMetrics:
         """
         with self._lock:
             samples = sorted(self._latencies.get(name, ()))
-        if not samples:
-            return 0.0
-        rank = min(len(samples) - 1, max(0, int(q * len(samples))))
-        return samples[rank]
+        return self._quantile_of(samples, q)
 
     def latency_count(self, name: str) -> int:
         with self._lock:
@@ -144,6 +169,7 @@ class ServiceMetrics:
                 set(self._counters)
                 | set(self._labeled)
                 | set(self._gauges)
+                | set(self._labeled_gauges)
                 | set(self._latencies)
             )
             return sorted(recorded - set(self._help))
@@ -165,6 +191,10 @@ class ServiceMetrics:
             counters = dict(self._counters)
             labeled = {name: dict(series) for name, series in self._labeled.items()}
             gauges = dict(self._gauges)
+            labeled_gauges = {
+                name: dict(series)
+                for name, series in self._labeled_gauges.items()
+            }
             help_text = dict(self._help)
             latencies = {
                 name: sorted(window) for name, window in self._latencies.items()
@@ -183,12 +213,19 @@ class ServiceMetrics:
                     f"{full}{{{rendered}}} "
                     f"{_format_value(labeled[name][key])}"
                 )
-        for name in sorted(gauges):
+        for name in sorted(set(gauges) | set(labeled_gauges)):
             full = f"{self.namespace}_{name}"
             if name in help_text:
                 lines.append(f"# HELP {full} {help_text[name]}")
             lines.append(f"# TYPE {full} gauge")
-            lines.append(f"{full} {_format_value(gauges[name])}")
+            if name in gauges:
+                lines.append(f"{full} {_format_value(gauges[name])}")
+            for key in sorted(labeled_gauges.get(name, ())):
+                rendered = ",".join(f'{k}="{v}"' for k, v in key)
+                lines.append(
+                    f"{full}{{{rendered}}} "
+                    f"{_format_value(labeled_gauges[name][key])}"
+                )
         for name in sorted(latencies):
             samples = latencies[name]
             full = f"{self.namespace}_{name}_seconds"
@@ -221,10 +258,31 @@ class ServiceMetrics:
                     for name, series in self._labeled.items()
                 },
                 "gauges": dict(self._gauges),
+                "labeled_gauges": {
+                    name: {
+                        ",".join(f"{k}={v}" for k, v in key): value
+                        for key, value in series.items()
+                    }
+                    for name, series in self._labeled_gauges.items()
+                },
                 "latency_counts": {
                     name: len(window) for name, window in self._latencies.items()
                 },
+                "latency_quantiles": {
+                    name: {
+                        str(q): self._quantile_of(sorted(window), q)
+                        for q in RENDER_QUANTILES
+                    }
+                    for name, window in self._latencies.items()
+                },
             }
+
+    @staticmethod
+    def _quantile_of(ordered: list[float], q: float) -> float:
+        if not ordered:
+            return 0.0
+        rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+        return ordered[rank]
 
 
 def _format_value(value: float) -> str:

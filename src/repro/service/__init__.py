@@ -27,14 +27,24 @@ from repro.service.controller import (
     weight_drift,
 )
 from repro.service.delta import (
+    DeltaBatch,
     DeltaLedger,
     FrameDecoder,
     ProfileDelta,
     encode_frame,
+    hello_frame,
+    negotiated_features,
     read_frame,
     write_frame,
 )
 from repro.service.aggregator import StopResult
+from repro.service.fleet import (
+    FleetShipper,
+    FleetSupervisor,
+    HashRing,
+    RootMerger,
+    ShardAggregator,
+)
 from repro.service.metrics import ServiceMetrics
 from repro.service.rollout import (
     CanaryResult,
@@ -53,8 +63,14 @@ __all__ = [
     "ProfileAggregator",
     "ProfileShipper",
     "ProfileDelta",
+    "DeltaBatch",
     "DeltaLedger",
     "FrameDecoder",
+    "FleetShipper",
+    "FleetSupervisor",
+    "HashRing",
+    "RootMerger",
+    "ShardAggregator",
     "SpillLog",
     "ServiceMetrics",
     "ServiceAddress",
@@ -73,6 +89,8 @@ __all__ = [
     "scheme_static_verifier",
     "StopResult",
     "encode_frame",
+    "hello_frame",
+    "negotiated_features",
     "read_frame",
     "write_frame",
     "parse_address",

@@ -47,12 +47,16 @@ from repro.core.database import (
 )
 from repro.core.errors import DeltaFormatError, ServiceError
 from repro.core.policy import DegradationLog, ProfilePolicy, degrade
+from repro.core.profile_point import ProfilePoint
 from repro.obs.logs import get_logger
 from repro.service.controller import RecompilationDecision, RecompileController
 from repro.service.delta import (
+    WIRE_VERSION,
+    DeltaBatch,
     DeltaLedger,
     ProfileDelta,
-    read_frame,
+    negotiated_features,
+    read_frame_ex,
     write_frame,
 )
 from repro.service.metrics import ServiceMetrics
@@ -150,10 +154,11 @@ class _Handler(socketserver.BaseRequestHandler):
             # connection drops (the shipper's spill log replays).
             self.request.settimeout(aggregator.read_timeout)
         stream = self.request.makefile("rwb")
+        compress_out = False  # flips on after a v2 hello negotiates zlib
         try:
             while True:
                 try:
-                    frame = read_frame(stream)
+                    frame, frame_bytes, frame_raw = read_frame_ex(stream)
                 except TimeoutError:
                     aggregator.metrics.inc("handler_read_timeouts_total")
                     logger.warning(
@@ -167,10 +172,14 @@ class _Handler(socketserver.BaseRequestHandler):
                     return
                 if frame is None:
                     return
-                response = aggregator.handle_frame(frame)
+                if isinstance(frame, dict) and frame.get("type") == "hello":
+                    compress_out = "zlib" in negotiated_features(frame)
+                response = aggregator.handle_frame(
+                    frame, wire_bytes=frame_bytes, raw=frame_raw
+                )
                 if response is None:
                     return  # shutdown frame: close this connection too
-                write_frame(stream, response)
+                write_frame(stream, response, compress=compress_out)
                 stream.flush()
         except (OSError, ValueError):
             return  # client vanished mid-frame; its spill will replay
@@ -274,24 +283,52 @@ class ProfileAggregator:
         )
         m.describe("datasets", "Live (dataset, fingerprint) counter sets")
         m.describe("ingest_latency", "Per-delta apply latency")
+        m.describe("batch_latency", "Per-batch apply latency (v2 batch frames)")
         m.describe("recompile_pause", "Recompile-and-swap pause")
+        m.describe(
+            "fleet_deltas_total",
+            "Deltas applied at the root, broken down by originating shard",
+        )
+        m.describe(
+            "fleet_counts_total",
+            "Counter increments applied at the root, by originating shard",
+        )
 
     # -- frame dispatch ----------------------------------------------------
 
-    def handle_frame(self, frame: object) -> dict | None:
+    def handle_frame(
+        self,
+        frame: object,
+        wire_bytes: int | None = None,
+        raw: bytes | None = None,
+    ) -> dict | None:
         """Process one request frame; returns the response frame.
 
         Returns ``None`` for a shutdown frame (the handler then closes the
         connection). Never raises on malformed input — bad frames are
         counted and answered with a rejection, because a profile service
         must not be crashable by one confused worker.
+
+        ``wire_bytes`` is the frame's on-the-wire size when the caller
+        read it off a socket; without it, byte accounting falls back to
+        re-serializing the frame. ``raw`` is the frame's decompressed
+        JSON payload — unused here, but durable subclasses persist it
+        verbatim instead of re-serializing ``frame``.
         """
         if not isinstance(frame, dict):
             self.metrics.inc("deltas_rejected_total")
             return {"type": "ack", "status": "rejected", "error": "not an object"}
         kind = frame.get("type")
         if kind == "delta":
-            return self._handle_delta(frame)
+            return self._handle_delta(frame, wire_bytes=wire_bytes)
+        if kind == "batch":
+            return self._handle_batch(frame, wire_bytes=wire_bytes)
+        if kind == "hello":
+            return {
+                "type": "hello",
+                "v": WIRE_VERSION,
+                "features": sorted(negotiated_features(frame)),
+            }
         if kind == "stats":
             return self._stats_frame()
         if kind == "metrics":
@@ -312,8 +349,7 @@ class ProfileAggregator:
             "error": f"unknown frame type {kind!r}",
         }
 
-    def _handle_delta(self, frame: dict) -> dict:
-        started = time.perf_counter()
+    def _handle_delta(self, frame: dict, wire_bytes: int | None = None) -> dict:
         try:
             delta = ProfileDelta.from_json_object(frame)
         except DeltaFormatError as exc:
@@ -326,26 +362,178 @@ class ProfileAggregator:
                 log=self.degradations,
             )
             return {"type": "ack", "status": "rejected", "error": str(exc)}
-
-        stale = self._stale_files(delta.fingerprints)
-        if stale:
-            with self._lock:
-                self._quarantine_index += 1
-                index = self._quarantine_index
-            reason = (
-                f"delta seq={delta.seq} from {delta.shipper!r} was collected "
-                f"against different source for {', '.join(stale)}"
+        shard = frame.get("shard")
+        ack = self._apply_delta(
+            delta, shard=shard if isinstance(shard, str) else None
+        )
+        if ack.get("status") == "applied":
+            self.metrics.inc(
+                "bytes_ingested_total", self._frame_bytes(frame, wire_bytes)
             )
-            self.quarantine.add(index, delta.dataset, "stale", reason)
-            self.metrics.inc("deltas_quarantined_total")
+        return ack
+
+    def _handle_batch(self, frame: dict, wire_bytes: int | None = None) -> dict:
+        """A v2 batch: apply each delta, answer one ack for the lot.
+
+        Batching is pure framing — the per-delta semantics (ledger dedup,
+        quarantine, rejection) are exactly the lone-frame ones, so a
+        batch is never partially retried into double counts. What IS
+        batched is the bookkeeping: counter increments merge into one
+        application per dataset and the metrics update once per batch,
+        which is where the fleet's ingest throughput comes from. The ack
+        carries a per-delta ``acks`` list only when some delta did *not*
+        apply; ``applied == len(deltas)`` with no list means all clear.
+        """
+        started = time.perf_counter()
+        try:
+            batch = DeltaBatch.from_json_object(frame)
+        except DeltaFormatError as exc:
+            self.metrics.inc("deltas_rejected_total")
             degrade(
                 "aggregate",
-                reason,
-                "delta quarantined; healthy shippers keep merging",
+                f"malformed batch frame: {exc}",
+                "frame rejected",
                 policy=self.policy,
                 log=self.degradations,
             )
-            return {"type": "ack", "seq": delta.seq, "status": "stale"}
+            return {"type": "ack", "status": "rejected", "error": str(exc)}
+        acks: list[dict] = []
+        applied = 0
+        counts_total = 0
+        # dataset key -> (slot, merged {point key: by}); one lock+apply
+        # per dataset per batch instead of per delta. Merging is keyed by
+        # the *string* key — str hashes are cached by the interpreter,
+        # while hashing a ProfilePoint walks the whole dataclass chain —
+        # and each unique key is parsed (and validated) exactly once.
+        merged: dict[str, tuple[_DatasetSlot, dict[str, int]]] = {}
+        parsed: dict[str, ProfilePoint] = {}
+        stale_cache: dict[tuple, list[str]] = {}
+        for delta in batch.deltas:
+            fps_key = tuple(sorted(delta.fingerprints.items()))
+            stale = stale_cache.get(fps_key)
+            if stale is None:
+                stale = stale_cache[fps_key] = self._stale_files(
+                    delta.fingerprints
+                )
+            if stale:
+                acks.append(self._quarantine_delta(delta, stale))
+                continue
+            key = _dataset_key(delta.dataset, delta.fingerprints)
+            with self._lock:
+                if not self._ledger.mark(delta.shipper, delta.seq):
+                    self.metrics.inc("deltas_duplicate_total")
+                    acks.append(
+                        {"type": "ack", "seq": delta.seq, "status": "duplicate"}
+                    )
+                    continue
+                slot = self._datasets.get(key)
+                if slot is None:
+                    slot = self._datasets[key] = _DatasetSlot(
+                        delta.dataset, delta.fingerprints
+                    )
+                    self.metrics.set_gauge("datasets", len(self._datasets))
+            try:
+                for point_key in delta.counts:
+                    if point_key not in parsed:
+                        parsed[point_key] = ProfilePoint.from_key(point_key)
+            except Exception as exc:
+                # Same contract as the lone-delta path: the seq stays
+                # marked so the sender's retry cannot loop forever.
+                self.metrics.inc("deltas_rejected_total")
+                degrade(
+                    "aggregate",
+                    f"delta seq={delta.seq} from {delta.shipper!r} carried "
+                    f"unparseable counts: {exc}",
+                    "delta rejected",
+                    policy=self.policy,
+                    log=self.degradations,
+                )
+                acks.append(
+                    {
+                        "type": "ack",
+                        "seq": delta.seq,
+                        "status": "rejected",
+                        "error": str(exc),
+                    }
+                )
+                continue
+            entry = merged.get(key)
+            if entry is None:
+                entry = merged[key] = (slot, {})
+            bucket = entry[1]
+            for point_key, by in delta.counts.items():
+                bucket[point_key] = bucket.get(point_key, 0) + by
+                counts_total += by
+            applied += 1
+            acks.append({"type": "ack", "seq": delta.seq, "status": "applied"})
+        for slot, increments in merged.values():
+            slot.counters.apply_increments(
+                {parsed[k]: by for k, by in increments.items()}
+            )
+        if applied:
+            self.metrics.inc("deltas_applied_total", applied)
+            self.metrics.inc("counts_ingested_total", counts_total)
+            if batch.shard is not None:
+                self.metrics.inc_labeled(
+                    "fleet_deltas_total", {"shard": batch.shard}, applied
+                )
+                self.metrics.inc_labeled(
+                    "fleet_counts_total", {"shard": batch.shard}, counts_total
+                )
+            self.metrics.inc(
+                "bytes_ingested_total", self._frame_bytes(frame, wire_bytes)
+            )
+        elapsed = time.perf_counter() - started
+        self.metrics.observe_latency("batch_latency", elapsed)
+        if batch.deltas:
+            # The amortized per-delta apply cost, so ingest_latency stays
+            # comparable between lone-frame and batched shippers.
+            self.metrics.observe_latency(
+                "ingest_latency", elapsed / len(batch.deltas)
+            )
+        response: dict = {
+            "type": "ack",
+            "status": "batch",
+            "applied": applied,
+        }
+        if applied != len(batch.deltas):
+            response["acks"] = [
+                {k: v for k, v in ack.items() if k != "type"} for ack in acks
+            ]
+        return response
+
+    @staticmethod
+    def _frame_bytes(frame: dict, wire_bytes: int | None) -> int:
+        if wire_bytes is not None:
+            return wire_bytes
+        return len(json.dumps(frame, separators=(",", ":")))
+
+    def _quarantine_delta(self, delta: ProfileDelta, stale: list[str]) -> dict:
+        with self._lock:
+            self._quarantine_index += 1
+            index = self._quarantine_index
+        reason = (
+            f"delta seq={delta.seq} from {delta.shipper!r} was collected "
+            f"against different source for {', '.join(stale)}"
+        )
+        self.quarantine.add(index, delta.dataset, "stale", reason)
+        self.metrics.inc("deltas_quarantined_total")
+        degrade(
+            "aggregate",
+            reason,
+            "delta quarantined; healthy shippers keep merging",
+            policy=self.policy,
+            log=self.degradations,
+        )
+        return {"type": "ack", "seq": delta.seq, "status": "stale"}
+
+    def _apply_delta(
+        self, delta: ProfileDelta, shard: str | None = None
+    ) -> dict:
+        started = time.perf_counter()
+        stale = self._stale_files(delta.fingerprints)
+        if stale:
+            return self._quarantine_delta(delta, stale)
 
         key = _dataset_key(delta.dataset, delta.fingerprints)
         with self._lock:
@@ -377,10 +565,13 @@ class ProfileAggregator:
                     "error": str(exc)}
         self.metrics.inc("deltas_applied_total")
         self.metrics.inc("counts_ingested_total", delta.total())
-        self.metrics.inc(
-            "bytes_ingested_total",
-            len(json.dumps(frame, separators=(",", ":"))),
-        )
+        if shard is not None:
+            # The shard → root uplink tags its frames; the root exposes a
+            # per-shard ingest breakdown without any extra bookkeeping.
+            self.metrics.inc_labeled("fleet_deltas_total", {"shard": shard})
+            self.metrics.inc_labeled(
+                "fleet_counts_total", {"shard": shard}, delta.total()
+            )
         self.metrics.observe_latency(
             "ingest_latency", time.perf_counter() - started
         )
@@ -556,17 +747,28 @@ class ProfileAggregator:
                 for key, slot in self._datasets.items()
             ]
             ledger = self._ledger.to_json_object()
-        return json.dumps(
-            {
-                "format": "pgmp-service-state",
-                "version": STATE_FORMAT_VERSION,
-                "name": self.name,
-                "datasets": datasets,
-                "ledger": ledger,
-            },
-            indent=2,
-            sort_keys=True,
-        )
+        payload = {
+            "format": "pgmp-service-state",
+            "version": STATE_FORMAT_VERSION,
+            "name": self.name,
+            "datasets": datasets,
+            "ledger": ledger,
+        }
+        payload.update(self._state_extra())
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def _state_extra(self) -> dict:
+        """Extra keys a subclass persists in the state file.
+
+        The fleet's shard aggregator stores its uplink cursor here so a
+        restarted shard resumes the shard → root stream without loss or
+        double-count. The base aggregator has nothing to add.
+        """
+        return {}
+
+    def _restore_extra(self, obj: dict) -> None:
+        """Counterpart of :meth:`_state_extra` on restore (may raise —
+        the caller degrades to a cold start on any failure)."""
 
     def _load_state(self) -> None:
         """Resume counts + ledger from a state checkpoint, if present.
@@ -602,6 +804,7 @@ class ProfileAggregator:
                 slot.counters.apply_key_increments(entry.get("counts", {}))
                 restored[str(entry["key"])] = slot
             ledger = DeltaLedger.from_json_object(obj.get("ledger", {}))
+            self._restore_extra(obj)
         except FileNotFoundError:
             return
         except Exception as exc:
@@ -683,12 +886,16 @@ class ProfileAggregator:
             )
             return None
 
-    def stop(self, join_timeout: float = 10.0) -> StopResult:
+    def stop(
+        self, join_timeout: float = 10.0, *, checkpoint: bool = True
+    ) -> StopResult:
         """Stop serving, final checkpoint, release the port/socket.
 
         Returns a :class:`StopResult`; a thread still alive after
         ``join_timeout`` is reported there (and logged as an error)
-        instead of being silently abandoned.
+        instead of being silently abandoned. ``checkpoint=False`` skips
+        the final checkpoint — the chaos suite uses it to model a crash
+        that never got to flush state.
         """
         result = StopResult()
         self._stop.set()
@@ -709,7 +916,7 @@ class ProfileAggregator:
         self._metrics_thread = self._join_or_report(
             self._metrics_thread, join_timeout, result
         )
-        result.checkpoint_ok = self.checkpoint()
+        result.checkpoint_ok = self.checkpoint() if checkpoint else True
         logger.info("aggregator %s stopped (%s)", self.name, result)
         return result
 
@@ -739,6 +946,21 @@ class ProfileAggregator:
 
     # -- metrics HTTP endpoint ---------------------------------------------
 
+    def _healthz_body(self) -> str:
+        """The ``/healthz`` response body (the fleet root appends the
+        per-shard liveness summary by overriding this)."""
+        rollout = (
+            self.controller.rollout_status()
+            if self.controller is not None
+            else None
+        )
+        if rollout is not None:
+            return (
+                f"ok generation={rollout['generation']} "
+                f"breaker={rollout['breaker']}\n"
+            )
+        return "ok\n"
+
     def _start_metrics_server(self, port: int) -> None:
         aggregator = self
 
@@ -751,17 +973,7 @@ class ProfileAggregator:
                         "Content-Type", "text/plain; version=0.0.4"
                     )
                 elif self.path == "/healthz":
-                    body = b"ok\n"
-                    rollout = (
-                        aggregator.controller.rollout_status()
-                        if aggregator.controller is not None
-                        else None
-                    )
-                    if rollout is not None:
-                        body = (
-                            f"ok generation={rollout['generation']} "
-                            f"breaker={rollout['breaker']}\n"
-                        ).encode("utf-8")
+                    body = aggregator._healthz_body().encode("utf-8")
                     self.send_response(200)
                     self.send_header("Content-Type", "text/plain")
                 else:

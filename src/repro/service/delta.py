@@ -19,13 +19,27 @@ big-endian unsigned length prefix followed by that many bytes of compact
 UTF-8 JSON. Length-prefixing makes torn writes detectable (a short tail
 simply never completes a frame) and keeps the parser incremental — no
 sentinel bytes that payload text could collide with.
+
+Wire version 2 adds two negotiated capabilities on top of the v1 frames
+(which remain accepted unchanged, so v1 shippers interoperate):
+
+* **batching** — a ``batch`` frame carries many deltas and is answered by
+  one ack listing a per-delta status, amortizing the round trip (and, on
+  a durable shard, the fsync) over the whole batch;
+* **compression** — a frame whose length prefix has the top bit set
+  carries a zlib-compressed payload. The flag lives outside the payload,
+  so the decoder needs no heuristics; compressed frames are only sent
+  after a ``hello`` exchange proves the peer speaks v2 (a v1 decoder
+  would read the flagged prefix as an over-limit length and reject the
+  connection rather than misparse it).
 """
 
 from __future__ import annotations
 
 import json
 import struct
-from collections.abc import Iterator, Mapping
+import zlib
+from collections.abc import Iterator, Mapping, Sequence
 from dataclasses import dataclass, field
 from typing import IO
 
@@ -33,24 +47,49 @@ from repro.core.errors import DeltaFormatError
 
 __all__ = [
     "ProfileDelta",
+    "DeltaBatch",
     "DeltaLedger",
     "FrameDecoder",
     "encode_frame",
     "decode_frame_payload",
+    "decode_frame_payload_ex",
     "read_frame",
+    "read_frame_ex",
     "write_frame",
+    "hello_frame",
+    "negotiated_features",
     "WIRE_VERSION",
+    "SUPPORTED_WIRE_VERSIONS",
+    "WIRE_FEATURES",
     "MAX_FRAME_BYTES",
+    "MAX_BATCH_DELTAS",
 ]
 
-#: Version tag carried in every delta frame. Bumped when the frame schema
-#: changes incompatibly; the aggregator rejects versions it does not speak.
-WIRE_VERSION = 1
+#: Version tag carried in every frame this library emits. Bumped when the
+#: frame schema grows; the decoder keeps accepting every version in
+#: :data:`SUPPORTED_WIRE_VERSIONS` so old shippers are never locked out.
+WIRE_VERSION = 2
+
+#: Frame versions the decoder accepts. v1 is the original lone-delta
+#: protocol; v2 adds ``hello``/``batch`` frames and compressed payloads.
+SUPPORTED_WIRE_VERSIONS = frozenset({1, 2})
+
+#: Optional capabilities a v2 peer may advertise in its ``hello``.
+WIRE_FEATURES = ("batch", "zlib")
 
 #: Upper bound on a single frame. A delta frame is one flush of one
 #: worker's counters — far below this; anything larger is a corrupt or
-#: hostile length prefix and must not trigger a giant allocation.
+#: hostile length prefix and must not trigger a giant allocation. The
+#: limit applies to the *decompressed* payload of a compressed frame too.
 MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Deltas one ``batch`` frame may carry.
+MAX_BATCH_DELTAS = 4096
+
+#: Top bit of the length prefix: the payload is zlib-compressed. The
+#: remaining 31 bits are the (compressed) payload length; MAX_FRAME_BYTES
+#: is far below 2**31, so flag and length never collide.
+_COMPRESSED_FLAG = 0x8000_0000
 
 _LENGTH = struct.Struct(">I")
 
@@ -106,10 +145,10 @@ class ProfileDelta:
             raise DeltaFormatError(
                 f"not a delta frame (type={obj.get('type')!r})"
             )
-        if obj.get("v") != WIRE_VERSION:
+        if obj.get("v") not in SUPPORTED_WIRE_VERSIONS:
             raise DeltaFormatError(
                 f"unsupported delta wire version {obj.get('v')!r} "
-                f"(supported: {WIRE_VERSION})"
+                f"(supported: {sorted(SUPPORTED_WIRE_VERSIONS)})"
             )
         shipper = obj.get("shipper")
         if not isinstance(shipper, str) or not shipper:
@@ -126,6 +165,12 @@ class ProfileDelta:
         if not isinstance(counts, dict):
             raise DeltaFormatError("delta 'counts' must be an object")
         for key, value in counts.items():
+            # Exact-type probe first: this loop runs for every count of
+            # every delta in every batch, and json.loads only ever
+            # produces exact str/int, so the fallback checks are reached
+            # only for hand-built frames (or actual malformations).
+            if type(key) is str and type(value) is int and value >= 0:
+                continue
             if not isinstance(key, str):
                 raise DeltaFormatError(
                     f"delta count key must be a string, got {key!r}"
@@ -149,6 +194,94 @@ class ProfileDelta:
             counts=dict(counts),
             fingerprints=dict(fps),
         )
+
+
+@dataclass(frozen=True)
+class DeltaBatch:
+    """Many deltas in one wire frame (v2).
+
+    A batch is pure framing: applying its deltas one by one is exactly
+    equivalent to receiving them as lone frames, and the ack carries one
+    status per delta so the sender's accounting stays per-delta. The
+    optional ``shard`` tag names the emitting shard on the shard → root
+    uplink, feeding the root's per-shard labeled metrics.
+    """
+
+    deltas: tuple[ProfileDelta, ...]
+    shard: str | None = None
+
+    def total(self) -> int:
+        return sum(delta.total() for delta in self.deltas)
+
+    def to_json_object(self) -> dict:
+        obj: dict = {
+            "type": "batch",
+            "v": WIRE_VERSION,
+            "deltas": [delta.to_json_object() for delta in self.deltas],
+        }
+        if self.shard is not None:
+            obj["shard"] = self.shard
+        return obj
+
+    @classmethod
+    def from_json_object(cls, obj: object) -> "DeltaBatch":
+        if not isinstance(obj, dict):
+            raise DeltaFormatError("batch frame must be a JSON object")
+        if obj.get("type") != "batch":
+            raise DeltaFormatError(
+                f"not a batch frame (type={obj.get('type')!r})"
+            )
+        if obj.get("v") not in SUPPORTED_WIRE_VERSIONS:
+            raise DeltaFormatError(
+                f"unsupported batch wire version {obj.get('v')!r}"
+            )
+        deltas = obj.get("deltas")
+        if not isinstance(deltas, list) or not deltas:
+            raise DeltaFormatError("batch 'deltas' must be a non-empty list")
+        if len(deltas) > MAX_BATCH_DELTAS:
+            raise DeltaFormatError(
+                f"batch carries {len(deltas)} deltas; the limit is "
+                f"{MAX_BATCH_DELTAS}"
+            )
+        shard = obj.get("shard")
+        if shard is not None and not isinstance(shard, str):
+            raise DeltaFormatError("batch 'shard' must be a string")
+        return cls(
+            deltas=tuple(ProfileDelta.from_json_object(d) for d in deltas),
+            shard=shard,
+        )
+
+
+def hello_frame(
+    features: Sequence[str] = WIRE_FEATURES, peer: str | None = None
+) -> dict:
+    """The v2 capability-negotiation frame a client opens with.
+
+    A v1 client never sends one (the type did not exist), so a server
+    that sees deltas before any hello simply serves that connection in
+    v1 mode — negotiation is strictly per connection.
+    """
+    obj: dict = {"type": "hello", "v": WIRE_VERSION, "features": list(features)}
+    if peer is not None:
+        obj["peer"] = peer
+    return obj
+
+
+def negotiated_features(frame: object) -> set[str]:
+    """The capability intersection with a peer's ``hello`` frame.
+
+    Unknown features are ignored (forward compatibility); a malformed
+    hello negotiates nothing, which is always safe — both sides just
+    keep speaking lone uncompressed v1 frames.
+    """
+    if not isinstance(frame, dict) or frame.get("type") != "hello":
+        return set()
+    if frame.get("v") not in SUPPORTED_WIRE_VERSIONS:
+        return set()
+    features = frame.get("features")
+    if not isinstance(features, list):
+        return set()
+    return set(WIRE_FEATURES) & {f for f in features if isinstance(f, str)}
 
 
 class DeltaLedger:
@@ -234,8 +367,13 @@ class DeltaLedger:
 # -- framing -------------------------------------------------------------------
 
 
-def encode_frame(obj: object) -> bytes:
-    """One wire frame: 4-byte big-endian length + compact JSON payload."""
+def encode_frame(obj: object, *, compress: bool = False) -> bytes:
+    """One wire frame: 4-byte big-endian length + compact JSON payload.
+
+    With ``compress=True`` the payload is zlib-compressed and the length
+    prefix carries the compressed-payload flag. Only send compressed
+    frames to peers that negotiated the ``zlib`` feature.
+    """
     payload = json.dumps(obj, separators=(",", ":"), sort_keys=True).encode(
         "utf-8"
     )
@@ -244,12 +382,54 @@ def encode_frame(obj: object) -> bytes:
             f"frame payload of {len(payload)} bytes exceeds the "
             f"{MAX_FRAME_BYTES}-byte limit"
         )
+    if compress:
+        packed = zlib.compress(payload, 6)
+        return _LENGTH.pack(len(packed) | _COMPRESSED_FLAG) + packed
     return _LENGTH.pack(len(payload)) + payload
 
 
-def decode_frame_payload(payload: bytes) -> object:
+def _split_length_prefix(raw: int) -> tuple[int, bool]:
+    """``(payload_length, compressed)`` from a raw length-prefix word."""
+    compressed = bool(raw & _COMPRESSED_FLAG)
+    length = raw & ~_COMPRESSED_FLAG
+    if length > MAX_FRAME_BYTES:
+        raise DeltaFormatError(
+            f"frame length {length} exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit (corrupt length prefix?)"
+        )
+    return length, compressed
+
+
+def decode_frame_payload(payload: bytes, *, compressed: bool = False) -> object:
+    return decode_frame_payload_ex(payload, compressed=compressed)[0]
+
+
+def decode_frame_payload_ex(
+    payload: bytes, *, compressed: bool = False
+) -> tuple[object, bytes]:
+    """:func:`decode_frame_payload` plus the decompressed JSON bytes.
+
+    The raw bytes let a durable receiver (the shard WAL) persist the
+    frame verbatim instead of re-serializing the decoded object.
+    """
+    if compressed:
+        # Bounded decompression: a hostile tiny frame must not be able to
+        # inflate into gigabytes (zip bomb). Anything over the frame
+        # limit, or with trailing compressed data, is rejected.
+        decompressor = zlib.decompressobj()
+        try:
+            payload = decompressor.decompress(payload, MAX_FRAME_BYTES + 1)
+        except zlib.error as exc:
+            raise DeltaFormatError(
+                f"compressed frame payload is not valid zlib data: {exc}"
+            ) from exc
+        if len(payload) > MAX_FRAME_BYTES or decompressor.unconsumed_tail:
+            raise DeltaFormatError(
+                f"compressed frame decompresses past the "
+                f"{MAX_FRAME_BYTES}-byte limit"
+            )
     try:
-        return json.loads(payload.decode("utf-8"))
+        return json.loads(payload.decode("utf-8")), payload
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise DeltaFormatError(f"frame payload is not valid JSON: {exc}") from exc
 
@@ -272,18 +452,14 @@ class FrameDecoder:
         while True:
             if len(self._buffer) < _LENGTH.size:
                 return
-            (length,) = _LENGTH.unpack_from(self._buffer)
-            if length > MAX_FRAME_BYTES:
-                raise DeltaFormatError(
-                    f"frame length {length} exceeds the "
-                    f"{MAX_FRAME_BYTES}-byte limit (corrupt length prefix?)"
-                )
+            (raw,) = _LENGTH.unpack_from(self._buffer)
+            length, compressed = _split_length_prefix(raw)
             end = _LENGTH.size + length
             if len(self._buffer) < end:
                 return
             payload = bytes(self._buffer[_LENGTH.size : end])
             del self._buffer[:end]
-            yield decode_frame_payload(payload)
+            yield decode_frame_payload(payload, compressed=compressed)
 
     @property
     def partial(self) -> bool:
@@ -291,13 +467,13 @@ class FrameDecoder:
         return bool(self._buffer)
 
 
-def write_frame(stream: IO[bytes], obj: object) -> int:
+def write_frame(stream: IO[bytes], obj: object, *, compress: bool = False) -> int:
     """Write one frame to a binary stream; returns the bytes written.
 
     Flushes, because the protocol is request/response: a frame sitting in
     a buffered ``socket.makefile`` stream would deadlock both peers.
     """
-    frame = encode_frame(obj)
+    frame = encode_frame(obj, compress=compress)
     stream.write(frame)
     flush = getattr(stream, "flush", None)
     if flush is not None:
@@ -312,23 +488,31 @@ def read_frame(stream: IO[bytes]) -> object | None:
     prefix would start); raises :class:`DeltaFormatError` on a torn frame
     (EOF mid-prefix or mid-payload).
     """
+    return read_frame_ex(stream)[0]
+
+
+def read_frame_ex(stream: IO[bytes]) -> tuple[object | None, int, bytes]:
+    """:func:`read_frame` plus wire byte count and decompressed payload.
+
+    The size (length prefix included) feeds byte accounting without a
+    re-serialization; the payload bytes let a durable receiver persist
+    the frame verbatim. ``(None, 0, b"")`` on clean end-of-stream.
+    """
     header = _read_exactly(stream, _LENGTH.size)
     if header is None:
-        return None
+        return None, 0, b""
     if len(header) < _LENGTH.size:
         raise DeltaFormatError("stream ended mid frame-length prefix")
-    (length,) = _LENGTH.unpack(header)
-    if length > MAX_FRAME_BYTES:
-        raise DeltaFormatError(
-            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte limit"
-        )
+    (raw,) = _LENGTH.unpack(header)
+    length, compressed = _split_length_prefix(raw)
     payload = _read_exactly(stream, length)
     if payload is None or len(payload) < length:
         raise DeltaFormatError(
             f"stream ended mid frame payload ({0 if payload is None else len(payload)}"
             f" of {length} bytes)"
         )
-    return decode_frame_payload(payload)
+    obj, json_bytes = decode_frame_payload_ex(payload, compressed=compressed)
+    return obj, _LENGTH.size + length, json_bytes
 
 
 def _read_exactly(stream: IO[bytes], n: int) -> bytes | None:

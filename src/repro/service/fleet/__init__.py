@@ -1,0 +1,41 @@
+"""``repro.service.fleet`` — the sharded, two-tier profiling service.
+
+The single :class:`~repro.service.aggregator.ProfileAggregator` scales
+to a rack; this package scales it to a fleet, hierarchically, the way
+production PGO pipelines aggregate (see PAPERS.md: *From Profiling to
+Optimization*):
+
+* a :class:`HashRing` partitions profile-point fingerprints over N
+  shards, deterministically across processes;
+* each :class:`ShardAggregator` ingests its slice over an asyncio
+  transport (:class:`AsyncFrameServer`), WALs every frame before acking,
+  and uplinks cut deltas to the root with persist-cut-then-send
+  semantics — restart-safe in both directions;
+* the :class:`RootMerger` owns the public checkpoint and the existing
+  controller/rollout pipeline, answers ``ring`` queries, and exposes
+  per-shard labeled metrics;
+* a :class:`FleetShipper` fans one worker's counters out over the ring
+  and re-resolves restarted shards through the root;
+* a :class:`FleetSupervisor` runs the whole topology locally
+  (``pgmp serve --shards N``), restarting crashed shards in place.
+"""
+
+from repro.service.fleet.aio import AsyncFrameServer
+from repro.service.fleet.ring import DEFAULT_REPLICAS, HashRing
+from repro.service.fleet.root import RootMerger, ShardRecord
+from repro.service.fleet.shard import ShardAggregator, WriteAheadLog
+from repro.service.fleet.shipper import FleetShipper, fetch_ring
+from repro.service.fleet.supervisor import FleetSupervisor
+
+__all__ = [
+    "AsyncFrameServer",
+    "DEFAULT_REPLICAS",
+    "FleetShipper",
+    "FleetSupervisor",
+    "HashRing",
+    "RootMerger",
+    "ShardAggregator",
+    "ShardRecord",
+    "WriteAheadLog",
+    "fetch_ring",
+]

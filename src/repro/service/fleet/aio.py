@@ -1,0 +1,219 @@
+"""The asyncio frame transport used by fleet shards.
+
+Protocol-compatible with the threading ``socketserver`` transport in
+:mod:`repro.service.aggregator` — same length-prefixed frames, same
+per-connection ``hello`` negotiation, same request/response discipline —
+but one event loop holds every connection, so a shard can carry tens of
+thousands of mostly-idle shippers without a thread (and its stack) per
+connection. The event loop runs in one daemon thread; frame *handling*
+stays synchronous (``ProfileAggregator.handle_frame`` is already
+thread-safe and fast), so the loop never blocks on anything but I/O.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+
+from repro.core.errors import DeltaFormatError, ServiceError
+from repro.obs.logs import get_logger
+from repro.service.delta import (
+    _LENGTH,
+    _split_length_prefix,
+    decode_frame_payload_ex,
+    encode_frame,
+    negotiated_features,
+)
+from repro.service.transport import ServiceAddress, parse_address
+
+logger = get_logger(__name__)
+
+__all__ = ["AsyncFrameServer"]
+
+
+class AsyncFrameServer:
+    """Serve the frame protocol for a ``handle_frame``-style dispatcher.
+
+    ``target`` is anything with a synchronous
+    ``handle_frame(frame) -> dict | None`` and a ``metrics`` registry —
+    in practice a :class:`~repro.service.aggregator.ProfileAggregator`
+    (or subclass). ``None`` responses close the connection, exactly like
+    the threading transport.
+    """
+
+    def __init__(
+        self,
+        target,
+        listen: "str | ServiceAddress",
+        *,
+        read_timeout: float | None = 30.0,
+    ) -> None:
+        self.target = target
+        self.listen = parse_address(listen)
+        self.read_timeout = float(read_timeout) if read_timeout else None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._bound: ServiceAddress | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def address(self) -> ServiceAddress:
+        """The bound address (real port once started)."""
+        return self._bound if self._bound is not None else self.listen
+
+    def start(self) -> "AsyncFrameServer":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._run_loop, name="pgmp-fleet-aio", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=10.0)
+        if self._startup_error is not None:
+            error = self._startup_error
+            self._thread.join(timeout=1.0)
+            self._thread = None
+            raise ServiceError(f"asyncio transport failed to bind: {error}")
+        if not self._started.is_set():
+            raise ServiceError("asyncio transport did not start in time")
+        return self
+
+    def stop(self, join_timeout: float = 10.0) -> None:
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=join_timeout)
+            self._thread = None
+        self._loop = None
+        self._server = None
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        try:
+            try:
+                self._server = loop.run_until_complete(self._bind(loop))
+            except BaseException as exc:  # bind failure surfaces in start()
+                self._startup_error = exc
+                return
+            finally:
+                self._started.set()
+            loop.run_forever()
+        finally:
+            server = self._server
+            if server is not None:
+                server.close()
+                try:
+                    loop.run_until_complete(server.wait_closed())
+                except RuntimeError:  # pragma: no cover - loop already dead
+                    pass
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            loop.close()
+
+    async def _bind(self, loop: asyncio.AbstractEventLoop) -> asyncio.AbstractServer:
+        if self.listen.family == "unix":
+            if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - non-POSIX
+                raise ServiceError(
+                    "unix-domain sockets unavailable on this platform"
+                )
+            server = await asyncio.start_unix_server(
+                self._serve_connection, path=self.listen.path
+            )
+            self._bound = self.listen
+            return server
+        server = await asyncio.start_server(
+            self._serve_connection, host=self.listen.host, port=self.listen.port
+        )
+        sockets = server.sockets or ()
+        for sock in sockets:
+            host, port = sock.getsockname()[:2]
+            self._bound = ServiceAddress(
+                family="tcp", host=str(host), port=int(port)
+            )
+            break
+        return server
+
+    # -- per-connection protocol -------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        metrics = self.target.metrics
+        metrics.inc("connections_total")
+        compress_out = False  # flips on after a v2 hello negotiates zlib
+        try:
+            while True:
+                try:
+                    frame, frame_bytes, frame_raw = await self._read_frame(
+                        reader
+                    )
+                except asyncio.TimeoutError:
+                    metrics.inc("handler_read_timeouts_total")
+                    logger.warning(
+                        "dropping connection: no frame within %.1fs",
+                        self.read_timeout,
+                    )
+                    return
+                except DeltaFormatError:
+                    metrics.inc("protocol_errors_total")
+                    return
+                if frame is None:
+                    return
+                if isinstance(frame, dict) and frame.get("type") == "hello":
+                    compress_out = "zlib" in negotiated_features(frame)
+                response = self.target.handle_frame(
+                    frame, wire_bytes=frame_bytes, raw=frame_raw
+                )
+                if response is None:
+                    return  # shutdown frame: close this connection too
+                writer.write(encode_frame(response, compress=compress_out))
+                await writer.drain()
+        except asyncio.CancelledError:
+            return  # server stopping; connections die with the loop
+        except (ConnectionError, OSError):
+            return  # client vanished mid-frame; its spill will replay
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (asyncio.CancelledError, ConnectionError, OSError):
+                pass
+
+    async def _read_frame(
+        self, reader: asyncio.StreamReader
+    ) -> "tuple[object | None, int, bytes]":
+        try:
+            header = await asyncio.wait_for(
+                reader.readexactly(_LENGTH.size), timeout=self.read_timeout
+            )
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None, 0, b""  # clean end-of-stream
+            raise DeltaFormatError("stream ended mid frame-length prefix")
+        (raw,) = _LENGTH.unpack(header)
+        length, compressed = _split_length_prefix(raw)
+        try:
+            payload = await asyncio.wait_for(
+                reader.readexactly(length), timeout=self.read_timeout
+            )
+        except asyncio.IncompleteReadError as exc:
+            raise DeltaFormatError(
+                f"stream ended mid frame payload "
+                f"({len(exc.partial)} of {length} bytes)"
+            )
+        frame, json_bytes = decode_frame_payload_ex(
+            payload, compressed=compressed
+        )
+        return frame, _LENGTH.size + length, json_bytes

@@ -1,0 +1,109 @@
+"""The consistent-hash ring that partitions profile points over shards.
+
+Every profile-point key routes to exactly one shard, and the mapping is
+**deterministic across processes**: hashing uses SHA-256 of the bytes, not
+Python's randomized ``hash()``, so a shipper and a supervisor built from
+the same member list always agree on where a key lives — no coordination
+service needed.
+
+Standard Karger-style construction: each member contributes ``replicas``
+virtual nodes (hash of ``"member#i"``) on a ring of 64-bit positions; a
+key routes to the first virtual node at or after its own hash, wrapping.
+Adding or removing one member therefore remaps only the arcs that member
+owned — about ``1/N`` of the key space — instead of reshuffling
+everything, which is what keeps a shard restart or a fleet resize from
+invalidating every shard's resumable state file at once.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from collections.abc import Iterable
+
+from repro.core.errors import ServiceError
+
+__all__ = ["HashRing", "DEFAULT_REPLICAS"]
+
+#: Virtual nodes per member. 64 keeps the per-member load imbalance in
+#: the low percents for small fleets while the ring stays tiny (N*64
+#: 16-byte entries).
+DEFAULT_REPLICAS = 64
+
+
+def _position(data: str) -> int:
+    """A stable 64-bit ring position for ``data``."""
+    digest = hashlib.sha256(data.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Deterministic consistent hashing over a set of member names."""
+
+    def __init__(
+        self, members: Iterable[str] = (), replicas: int = DEFAULT_REPLICAS
+    ) -> None:
+        if replicas < 1:
+            raise ServiceError(f"ring replicas must be >= 1, got {replicas}")
+        self.replicas = int(replicas)
+        self._members: set[str] = set()
+        #: sorted virtual-node positions and, index-aligned, their owners
+        self._positions: list[int] = []
+        self._owners: list[str] = []
+        for member in members:
+            self.add(member)
+
+    # -- membership --------------------------------------------------------
+
+    @property
+    def members(self) -> list[str]:
+        return sorted(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, member: object) -> bool:
+        return member in self._members
+
+    def add(self, member: str) -> None:
+        """Add ``member``; idempotent."""
+        if not member:
+            raise ServiceError("ring member name must be non-empty")
+        if member in self._members:
+            return
+        self._members.add(member)
+        for i in range(self.replicas):
+            pos = _position(f"{member}#{i}")
+            index = bisect.bisect_left(self._positions, pos)
+            self._positions.insert(index, pos)
+            self._owners.insert(index, member)
+
+    def remove(self, member: str) -> None:
+        """Remove ``member``; idempotent."""
+        if member not in self._members:
+            return
+        self._members.discard(member)
+        keep = [
+            (pos, owner)
+            for pos, owner in zip(self._positions, self._owners)
+            if owner != member
+        ]
+        self._positions = [pos for pos, _ in keep]
+        self._owners = [owner for _, owner in keep]
+
+    # -- routing -----------------------------------------------------------
+
+    def route(self, key: str) -> str:
+        """The member owning ``key``. Raises when the ring is empty."""
+        if not self._positions:
+            raise ServiceError("cannot route on an empty hash ring")
+        index = bisect.bisect_right(self._positions, _position(key))
+        if index == len(self._positions):
+            index = 0  # wrap past the highest virtual node
+        return self._owners[index]
+
+    def __repr__(self) -> str:
+        return (
+            f"<HashRing {len(self._members)} members x "
+            f"{self.replicas} replicas>"
+        )

@@ -16,14 +16,23 @@ aggregation service. Design invariants:
   deltas go to a bounded in-memory queue, overflow to a
   :class:`~repro.service.spill.SpillLog`, and are replayed after
   reconnecting; the aggregator's ledger drops duplicates.
-* **Reconnects back off exponentially** (with a deterministic schedule —
-  no thundering herd of instantly-retrying workers after an aggregator
-  restart).
+* **Reconnects back off exponentially, with jitter.** The exponential
+  schedule alone is synchronized: every worker that lost the same
+  aggregator restart computes the same retry instants and the herd
+  arrives as one thundering wave. A per-shipper random jitter factor
+  (``backoff_jitter``, injectable RNG for tests) de-correlates them.
+* **The wire is negotiated per connection.** A new connection opens with
+  a v2 ``hello``; when the server answers with ``batch``/``zlib``
+  capabilities the shipper drains its queue in compressed batch frames
+  (one round trip and one ack for many deltas). A server that answers
+  anything else — a v1 aggregator rejects the unknown frame type — gets
+  the original lone-delta v1 protocol, unchanged.
 """
 
 from __future__ import annotations
 
 import os
+import random
 import socket
 import threading
 import time
@@ -34,7 +43,15 @@ from repro.core.counters import BaseCounterSet
 from repro.core.errors import BackpressureError, DeltaFormatError, ServiceError
 from repro.core.policy import DegradationLog, ProfilePolicy, degrade
 from repro.obs.logs import get_logger
-from repro.service.delta import ProfileDelta, read_frame, write_frame
+from repro.service.delta import (
+    MAX_BATCH_DELTAS,
+    DeltaBatch,
+    ProfileDelta,
+    hello_frame,
+    negotiated_features,
+    read_frame,
+    write_frame,
+)
 from repro.service.spill import SpillLog
 from repro.service.transport import ServiceAddress, connect, parse_address
 
@@ -78,6 +95,10 @@ class ProfileShipper:
         degradations: DegradationLog | None = None,
         backoff_base: float = 0.05,
         backoff_max: float = 5.0,
+        backoff_jitter: float = 0.5,
+        rng: random.Random | None = None,
+        negotiate: bool = True,
+        batch_size: int = 256,
         timeout: float = 5.0,
     ) -> None:
         self.counters = counters
@@ -95,6 +116,16 @@ class ProfileShipper:
         self.spill = SpillLog(spill_path) if spill_path is not None else None
         self.backoff_base = float(backoff_base)
         self.backoff_max = float(backoff_max)
+        #: fraction of each backoff randomized (0 = the old deterministic
+        #: schedule; 0.5 spreads retries over ±50% of the nominal delay)
+        self.backoff_jitter = float(backoff_jitter)
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ServiceError(
+                f"backoff_jitter must be in [0, 1], got {self.backoff_jitter}"
+            )
+        self._rng = rng if rng is not None else random.Random()
+        self.negotiate = bool(negotiate)
+        self.batch_size = min(int(batch_size), MAX_BATCH_DELTAS)
         self.timeout = float(timeout)
 
         self._lock = threading.RLock()
@@ -103,6 +134,7 @@ class ProfileShipper:
         self._queue: deque[ProfileDelta] = deque()
         self._sock: socket.socket | None = None
         self._stream = None
+        self._features: set[str] = set()  # per-connection, from the hello
         self._failures = 0
         self._retry_at = 0.0
         self._thread: threading.Thread | None = None
@@ -228,6 +260,7 @@ class ProfileShipper:
         return self._stream is not None
 
     def _disconnect(self) -> None:
+        self._features = set()
         if self._stream is not None:
             try:
                 self._stream.close()
@@ -247,6 +280,13 @@ class ProfileShipper:
         backoff = min(
             self.backoff_max, self.backoff_base * (2 ** (self._failures - 1))
         )
+        if self.backoff_jitter:
+            # De-correlate retries: N workers that lost the same aggregator
+            # at the same instant must not all reconnect at the same
+            # instant (the thundering-herd bug). Spread each delay over
+            # ±jitter of its nominal value, still capped at backoff_max.
+            spread = 1.0 + self.backoff_jitter * (2.0 * self._rng.random() - 1.0)
+            backoff = min(self.backoff_max, backoff * spread)
         self._retry_at = time.monotonic() + backoff
         degrade(
             "ship",
@@ -265,19 +305,36 @@ class ProfileShipper:
         try:
             self._sock = connect(self.address, timeout=self.timeout)
             self._stream = self._sock.makefile("rwb")
-        except OSError as exc:
+            if self.negotiate:
+                self._negotiate()
+        except (OSError, ServiceError, DeltaFormatError) as exc:
             self._note_failure(str(exc))
             return False
         self._failures = 0
         self._retry_at = 0.0
         return True
 
+    def _negotiate(self) -> None:
+        """One hello round trip; records the capability intersection.
+
+        A v1 aggregator answers the unknown frame with a rejection ack —
+        ``negotiated_features`` maps that to the empty set and this
+        connection simply speaks v1 (lone uncompressed deltas).
+        """
+        assert self._stream is not None
+        write_frame(self._stream, hello_frame(peer=self.shipper_id))
+        self._stream.flush()
+        response = read_frame(self._stream)
+        if response is None:
+            raise ServiceError("aggregator closed the connection on hello")
+        self._features = negotiated_features(response)
+
     # -- delivery ----------------------------------------------------------
 
     def _send_one(self, obj: dict) -> str:
         """Send one delta frame and wait for its ack; returns the status."""
         assert self._stream is not None
-        write_frame(self._stream, obj)
+        write_frame(self._stream, obj, compress="zlib" in self._features)
         self._stream.flush()
         response = read_frame(self._stream)
         if not isinstance(response, dict) or response.get("type") != "ack":
@@ -288,6 +345,40 @@ class ProfileShipper:
         if status not in ("applied", "duplicate", "stale", "rejected"):
             raise ServiceError(f"aggregator sent unknown ack status {status!r}")
         return str(status)
+
+    def _send_batch(self, deltas: list[ProfileDelta]) -> list[str]:
+        """Send many deltas in one v2 batch frame; returns each status."""
+        assert self._stream is not None
+        frame = DeltaBatch(deltas=tuple(deltas)).to_json_object()
+        write_frame(self._stream, frame, compress="zlib" in self._features)
+        self._stream.flush()
+        response = read_frame(self._stream)
+        if (
+            not isinstance(response, dict)
+            or response.get("type") != "ack"
+            or response.get("status") != "batch"
+        ):
+            raise ServiceError(
+                f"aggregator sent no batch ack (got {response!r})"
+            )
+        acks = response.get("acks")
+        if acks is None and response.get("applied") == len(deltas):
+            # Condensed ack: every delta applied, no per-delta list.
+            return ["applied"] * len(deltas)
+        if not isinstance(acks, list) or len(acks) != len(deltas):
+            raise ServiceError(
+                f"batch ack carries {len(acks) if isinstance(acks, list) else 0}"
+                f" statuses for {len(deltas)} deltas"
+            )
+        statuses = []
+        for ack in acks:
+            status = ack.get("status") if isinstance(ack, dict) else None
+            if status not in ("applied", "duplicate", "stale", "rejected"):
+                raise ServiceError(
+                    f"batch ack carries unknown status {status!r}"
+                )
+            statuses.append(str(status))
+        return statuses
 
     def _account(self, status: str, obj: dict, replayed: bool) -> None:
         total = sum(obj.get("counts", {}).values())
@@ -371,6 +462,20 @@ class ProfileShipper:
         if not self._replay_spill():
             return
         while self._queue:
+            if "batch" in self._features and len(self._queue) > 1:
+                deltas = list(self._queue)[: self.batch_size]
+                try:
+                    statuses = self._send_batch(deltas)
+                except (OSError, ServiceError) as exc:
+                    # Nothing was dequeued: the whole batch stays queued
+                    # and resends after reconnect; the aggregator's ledger
+                    # settles any deltas it already applied.
+                    self._note_failure(str(exc))
+                    return
+                for delta, status in zip(deltas, statuses):
+                    self._queue.popleft()
+                    self._account(status, delta.to_json_object(), replayed=False)
+                continue
             delta = self._queue[0]
             obj = delta.to_json_object()
             try:

@@ -422,6 +422,56 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="journaled generations kept for rollback (default: 5)",
     )
+    p_serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run a supervised local fleet: N shard aggregators (each a "
+        "subprocess with its own WAL and resumable state) uplinking into "
+        "a root merger that owns the checkpoint and the controller; "
+        "crashed shards are restarted in place (default: 0 = the single "
+        "aggregator)",
+    )
+    p_serve.add_argument(
+        "--fleet-data-dir",
+        default="pgmp-fleet",
+        metavar="DIR",
+        help="working directory for --shards fleets: per-shard state "
+        "files and WALs plus the root's state (default: pgmp-fleet)",
+    )
+    p_serve.add_argument(
+        "--fleet-role",
+        choices=["shard"],
+        default=None,
+        help="internal: run as one fleet shard (spawned by the --shards "
+        "supervisor; requires --shard-id and --uplink)",
+    )
+    p_serve.add_argument(
+        "--shard-id",
+        default=None,
+        help="internal: this shard's stable identity within the fleet",
+    )
+    p_serve.add_argument(
+        "--uplink",
+        default=None,
+        metavar="ADDR",
+        help="internal: the root merger address this shard uplinks to",
+    )
+    p_serve.add_argument(
+        "--wal",
+        default=None,
+        metavar="DIR",
+        help="internal: write-ahead-log directory making shard acks "
+        "durable across crashes",
+    )
+    p_serve.add_argument(
+        "--address-file",
+        default=None,
+        metavar="PATH",
+        help="internal: write the bound listen address to this file "
+        "once serving (the supervisor reads it back)",
+    )
 
     p_rollback = sub.add_parser(
         "rollback",
@@ -498,6 +548,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=5.0,
         metavar="SECONDS",
         help="connect/read timeout for the aggregator link (default: 5)",
+    )
+    p_ship.add_argument(
+        "--fleet",
+        action="store_true",
+        help="treat --connect as a fleet root: fetch the shard ring from "
+        "it and ship each delta to the shard owning its profile points "
+        "(--spill becomes a directory, one spill file per shard)",
     )
 
     p_lint = sub.add_parser(
@@ -861,6 +918,9 @@ def _run_serve(args: argparse.Namespace) -> int:
         scheme_static_verifier,
     )
 
+    if args.fleet_role == "shard":
+        return _run_serve_shard(args)
+
     metrics = ServiceMetrics()
     controller = None
     sources = None
@@ -894,6 +954,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         # Deltas fingerprinting a *different* version of the optimized
         # source are stale by definition — quarantine them.
         sources = {args.optimize: optimize_source}
+    if args.shards > 0:
+        return _run_serve_fleet(args, metrics, controller, sources)
     aggregator = ProfileAggregator(
         args.listen,
         checkpoint_path=args.checkpoint,
@@ -943,6 +1005,123 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve_shard(args: argparse.Namespace) -> int:
+    """One fleet shard (spawned by the --shards supervisor)."""
+    from repro.core.database import atomic_write_text
+    from repro.service import ServiceMetrics
+    from repro.service.fleet import ShardAggregator
+
+    if not args.shard_id or not args.uplink:
+        print(
+            "pgmp serve: --fleet-role shard requires --shard-id and --uplink",
+            file=sys.stderr,
+        )
+        return 2
+    metrics = ServiceMetrics()
+    shard = ShardAggregator(
+        args.listen,
+        shard_id=args.shard_id,
+        uplink=args.uplink,
+        wal_path=args.wal,
+        state_path=args.state,
+        checkpoint_path=args.checkpoint,
+        checkpoint_interval=args.checkpoint_interval,
+        policy=args.profile_policy,
+        metrics=metrics,
+        metrics_port=args.metrics_port,
+        read_timeout=args.read_timeout,
+    )
+    shard.start()
+    try:
+        print(
+            f"pgmp serve: shard {args.shard_id} listening on {shard.address} "
+            f"(uplink {args.uplink})",
+            file=sys.stderr,
+            flush=True,
+        )
+        if args.address_file:
+            atomic_write_text(args.address_file, f"{shard.address}\n")
+        try:
+            shard.shutdown_requested.wait()
+        except KeyboardInterrupt:
+            pass
+    finally:
+        stop_result = shard.stop()
+    applied = int(metrics.counter("deltas_applied_total"))
+    uplinked = int(metrics.counter("uplink_deltas_total"))
+    print(
+        f"pgmp serve: shard {args.shard_id} applied {applied} delta(s), "
+        f"uplinked {uplinked}",
+        file=sys.stderr,
+    )
+    if not stop_result.clean:
+        print(
+            f"pgmp serve: shard {args.shard_id} dirty stop: {stop_result}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _run_serve_fleet(
+    args: argparse.Namespace, metrics, controller, sources
+) -> int:
+    """A supervised local fleet: N shard subprocesses + an in-process root."""
+    from repro.service.fleet import FleetSupervisor
+
+    supervisor = FleetSupervisor(
+        args.shards,
+        args.fleet_data_dir,
+        listen=args.listen,
+        controller=controller,
+        metrics=metrics,
+        metrics_port=args.metrics_port,
+        checkpoint_path=args.checkpoint,
+        checkpoint_interval=args.checkpoint_interval,
+        sources=sources,
+        policy=args.profile_policy,
+        read_timeout=args.read_timeout,
+    )
+    supervisor.start()
+    try:
+        print(
+            f"pgmp serve: fleet root listening on {supervisor.root.address} "
+            f"({args.shards} shard(s))",
+            file=sys.stderr,
+            flush=True,
+        )
+        for shard_id, address in sorted(supervisor.shard_addresses().items()):
+            print(
+                f"pgmp serve: shard {shard_id} at {address}",
+                file=sys.stderr,
+                flush=True,
+            )
+        if supervisor.root.metrics_address is not None:
+            host, port = supervisor.root.metrics_address
+            print(
+                f"pgmp serve: metrics on http://{host}:{port}/metrics",
+                file=sys.stderr,
+                flush=True,
+            )
+        try:
+            supervisor.root.shutdown_requested.wait()
+        except KeyboardInterrupt:
+            pass
+    finally:
+        supervisor.stop()
+    applied = int(metrics.counter("deltas_applied_total"))
+    counts = int(metrics.counter("counts_ingested_total"))
+    print(
+        f"pgmp serve: fleet root applied {applied} delta(s) carrying "
+        f"{counts} counts",
+        file=sys.stderr,
+    )
+    if controller is not None:
+        for decision in controller.log.recompilations():
+            print(f"pgmp serve: {decision}", file=sys.stderr)
+    return 0
+
+
 def _run_rollback(args: argparse.Namespace) -> int:
     from repro.service.delta import read_frame, write_frame
     from repro.service.transport import connect
@@ -984,16 +1163,41 @@ def _run_ship(args: argparse.Namespace) -> int:
     _load_libraries(system, args.library)
     dataset = args.dataset if args.dataset else args.file
     counters = ShardedCounterSet(name=dataset)
-    shipper = ProfileShipper(
-        counters,
-        args.connect,
-        dataset=dataset,
-        fingerprints={args.file: source_fingerprint(source)},
-        shipper_id=args.shipper_id,
-        spill_path=args.spill,
-        policy=args.profile_policy,
-        timeout=args.timeout,
-    )
+    fingerprints = {args.file: source_fingerprint(source)}
+    if args.fleet:
+        # --connect names the fleet *root*; shard addresses come from
+        # its ring frame and the deltas go straight to the shards.
+        from repro.service.fleet import FleetShipper, fetch_ring
+
+        shards = {
+            shard_id: info["address"]
+            for shard_id, info in fetch_ring(args.connect).items()
+            if isinstance(info, dict) and isinstance(info.get("address"), str)
+        }
+        shipper = FleetShipper(
+            counters,
+            shards,
+            root=args.connect,
+            dataset=dataset,
+            fingerprints=fingerprints,
+            shipper_id=args.shipper_id,
+            spill_dir=args.spill,
+            policy=args.profile_policy,
+            timeout=args.timeout,
+        )
+        destination = f"{len(shards)} shard(s) via root {args.connect}"
+    else:
+        shipper = ProfileShipper(
+            counters,
+            args.connect,
+            dataset=dataset,
+            fingerprints=fingerprints,
+            shipper_id=args.shipper_id,
+            spill_path=args.spill,
+            policy=args.profile_policy,
+            timeout=args.timeout,
+        )
+        destination = str(shipper.address)
     program = system.compile(source, args.file)
     mode = _mode(args.mode)
     try:
@@ -1004,7 +1208,7 @@ def _run_ship(args: argparse.Namespace) -> int:
         shipper.close()
     print(
         f";; shipped {shipper.shipped_counts} counts in "
-        f"{shipper.shipped_deltas} delta(s) to {shipper.address} "
+        f"{shipper.shipped_deltas} delta(s) to {destination} "
         f"(spilled {shipper.spilled_deltas}, dropped {shipper.dropped_deltas}, "
         f"quarantined {shipper.quarantined_deltas})",
         file=sys.stderr,

@@ -1,0 +1,361 @@
+"""The sharded fleet: WAL durability, shard uplink, root merge, slices."""
+
+import time
+
+import pytest
+
+from repro.core.counters import CounterSet
+from repro.core.errors import ServiceError
+from repro.core.profile_point import ProfilePoint
+from repro.core.srcloc import SourceLocation
+from repro.service.delta import ProfileDelta
+from repro.service.fleet import (
+    FleetShipper,
+    FleetSupervisor,
+    HashRing,
+    RootMerger,
+    ShardAggregator,
+    WriteAheadLog,
+    fetch_ring,
+)
+from repro.service.fleet.shipper import _ShardSlice
+
+POINTS = [
+    ProfilePoint.for_location(SourceLocation("w.ss", n, n + 1)) for n in range(8)
+]
+
+
+def _delta_frame(seq: int, count: int = 1, shipper: str = "s") -> dict:
+    return ProfileDelta(
+        shipper=shipper,
+        seq=seq,
+        dataset="ds",
+        counts={POINTS[seq % len(POINTS)].key(): count},
+    ).to_json_object()
+
+
+# -- write-ahead log -------------------------------------------------------
+
+
+def test_wal_replays_appended_frames(tmp_path):
+    wal = WriteAheadLog(tmp_path / "wal")
+    wal.append({"a": 1})
+    wal.append({"b": 2})
+    wal.close()
+    frames, torn = WriteAheadLog(tmp_path / "wal").replay()
+    assert frames == [{"a": 1}, {"b": 2}]
+    assert torn == 0
+
+
+def test_wal_tolerates_a_torn_tail(tmp_path):
+    wal = WriteAheadLog(tmp_path / "wal")
+    wal.append({"a": 1})
+    wal.close()
+    segments = sorted((tmp_path / "wal").glob("wal-*.jsonl"))
+    with open(segments[-1], "a", encoding="utf-8") as handle:
+        handle.write('{"b": 2, "trunc')  # the crash mid-write
+    frames, torn = WriteAheadLog(tmp_path / "wal").replay()
+    assert frames == [{"a": 1}]
+    assert torn == 1
+
+
+def test_wal_rotate_and_prune_drop_sealed_segments(tmp_path):
+    wal = WriteAheadLog(tmp_path / "wal")
+    wal.append({"a": 1})
+    sealed = wal.rotate()
+    assert len(sealed) == 1
+    wal.append({"b": 2})  # lands in the new live segment
+    wal.prune(sealed)
+    frames, _ = wal.replay()
+    assert frames == [{"b": 2}], "pruned segment no longer replays"
+    wal.close()
+
+
+# -- shard aggregator: WAL durability --------------------------------------
+
+
+def test_shard_recovers_unacked_counts_from_wal(tmp_path):
+    shard = ShardAggregator(
+        "127.0.0.1:0",
+        shard_id="0",
+        wal_path=tmp_path / "wal",
+        state_path=str(tmp_path / "state.json"),
+        async_transport=False,
+    )
+    for seq in (1, 2, 3):
+        ack = shard.handle_frame(_delta_frame(seq, count=5))
+        assert ack["status"] == "applied"
+    assert shard.total_counts() == 15
+    # Crash: no final checkpoint, state.json never written.
+    shard.stop(checkpoint=False)
+
+    revived = ShardAggregator(
+        "127.0.0.1:0",
+        shard_id="0",
+        wal_path=tmp_path / "wal",
+        state_path=str(tmp_path / "state.json"),
+        async_transport=False,
+    )
+    assert revived.total_counts() == 15, "WAL replay restored every count"
+    # Replay marked the ledger too: the shipper's resend is a duplicate.
+    ack = revived.handle_frame(_delta_frame(2, count=5))
+    assert ack["status"] == "duplicate"
+    assert revived.total_counts() == 15
+    revived.stop(checkpoint=False)
+
+
+def test_shard_checkpoint_prunes_wal(tmp_path):
+    shard = ShardAggregator(
+        "127.0.0.1:0",
+        shard_id="0",
+        wal_path=tmp_path / "wal",
+        state_path=str(tmp_path / "state.json"),
+        async_transport=False,
+    )
+    shard.handle_frame(_delta_frame(1, count=5))
+    assert shard._wal.size_bytes() > 0
+    assert shard.checkpoint()
+    assert shard._wal.size_bytes() == 0, "checkpointed frames leave the WAL"
+    shard.stop()
+
+
+# -- shard -> root uplink --------------------------------------------------
+
+
+@pytest.fixture
+def root(tmp_path):
+    with RootMerger(
+        "127.0.0.1:0", state_path=str(tmp_path / "root-state.json")
+    ) as merger:
+        yield merger
+
+
+def _shard(tmp_path, root, shard_id="0", **kwargs):
+    return ShardAggregator(
+        "127.0.0.1:0",
+        shard_id=shard_id,
+        uplink=root.address,
+        wal_path=tmp_path / f"wal-{shard_id}",
+        state_path=str(tmp_path / f"state-{shard_id}.json"),
+        async_transport=False,
+        **kwargs,
+    )
+
+
+def test_checkpoint_uplinks_merged_counts_to_root(tmp_path, root):
+    shard = _shard(tmp_path, root)
+    shard.handle_frame(_delta_frame(1, count=5, shipper="w1"))
+    shard.handle_frame(_delta_frame(1, count=7, shipper="w2"))
+    assert shard.checkpoint()
+    assert root.total_counts() == 12
+    # The root saw ONE uplink identity, not the two leaf shippers.
+    stats = root.handle_frame({"type": "stats"})
+    assert list(stats["shippers"]) == ["shard-0"]
+    # Idempotence: a second checkpoint with no new counts sends nothing.
+    assert shard.checkpoint()
+    assert root.total_counts() == 12
+    shard.stop()
+
+
+def test_uplink_survives_crash_without_double_count(tmp_path, root):
+    shard = _shard(tmp_path, root)
+    shard.handle_frame(_delta_frame(1, count=5))
+    assert shard.checkpoint()  # uplinked: root at 5
+    shard.handle_frame(_delta_frame(2, count=3))  # WALed, not yet uplinked
+    shard.stop(checkpoint=False)  # crash
+
+    revived = _shard(tmp_path, root)
+    assert revived.total_counts() == 8, "state + WAL replay"
+    assert revived.checkpoint()
+    assert root.total_counts() == 8, "only the unsent 3 arrived"
+    revived.stop()
+    assert root.total_counts() == 8
+
+
+def test_uplink_buffers_while_root_is_down(tmp_path):
+    with RootMerger("127.0.0.1:0") as merger:
+        address = merger.address
+    # Root is now down; the shard checkpoints into its pending buffer.
+    shard = ShardAggregator(
+        "127.0.0.1:0",
+        shard_id="0",
+        uplink=address,
+        wal_path=tmp_path / "wal",
+        state_path=str(tmp_path / "state.json"),
+        async_transport=False,
+    )
+    shard.handle_frame(_delta_frame(1, count=5))
+    assert shard.checkpoint(), "checkpoint succeeds; the uplink just waits"
+    assert len(shard._uplink_pending) == 1
+    # Root returns on the same address; the next checkpoint delivers
+    # (after the uplink's retry backoff has expired).
+    with RootMerger(address) as merger:
+        time.sleep(0.2)
+        shard.handle_frame(_delta_frame(2, count=2))
+        assert shard.checkpoint()
+        assert merger.total_counts() == 7
+        assert not shard._uplink_pending
+    shard.stop(checkpoint=False)
+
+
+# -- root merger -----------------------------------------------------------
+
+
+def test_root_tracks_shard_registry(root):
+    root.note_shard("0", "127.0.0.1:1111")
+    root.note_shard("1", "127.0.0.1:2222")
+    ring = root.handle_frame({"type": "ring"})
+    assert ring["type"] == "ring"
+    assert ring["shards"]["0"] == {"address": "127.0.0.1:1111", "up": True}
+    root.mark_shard_down("1")
+    ring = root.handle_frame({"type": "ring"})
+    assert ring["shards"]["1"]["up"] is False
+    assert "shards_up=1/2" in root._healthz_body()
+
+
+def test_register_frame_updates_the_registry(root):
+    ack = root.handle_frame(
+        {"type": "register", "shard": "3", "address": "127.0.0.1:3333"}
+    )
+    assert ack["type"] == "ack"
+    assert root.shard_map()["3"].address == "127.0.0.1:3333"
+    assert root.metrics.labeled_gauge("fleet_shard_up", {"shard": "3"}) == 1.0
+
+
+def test_fetch_ring_over_the_wire(root):
+    root.note_shard("0", "127.0.0.1:1111")
+    shards = fetch_ring(root.address)
+    assert shards == {"0": {"address": "127.0.0.1:1111", "up": True}}
+
+
+# -- fleet shipper ---------------------------------------------------------
+
+
+def test_shard_slices_partition_the_counter_set_exactly():
+    counters = CounterSet(name="ds")
+    for n, point in enumerate(POINTS):
+        counters.increment(point, by=n + 1)
+    ring = HashRing(["0", "1", "2"])
+    slices = [_ShardSlice(counters, ring, member) for member in ("0", "1", "2")]
+    merged = {}
+    for shard_slice in slices:
+        snap = shard_slice.snapshot()
+        assert not set(merged) & set(snap), "slices must be disjoint"
+        merged.update(snap)
+    assert merged == counters.snapshot()
+    with pytest.raises(ServiceError):
+        slices[0].increment(POINTS[0])
+    with pytest.raises(ServiceError):
+        slices[0].clear()
+
+
+def test_fleet_shipper_ships_everything_once(tmp_path, root):
+    shards = {
+        shard_id: _shard(tmp_path, root, shard_id=shard_id)
+        for shard_id in ("0", "1")
+    }
+    for shard in shards.values():
+        shard.start()
+    try:
+        counters = CounterSet(name="ds")
+        total = 0
+        for n, point in enumerate(POINTS):
+            counters.increment(point, by=n + 1)
+            total += n + 1
+        fleet = FleetShipper(
+            counters,
+            {shard_id: str(s.address) for shard_id, s in shards.items()},
+            shipper_id="worker",
+        )
+        deltas = fleet.flush()
+        assert fleet.shipped_counts == total
+        assert sum(d.total() for d in deltas) == total
+        fleet.close()
+        shard_total = sum(s.total_counts() for s in shards.values())
+        assert shard_total == total
+        for shard in shards.values():
+            assert shard.checkpoint()
+        assert root.total_counts() == total
+    finally:
+        for shard in shards.values():
+            shard.stop(checkpoint=False)
+
+
+def test_fleet_shipper_reresolves_in_place(tmp_path, root):
+    shard = _shard(tmp_path, root).start()
+    root.note_shard("0", str(shard.address))
+    counters = CounterSet(name="ds")
+    fleet = FleetShipper(
+        counters, {"0": str(shard.address)}, root=root.address
+    )
+    original = fleet.shippers["0"]
+    counters.increment(POINTS[0], by=4)
+    fleet.flush()
+    assert fleet.shipped_counts == 4
+
+    # The shard dies and comes back on a different port.
+    shard.stop(checkpoint=False)
+    revived = _shard(tmp_path, root).start()
+    try:
+        root.note_shard("0", str(revived.address))
+        changed = fleet.re_resolve()
+        assert changed == ["0"]
+        assert fleet.shippers["0"] is original, "same shipper object"
+        assert fleet.shippers["0"].address == revived.address
+        counters.increment(POINTS[0], by=2)
+        fleet.flush()
+        assert fleet.shipped_counts == 6
+        assert revived.total_counts() == 6, "restored slice + new delta"
+        fleet.close()
+    finally:
+        revived.stop(checkpoint=False)
+
+
+# -- supervisor (in-process mode) ------------------------------------------
+
+
+def test_supervisor_runs_a_fleet_in_process(tmp_path):
+    with FleetSupervisor(2, tmp_path / "fleet", in_process=True) as fleet:
+        assert fleet.wait_all_up(timeout=5.0)
+        addresses = fleet.shard_addresses()
+        assert set(addresses) == {"0", "1"}
+        counters = CounterSet(name="ds")
+        for n, point in enumerate(POINTS):
+            counters.increment(point, by=n + 1)
+        shipper = FleetShipper(
+            counters, addresses, root=fleet.root.address
+        )
+        shipper.flush()
+        shipper.close()
+        for slot in fleet._slots.values():
+            assert slot.aggregator.checkpoint()
+        assert fleet.root.total_counts() == sum(
+            n + 1 for n in range(len(POINTS))
+        )
+        stats = fleet.stats()
+        assert set(stats["shard_stats"]) == {"0", "1"}
+        assert stats["fleet"]["up"] == 2
+
+
+def test_supervisor_restart_preserves_shard_state(tmp_path):
+    with FleetSupervisor(
+        2, tmp_path / "fleet", in_process=True, checkpoint_interval=60.0
+    ) as fleet:
+        addresses = fleet.shard_addresses()
+        counters = CounterSet(name="ds")
+        for point in POINTS:
+            counters.increment(point, by=3)
+        shipper = FleetShipper(counters, addresses, root=fleet.root.address)
+        shipper.flush()
+        before = {
+            shard_id: slot.aggregator.total_counts()
+            for shard_id, slot in fleet._slots.items()
+        }
+        fleet.kill_shard("0")
+        assert fleet.root.shard_map()["0"].up is False
+        fleet.restart_shard("0")
+        assert fleet.root.shard_map()["0"].up is True
+        slot = fleet._slots["0"]
+        assert slot.aggregator.total_counts() == before["0"], "WAL restore"
+        assert slot.restarts == 1
+        shipper.close()

@@ -69,7 +69,9 @@ def test_snapshot_shape():
         "counters": {"a": 2},
         "labeled_counters": {},
         "gauges": {"g": 7},
+        "labeled_gauges": {},
         "latency_counts": {"l": 1},
+        "latency_quantiles": {"l": {"0.5": 0.1, "0.95": 0.1, "0.99": 0.1}},
     }
 
 

@@ -1,0 +1,108 @@
+"""Consistent-hash ring: routing stability, determinism, remap bounds."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.errors import ServiceError
+from repro.service.fleet import HashRing
+
+KEYS = [f"file-{n}.scm:0-{n + 1}:1.0" for n in range(2000)]
+
+
+def test_route_is_deterministic_and_total():
+    ring = HashRing(["a", "b", "c"])
+    first = [ring.route(key) for key in KEYS]
+    second = [ring.route(key) for key in KEYS]
+    assert first == second
+    assert set(first) <= {"a", "b", "c"}
+
+
+def test_every_member_owns_some_keys():
+    ring = HashRing([str(n) for n in range(8)])
+    owners = {ring.route(key) for key in KEYS}
+    assert owners == set(ring.members)
+
+
+def test_distribution_is_roughly_uniform():
+    members = [str(n) for n in range(4)]
+    ring = HashRing(members)
+    load = {member: 0 for member in members}
+    for key in KEYS:
+        load[ring.route(key)] += 1
+    expected = len(KEYS) / len(members)
+    for member, count in load.items():
+        # 64 virtual nodes per member keeps the spread well inside 2x.
+        assert 0.4 * expected <= count <= 2.0 * expected, (member, load)
+
+
+def test_adding_a_member_remaps_about_one_nth():
+    ring = HashRing(["0", "1", "2", "3"])
+    before = {key: ring.route(key) for key in KEYS}
+    ring.add("4")
+    moved = sum(1 for key in KEYS if ring.route(key) != before[key])
+    # Ideal is 1/5 of keys; allow generous slack but require that the
+    # vast majority of keys did NOT move (the whole point of the ring).
+    assert moved / len(KEYS) < 0.35
+    assert moved > 0
+    # Every key that moved must have moved TO the new member.
+    for key in KEYS:
+        if ring.route(key) != before[key]:
+            assert ring.route(key) == "4"
+
+
+def test_removing_a_member_only_remaps_its_keys():
+    ring = HashRing(["0", "1", "2", "3"])
+    before = {key: ring.route(key) for key in KEYS}
+    ring.remove("2")
+    for key in KEYS:
+        if before[key] == "2":
+            assert ring.route(key) != "2"
+        else:
+            assert ring.route(key) == before[key], "unaffected key moved"
+
+
+def test_add_then_remove_roundtrips():
+    ring = HashRing(["0", "1", "2"])
+    before = {key: ring.route(key) for key in KEYS}
+    ring.add("3")
+    ring.remove("3")
+    assert {key: ring.route(key) for key in KEYS} == before
+
+
+def test_add_and_remove_are_idempotent():
+    ring = HashRing(["a", "b"])
+    ring.add("a")
+    assert ring.members == ["a", "b"]
+    ring.remove("zz")
+    assert ring.members == ["a", "b"]
+
+
+def test_empty_ring_and_bad_members_are_rejected():
+    with pytest.raises(ServiceError):
+        HashRing([]).route("k")
+    with pytest.raises(ServiceError):
+        HashRing([""])
+    with pytest.raises(ServiceError):
+        HashRing(["a"], replicas=0)
+
+
+def test_routing_is_identical_across_processes():
+    """The property Python's salted ``hash()`` would break: a shipper in
+    one process and a shard in another must agree on ownership."""
+    probe_keys = KEYS[:50]
+    script = (
+        "from repro.service.fleet import HashRing\n"
+        "ring = HashRing(['0', '1', '2', '3'])\n"
+        f"for key in {probe_keys!r}:\n"
+        "    print(ring.route(key))\n"
+    )
+    runs = [
+        subprocess.check_output(
+            [sys.executable, "-c", script], text=True
+        ).split()
+        for _ in range(2)
+    ]
+    local = [HashRing(["0", "1", "2", "3"]).route(key) for key in probe_keys]
+    assert runs[0] == runs[1] == local

@@ -96,6 +96,7 @@ def test_backoff_schedule_is_exponential_and_capped():
         policy=ProfilePolicy.IGNORE,
         backoff_base=0.05,
         backoff_max=0.2,
+        backoff_jitter=0.0,  # pin the nominal schedule for exact checks
     )
     delays = []
     for _ in range(4):
@@ -108,6 +109,47 @@ def test_backoff_schedule_is_exponential_and_capped():
     assert delays[1] == pytest.approx(0.10, abs=0.03)
     assert delays[2] == pytest.approx(0.20, abs=0.03)
     assert delays[3] == pytest.approx(0.20, abs=0.03)  # capped
+
+
+def test_backoff_jitter_decorrelates_retries():
+    """The thundering-herd regression: two shippers failing in lockstep
+    must not compute identical retry instants (unless jitter is 0)."""
+    import random
+
+    def delays_for(rng):
+        counters = CounterSet(name="ds")
+        shipper = ProfileShipper(
+            counters,
+            _dead_address(),
+            policy=ProfilePolicy.IGNORE,
+            backoff_base=0.05,
+            backoff_max=100.0,  # never capped: pure schedule comparison
+            backoff_jitter=0.5,
+            rng=rng,
+        )
+        out = []
+        for _ in range(4):
+            shipper._retry_at = 0.0
+            before = time.monotonic()
+            counters.increment(POINTS[0])
+            shipper.flush()
+            out.append(shipper._retry_at - before)
+        return out
+
+    a = delays_for(random.Random(1))
+    b = delays_for(random.Random(2))
+    assert a != b  # de-correlated schedules
+    for i, (da, db) in enumerate(zip(a, b)):
+        nominal = 0.05 * (2**i)
+        # each delay stays within ±50% of its nominal exponential step
+        # (loose upper slack for scheduler latency between the failure
+        # and the clock read)
+        assert 0.5 * nominal <= da <= 1.5 * nominal + 0.05
+        assert 0.5 * nominal <= db <= 1.5 * nominal + 0.05
+    # determinism: the same seed reproduces the same schedule (modulo
+    # clock noise), which is what makes jitter testable at all
+    c = delays_for(random.Random(1))
+    assert all(abs(x - y) < 0.05 for x, y in zip(a, c))
 
 
 def test_queue_overflow_without_spill_drops_oldest():

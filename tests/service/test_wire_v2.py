@@ -1,0 +1,211 @@
+"""Wire protocol v2: hello negotiation, batches, compression, v1 interop."""
+
+import io
+import zlib
+
+import pytest
+
+from repro.core.counters import CounterSet
+from repro.core.errors import DeltaFormatError
+from repro.core.profile_point import ProfilePoint
+from repro.core.srcloc import SourceLocation
+from repro.service import ProfileAggregator, ProfileShipper
+from repro.service.delta import (
+    MAX_BATCH_DELTAS,
+    MAX_FRAME_BYTES,
+    WIRE_FEATURES,
+    WIRE_VERSION,
+    DeltaBatch,
+    ProfileDelta,
+    encode_frame,
+    hello_frame,
+    negotiated_features,
+    read_frame,
+    write_frame,
+)
+
+POINTS = [
+    ProfilePoint.for_location(SourceLocation("w.ss", n, n + 1)) for n in range(4)
+]
+
+
+def _delta(seq: int, count: int = 1, shipper: str = "s") -> ProfileDelta:
+    return ProfileDelta(
+        shipper=shipper,
+        seq=seq,
+        dataset="ds",
+        counts={POINTS[0].key(): count},
+    )
+
+
+# -- framing ---------------------------------------------------------------
+
+
+def test_compressed_frame_roundtrips_and_sets_the_flag():
+    obj = {"type": "delta", "payload": "x" * 10_000}
+    raw = encode_frame(obj, compress=True)
+    assert raw[0] & 0x80, "top bit of the length prefix marks compression"
+    assert len(raw) < 10_000, "compression actually shrank the frame"
+    assert read_frame(io.BytesIO(raw)) == obj
+
+
+def test_uncompressed_frame_is_plain_v1_framing():
+    obj = {"type": "delta", "n": 1}
+    raw = encode_frame(obj)
+    assert not raw[0] & 0x80
+    assert read_frame(io.BytesIO(raw)) == obj
+
+
+def test_write_frame_compress_flag_is_readable_by_read_frame():
+    stream = io.BytesIO()
+    write_frame(stream, {"a": 1}, compress=True)
+    write_frame(stream, {"b": 2})
+    stream.seek(0)
+    assert read_frame(stream) == {"a": 1}
+    assert read_frame(stream) == {"b": 2}
+    assert read_frame(stream) is None
+
+
+def test_decompression_bomb_is_rejected():
+    # A tiny compressed frame claiming to inflate past MAX_FRAME_BYTES
+    # must be refused without the giant allocation.
+    bomb = zlib.compress(b"[" + b"0," * (MAX_FRAME_BYTES // 2) + b"0]", 9)
+    assert len(bomb) < MAX_FRAME_BYTES  # the bomb itself passes the prefix
+    framed = (
+        int.to_bytes(len(bomb) | 0x8000_0000, 4, "big") + bomb
+    )
+    with pytest.raises(DeltaFormatError):
+        read_frame(io.BytesIO(framed))
+
+
+def test_corrupt_compressed_payload_is_a_format_error():
+    framed = int.to_bytes(4 | 0x8000_0000, 4, "big") + b"\x00\x01\x02\x03"
+    with pytest.raises(DeltaFormatError):
+        read_frame(io.BytesIO(framed))
+
+
+# -- hello negotiation -----------------------------------------------------
+
+
+def test_hello_negotiates_the_feature_intersection():
+    assert negotiated_features(hello_frame()) == set(WIRE_FEATURES)
+    assert negotiated_features(hello_frame(["zlib"])) == {"zlib"}
+    assert negotiated_features(hello_frame(["zlib", "quic"])) == {"zlib"}
+
+
+def test_malformed_hello_negotiates_nothing():
+    assert negotiated_features({"type": "delta"}) == set()
+    assert negotiated_features({"type": "hello", "v": 99}) == set()
+    assert negotiated_features({"type": "hello", "v": 2, "features": "x"}) == set()
+    assert negotiated_features(None) == set()
+    assert negotiated_features("hello") == set()
+
+
+# -- batch frames ----------------------------------------------------------
+
+
+def test_batch_roundtrips_with_shard_tag():
+    batch = DeltaBatch(deltas=(_delta(1), _delta(2)), shard="3")
+    rebuilt = DeltaBatch.from_json_object(batch.to_json_object())
+    assert rebuilt == batch
+    assert rebuilt.total() == 2
+    assert batch.to_json_object()["v"] == WIRE_VERSION
+
+
+def test_batch_rejects_empty_and_oversized():
+    with pytest.raises(DeltaFormatError):
+        DeltaBatch.from_json_object(
+            {"type": "batch", "v": 2, "deltas": []}
+        )
+    too_many = [_delta(n + 1).to_json_object() for n in range(2)]
+    frame = {"type": "batch", "v": 2, "deltas": too_many * (MAX_BATCH_DELTAS)}
+    with pytest.raises(DeltaFormatError):
+        DeltaBatch.from_json_object(frame)
+
+
+def test_delta_emits_v2_but_accepts_v1():
+    delta = _delta(1)
+    assert delta.to_json_object()["v"] == WIRE_VERSION
+    v1 = delta.to_json_object()
+    v1["v"] = 1
+    assert ProfileDelta.from_json_object(v1) == delta
+
+
+# -- aggregator integration ------------------------------------------------
+
+
+def test_aggregator_answers_hello_and_accepts_a_batch():
+    with ProfileAggregator("127.0.0.1:0") as aggregator:
+        hello_ack = aggregator.handle_frame(hello_frame(peer="t"))
+        assert negotiated_features(hello_ack) == set(WIRE_FEATURES)
+        batch = DeltaBatch(deltas=(_delta(1, 5), _delta(2, 7)))
+        ack = aggregator.handle_frame(batch.to_json_object())
+        assert ack["type"] == "ack"
+        assert ack["status"] == "batch"
+        assert ack["applied"] == 2
+        # All-applied batches get the condensed ack: no per-delta list.
+        assert "acks" not in ack
+        assert aggregator.total_counts() == 12
+
+
+def test_batch_acks_are_per_delta_and_idempotent():
+    with ProfileAggregator("127.0.0.1:0") as aggregator:
+        batch = DeltaBatch(deltas=(_delta(1, 5), _delta(1, 5), _delta(2, 7)))
+        ack = aggregator.handle_frame(batch.to_json_object())
+        statuses = [a["status"] for a in ack["acks"]]
+        assert statuses == ["applied", "duplicate", "applied"]
+        assert aggregator.total_counts() == 12, "duplicate seq not re-counted"
+
+
+def test_v2_shipper_negotiates_batches_over_the_wire():
+    counters = CounterSet(name="ds")
+    with ProfileAggregator("127.0.0.1:0") as aggregator:
+        with ProfileShipper(counters, aggregator.address) as shipper:
+            # Pre-load a queue of deltas (as if cut while disconnected)
+            # so the first drain has something to batch.
+            for n in range(5):
+                shipper._queue.append(
+                    _delta(n + 1, n + 1, shipper=shipper.shipper_id)
+                )
+            shipper._seq = 5
+            shipper.flush()
+            assert shipper._features == set(WIRE_FEATURES)
+            assert shipper.shipped_deltas == 5
+        assert aggregator.total_counts() == 15
+        assert aggregator.metrics.counter("deltas_applied_total") == 5
+        # one batch frame carried all five deltas
+        assert aggregator.metrics.latency_count("batch_latency") == 1
+
+
+def test_v1_client_still_interoperates():
+    """A pre-v2 shipper never sends hello and expects lone-delta acks."""
+    counters = CounterSet(name="ds")
+    with ProfileAggregator("127.0.0.1:0") as aggregator:
+        shipper = ProfileShipper(
+            counters, aggregator.address, negotiate=False
+        )
+        counters.increment(POINTS[0], by=9)
+        shipper.flush()
+        counters.increment(POINTS[1], by=4)
+        shipper.flush()
+        shipper.close()
+        assert shipper._features == set()
+        assert aggregator.total_counts() == 13
+
+
+def test_mixed_v1_and_v2_clients_share_one_aggregator():
+    with ProfileAggregator("127.0.0.1:0") as aggregator:
+        old = CounterSet(name="ds")
+        new = CounterSet(name="ds")
+        with ProfileShipper(
+            old, aggregator.address, shipper_id="v1", negotiate=False
+        ) as legacy, ProfileShipper(
+            new, aggregator.address, shipper_id="v2"
+        ) as modern:
+            old.increment(POINTS[0], by=3)
+            legacy.flush()
+            new.increment(POINTS[0], by=4)
+            modern.flush()
+        assert aggregator.total_counts() == 7
+        stats = aggregator.handle_frame({"type": "stats"})
+        assert stats["shippers"] == {"v1": 1, "v2": 1}
