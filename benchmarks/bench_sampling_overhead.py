@@ -1,0 +1,204 @@
+"""Experiment SAMP-1 — sampling-profiler overhead on production traffic.
+
+The sampling tier's contract (docs/observability.md): full counter
+instrumentation is for representative offline runs; the ``pgmp ship
+--profile-mode sampled`` steady state — one run in ``stride``
+instrumented, the rest executing with **no hooks at all** — must cost
+**under 1%** over uninstrumented execution, while still shipping
+unbiased counts with an honest confidence record.
+
+Wall clock in shared containers is noisy, so the budget is asserted on a
+deterministic proxy (Python call events, the bench_sec44_overhead.py /
+bench_trace_overhead.py technique): the steady-state window of
+``stride`` runs (1 instrumented + ``stride-1`` plain) is compared
+against ``stride`` plain runs. Best-of-N wall clock is reported for the
+EXPERIMENTS.md row.
+
+``PGMP_BENCH_SMOKE=1`` shrinks the workload for CI; the <1% assertion
+itself is unchanged — the proxy is deterministic, so the gate is just as
+strict in smoke mode.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from benchmarks.conftest import report
+from repro.core.counters import CounterSet
+from repro.profiling import RunSampler, relative_error_bar
+from repro.scheme.instrument import ProfileMode
+from repro.scheme.pipeline import SchemeSystem
+
+SMOKE = os.environ.get("PGMP_BENCH_SMOKE") == "1"
+
+#: The production stride the <1% budget is asserted at (``pgmp ship
+#: --profile-mode sampled --sample-rate 250``). Full instrumentation
+#: costs ~120% per run on this interpreter, so 1-in-250 subsetting
+#: amortizes it to ~0.5% — comfortably inside the budget.
+STRIDE = 250
+
+#: Stride for the reconstruction-fidelity loop — the unbiasedness
+#: property is stride-independent, so a small one keeps the loop short.
+UNBIAS_STRIDE = 10
+
+FIB_N = 9 if SMOKE else 11
+
+PROGRAM = f"""
+(define (fib n)
+  (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+(fib {FIB_N})
+"""
+
+
+def _call_events(fn) -> int:
+    """Python-level call events during fn() — exact and repeatable."""
+    count = 0
+
+    def tracer(frame, event, arg):
+        nonlocal count
+        if event == "call":
+            count += 1
+
+    sys.setprofile(tracer)
+    try:
+        fn()
+    finally:
+        sys.setprofile(None)
+    return count
+
+
+def _best_of(fn, repeats: int = 3 if SMOKE else 5) -> float:
+    best = float("inf")
+    fn()  # warm up
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _setup():
+    system = SchemeSystem()
+    program = system.compile(PROGRAM, "bench.ss")
+    return system, program
+
+
+def _instrumented_run(system, program, counters):
+    run_counters = CounterSet(name="run")
+    system.run(program, instrument=ProfileMode.EXPR, counters=run_counters)
+    return run_counters
+
+
+def test_steady_state_sampled_overhead_under_one_percent(benchmark):
+    """The headline gate: the ship-loop steady state at stride 100 stays
+    under 1% of uninstrumented execution on the call-event proxy."""
+    system, program = _setup()
+    shipping = CounterSet(name="traffic")
+    sampler = RunSampler(STRIDE)
+
+    def sampled_window():
+        # One steady-state window: exactly what the pgmp ship loop does.
+        for _ in range(STRIDE):
+            if sampler.gate():
+                run_counters = _instrumented_run(system, program, shipping)
+                sampler.fold(run_counters, shipping)
+            else:
+                system.run(program)
+
+    def plain_window():
+        for _ in range(STRIDE):
+            system.run(program)
+
+    plain = _call_events(plain_window)
+    sampled = benchmark.pedantic(
+        lambda: _call_events(sampled_window), rounds=1, iterations=1
+    )
+    overhead = sampled / plain - 1.0
+    assert sampled >= plain, "sampling cannot remove work"
+    assert overhead < 0.01, (
+        f"steady-state sampled profiling exceeded the 1% budget: "
+        f"{sampled} vs {plain} call events (+{overhead:.3%})"
+    )
+
+    wall_plain = _best_of(plain_window)
+    wall_sampled = _best_of(sampled_window)
+    report(
+        "SAMP-1 steady-state overhead",
+        "sampled production profiling <1% over uninstrumented execution",
+        f"+{overhead:.3%} call events per {STRIDE}-run window at stride "
+        f"{STRIDE} (wall clock best-of-{3 if SMOKE else 5}: "
+        f"{wall_plain * 1e3:.1f}ms plain, {wall_sampled * 1e3:.1f}ms sampled)",
+    )
+
+
+def test_full_instrumentation_is_what_sampling_amortizes(benchmark):
+    """Context row: the per-run cost of full instrumentation — the
+    overhead the run-subsetting divides by the stride."""
+    system, program = _setup()
+    shipping = CounterSet(name="traffic")
+
+    plain = _call_events(lambda: system.run(program))
+    instrumented = benchmark.pedantic(
+        lambda: _call_events(
+            lambda: _instrumented_run(system, program, shipping)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    full_overhead = instrumented / plain - 1.0
+    assert full_overhead > 0.01, (
+        "full instrumentation costs >1% per run — otherwise sampling "
+        f"would have nothing to amortize (got +{full_overhead:.2%})"
+    )
+    report(
+        "SAMP-1 full-instrumentation context",
+        "full counter instrumentation is too hot to leave on in production",
+        f"+{full_overhead:.1%} call events per fully-instrumented run; "
+        f"amortized to +{full_overhead / STRIDE:.3%} by 1-in-{STRIDE} "
+        "run subsetting",
+    )
+
+
+def test_sampled_counts_stay_unbiased_with_honest_confidence(benchmark):
+    """The counts the cheap path ships match the exact profile's totals
+    (the gate is deterministic), and the confidence record prices the
+    thinning."""
+    system, program = _setup()
+    runs = 4 * UNBIAS_STRIDE
+
+    exact = CounterSet(name="exact")
+
+    def exact_loop():
+        for _ in range(runs):
+            system.run(program, instrument=ProfileMode.EXPR, counters=exact)
+
+    sampled = CounterSet(name="sampled")
+    sampler = RunSampler(UNBIAS_STRIDE)
+
+    def sampled_loop():
+        for _ in range(runs):
+            if sampler.gate():
+                run_counters = CounterSet(name="run")
+                system.run(
+                    program, instrument=ProfileMode.EXPR, counters=run_counters
+                )
+                sampler.fold(run_counters, sampled)
+            else:
+                system.run(program)
+
+    benchmark.pedantic(sampled_loop, rounds=1, iterations=1)
+    exact_loop()
+
+    # Identical per-run workloads + deterministic gate: the reconstructed
+    # totals equal the exact totals, point for point.
+    assert sampled.snapshot() == exact.snapshot()
+    error_bar = relative_error_bar(sampler.samples, UNBIAS_STRIDE)
+    assert 0.0 < error_bar <= 1.0
+    report(
+        "SAMP-1 reconstruction fidelity",
+        "stride-subset counts are unbiased estimates of the exact profile",
+        f"reconstructed totals identical to exact over {runs} runs "
+        f"({sampler.samples} observed events, ±{error_bar:.0%} error bar)",
+    )

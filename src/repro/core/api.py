@@ -36,6 +36,7 @@ from repro.core.profile_point import (
 )
 from repro.core.srcloc import SourceLocation
 from repro.obs.tracer import active_tracer
+from repro.profiling.confidence import DEFAULT_ERROR_BAR_THRESHOLD
 
 __all__ = [
     "SyntaxSubstrate",
@@ -215,12 +216,22 @@ def profile_query(expr: object, strict: bool = False) -> float:
     under ``STRICT`` they raise as before; under ``WARN``/``IGNORE`` the
     query degrades to 0.0 with a recorded reason, so a meta-program never
     crashes mid-expansion on bad profile data.
+
+    Weights that rest on **low-confidence sampled data** — the merged
+    database's :meth:`~repro.core.database.ProfileDatabase.confidence_summary`
+    has an error bar wider than
+    :data:`~repro.profiling.confidence.DEFAULT_ERROR_BAR_THRESHOLD` — are
+    routed through the same :func:`~repro.core.policy.degrade` choke
+    point instead of being applied silently: ``STRICT`` refuses to
+    optimize on them, ``WARN``/``IGNORE`` fall back to 0.0 (so stable
+    sorts preserve source order) with the reason recorded.
     """
     point = point_of_expr(expr)
     if point is None:
         return 0.0
+    info = current_profile_information()
     try:
-        weight = current_profile_information().query(point, strict=strict)
+        weight = info.query(point, strict=strict)
     except ProfileError as exc:
         degrade(
             "profile-query",
@@ -229,9 +240,30 @@ def profile_query(expr: object, strict: bool = False) -> float:
             error=exc,
         )
         weight = 0.0
+    confidence = info.confidence_summary()
+    if confidence is not None and confidence.is_low():
+        from repro.obs.metrics import get_global_metrics
+
+        get_global_metrics().inc("confidence_degradations_total")
+        degrade(
+            "profile-query",
+            f"weight for {point} rests on low-confidence sampled data "
+            f"({confidence.describe()}, threshold "
+            f"±{DEFAULT_ERROR_BAR_THRESHOLD:.0%})",
+            f"treating {point} as weight 0.0",
+        )
+        weight = 0.0
     tracer = active_tracer()
     if tracer is not None:
-        tracer.record_query(point.key(), weight)
+        if confidence is not None:
+            tracer.record_query(
+                point.key(),
+                weight,
+                mode=confidence.mode,
+                error_bar=confidence.error_bar,
+            )
+        else:
+            tracer.record_query(point.key(), weight)
     return weight
 
 

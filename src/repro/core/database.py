@@ -69,6 +69,7 @@ from repro.core.errors import (
 )
 from repro.core.profile_point import ProfilePoint
 from repro.core.weights import WeightTable, compute_weights, merge_weight_tables
+from repro.profiling.confidence import DatasetConfidence, merge_confidences
 
 __all__ = [
     "ProfileDatabase",
@@ -261,10 +262,14 @@ class ProfileDatabase:
         self._dataset_weights: list[float] = []
         #: per-data-set {filename: fingerprint} of the profiled source
         self._fingerprints: list[dict[str, str]] = []
+        #: per-data-set confidence record; None means exact collection
+        self._confidences: list[DatasetConfidence | None] = []
         #: Copy-on-write merge cache: (generation it was built from, table).
         self._merged: tuple[int, WeightTable] | None = None
         #: Fingerprint cache for the merged view, keyed the same way.
         self._merged_fp: tuple[int, str] | None = None
+        #: Confidence-summary cache for the merged view, keyed the same way.
+        self._merged_conf: tuple[int, DatasetConfidence | None] | None = None
         self._generation = 0
         #: data sets a lenient load set aside (empty for strict loads)
         self.quarantine = QuarantineReport()
@@ -276,10 +281,11 @@ class ProfileDatabase:
         counters: BaseCounterSet,
         importance: float = 1.0,
         fingerprints: Mapping[str, str] | None = None,
+        confidence: DatasetConfidence | None = None,
     ) -> WeightTable:
         """Normalize one instrumented run's counters and add it as a data set."""
         table = compute_weights(counters)
-        self.record_weights(table, importance, fingerprints)
+        self.record_weights(table, importance, fingerprints, confidence)
         return table
 
     def record_weights(
@@ -287,17 +293,29 @@ class ProfileDatabase:
         table: WeightTable,
         importance: float = 1.0,
         fingerprints: Mapping[str, str] | None = None,
+        confidence: DatasetConfidence | None = None,
     ) -> None:
         """Add an already-normalized data set.
 
         ``fingerprints`` maps filenames to :func:`source_fingerprint`
         digests of the source the data was collected against; they persist
         through ``store``/``load`` and power staleness detection.
+        ``confidence`` is the sampling confidence record for data
+        reconstructed from a sampled run; ``None`` (the default) declares
+        the data exact.
         """
+        if confidence is not None and not isinstance(
+            confidence, DatasetConfidence
+        ):
+            raise ProfileError(
+                "confidence must be a DatasetConfidence or None, "
+                f"got {type(confidence).__name__}"
+            )
         with self._lock:
             self._datasets.append(table)
             self._dataset_weights.append(float(importance))
             self._fingerprints.append(dict(fingerprints) if fingerprints else {})
+            self._confidences.append(confidence)
             self._generation += 1
 
     @classmethod
@@ -308,6 +326,7 @@ class ProfileDatabase:
         name: str = "profile-information",
         importances: Sequence[float] | None = None,
         fingerprints: Sequence[Mapping[str, str] | None] | None = None,
+        confidences: Sequence[DatasetConfidence | None] | None = None,
     ) -> "ProfileDatabase":
         """Build a database with one data set per counter set.
 
@@ -326,12 +345,18 @@ class ProfileDatabase:
                 f"got {len(counter_sets)} counter sets but "
                 f"{len(fingerprints)} fingerprint mappings"
             )
+        if confidences is not None and len(confidences) != len(counter_sets):
+            raise ProfileError(
+                f"got {len(counter_sets)} counter sets but "
+                f"{len(confidences)} confidence records"
+            )
         db = cls(name=name)
         for i, counters in enumerate(counter_sets):
             db.record_counters(
                 counters,
                 importances[i] if importances is not None else 1.0,
                 fingerprints[i] if fingerprints is not None else None,
+                confidences[i] if confidences is not None else None,
             )
         return db
 
@@ -341,8 +366,10 @@ class ProfileDatabase:
             self._datasets.clear()
             self._dataset_weights.clear()
             self._fingerprints.clear()
+            self._confidences.clear()
             self._merged = None
             self._merged_fp = None
+            self._merged_conf = None
             self._generation += 1
 
     @property
@@ -358,9 +385,20 @@ class ProfileDatabase:
         with self._lock:
             return [dict(fp) for fp in self._fingerprints]
 
+    def dataset_confidences(self) -> list[DatasetConfidence | None]:
+        """Per-data-set confidence records, ``None`` meaning exact."""
+        with self._lock:
+            return list(self._confidences)
+
     def _snapshot(
         self,
-    ) -> tuple[int, list[WeightTable], list[float], list[dict[str, str]]]:
+    ) -> tuple[
+        int,
+        list[WeightTable],
+        list[float],
+        list[dict[str, str]],
+        list[DatasetConfidence | None],
+    ]:
         """Generation plus consistent copies of the data-set lists."""
         with self._lock:
             return (
@@ -368,6 +406,7 @@ class ProfileDatabase:
                 list(self._datasets),
                 list(self._dataset_weights),
                 [dict(fp) for fp in self._fingerprints],
+                list(self._confidences),
             )
 
     # -- querying -------------------------------------------------------------
@@ -384,7 +423,7 @@ class ProfileDatabase:
             cached = self._merged
             if cached is not None and cached[0] == self._generation:
                 return cached[1]
-        generation, datasets, weights, _ = self._snapshot()
+        generation, datasets, weights, _, _ = self._snapshot()
         table = merge_weight_tables(datasets, weights)
         with self._lock:
             # Install unless someone already cached a newer generation.
@@ -415,6 +454,24 @@ class ProfileDatabase:
                 self._merged_fp = (generation, digest)
         return digest
 
+    def confidence_summary(self) -> DatasetConfidence | None:
+        """The merged sampling confidence across all data sets.
+
+        ``None`` when every data set is exact (the overwhelmingly common
+        case, and the zero-cost fast path for ``profile_query``); otherwise
+        the conservative merge of the sampled records — see
+        :func:`repro.profiling.confidence.merge_confidences`. Cached per
+        generation exactly like :meth:`merged`.
+        """
+        with self._lock:
+            cached = self._merged_conf
+            if cached is not None and cached[0] == self._generation:
+                return cached[1]
+            generation = self._generation
+            summary = merge_confidences(self._confidences)
+            self._merged_conf = (generation, summary)
+            return summary
+
     def query(self, point: ProfilePoint, strict: bool = False) -> float:
         """The merged weight of ``point``.
 
@@ -440,11 +497,13 @@ class ProfileDatabase:
     # -- persistence -----------------------------------------------------------
 
     def to_json_object(self) -> dict:
-        """The stored representation: per-data-set weights plus importances
-        and source fingerprints."""
-        _, datasets, weights, fingerprints = self._snapshot()
+        """The stored representation: per-data-set weights plus importances,
+        source fingerprints, and (for sampled data) confidence records."""
+        _, datasets, weights, fingerprints, confidences = self._snapshot()
         entries = []
-        for table, importance, fps in zip(datasets, weights, fingerprints):
+        for table, importance, fps, conf in zip(
+            datasets, weights, fingerprints, confidences
+        ):
             entry: dict = {
                 "name": table.name,
                 "importance": importance,
@@ -452,6 +511,9 @@ class ProfileDatabase:
             }
             if fps:
                 entry["fingerprints"] = dict(fps)
+            # Exact data sets stay byte-identical to pre-sampling stores.
+            if conf is not None and conf.is_sampled:
+                entry["confidence"] = conf.to_json_object()
             entries.append(entry)
         return {
             "format": "pgmp-profile",
@@ -505,7 +567,7 @@ class ProfileDatabase:
         )
         for i, entry in enumerate(datasets):
             try:
-                table, importance, fps = cls._parse_dataset(entry, i)
+                table, importance, fps, confidence = cls._parse_dataset(entry, i)
             except ProfileFormatError as exc:
                 if on_error == "skip":
                     name = (
@@ -531,13 +593,13 @@ class ProfileDatabase:
                         db.quarantine.add(i, table.name, "stale", reason)
                         continue
                     raise StaleProfileError(f"data set #{i} is stale: {reason}")
-            db.record_weights(table, importance, fps)
+            db.record_weights(table, importance, fps, confidence)
         return db
 
     @staticmethod
     def _parse_dataset(
         entry: object, index: int
-    ) -> tuple[WeightTable, float, dict[str, str]]:
+    ) -> tuple[WeightTable, float, dict[str, str], DatasetConfidence | None]:
         """Validate one stored data-set entry; raises :class:`ProfileFormatError`."""
         if not isinstance(entry, dict) or "weights" not in entry:
             raise ProfileFormatError(f"malformed data set #{index} in profile file")
@@ -552,6 +614,14 @@ class ProfileDatabase:
             raise ProfileFormatError(
                 f"data set #{index} fingerprints must map filenames to digests"
             )
+        confidence: DatasetConfidence | None = None
+        if "confidence" in entry:
+            try:
+                confidence = DatasetConfidence.from_json_object(entry["confidence"])
+            except ValueError as exc:
+                raise ProfileFormatError(
+                    f"data set #{index} has an invalid confidence record: {exc}"
+                ) from exc
         try:
             table = WeightTable.from_key_mapping(
                 weights, name=str(entry.get("name", f"dataset-{index}"))
@@ -562,7 +632,7 @@ class ProfileDatabase:
             raise ProfileFormatError(
                 f"data set #{index} has invalid weights: {exc}"
             ) from exc
-        return table, importance, dict(fps_raw)
+        return table, importance, dict(fps_raw), confidence
 
     def store(self, file: str | os.PathLike[str] | IO[str]) -> None:
         """``(store-profile f)``: write the recorded weights to ``file``.
@@ -621,9 +691,11 @@ class ProfileDatabase:
     ) -> None:
         """Merge the data sets stored in ``file`` into this database."""
         other = ProfileDatabase.load(file, on_error=on_error, sources=sources)
-        _, datasets, weights, fingerprints = other._snapshot()
-        for table, importance, fps in zip(datasets, weights, fingerprints):
-            self.record_weights(table, importance, fps)
+        _, datasets, weights, fingerprints, confidences = other._snapshot()
+        for table, importance, fps, conf in zip(
+            datasets, weights, fingerprints, confidences
+        ):
+            self.record_weights(table, importance, fps, conf)
         self.quarantine.extend(other.quarantine)
 
     # -- dunder ---------------------------------------------------------------
@@ -679,8 +751,10 @@ def merge_databases(databases: Sequence[ProfileDatabase]) -> ProfileDatabase:
     name = names[0] if len(names) == 1 else "merged(" + "+".join(names) + ")"
     merged = ProfileDatabase(name=name)
     for db in databases:
-        _, datasets, weights, fingerprints = db._snapshot()
-        for table, importance, fps in zip(datasets, weights, fingerprints):
-            merged.record_weights(table, importance, fps)
+        _, datasets, weights, fingerprints, confidences = db._snapshot()
+        for table, importance, fps, conf in zip(
+            datasets, weights, fingerprints, confidences
+        ):
+            merged.record_weights(table, importance, fps, conf)
         merged.quarantine.extend(db.quarantine)
     return merged

@@ -98,6 +98,16 @@ def explain_at(
                 "not loaded)"
             )
         lines.append("")
+    queries = tracer.queries()
+    sampled = [query for query in queries if query.mode != "exact"]
+    if sampled:
+        worst = max(query.error_bar for query in sampled)
+        lines.append(
+            f"provenance: {len(sampled)} of {len(queries)} profile "
+            f"quer{'y was' if len(sampled) == 1 else 'ies were'} answered "
+            f"from sampled data (error bar up to ±{worst:.0%})"
+        )
+        lines.append("")
     entries = list(degradations)
     if entries:
         lines.append("degradations during this compile:")

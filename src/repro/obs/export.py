@@ -122,9 +122,14 @@ def render_trace_text(tracer: Tracer) -> str:
             attrs = "".join(f" {key}={value}" for key, value in event.attrs)
             lines.append(f"{inner}! {event.kind}: {event.name}{attrs}")
         for query in span.queries:
+            confidence = (
+                f"  [{query.mode} ±{query.error_bar:.0%}]"
+                if query.mode != "exact"
+                else ""
+            )
             lines.append(
                 f"{inner}? profile-query {query.point} -> "
-                f"{_format_weight(query.weight)}"
+                f"{_format_weight(query.weight)}{confidence}"
             )
         for record in span.decisions:
             lines.append(f"{inner}* decision {record.construct} at {record.location}")
@@ -181,6 +186,12 @@ def render_chrome_trace(tracer: Tracer) -> str:
                 }
             )
         for query in span.queries:
+            args: dict = {"weight": query.weight, "caller": query.caller}
+            if query.mode != "exact":
+                # Sampled collection: surface how wide the estimate behind
+                # this weight is. Exact queries stay byte-identical.
+                args["mode"] = query.mode
+                args["error_bar"] = round(query.error_bar, 6)
             events.append(
                 {
                     "name": f"profile-query {query.point}",
@@ -190,7 +201,7 @@ def render_chrome_trace(tracer: Tracer) -> str:
                     "ts": query.tick,
                     "pid": 1,
                     "tid": 1,
-                    "args": {"weight": query.weight, "caller": query.caller},
+                    "args": args,
                 }
             )
         for record in span.decisions:

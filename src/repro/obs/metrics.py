@@ -343,5 +343,19 @@ def get_global_metrics() -> ServiceMetrics:
                 "artifact_verify_failures_total",
                 "Compiled artifacts rejected by static translation validation",
             )
+            metrics.describe(
+                "samples_total",
+                "Sampling events observed by the sampling profiler "
+                "(pre-scaling, across both engines)",
+            )
+            metrics.describe(
+                "sampled_datasets_total",
+                "Data sets recorded from sampled (sub-instrumented) runs",
+            )
+            metrics.describe(
+                "confidence_degradations_total",
+                "profile_query results routed through degrade() because "
+                "the merged sampling confidence was too low",
+            )
             _GLOBAL_METRICS = metrics
         return _GLOBAL_METRICS

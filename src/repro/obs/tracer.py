@@ -68,6 +68,7 @@ SPAN_KINDS = frozenset(
         "program",      # one traced compilation unit
         "expand",       # one macro/transformer invocation
         "instrument",   # instrumented execution
+        "sample",       # a sampled (sub-instrumented) collection period
         "profile_load", # reading a stored profile database
         "query",        # reserved for aggregated query phases
         "optimize",     # post-expansion optimization (simplify, layout)
@@ -194,15 +195,25 @@ class QueryEvent:
     caller: str
     tick: int = 0
     span_id: int = 0
+    #: collection mode of the consulted database ("exact"/"sampled")
+    mode: str = "exact"
+    #: relative 95% error bar of the consulted weights (0.0 when exact)
+    error_bar: float = 0.0
 
     def to_json_object(self) -> dict:
-        return {
+        obj = {
             "point": self.point,
             "weight": self.weight,
             "caller": self.caller,
             "tick": self.tick,
             "span_id": self.span_id,
         }
+        # Exact queries serialize exactly as before the sampling tier, so
+        # traces of fully-instrumented data stay byte-identical.
+        if self.mode != "exact":
+            obj["mode"] = self.mode
+            obj["error_bar"] = round(self.error_bar, 6)
+        return obj
 
 
 @dataclass(frozen=True)
@@ -354,8 +365,18 @@ class Tracer:
 
     # -- recording ---------------------------------------------------------
 
-    def record_query(self, point_key: str, weight: float) -> QueryEvent:
-        """Record one ``profile-query`` resolution (called by the core API)."""
+    def record_query(
+        self,
+        point_key: str,
+        weight: float,
+        mode: str = "exact",
+        error_bar: float = 0.0,
+    ) -> QueryEvent:
+        """Record one ``profile-query`` resolution (called by the core API).
+
+        ``mode``/``error_bar`` carry the consulted database's collection
+        mode and confidence when it holds sampled data.
+        """
         span = self._current_span()
         event = QueryEvent(
             point=point_key,
@@ -363,6 +384,8 @@ class Tracer:
             caller=span.name,
             tick=self._next_tick(),
             span_id=span.span_id,
+            mode=mode,
+            error_bar=error_bar,
         )
         with self._lock:
             span.queries.append(event)

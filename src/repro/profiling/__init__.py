@@ -1,0 +1,53 @@
+"""Low-overhead sampling profiling for production traffic.
+
+Full counter instrumentation (:mod:`repro.scheme.instrument`,
+:mod:`repro.pyast.profiler`) is the right tool for representative runs
+but too hot to leave on under fleet-scale live traffic. This package adds
+the sampling tier on top of the same counter machinery:
+
+* :mod:`repro.profiling.sampler` — the two sampling engines: a
+  ``sys.monitoring`` (PEP 669) sampler for the pyast substrate and a
+  periodic counter-subsetting sampler for the Scheme substrate (both
+  interpreter and ``compile_py`` backend share it through the
+  instrumentation hook seam).
+* :mod:`repro.profiling.reconstruct` — statistical reconstruction of
+  sampled counts back into unbiased count estimates and dataset weights.
+* :mod:`repro.profiling.confidence` — the per-dataset
+  :class:`~repro.profiling.confidence.DatasetConfidence` record (sample
+  count, scaling factor, normal-approximation error bar) carried through
+  the profile format and the service delta wire, so ``profile_query`` can
+  route low-confidence weights through :func:`repro.core.policy.degrade`
+  instead of letting a wide error bar silently flip an optimization.
+"""
+
+from repro.profiling.confidence import (
+    DEFAULT_ERROR_BAR_THRESHOLD,
+    DatasetConfidence,
+    merge_confidences,
+)
+from repro.profiling.reconstruct import (
+    confidence_for_counts,
+    reconstruct_counts,
+    relative_error_bar,
+)
+from repro.profiling.sampler import (
+    MonitoringSampler,
+    RunSampler,
+    SamplingCollector,
+    monitoring_available,
+    sampling_collector,
+)
+
+__all__ = [
+    "DEFAULT_ERROR_BAR_THRESHOLD",
+    "DatasetConfidence",
+    "MonitoringSampler",
+    "RunSampler",
+    "SamplingCollector",
+    "confidence_for_counts",
+    "merge_confidences",
+    "monitoring_available",
+    "reconstruct_counts",
+    "relative_error_bar",
+    "sampling_collector",
+]

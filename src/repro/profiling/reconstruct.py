@@ -1,0 +1,80 @@
+"""Statistical reconstruction of sampled counts.
+
+Both sampling engines thin the stream of execution events: only one
+event in ``scale`` is observed. Reconstruction multiplies each observed
+count back up by ``scale``, which is unbiased — under Bernoulli(1/k)
+thinning of ``N`` true events the observed count ``n`` has expectation
+``N/k``, so ``E[k·n] = N`` (the Scheme engine's deterministic stride
+gate bumps *by* the stride for the same reason and therefore ships
+pre-reconstructed counts).
+
+The error bar is the normal approximation to the same model: with
+``n ~ Binomial(N, 1/k)`` the reconstructed estimate ``N̂ = k·n`` has
+``Var(N̂) = N·(k−1)``, giving a relative standard error of
+``sqrt((k−1)/N) ≈ sqrt((k−1)/(k·n))``. :func:`relative_error_bar`
+returns the 95% half-width (``z = 1.96``) of that interval, clamped to
+``[0, 1]`` — an empty sample is maximally uncertain, exact data
+(``k = 1``) is certain.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.core.counters import BaseCounterSet
+from repro.profiling.confidence import DatasetConfidence
+
+__all__ = [
+    "Z_95",
+    "confidence_for_counts",
+    "reconstruct_counts",
+    "relative_error_bar",
+]
+
+#: Two-sided 95% normal quantile.
+Z_95 = 1.96
+
+
+def relative_error_bar(samples: int, scale: float) -> float:
+    """The relative 95% half-width of counts reconstructed from
+    ``samples`` observed events at scaling factor ``scale``."""
+    if scale <= 1.0:
+        return 0.0
+    if samples <= 0:
+        return 1.0
+    half_width = Z_95 * ((scale - 1.0) / (scale * samples)) ** 0.5
+    return min(1.0, half_width)
+
+
+def reconstruct_counts(
+    observed: Mapping[str, int], scale: float
+) -> dict[str, int]:
+    """Scale raw observed sample counts back to count estimates.
+
+    Used by the pyast ``sys.monitoring`` engine, which records one bump
+    per *observed* event; the Scheme stride gate already bumps by the
+    stride, so its counts arrive reconstructed.
+    """
+    if scale < 1.0:
+        raise ValueError(f"scaling factor must be >= 1, got {scale}")
+    return {key: round(count * scale) for key, count in observed.items()}
+
+
+def confidence_for_counts(
+    counters: BaseCounterSet | Mapping[str, int], scale: float
+) -> DatasetConfidence:
+    """The confidence record for a counter set holding *reconstructed*
+    (already scaled) counts collected at ``scale``.
+
+    The observed sampling-event count is recovered as
+    ``total / scale`` — exact for the deterministic stride gate, the
+    maximum-likelihood estimate for the monitoring engine.
+    """
+    if scale < 1.0:
+        raise ValueError(f"scaling factor must be >= 1, got {scale}")
+    if isinstance(counters, BaseCounterSet):
+        total = counters.total()
+    else:
+        total = sum(counters.values())
+    samples = round(total / scale)
+    return DatasetConfidence.sampled(samples, scale)

@@ -18,6 +18,9 @@ from repro.core.policy import (
 from repro.obs.logs import get_logger
 from repro.obs.metrics import get_global_metrics
 from repro.obs.tracer import maybe_span
+from repro.profiling.confidence import annotate_profile_load_span
+from repro.profiling.reconstruct import confidence_for_counts
+from repro.profiling.sampler import sampling_collector
 from repro.pyast.macros import MacroRegistry, expand_function
 from repro.pyast.profiler import collecting_counters
 
@@ -109,6 +112,44 @@ class PyAstSystem:
         self.profile_db.record_counters(counters, importance, fingerprints)
         return counters
 
+    def profile_sampled(
+        self,
+        expanded_fn: Callable,
+        inputs: Iterable[tuple],
+        sample_stride: int = 10,
+        importance: float = 1.0,
+        counters: BaseCounterSet | None = None,
+        fingerprints: Mapping[str, str] | None = None,
+        engine: str = "auto",
+    ) -> BaseCounterSet:
+        """Like :meth:`profile`, but through the sampling profiler.
+
+        Only every ``sample_stride``-th hook event is recorded (scaled
+        back up so counts stay unbiased); the recorded data set carries a
+        :class:`~repro.profiling.confidence.DatasetConfidence` record. On
+        Python ≥ 3.12 the ``sys.monitoring`` engine observes the hook's
+        call sites directly (no collector installed, so the hook runs its
+        production fast path); older interpreters fall back to the
+        portable gate collector. ``engine`` forces ``"monitoring"`` or
+        ``"gate"`` explicitly.
+        """
+        if counters is None:
+            counters = CounterSet(name=getattr(expanded_fn, "__name__", "pyast-run"))
+        name = getattr(expanded_fn, "__name__", "pyast-run")
+        with maybe_span(
+            "sample", name, stride=sample_stride, engine=engine
+        ), sampling_collector(counters, sample_stride, engine=engine) as sampler:
+            for args in inputs:
+                expanded_fn(*args)
+        confidence = confidence_for_counts(counters, sample_stride)
+        metrics = get_global_metrics()
+        metrics.inc("samples_total", sampler.samples)
+        metrics.inc("sampled_datasets_total")
+        self.profile_db.record_counters(
+            counters, importance, fingerprints, confidence
+        )
+        return counters
+
     def analyze(
         self,
         fn: Callable,
@@ -153,9 +194,10 @@ class PyAstSystem:
         """Replace this system's database from a file, honoring
         :attr:`policy` exactly like
         :meth:`repro.scheme.SchemeSystem.load_profile`."""
-        with maybe_span("profile_load", str(path)):
+        with maybe_span("profile_load", str(path)) as span:
             if self.policy is ProfilePolicy.STRICT:
                 self.profile_db = ProfileDatabase.load(path, sources=sources)
+                annotate_profile_load_span(span, self.profile_db)
                 return
             try:
                 db = ProfileDatabase.load(path, on_error="skip", sources=sources)
@@ -178,4 +220,5 @@ class PyAstSystem:
                     log=self.degradations,
                 )
             self.profile_db = db
+            annotate_profile_load_span(span, db)
         logger.info("loaded profile %s", path)

@@ -38,6 +38,8 @@ from repro.core.profile_point import ProfilePoint
 from repro.obs.logs import get_logger
 from repro.obs.metrics import get_global_metrics
 from repro.obs.tracer import maybe_span
+from repro.profiling.confidence import annotate_profile_load_span
+from repro.profiling.reconstruct import confidence_for_counts
 from repro.scheme.compile_py import (
     CODEGEN_VERSION,
     ArtifactCache,
@@ -236,6 +238,7 @@ class SchemeSystem:
         counters: BaseCounterSet | None = None,
         backend: str | None = None,
         budget: StepBudget | None = None,
+        sample_stride: int | None = None,
     ) -> RunResult:
         """Evaluate a compiled program, optionally instrumented.
 
@@ -248,22 +251,36 @@ class SchemeSystem:
         the Program, per flavor) with identical values, output, counters,
         and budget charges, falling back to the interpreter — counted in
         ``backend_fallbacks_total`` — when it cannot be translated.
+
+        ``sample_stride`` sets the per-point sampling gate's stride for
+        ``ProfileMode.SAMPLE`` runs (ignored under other modes); sampled
+        runs are traced with ``sample`` spans instead of ``instrument``.
         """
         instrumenter: Instrumenter | None = None
         if instrument is not None:
             if counters is None:
                 counters = CounterSet(name="run")
-            instrumenter = Instrumenter(counters, instrument)
+            instrumenter = Instrumenter(
+                counters,
+                instrument,
+                sample_stride=sample_stride if sample_stride is not None else 10,
+            )
         else:
             counters = None
         port = OutputPort()
         port.echo = echo
         previous = set_current_output(port)
-        span = (
-            maybe_span("instrument", "instrumented-run", mode=instrument.value)
-            if instrument is not None
-            else contextlib.nullcontext()
-        )
+        if instrument is None:
+            span = contextlib.nullcontext()
+        elif instrument is ProfileMode.SAMPLE:
+            span = maybe_span(
+                "sample",
+                "sampled-run",
+                mode=instrument.value,
+                stride=instrumenter.sample_stride if instrumenter else 0,
+            )
+        else:
+            span = maybe_span("instrument", "instrumented-run", mode=instrument.value)
         try:
             with self._policy_scope(), using_profile_information(
                 self.profile_db
@@ -428,8 +445,15 @@ class SchemeSystem:
         instrument: ProfileMode | None = None,
         echo: bool = False,
         counters: BaseCounterSet | None = None,
+        sample_stride: int | None = None,
     ) -> RunResult:
-        return self.run(self.compile(source, filename), instrument, echo, counters)
+        return self.run(
+            self.compile(source, filename),
+            instrument,
+            echo,
+            counters,
+            sample_stride=sample_stride,
+        )
 
     def profile_run(
         self,
@@ -438,6 +462,7 @@ class SchemeSystem:
         mode: ProfileMode | None = None,
         importance: float = 1.0,
         counters: BaseCounterSet | None = None,
+        sample_stride: int | None = None,
     ) -> RunResult:
         """One instrumented run on representative input: compile with
         instrumentation, run, normalize counters to weights, and record the
@@ -445,16 +470,33 @@ class SchemeSystem:
 
         The data set is fingerprinted against ``source``, so a later
         ``load_profile(..., sources=...)`` can tell when the profile was
-        collected against code that has since changed.
+        collected against code that has since changed. Under
+        ``ProfileMode.SAMPLE`` the recorded data set carries a
+        :class:`~repro.profiling.confidence.DatasetConfidence` record
+        (the counts are already stride-scaled, hence unbiased), and the
+        run is counted in ``samples_total``/``sampled_datasets_total``.
         """
+        effective_mode = mode or self.mode
         result = self.run_source(
-            source, filename, instrument=mode or self.mode, counters=counters
+            source,
+            filename,
+            instrument=effective_mode,
+            counters=counters,
+            sample_stride=sample_stride,
         )
         assert result.counters is not None
+        confidence = None
+        if effective_mode is ProfileMode.SAMPLE:
+            stride = sample_stride if sample_stride is not None else 10
+            confidence = confidence_for_counts(result.counters, stride)
+            metrics = get_global_metrics()
+            metrics.inc("samples_total", confidence.samples)
+            metrics.inc("sampled_datasets_total")
         self.profile_db.record_counters(
             result.counters,
             importance,
             fingerprints={filename: source_fingerprint(source)},
+            confidence=confidence,
         )
         return result
 
@@ -476,9 +518,10 @@ class SchemeSystem:
         continues with an empty database) and the reason is recorded in
         :attr:`degradations`.
         """
-        with maybe_span("profile_load", str(path)):
+        with maybe_span("profile_load", str(path)) as span:
             if self.policy is ProfilePolicy.STRICT:
                 self.profile_db = ProfileDatabase.load(path, sources=sources)
+                annotate_profile_load_span(span, self.profile_db)
                 return
             try:
                 db = ProfileDatabase.load(path, on_error="skip", sources=sources)
@@ -501,6 +544,7 @@ class SchemeSystem:
                     log=self.degradations,
                 )
             self.profile_db = db
+            annotate_profile_load_span(span, db)
         logger.info("loaded profile %s", path)
 
     def hot_swap_profile(self, db: ProfileDatabase) -> ProfileDatabase:

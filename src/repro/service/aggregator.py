@@ -49,6 +49,8 @@ from repro.core.errors import DeltaFormatError, ServiceError
 from repro.core.policy import DegradationLog, ProfilePolicy, degrade
 from repro.core.profile_point import ProfilePoint
 from repro.obs.logs import get_logger
+from repro.profiling.confidence import DatasetConfidence, merge_confidences
+from repro.profiling.reconstruct import confidence_for_counts
 from repro.service.controller import RecompilationDecision, RecompileController
 from repro.service.delta import (
     WIRE_VERSION,
@@ -106,11 +108,14 @@ class StopResult:
 class _DatasetSlot:
     """One live dataset: a threadsafe counter set plus its provenance."""
 
-    __slots__ = ("counters", "fingerprints")
+    __slots__ = ("counters", "fingerprints", "confidence")
 
     def __init__(self, name: str, fingerprints: Mapping[str, str]) -> None:
         self.counters = CounterSet(name=name, threadsafe=True)
         self.fingerprints = dict(fingerprints)
+        #: merged sampling confidence across every shipper that fed this
+        #: slot; ``None`` while only exact deltas have arrived
+        self.confidence: DatasetConfidence | None = None
 
 
 def _dataset_key(dataset: str, fingerprints: Mapping[str, str]) -> str:
@@ -209,6 +214,7 @@ class ProfileAggregator:
         metrics_port: int | None = None,
         read_timeout: float | None = 30.0,
         name: str = "profile-information",
+        assume_sample_scale: float | None = None,
     ) -> None:
         self.listen = parse_address(listen)
         self.checkpoint_path = checkpoint_path
@@ -224,6 +230,18 @@ class ProfileAggregator:
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.metrics_port = metrics_port
         self.name = name
+        #: treat confidence-less deltas as sampled at this scaling factor
+        #: (``pgmp serve --profile-mode sampled``): v1 shippers in a
+        #: sampled fleet cannot tag their deltas, so the operator declares
+        #: the fleet-wide scale here. ``None`` keeps them exact.
+        self.assume_sample_scale = (
+            None if assume_sample_scale is None else float(assume_sample_scale)
+        )
+        if self.assume_sample_scale is not None and self.assume_sample_scale < 1.0:
+            raise ServiceError(
+                f"assume_sample_scale must be >= 1, "
+                f"got {self.assume_sample_scale}"
+            )
         #: current source fingerprints deltas are checked against; a delta
         #: fingerprinting one of these files differently is quarantined.
         self.expected_fingerprints: dict[str, str] = dict(
@@ -292,6 +310,11 @@ class ProfileAggregator:
         m.describe(
             "fleet_counts_total",
             "Counter increments applied at the root, by originating shard",
+        )
+        m.describe(
+            "sampled_deltas_total",
+            "Deltas applied that carried (or were assigned) sampling "
+            "confidence",
         )
 
     # -- frame dispatch ----------------------------------------------------
@@ -466,6 +489,7 @@ class ProfileAggregator:
                 counts_total += by
             applied += 1
             acks.append({"type": "ack", "seq": delta.seq, "status": "applied"})
+            self._merge_slot_confidence(slot, self._delta_confidence(delta))
         for slot, increments in merged.values():
             slot.counters.apply_increments(
                 {parsed[k]: by for k, by in increments.items()}
@@ -563,6 +587,7 @@ class ProfileAggregator:
             )
             return {"type": "ack", "seq": delta.seq, "status": "rejected",
                     "error": str(exc)}
+        self._merge_slot_confidence(slot, self._delta_confidence(delta))
         self.metrics.inc("deltas_applied_total")
         self.metrics.inc("counts_ingested_total", delta.total())
         if shard is not None:
@@ -638,6 +663,27 @@ class ProfileAggregator:
             response["reason"] = decision.reason
         return response
 
+    def _delta_confidence(self, delta: ProfileDelta) -> DatasetConfidence | None:
+        """The confidence an applied delta contributes to its slot.
+
+        A tagged delta speaks for itself; an untagged one is exact unless
+        the operator declared a fleet-wide :attr:`assume_sample_scale`.
+        """
+        if delta.confidence is not None:
+            return delta.confidence if delta.confidence.is_sampled else None
+        if self.assume_sample_scale is not None and self.assume_sample_scale > 1.0:
+            return confidence_for_counts(delta.counts, self.assume_sample_scale)
+        return None
+
+    def _merge_slot_confidence(
+        self, slot: _DatasetSlot, confidence: DatasetConfidence | None
+    ) -> None:
+        if confidence is None:
+            return
+        with self._lock:
+            slot.confidence = merge_confidences([slot.confidence, confidence])
+        self.metrics.inc("sampled_deltas_total")
+
     def _stale_files(self, fingerprints: Mapping[str, str]) -> list[str]:
         return sorted(
             filename
@@ -648,15 +694,17 @@ class ProfileAggregator:
 
     def _stats_frame(self) -> dict:
         with self._lock:
-            datasets = {
-                key: {
+            datasets = {}
+            for key, slot in self._datasets.items():
+                entry = {
                     "name": slot.counters.name,
                     "total": slot.counters.total(),
                     "points": len(slot.counters),
                     "fingerprints": dict(slot.fingerprints),
                 }
-                for key, slot in self._datasets.items()
-            }
+                if slot.confidence is not None and slot.confidence.is_sampled:
+                    entry["confidence"] = slot.confidence.to_json_object()
+                datasets[key] = entry
             shippers = {
                 shipper: self._ledger.applied_count(shipper)
                 for shipper in self._ledger.shippers()
@@ -694,6 +742,7 @@ class ProfileAggregator:
             [slot.counters for slot in slots],
             name=self.name,
             fingerprints=[slot.fingerprints for slot in slots],
+            confidences=[slot.confidence for slot in slots],
         )
 
     # -- checkpointing -----------------------------------------------------
@@ -737,15 +786,17 @@ class ProfileAggregator:
 
     def _state_payload(self) -> str:
         with self._lock:
-            datasets = [
-                {
+            datasets = []
+            for key, slot in self._datasets.items():
+                entry: dict = {
                     "key": key,
                     "name": slot.counters.name,
                     "fingerprints": dict(slot.fingerprints),
                     "counts": slot.counters.as_key_mapping(),
                 }
-                for key, slot in self._datasets.items()
-            ]
+                if slot.confidence is not None and slot.confidence.is_sampled:
+                    entry["confidence"] = slot.confidence.to_json_object()
+                datasets.append(entry)
             ledger = self._ledger.to_json_object()
         payload = {
             "format": "pgmp-service-state",
@@ -802,6 +853,11 @@ class ProfileAggregator:
                     entry.get("fingerprints", {}),
                 )
                 slot.counters.apply_key_increments(entry.get("counts", {}))
+                raw_conf = entry.get("confidence")
+                if raw_conf is not None:
+                    slot.confidence = DatasetConfidence.from_json_object(
+                        raw_conf
+                    )
                 restored[str(entry["key"])] = slot
             ledger = DeltaLedger.from_json_object(obj.get("ledger", {}))
             self._restore_extra(obj)

@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 from typing import IO
 
 from repro.core.errors import DeltaFormatError
+from repro.profiling.confidence import DatasetConfidence
 
 __all__ = [
     "ProfileDelta",
@@ -113,6 +114,9 @@ class ProfileDelta:
     counts: Mapping[str, int]
     #: {filename: source_fingerprint} of the profiled source (v2 format)
     fingerprints: Mapping[str, str] = field(default_factory=dict)
+    #: how the counts were collected; ``None`` means exact (fully
+    #: instrumented), so v1 deltas keep their meaning unchanged
+    confidence: DatasetConfidence | None = None
 
     def total(self) -> int:
         """Sum of all increments carried by this delta."""
@@ -129,6 +133,8 @@ class ProfileDelta:
         }
         if self.fingerprints:
             obj["fingerprints"] = dict(self.fingerprints)
+        if self.confidence is not None and self.confidence.is_sampled:
+            obj["confidence"] = self.confidence.to_json_object()
         return obj
 
     @classmethod
@@ -187,12 +193,22 @@ class ProfileDelta:
             raise DeltaFormatError(
                 "delta 'fingerprints' must map filenames to digests"
             )
+        confidence: DatasetConfidence | None = None
+        raw_conf = obj.get("confidence")
+        if raw_conf is not None:
+            try:
+                confidence = DatasetConfidence.from_json_object(raw_conf)
+            except ValueError as exc:
+                raise DeltaFormatError(
+                    f"delta 'confidence' is malformed: {exc}"
+                ) from exc
         return cls(
             shipper=shipper,
             seq=seq,
             dataset=dataset,
             counts=dict(counts),
             fingerprints=dict(fps),
+            confidence=confidence,
         )
 
 

@@ -43,6 +43,7 @@ from repro.core.counters import BaseCounterSet
 from repro.core.errors import BackpressureError, DeltaFormatError, ServiceError
 from repro.core.policy import DegradationLog, ProfilePolicy, degrade
 from repro.obs.logs import get_logger
+from repro.profiling.reconstruct import confidence_for_counts
 from repro.service.delta import (
     MAX_BATCH_DELTAS,
     DeltaBatch,
@@ -100,6 +101,7 @@ class ProfileShipper:
         negotiate: bool = True,
         batch_size: int = 256,
         timeout: float = 5.0,
+        sample_scale: float | None = None,
     ) -> None:
         self.counters = counters
         self.address = parse_address(address)
@@ -127,6 +129,15 @@ class ProfileShipper:
         self.negotiate = bool(negotiate)
         self.batch_size = min(int(batch_size), MAX_BATCH_DELTAS)
         self.timeout = float(timeout)
+        #: when the wrapped counters hold *sampled* data reconstructed at
+        #: this scaling factor, every cut delta carries a matching
+        #: confidence record so the aggregator can merge error bars.
+        #: ``None`` (the default) ships plain exact deltas.
+        self.sample_scale = None if sample_scale is None else float(sample_scale)
+        if self.sample_scale is not None and self.sample_scale < 1.0:
+            raise ServiceError(
+                f"sample_scale must be >= 1, got {self.sample_scale}"
+            )
 
         self._lock = threading.RLock()
         self._seq = 0
@@ -195,12 +206,18 @@ class ProfileShipper:
             delta = None
             if increments:
                 self._seq += 1
+                confidence = None
+                if self.sample_scale is not None and self.sample_scale > 1.0:
+                    confidence = confidence_for_counts(
+                        increments, self.sample_scale
+                    )
                 delta = ProfileDelta(
                     shipper=self.shipper_id,
                     seq=self._seq,
                     dataset=self.dataset,
                     counts=increments,
                     fingerprints=self.fingerprints,
+                    confidence=confidence,
                 )
                 self._enqueue(delta)
             self._drain()

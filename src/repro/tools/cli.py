@@ -206,8 +206,28 @@ def build_parser() -> argparse.ArgumentParser:
             "defaults to compile",
         )
 
+    def sampling(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--profile-mode",
+            choices=["exact", "sampled"],
+            default="exact",
+            help="profile collection mode: exact (full instrumentation) or "
+            "sampled (the low-overhead sampling profiler; recorded data "
+            "sets carry a per-dataset confidence record). Default: exact",
+        )
+        p.add_argument(
+            "--sample-rate",
+            type=int,
+            default=10,
+            metavar="N",
+            help="sampling stride for --profile-mode sampled: one event in "
+            "N is observed (one *run* in N, for ship); counts are scaled "
+            "back up so totals stay unbiased (default: 10)",
+        )
+
     p_run = sub.add_parser("run", help="compile and run a program")
     common(p_run)
+    sampling(p_run)
     p_run.add_argument(
         "--instrument",
         choices=["expr", "call"],
@@ -220,6 +240,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_profile = sub.add_parser("profile", help="run instrumented; store weights")
     common(p_profile)
+    sampling(p_profile)
     p_profile.add_argument("--out", required=True, help="profile file to write")
     p_profile.add_argument("--mode", choices=["expr", "call"], default="expr")
 
@@ -313,6 +334,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve = sub.add_parser(
         "serve", help="run the continuous-profiling aggregation service"
     )
+    sampling(p_serve)
     p_serve.add_argument(
         "--listen",
         default="127.0.0.1:0",
@@ -499,6 +521,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_ship = sub.add_parser(
         "ship", help="run a program instrumented, shipping profile deltas"
     )
+    sampling(p_ship)
     p_ship.add_argument("file", help="Scheme source file ('-' for stdin)")
     p_ship.add_argument(
         "--connect",
@@ -967,6 +990,13 @@ def _run_serve(args: argparse.Namespace) -> int:
         metrics=metrics,
         metrics_port=args.metrics_port,
         read_timeout=args.read_timeout,
+        assume_sample_scale=(
+            # Untagged (v1) deltas in a sampled fleet: the operator
+            # declares the fleet-wide stride; tagged deltas always win.
+            float(max(1, args.sample_rate))
+            if args.profile_mode == "sampled"
+            else None
+        ),
     )
     aggregator.start()
     try:
@@ -1154,8 +1184,9 @@ def _run_rollback(args: argparse.Namespace) -> int:
 
 
 def _run_ship(args: argparse.Namespace) -> int:
-    from repro.core.counters import ShardedCounterSet
+    from repro.core.counters import CounterSet, ShardedCounterSet
     from repro.core.database import source_fingerprint
+    from repro.profiling.sampler import RunSampler
     from repro.service import ProfileShipper
 
     source = _read_program(args.file)
@@ -1164,6 +1195,15 @@ def _run_ship(args: argparse.Namespace) -> int:
     dataset = args.dataset if args.dataset else args.file
     counters = ShardedCounterSet(name=dataset)
     fingerprints = {args.file: source_fingerprint(source)}
+    sampled = args.profile_mode == "sampled"
+    stride = max(1, args.sample_rate) if sampled else 1
+    # Production-traffic sampling subsets whole runs: one run in `stride`
+    # executes instrumented (and its counts are folded in scaled by the
+    # stride), the rest run with no hooks at all — steady-state overhead
+    # is the instrumented-run cost divided by the stride plus one
+    # predicate per run.
+    run_sampler = RunSampler(stride) if sampled else None
+    sample_scale = float(stride) if sampled and stride > 1 else None
     if args.fleet:
         # --connect names the fleet *root*; shard addresses come from
         # its ring frame and the deltas go straight to the shards.
@@ -1184,6 +1224,7 @@ def _run_ship(args: argparse.Namespace) -> int:
             spill_dir=args.spill,
             policy=args.profile_policy,
             timeout=args.timeout,
+            sample_scale=sample_scale,
         )
         destination = f"{len(shards)} shard(s) via root {args.connect}"
     else:
@@ -1196,21 +1237,47 @@ def _run_ship(args: argparse.Namespace) -> int:
             spill_path=args.spill,
             policy=args.profile_policy,
             timeout=args.timeout,
+            sample_scale=sample_scale,
         )
         destination = str(shipper.address)
     program = system.compile(source, args.file)
     mode = _mode(args.mode)
     try:
         for _ in range(max(1, args.runs)):
-            system.run(program, instrument=mode, counters=counters)
+            if run_sampler is None:
+                system.run(program, instrument=mode, counters=counters)
+            elif run_sampler.gate():
+                from repro.obs.tracer import maybe_span
+
+                run_counters = CounterSet(name=dataset)
+                with maybe_span(
+                    "sample", dataset, stride=stride, engine="run-subset"
+                ):
+                    system.run(program, instrument=mode, counters=run_counters)
+                run_sampler.fold(run_counters, counters)
+            else:
+                system.run(program)
             shipper.flush()
     finally:
         shipper.close()
+    if run_sampler is not None:
+        from repro.obs.metrics import get_global_metrics
+
+        metrics = get_global_metrics()
+        metrics.inc("samples_total", run_sampler.samples)
+        if run_sampler.samples:
+            metrics.inc("sampled_datasets_total")
+    sampled_note = (
+        f" (sampled 1-in-{stride} runs, {run_sampler.samples} observed "
+        f"events)"
+        if run_sampler is not None
+        else ""
+    )
     print(
         f";; shipped {shipper.shipped_counts} counts in "
         f"{shipper.shipped_deltas} delta(s) to {destination} "
         f"(spilled {shipper.spilled_deltas}, dropped {shipper.dropped_deltas}, "
-        f"quarantined {shipper.quarantined_deltas})",
+        f"quarantined {shipper.quarantined_deltas}){sampled_note}",
         file=sys.stderr,
     )
     return 0
@@ -1236,8 +1303,19 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "run":
         mode = _mode(args.instrument) if args.instrument else None
+        sample_stride = None
+        if args.profile_mode == "sampled":
+            # Sampled collection implies instrumentation: the stride gate
+            # IS the (cheap) instrumentation.
+            mode = ProfileMode.SAMPLE
+            sample_stride = max(1, args.sample_rate)
         program = _maybe_simplify(args, system.compile(source, args.file))
-        result = system.run(program, instrument=mode, backend=args.backend)
+        result = system.run(
+            program,
+            instrument=mode,
+            backend=args.backend,
+            sample_stride=sample_stride,
+        )
         if result.output:
             print(result.output, end="")
         print(write_datum(result.value))
@@ -1257,11 +1335,22 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "profile":
-        system.profile_run(source, args.file, mode=_mode(args.mode))
+        mode = _mode(args.mode)
+        sample_stride = None
+        if args.profile_mode == "sampled":
+            mode = ProfileMode.SAMPLE
+            sample_stride = max(1, args.sample_rate)
+        system.profile_run(
+            source, args.file, mode=mode, sample_stride=sample_stride
+        )
         system.store_profile(args.out)
+        suffix = ""
+        summary = system.profile_db.confidence_summary()
+        if summary is not None:
+            suffix = f" ({summary.describe()})"
         print(
             f";; stored {system.profile_db.point_count()} profile weights "
-            f"to {args.out}",
+            f"to {args.out}{suffix}",
             file=sys.stderr,
         )
         return 0

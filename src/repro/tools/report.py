@@ -34,15 +34,30 @@ __all__ = [
 
 
 def hottest_report(db: ProfileDatabase, n: int = 10) -> str:
-    """The ``n`` hottest profile points, one per line, hottest first."""
+    """The ``n`` hottest profile points, one per line, hottest first.
+
+    Profiles holding sampled data sets grow a confidence column (the
+    merged relative error bar every weight inherits) plus a trailing
+    ``collection:`` summary line; exact profiles render unchanged.
+    """
     rows = db.merged().hottest(n)
     if not rows:
         return "(no profile data)"
+    summary = db.confidence_summary()
+    confidence = None if summary is None else f"±{summary.error_bar:.0%}"
     width = max(len(str(point.location)) for point, _ in rows)
-    lines = [f"{'location':<{width}}  weight"]
+    header = f"{'location':<{width}}  weight"
+    if confidence is not None:
+        header += "  confidence"
+    lines = [header]
     for point, weight in rows:
         tag = " (generated)" if point.generated else ""
-        lines.append(f"{str(point.location):<{width}}  {weight:6.4f}{tag}")
+        row = f"{str(point.location):<{width}}  {weight:6.4f}"
+        if confidence is not None:
+            row += f"  {confidence}"
+        lines.append(row + tag)
+    if summary is not None:
+        lines.append(f"collection: {summary.describe()}")
     return "\n".join(lines)
 
 
@@ -104,6 +119,7 @@ def report_json(
         if location.line <= 0:
             continue
         by_line[location.line] = max(by_line.get(location.line, 0.0), weight)
+    summary = db.confidence_summary()
     payload = {
         "format": "pgmp-report",
         "version": JSON_RENDER_VERSION,
@@ -115,6 +131,16 @@ def report_json(
             "points": len(merged),
             "source_lines": len(source.splitlines()),
             "quarantined": len(db.quarantine),
+        },
+        "confidence": {
+            "mode": "exact" if summary is None else summary.mode,
+            "error_bar": 0.0 if summary is None else round(summary.error_bar, 6),
+            "datasets": [
+                conf.to_json_object()
+                if conf is not None and conf.is_sampled
+                else None
+                for conf in db.dataset_confidences()
+            ],
         },
     }
     return json.dumps(payload, indent=2, sort_keys=True)
@@ -137,6 +163,12 @@ def trace_report(db: ProfileDatabase, decisions: list[dict]) -> str:
         f"{len(decisions)} decision(s) in trace, joined against "
         f"{len(merged)} merged profile point(s)"
     ]
+    summary = db.confidence_summary()
+    if summary is not None:
+        lines.append(
+            f"this profile's weights are {summary.describe()} — drift "
+            "within the error bar may be sampling noise, not workload change"
+        )
     drifted_decisions = 0
     for record in decisions:
         lines.append("")

@@ -1,0 +1,205 @@
+"""Confidence-gated degradation: ``profile_query`` under every policy ×
+error-bar width, plus the clause-reordering flip regression — a starved
+sampled profile must not flip an optimization decision."""
+
+import pytest
+
+from repro.casestudies.exclusive_cond import make_case_system
+from repro.core.api import profile_query, using_profile_information
+from repro.core.counters import CounterSet
+from repro.core.database import ProfileDatabase
+from repro.core.errors import ExpandError, ProfileError
+from repro.core.policy import DegradationLog, ProfilePolicy, using_profile_policy
+from repro.core.profile_point import ProfilePoint
+from repro.core.srcloc import SourceLocation
+from repro.obs.metrics import get_global_metrics
+from repro.profiling import DatasetConfidence
+from repro.scheme.core_forms import unparse_string
+from repro.scheme.instrument import ProfileMode
+
+POINTS = [
+    ProfilePoint.for_location(SourceLocation("g.ss", n, n + 1)) for n in range(2)
+]
+
+
+def _db(confidence: DatasetConfidence | None) -> ProfileDatabase:
+    db = ProfileDatabase()
+    counters = CounterSet(name="ds")
+    counters.increment(POINTS[0], by=90)
+    counters.increment(POINTS[1], by=10)
+    db.record_counters(counters, confidence=confidence)
+    return db
+
+# Wide: too few observed events to trust. Tight: comfortably inside the
+# default ±25% threshold.
+WIDE = DatasetConfidence.sampled(5, 50)
+TIGHT = DatasetConfidence.sampled(5000, 10)
+
+
+# -- the query gate, policy by policy -----------------------------------------
+
+
+def test_exact_profile_applies_weights_silently():
+    log = DegradationLog()
+    with using_profile_information(_db(None)):
+        with using_profile_policy(ProfilePolicy.STRICT, log):
+            # Weights are normalized to the hottest point in the data set.
+            assert profile_query(POINTS[0]) == pytest.approx(1.0)
+            assert profile_query(POINTS[1]) == pytest.approx(10 / 90)
+    assert len(log) == 0
+
+
+def test_tight_sampled_profile_applies_weights():
+    log = DegradationLog()
+    with using_profile_information(_db(TIGHT)):
+        with using_profile_policy(ProfilePolicy.STRICT, log):
+            assert profile_query(POINTS[0]) == pytest.approx(1.0)
+    assert len(log) == 0
+
+
+def test_strict_refuses_low_confidence_weights():
+    with using_profile_information(_db(WIDE)):
+        with using_profile_policy(ProfilePolicy.STRICT, DegradationLog()):
+            with pytest.raises(ProfileError, match="low-confidence"):
+                profile_query(POINTS[0])
+
+
+def test_warn_degrades_to_zero_with_recorded_reason(capsys):
+    log = DegradationLog()
+    before = get_global_metrics().counter("confidence_degradations_total")
+    with using_profile_information(_db(WIDE)):
+        with using_profile_policy(ProfilePolicy.WARN, log):
+            assert profile_query(POINTS[0]) == 0.0
+    entries = list(log)
+    assert len(entries) == 1
+    assert "low-confidence" in entries[0].reason
+    assert "weight 0.0" in entries[0].fallback
+    assert "pgmp: warning" in capsys.readouterr().err
+    after = get_global_metrics().counter("confidence_degradations_total")
+    assert after == before + 1
+
+
+def test_ignore_degrades_silently(capsys):
+    log = DegradationLog()
+    with using_profile_information(_db(WIDE)):
+        with using_profile_policy(ProfilePolicy.IGNORE, log):
+            assert profile_query(POINTS[0]) == 0.0
+    assert len(list(log)) == 1
+    assert capsys.readouterr().err == ""
+
+
+def test_merged_confidence_gates_across_datasets():
+    """A starved sampled data set recorded next to exact data drags the
+    merged summary wide: the gate looks at the database the query
+    actually answers from, not at one data set."""
+    db = _db(None)  # exact baseline data set
+    starved = CounterSet(name="starved")
+    starved.increment(POINTS[1], by=100)
+    db.record_counters(starved, confidence=WIDE)
+    assert db.confidence_summary().is_low()
+    log = DegradationLog()
+    with using_profile_information(db):
+        with using_profile_policy(ProfilePolicy.WARN, log):
+            assert profile_query(POINTS[0]) == 0.0
+    assert len(list(log)) == 1
+
+
+# -- the reorder-decision flip regression -------------------------------------
+
+PARSER = r"""
+(define (parse-char c)
+  (case c
+    [(#\space #\tab) 'white-space]
+    [(#\0 #\1 #\2 #\3 #\4 #\5 #\6 #\7 #\8 #\9) 'digit]
+    [(#\() 'start-paren]
+    [(#\)) 'end-paren]
+    [else 'other]))
+"""
+
+SOURCE_ORDER = ["white-space", "digit", "start-paren", "end-paren"]
+
+# Digit-heavy: an applied profile must hoist the digit clause first.
+DIGIT_STREAM = "123456789" * 40 + " ()"
+
+
+def _clause_order(text: str) -> list[str]:
+    define = text[text.index("(define parse-char") :]
+    order = []
+    for marker, name in [
+        ("'(#\\space #\\tab)", "white-space"),
+        ("'(#\\0", "digit"),
+        ("'(#\\()", "start-paren"),
+        ("'(#\\))", "end-paren"),
+    ]:
+        index = define.find(marker)
+        assert index >= 0, f"{marker} not in expansion"
+        order.append((index, name))
+    return [name for _, name in sorted(order)]
+
+
+def _profile_and_compile(
+    policy=ProfilePolicy.WARN,
+    mode: ProfileMode | None = None,
+    sample_stride: int | None = None,
+    stream: str = DIGIT_STREAM,
+):
+    system = make_case_system(policy=policy)
+    program = PARSER + f'(map parse-char (string->list "{stream}"))'
+    system.profile_run(
+        program, "parse.ss", mode=mode, sample_stride=sample_stride
+    )
+    text = unparse_string(system.compile(program, "parse.ss"))
+    return system, _clause_order(text)
+
+
+def test_exact_profile_reorders_digit_first():
+    _, order = _profile_and_compile()
+    assert order[0] == "digit"
+
+
+def test_tight_sampled_profile_reproduces_the_exact_decision():
+    """The acceptance criterion: at the default sample rate, a healthy
+    sampled profile makes the same reordering decision as the exact one."""
+    system, order = _profile_and_compile(
+        mode=ProfileMode.SAMPLE, sample_stride=10
+    )
+    summary = system.profile_db.confidence_summary()
+    assert summary is not None and not summary.is_low()
+    assert order[0] == "digit"
+    _, exact_order = _profile_and_compile()
+    assert order == exact_order
+
+
+def test_starved_sampled_profile_does_not_flip_the_decision():
+    """Regression: a starved sampled profile (few observed events, huge
+    scale) must degrade to the source order, not apply noisy weights that
+    could flip the clause reordering run to run."""
+    system, order = _profile_and_compile(
+        mode=ProfileMode.SAMPLE, sample_stride=5000
+    )
+    summary = system.profile_db.confidence_summary()
+    assert summary is not None and summary.is_low()
+    assert order == SOURCE_ORDER
+    reasons = [entry.reason for entry in system.degradations]
+    assert any("low-confidence" in reason for reason in reasons)
+
+
+def test_starved_sampled_profile_under_strict_refuses_to_compile():
+    system = make_case_system(policy=ProfilePolicy.STRICT)
+    program = PARSER + f'(map parse-char (string->list "{DIGIT_STREAM}"))'
+    system.profile_run(
+        program, "parse.ss", mode=ProfileMode.SAMPLE, sample_stride=5000
+    )
+    # The ProfileError surfaces wrapped in the expander's error chain.
+    with pytest.raises(ExpandError, match="low-confidence"):
+        system.compile(program, "parse.ss")
+
+
+def test_sampled_run_counts_samples_in_metrics():
+    metrics = get_global_metrics()
+    before_samples = metrics.counter("samples_total")
+    before_datasets = metrics.counter("sampled_datasets_total")
+    system, _ = _profile_and_compile(mode=ProfileMode.SAMPLE, sample_stride=10)
+    summary = system.profile_db.confidence_summary()
+    assert metrics.counter("samples_total") == before_samples + summary.samples
+    assert metrics.counter("sampled_datasets_total") == before_datasets + 1

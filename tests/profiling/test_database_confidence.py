@@ -1,0 +1,140 @@
+"""Confidence in the profile format: store/load round trip, old-file
+back-compatibility, merge semantics, and the summary cache."""
+
+import json
+
+import pytest
+
+from repro.core.counters import CounterSet
+from repro.core.database import ProfileDatabase, merge_databases
+from repro.core.errors import ProfileError, ProfileFormatError
+from repro.core.profile_point import ProfilePoint
+from repro.core.srcloc import SourceLocation
+from repro.profiling import DatasetConfidence
+
+POINTS = [
+    ProfilePoint.for_location(SourceLocation("d.ss", n, n + 1)) for n in range(3)
+]
+
+
+def _counters(name="ds", **by_index):
+    counters = CounterSet(name=name)
+    for index, count in by_index.items():
+        counters.increment(POINTS[int(index.lstrip("p"))], by=count)
+    return counters
+
+
+def _sampled_db() -> ProfileDatabase:
+    db = ProfileDatabase()
+    db.record_counters(_counters(p0=90, p1=10))
+    db.record_counters(
+        _counters(name="live", p1=400, p2=100),
+        confidence=DatasetConfidence.sampled(50, 10),
+    )
+    return db
+
+
+def test_record_counters_rejects_non_confidence_objects():
+    db = ProfileDatabase()
+    with pytest.raises(ProfileError, match="DatasetConfidence"):
+        db.record_counters(_counters(p0=1), confidence="sampled")
+
+
+def test_dataset_confidences_align_with_datasets():
+    db = _sampled_db()
+    confidences = db.dataset_confidences()
+    assert len(confidences) == db.dataset_count == 2
+    assert confidences[0] is None
+    assert confidences[1] is not None and confidences[1].samples == 50
+
+
+def test_exact_store_has_no_confidence_keys(tmp_path):
+    # Back-compat: a fully exact database serializes without any mention
+    # of confidence, byte-identical to the pre-sampling format.
+    db = ProfileDatabase()
+    db.record_counters(_counters(p0=90, p1=10))
+    path = tmp_path / "exact.json"
+    db.store(path)
+    assert "confidence" not in path.read_text()
+
+
+def test_store_load_round_trips_confidence(tmp_path):
+    db = _sampled_db()
+    path = tmp_path / "sampled.json"
+    db.store(path)
+    loaded = ProfileDatabase.load(path)
+    confidences = loaded.dataset_confidences()
+    assert confidences[0] is None
+    assert confidences[1].samples == 50
+    assert confidences[1].scale == 10.0
+    summary = loaded.confidence_summary()
+    assert summary is not None and summary.samples == 50
+
+
+def test_old_profile_file_loads_as_exact(tmp_path):
+    db = ProfileDatabase()
+    db.record_counters(_counters(p0=5))
+    path = tmp_path / "old.json"
+    db.store(path)  # no confidence keys, as the previous format wrote
+    loaded = ProfileDatabase.load(path)
+    assert loaded.confidence_summary() is None
+    assert loaded.dataset_confidences() == [None]
+
+
+def test_invalid_stored_confidence_is_a_format_error(tmp_path):
+    db = _sampled_db()
+    path = tmp_path / "bad.json"
+    db.store(path)
+    doc = json.loads(path.read_text())
+    for entry in doc["datasets"]:
+        if "confidence" in entry:
+            entry["confidence"]["samples"] = "many"
+    path.write_text(json.dumps(doc))
+    with pytest.raises(ProfileFormatError, match="confidence"):
+        ProfileDatabase.load(path)
+
+
+def test_confidence_summary_is_none_for_exact_data():
+    db = ProfileDatabase()
+    db.record_counters(_counters(p0=1))
+    assert db.confidence_summary() is None
+
+
+def test_confidence_summary_tracks_new_datasets():
+    # The summary is cached per generation: recording a new sampled data
+    # set must invalidate it.
+    db = ProfileDatabase()
+    db.record_counters(_counters(p0=90))
+    assert db.confidence_summary() is None
+    db.record_counters(
+        _counters(name="live", p1=10),
+        confidence=DatasetConfidence.sampled(5, 50),
+    )
+    summary = db.confidence_summary()
+    assert summary is not None and summary.is_low()
+
+
+def test_merge_databases_carries_confidence():
+    merged = merge_databases([_sampled_db(), _sampled_db()])
+    confidences = [
+        conf for conf in merged.dataset_confidences() if conf is not None
+    ]
+    assert len(confidences) == 2
+    summary = merged.confidence_summary()
+    assert summary is not None and summary.samples == 100
+
+
+def test_from_counter_sets_validates_confidence_length():
+    with pytest.raises(ProfileError, match="confidence"):
+        ProfileDatabase.from_counter_sets(
+            [_counters(p0=1)],
+            confidences=[None, DatasetConfidence.sampled(1, 2)],
+        )
+
+
+def test_from_counter_sets_attaches_confidence():
+    db = ProfileDatabase.from_counter_sets(
+        [_counters(p0=1), _counters(name="live", p1=2)],
+        confidences=[None, DatasetConfidence.sampled(10, 10)],
+    )
+    assert db.dataset_confidences()[1].samples == 10

@@ -1,0 +1,205 @@
+"""The sampling engines: run subsetting, the portable gate collector, and
+the ``sys.monitoring`` sampler (skipped where PEP 669 is unavailable)."""
+
+import pytest
+
+from repro.core.counters import CounterSet
+from repro.core.profile_point import ProfilePoint
+from repro.core.srcloc import SourceLocation
+from repro.profiling import (
+    MonitoringSampler,
+    RunSampler,
+    SamplingCollector,
+    monitoring_available,
+    sampling_collector,
+)
+
+POINTS = [
+    ProfilePoint.for_location(SourceLocation("s.ss", n, n + 1)) for n in range(3)
+]
+
+
+# -- RunSampler: whole-run subsetting for pgmp ship ---------------------------
+
+
+def test_run_sampler_gates_first_and_every_stride_th_run():
+    sampler = RunSampler(3)
+    pattern = [sampler.gate() for _ in range(9)]
+    assert pattern == [True, False, False] * 3
+
+
+def test_run_sampler_stride_one_instruments_every_run():
+    sampler = RunSampler(1)
+    assert all(sampler.gate() for _ in range(5))
+
+
+def test_run_sampler_rejects_bad_stride():
+    with pytest.raises(ValueError):
+        RunSampler(0)
+
+
+def test_fold_scales_counts_and_accumulates_samples():
+    sampler = RunSampler(4)
+    shipping = CounterSet(name="ds")
+
+    run = CounterSet(name="ds")
+    run.increment(POINTS[0], by=7)
+    run.increment(POINTS[1], by=3)
+    assert sampler.fold(run, shipping) == 10
+
+    run2 = CounterSet(name="ds")
+    run2.increment(POINTS[0], by=5)
+    assert sampler.fold(run2, shipping) == 5
+
+    assert sampler.samples == 15
+    assert shipping.count(POINTS[0]) == 48  # (7 + 5) * 4
+    assert shipping.count(POINTS[1]) == 12  # 3 * 4
+
+
+def test_fold_of_empty_run_is_a_noop():
+    sampler = RunSampler(4)
+    shipping = CounterSet(name="ds")
+    assert sampler.fold(CounterSet(name="ds"), shipping) == 0
+    assert sampler.samples == 0
+    assert shipping.total() == 0
+
+
+# -- SamplingCollector: the portable per-point stride gate --------------------
+
+
+def test_gate_collector_reconstruction_is_unbiased_on_multiples():
+    inner = CounterSet(name="ds")
+    gate = SamplingCollector(inner, 5)
+    for _ in range(100):
+        gate.increment(POINTS[0])
+    # 100 events at stride 5: 20 passes, each bumping by 5.
+    assert inner.count(POINTS[0]) == 100
+    assert gate.samples == 100
+
+
+def test_gate_collector_residue_bounds_the_error():
+    inner = CounterSet(name="ds")
+    gate = SamplingCollector(inner, 10)
+    for _ in range(37):
+        gate.increment(POINTS[0])
+    # Only whole strides land; at most stride-1 events sit in the residue.
+    assert inner.count(POINTS[0]) == 30
+    assert gate.samples == 37
+
+
+def test_gate_collector_handles_bulk_increments():
+    inner = CounterSet(name="ds")
+    gate = SamplingCollector(inner, 10)
+    gate.increment(POINTS[0], by=25)
+    assert inner.count(POINTS[0]) == 20
+    gate.increment(POINTS[0], by=5)
+    assert inner.count(POINTS[0]) == 30
+    assert gate.samples == 30
+
+
+def test_gate_collector_tracks_points_independently():
+    inner = CounterSet(name="ds")
+    gate = SamplingCollector(inner, 4)
+    for _ in range(8):
+        gate.increment(POINTS[0])
+    for _ in range(3):
+        gate.increment(POINTS[1])
+    assert inner.count(POINTS[0]) == 8
+    assert inner.count(POINTS[1]) == 0  # still in the residue table
+    assert gate.samples == 11
+
+
+def test_gate_collector_clear_resets_everything():
+    inner = CounterSet(name="ds")
+    gate = SamplingCollector(inner, 3)
+    for _ in range(7):
+        gate.increment(POINTS[0])
+    gate.clear()
+    assert gate.samples == 0
+    assert inner.total() == 0
+    # The residue table was dropped too: a fresh stride starts over.
+    gate.increment(POINTS[0])
+    assert inner.count(POINTS[0]) == 0
+
+
+def test_gate_collector_rejects_bad_stride():
+    with pytest.raises(ValueError):
+        SamplingCollector(CounterSet(name="ds"), 0)
+
+
+# -- the pyast engines through the public entry point -------------------------
+
+
+def _hook_loop(times: int, key: str) -> None:
+    from repro.pyast.profiler import profile_hook
+
+    for _ in range(times):
+        profile_hook(key, lambda: None)
+
+
+def test_sampling_collector_gate_engine_collects_scaled_counts():
+    counters = CounterSet(name="ds")
+    with sampling_collector(counters, 5, engine="gate") as sampler:
+        _hook_loop(100, POINTS[0].key())
+    assert sampler.stride == 5
+    assert sampler.samples == 100
+    assert counters.count(POINTS[0]) == 100
+
+
+def test_sampling_collector_stops_collecting_on_exit():
+    counters = CounterSet(name="ds")
+    with sampling_collector(counters, 5, engine="gate"):
+        _hook_loop(10, POINTS[0].key())
+    _hook_loop(50, POINTS[0].key())
+    assert counters.count(POINTS[0]) == 10
+
+
+def test_sampling_collector_rejects_unknown_engine():
+    with pytest.raises(ValueError):
+        with sampling_collector(CounterSet(name="ds"), 5, engine="psychic"):
+            pass  # pragma: no cover
+
+
+def test_sampling_collector_auto_selects_an_engine():
+    counters = CounterSet(name="ds")
+    with sampling_collector(counters, 2, engine="auto") as sampler:
+        _hook_loop(10, POINTS[0].key())
+    assert sampler.samples == 10
+    assert counters.count(POINTS[0]) == 10
+
+
+@pytest.mark.skipif(
+    not monitoring_available(), reason="sys.monitoring needs Python >= 3.12"
+)
+class TestMonitoringEngine:
+    def test_collects_scaled_counts(self):
+        counters = CounterSet(name="ds")
+        with sampling_collector(counters, 5, engine="monitoring") as sampler:
+            _hook_loop(100, POINTS[0].key())
+        assert isinstance(sampler, MonitoringSampler)
+        assert sampler.samples == 100
+        assert counters.count(POINTS[0]) == 100
+
+    def test_stops_collecting_on_exit(self):
+        counters = CounterSet(name="ds")
+        with sampling_collector(counters, 5, engine="monitoring"):
+            _hook_loop(10, POINTS[0].key())
+        _hook_loop(50, POINTS[0].key())
+        assert counters.count(POINTS[0]) == 10
+
+    def test_matches_gate_engine_semantics(self):
+        """The PEP 669 engine must reconstruct exactly like the reference
+        gate collector for a deterministic event stream."""
+        via_monitoring = CounterSet(name="ds")
+        with sampling_collector(via_monitoring, 7, engine="monitoring"):
+            _hook_loop(100, POINTS[0].key())
+            _hook_loop(13, POINTS[1].key())
+        via_gate = CounterSet(name="ds")
+        with sampling_collector(via_gate, 7, engine="gate"):
+            _hook_loop(100, POINTS[0].key())
+            _hook_loop(13, POINTS[1].key())
+        assert via_monitoring.snapshot() == via_gate.snapshot()
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ValueError):
+            MonitoringSampler(CounterSet(name="ds"), 0)
